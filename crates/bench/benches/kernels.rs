@@ -1,0 +1,128 @@
+//! Kernel-level throughput benches: the real compute stages behind the
+//! three applications, on the host.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use bt_kernels::dense::{conv2d, conv2d_gemm, Conv2dParams};
+use bt_kernels::octree::{
+    count_edges, dedup_sorted, exclusive_scan, morton_encode_cloud, radix_sort_u32, RadixTree,
+};
+use bt_kernels::pointcloud::{CloudShape, PointCloudStream};
+use bt_kernels::sparse::{prune_to_csr, CsrMatrix};
+use bt_kernels::{ParCtx, Tensor};
+
+fn octree_stages(c: &mut Criterion) {
+    let n = 50_000usize;
+    let cloud = PointCloudStream::new(CloudShape::Clustered, 1).next_cloud(n);
+    let ctx = ParCtx::new(2);
+
+    let mut group = c.benchmark_group("octree");
+    group.throughput(Throughput::Elements(n as u64));
+
+    group.bench_function("morton_encode", |b| {
+        let mut codes = Vec::new();
+        b.iter(|| {
+            morton_encode_cloud(&ctx, black_box(&cloud), &mut codes);
+            black_box(codes.len())
+        });
+    });
+
+    let mut codes = Vec::new();
+    morton_encode_cloud(&ctx, &cloud, &mut codes);
+    group.bench_function("radix_sort", |b| {
+        let mut scratch = Vec::new();
+        b.iter_batched(
+            || codes.clone(),
+            |mut data| {
+                radix_sort_u32(&ctx, &mut data, &mut scratch);
+                black_box(data[0])
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+
+    let mut sorted = codes.clone();
+    let mut scratch = Vec::new();
+    radix_sort_u32(&ctx, &mut sorted, &mut scratch);
+    let mut unique = Vec::new();
+    dedup_sorted(&ctx, &sorted, &mut unique);
+
+    group.bench_function("radix_tree_build", |b| {
+        b.iter(|| black_box(RadixTree::build(&ctx, &unique)).internal_count());
+    });
+
+    let tree = RadixTree::build(&ctx, &unique);
+    group.bench_function("edge_count", |b| {
+        let mut edges = Vec::new();
+        b.iter(|| {
+            count_edges(&ctx, &tree, 6, &mut edges);
+            black_box(edges.len())
+        });
+    });
+
+    let mut edges = Vec::new();
+    count_edges(&ctx, &tree, 6, &mut edges);
+    group.bench_function("prefix_sum", |b| {
+        let mut offsets = Vec::new();
+        b.iter(|| black_box(exclusive_scan(&ctx, &edges, &mut offsets)));
+    });
+    group.finish();
+}
+
+fn cnn_kernels(c: &mut Criterion) {
+    let ctx = ParCtx::new(2);
+    let params = Conv2dParams {
+        in_channels: 64,
+        out_channels: 128,
+        kernel: 3,
+        padding: 1,
+    };
+    let input = Tensor::zeros(&[64, 16, 16]);
+    let weights = vec![0.01f32; 128 * 64 * 9];
+    let bias = vec![0.0f32; 128];
+    let mut out = Tensor::zeros(&[128, 16, 16]);
+
+    let mut group = c.benchmark_group("cnn");
+    group.throughput(Throughput::Elements(params.flops(16, 16) as u64));
+    group.bench_function("conv2d_direct_64x128_16x16", |b| {
+        b.iter(|| {
+            conv2d(&ctx, &params, black_box(&input), &weights, &bias, &mut out);
+            black_box(out.as_slice()[0])
+        });
+    });
+    group.bench_function("conv2d_gemm_64x128_16x16", |b| {
+        b.iter(|| {
+            conv2d_gemm(&ctx, &params, black_box(&input), &weights, &bias, &mut out);
+            black_box(out.as_slice()[0])
+        });
+    });
+
+    // Sparse SpMM at 10% density.
+    let rows = 128;
+    let cols = 64 * 9;
+    let dense: Vec<f32> = (0..rows * cols).map(|i| ((i % 17) as f32 - 8.0) * 0.1).collect();
+    let csr: CsrMatrix = prune_to_csr(&dense, rows, cols, 0.1);
+    let rhs = vec![0.5f32; cols * 256];
+    let mut spmm_out = vec![0.0f32; rows * 256];
+    group.throughput(Throughput::Elements((csr.nnz() * 256) as u64));
+    group.bench_function("spmm_csr_10pct", |b| {
+        b.iter(|| {
+            csr.spmm(&ctx, black_box(&rhs), 256, &mut spmm_out);
+            black_box(spmm_out[0])
+        });
+    });
+    group.finish();
+}
+
+fn bench_all(c: &mut Criterion) {
+    octree_stages(c);
+    cnn_kernels(c);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_all
+}
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Discrete-event simulator throughput: how fast the virtual-device
+//! substrate evaluates pipeline schedules (this bounds autotuning cost).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bt_kernels::apps;
+use bt_pipeline::{simulate_schedule, Schedule};
+use bt_soc::des::DesConfig;
+use bt_soc::{devices, PuClass};
+
+fn simulator_throughput(c: &mut Criterion) {
+    let soc = devices::pixel_7a();
+    let app = apps::octree_app(apps::OctreeConfig::default()).model();
+    let schedule = Schedule::new(vec![
+        PuClass::LittleCpu,
+        PuClass::BigCpu,
+        PuClass::Gpu,
+        PuClass::Gpu,
+        PuClass::Gpu,
+        PuClass::Gpu,
+        PuClass::MediumCpu,
+    ])
+    .expect("valid schedule");
+
+    let mut group = c.benchmark_group("des");
+    for tasks in [30u32, 300, 3000] {
+        let cfg = DesConfig {
+            tasks,
+            ..DesConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::new("octree_pixel", tasks), &cfg, |b, cfg| {
+            b.iter(|| {
+                black_box(
+                    simulate_schedule(&soc, &app, &schedule, cfg)
+                        .expect("simulates")
+                        .time_per_task,
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn profiler_cost(c: &mut Criterion) {
+    use bt_profiler::{profile, ProfileMode, ProfilerConfig};
+    let soc = devices::pixel_7a();
+    let app = apps::alexnet_dense_app(apps::AlexNetConfig::default()).model();
+    c.bench_function("profile_dense_pixel_heavy", |b| {
+        b.iter(|| {
+            black_box(profile(
+                &soc,
+                &app,
+                ProfileMode::InterferenceHeavy,
+                &ProfilerConfig::default(),
+            ))
+            .stages()
+            .len()
+        });
+    });
+}
+
+fn bench_all(c: &mut Criterion) {
+    simulator_throughput(c);
+    profiler_cost(c);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_all
+}
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Solver benches: the paper claims each z3 invocation completes in <50 ms
+//! for N=9/M=4 (§3.3); these benches time our DPLL replacement and the
+//! exact enumerator across problem sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bt_solver::enumerate::{enumerate_schedules, latency_candidates_exact};
+use bt_solver::ScheduleProblem;
+
+fn synthetic(n: usize, m: usize) -> ScheduleProblem {
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            (0..m)
+                .map(|c| 50.0 + ((i * 31 + c * 17) % 97) as f64 * 13.0)
+                .collect()
+        })
+        .collect();
+    ScheduleProblem::new(rows).expect("valid synthetic table")
+}
+
+fn solver_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sat_min_latency");
+    for n in [6usize, 9, 12] {
+        let p = synthetic(n, 4);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &p, |b, p| {
+            b.iter(|| black_box(p.min_latency(&[])).is_some());
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("exact_enumeration");
+    for n in [6usize, 9, 12] {
+        let p = synthetic(n, 4);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &p, |b, p| {
+            b.iter(|| black_box(enumerate_schedules(p)).len());
+        });
+    }
+    group.finish();
+}
+
+fn candidate_generation(c: &mut Criterion) {
+    let p = synthetic(9, 4);
+    let mut group = c.benchmark_group("candidates_k20_n9_m4");
+    group.bench_function("sat_blocking", |b| {
+        b.iter(|| black_box(p.latency_candidates(20)).len());
+    });
+    group.bench_function("exact_sorted", |b| {
+        b.iter(|| black_box(latency_candidates_exact(&p, 20)).len());
+    });
+    group.finish();
+}
+
+fn gapness(c: &mut Criterion) {
+    let p = synthetic(7, 4);
+    c.bench_function("sat_min_gapness_n7_m4", |b| {
+        b.iter(|| black_box(p.min_gapness()).is_some());
+    });
+}
+
+fn bench_all(c: &mut Criterion) {
+    solver_scaling(c);
+    candidate_generation(c);
+    gapness(c);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_all
+}
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Hot-path benches of the lock-free SPSC queue that carries TaskObject
+//! pointers between dispatcher threads.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use bt_pipeline::spsc;
+
+fn spsc_same_thread(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spsc");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("push_pop_uncontended", |b| {
+        let (mut tx, mut rx) = spsc::channel::<u64>(64);
+        b.iter(|| {
+            tx.push(black_box(42)).expect("capacity available");
+            black_box(rx.pop().expect("just pushed"))
+        });
+    });
+
+    group.bench_function("boxed_payload_transfer", |b| {
+        let (mut tx, mut rx) = spsc::channel::<Box<[u8; 256]>>(8);
+        let mut slot = Some(Box::new([0u8; 256]));
+        b.iter(|| {
+            let payload = slot.take().expect("recycled");
+            tx.push(payload).expect("capacity");
+            slot = rx.pop();
+            black_box(slot.is_some())
+        });
+    });
+    group.finish();
+}
+
+fn spsc_cross_thread(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spsc");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("cross_thread_10k", |b| {
+        b.iter(|| {
+            let (mut tx, mut rx) = spsc::channel::<u64>(256);
+            let producer = std::thread::spawn(move || {
+                for i in 0..10_000u64 {
+                    let mut v = i;
+                    while let Err(back) = tx.push(v) {
+                        v = back;
+                        std::hint::spin_loop();
+                    }
+                }
+            });
+            let mut sum = 0u64;
+            let mut got = 0;
+            while got < 10_000 {
+                if let Some(v) = rx.pop() {
+                    sum = sum.wrapping_add(v);
+                    got += 1;
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+            producer.join().expect("producer exits");
+            black_box(sum)
+        });
+    });
+    group.finish();
+}
+
+fn bench_all(c: &mut Criterion) {
+    spsc_same_thread(c);
+    spsc_cross_thread(c);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_all
+}
+criterion_main!(benches);

@@ -1,0 +1,153 @@
+//! **Ablation experiments** for the design choices DESIGN.md calls out:
+//!
+//! 1. *Utilization threshold* (θ in the level-1 filter): sweep θ and watch
+//!    prediction correlation and the measured-best latency.
+//! 2. *Candidate count* 𝒦: how many schedules autotuning must execute
+//!    before the measured best stops improving (the paper uses 20).
+//! 3. *Interference-model components*: profile with a deliberately
+//!    simplified device model (no DVFS response / no DRAM contention /
+//!    neither) while measuring on the full model — quantifying how much
+//!    each modeled mechanism contributes to prediction quality.
+//! 4. *Multi-buffering depth*: pipeline throughput vs. the number of
+//!    circulating TaskObjects (§3.4's design).
+
+use bt_core::metrics::pearson;
+use bt_core::{autotune, optimize, OptimizerConfig};
+use bt_kernels::apps;
+use bt_pipeline::{simulate_schedule, to_chunk_specs};
+use bt_profiler::{profile, ProfileMode, ProfilerConfig};
+use bt_soc::des::{simulate, DesConfig};
+use bt_soc::{devices, InterferenceModel, PuClass};
+use serde::Serialize;
+
+#[derive(Serialize, Default)]
+struct Ablations {
+    threshold_sweep: Vec<(f64, f64, f64)>,      // θ, correlation, best_ms
+    k_sweep: Vec<(usize, f64, f64)>,            // K, best_ms, cost_ms
+    interference_ablation: Vec<(String, f64, f64)>, // variant, correlation, best_ms
+    buffer_sweep: Vec<(u32, f64)>,              // buffers, ms/task
+}
+
+fn main() {
+    let soc = devices::pixel_7a();
+    let app = apps::alexnet_sparse_app(apps::AlexNetConfig::default()).model();
+    let des = DesConfig::default();
+    let mut out = Ablations::default();
+
+    // 1. Utilization-threshold sweep.
+    println!("1. utilization threshold sweep (sparse AlexNet / Pixel)\n");
+    println!("{:>6} {:>8} {:>12} {:>12}", "θ", "cands", "correlation", "best (ms)");
+    let table = profile(&soc, &app, ProfileMode::InterferenceHeavy, &ProfilerConfig::default());
+    for theta in [0.0, 0.2, 0.35, 0.5, 0.65] {
+        let cfg = OptimizerConfig::with_threshold(theta);
+        let Ok(cands) = optimize(&soc, &table, &cfg) else {
+            println!("{theta:>6.2} {:>8}", "none");
+            continue;
+        };
+        let outcome = autotune(&soc, &app, &cands, &des).expect("autotunes");
+        let xs: Vec<f64> = cands.iter().map(|c| c.predicted.as_f64()).collect();
+        let ys: Vec<f64> = outcome.measured.iter().map(|m| m.as_f64()).collect();
+        let r = pearson(&xs, &ys).unwrap_or(f64::NAN);
+        let best = outcome.measured[outcome.best_index].as_millis();
+        println!("{theta:>6.2} {:>8} {r:>12.3} {best:>12.2}", cands.len());
+        out.threshold_sweep.push((theta, r, best));
+    }
+
+    // 2. K sweep.
+    println!("\n2. candidate-count sweep (𝒦)\n");
+    println!("{:>6} {:>12} {:>14}", "K", "best (ms)", "eval cost (ms)");
+    for k in [1usize, 3, 5, 10, 20, 40] {
+        let cfg = OptimizerConfig {
+            candidates: k,
+            ..OptimizerConfig::default()
+        };
+        let cands = optimize(&soc, &table, &cfg).expect("candidates");
+        let outcome = autotune(&soc, &app, &cands, &des).expect("autotunes");
+        let best = outcome.measured[outcome.best_index].as_millis();
+        let cost = outcome.evaluation_cost.as_millis();
+        println!("{k:>6} {best:>12.2} {cost:>14.1}");
+        out.k_sweep.push((k, best, cost));
+    }
+
+    // 3. Interference-model component ablation: the profiler believes a
+    //    simplified device; measurements run on the real one.
+    println!("\n3. interference-model component ablation\n");
+    println!("{:>28} {:>12} {:>12}", "profiler's model", "correlation", "best (ms)");
+    let full = soc.interference().clone();
+    let dvfs_only = InterferenceModel::calibrated(
+        [
+            (PuClass::BigCpu, full.dvfs_multiplier(PuClass::BigCpu)),
+            (PuClass::MediumCpu, full.dvfs_multiplier(PuClass::MediumCpu)),
+            (PuClass::LittleCpu, full.dvfs_multiplier(PuClass::LittleCpu)),
+            (PuClass::Gpu, full.dvfs_multiplier(PuClass::Gpu)),
+        ],
+        0.0,
+    );
+    let contention_only =
+        InterferenceModel::calibrated::<0>([], full.contention_strength());
+    let variants: [(&str, InterferenceModel); 4] = [
+        ("full (dvfs + contention)", full.clone()),
+        ("dvfs only", dvfs_only),
+        ("contention only", contention_only),
+        ("none (isolated physics)", InterferenceModel::none()),
+    ];
+    for (label, model) in variants {
+        let believed = soc.clone().with_interference(model);
+        let t = profile(
+            &believed,
+            &app,
+            ProfileMode::InterferenceHeavy,
+            &ProfilerConfig::default(),
+        );
+        let cands = optimize(&believed, &t, &OptimizerConfig::default()).expect("candidates");
+        // Measure on the REAL device.
+        let measured: Vec<f64> = cands
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                simulate_schedule(
+                    &soc,
+                    &app,
+                    &c.schedule,
+                    &DesConfig {
+                        seed: i as u64,
+                        ..des.clone()
+                    },
+                )
+                .expect("simulates")
+                .time_per_task
+                .as_f64()
+            })
+            .collect();
+        let xs: Vec<f64> = cands.iter().map(|c| c.predicted.as_f64()).collect();
+        let r = pearson(&xs, &measured).unwrap_or(f64::NAN);
+        let best = measured.iter().cloned().fold(f64::MAX, f64::min) / 1e3;
+        println!("{label:>28} {r:>12.3} {best:>12.2}");
+        out.interference_ablation.push((label.to_string(), r, best));
+    }
+
+    // 4. Multi-buffering depth.
+    println!("\n4. multi-buffering depth (fixed best schedule)\n");
+    println!("{:>9} {:>12}", "buffers", "ms/task");
+    let cands = optimize(&soc, &table, &OptimizerConfig::default()).expect("candidates");
+    let chunks = to_chunk_specs(&app, &cands[0].schedule);
+    for buffers in [1u32, 2, 3, 4, 6, 8] {
+        let cfg = DesConfig {
+            buffers,
+            noise_sigma: 0.0,
+            ..DesConfig::default()
+        };
+        let r = simulate(&soc, &chunks, &cfg).expect("simulates");
+        println!("{buffers:>9} {:>12.2}", r.time_per_task.as_millis());
+        out.buffer_sweep.push((buffers, r.time_per_task.as_millis()));
+    }
+    let single = out.buffer_sweep[0].1;
+    let deep = out.buffer_sweep.last().expect("non-empty").1;
+    println!(
+        "\nmulti-buffering speedup at depth 8 vs 1: {:.2}x (recycled TaskObjects are what\n\
+         let chunks overlap — §3.4)",
+        single / deep
+    );
+
+    bt_bench::write_result("ablation_sweeps", &out);
+}

@@ -1,0 +1,85 @@
+//! **Extension experiment**: energy per task and energy-delay product of
+//! BetterTogether pipelines vs. homogeneous baselines.
+//!
+//! The paper motivates edge processing with reduced energy consumption
+//! (§1) and evaluates the Jetson's 7 W low-power mode; this experiment
+//! quantifies the energy story for the schedules the framework produces:
+//! heterogeneous pipelines draw more instantaneous power (more silicon
+//! busy) but finish tasks enough faster to win on energy-delay product —
+//! and usually on plain energy per task as well.
+
+use bt_core::energy::{measure_baseline_energy, measure_energy};
+use bt_core::BetterTogether;
+use bt_soc::des::DesConfig;
+use bt_soc::power::PowerModel;
+use bt_soc::PuClass;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct EnergyCell {
+    device: String,
+    app: String,
+    schedule: String,
+    bt_mj_per_task: f64,
+    cpu_mj_per_task: f64,
+    gpu_mj_per_task: f64,
+    bt_edp: f64,
+    best_baseline_edp: f64,
+    edp_improvement: f64,
+}
+
+fn main() {
+    let apps = bt_bench::paper_apps();
+    let labels = bt_bench::paper_app_labels();
+    let des = DesConfig::default();
+
+    println!("Energy efficiency — mJ/task and EDP (mJ·ms), pipeline vs baselines\n");
+    println!(
+        "{:>22} {:>9} {:>10} {:>10} {:>10} {:>12}",
+        "device", "app", "BT mJ", "CPU mJ", "GPU mJ", "EDP gain"
+    );
+
+    let mut cells = Vec::new();
+    for soc in bt_bench::paper_devices() {
+        let model = PowerModel::default_for(&soc);
+        for (ai, app) in apps.iter().enumerate() {
+            let d = BetterTogether::new(soc.clone(), app.clone())
+                .run()
+                .expect("framework runs");
+            let bt = measure_energy(&soc, app, d.best_schedule(), &model, &des).expect("energy");
+            let cpu = measure_baseline_energy(&soc, app, PuClass::BigCpu, &model, &des)
+                .expect("energy");
+            let gpu =
+                measure_baseline_energy(&soc, app, PuClass::Gpu, &model, &des).expect("energy");
+            let best_edp = cpu.edp_mj_ms.min(gpu.edp_mj_ms);
+            let gain = best_edp / bt.edp_mj_ms;
+            println!(
+                "{:>22} {:>9} {:>10.2} {:>10.2} {:>10.2} {:>11.2}x",
+                soc.name(),
+                labels[ai],
+                bt.per_task_mj,
+                cpu.per_task_mj,
+                gpu.per_task_mj,
+                gain
+            );
+            cells.push(EnergyCell {
+                device: soc.name().to_string(),
+                app: labels[ai].to_string(),
+                schedule: d.best_schedule().to_string(),
+                bt_mj_per_task: bt.per_task_mj,
+                cpu_mj_per_task: cpu.per_task_mj,
+                gpu_mj_per_task: gpu.per_task_mj,
+                bt_edp: bt.edp_mj_ms,
+                best_baseline_edp: best_edp,
+                edp_improvement: gain,
+            });
+        }
+    }
+
+    let wins = cells.iter().filter(|c| c.edp_improvement > 1.0).count();
+    println!(
+        "\nPipelines win on EDP in {wins}/{} configurations.",
+        cells.len()
+    );
+    bt_bench::write_result("energy_efficiency", &cells);
+}

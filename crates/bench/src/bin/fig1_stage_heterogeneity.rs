@@ -1,0 +1,91 @@
+//! **Figure 1**: execution time of three octree pipeline stages (sort,
+//! build radix tree, build octree) on the Google Pixel 7a's PU classes.
+//!
+//! Paper's qualitative result: the GPU performs *poorly* on sorting, is
+//! the *fastest* at building the radix tree, and is *comparable* to the
+//! big/medium CPU cores on octree construction — the heterogeneity that
+//! motivates stage-to-PU mapping.
+
+use bt_kernels::apps;
+use bt_profiler::{profile, ProfileMode, ProfilerConfig};
+use bt_soc::{devices, PuClass};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Fig1Row {
+    stage: String,
+    big_us: f64,
+    medium_us: f64,
+    little_us: f64,
+    gpu_us: f64,
+}
+
+#[derive(Serialize)]
+struct Fig1 {
+    device: String,
+    rows: Vec<Fig1Row>,
+    gpu_worst_at_sort: bool,
+    gpu_fastest_at_radix_tree: bool,
+    octree_build_comparable: bool,
+}
+
+fn main() {
+    let soc = devices::pixel_7a();
+    let app = apps::octree_app(apps::OctreeConfig::default()).model();
+    let table = profile(&soc, &app, ProfileMode::Isolated, &ProfilerConfig::default());
+
+    println!("Figure 1 — stage execution time on {} (isolated)\n", soc.name());
+    println!("{:>14} {:>10} {:>10} {:>10} {:>10}", "stage", "big", "med", "little", "gpu");
+
+    let fig_stages = ["sort", "radix-tree", "build-octree"];
+    let mut rows = Vec::new();
+    for (i, name) in table.stages().iter().enumerate() {
+        if !fig_stages.contains(&name.as_str()) {
+            continue;
+        }
+        let cell = |c: PuClass| table.latency(i, c).expect("pixel has all classes").as_f64();
+        let (b, m, l, g) = (
+            cell(PuClass::BigCpu),
+            cell(PuClass::MediumCpu),
+            cell(PuClass::LittleCpu),
+            cell(PuClass::Gpu),
+        );
+        println!(
+            "{name:>14} {b:>9.0}µ {m:>9.0}µ {l:>9.0}µ {g:>9.0}µ"
+        );
+        rows.push(Fig1Row {
+            stage: name.clone(),
+            big_us: b,
+            medium_us: m,
+            little_us: l,
+            gpu_us: g,
+        });
+    }
+
+    let sort = &rows[0];
+    let rtree = &rows[1];
+    let build = &rows[2];
+    let gpu_worst_at_sort = sort.gpu_us > sort.big_us && sort.gpu_us > sort.medium_us;
+    let gpu_fastest_at_radix_tree =
+        rtree.gpu_us < rtree.big_us && rtree.gpu_us < rtree.medium_us && rtree.gpu_us < rtree.little_us;
+    let ratio = build.gpu_us / build.big_us;
+    let octree_build_comparable = (0.33..=3.0).contains(&ratio);
+
+    println!("\nPaper's qualitative claims:");
+    println!("  GPU worst at sort:             {gpu_worst_at_sort} (paper: true)");
+    println!("  GPU fastest at radix tree:     {gpu_fastest_at_radix_tree} (paper: true)");
+    println!(
+        "  octree build comparable to big: {octree_build_comparable} (gpu/big = {ratio:.2}, paper: ≈1)"
+    );
+
+    bt_bench::write_result(
+        "fig1_stage_heterogeneity",
+        &Fig1 {
+            device: soc.name().to_string(),
+            rows,
+            gpu_worst_at_sort,
+            gpu_fastest_at_radix_tree,
+            octree_build_comparable,
+        },
+    );
+}

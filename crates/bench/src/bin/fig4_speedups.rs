@@ -1,0 +1,115 @@
+//! **Figure 4**: speedup of BetterTogether over the best homogeneous
+//! baseline for every (application, device) pair, with per-device and
+//! overall geometric means.
+//!
+//! Shape targets from the paper: the phones see the largest gains (Pixel
+//! geomean 5.10×, OnePlus 3.55×) with the maximum on Octree/Pixel (8.40×);
+//! the Jetson configurations see the smallest (1.09× / 1.15×) because the
+//! homogeneous CPU complex offers only two PU classes.
+
+use bt_core::{metrics, BetterTogether};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct SpeedupCell {
+    device: String,
+    app: String,
+    best_schedule: String,
+    bt_ms: f64,
+    baseline_cpu_ms: f64,
+    baseline_gpu_ms: f64,
+    speedup_vs_best: f64,
+    speedup_vs_cpu: f64,
+    speedup_vs_gpu: f64,
+}
+
+#[derive(Serialize)]
+struct Fig4 {
+    cells: Vec<SpeedupCell>,
+    per_device_geomean: Vec<(String, f64)>,
+    overall_geomean: f64,
+    overall_geomean_vs_cpu: f64,
+    max_speedup: f64,
+    max_speedup_at: String,
+}
+
+fn main() {
+    let apps = bt_bench::paper_apps();
+    let labels = bt_bench::paper_app_labels();
+
+    println!("Figure 4 — BetterTogether speedup over the best homogeneous baseline\n");
+    println!(
+        "{:>22} {:>9} {:>12} {:>9} {:>9} {:>8}  schedule",
+        "device", "app", "baseline(ms)", "BT(ms)", "speedup", "vs-cpu"
+    );
+
+    let mut cells = Vec::new();
+    let mut per_device_geomean = Vec::new();
+    for soc in bt_bench::paper_devices() {
+        let mut device_speedups = Vec::new();
+        for (ai, app) in apps.iter().enumerate() {
+            let d = BetterTogether::new(soc.clone(), app.clone())
+                .run()
+                .expect("framework runs");
+            let cell = SpeedupCell {
+                device: soc.name().to_string(),
+                app: labels[ai].to_string(),
+                best_schedule: d.best_schedule().to_string(),
+                bt_ms: d.best_latency().as_millis(),
+                baseline_cpu_ms: d.baselines.cpu.as_millis(),
+                baseline_gpu_ms: d.baselines.gpu.as_millis(),
+                speedup_vs_best: d.speedup_over_best_baseline(),
+                speedup_vs_cpu: d.speedup_over_cpu(),
+                speedup_vs_gpu: d.speedup_over_gpu(),
+            };
+            println!(
+                "{:>22} {:>9} {:>12.2} {:>9.2} {:>8.2}x {:>7.2}x  {}",
+                cell.device,
+                cell.app,
+                cell.baseline_cpu_ms.min(cell.baseline_gpu_ms),
+                cell.bt_ms,
+                cell.speedup_vs_best,
+                cell.speedup_vs_cpu,
+                cell.best_schedule
+            );
+            device_speedups.push(cell.speedup_vs_best);
+            cells.push(cell);
+        }
+        let g = metrics::geomean(&device_speedups).expect("positive speedups");
+        per_device_geomean.push((soc.name().to_string(), g));
+    }
+
+    let all: Vec<f64> = cells.iter().map(|c| c.speedup_vs_best).collect();
+    let vs_cpu: Vec<f64> = cells.iter().map(|c| c.speedup_vs_cpu).collect();
+    let overall = metrics::geomean(&all).expect("positive");
+    let overall_cpu = metrics::geomean(&vs_cpu).expect("positive");
+    let (max_i, max) = all
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+        .expect("non-empty");
+
+    println!("\nPer-device geomeans (paper: Pixel 5.10, OnePlus 3.55, Jetson 1.09, LP 1.15):");
+    for (name, g) in &per_device_geomean {
+        println!("  {name:>22}: {g:.2}x");
+    }
+    println!(
+        "\nOverall geomean: {overall:.2}x (paper: 2.17–2.72x)   vs CPU-only: {overall_cpu:.2}x (paper: 11.23x)"
+    );
+    println!(
+        "Max speedup: {max:.2}x on {}/{} (paper: 8.40x on Octree/Pixel)",
+        cells[max_i].device, cells[max_i].app
+    );
+
+    bt_bench::write_result(
+        "fig4_speedups",
+        &Fig4 {
+            max_speedup: *max,
+            max_speedup_at: format!("{}/{}", cells[max_i].device, cells[max_i].app),
+            cells,
+            per_device_geomean,
+            overall_geomean: overall,
+            overall_geomean_vs_cpu: overall_cpu,
+        },
+    );
+}

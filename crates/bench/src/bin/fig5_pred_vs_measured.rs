@@ -1,0 +1,85 @@
+//! **Figure 5**: predicted vs. measured execution times for the top-20
+//! schedules of AlexNet-sparse on the Google Pixel 7a, under three
+//! performance-modeling approaches:
+//!
+//! (a) BetterTogether — interference-aware table + utilization filter;
+//! (b) latency-only — interference-aware table, no filter;
+//! (c) isolated table + latency-only — the prior-work approach.
+//!
+//! The paper's result: (a) tracks the measured times closely; (b) and
+//! especially (c) show growing discrepancies.
+
+use bt_core::metrics::pearson;
+use bt_kernels::apps;
+use bt_profiler::ProfileMode;
+use bt_soc::devices;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Fig5Panel {
+    label: String,
+    mode: String,
+    utilization_filter: bool,
+    pairs: Vec<bt_bench::PredMeasured>,
+    correlation: f64,
+    mean_abs_rel_error: f64,
+}
+
+fn panel(
+    label: &str,
+    soc: &bt_soc::SocSpec,
+    app: &bt_kernels::AppModel,
+    mode: ProfileMode,
+    filter: bool,
+) -> Fig5Panel {
+    let pairs = bt_bench::predicted_vs_measured(soc, app, mode, filter, 20);
+    let predicted: Vec<f64> = pairs.iter().map(|p| p.predicted_us).collect();
+    let measured: Vec<f64> = pairs.iter().map(|p| p.measured_us).collect();
+    let correlation = pearson(&predicted, &measured).unwrap_or(0.0);
+    let mean_abs_rel_error = pairs
+        .iter()
+        .map(|p| ((p.predicted_us - p.measured_us) / p.measured_us).abs())
+        .sum::<f64>()
+        / pairs.len() as f64;
+
+    println!("--- ({label}) mode={} filter={filter} ---", mode.label());
+    println!("{:>11} {:>12} {:>12} {:>8}", "schedule", "predicted", "measured", "err");
+    for p in &pairs {
+        println!(
+            "{:>11} {:>10.2}ms {:>10.2}ms {:>7.1}%",
+            p.schedule,
+            p.predicted_us / 1e3,
+            p.measured_us / 1e3,
+            100.0 * (p.predicted_us - p.measured_us) / p.measured_us
+        );
+    }
+    println!("correlation = {correlation:.4}, mean |rel err| = {:.1}%\n", 100.0 * mean_abs_rel_error);
+    Fig5Panel {
+        label: label.into(),
+        mode: mode.label().into(),
+        utilization_filter: filter,
+        pairs,
+        correlation,
+        mean_abs_rel_error,
+    }
+}
+
+fn main() {
+    let soc = devices::pixel_7a();
+    let app = apps::alexnet_sparse_app(apps::AlexNetConfig::default()).model();
+    println!(
+        "Figure 5 — predicted vs measured, AlexNet-sparse on {} (top 20 schedules)\n",
+        soc.name()
+    );
+
+    let a = panel("a: BetterTogether", &soc, &app, ProfileMode::InterferenceHeavy, true);
+    let b = panel("b: latency-only", &soc, &app, ProfileMode::InterferenceHeavy, false);
+    let c = panel("c: isolated+latency-only", &soc, &app, ProfileMode::Isolated, false);
+
+    println!("Summary (paper: (a) closest, then (b), then (c)):");
+    println!("  (a) r = {:.3}, err = {:.1}%", a.correlation, 100.0 * a.mean_abs_rel_error);
+    println!("  (b) r = {:.3}, err = {:.1}%", b.correlation, 100.0 * b.mean_abs_rel_error);
+    println!("  (c) r = {:.3}, err = {:.1}%", c.correlation, 100.0 * c.mean_abs_rel_error);
+
+    bt_bench::write_result("fig5_pred_vs_measured", &vec![a, b, c]);
+}

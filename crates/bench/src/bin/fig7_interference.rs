@@ -1,0 +1,95 @@
+//! **Figure 7**: average ratio of interference-heavy to isolated execution
+//! time for every PU on every device, averaged across the three
+//! applications.
+//!
+//! Paper's measurements this model is calibrated against: Pixel — little
+//! 1.39×, medium 1.20×, big 1.40×, GPU 0.86×; OnePlus — big 1.38×, medium
+//! 1.00×, little 0.63× (firmware boost!), GPU 0.64×; Jetson — CPU 1.43×,
+//! GPU 1.19×; Jetson LP — CPU 1.29×, GPU 1.74×. This experiment validates
+//! that the *end-to-end* profiler recovers those ratios from the model
+//! (DVFS multipliers compose with dynamic DRAM contention, so agreement is
+//! not automatic).
+
+use bt_profiler::{profile, ProfileMode, ProfilerConfig};
+use bt_soc::PuClass;
+use serde::Serialize;
+
+/// Paper's Fig. 7 ratios: (device index, class) → ratio.
+fn paper_ratio(device: usize, class: PuClass) -> Option<f64> {
+    use PuClass::*;
+    let table: [&[(PuClass, f64)]; 4] = [
+        &[(BigCpu, 1.40), (MediumCpu, 1.20), (LittleCpu, 1.39), (Gpu, 0.86)],
+        &[(BigCpu, 1.38), (MediumCpu, 1.00), (LittleCpu, 0.63), (Gpu, 0.64)],
+        &[(BigCpu, 1.43), (Gpu, 1.19)],
+        &[(BigCpu, 1.29), (Gpu, 1.74)],
+    ];
+    table[device].iter().find(|(c, _)| *c == class).map(|&(_, r)| r)
+}
+
+#[derive(Serialize)]
+struct Fig7Cell {
+    device: String,
+    class: String,
+    ratio: f64,
+    paper_ratio: f64,
+    direction_matches: bool,
+}
+
+fn main() {
+    let cfg = ProfilerConfig {
+        noise_sigma: 0.0,
+        ..ProfilerConfig::default()
+    };
+    let apps = bt_bench::paper_apps();
+
+    println!("Figure 7 — interference-heavy / isolated latency ratios (avg over 3 apps)\n");
+    println!("{:>22} {:>8} {:>9} {:>9} {:>10}", "device", "PU", "ours", "paper", "direction");
+
+    let mut cells = Vec::new();
+    let mut directions_ok = 0;
+    let mut total = 0;
+    for (di, soc) in bt_bench::paper_devices().iter().enumerate() {
+        for (ci, &class) in soc.classes().iter().enumerate() {
+            // Average over apps and stages, via the profiler's ratio API.
+            let mut ratios = Vec::new();
+            for app in &apps {
+                let iso = profile(soc, app, ProfileMode::Isolated, &cfg);
+                let heavy = profile(soc, app, ProfileMode::InterferenceHeavy, &cfg);
+                let matrix = heavy.ratio_over(&iso).expect("same table shape");
+                ratios.extend(matrix.iter().map(|row| row[ci]));
+            }
+            let ratio = ratios.iter().sum::<f64>() / ratios.len() as f64;
+            let paper = paper_ratio(di, class).expect("class present in Fig 7");
+            // Direction: slowdown (>1.05), speedup (<0.95), or neutral.
+            let dir = |r: f64| {
+                if r > 1.05 {
+                    ">1"
+                } else if r < 0.95 {
+                    "<1"
+                } else {
+                    "~1"
+                }
+            };
+            let matches = dir(ratio) == dir(paper);
+            directions_ok += usize::from(matches);
+            total += 1;
+            println!(
+                "{:>22} {:>8} {:>9.3} {:>9.2} {:>10}",
+                soc.name(),
+                class.label(),
+                ratio,
+                paper,
+                if matches { "match" } else { "MISMATCH" }
+            );
+            cells.push(Fig7Cell {
+                device: soc.name().to_string(),
+                class: class.label().to_string(),
+                ratio,
+                paper_ratio: paper,
+                direction_matches: matches,
+            });
+        }
+    }
+    println!("\nDirection agreement: {directions_ok}/{total} PU entries");
+    bt_bench::write_result("fig7_interference", &cells);
+}

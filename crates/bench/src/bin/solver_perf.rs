@@ -1,0 +1,111 @@
+//! **§3.3 solver claims**: each solver invocation completes in < 50 ms for
+//! the paper's case study (N = 9 stages, M = 4 PU classes), and top-ranked
+//! schedules cluster into performance tiers.
+//!
+//! This binary times both optimizer engines (exact enumeration and the
+//! DPLL/SAT encoding) on the real Pixel/AlexNet problem, sweeps the SAT
+//! engine across stage counts, and reports the tier structure of the
+//! candidate predictions.
+
+use std::time::Instant;
+
+use bt_core::{build_problem, optimize, OptimizerConfig, SolverEngine};
+use bt_kernels::apps;
+use bt_profiler::{profile, ProfileMode, ProfilerConfig};
+use bt_soc::devices;
+use bt_solver::ScheduleProblem;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct SolverPerf {
+    exact_ms: f64,
+    sat_single_solve_ms: f64,
+    sat_20_candidates_ms: f64,
+    meets_paper_50ms_claim: bool,
+    scaling: Vec<(usize, f64)>,
+    tiers: Vec<(f64, usize)>,
+}
+
+fn main() {
+    let soc = devices::pixel_7a();
+    let app = apps::alexnet_dense_app(apps::AlexNetConfig::default()).model();
+    let table = profile(&soc, &app, ProfileMode::InterferenceHeavy, &ProfilerConfig::default());
+    println!("§3.3 — solver performance on the paper's case study (N=9, M=4)\n");
+
+    // Exact engine: full candidate generation.
+    let t0 = Instant::now();
+    let exact = optimize(&soc, &table, &OptimizerConfig::default()).expect("candidates");
+    let exact_ms = t0.elapsed().as_secs_f64() * 1e3;
+    println!("exact enumeration, 20 candidates: {exact_ms:.2} ms");
+
+    // SAT engine: single optimal solve, then the full candidate loop.
+    let problem = build_problem(&soc, &table).expect("valid problem");
+    let t0 = Instant::now();
+    let _ = problem.min_latency(&[]).expect("feasible");
+    let sat_single = t0.elapsed().as_secs_f64() * 1e3;
+    println!("SAT single min-latency solve:    {sat_single:.2} ms (paper: <50 ms per invocation)");
+
+    let t0 = Instant::now();
+    let _sat = optimize(
+        &soc,
+        &table,
+        &OptimizerConfig {
+            engine: SolverEngine::Sat,
+            ..OptimizerConfig::default()
+        },
+    )
+    .expect("candidates");
+    let sat_20 = t0.elapsed().as_secs_f64() * 1e3;
+    println!("SAT 20-candidate generation:     {sat_20:.2} ms");
+
+    // Scaling sweep in N (synthetic tables, M = 4).
+    println!("\nSAT min-latency scaling (synthetic, M=4):");
+    let mut scaling = Vec::new();
+    for n in [4usize, 6, 8, 9, 10, 12, 14] {
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                (0..4)
+                    .map(|c| 100.0 + 137.0 * ((i * 7 + c * 13) % 23) as f64)
+                    .collect()
+            })
+            .collect();
+        let p = ScheduleProblem::new(rows).expect("valid");
+        let t0 = Instant::now();
+        let _ = p.min_latency(&[]).expect("feasible");
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        println!("  N = {n:>2}: {ms:>8.2} ms");
+        scaling.push((n, ms));
+    }
+
+    // Tier structure of the real candidates (±6% clustering, §3.3).
+    let mut tiers: Vec<(f64, usize)> = Vec::new();
+    for c in &exact {
+        let p = c.predicted.as_f64();
+        match tiers.last_mut() {
+            Some((anchor, count)) if (p - *anchor).abs() / *anchor <= 0.06 => *count += 1,
+            _ => tiers.push((p, 1)),
+        }
+    }
+    println!("\nPerformance tiers among the top-20 predictions (anchor µs × members):");
+    for (anchor, members) in &tiers {
+        println!("  {:>10.1} µs × {members}", anchor);
+    }
+
+    let meets = sat_single < 50.0;
+    println!(
+        "\nPaper's <50 ms-per-invocation claim: {}",
+        if meets { "met" } else { "NOT met" }
+    );
+
+    bt_bench::write_result(
+        "solver_perf",
+        &SolverPerf {
+            exact_ms,
+            sat_single_solve_ms: sat_single,
+            sat_20_candidates_ms: sat_20,
+            meets_paper_50ms_claim: meets,
+            scaling,
+            tiers,
+        },
+    );
+}

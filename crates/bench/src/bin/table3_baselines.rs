@@ -1,0 +1,80 @@
+//! **Table 3**: raw homogeneous baseline performance (ms) for each device
+//! on CPU (big cores) and GPU, with the faster entry marked.
+//!
+//! Shape targets: the GPU wins AlexNet-dense everywhere by a wide margin;
+//! sparse is close on the Pixel and GPU-favoured elsewhere; the CPU wins
+//! octree on both phones while the (CUDA) GPU wins it on both Jetson
+//! configurations.
+
+use bt_core::measure_baselines;
+use bt_soc::des::DesConfig;
+use serde::Serialize;
+
+/// Paper's Table 3 (CPU | GPU, milliseconds), for side-by-side comparison.
+const PAPER: [[(f64, f64); 3]; 4] = [
+    [(155.63, 1.89), (8.51, 8.35), (8.40, 34.73)], // Pixel
+    [(113.88, 1.89), (7.52, 3.95), (5.99, 22.26)], // OnePlus
+    [(19.90, 1.04), (4.81, 1.14), (3.29, 1.08)],   // Jetson
+    [(11.36, 1.08), (4.58, 1.78), (4.26, 0.74)],   // Jetson LP
+];
+
+#[derive(Serialize)]
+struct Cell {
+    device: String,
+    app: String,
+    cpu_ms: f64,
+    gpu_ms: f64,
+    winner: String,
+    paper_cpu_ms: f64,
+    paper_gpu_ms: f64,
+    winner_matches_paper: bool,
+}
+
+fn main() {
+    let des = DesConfig::default();
+    let apps = bt_bench::paper_apps();
+    let labels = bt_bench::paper_app_labels();
+
+    println!("Table 3 — homogeneous baselines (ms), measured | paper\n");
+    println!(
+        "{:>22} {:>26} {:>26} {:>26}",
+        "device", "AlexNet-dense", "AlexNet-sparse", "Octree"
+    );
+
+    let mut cells = Vec::new();
+    let mut winners_match = 0;
+    for (di, soc) in bt_bench::paper_devices().iter().enumerate() {
+        let mut line = format!("{:>22}", soc.name());
+        for (ai, app) in apps.iter().enumerate() {
+            let pair = measure_baselines(soc, app, &des).expect("baselines simulate");
+            let (cpu, gpu) = (pair.cpu.as_millis(), pair.gpu.as_millis());
+            let (p_cpu, p_gpu) = PAPER[di][ai];
+            let winner = if cpu <= gpu { "cpu" } else { "gpu" };
+            let paper_winner = if p_cpu <= p_gpu { "cpu" } else { "gpu" };
+            let matches = winner == paper_winner;
+            winners_match += usize::from(matches);
+            line.push_str(&format!(
+                " {:>11} vs {:>11}",
+                format!("{cpu:.2}|{gpu:.2}"),
+                format!("{p_cpu:.2}|{p_gpu:.2}")
+            ));
+            cells.push(Cell {
+                device: soc.name().to_string(),
+                app: labels[ai].to_string(),
+                cpu_ms: cpu,
+                gpu_ms: gpu,
+                winner: winner.to_string(),
+                paper_cpu_ms: p_cpu,
+                paper_gpu_ms: p_gpu,
+                winner_matches_paper: matches,
+            });
+        }
+        println!("{line}");
+    }
+    println!(
+        "\nWinner agreement with the paper: {winners_match}/12 cells \
+         (the paper's LP-mode CPU entries are internally inconsistent; see EXPERIMENTS.md)"
+    );
+
+    bt_bench::write_result("table3_baselines", &cells);
+}

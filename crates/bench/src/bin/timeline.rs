@@ -1,0 +1,52 @@
+//! Visualize pipelined execution: an ASCII Gantt chart of the Pixel 7a's
+//! octree pipeline (best BetterTogether schedule) next to the serialized
+//! homogeneous baseline — the overlap BT-Implementer's multi-buffering
+//! creates (§3.4), made visible.
+
+use bt_core::BetterTogether;
+use bt_kernels::apps;
+use bt_pipeline::{simulate_schedule, Schedule, to_chunk_specs};
+use bt_soc::des::DesConfig;
+use bt_soc::{devices, PuClass};
+
+fn gantt(
+    soc: &bt_soc::SocSpec,
+    app: &bt_kernels::AppModel,
+    schedule: &Schedule,
+    title: &str,
+) {
+    let cfg = DesConfig {
+        tasks: 6,
+        warmup: 0,
+        noise_sigma: 0.0,
+        record_timeline: true,
+        ..DesConfig::default()
+    };
+    let report = simulate_schedule(soc, app, schedule, &cfg).expect("simulates");
+    let labels: Vec<String> = to_chunk_specs(app, schedule)
+        .iter()
+        .map(|c| format!("{} ({} stages)", c.pu, c.stages.len()))
+        .collect();
+    println!("{title}  —  {:.2} ms/task steady-state", report.time_per_task.as_millis());
+    println!("{}", bt_bench::render_gantt(&report.timeline, &labels, 100));
+}
+
+fn main() {
+    let soc = devices::pixel_7a();
+    let app = apps::octree_app(apps::OctreeConfig::default()).model();
+
+    let d = BetterTogether::new(soc.clone(), app.clone())
+        .run()
+        .expect("framework runs");
+    println!(
+        "Six tasks (digits 0-5) flowing through the octree pipeline on {}\n",
+        soc.name()
+    );
+    gantt(&soc, &app, d.best_schedule(), &format!("BetterTogether {}", d.best_schedule()));
+    gantt(
+        &soc,
+        &app,
+        &Schedule::homogeneous(app.stage_count(), PuClass::BigCpu),
+        "CPU-only baseline",
+    );
+}

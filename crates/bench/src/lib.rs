@@ -1,0 +1,181 @@
+//! # bt-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper's evaluation (§5), each
+//! regenerating the corresponding result from the reproduction's substrate
+//! and writing a JSON artefact under `results/`:
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `fig1_stage_heterogeneity` | Fig. 1 — stage × PU latencies on the Pixel |
+//! | `motivation_isolated_error` | §1 — isolated-model misprediction |
+//! | `table3_baselines` | Table 3 — homogeneous baselines per device/app |
+//! | `fig4_speedups` | Fig. 4 — BetterTogether speedups + geomeans |
+//! | `fig5_pred_vs_measured` | Fig. 5 — predicted vs. measured scatter, 3 models |
+//! | `fig6_correlation` | Fig. 6 — correlation heatmaps |
+//! | `table4_autotune` | Table 4 — top-10 measured/predicted, autotuning gain |
+//! | `fig7_interference` | Fig. 7 — interference-to-isolated ratios per PU |
+//! | `solver_perf` | §3.3 — solver runtime and schedule tiers |
+//! | `energy_efficiency` | extension — energy/EDP vs baselines |
+//! | `ablation_sweeps` | extension — θ / 𝒦 / interference / buffering ablations |
+//! | `dynamic_vs_static` | extension — vs a StarPU-style dynamic runtime |
+//! | `timeline` | extension — ASCII Gantt of pipelined execution |
+//! | `input_scaling` | extension — schedule sensitivity to input scale |
+//! | `calibrate` | (tool) full calibration dump |
+//!
+//! Criterion benches (`cargo bench`) additionally cover kernel throughput,
+//! the SPSC queue hot path, solver scaling, and simulator throughput.
+
+use std::fs;
+use std::path::PathBuf;
+
+use bt_kernels::{apps, AppModel};
+use bt_soc::{devices, SocSpec};
+use serde::Serialize;
+
+/// The paper's three workloads at paper-scale configuration, in evaluation
+/// order: AlexNet-dense, AlexNet-sparse, Octree.
+pub fn paper_apps() -> Vec<AppModel> {
+    vec![
+        apps::alexnet_dense_app(apps::AlexNetConfig::default()).model(),
+        apps::alexnet_sparse_app(apps::AlexNetConfig::default()).model(),
+        apps::octree_app(apps::OctreeConfig::default()).model(),
+    ]
+}
+
+/// Short labels matching the paper's figure axes (CIFAR-D, CIFAR-S, Tree).
+pub fn paper_app_labels() -> [&'static str; 3] {
+    ["CIFAR-D", "CIFAR-S", "Tree"]
+}
+
+/// The paper's four evaluation platforms, in Table 2 order.
+pub fn paper_devices() -> Vec<SocSpec> {
+    devices::all()
+}
+
+/// Writes an experiment artefact as pretty JSON under `results/`.
+///
+/// # Panics
+///
+/// Panics if the artefact cannot be serialized or written (experiment
+/// binaries treat that as fatal).
+pub fn write_result<T: Serialize>(name: &str, value: &T) {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("results");
+    fs::create_dir_all(&dir).expect("create results directory");
+    let path = dir.join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value).expect("serialize artefact");
+    fs::write(&path, json).expect("write artefact");
+    println!("\n[artefact written to results/{name}.json]");
+}
+
+/// Renders one row of an aligned text table.
+pub fn row(cells: &[String], widths: &[usize]) -> String {
+    cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}", w = w))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_sets_have_expected_sizes() {
+        assert_eq!(paper_apps().len(), 3);
+        assert_eq!(paper_devices().len(), 4);
+        assert_eq!(paper_apps()[0].stage_count(), 9);
+        assert_eq!(paper_apps()[2].stage_count(), 7);
+    }
+
+    #[test]
+    fn row_alignment() {
+        let r = row(&["a".into(), "bb".into()], &[3, 4]);
+        assert_eq!(r, "  a   bb");
+    }
+
+    #[test]
+    fn gantt_renders_rows_and_scale() {
+        use bt_soc::des::TimelineEvent;
+        let events = vec![
+            TimelineEvent { chunk: 0, stage: 0, task: 0, start: 0.0, end: 500.0 },
+            TimelineEvent { chunk: 1, stage: 0, task: 0, start: 500.0, end: 1000.0 },
+            TimelineEvent { chunk: 0, stage: 0, task: 1, start: 500.0, end: 1000.0 },
+        ];
+        let labels = vec!["cpu".to_string(), "gpu".to_string()];
+        let chart = render_gantt(&events, &labels, 20);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines.len(), 3, "two rows + axis");
+        assert!(lines[0].contains('0') && lines[0].contains('1'));
+        assert!(lines[1].starts_with("gpu |"));
+        assert!(lines[1].contains('·'), "gpu row has idle time");
+        assert!(lines[2].contains("1.0 ms"));
+    }
+
+    #[test]
+    fn gantt_empty_timeline() {
+        let spans: [GanttSpan; 0] = [];
+        assert_eq!(render_gantt(&spans, &["x".into()], 20), "(empty timeline)\n");
+    }
+}
+
+/// One (predicted, measured) pair for a candidate schedule.
+#[derive(Debug, Clone, Serialize)]
+pub struct PredMeasured {
+    /// The schedule in compact letter form.
+    pub schedule: String,
+    /// Model-predicted latency in µs (`T_max` under the chosen table).
+    pub predicted_us: f64,
+    /// Simulator-measured steady-state latency in µs.
+    pub measured_us: f64,
+}
+
+/// Produces the top-`k` candidates of one performance-modeling approach and
+/// measures each in the simulator — the data behind Figs. 5 and 6.
+///
+/// `mode` selects the profiling table (interference-aware vs. isolated);
+/// `utilization_filter` enables BT's level-1 filter. The three approaches
+/// of Fig. 5 are `(InterferenceHeavy, true)`, `(InterferenceHeavy, false)`,
+/// and `(Isolated, false)`.
+pub fn predicted_vs_measured(
+    soc: &SocSpec,
+    app: &AppModel,
+    mode: bt_profiler::ProfileMode,
+    utilization_filter: bool,
+    k: usize,
+) -> Vec<PredMeasured> {
+    use bt_core::OptimizerConfig;
+    use bt_pipeline::simulate_schedule;
+    use bt_profiler::{profile, ProfilerConfig};
+    use bt_soc::des::DesConfig;
+
+    let table = profile(soc, app, mode, &ProfilerConfig::default());
+    let cfg = OptimizerConfig {
+        candidates: k,
+        ..OptimizerConfig::with_threshold(if utilization_filter { 0.45 } else { 0.0 })
+    };
+    let candidates = bt_core::optimize(soc, &table, &cfg).expect("candidates exist");
+    candidates
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            let des = DesConfig {
+                seed: i as u64,
+                ..DesConfig::default()
+            };
+            let measured = simulate_schedule(soc, app, &c.schedule, &des)
+                .expect("candidate simulates")
+                .time_per_task;
+            PredMeasured {
+                schedule: c.schedule.to_string(),
+                predicted_us: c.predicted.as_f64(),
+                measured_us: measured.as_f64(),
+            }
+        })
+        .collect()
+}
+
+pub use bt_soc::gantt::{render_gantt, GanttSpan};

@@ -1,0 +1,97 @@
+//! The paper's homogeneous baselines (§5.1): the whole application on the
+//! big CPU cluster (DOALL parallelism) or entirely offloaded to the GPU,
+//! with per-stage synchronization — the accelerator-oriented pattern.
+
+use bt_kernels::AppModel;
+use bt_pipeline::simulate_baseline;
+use bt_soc::des::DesConfig;
+use bt_soc::{Micros, PuClass, SocError, SocSpec};
+
+/// Measured latencies of both homogeneous baselines for one
+/// (device, application) pair — one row of the paper's Table 3.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct BaselinePair {
+    /// CPU-only (big cores), per-task latency.
+    pub cpu: Micros,
+    /// GPU-only, per-task latency.
+    pub gpu: Micros,
+}
+
+impl BaselinePair {
+    /// The faster of the two — the reference the paper's speedups use.
+    pub fn best(&self) -> Micros {
+        self.cpu.min(self.gpu)
+    }
+
+    /// Which PU wins.
+    pub fn winner(&self) -> PuClass {
+        if self.cpu <= self.gpu {
+            PuClass::BigCpu
+        } else {
+            PuClass::Gpu
+        }
+    }
+}
+
+/// Runs both homogeneous baselines in the simulator.
+///
+/// The CPU baseline uses only the big cores, as in the paper ("they
+/// consistently deliver the best performance; mixing big and little cores
+/// led to degraded performance due to load imbalance").
+///
+/// # Errors
+///
+/// Propagates [`SocError`] (e.g. a device without a GPU).
+pub fn measure_baselines(
+    soc: &SocSpec,
+    app: &AppModel,
+    cfg: &DesConfig,
+) -> Result<BaselinePair, SocError> {
+    let cpu = simulate_baseline(soc, app, PuClass::BigCpu, cfg)?.time_per_task;
+    let gpu = simulate_baseline(soc, app, PuClass::Gpu, cfg)?.time_per_task;
+    Ok(BaselinePair { cpu, gpu })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bt_kernels::apps;
+    use bt_soc::devices;
+
+    fn des() -> DesConfig {
+        DesConfig {
+            noise_sigma: 0.0,
+            ..DesConfig::default()
+        }
+    }
+
+    #[test]
+    fn gpu_wins_dense_cpu_wins_octree_on_pixel() {
+        let soc = devices::pixel_7a();
+        let dense = apps::alexnet_dense_app(apps::AlexNetConfig::default()).model();
+        let octree = apps::octree_app(apps::OctreeConfig::default()).model();
+        let d = measure_baselines(&soc, &dense, &des()).unwrap();
+        let o = measure_baselines(&soc, &octree, &des()).unwrap();
+        assert_eq!(d.winner(), PuClass::Gpu, "Table 3: GPU wins dense");
+        assert_eq!(o.winner(), PuClass::BigCpu, "Table 3: CPU wins octree on phones");
+        assert_eq!(d.best(), d.gpu);
+        assert_eq!(o.best(), o.cpu);
+    }
+
+    #[test]
+    fn gpu_wins_octree_on_jetson() {
+        let soc = devices::jetson_orin_nano();
+        let octree = apps::octree_app(apps::OctreeConfig::default()).model();
+        let o = measure_baselines(&soc, &octree, &des()).unwrap();
+        assert_eq!(o.winner(), PuClass::Gpu, "Table 3: Ampere wins octree");
+    }
+
+    #[test]
+    fn baselines_are_deterministic_without_noise() {
+        let soc = devices::oneplus_11();
+        let app = apps::alexnet_sparse_app(apps::AlexNetConfig::default()).model();
+        let a = measure_baselines(&soc, &app, &des()).unwrap();
+        let b = measure_baselines(&soc, &app, &des()).unwrap();
+        assert_eq!(a, b);
+    }
+}

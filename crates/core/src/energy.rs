@@ -1,0 +1,88 @@
+//! Energy evaluation of schedules — the edge-computing motivation of §1
+//! quantified: compare a BetterTogether pipeline against the homogeneous
+//! baselines on energy per task and energy-delay product.
+
+use bt_kernels::AppModel;
+use bt_pipeline::{simulate_baseline, simulate_schedule, Schedule};
+use bt_soc::des::DesConfig;
+use bt_soc::power::{energy_of_run, EnergyReport, PowerModel};
+use bt_soc::{PuClass, SocSpec};
+
+use crate::BtError;
+
+/// Simulates `schedule` and returns its energy accounting under `model`.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn measure_energy(
+    soc: &SocSpec,
+    app: &AppModel,
+    schedule: &Schedule,
+    model: &PowerModel,
+    des: &DesConfig,
+) -> Result<EnergyReport, BtError> {
+    let report = simulate_schedule(soc, app, schedule, des)?;
+    let classes: Vec<PuClass> = schedule.chunks().iter().map(|c| c.pu).collect();
+    Ok(energy_of_run(soc, model, &report, &classes))
+}
+
+/// Simulates the homogeneous baseline on `class` and returns its energy.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn measure_baseline_energy(
+    soc: &SocSpec,
+    app: &AppModel,
+    class: PuClass,
+    model: &PowerModel,
+    des: &DesConfig,
+) -> Result<EnergyReport, BtError> {
+    let report = simulate_baseline(soc, app, class, des)?;
+    Ok(energy_of_run(soc, model, &report, &[class]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BetterTogether;
+    use bt_kernels::apps;
+    use bt_soc::devices;
+
+    #[test]
+    fn pipeline_beats_cpu_baseline_on_edp() {
+        // Pipelining keeps more silicon busy (higher power) but finishes
+        // tasks much faster; on energy-delay product it must win against
+        // the CPU baseline for the octree workload on the Pixel.
+        let soc = devices::pixel_7a();
+        let app = apps::octree_app(apps::OctreeConfig::default()).model();
+        let d = BetterTogether::new(soc.clone(), app.clone()).run().expect("runs");
+        let model = PowerModel::default_for(&soc);
+        let des = DesConfig::default();
+        let bt = measure_energy(&soc, &app, d.best_schedule(), &model, &des).expect("energy");
+        let cpu =
+            measure_baseline_energy(&soc, &app, PuClass::BigCpu, &model, &des).expect("energy");
+        assert!(
+            bt.edp_mj_ms < cpu.edp_mj_ms,
+            "pipeline EDP {:.2} should beat CPU baseline {:.2}",
+            bt.edp_mj_ms,
+            cpu.edp_mj_ms
+        );
+    }
+
+    #[test]
+    fn gpu_baseline_energy_reflects_runtime() {
+        // On the Pixel the GPU octree baseline runs ~4x longer than the
+        // CPU baseline, so its energy per task must be higher even though
+        // the busy cluster differs.
+        let soc = devices::pixel_7a();
+        let app = apps::octree_app(apps::OctreeConfig::default()).model();
+        let model = PowerModel::default_for(&soc);
+        let des = DesConfig::default();
+        let gpu = measure_baseline_energy(&soc, &app, PuClass::Gpu, &model, &des).expect("energy");
+        let cpu =
+            measure_baseline_energy(&soc, &app, PuClass::BigCpu, &model, &des).expect("energy");
+        assert!(gpu.per_task_mj > cpu.per_task_mj);
+    }
+}

@@ -1,0 +1,75 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the BetterTogether framework.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum BtError {
+    /// The schedule optimizer could not be constructed.
+    Problem(bt_solver::ProblemError),
+    /// The simulator rejected a configuration.
+    Soc(bt_soc::SocError),
+    /// The host pipeline rejected a configuration.
+    Pipeline(bt_pipeline::PipelineError),
+    /// No schedule survived optimization / filtering.
+    NoCandidates,
+}
+
+impl fmt::Display for BtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BtError::Problem(e) => write!(f, "schedule problem: {e}"),
+            BtError::Soc(e) => write!(f, "device model: {e}"),
+            BtError::Pipeline(e) => write!(f, "pipeline: {e}"),
+            BtError::NoCandidates => f.write_str("no candidate schedule satisfies the constraints"),
+        }
+    }
+}
+
+impl Error for BtError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            BtError::Problem(e) => Some(e),
+            BtError::Soc(e) => Some(e),
+            BtError::Pipeline(e) => Some(e),
+            BtError::NoCandidates => None,
+        }
+    }
+}
+
+impl From<bt_solver::ProblemError> for BtError {
+    fn from(e: bt_solver::ProblemError) -> BtError {
+        BtError::Problem(e)
+    }
+}
+
+impl From<bt_soc::SocError> for BtError {
+    fn from(e: bt_soc::SocError) -> BtError {
+        BtError::Soc(e)
+    }
+}
+
+impl From<bt_pipeline::PipelineError> for BtError {
+    fn from(e: bt_pipeline::PipelineError) -> BtError {
+        BtError::Pipeline(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = BtError::from(bt_soc::SocError::EmptyDevice);
+        assert!(e.to_string().contains("device model"));
+        assert!(e.source().is_some());
+        assert!(BtError::NoCandidates.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<BtError>();
+    }
+}

@@ -1,0 +1,282 @@
+//! The end-to-end BetterTogether framework (Fig. 2 of the paper): inputs →
+//! interference-aware profiling → three-level optimization → deployment.
+
+use bt_kernels::AppModel;
+use bt_pipeline::Schedule;
+use bt_profiler::{profile, ProfileMode, ProfilerConfig, ProfilingTable};
+use bt_soc::des::DesConfig;
+use bt_soc::{Micros, SocSpec};
+
+use crate::baseline::{measure_baselines, BaselinePair};
+use crate::optimizer::{autotune, optimize, AutotuneOutcome, Candidate, OptimizerConfig};
+use crate::BtError;
+
+/// Framework configuration: every knob of the pipeline in Fig. 2.
+#[derive(Debug, Clone)]
+pub struct BtConfig {
+    /// Profiling mode (the contribution is
+    /// [`ProfileMode::InterferenceHeavy`]; `Isolated` reproduces the
+    /// prior-work comparison models).
+    pub profile_mode: ProfileMode,
+    /// Profiler repetitions/noise.
+    pub profiler: ProfilerConfig,
+    /// Optimizer levels 1–2.
+    pub optimizer: OptimizerConfig,
+    /// Execution / autotuning configuration.
+    pub des: DesConfig,
+}
+
+impl Default for BtConfig {
+    fn default() -> BtConfig {
+        BtConfig {
+            profile_mode: ProfileMode::InterferenceHeavy,
+            profiler: ProfilerConfig::default(),
+            optimizer: OptimizerConfig::default(),
+            des: DesConfig::default(),
+        }
+    }
+}
+
+/// The BetterTogether framework bound to one (device, application) pair.
+///
+/// ```
+/// use bt_core::BetterTogether;
+/// use bt_kernels::apps;
+/// use bt_soc::devices;
+///
+/// let app = apps::octree_app(apps::OctreeConfig::default()).model();
+/// let bt = BetterTogether::new(devices::pixel_7a(), app);
+/// let deployment = bt.run()?;
+/// assert!(deployment.speedup_over_best_baseline() > 1.0);
+/// # Ok::<(), bt_core::BtError>(())
+/// ```
+#[derive(Debug)]
+pub struct BetterTogether {
+    soc: SocSpec,
+    app: AppModel,
+    cfg: BtConfig,
+}
+
+/// Output of levels 1–2: the profiling table plus ranked candidates.
+/// Serializable, so plans can be cached on disk and re-deployed without
+/// re-profiling.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct Plan {
+    /// The profiling table optimization ran against.
+    pub table: ProfilingTable,
+    /// Candidates sorted by predicted latency.
+    pub candidates: Vec<Candidate>,
+}
+
+impl Plan {
+    /// The schedule the model predicts to be fastest (index 1 of the
+    /// paper's Table 4).
+    pub fn predicted_best(&self) -> &Candidate {
+        &self.candidates[0]
+    }
+}
+
+/// Output of the full framework run: plan, autotuning measurements, and
+/// baselines.
+#[derive(Debug, Clone)]
+pub struct Deployment {
+    /// The plan that was autotuned.
+    pub plan: Plan,
+    /// Per-candidate measurements and the measured-best index.
+    pub outcome: AutotuneOutcome,
+    /// Homogeneous baselines for the same device/app.
+    pub baselines: BaselinePair,
+}
+
+impl Deployment {
+    /// The measured-best schedule — BetterTogether's final output.
+    pub fn best_schedule(&self) -> &Schedule {
+        &self.plan.candidates[self.outcome.best_index].schedule
+    }
+
+    /// Measured per-task latency of the best schedule.
+    pub fn best_latency(&self) -> Micros {
+        self.outcome.measured[self.outcome.best_index]
+    }
+
+    /// Measured latency of the *predicted*-best schedule (what a user gets
+    /// without level-3 autotuning).
+    pub fn predicted_best_latency(&self) -> Micros {
+        self.outcome.measured[0]
+    }
+
+    /// Speedup over the faster homogeneous baseline (Fig. 4's metric).
+    pub fn speedup_over_best_baseline(&self) -> f64 {
+        self.baselines.best() / self.best_latency()
+    }
+
+    /// Speedup over the CPU-only baseline.
+    pub fn speedup_over_cpu(&self) -> f64 {
+        self.baselines.cpu / self.best_latency()
+    }
+
+    /// Speedup over the GPU-only baseline.
+    pub fn speedup_over_gpu(&self) -> f64 {
+        self.baselines.gpu / self.best_latency()
+    }
+
+    /// The extra speedup autotuning contributed beyond the predicted-best
+    /// schedule (the paper measures 1.35× on sparse AlexNet / Pixel).
+    pub fn autotuning_gain(&self) -> f64 {
+        self.predicted_best_latency() / self.best_latency()
+    }
+}
+
+impl BetterTogether {
+    /// Binds the framework to a device model and an application model.
+    pub fn new(soc: SocSpec, app: AppModel) -> BetterTogether {
+        BetterTogether {
+            soc,
+            app,
+            cfg: BtConfig::default(),
+        }
+    }
+
+    /// Overrides the configuration.
+    pub fn with_config(mut self, cfg: BtConfig) -> BetterTogether {
+        self.cfg = cfg;
+        self
+    }
+
+    /// The bound device.
+    pub fn soc(&self) -> &SocSpec {
+        &self.soc
+    }
+
+    /// The bound application model.
+    pub fn app(&self) -> &AppModel {
+        &self.app
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &BtConfig {
+        &self.cfg
+    }
+
+    /// Runs BT-Profiler (Fig. 2, step 3).
+    pub fn profile(&self) -> ProfilingTable {
+        profile(&self.soc, &self.app, self.cfg.profile_mode, &self.cfg.profiler)
+    }
+
+    /// Runs levels 1–2 of BT-Optimizer (Fig. 2, step 4).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BtError`] when no candidate satisfies the constraints.
+    pub fn plan(&self) -> Result<Plan, BtError> {
+        let table = self.profile();
+        let candidates = optimize(&self.soc, &table, &self.cfg.optimizer)?;
+        Ok(Plan { table, candidates })
+    }
+
+    /// Runs the full framework: profile → optimize → autotune → compare
+    /// against the homogeneous baselines (Fig. 2, steps 3–5).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BtError`] on infeasible constraints or simulator errors.
+    pub fn run(&self) -> Result<Deployment, BtError> {
+        let plan = self.plan()?;
+        let outcome = autotune(&self.soc, &self.app, &plan.candidates, &self.cfg.des)?;
+        let baselines = measure_baselines(&self.soc, &self.app, &self.cfg.des)?;
+        Ok(Deployment {
+            plan,
+            outcome,
+            baselines,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bt_kernels::apps;
+    use bt_soc::devices;
+
+    #[test]
+    fn end_to_end_octree_on_pixel_beats_baselines() {
+        let app = apps::octree_app(apps::OctreeConfig::default()).model();
+        let bt = BetterTogether::new(devices::pixel_7a(), app);
+        let d = bt.run().unwrap();
+        assert!(
+            d.speedup_over_best_baseline() > 1.5,
+            "octree on Pixel should speed up well, got {:.2}",
+            d.speedup_over_best_baseline()
+        );
+        assert!(d.speedup_over_cpu() >= d.speedup_over_best_baseline());
+        assert!(!d.best_schedule().is_homogeneous());
+        assert!(d.autotuning_gain() >= 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn end_to_end_works_on_two_class_jetson() {
+        let app = apps::alexnet_sparse_app(apps::AlexNetConfig::default()).model();
+        let bt = BetterTogether::new(devices::jetson_orin_nano(), app);
+        let d = bt.run().unwrap();
+        // Modest gains expected on the homogeneous-CPU Jetson (paper §5.1).
+        assert!(d.speedup_over_best_baseline() > 0.8);
+        assert!(d.plan.candidates.len() <= 20);
+    }
+
+    #[test]
+    fn plan_orders_candidates_by_prediction() {
+        let app = apps::alexnet_dense_app(apps::AlexNetConfig::default()).model();
+        let bt = BetterTogether::new(devices::oneplus_11(), app);
+        let plan = bt.plan().unwrap();
+        assert_eq!(
+            plan.predicted_best().predicted,
+            plan.candidates[0].predicted
+        );
+        for w in plan.candidates.windows(2) {
+            assert!(w[0].predicted <= w[1].predicted);
+        }
+    }
+
+    #[test]
+    fn isolated_mode_produces_different_tables() {
+        let app = apps::octree_app(apps::OctreeConfig::default()).model();
+        let soc = devices::pixel_7a();
+        let heavy = BetterTogether::new(soc.clone(), app.clone());
+        let iso = BetterTogether::new(soc, app).with_config(BtConfig {
+            profile_mode: ProfileMode::Isolated,
+            ..BtConfig::default()
+        });
+        assert_ne!(heavy.profile(), iso.profile());
+    }
+
+    #[test]
+    fn plan_round_trips_through_json() {
+        let app = apps::octree_app(apps::OctreeConfig::default()).model();
+        let plan = BetterTogether::new(devices::jetson_orin_nano(), app)
+            .plan()
+            .expect("plans");
+        let json = serde_json::to_string(&plan).expect("serializes");
+        let back: Plan = serde_json::from_str(&json).expect("deserializes");
+        assert_eq!(back.candidates.len(), plan.candidates.len());
+        assert_eq!(
+            back.predicted_best().schedule,
+            plan.predicted_best().schedule
+        );
+        // Floats survive JSON within a ULP; compare cell-wise.
+        for s in 0..plan.table.stages().len() {
+            for (&a, &b) in back.table.row(s).iter().zip(plan.table.row(s)) {
+                assert!((a.as_f64() - b.as_f64()).abs() <= 1e-9 * b.as_f64().abs());
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_config() {
+        let app = apps::octree_app(apps::OctreeConfig::default()).model();
+        let bt = BetterTogether::new(devices::jetson_orin_nano(), app);
+        let a = bt.run().unwrap();
+        let b = bt.run().unwrap();
+        assert_eq!(a.best_schedule(), b.best_schedule());
+        assert_eq!(a.best_latency().as_f64(), b.best_latency().as_f64());
+    }
+}

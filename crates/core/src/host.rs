@@ -1,0 +1,154 @@
+//! The full BetterTogether loop against *real* execution: wall-clock host
+//! profiling, schedule optimization, and autotuning through the actual
+//! dispatcher-thread runtime of `bt-pipeline`.
+//!
+//! This is the paper's deployment path with the simulator removed — the
+//! same code a user would run on a physical UMA device, exercised here on
+//! the development host (whose "clusters" are thread-count tiers).
+
+use bt_kernels::Application;
+use bt_pipeline::{run_host, HostReport, HostRunConfig, PuThreads, Schedule};
+use bt_profiler::host::{profile_host, HostClasses, HostProfilerConfig};
+use bt_profiler::{ProfileMode, ProfilingTable};
+use bt_solver::enumerate::latency_candidates_exact;
+use bt_solver::ScheduleProblem;
+
+use crate::BtError;
+
+/// Configuration of a host framework run.
+#[derive(Debug, Clone)]
+pub struct HostFrameworkConfig {
+    /// Profiling mode (interference-heavy runs real background load).
+    pub mode: ProfileMode,
+    /// Profiler repetitions.
+    pub profiler: HostProfilerConfig,
+    /// Candidates to autotune (the paper's 𝒦; keep small on a host —
+    /// every candidate executes for real).
+    pub candidates: usize,
+    /// Pipeline run configuration per candidate.
+    pub run: HostRunConfig,
+}
+
+impl Default for HostFrameworkConfig {
+    fn default() -> HostFrameworkConfig {
+        HostFrameworkConfig {
+            mode: ProfileMode::Isolated,
+            profiler: HostProfilerConfig::default(),
+            candidates: 4,
+            run: HostRunConfig {
+                tasks: 10,
+                warmup: 2,
+                ..HostRunConfig::default()
+            },
+        }
+    }
+}
+
+/// Result of a host framework run.
+#[derive(Debug)]
+pub struct HostDeployment {
+    /// The measured host profiling table.
+    pub table: ProfilingTable,
+    /// Candidate schedules in predicted order, with their real-execution
+    /// reports.
+    pub candidates: Vec<(Schedule, HostReport)>,
+    /// Index of the measured-best candidate.
+    pub best_index: usize,
+}
+
+impl HostDeployment {
+    /// The measured-best schedule.
+    pub fn best_schedule(&self) -> &Schedule {
+        &self.candidates[self.best_index].0
+    }
+
+    /// The measured-best report.
+    pub fn best_report(&self) -> &HostReport {
+        &self.candidates[self.best_index].1
+    }
+}
+
+/// Runs profile → optimize → autotune entirely on the host: the profiler
+/// times the real kernels, the optimizer solves over the measured table,
+/// and every candidate executes through the real dispatcher runtime.
+///
+/// # Errors
+///
+/// Returns [`BtError`] if the measured table yields no valid schedule or a
+/// pipeline run fails.
+pub fn run_host_framework<P: Send + 'static>(
+    app: &Application<P>,
+    classes: &HostClasses,
+    threads: &PuThreads,
+    cfg: &HostFrameworkConfig,
+) -> Result<HostDeployment, BtError> {
+    let table = profile_host(app, classes, cfg.mode, &cfg.profiler);
+    let problem = ScheduleProblem::new(table.to_matrix())?;
+    let ranked = latency_candidates_exact(&problem, cfg.candidates);
+    if ranked.is_empty() {
+        return Err(BtError::NoCandidates);
+    }
+
+    let mut candidates = Vec::with_capacity(ranked.len());
+    for eval in &ranked {
+        let schedule = Schedule::from_class_indices(&eval.assignment, table.classes())
+            .expect("enumerator output satisfies contiguity");
+        let report = run_host(app, &schedule, threads, &cfg.run)?;
+        candidates.push((schedule, report));
+    }
+    let best_index = candidates
+        .iter()
+        .enumerate()
+        .min_by(|a, b| {
+            a.1 .1
+                .time_per_task
+                .partial_cmp(&b.1 .1.time_per_task)
+                .expect("durations are comparable")
+        })
+        .map(|(i, _)| i)
+        .expect("non-empty");
+    Ok(HostDeployment {
+        table,
+        candidates,
+        best_index,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bt_kernels::apps::{self, OctreeConfig};
+    use bt_kernels::pointcloud::CloudShape;
+    use bt_soc::PuClass;
+
+    #[test]
+    fn host_framework_end_to_end_on_real_kernels() {
+        let app = apps::octree_app(OctreeConfig {
+            points: 2_000,
+            shape: CloudShape::Uniform,
+            max_depth: 5,
+            seed: 3,
+        });
+        let classes = HostClasses::new(vec![(PuClass::BigCpu, 2), (PuClass::LittleCpu, 1)]);
+        let threads = PuThreads::uniform(2).with_class(PuClass::LittleCpu, 1);
+        let cfg = HostFrameworkConfig {
+            profiler: HostProfilerConfig { reps: 1, warmup: 0 },
+            candidates: 3,
+            run: HostRunConfig {
+                tasks: 4,
+                warmup: 1,
+                ..HostRunConfig::default()
+            },
+            ..HostFrameworkConfig::default()
+        };
+        let d = run_host_framework(&app, &classes, &threads, &cfg).expect("runs");
+        assert_eq!(d.table.stages().len(), 7);
+        assert!(!d.candidates.is_empty() && d.candidates.len() <= 3);
+        assert!(d.best_report().time_per_task.as_secs_f64() > 0.0);
+        assert_eq!(d.best_schedule().stage_count(), 7);
+        // The best index really is the measured minimum.
+        for (_, r) in &d.candidates {
+            assert!(d.best_report().time_per_task <= r.time_per_task);
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! # bt-core — the BetterTogether framework
+//!
+//! The end-to-end system of the paper (Fig. 2): given a device model and an
+//! application expressed as a stage sequence, BetterTogether
+//!
+//! 1. profiles every stage on every PU under representative
+//!    intra-application interference (BT-Profiler, `bt-profiler`),
+//! 2. solves for candidate pipeline schedules that minimize latency while
+//!    maintaining utilization (BT-Optimizer, three levels, backed by the
+//!    `bt-solver` constraint engine),
+//! 3. executes and autotunes the top candidates (BT-Implementer, via the
+//!    `bt-pipeline` executors), and
+//! 4. reports speedups over homogeneous CPU-only / GPU-only baselines.
+//!
+//! # Example
+//!
+//! ```
+//! use bt_core::BetterTogether;
+//! use bt_kernels::apps;
+//! use bt_soc::devices;
+//!
+//! let app = apps::octree_app(apps::OctreeConfig::default()).model();
+//! let deployment = BetterTogether::new(devices::pixel_7a(), app).run()?;
+//! println!(
+//!     "best schedule {} → {} ({}× vs best homogeneous baseline)",
+//!     deployment.best_schedule(),
+//!     deployment.best_latency(),
+//!     deployment.speedup_over_best_baseline(),
+//! );
+//! # Ok::<(), bt_core::BtError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod baseline;
+pub mod energy;
+mod error;
+mod framework;
+pub mod host;
+pub mod metrics;
+mod optimizer;
+pub mod predict;
+
+pub use baseline::{measure_baselines, BaselinePair};
+pub use error::BtError;
+pub use framework::{BetterTogether, BtConfig, Deployment, Plan};
+pub use optimizer::{
+    autotune, build_problem, build_problem_with, min_gapness, optimize, AutotuneOutcome, Candidate, Objective,
+    OptimizerConfig, SolverEngine,
+};

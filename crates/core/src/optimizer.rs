@@ -1,0 +1,444 @@
+//! BT-Optimizer (§3.3 of the paper): the three-level schedule optimizer.
+//!
+//! 1. **Utilization** — minimize gapness (`T_max − T_min`) so candidate
+//!    schedules keep every PU busy, matching the conditions the
+//!    interference-aware profiles were collected under.
+//! 2. **Latency** — generate a set of 𝒦 diverse candidates (blocking
+//!    previously found solutions, constraint C5), filter out schedules
+//!    that underutilize the device, and sort by predicted latency `T_max`.
+//! 3. **Autotuning** — execute the top candidates for real (here: in the
+//!    discrete-event simulator) and pick the measured best.
+//!
+//! Two interchangeable engines implement levels 1–2: the exact enumerator
+//! (fast path — the contiguous-partition space is small) and the SAT
+//! encoding (the z3-faithful path); they are property-tested to agree.
+
+use bt_kernels::AppModel;
+use bt_pipeline::{simulate_schedule, Schedule};
+use bt_profiler::ProfilingTable;
+use bt_soc::des::DesConfig;
+use bt_soc::{Micros, SocSpec};
+use bt_solver::enumerate::{enumerate_schedules, evaluate};
+use bt_solver::ScheduleProblem;
+
+use serde::{Deserialize, Serialize};
+
+use crate::BtError;
+
+/// Which optimization engine produces the candidate set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SolverEngine {
+    /// Exact enumeration of the contiguous-partition space (fast path).
+    Exact,
+    /// The DPLL/SAT encoding with blocking clauses (z3-faithful path).
+    Sat,
+}
+
+/// How levels 1–2 combine utilization and latency.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Objective {
+    /// Keep schedules with `T_min ≥ threshold × T_max`, then sort by
+    /// predicted latency — a single-pass formulation of the paper's
+    /// filter-then-rank behaviour (the default).
+    UtilizationFilter {
+        /// The θ in `T_min ≥ θ·T_max`; 0 disables the filter (the
+        /// "latency-only" comparison model of Fig. 5b).
+        threshold: f64,
+    },
+    /// The paper's literal two-level split: first minimize gapness
+    /// (objective O1) to find `g*`, then rank by latency among schedules
+    /// with `gapness ≤ g* · (1 + slack)`.
+    GapnessFirst {
+        /// Relative slack above the gapness optimum admitted into the
+        /// candidate pool.
+        slack: f64,
+    },
+}
+
+/// Configuration of levels 1–2.
+#[derive(Debug, Clone)]
+pub struct OptimizerConfig {
+    /// Number of diverse candidates to produce (the paper uses 𝒦 = 20).
+    pub candidates: usize,
+    /// Utilization/latency trade-off.
+    pub objective: Objective,
+    /// Candidate-generation engine.
+    pub engine: SolverEngine,
+    /// Optional cap on chunks (dispatcher threads) per schedule.
+    pub max_chunks: Option<usize>,
+}
+
+impl OptimizerConfig {
+    /// Convenience constructor for the common filter-based objective.
+    pub fn with_threshold(threshold: f64) -> OptimizerConfig {
+        OptimizerConfig {
+            objective: Objective::UtilizationFilter { threshold },
+            ..OptimizerConfig::default()
+        }
+    }
+}
+
+impl Default for OptimizerConfig {
+    fn default() -> OptimizerConfig {
+        OptimizerConfig {
+            candidates: 20,
+            objective: Objective::UtilizationFilter { threshold: 0.45 },
+            engine: SolverEngine::Exact,
+            max_chunks: None,
+        }
+    }
+}
+
+/// One candidate schedule with its model predictions.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Candidate {
+    /// The stage → PU mapping.
+    pub schedule: Schedule,
+    /// Predicted pipeline latency (`T_max`, the bottleneck chunk).
+    pub predicted: Micros,
+    /// Predicted gapness (`T_max − T_min`).
+    pub gapness: Micros,
+    /// Predicted per-chunk runtimes.
+    pub chunk_sums: Vec<Micros>,
+}
+
+/// Builds the solver instance for a device/table pair: the latency matrix
+/// restricted to classes present in the table, with unschedulable classes
+/// (e.g. unpinnable clusters) disallowed.
+pub fn build_problem(soc: &SocSpec, table: &ProfilingTable) -> Result<ScheduleProblem, BtError> {
+    build_problem_with(soc, table, None)
+}
+
+/// [`build_problem`] with an optional chunk cap.
+pub fn build_problem_with(
+    soc: &SocSpec,
+    table: &ProfilingTable,
+    max_chunks: Option<usize>,
+) -> Result<ScheduleProblem, BtError> {
+    let allowed: Vec<bool> = table
+        .classes()
+        .iter()
+        .map(|&c| soc.pu(c).map(|p| p.schedulable()).unwrap_or(false))
+        .collect();
+    let mut problem = ScheduleProblem::new(table.to_matrix())?.with_allowed(allowed)?;
+    if let Some(k) = max_chunks {
+        problem = problem.with_max_chunks(k);
+    }
+    Ok(problem)
+}
+
+fn to_candidate(
+    table: &ProfilingTable,
+    assignment: &[usize],
+    problem: &ScheduleProblem,
+) -> Candidate {
+    let eval = evaluate(problem, assignment);
+    let schedule = Schedule::from_class_indices(assignment, table.classes())
+        .expect("solver output satisfies contiguity");
+    Candidate {
+        schedule,
+        predicted: Micros::new(eval.t_max),
+        gapness: Micros::new(eval.gapness()),
+        chunk_sums: eval.chunk_sums.iter().map(|&s| Micros::new(s)).collect(),
+    }
+}
+
+/// The admission predicate a candidate must pass, derived from the
+/// objective. For [`Objective::GapnessFirst`] the budget comes from the
+/// gapness optimum `g_star`.
+fn admits(objective: Objective, g_star: f64, t_max: f64, t_min: f64) -> bool {
+    match objective {
+        Objective::UtilizationFilter { threshold } => {
+            threshold <= 0.0 || t_min >= threshold * t_max
+        }
+        Objective::GapnessFirst { slack } => {
+            (t_max - t_min) <= g_star * (1.0 + slack) + 1e-9
+        }
+    }
+}
+
+/// Levels 1–2: produce up to `cfg.candidates` schedules, utilization-
+/// filtered and sorted by predicted latency.
+///
+/// # Errors
+///
+/// Returns [`BtError`] if the table cannot form a valid problem or no
+/// schedule survives the filter.
+pub fn optimize(
+    soc: &SocSpec,
+    table: &ProfilingTable,
+    cfg: &OptimizerConfig,
+) -> Result<Vec<Candidate>, BtError> {
+    let problem = build_problem_with(soc, table, cfg.max_chunks)?;
+    // Level 1 for the gapness-first objective: the optimum g*.
+    let g_star = match cfg.objective {
+        Objective::GapnessFirst { .. } => bt_solver::enumerate::min_gapness_exact(&problem)
+            .map(|e| e.gapness())
+            .ok_or(BtError::NoCandidates)?,
+        Objective::UtilizationFilter { .. } => 0.0,
+    };
+    let candidates = match cfg.engine {
+        SolverEngine::Exact => {
+            let mut all = enumerate_schedules(&problem);
+            all.retain(|e| admits(cfg.objective, g_star, e.t_max, e.t_min));
+            all.sort_by(|a, b| {
+                a.t_max
+                    .partial_cmp(&b.t_max)
+                    .expect("finite latencies")
+                    .then_with(|| a.gapness().partial_cmp(&b.gapness()).expect("finite"))
+                    .then_with(|| a.assignment.cmp(&b.assignment))
+            });
+            all.truncate(cfg.candidates);
+            all.iter()
+                .map(|e| to_candidate(table, &e.assignment, &problem))
+                .collect::<Vec<_>>()
+        }
+        SolverEngine::Sat => {
+            let mut found = Vec::new();
+            let mut blocked = Vec::new();
+            // Generate by ascending T_max; keep only filtered survivors.
+            let budget = cfg.candidates * 12;
+            while found.len() < cfg.candidates && blocked.len() < budget {
+                match problem.min_latency(&blocked) {
+                    Some((_, assignment)) => {
+                        let eval = evaluate(&problem, &assignment);
+                        if admits(cfg.objective, g_star, eval.t_max, eval.t_min) {
+                            found.push(to_candidate(table, &assignment, &problem));
+                        }
+                        blocked.push(assignment);
+                    }
+                    None => break,
+                }
+            }
+            found
+        }
+    };
+    if candidates.is_empty() {
+        return Err(BtError::NoCandidates);
+    }
+    Ok(candidates)
+}
+
+/// The gapness optimum of level 1 (objective O1), for reporting.
+pub fn min_gapness(soc: &SocSpec, table: &ProfilingTable) -> Result<Micros, BtError> {
+    let problem = build_problem(soc, table)?;
+    bt_solver::enumerate::min_gapness_exact(&problem)
+        .map(|e| Micros::new(e.gapness()))
+        .ok_or(BtError::NoCandidates)
+}
+
+/// Level 3 result: measured latencies for every candidate.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AutotuneOutcome {
+    /// Measured per-task latency of each candidate, same order as input.
+    pub measured: Vec<Micros>,
+    /// Index of the measured-best candidate.
+    pub best_index: usize,
+    /// Total virtual time spent evaluating candidates (the paper reports
+    /// ≈200 s per device/application for 𝒦 = 20 at 10 s each).
+    pub evaluation_cost: Micros,
+}
+
+/// Level 3: execute every candidate in the simulator and pick the measured
+/// best (the paper runs each for a fixed interval on the device).
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn autotune(
+    soc: &SocSpec,
+    app: &AppModel,
+    candidates: &[Candidate],
+    des: &DesConfig,
+) -> Result<AutotuneOutcome, BtError> {
+    if candidates.is_empty() {
+        return Err(BtError::NoCandidates);
+    }
+    let mut measured = Vec::with_capacity(candidates.len());
+    let mut cost = Micros::ZERO;
+    for (i, cand) in candidates.iter().enumerate() {
+        let cfg = DesConfig {
+            seed: des.seed.wrapping_add(i as u64),
+            ..des.clone()
+        };
+        let report = simulate_schedule(soc, app, &cand.schedule, &cfg)?;
+        cost += report.makespan;
+        measured.push(report.time_per_task);
+    }
+    let best_index = measured
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).expect("latencies are finite"))
+        .map(|(i, _)| i)
+        .expect("non-empty");
+    Ok(AutotuneOutcome {
+        measured,
+        best_index,
+        evaluation_cost: cost,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bt_kernels::apps;
+    use bt_profiler::{profile, ProfileMode, ProfilerConfig};
+    use bt_soc::devices;
+
+    fn setup() -> (SocSpec, AppModel, ProfilingTable) {
+        let soc = devices::pixel_7a();
+        let app = apps::octree_app(apps::OctreeConfig::default()).model();
+        let table = profile(
+            &soc,
+            &app,
+            ProfileMode::InterferenceHeavy,
+            &ProfilerConfig::default(),
+        );
+        (soc, app, table)
+    }
+
+    #[test]
+    fn candidates_are_sorted_distinct_and_valid() {
+        let (soc, _, table) = setup();
+        let cands = optimize(&soc, &table, &OptimizerConfig::default()).unwrap();
+        assert!(!cands.is_empty() && cands.len() <= 20);
+        for w in cands.windows(2) {
+            assert!(w[0].predicted <= w[1].predicted, "sorted by T_max");
+            assert_ne!(w[0].schedule, w[1].schedule, "distinct");
+        }
+        for c in &cands {
+            let max = c.chunk_sums.iter().copied().reduce(Micros::max).unwrap();
+            assert_eq!(max.as_f64(), c.predicted.as_f64());
+        }
+    }
+
+    #[test]
+    fn exact_and_sat_engines_agree_on_optimum() {
+        let (soc, _, table) = setup();
+        let exact = optimize(
+            &soc,
+            &table,
+            &OptimizerConfig {
+                engine: SolverEngine::Exact,
+                candidates: 5,
+                ..OptimizerConfig::with_threshold(0.0)
+            },
+        )
+        .unwrap();
+        let sat = optimize(
+            &soc,
+            &table,
+            &OptimizerConfig {
+                engine: SolverEngine::Sat,
+                candidates: 5,
+                ..OptimizerConfig::with_threshold(0.0)
+            },
+        )
+        .unwrap();
+        assert!(
+            (exact[0].predicted.as_f64() - sat[0].predicted.as_f64()).abs() < 1e-6,
+            "optimal T_max must agree: {} vs {}",
+            exact[0].predicted,
+            sat[0].predicted
+        );
+    }
+
+    #[test]
+    fn utilization_filter_prunes_unbalanced_schedules() {
+        let (soc, _, table) = setup();
+        let filtered = optimize(&soc, &table, &OptimizerConfig::with_threshold(0.5)).unwrap();
+        for c in &filtered {
+            let min = c.chunk_sums.iter().copied().reduce(Micros::min).unwrap();
+            assert!(
+                min.as_f64() >= 0.5 * c.predicted.as_f64() - 1e-9,
+                "schedule {} violates the filter",
+                c.schedule
+            );
+        }
+    }
+
+    #[test]
+    fn unschedulable_classes_excluded() {
+        let soc = devices::oneplus_11();
+        let app = apps::octree_app(apps::OctreeConfig::default()).model();
+        let table = profile(
+            &soc,
+            &app,
+            ProfileMode::InterferenceHeavy,
+            &ProfilerConfig::default(),
+        );
+        let cands = optimize(&soc, &table, &OptimizerConfig::default()).unwrap();
+        for c in &cands {
+            assert!(
+                !c.schedule.classes_used().contains(&bt_soc::PuClass::LittleCpu),
+                "OnePlus little cores are unpinnable"
+            );
+        }
+    }
+
+    #[test]
+    fn autotune_finds_measured_best() {
+        let (soc, app, table) = setup();
+        let cands = optimize(&soc, &table, &OptimizerConfig::default()).unwrap();
+        let des = DesConfig::default();
+        let outcome = autotune(&soc, &app, &cands, &des).unwrap();
+        assert_eq!(outcome.measured.len(), cands.len());
+        let best = outcome.measured[outcome.best_index];
+        assert!(outcome.measured.iter().all(|&m| best <= m));
+        assert!(outcome.evaluation_cost.as_f64() > 0.0);
+    }
+
+    #[test]
+    fn gapness_first_objective_is_tightest_on_gapness() {
+        let (soc, _, table) = setup();
+        let gapness_first = optimize(
+            &soc,
+            &table,
+            &OptimizerConfig {
+                objective: Objective::GapnessFirst { slack: 0.25 },
+                ..OptimizerConfig::default()
+            },
+        )
+        .unwrap();
+        let g_star = min_gapness(&soc, &table).unwrap();
+        for c in &gapness_first {
+            assert!(
+                c.gapness.as_f64() <= g_star.as_f64() * 1.25 + 1e-6,
+                "candidate {} gapness {} exceeds budget",
+                c.schedule,
+                c.gapness
+            );
+        }
+        // Still sorted by latency within the budget.
+        for w in gapness_first.windows(2) {
+            assert!(w[0].predicted <= w[1].predicted);
+        }
+    }
+
+    #[test]
+    fn max_chunks_cap_limits_dispatcher_count() {
+        let (soc, _, table) = setup();
+        let capped = optimize(
+            &soc,
+            &table,
+            &OptimizerConfig {
+                max_chunks: Some(2),
+                ..OptimizerConfig::with_threshold(0.0)
+            },
+        )
+        .unwrap();
+        for c in &capped {
+            assert!(c.schedule.chunks().len() <= 2, "schedule {}", c.schedule);
+        }
+    }
+
+    #[test]
+    fn min_gapness_is_lower_bound_for_candidates() {
+        let (soc, _, table) = setup();
+        let g = min_gapness(&soc, &table).unwrap();
+        let cands = optimize(&soc, &table, &OptimizerConfig::default()).unwrap();
+        for c in &cands {
+            assert!(c.gapness.as_f64() >= g.as_f64() - 1e-9);
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Schedule-latency prediction from a profiling table: the paper's
+//! `T_max` — the bottleneck chunk's summed stage latencies.
+
+use bt_pipeline::Schedule;
+use bt_profiler::ProfilingTable;
+use bt_soc::Micros;
+
+/// Per-chunk predicted runtimes of `schedule` under `table`, in pipeline
+/// order.
+///
+/// Returns `None` if the table lacks a class used by the schedule or the
+/// stage counts disagree.
+pub fn chunk_predictions(table: &ProfilingTable, schedule: &Schedule) -> Option<Vec<Micros>> {
+    if table.stages().len() != schedule.stage_count() {
+        return None;
+    }
+    let mut sums = Vec::new();
+    for chunk in schedule.chunks() {
+        let mut acc = Micros::ZERO;
+        for stage in chunk.first_stage..=chunk.last_stage {
+            acc += table.latency(stage, chunk.pu)?;
+        }
+        sums.push(acc);
+    }
+    Some(sums)
+}
+
+/// Predicted pipeline latency of `schedule`: the maximum chunk runtime
+/// (`T_max`), i.e. the steady-state bottleneck.
+pub fn predict_latency(table: &ProfilingTable, schedule: &Schedule) -> Option<Micros> {
+    chunk_predictions(table, schedule)?
+        .into_iter()
+        .reduce(Micros::max)
+}
+
+/// Predicted gapness of `schedule`: `T_max − T_min` over its chunks
+/// (objective O1; low gapness = high utilization).
+pub fn predict_gapness(table: &ProfilingTable, schedule: &Schedule) -> Option<Micros> {
+    let sums = chunk_predictions(table, schedule)?;
+    let max = sums.iter().copied().reduce(Micros::max)?;
+    let min = sums.iter().copied().reduce(Micros::min)?;
+    Some(max - min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bt_profiler::ProfileMode;
+    use bt_soc::PuClass;
+
+    fn table() -> ProfilingTable {
+        ProfilingTable::new(
+            "app",
+            "dev",
+            ProfileMode::InterferenceHeavy,
+            vec!["a".into(), "b".into(), "c".into()],
+            vec![PuClass::BigCpu, PuClass::Gpu],
+            vec![
+                vec![Micros::new(10.0), Micros::new(5.0)],
+                vec![Micros::new(20.0), Micros::new(8.0)],
+                vec![Micros::new(30.0), Micros::new(100.0)],
+            ],
+        )
+    }
+
+    #[test]
+    fn chunk_sums_and_bottleneck() {
+        let t = table();
+        let s = Schedule::new(vec![PuClass::Gpu, PuClass::Gpu, PuClass::BigCpu]).unwrap();
+        assert_eq!(
+            chunk_predictions(&t, &s).unwrap(),
+            vec![Micros::new(13.0), Micros::new(30.0)]
+        );
+        assert_eq!(predict_latency(&t, &s).unwrap(), Micros::new(30.0));
+        assert_eq!(predict_gapness(&t, &s).unwrap(), Micros::new(17.0));
+    }
+
+    #[test]
+    fn homogeneous_has_zero_gapness() {
+        let t = table();
+        let s = Schedule::homogeneous(3, PuClass::BigCpu);
+        assert_eq!(predict_latency(&t, &s).unwrap(), Micros::new(60.0));
+        assert_eq!(predict_gapness(&t, &s).unwrap(), Micros::ZERO);
+    }
+
+    #[test]
+    fn missing_class_yields_none() {
+        let t = table();
+        let s = Schedule::homogeneous(3, PuClass::LittleCpu);
+        assert_eq!(predict_latency(&t, &s), None);
+    }
+
+    #[test]
+    fn stage_count_mismatch_yields_none() {
+        let t = table();
+        let s = Schedule::homogeneous(4, PuClass::BigCpu);
+        assert_eq!(predict_latency(&t, &s), None);
+    }
+}

@@ -1,0 +1,473 @@
+//! Core application abstractions (§3.1 of the paper): a [`Stage`] is a unit
+//! of computation implemented by a compute kernel; an [`Application`] is a
+//! sequence of stages processing a streaming input; an [`AppModel`] is the
+//! non-executable description (names + work profiles) that the profiler,
+//! optimizer, and simulator consume; a [`TaskGraph`] linearizes acyclic
+//! stage dependencies into the sequence BetterTogether schedules.
+
+use std::fmt;
+use std::sync::Arc;
+
+use bt_soc::WorkProfile;
+use serde::{Deserialize, Serialize};
+
+use crate::ParCtx;
+
+/// A kernel callable on a mutable task payload with a parallelism context.
+pub type KernelFn<P> = Arc<dyn Fn(&mut P, &ParCtx) + Send + Sync>;
+
+/// A source loading the `seq`-th streaming input into a recycled payload.
+pub type SourceFn<P> = Arc<dyn Fn(&mut P, u64) + Send + Sync>;
+
+/// A factory allocating fresh task payloads (the TaskObject contents).
+pub type FactoryFn<P> = Arc<dyn Fn() -> P + Send + Sync>;
+
+/// One pipeline stage: a named compute kernel plus its resource profile.
+pub struct Stage<P> {
+    name: String,
+    work: WorkProfile,
+    kernel: KernelFn<P>,
+}
+
+impl<P> Stage<P> {
+    /// Creates a stage.
+    pub fn new(name: impl Into<String>, work: WorkProfile, kernel: KernelFn<P>) -> Stage<P> {
+        Stage {
+            name: name.into(),
+            work,
+            kernel,
+        }
+    }
+
+    /// The stage name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The stage's resource-demand profile.
+    pub fn work(&self) -> &WorkProfile {
+        &self.work
+    }
+
+    /// Executes the stage's kernel on a payload.
+    pub fn run(&self, payload: &mut P, ctx: &ParCtx) {
+        (self.kernel)(payload, ctx);
+    }
+
+    /// The kernel function (shared with dispatcher threads).
+    pub fn kernel(&self) -> KernelFn<P> {
+        Arc::clone(&self.kernel)
+    }
+}
+
+impl<P> Clone for Stage<P> {
+    fn clone(&self) -> Stage<P> {
+        Stage {
+            name: self.name.clone(),
+            work: self.work.clone(),
+            kernel: Arc::clone(&self.kernel),
+        }
+    }
+}
+
+impl<P> fmt::Debug for Stage<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Stage").field("name", &self.name).finish()
+    }
+}
+
+/// A streaming application: an ordered sequence of stages plus the machinery
+/// to allocate and refill task payloads.
+pub struct Application<P> {
+    name: String,
+    stages: Vec<Stage<P>>,
+    factory: FactoryFn<P>,
+    source: SourceFn<P>,
+}
+
+impl<P> Application<P> {
+    /// Creates an application.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages` is empty.
+    pub fn new(
+        name: impl Into<String>,
+        stages: Vec<Stage<P>>,
+        factory: FactoryFn<P>,
+        source: SourceFn<P>,
+    ) -> Application<P> {
+        assert!(!stages.is_empty(), "an application needs at least one stage");
+        Application {
+            name: name.into(),
+            stages,
+            factory,
+            source,
+        }
+    }
+
+    /// The application name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The stages in pipeline order.
+    pub fn stages(&self) -> &[Stage<P>] {
+        &self.stages
+    }
+
+    /// Number of stages.
+    pub fn stage_count(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Allocates a fresh task payload.
+    pub fn new_payload(&self) -> P {
+        (self.factory)()
+    }
+
+    /// Loads streaming input `seq` into a payload.
+    pub fn load_input(&self, payload: &mut P, seq: u64) {
+        (self.source)(payload, seq)
+    }
+
+    /// The payload factory (shared with the pipeline runtime).
+    pub fn factory(&self) -> FactoryFn<P> {
+        Arc::clone(&self.factory)
+    }
+
+    /// The input source (shared with the pipeline runtime).
+    pub fn source(&self) -> SourceFn<P> {
+        Arc::clone(&self.source)
+    }
+
+    /// Runs all stages sequentially on one input — the reference execution
+    /// used by correctness tests and the paper's single-PU baselines.
+    pub fn run_sequential(&self, payload: &mut P, seq: u64, ctx: &ParCtx) {
+        self.load_input(payload, seq);
+        for stage in &self.stages {
+            stage.run(payload, ctx);
+        }
+    }
+
+    /// Builds an application from stages given in *arbitrary* order plus
+    /// their dependency graph, linearizing by topological sort (§3.1 of
+    /// the paper: acyclic task graphs are supported by linearization
+    /// without modifying the core abstraction).
+    ///
+    /// `graph` indexes into `stages` as provided; the resulting
+    /// application's stage order is the deterministic topological order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CyclicGraphError`] if the dependencies contain a cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `graph.len() != stages.len()` or `stages` is empty.
+    pub fn from_task_graph(
+        name: impl Into<String>,
+        stages: Vec<Stage<P>>,
+        graph: &TaskGraph,
+        factory: FactoryFn<P>,
+        source: SourceFn<P>,
+    ) -> Result<Application<P>, CyclicGraphError> {
+        assert_eq!(graph.len(), stages.len(), "graph/stage count mismatch");
+        let order = graph.linearize()?;
+        let mut slots: Vec<Option<Stage<P>>> = stages.into_iter().map(Some).collect();
+        let ordered = order
+            .into_iter()
+            .map(|i| slots[i].take().expect("each stage placed once"))
+            .collect();
+        Ok(Application::new(name, ordered, factory, source))
+    }
+
+    /// Extracts the non-executable model (names + work profiles) consumed
+    /// by the profiler, optimizer, and simulator.
+    pub fn model(&self) -> AppModel {
+        AppModel {
+            name: self.name.clone(),
+            stages: self
+                .stages
+                .iter()
+                .map(|s| StageModel {
+                    name: s.name.clone(),
+                    work: s.work.clone(),
+                })
+                .collect(),
+        }
+    }
+}
+
+impl<P> fmt::Debug for Application<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Application")
+            .field("name", &self.name)
+            .field("stages", &self.stages.len())
+            .finish()
+    }
+}
+
+/// Non-executable description of a stage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageModel {
+    /// Stage name.
+    pub name: String,
+    /// Resource-demand profile.
+    pub work: WorkProfile,
+}
+
+/// Non-executable description of an application — everything the profiler
+/// and optimizer need, with no payload type attached.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppModel {
+    /// Application name.
+    pub name: String,
+    /// Per-stage models in pipeline order.
+    pub stages: Vec<StageModel>,
+}
+
+impl AppModel {
+    /// Number of stages.
+    pub fn stage_count(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// The work profiles in pipeline order.
+    pub fn works(&self) -> Vec<WorkProfile> {
+        self.stages.iter().map(|s| s.work.clone()).collect()
+    }
+}
+
+/// Error returned when a task graph cannot be linearized.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CyclicGraphError;
+
+impl fmt::Display for CyclicGraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("task graph contains a cycle")
+    }
+}
+
+impl std::error::Error for CyclicGraphError {}
+
+/// An acyclic stage-dependency graph, linearized by topological sort so
+/// applications with non-linear dependencies (e.g. the octree's final stage
+/// depending on stages 3, 4, and 6) still fit the sequential pipeline
+/// abstraction (§3.1).
+#[derive(Debug, Clone)]
+pub struct TaskGraph {
+    n: usize,
+    deps: Vec<(usize, usize)>,
+}
+
+impl TaskGraph {
+    /// A graph over `n` stages with no dependencies yet.
+    pub fn new(n: usize) -> TaskGraph {
+        TaskGraph { n, deps: Vec::new() }
+    }
+
+    /// Declares that `to` consumes an output of `from` (so `from` must run
+    /// earlier).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn add_dep(&mut self, from: usize, to: usize) -> &mut TaskGraph {
+        assert!(from < self.n && to < self.n, "stage index out of range");
+        self.deps.push((from, to));
+        self
+    }
+
+    /// Number of stages.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the graph has no stages.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Produces a deterministic topological order (Kahn's algorithm,
+    /// lowest-index-first tie-breaking).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CyclicGraphError`] if the dependencies contain a cycle.
+    pub fn linearize(&self) -> Result<Vec<usize>, CyclicGraphError> {
+        let mut indegree = vec![0usize; self.n];
+        let mut out_edges: Vec<Vec<usize>> = vec![Vec::new(); self.n];
+        for &(from, to) in &self.deps {
+            indegree[to] += 1;
+            out_edges[from].push(to);
+        }
+        let mut ready: std::collections::BinaryHeap<std::cmp::Reverse<usize>> = (0..self.n)
+            .filter(|&i| indegree[i] == 0)
+            .map(std::cmp::Reverse)
+            .collect();
+        let mut order = Vec::with_capacity(self.n);
+        while let Some(std::cmp::Reverse(i)) = ready.pop() {
+            order.push(i);
+            for &j in &out_edges[i] {
+                indegree[j] -= 1;
+                if indegree[j] == 0 {
+                    ready.push(std::cmp::Reverse(j));
+                }
+            }
+        }
+        if order.len() == self.n {
+            Ok(order)
+        } else {
+            Err(CyclicGraphError)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial_stage(name: &str) -> Stage<u32> {
+        Stage::new(
+            name,
+            WorkProfile::new(1.0, 1.0),
+            Arc::new(|p: &mut u32, _ctx: &ParCtx| *p += 1),
+        )
+    }
+
+    fn counter_app() -> Application<u32> {
+        Application::new(
+            "counter",
+            vec![trivial_stage("a"), trivial_stage("b"), trivial_stage("c")],
+            Arc::new(|| 0u32),
+            Arc::new(|p: &mut u32, seq| *p = seq as u32 * 100),
+        )
+    }
+
+    #[test]
+    fn sequential_execution_applies_all_stages() {
+        let app = counter_app();
+        let mut payload = app.new_payload();
+        app.run_sequential(&mut payload, 2, &ParCtx::serial());
+        assert_eq!(payload, 203);
+    }
+
+    #[test]
+    fn model_extraction() {
+        let app = counter_app();
+        let model = app.model();
+        assert_eq!(model.name, "counter");
+        assert_eq!(model.stage_count(), 3);
+        assert_eq!(model.stages[1].name, "b");
+        assert_eq!(model.works().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn empty_app_panics() {
+        let _: Application<u32> = Application::new(
+            "empty",
+            vec![],
+            Arc::new(|| 0u32),
+            Arc::new(|_: &mut u32, _| {}),
+        );
+    }
+
+    #[test]
+    fn linear_graph_keeps_order() {
+        let mut g = TaskGraph::new(4);
+        g.add_dep(0, 1).add_dep(1, 2).add_dep(2, 3);
+        assert_eq!(g.linearize().unwrap(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn octree_style_dag_linearizes() {
+        // 7 stages; stage 6 (build octree) depends on 2 (dedup), 3 (radix
+        // tree), and 5 (prefix sum), like the paper's example.
+        let mut g = TaskGraph::new(7);
+        g.add_dep(0, 1)
+            .add_dep(1, 2)
+            .add_dep(2, 3)
+            .add_dep(3, 4)
+            .add_dep(4, 5)
+            .add_dep(2, 6)
+            .add_dep(3, 6)
+            .add_dep(5, 6);
+        let order = g.linearize().unwrap();
+        assert_eq!(order, vec![0, 1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn independent_stages_sorted_by_index() {
+        let g = TaskGraph::new(3);
+        assert_eq!(g.linearize().unwrap(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut g = TaskGraph::new(2);
+        g.add_dep(0, 1).add_dep(1, 0);
+        assert_eq!(g.linearize(), Err(CyclicGraphError));
+    }
+
+    #[test]
+    fn from_task_graph_linearizes_out_of_order_stages() {
+        // Stages provided shuffled; deps force the canonical order, and the
+        // payload trace proves execution happens in dependency order.
+        let stage = |tag: u32| -> Stage<Vec<u32>> {
+            Stage::new(
+                format!("s{tag}"),
+                WorkProfile::new(1.0, 1.0),
+                Arc::new(move |p: &mut Vec<u32>, _ctx: &ParCtx| p.push(tag)),
+            )
+        };
+        // Provided order: [2, 0, 1]; dependencies 0 → 1 → 2 (by provided
+        // index: stages[1]=s0 before stages[2]=s1 before stages[0]=s2).
+        let mut g = TaskGraph::new(3);
+        g.add_dep(1, 2).add_dep(2, 0);
+        let app = Application::from_task_graph(
+            "dag",
+            vec![stage(2), stage(0), stage(1)],
+            &g,
+            Arc::new(Vec::new),
+            Arc::new(|p: &mut Vec<u32>, _| p.clear()),
+        )
+        .expect("acyclic");
+        let mut payload = app.new_payload();
+        app.run_sequential(&mut payload, 0, &ParCtx::serial());
+        assert_eq!(payload, vec![0, 1, 2]);
+        assert_eq!(app.stages()[0].name(), "s0");
+    }
+
+    #[test]
+    fn from_task_graph_rejects_cycles() {
+        let stage = |tag: u32| -> Stage<u32> {
+            Stage::new(
+                format!("s{tag}"),
+                WorkProfile::new(1.0, 1.0),
+                Arc::new(move |_: &mut u32, _: &ParCtx| {}),
+            )
+        };
+        let mut g = TaskGraph::new(2);
+        g.add_dep(0, 1).add_dep(1, 0);
+        let r = Application::from_task_graph(
+            "cyclic",
+            vec![stage(0), stage(1)],
+            &g,
+            Arc::new(|| 0u32),
+            Arc::new(|_: &mut u32, _| {}),
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn stage_clone_shares_kernel() {
+        let s = trivial_stage("x");
+        let s2 = s.clone();
+        let mut p = 0u32;
+        s2.run(&mut p, &ParCtx::serial());
+        assert_eq!(p, 1);
+        assert_eq!(s2.name(), "x");
+    }
+}

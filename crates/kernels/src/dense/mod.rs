@@ -1,0 +1,15 @@
+//! Dense CNN kernels: direct convolution, max-pooling, and fully-connected
+//! layers, plus the AlexNet-dense network used by the paper's regular
+//! workload.
+
+mod alexnet;
+mod conv;
+mod gemm;
+mod linear;
+mod pool;
+
+pub use alexnet::{AlexNetDense, AlexNetLayout, ConvLayerSpec};
+pub use conv::{conv2d, conv2d_reference, Conv2dParams};
+pub use gemm::{conv2d_gemm, matmul};
+pub use linear::linear;
+pub use pool::maxpool2x2;

@@ -1,0 +1,368 @@
+//! Stage 4: binary radix tree over sorted unique Morton codes
+//! (Karras, "Maximizing Parallelism in the Construction of BVHs, Octrees,
+//! and k-d Trees", HPG 2012).
+//!
+//! For `n` unique keys the tree has `n − 1` internal nodes; node `i` is
+//! constructed independently of all others (fully parallel), by locating
+//! the range of keys sharing its prefix via binary search on the
+//! longest-common-prefix function δ.
+
+use crate::octree::MORTON_BITS;
+use crate::ParCtx;
+
+/// Flag bit marking a child index as a leaf (an index into the key array)
+/// rather than an internal node.
+pub const LEAF_FLAG: u32 = 1 << 31;
+
+/// A binary radix tree over sorted unique 30-bit keys.
+#[derive(Debug, Clone)]
+pub struct RadixTree {
+    keys: Vec<u32>,
+    left: Vec<u32>,
+    right: Vec<u32>,
+    parent: Vec<u32>,
+    leaf_parent: Vec<u32>,
+    first: Vec<u32>,
+    last: Vec<u32>,
+    prefix_len: Vec<u8>,
+}
+
+/// δ(i, j): length of the longest common prefix (in the 30 significant
+/// bits) of keys i and j; −1 when j is out of range.
+#[inline]
+fn delta(keys: &[u32], i: usize, j: i64) -> i32 {
+    if j < 0 || j >= keys.len() as i64 {
+        return -1;
+    }
+    let x = keys[i] ^ keys[j as usize];
+    debug_assert!(x != 0, "keys must be unique");
+    x.leading_zeros() as i32 - (32 - MORTON_BITS as i32)
+}
+
+impl RadixTree {
+    /// Builds the radix tree over `keys` (sorted, unique, each < 2^30),
+    /// parallelized over internal nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys.len() < 2`, or in debug builds if keys are not
+    /// sorted/unique/in-range.
+    pub fn build(ctx: &ParCtx, keys: &[u32]) -> RadixTree {
+        assert!(keys.len() >= 2, "radix tree needs at least two keys");
+        debug_assert!(keys.windows(2).all(|w| w[0] < w[1]), "keys must be sorted unique");
+        debug_assert!(keys.iter().all(|&k| k < (1 << MORTON_BITS)), "keys must be 30-bit");
+
+        let n = keys.len();
+        let internal = n - 1;
+        let mut left = vec![0u32; internal];
+        let mut right = vec![0u32; internal];
+        let mut first = vec![0u32; internal];
+        let mut last = vec![0u32; internal];
+        let mut prefix_len = vec![0u8; internal];
+
+        struct NodeOut {
+            left: u32,
+            right: u32,
+            first: u32,
+            last: u32,
+            prefix: u8,
+        }
+
+        let compute = |i: usize| -> NodeOut {
+            let ii = i as i64;
+            // Direction of the node's range.
+            let d: i64 = if delta(keys, i, ii + 1) > delta(keys, i, ii - 1) {
+                1
+            } else {
+                -1
+            };
+            let delta_min = delta(keys, i, ii - d);
+
+            // Exponential upper bound for the range length.
+            let mut l_max: i64 = 2;
+            while delta(keys, i, ii + l_max * d) > delta_min {
+                l_max *= 2;
+            }
+
+            // Binary search for the exact other end.
+            let mut l: i64 = 0;
+            let mut t = l_max / 2;
+            while t >= 1 {
+                if delta(keys, i, ii + (l + t) * d) > delta_min {
+                    l += t;
+                }
+                t /= 2;
+            }
+            let j = ii + l * d;
+            let delta_node = delta(keys, i, j);
+
+            // Binary search for the split point.
+            let mut s: i64 = 0;
+            let mut t = (l + 1) / 2;
+            loop {
+                if delta(keys, i, ii + (s + t) * d) > delta_node {
+                    s += t;
+                }
+                if t == 1 {
+                    break;
+                }
+                t = (t + 1) / 2;
+            }
+            let gamma = ii + s * d + d.min(0);
+
+            let (lo, hi) = (ii.min(j), ii.max(j));
+            let left_child = if lo == gamma {
+                gamma as u32 | LEAF_FLAG
+            } else {
+                gamma as u32
+            };
+            let right_child = if hi == gamma + 1 {
+                (gamma + 1) as u32 | LEAF_FLAG
+            } else {
+                (gamma + 1) as u32
+            };
+            NodeOut {
+                left: left_child,
+                right: right_child,
+                first: lo as u32,
+                last: hi as u32,
+                prefix: delta_node as u8,
+            }
+        };
+
+        // Fill all five arrays in one parallel sweep over node indices.
+        {
+            let results: Vec<NodeOut> = {
+                let mut out: Vec<Option<NodeOut>> = Vec::with_capacity(internal);
+                out.resize_with(internal, || None);
+                ctx.for_each_chunk(&mut out, |offset, chunk| {
+                    for (rel, slot) in chunk.iter_mut().enumerate() {
+                        *slot = Some(compute(offset + rel));
+                    }
+                });
+                out.into_iter().map(|o| o.expect("filled above")).collect()
+            };
+            for (i, r) in results.into_iter().enumerate() {
+                left[i] = r.left;
+                right[i] = r.right;
+                first[i] = r.first;
+                last[i] = r.last;
+                prefix_len[i] = r.prefix;
+            }
+        }
+
+        // Parent pointers (u32::MAX for the root, node 0); leaves get their
+        // own parent array, needed by octree edge counting.
+        let mut parent = vec![u32::MAX; internal];
+        let mut leaf_parent = vec![u32::MAX; n];
+        for i in 0..internal {
+            for child in [left[i], right[i]] {
+                if child & LEAF_FLAG == 0 {
+                    parent[child as usize] = i as u32;
+                } else {
+                    leaf_parent[(child & !LEAF_FLAG) as usize] = i as u32;
+                }
+            }
+        }
+
+        RadixTree {
+            keys: keys.to_vec(),
+            left,
+            right,
+            parent,
+            leaf_parent,
+            first,
+            last,
+            prefix_len,
+        }
+    }
+
+    /// The sorted unique keys the tree is built over.
+    pub fn keys(&self) -> &[u32] {
+        &self.keys
+    }
+
+    /// Number of internal nodes (`keys.len() − 1`).
+    pub fn internal_count(&self) -> usize {
+        self.left.len()
+    }
+
+    /// Left child of internal node `i` ([`LEAF_FLAG`] marks leaves).
+    pub fn left(&self, i: usize) -> u32 {
+        self.left[i]
+    }
+
+    /// Right child of internal node `i`.
+    pub fn right(&self, i: usize) -> u32 {
+        self.right[i]
+    }
+
+    /// Parent of internal node `i` (`u32::MAX` for the root).
+    pub fn parent(&self, i: usize) -> u32 {
+        self.parent[i]
+    }
+
+    /// Internal parent of leaf `q` (every leaf has one for `n ≥ 2`).
+    pub fn leaf_parent(&self, q: usize) -> u32 {
+        self.leaf_parent[q]
+    }
+
+    /// First key index covered by internal node `i`.
+    pub fn first(&self, i: usize) -> usize {
+        self.first[i] as usize
+    }
+
+    /// Last key index covered by internal node `i` (inclusive).
+    pub fn last(&self, i: usize) -> usize {
+        self.last[i] as usize
+    }
+
+    /// Common-prefix length (0–30) of internal node `i`'s key range.
+    pub fn prefix_len(&self, i: usize) -> u32 {
+        self.prefix_len[i] as u32
+    }
+
+    /// The Morton prefix of node `i` as a value: the shared high
+    /// `prefix_len` bits of its keys, right-aligned.
+    pub fn prefix_code(&self, i: usize) -> u32 {
+        let len = self.prefix_len(i);
+        if len == 0 {
+            0
+        } else {
+            self.keys[self.first(i)] >> (MORTON_BITS - len)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn unique_keys(seed: u64, n: usize) -> Vec<u32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut set = std::collections::BTreeSet::new();
+        while set.len() < n {
+            set.insert(rng.gen_range(0..(1u32 << MORTON_BITS)));
+        }
+        set.into_iter().collect()
+    }
+
+    fn build(seed: u64, n: usize) -> RadixTree {
+        RadixTree::build(&ParCtx::new(4), &unique_keys(seed, n))
+    }
+
+    /// Recursively collect the leaf range reachable from internal node `i`.
+    fn reachable_leaves(tree: &RadixTree, node: u32, out: &mut Vec<usize>) {
+        if node & LEAF_FLAG != 0 {
+            out.push((node & !LEAF_FLAG) as usize);
+        } else {
+            reachable_leaves(tree, tree.left(node as usize), out);
+            reachable_leaves(tree, tree.right(node as usize), out);
+        }
+    }
+
+    #[test]
+    fn every_leaf_reachable_exactly_once() {
+        let tree = build(1, 300);
+        let mut leaves = Vec::new();
+        reachable_leaves(&tree, 0, &mut leaves);
+        leaves.sort_unstable();
+        assert_eq!(leaves, (0..300).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn node_ranges_match_reachable_leaves() {
+        let tree = build(2, 128);
+        for i in 0..tree.internal_count() {
+            let mut leaves = Vec::new();
+            reachable_leaves(&tree, i as u32, &mut leaves);
+            let lo = *leaves.iter().min().expect("non-empty");
+            let hi = *leaves.iter().max().expect("non-empty");
+            assert_eq!(lo, tree.first(i), "node {i}");
+            assert_eq!(hi, tree.last(i), "node {i}");
+            assert_eq!(leaves.len(), hi - lo + 1, "node {i} covers a contiguous range");
+        }
+    }
+
+    #[test]
+    fn prefix_is_common_to_all_covered_keys() {
+        let tree = build(3, 200);
+        for i in 0..tree.internal_count() {
+            let len = tree.prefix_len(i);
+            if len == 0 {
+                continue;
+            }
+            let shift = MORTON_BITS - len;
+            let prefix = tree.prefix_code(i);
+            for k in tree.first(i)..=tree.last(i) {
+                assert_eq!(tree.keys()[k] >> shift, prefix, "node {i}, key {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn children_have_strictly_longer_prefixes() {
+        let tree = build(4, 150);
+        for i in 0..tree.internal_count() {
+            for child in [tree.left(i), tree.right(i)] {
+                if child & LEAF_FLAG == 0 {
+                    assert!(
+                        tree.prefix_len(child as usize) > tree.prefix_len(i),
+                        "child {child} of node {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parents_are_consistent_with_children() {
+        let tree = build(5, 100);
+        assert_eq!(tree.parent(0), u32::MAX);
+        for i in 0..tree.internal_count() {
+            for child in [tree.left(i), tree.right(i)] {
+                if child & LEAF_FLAG == 0 {
+                    assert_eq!(tree.parent(child as usize), i as u32);
+                }
+            }
+        }
+        // Every non-root node has a parent.
+        for i in 1..tree.internal_count() {
+            assert_ne!(tree.parent(i), u32::MAX, "node {i} orphaned");
+        }
+    }
+
+    #[test]
+    fn two_keys() {
+        let tree = RadixTree::build(&ParCtx::serial(), &[1, 2]);
+        assert_eq!(tree.internal_count(), 1);
+        assert_eq!(tree.left(0), LEAF_FLAG);
+        assert_eq!(tree.right(0), 1 | LEAF_FLAG);
+    }
+
+    #[test]
+    fn serial_parallel_agree() {
+        let keys = unique_keys(6, 500);
+        let a = RadixTree::build(&ParCtx::serial(), &keys);
+        let b = RadixTree::build(&ParCtx::new(8), &keys);
+        for i in 0..a.internal_count() {
+            assert_eq!(a.left(i), b.left(i));
+            assert_eq!(a.right(i), b.right(i));
+            assert_eq!(a.prefix_len(i), b.prefix_len(i));
+        }
+    }
+
+    #[test]
+    fn adjacent_keys_with_deep_shared_prefix() {
+        // Keys differing only in the lowest bit exercise the deepest split.
+        let keys = vec![0b0, 0b1, 1 << 29, (1 << 29) | 0b1];
+        let tree = RadixTree::build(&ParCtx::serial(), &keys);
+        assert_eq!(tree.internal_count(), 3);
+        let mut leaves = Vec::new();
+        reachable_leaves(&tree, 0, &mut leaves);
+        leaves.sort_unstable();
+        assert_eq!(leaves, vec![0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,275 @@
+//! Minimal data-parallel execution helper — the OpenMP stand-in.
+//!
+//! The paper's CPU kernels use `#pragma omp parallel for` with the OpenMP
+//! pool bound to a cluster. On the host backend we reproduce the shape of
+//! that contract with scoped threads and static chunking: a [`ParCtx`]
+//! carries the worker count a chunk's cluster provides, and
+//! [`ParCtx::parallel_for`] splits an index range across that many workers.
+
+use std::ops::Range;
+
+/// Execution context handed to every CPU kernel: how many worker threads
+/// the current PU cluster provides.
+///
+/// ```
+/// use bt_kernels::ParCtx;
+/// let ctx = ParCtx::new(4);
+/// let mut data = vec![0u32; 1000];
+/// ctx.for_each_chunk(&mut data, |offset, chunk| {
+///     for (i, x) in chunk.iter_mut().enumerate() {
+///         *x = (offset + i) as u32;
+///     }
+/// });
+/// assert_eq!(data[999], 999);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct ParCtx {
+    threads: usize,
+}
+
+impl ParCtx {
+    /// A context with `threads` workers (at least 1).
+    pub fn new(threads: usize) -> ParCtx {
+        ParCtx {
+            threads: threads.max(1),
+        }
+    }
+
+    /// A serial context (one worker).
+    pub fn serial() -> ParCtx {
+        ParCtx::new(1)
+    }
+
+    /// Number of workers.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `body` once per worker with that worker's index sub-range of
+    /// `0..n`, in parallel. Static chunking, like OpenMP's default
+    /// schedule. `body` only observes disjoint ranges, so it can index
+    /// into shared read-only data freely.
+    pub fn parallel_for<F>(&self, n: usize, body: F)
+    where
+        F: Fn(Range<usize>) + Sync,
+    {
+        if n == 0 {
+            return;
+        }
+        let workers = self.threads.min(n);
+        if workers == 1 {
+            body(0..n);
+            return;
+        }
+        let chunk = n.div_ceil(workers);
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let start = w * chunk;
+                let end = ((w + 1) * chunk).min(n);
+                if start >= end {
+                    break;
+                }
+                let body = &body;
+                scope.spawn(move || body(start..end));
+            }
+        });
+    }
+
+    /// Splits `data` into per-worker chunks and runs `body(offset, chunk)`
+    /// on each in parallel — the mutable-output counterpart of
+    /// [`ParCtx::parallel_for`].
+    pub fn for_each_chunk<T, F>(&self, data: &mut [T], body: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        let n = data.len();
+        if n == 0 {
+            return;
+        }
+        let workers = self.threads.min(n);
+        if workers == 1 {
+            body(0, data);
+            return;
+        }
+        let chunk = n.div_ceil(workers);
+        std::thread::scope(|scope| {
+            let mut rest = data;
+            let mut offset = 0;
+            while !rest.is_empty() {
+                let take = chunk.min(rest.len());
+                let (head, tail) = rest.split_at_mut(take);
+                let body = &body;
+                scope.spawn(move || body(offset, head));
+                offset += take;
+                rest = tail;
+            }
+        });
+    }
+
+    /// Splits `data` into consecutive blocks of exactly `block` elements and
+    /// processes them in parallel with `body(block_index, block_slice)`.
+    /// Used for batch processing where each image owns a fixed-size region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` is not a multiple of `block`.
+    pub fn for_each_block<T, F>(&self, data: &mut [T], block: usize, body: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        assert!(block > 0, "block size must be positive");
+        assert_eq!(data.len() % block, 0, "data must be block-aligned");
+        let blocks = data.len() / block;
+        if blocks == 0 {
+            return;
+        }
+        let workers = self.threads.min(blocks);
+        if workers == 1 {
+            for (i, chunk) in data.chunks_mut(block).enumerate() {
+                body(i, chunk);
+            }
+            return;
+        }
+        let per_worker = blocks.div_ceil(workers);
+        std::thread::scope(|scope| {
+            let mut rest = data;
+            let mut first_block = 0;
+            while !rest.is_empty() {
+                let take_blocks = per_worker.min(rest.len() / block);
+                let (head, tail) = rest.split_at_mut(take_blocks * block);
+                let body = &body;
+                scope.spawn(move || {
+                    for (i, chunk) in head.chunks_mut(block).enumerate() {
+                        body(first_block + i, chunk);
+                    }
+                });
+                first_block += take_blocks;
+                rest = tail;
+            }
+        });
+    }
+
+    /// Maps `0..n` through `f` in parallel, collecting results in order.
+    pub fn map<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send + Default + Clone,
+        F: Fn(usize) -> T + Sync,
+    {
+        let mut out = vec![T::default(); n];
+        self.for_each_chunk(&mut out, |offset, chunk| {
+            for (i, slot) in chunk.iter_mut().enumerate() {
+                *slot = f(offset + i);
+            }
+        });
+        out
+    }
+
+    /// Computes a per-worker partial reduction over `0..n` and folds the
+    /// partials serially (deterministic for associative+commutative ops;
+    /// used for histograms and max-reductions).
+    pub fn reduce<T, F, G>(&self, n: usize, identity: T, partial: F, fold: G) -> T
+    where
+        T: Send + Clone,
+        F: Fn(Range<usize>) -> T + Sync,
+        G: Fn(T, T) -> T,
+    {
+        if n == 0 {
+            return identity;
+        }
+        let workers = self.threads.min(n);
+        if workers == 1 {
+            return fold(identity, partial(0..n));
+        }
+        let chunk = n.div_ceil(workers);
+        let mut partials: Vec<Option<T>> = vec![None; workers];
+        std::thread::scope(|scope| {
+            for (w, slot) in partials.iter_mut().enumerate() {
+                let start = w * chunk;
+                let end = ((w + 1) * chunk).min(n);
+                if start >= end {
+                    break;
+                }
+                let partial = &partial;
+                scope.spawn(move || {
+                    *slot = Some(partial(start..end));
+                });
+            }
+        });
+        partials
+            .into_iter()
+            .flatten()
+            .fold(identity, &fold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn parallel_for_covers_every_index_once() {
+        let ctx = ParCtx::new(4);
+        let n = 10_001;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        ctx.parallel_for(n, |range| {
+            for i in range {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn parallel_for_empty_is_noop() {
+        ParCtx::new(8).parallel_for(0, |_| panic!("must not run"));
+    }
+
+    #[test]
+    fn for_each_chunk_offsets_are_consistent() {
+        let ctx = ParCtx::new(3);
+        let mut data = vec![0usize; 1000];
+        ctx.for_each_chunk(&mut data, |offset, chunk| {
+            for (i, x) in chunk.iter_mut().enumerate() {
+                *x = offset + i;
+            }
+        });
+        for (i, x) in data.iter().enumerate() {
+            assert_eq!(*x, i);
+        }
+    }
+
+    #[test]
+    fn map_preserves_order() {
+        let ctx = ParCtx::new(5);
+        let out = ctx.map(100, |i| i * i);
+        assert_eq!(out[7], 49);
+        assert_eq!(out.len(), 100);
+    }
+
+    #[test]
+    fn reduce_sums_correctly() {
+        let ctx = ParCtx::new(4);
+        let total = ctx.reduce(
+            1000,
+            0u64,
+            |range| range.map(|i| i as u64).sum::<u64>(),
+            |a, b| a + b,
+        );
+        assert_eq!(total, 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn serial_context_matches_parallel() {
+        let serial = ParCtx::serial().map(64, |i| i + 1);
+        let parallel = ParCtx::new(8).map(64, |i| i + 1);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn zero_threads_clamped_to_one() {
+        assert_eq!(ParCtx::new(0).threads(), 1);
+    }
+}

@@ -1,0 +1,13 @@
+//! Sparse CNN kernels: CSR matrices, magnitude-based structured pruning,
+//! sparse convolution via CSR × im2col, and the AlexNet-sparse variant
+//! (batch of 128 images per task, §4.1 of the paper).
+
+mod alexnet;
+mod conv;
+mod csr;
+mod prune;
+
+pub use alexnet::AlexNetSparse;
+pub use conv::{im2col, sparse_conv2d};
+pub use csr::CsrMatrix;
+pub use prune::prune_to_csr;

@@ -1,0 +1,625 @@
+//! The host pipeline executor: real dispatcher threads, one per chunk,
+//! passing recycled TaskObjects through lock-free SPSC queues (§3.4 of the
+//! paper).
+//!
+//! Each dispatcher repeatedly: pops a TaskObject pointer from its input
+//! queue, dispatches its chunk's compute kernels in sequence (via the
+//! OpenMP-stand-in [`ParCtx`] worker pool), and pushes the pointer to the
+//! next queue. The head dispatcher doubles as the streaming source,
+//! recycling returned objects for new inputs; the tail records completion
+//! timestamps.
+
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use bt_kernels::{Application, ParCtx};
+use bt_soc::{AffinityMap, PerClass, PuClass};
+
+use crate::spsc;
+use crate::{Schedule, TaskObject};
+
+/// Worker-thread budget per PU class for host execution.
+///
+/// The host has no big.LITTLE clusters, so classes map to thread counts —
+/// enough to exercise the real runtime (queues, dispatchers, recycling,
+/// pinning) with genuine parallelism.
+#[derive(Debug, Clone)]
+pub struct PuThreads {
+    map: PerClass<usize>,
+    default: usize,
+}
+
+impl PuThreads {
+    /// Every class gets `n` workers.
+    pub fn uniform(n: usize) -> PuThreads {
+        PuThreads {
+            map: PerClass::empty(),
+            default: n.max(1),
+        }
+    }
+
+    /// Overrides one class's worker count.
+    pub fn with_class(mut self, class: PuClass, n: usize) -> PuThreads {
+        self.map.set(class, n.max(1));
+        self
+    }
+
+    /// Workers for `class`.
+    pub fn threads(&self, class: PuClass) -> usize {
+        self.map.get(class).copied().unwrap_or(self.default)
+    }
+}
+
+impl Default for PuThreads {
+    fn default() -> PuThreads {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        PuThreads::uniform((cores / 2).max(1))
+            .with_class(PuClass::LittleCpu, 1)
+            .with_class(PuClass::MediumCpu, 2)
+    }
+}
+
+/// Configuration of a host pipeline run.
+#[derive(Debug, Clone)]
+pub struct HostRunConfig {
+    /// Measured tasks (the paper uses 30 per run).
+    pub tasks: u32,
+    /// Warmup tasks excluded from measurement.
+    pub warmup: u32,
+    /// Circulating TaskObjects; 0 means `chunks + 1`.
+    pub buffers: usize,
+    /// Optional device affinity map: dispatchers pin themselves to their
+    /// chunk's pinnable cores (best-effort; ignored where unavailable).
+    pub affinity: Option<AffinityMap>,
+    /// Record per-(chunk, task) execution spans for Gantt-style inspection.
+    pub record_timeline: bool,
+    /// When set, the head keeps admitting tasks until this wall-clock
+    /// duration elapses (the paper's autotuning protocol runs each
+    /// candidate "for a fixed interval of 10 seconds to measure its
+    /// throughput", §3.3); `tasks` then only sizes the warmup accounting
+    /// and the reported count comes from how many tasks actually finished.
+    pub duration: Option<Duration>,
+}
+
+impl Default for HostRunConfig {
+    fn default() -> HostRunConfig {
+        HostRunConfig {
+            tasks: 30,
+            warmup: 3,
+            buffers: 0,
+            affinity: None,
+            record_timeline: false,
+            duration: None,
+        }
+    }
+}
+
+/// One recorded chunk execution on the host (µs relative to run start).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HostTimelineEvent {
+    /// Which chunk executed.
+    pub chunk: usize,
+    /// Task sequence number.
+    pub task: u64,
+    /// Start offset in µs.
+    pub start_us: f64,
+    /// End offset in µs.
+    pub end_us: f64,
+}
+
+impl From<HostTimelineEvent> for bt_soc::gantt::GanttSpan {
+    fn from(e: HostTimelineEvent) -> bt_soc::gantt::GanttSpan {
+        bt_soc::gantt::GanttSpan {
+            chunk: e.chunk,
+            task: e.task,
+            start: e.start_us,
+            end: e.end_us,
+        }
+    }
+}
+
+/// Result of a host pipeline run.
+#[derive(Debug, Clone)]
+pub struct HostReport {
+    /// Wall-clock between the first measured task's departure and the last
+    /// task's departure (steady-state window).
+    pub makespan: Duration,
+    /// Steady-state inverse throughput (`makespan / tasks`).
+    pub time_per_task: Duration,
+    /// Mean per-task residence time.
+    pub mean_task_latency: Duration,
+    /// Tasks per second.
+    pub throughput_hz: f64,
+    /// Fraction of the run each chunk's dispatcher spent executing kernels
+    /// (per chunk, pipeline order) — the utilization the paper's gapness
+    /// objective maximizes.
+    pub chunk_utilization: Vec<f64>,
+    /// Number of measured tasks.
+    pub tasks: u32,
+    /// Recorded execution spans (empty unless
+    /// [`HostRunConfig::record_timeline`] was set).
+    pub timeline: Vec<HostTimelineEvent>,
+}
+
+/// Errors from the host executor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PipelineError {
+    /// Schedule and application disagree on stage count.
+    StageMismatch {
+        /// Stages in the application.
+        app: usize,
+        /// Stages in the schedule.
+        schedule: usize,
+    },
+    /// `tasks` was zero.
+    NoTasks,
+    /// A stage kernel panicked; the pipeline was shut down cleanly.
+    StagePanicked {
+        /// Index of the chunk whose kernel panicked.
+        chunk: usize,
+    },
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::StageMismatch { app, schedule } => write!(
+                f,
+                "schedule has {schedule} stages but the application has {app}"
+            ),
+            PipelineError::NoTasks => f.write_str("at least one task is required"),
+            PipelineError::StagePanicked { chunk } => {
+                write!(f, "a stage kernel panicked in chunk {chunk}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+enum Msg<P> {
+    Task(Box<TaskObject<P>>),
+    Stop,
+}
+
+/// Per-dispatcher results collected at join time.
+#[derive(Default)]
+struct ChunkOutput {
+    /// Entry instants per seq (head dispatcher only).
+    entries: Vec<Instant>,
+    /// `(seq, residence, finished_at)` per task (tail dispatcher only).
+    completions: Vec<(u64, Duration, Instant)>,
+    /// Total time this dispatcher spent inside kernels.
+    busy: Duration,
+    /// Recorded (task, start, end) spans when timeline recording is on.
+    events: Vec<(u64, Instant, Instant)>,
+}
+
+fn w_fallback(entries: &[Instant]) -> Instant {
+    entries.first().copied().unwrap_or_else(Instant::now)
+}
+
+/// Blocking push that aborts (returning `false`) once the failure flag is
+/// raised, so no dispatcher deadlocks on a dead neighbour's full queue.
+fn push_until<T>(tx: &mut spsc::Producer<T>, mut value: T, failed: &AtomicBool) -> bool {
+    loop {
+        match tx.push(value) {
+            Ok(()) => return true,
+            Err(back) => {
+                if failed.load(Ordering::Relaxed) {
+                    return false;
+                }
+                value = back;
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+/// Blocking pop that gives up (returning `None`) once the failure flag is
+/// raised and the queue is empty.
+fn pop_until<T>(rx: &mut spsc::Consumer<T>, failed: &AtomicBool) -> Option<T> {
+    loop {
+        if let Some(v) = rx.pop() {
+            return Some(v);
+        }
+        if failed.load(Ordering::Relaxed) {
+            return None;
+        }
+        std::thread::yield_now();
+    }
+}
+
+/// Executes `schedule` over `app` on the host with real threads, streaming
+/// `cfg.tasks + cfg.warmup` inputs through the pipeline.
+///
+/// # Errors
+///
+/// Returns [`PipelineError`] if the schedule length mismatches the
+/// application or no tasks were requested.
+pub fn run_host<P: Send + 'static>(
+    app: &Application<P>,
+    schedule: &Schedule,
+    threads: &PuThreads,
+    cfg: &HostRunConfig,
+) -> Result<HostReport, PipelineError> {
+    if schedule.stage_count() != app.stage_count() {
+        return Err(PipelineError::StageMismatch {
+            app: app.stage_count(),
+            schedule: schedule.stage_count(),
+        });
+    }
+    if cfg.tasks == 0 {
+        return Err(PipelineError::NoTasks);
+    }
+
+    let chunks = schedule.chunks();
+    let k = chunks.len();
+    // In duration mode the head admits tasks until the deadline, bounded by
+    // a generous cap so buffers can be preallocated deterministically.
+    let duration_mode = cfg.duration.is_some();
+    let total = if duration_mode {
+        u64::MAX
+    } else {
+        (cfg.tasks + cfg.warmup) as u64
+    };
+    let deadline = cfg.duration.map(|d| Instant::now() + d);
+    let buffers = if cfg.buffers == 0 { k + 1 } else { cfg.buffers };
+
+    // Queues: inter-chunk channels 0..k-1 carry Msg; the recycle channel
+    // carries bare boxes back to the head.
+    let mut producers: Vec<Option<spsc::Producer<Msg<P>>>> = Vec::new();
+    let mut consumers: Vec<Option<spsc::Consumer<Msg<P>>>> = Vec::new();
+    for _ in 1..k {
+        let (tx, rx) = spsc::channel(buffers.max(1));
+        producers.push(Some(tx));
+        consumers.push(Some(rx));
+    }
+    let (mut recycle_tx, recycle_rx) = spsc::channel::<Box<TaskObject<P>>>(buffers.max(1));
+    for _ in 0..buffers {
+        let obj = Box::new(TaskObject::new(app.new_payload()));
+        recycle_tx
+            .push(obj)
+            .unwrap_or_else(|_| unreachable!("capacity equals the pool size"));
+    }
+
+    let failed = AtomicBool::new(false);
+    let failed_chunk = AtomicUsize::new(usize::MAX);
+    let outputs: Vec<ChunkOutput> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(k);
+        let mut recycle_rx = Some(recycle_rx);
+        let mut recycle_tx = Some(recycle_tx);
+
+        for (ci, chunk) in chunks.iter().copied().enumerate() {
+            let is_head = ci == 0;
+            let is_tail = ci == k - 1;
+            let input = if is_head {
+                None
+            } else {
+                Some(consumers[ci - 1].take().expect("each consumer moved once"))
+            };
+            let output = if is_tail {
+                None
+            } else {
+                Some(producers[ci].take().expect("each producer moved once"))
+            };
+            let head_rx = if is_head { recycle_rx.take() } else { None };
+            let tail_tx = if is_tail { recycle_tx.take() } else { None };
+            let ctx = ParCtx::new(threads.threads(chunk.pu));
+            let pin_cores: Vec<usize> = cfg
+                .affinity
+                .as_ref()
+                .map(|m| m.pinnable(chunk.pu).to_vec())
+                .unwrap_or_default();
+
+            let failed = &failed;
+            let failed_chunk = &failed_chunk;
+            handles.push(scope.spawn(move || {
+                // Best-effort pinning; worker threads inherit the mask.
+                crate::affinity::pin_current_thread(&pin_cores);
+
+                let mut out = ChunkOutput::default();
+                let mut input = input;
+                let mut output = output;
+                let mut head_rx = head_rx;
+                let mut tail_tx = tail_tx;
+
+                let mut busy = Duration::ZERO;
+                let mut events: Vec<(u64, Instant, Instant)> = Vec::new();
+                let record = cfg.record_timeline;
+                let mut run_chunk = |obj: &mut TaskObject<P>, ctx: &ParCtx| -> bool {
+                    let t0 = Instant::now();
+                    let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                        for s in chunk.first_stage..=chunk.last_stage {
+                            app.stages()[s].run(&mut obj.payload, ctx);
+                        }
+                    }));
+                    let t1 = Instant::now();
+                    busy += t1 - t0;
+                    if record {
+                        events.push((obj.seq, t0, t1));
+                    }
+                    if result.is_err() {
+                        failed_chunk
+                            .compare_exchange(usize::MAX, ci, Ordering::SeqCst, Ordering::SeqCst)
+                            .ok();
+                        failed.store(true, Ordering::SeqCst);
+                        false
+                    } else {
+                        true
+                    }
+                };
+
+                if is_head {
+                    let rx = head_rx.as_mut().expect("head owns the recycle consumer");
+                    for seq in 0..total {
+                        if let Some(d) = deadline {
+                            if Instant::now() >= d {
+                                break;
+                            }
+                        }
+                        let Some(mut obj) = pop_until(rx, failed) else { break };
+                        obj.recycle(seq);
+                        app.load_input(&mut obj.payload, seq);
+                        out.entries.push(obj.entered.expect("stamped by recycle"));
+                        if !run_chunk(&mut obj, &ctx) {
+                            break;
+                        }
+                        if is_tail {
+                            let entered = obj.entered.expect("stamped");
+                            let now = Instant::now();
+                            out.completions.push((seq, now - entered, now));
+                            if !push_until(
+                                tail_tx.as_mut().expect("tail owns the recycle producer"),
+                                obj,
+                                failed,
+                            ) {
+                                break;
+                            }
+                        } else if !push_until(
+                            output.as_mut().expect("non-tail has an output queue"),
+                            Msg::Task(obj),
+                            failed,
+                        ) {
+                            break;
+                        }
+                    }
+                    if !is_tail {
+                        let _ = push_until(output.as_mut().expect("non-tail"), Msg::Stop, failed);
+                    }
+                } else {
+                    let rx = input.as_mut().expect("non-head has an input queue");
+                    loop {
+                        match pop_until(rx, failed) {
+                            None => break, // failure elsewhere: exit promptly
+                            Some(Msg::Stop) => {
+                                if let Some(tx) = output.as_mut() {
+                                    let _ = push_until(tx, Msg::Stop, failed);
+                                }
+                                break;
+                            }
+                            Some(Msg::Task(mut obj)) => {
+                                if failed.load(Ordering::Relaxed) {
+                                    continue; // drain to unblock upstream
+                                }
+                                if !run_chunk(&mut obj, &ctx) {
+                                    if let Some(tx) = output.as_mut() {
+                                        let _ = push_until(tx, Msg::Stop, failed);
+                                    }
+                                    continue; // keep draining
+                                }
+                                if is_tail {
+                                    let entered = obj.entered.expect("stamped by head");
+                                    let now = Instant::now();
+                                    out.completions.push((obj.seq, now - entered, now));
+                                    if !push_until(
+                                        tail_tx.as_mut().expect("tail recycles"),
+                                        obj,
+                                        failed,
+                                    ) {
+                                        break;
+                                    }
+                                } else if !push_until(
+                                    output.as_mut().expect("middle chunk"),
+                                    Msg::Task(obj),
+                                    failed,
+                                ) {
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                }
+                out.busy = busy;
+                out.events = events;
+                out
+            }));
+        }
+
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("dispatcher threads do not panic"))
+            .collect()
+    });
+
+    if failed.load(Ordering::SeqCst) {
+        return Err(PipelineError::StagePanicked {
+            chunk: failed_chunk.load(Ordering::SeqCst),
+        });
+    }
+
+    // Head entries + tail completions.
+    let entries = &outputs[0].entries;
+    let completions = &outputs[k - 1].completions;
+    let finished = completions.len();
+    if !duration_mode {
+        debug_assert_eq!(entries.len(), total as usize);
+        debug_assert_eq!(finished, total as usize);
+    }
+    let measured_tasks = finished.saturating_sub(cfg.warmup as usize) as u32;
+    if measured_tasks == 0 {
+        return Err(PipelineError::NoTasks);
+    }
+
+    let measure_from = cfg.warmup as usize;
+    // Steady-state window: departure-to-departure (see the DES simulator's
+    // identical convention).
+    let mut by_seq: Vec<Instant> = vec![w_fallback(entries); completions.len()];
+    for &(seq, _, at) in completions {
+        by_seq[seq as usize] = at;
+    }
+    let w_start = if measure_from > 0 {
+        by_seq[measure_from - 1]
+    } else {
+        entries[0]
+    };
+    let w_end = *by_seq.last().expect("at least one completion");
+    let makespan = w_end.saturating_duration_since(w_start);
+    let measured: Vec<Duration> = completions
+        .iter()
+        .filter(|&&(seq, _, _)| seq >= measure_from as u64)
+        .map(|&(_, lat, _)| lat)
+        .collect();
+    let mean_latency = measured.iter().sum::<Duration>() / measured.len().max(1) as u32;
+    let tasks = measured_tasks;
+    let span = makespan.as_secs_f64().max(1e-12);
+    let chunk_utilization = outputs
+        .iter()
+        .map(|o| (o.busy.as_secs_f64() / span).min(1.0))
+        .collect();
+    // Timeline relative to the earliest recorded instant.
+    let timeline = if cfg.record_timeline {
+        let epoch = outputs
+            .iter()
+            .flat_map(|o| o.events.iter().map(|&(_, s, _)| s))
+            .min()
+            .unwrap_or_else(Instant::now);
+        outputs
+            .iter()
+            .enumerate()
+            .flat_map(|(ci, o)| {
+                o.events.iter().map(move |&(task, s, e)| HostTimelineEvent {
+                    chunk: ci,
+                    task,
+                    start_us: s.saturating_duration_since(epoch).as_secs_f64() * 1e6,
+                    end_us: e.saturating_duration_since(epoch).as_secs_f64() * 1e6,
+                })
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    Ok(HostReport {
+        makespan,
+        time_per_task: makespan / tasks,
+        mean_task_latency: mean_latency,
+        throughput_hz: tasks as f64 / span,
+        chunk_utilization,
+        tasks,
+        timeline,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    use bt_kernels::Stage;
+
+    // Helper application: payload is (seq, trace of stage visits).
+    #[derive(Debug, Default)]
+    struct Trace {
+        seq: u64,
+        visits: Vec<usize>,
+    }
+
+    fn trace_app(stages: usize, counter: Arc<AtomicU64>) -> Application<Trace> {
+        let stage_list = (0..stages)
+            .map(|i| {
+                let counter = Arc::clone(&counter);
+                Stage::new(
+                    format!("s{i}"),
+                    bt_soc::WorkProfile::new(1.0, 1.0),
+                    Arc::new(move |t: &mut Trace, _ctx: &ParCtx| {
+                        t.visits.push(i);
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    }) as bt_kernels::KernelFn<Trace>,
+                )
+            })
+            .collect();
+        Application::new(
+            "trace",
+            stage_list,
+            Arc::new(Trace::default),
+            Arc::new(|t: &mut Trace, seq| {
+                t.seq = seq;
+                t.visits.clear();
+            }),
+        )
+    }
+
+    fn cfg(tasks: u32, warmup: u32) -> HostRunConfig {
+        HostRunConfig {
+            tasks,
+            warmup,
+            ..HostRunConfig::default()
+        }
+    }
+
+    #[test]
+    fn every_task_visits_every_stage_once() {
+        use bt_soc::PuClass::*;
+        let counter = Arc::new(AtomicU64::new(0));
+        let app = trace_app(5, Arc::clone(&counter));
+        let schedule = Schedule::new(vec![BigCpu, BigCpu, MediumCpu, Gpu, Gpu]).unwrap();
+        let report = run_host(&app, &schedule, &PuThreads::uniform(2), &cfg(20, 2)).unwrap();
+        assert_eq!(report.tasks, 20);
+        // 22 tasks × 5 stages.
+        assert_eq!(counter.load(Ordering::Relaxed), 22 * 5);
+    }
+
+    #[test]
+    fn single_chunk_schedule_works() {
+        let counter = Arc::new(AtomicU64::new(0));
+        let app = trace_app(3, Arc::clone(&counter));
+        let schedule = Schedule::homogeneous(3, bt_soc::PuClass::Gpu);
+        let report = run_host(&app, &schedule, &PuThreads::uniform(1), &cfg(10, 0)).unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 30);
+        assert!(report.makespan > Duration::ZERO);
+        assert!(report.throughput_hz > 0.0);
+    }
+
+    #[test]
+    fn stage_mismatch_rejected() {
+        let app = trace_app(3, Arc::new(AtomicU64::new(0)));
+        let schedule = Schedule::homogeneous(4, bt_soc::PuClass::BigCpu);
+        assert_eq!(
+            run_host(&app, &schedule, &PuThreads::uniform(1), &cfg(1, 0)).unwrap_err(),
+            PipelineError::StageMismatch { app: 3, schedule: 4 }
+        );
+    }
+
+    #[test]
+    fn zero_tasks_rejected() {
+        let app = trace_app(2, Arc::new(AtomicU64::new(0)));
+        let schedule = Schedule::homogeneous(2, bt_soc::PuClass::BigCpu);
+        assert_eq!(
+            run_host(&app, &schedule, &PuThreads::uniform(1), &cfg(0, 1)).unwrap_err(),
+            PipelineError::NoTasks
+        );
+    }
+
+    #[test]
+    fn pu_threads_lookup() {
+        let t = PuThreads::uniform(4).with_class(bt_soc::PuClass::LittleCpu, 1);
+        assert_eq!(t.threads(bt_soc::PuClass::BigCpu), 4);
+        assert_eq!(t.threads(bt_soc::PuClass::LittleCpu), 1);
+    }
+}

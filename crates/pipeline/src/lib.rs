@@ -1,0 +1,30 @@
+//! # bt-pipeline — the BT-Implementer runtime (§3.4 of the paper)
+//!
+//! Executes pipeline schedules: long-lived dispatcher threads (one per
+//! chunk) pass recycled [`TaskObject`]s through lock-free SPSC queues,
+//! with best-effort thread pinning to the chunk's CPU cluster.
+//!
+//! Two executors share the [`Schedule`] abstraction:
+//!
+//! - [`run_host`] — real threads on the development machine, running the
+//!   actual kernels from `bt-kernels` (demonstrates the runtime substrate
+//!   end to end).
+//! - [`simulate_schedule`] — the discrete-event simulator of `bt-soc`,
+//!   producing the "measured on device" numbers of the paper's
+//!   experiments.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod affinity;
+mod executor;
+mod schedule;
+mod sim;
+pub mod spsc;
+mod usm;
+
+pub use affinity::{current_affinity, pin_current_thread};
+pub use executor::{run_host, HostReport, HostRunConfig, HostTimelineEvent, PipelineError, PuThreads};
+pub use schedule::{ChunkAssignment, Schedule, ScheduleError};
+pub use sim::{simulate_baseline, simulate_schedule, to_chunk_specs};
+pub use usm::{TaskObject, UsmBuffer};

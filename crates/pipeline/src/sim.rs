@@ -1,0 +1,145 @@
+//! Bridge from pipeline schedules to the discrete-event simulator: the
+//! virtual-device counterpart of [`crate::run_host`].
+
+use bt_kernels::AppModel;
+use bt_soc::des::{self, ChunkSpec, DesConfig, DesReport};
+use bt_soc::{SocError, SocSpec};
+
+use crate::Schedule;
+
+/// Converts a schedule over `app` into the simulator's chunk list.
+///
+/// # Panics
+///
+/// Panics if the schedule length mismatches the application.
+pub fn to_chunk_specs(app: &AppModel, schedule: &Schedule) -> Vec<ChunkSpec> {
+    assert_eq!(
+        schedule.stage_count(),
+        app.stage_count(),
+        "schedule/application stage mismatch"
+    );
+    schedule
+        .chunks()
+        .iter()
+        .map(|c| {
+            ChunkSpec::new(
+                c.pu,
+                app.stages[c.first_stage..=c.last_stage]
+                    .iter()
+                    .map(|s| s.work.clone())
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+/// Simulates pipelined execution of `schedule` over `app` on `soc` — the
+/// "measured" latency of the reproduction's experiments.
+///
+/// # Errors
+///
+/// Propagates [`SocError`] from the simulator (missing PU, empty inputs).
+pub fn simulate_schedule(
+    soc: &SocSpec,
+    app: &AppModel,
+    schedule: &Schedule,
+    cfg: &DesConfig,
+) -> Result<DesReport, SocError> {
+    let chunks = to_chunk_specs(app, schedule);
+    des::simulate(soc, &chunks, cfg)
+}
+
+/// Simulates the paper's homogeneous baseline: every stage offloaded to a
+/// single PU class, synchronizing after each stage (the accelerator-
+/// oriented dispatch pattern, in contrast to BT-Implementer's
+/// once-per-chunk synchronization).
+///
+/// # Errors
+///
+/// Propagates [`SocError`] from the simulator.
+pub fn simulate_baseline(
+    soc: &SocSpec,
+    app: &AppModel,
+    class: bt_soc::PuClass,
+    cfg: &DesConfig,
+) -> Result<DesReport, SocError> {
+    let chunk = ChunkSpec::new(class, app.works()).with_per_stage_sync();
+    des::simulate(soc, &[chunk], cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bt_kernels::apps;
+    use bt_soc::{devices, PuClass};
+
+    fn octree_model() -> AppModel {
+        apps::octree_app(apps::OctreeConfig::default()).model()
+    }
+
+    fn noiseless() -> DesConfig {
+        DesConfig {
+            noise_sigma: 0.0,
+            ..DesConfig::default()
+        }
+    }
+
+    #[test]
+    fn chunk_specs_cover_all_stages() {
+        let app = octree_model();
+        let schedule = Schedule::new(vec![
+            PuClass::BigCpu,
+            PuClass::BigCpu,
+            PuClass::MediumCpu,
+            PuClass::Gpu,
+            PuClass::Gpu,
+            PuClass::Gpu,
+            PuClass::LittleCpu,
+        ])
+        .unwrap();
+        let chunks = to_chunk_specs(&app, &schedule);
+        assert_eq!(chunks.len(), 4);
+        let total: usize = chunks.iter().map(|c| c.stages.len()).sum();
+        assert_eq!(total, 7);
+    }
+
+    #[test]
+    fn some_pipeline_beats_homogeneous_on_pixel_octree() {
+        use PuClass::*;
+        let app = octree_model();
+        let soc = devices::pixel_7a();
+        let homog = Schedule::homogeneous(7, BigCpu);
+        let base = simulate_schedule(&soc, &app, &homog, &noiseless()).unwrap();
+
+        let candidates = [
+            vec![BigCpu, BigCpu, MediumCpu, Gpu, Gpu, LittleCpu, LittleCpu],
+            vec![Gpu, Gpu, MediumCpu, BigCpu, BigCpu, LittleCpu, BigCpu],
+            vec![MediumCpu, BigCpu, BigCpu, Gpu, Gpu, LittleCpu, BigCpu],
+            vec![LittleCpu, BigCpu, MediumCpu, Gpu, Gpu, Gpu, BigCpu],
+            vec![MediumCpu, BigCpu, LittleCpu, Gpu, Gpu, Gpu, BigCpu],
+        ];
+        let best = candidates
+            .iter()
+            .filter_map(|a| Schedule::new(a.clone()).ok())
+            .map(|s| {
+                simulate_schedule(&soc, &app, &s, &noiseless())
+                    .unwrap()
+                    .time_per_task
+            })
+            .fold(f64::MAX, |acc, t| acc.min(t.as_f64()));
+        assert!(
+            best < base.time_per_task.as_f64(),
+            "some pipeline should beat homogeneous: best {} vs base {}",
+            best,
+            base.time_per_task.as_f64()
+        );
+    }
+
+    #[test]
+    fn missing_pu_propagates() {
+        let app = octree_model();
+        let soc = devices::jetson_orin_nano();
+        let schedule = Schedule::new(vec![PuClass::LittleCpu; 7]).unwrap();
+        assert!(simulate_schedule(&soc, &app, &schedule, &noiseless()).is_err());
+    }
+}

@@ -1,0 +1,268 @@
+//! Lock-free single-producer single-consumer ring queue.
+//!
+//! The paper's dispatcher threads communicate through "lightweight,
+//! lock-free single-producer, single-consumer (SPSC) queues, which pass
+//! pointers to TaskObjects between pipeline chunks" (§3.4). This is that
+//! queue: a fixed-capacity ring with acquire/release head/tail counters.
+//! Boxes are passed, so queue traffic is pointer-sized regardless of
+//! payload.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crossbeam::utils::CachePadded;
+
+struct Ring<T> {
+    buf: Box<[UnsafeCell<Option<T>>]>,
+    /// Next slot to read (owned by the consumer; read by the producer).
+    head: CachePadded<AtomicUsize>,
+    /// Next slot to write (owned by the producer; read by the consumer).
+    tail: CachePadded<AtomicUsize>,
+}
+
+// SAFETY: the ring is shared between exactly one producer and one consumer
+// (enforced by the non-cloneable endpoint types). A slot is written by the
+// producer strictly before the tail increment that publishes it (release),
+// and read by the consumer strictly after observing that increment
+// (acquire); the converse holds for head. Therefore no slot is accessed
+// concurrently.
+unsafe impl<T: Send> Send for Ring<T> {}
+unsafe impl<T: Send> Sync for Ring<T> {}
+
+/// The sending endpoint of an SPSC channel. Not cloneable: single producer.
+#[derive(Debug)]
+pub struct Producer<T> {
+    ring: Arc<Ring<T>>,
+}
+
+/// The receiving endpoint of an SPSC channel. Not cloneable: single
+/// consumer.
+#[derive(Debug)]
+pub struct Consumer<T> {
+    ring: Arc<Ring<T>>,
+}
+
+impl<T> std::fmt::Debug for Ring<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ring")
+            .field("capacity", &self.buf.len())
+            .finish()
+    }
+}
+
+/// Creates an SPSC channel of the given capacity.
+///
+/// # Panics
+///
+/// Panics if `capacity == 0`.
+///
+/// ```
+/// let (mut tx, mut rx) = bt_pipeline::spsc::channel(2);
+/// tx.push(1).unwrap();
+/// tx.push(2).unwrap();
+/// assert!(tx.push(3).is_err(), "full");
+/// assert_eq!(rx.pop(), Some(1));
+/// assert_eq!(rx.pop(), Some(2));
+/// assert_eq!(rx.pop(), None);
+/// ```
+pub fn channel<T>(capacity: usize) -> (Producer<T>, Consumer<T>) {
+    assert!(capacity > 0, "capacity must be positive");
+    let buf: Vec<UnsafeCell<Option<T>>> = (0..capacity).map(|_| UnsafeCell::new(None)).collect();
+    let ring = Arc::new(Ring {
+        buf: buf.into_boxed_slice(),
+        head: CachePadded::new(AtomicUsize::new(0)),
+        tail: CachePadded::new(AtomicUsize::new(0)),
+    });
+    (
+        Producer { ring: Arc::clone(&ring) },
+        Consumer { ring },
+    )
+}
+
+impl<T> Producer<T> {
+    /// Attempts to enqueue `value`; returns it back if the queue is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(value)` when the ring is at capacity.
+    pub fn push(&mut self, value: T) -> Result<(), T> {
+        let ring = &*self.ring;
+        let tail = ring.tail.load(Ordering::Relaxed);
+        let head = ring.head.load(Ordering::Acquire);
+        if tail.wrapping_sub(head) == ring.buf.len() {
+            return Err(value);
+        }
+        let slot = &ring.buf[tail % ring.buf.len()];
+        // SAFETY: see Ring's Send/Sync justification — this slot is not
+        // visible to the consumer until the tail store below.
+        unsafe { *slot.get() = Some(value) };
+        ring.tail.store(tail.wrapping_add(1), Ordering::Release);
+        Ok(())
+    }
+
+    /// Number of items currently queued (approximate under concurrency).
+    pub fn len(&self) -> usize {
+        let ring = &*self.ring;
+        ring.tail
+            .load(Ordering::Relaxed)
+            .wrapping_sub(ring.head.load(Ordering::Relaxed))
+    }
+
+    /// Whether the queue is empty (approximate under concurrency).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Consumer<T> {
+    /// Attempts to dequeue; returns `None` when the queue is empty.
+    pub fn pop(&mut self) -> Option<T> {
+        let ring = &*self.ring;
+        let head = ring.head.load(Ordering::Relaxed);
+        let tail = ring.tail.load(Ordering::Acquire);
+        if head == tail {
+            return None;
+        }
+        let slot = &ring.buf[head % ring.buf.len()];
+        // SAFETY: the acquire load of tail above guarantees the producer's
+        // write to this slot is visible, and the producer will not touch it
+        // again until head advances past it.
+        let value = unsafe { (*slot.get()).take() };
+        debug_assert!(value.is_some(), "published slot must be occupied");
+        ring.head.store(head.wrapping_add(1), Ordering::Release);
+        value
+    }
+
+    /// Blocking pop: spins (with `yield_now`) until an item arrives.
+    pub fn pop_blocking(&mut self) -> T {
+        loop {
+            if let Some(v) = self.pop() {
+                return v;
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// Number of items currently queued (approximate under concurrency).
+    pub fn len(&self) -> usize {
+        let ring = &*self.ring;
+        ring.tail
+            .load(Ordering::Relaxed)
+            .wrapping_sub(ring.head.load(Ordering::Relaxed))
+    }
+
+    /// Whether the queue is empty (approximate under concurrency).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let (mut tx, mut rx) = channel(8);
+        for i in 0..8 {
+            tx.push(i).unwrap();
+        }
+        for i in 0..8 {
+            assert_eq!(rx.pop(), Some(i));
+        }
+        assert_eq!(rx.pop(), None);
+    }
+
+    #[test]
+    fn full_queue_rejects() {
+        let (mut tx, mut rx) = channel(1);
+        tx.push("a").unwrap();
+        assert_eq!(tx.push("b"), Err("b"));
+        assert_eq!(rx.pop(), Some("a"));
+        tx.push("b").unwrap();
+    }
+
+    #[test]
+    fn wraparound_many_times() {
+        let (mut tx, mut rx) = channel(3);
+        for round in 0..1000u64 {
+            tx.push(round).unwrap();
+            assert_eq!(rx.pop(), Some(round));
+        }
+    }
+
+    #[test]
+    fn boxed_payloads_move_without_copy() {
+        let (mut tx, mut rx) = channel::<Box<Vec<u8>>>(2);
+        let payload = Box::new(vec![7u8; 1024]);
+        let addr = payload.as_ptr();
+        tx.push(payload).unwrap();
+        let got = rx.pop().unwrap();
+        assert_eq!(got.as_ptr(), addr, "same allocation passed through");
+    }
+
+    #[test]
+    fn concurrent_stress_no_loss_no_duplication() {
+        const N: u64 = 200_000;
+        let (mut tx, mut rx) = channel(64);
+        let producer = std::thread::spawn(move || {
+            for i in 0..N {
+                let mut v = i;
+                loop {
+                    match tx.push(v) {
+                        Ok(()) => break,
+                        Err(back) => {
+                            v = back;
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+            }
+        });
+        let consumer = std::thread::spawn(move || {
+            let mut expected = 0u64;
+            let mut sum = 0u64;
+            while expected < N {
+                if let Some(v) = rx.pop() {
+                    assert_eq!(v, expected, "strict FIFO");
+                    sum = sum.wrapping_add(v);
+                    expected += 1;
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+            sum
+        });
+        producer.join().unwrap();
+        let sum = consumer.join().unwrap();
+        assert_eq!(sum, (N - 1) * N / 2);
+    }
+
+    #[test]
+    fn len_tracks_occupancy() {
+        let (mut tx, mut rx) = channel(4);
+        assert!(tx.is_empty());
+        tx.push(1).unwrap();
+        tx.push(2).unwrap();
+        assert_eq!(tx.len(), 2);
+        assert_eq!(rx.len(), 2);
+        rx.pop();
+        assert_eq!(rx.len(), 1);
+    }
+
+    #[test]
+    fn pop_blocking_waits_for_producer() {
+        let (mut tx, mut rx) = channel(1);
+        let h = std::thread::spawn(move || rx.pop_blocking());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        tx.push(42).unwrap();
+        assert_eq!(h.join().unwrap(), 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        let _ = channel::<u8>(0);
+    }
+}

@@ -1,0 +1,600 @@
+//! Discrete-event simulation of a pipelined chunk schedule.
+//!
+//! This is the virtual-time counterpart of the BT-Implementer runtime: the
+//! same chunk/queue/recycled-TaskObject structure (§3.4 of the paper), but
+//! executed against the analytic cost model instead of real silicon. Each
+//! chunk is a station served by its PU; a fixed pool of task objects
+//! circulates through the chunks and back to the head (multi-buffering with
+//! recycling).
+//!
+//! Fidelity detail that matters for the paper's results: when a chunk starts
+//! a *stage*, its service time is computed against the set of PUs busy **at
+//! that instant** (their current stage's class and bandwidth demand). Real
+//! pipelines therefore experience time-varying interference that no static
+//! profiling table captures exactly — which is why the paper needs
+//! interference-aware profiling to get *close* (Fig. 6) and autotuning to
+//! close the residual gap (Table 4).
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, VecDeque};
+
+use crate::cost::{self, LoadContext};
+use crate::{ActiveKernel, Micros, NoiseModel, PuClass, SocError, SocSpec, WorkProfile};
+
+/// One pipeline chunk: a PU class plus the stages it executes in order.
+#[derive(Debug, Clone)]
+pub struct ChunkSpec {
+    /// The PU class serving this chunk.
+    pub pu: PuClass,
+    /// Work profiles of the chunk's stages, in pipeline order.
+    pub stages: Vec<WorkProfile>,
+    /// Whether every stage pays the PU's completion-synchronization cost.
+    ///
+    /// BT-Implementer chunks submit kernels asynchronously and synchronize
+    /// once per chunk per task (`false`, the default); accelerator-oriented
+    /// baselines synchronize after every stage (`true`). On mobile Vulkan
+    /// stacks this difference is a large part of the pipeline speedup.
+    pub sync_per_stage: bool,
+}
+
+impl ChunkSpec {
+    /// Creates a chunk of `stages` on `pu` with once-per-chunk
+    /// synchronization (the BT-Implementer dispatch pattern).
+    pub fn new(pu: PuClass, stages: Vec<WorkProfile>) -> ChunkSpec {
+        ChunkSpec {
+            pu,
+            stages,
+            sync_per_stage: false,
+        }
+    }
+
+    /// Switches to per-stage synchronization (the baseline offload
+    /// pattern).
+    pub fn with_per_stage_sync(mut self) -> ChunkSpec {
+        self.sync_per_stage = true;
+        self
+    }
+}
+
+/// Configuration of one simulated pipeline run.
+#[derive(Debug, Clone)]
+pub struct DesConfig {
+    /// Measured tasks (the paper uses 30 per run).
+    pub tasks: u32,
+    /// Warmup tasks excluded from measurement.
+    pub warmup: u32,
+    /// Circulating task objects (multi-buffering depth). Defaults to
+    /// `chunks + 1` when 0.
+    pub buffers: u32,
+    /// Seed for the measurement-noise stream.
+    pub seed: u64,
+    /// Log-scale sigma of multiplicative measurement noise.
+    pub noise_sigma: f64,
+    /// Record a per-stage execution timeline (for Gantt-style inspection).
+    pub record_timeline: bool,
+}
+
+impl Default for DesConfig {
+    fn default() -> DesConfig {
+        DesConfig {
+            tasks: 30,
+            warmup: 5,
+            buffers: 0,
+            seed: 0,
+            noise_sigma: 0.02,
+            record_timeline: false,
+        }
+    }
+}
+
+/// One recorded stage execution (only when
+/// [`DesConfig::record_timeline`] is set).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimelineEvent {
+    /// Which chunk executed.
+    pub chunk: usize,
+    /// Stage index *within* the chunk.
+    pub stage: usize,
+    /// Task sequence number.
+    pub task: usize,
+    /// Virtual start time (µs).
+    pub start: f64,
+    /// Virtual end time (µs).
+    pub end: f64,
+}
+
+/// Result of a simulated pipeline run.
+#[derive(Debug, Clone)]
+pub struct DesReport {
+    /// Virtual time between the first measured task's departure and the
+    /// last task's departure (steady-state window, excluding pipeline
+    /// fill).
+    pub makespan: Micros,
+    /// Mean per-task residence time (entry into chunk 0 → exit from the
+    /// last chunk) over measured tasks.
+    pub mean_task_latency: Micros,
+    /// Steady-state inverse throughput (mean inter-departure time over the
+    /// measured window). This is the quantity the paper reports as
+    /// pipeline latency and compares against the predicted bottleneck
+    /// `T_max`.
+    pub time_per_task: Micros,
+    /// Tasks completed per second of virtual time.
+    pub throughput_hz: f64,
+    /// Fraction of the measured window each chunk spent busy.
+    pub chunk_utilization: Vec<f64>,
+    /// Index of the chunk with the highest utilization.
+    pub bottleneck_chunk: usize,
+    /// Number of measured tasks.
+    pub tasks: u32,
+    /// Per-stage execution records (empty unless
+    /// [`DesConfig::record_timeline`] was set).
+    pub timeline: Vec<TimelineEvent>,
+}
+
+/// Min-heap event key with a total order (virtual times are never NaN).
+#[derive(Debug, PartialEq)]
+struct Event {
+    time: f64,
+    chunk: usize,
+}
+
+impl Eq for Event {}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Event) -> Ordering {
+        // Reversed for a min-heap on (time, chunk).
+        other
+            .time
+            .partial_cmp(&self.time)
+            .expect("virtual time is never NaN")
+            .then_with(|| other.chunk.cmp(&self.chunk))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Event) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct InFlight {
+    task: usize,
+    stage: usize,
+    /// (class, bw demand) advertised to co-runners while this stage runs.
+    demand: f64,
+}
+
+/// Signature of the service-time sampler threaded through the event loop:
+/// `(chunk, stage, states) → (service µs, bandwidth demand GB/s)`.
+type ServiceFn<'a> = dyn FnMut(usize, usize, &[ChunkState]) -> (f64, f64) + 'a;
+
+#[derive(Debug)]
+struct ChunkState {
+    input: VecDeque<usize>,
+    busy: Option<InFlight>,
+    busy_since: f64,
+    busy_accum: f64,
+}
+
+/// Simulates pipelined execution of `chunks` on `soc`.
+///
+/// # Errors
+///
+/// Returns [`SocError::EmptySimulation`] if `chunks` is empty, any chunk has
+/// no stages, or `cfg.tasks == 0`; [`SocError::MissingPu`] if a chunk names
+/// a PU class the device lacks.
+pub fn simulate(soc: &SocSpec, chunks: &[ChunkSpec], cfg: &DesConfig) -> Result<DesReport, SocError> {
+    if chunks.is_empty() || cfg.tasks == 0 || chunks.iter().any(|c| c.stages.is_empty()) {
+        return Err(SocError::EmptySimulation);
+    }
+    for chunk in chunks {
+        soc.try_pu(chunk.pu)?;
+    }
+
+    let n_chunks = chunks.len();
+    let total_tasks = (cfg.tasks + cfg.warmup) as usize;
+    let buffers = if cfg.buffers == 0 {
+        n_chunks + 1
+    } else {
+        cfg.buffers as usize
+    };
+    let mut noise = NoiseModel::new(cfg.noise_sigma, cfg.seed);
+
+    let mut states: Vec<ChunkState> = (0..n_chunks)
+        .map(|_| ChunkState {
+            input: VecDeque::new(),
+            busy: None,
+            busy_since: 0.0,
+            busy_accum: 0.0,
+        })
+        .collect();
+    // All task objects begin recycled at the head of the pipeline.
+    for _ in 0..buffers {
+        states[0].input.push_back(usize::MAX); // placeholder: object slot
+    }
+
+    let mut started = 0usize;
+    let mut completed = 0usize;
+    let mut entry_time = vec![0.0f64; total_tasks];
+    let mut exit_time = vec![0.0f64; total_tasks];
+    let mut heap = BinaryHeap::new();
+    let mut now = 0.0f64;
+    let mut timeline: Vec<TimelineEvent> = Vec::new();
+
+    // Measurement window: entry of first measured task → exit of last.
+    let measure_from = cfg.warmup as usize;
+
+    // Service-time computation against the instantaneous busy set.
+    let service = |chunk_idx: usize,
+                   stage_idx: usize,
+                   states: &[ChunkState],
+                   noise: &mut NoiseModel|
+     -> (f64, f64) {
+        let chunk = &chunks[chunk_idx];
+        let work = &chunk.stages[stage_idx];
+        let pu = soc.pu(chunk.pu).expect("validated above");
+        let co: Vec<ActiveKernel> = states
+            .iter()
+            .enumerate()
+            .filter(|(i, s)| *i != chunk_idx && s.busy.is_some())
+            .map(|(i, s)| {
+                let inflight = s.busy.expect("filtered on is_some");
+                ActiveKernel::new(chunks[i].pu, inflight.demand)
+            })
+            .collect();
+        let ctx = if co.is_empty() {
+            LoadContext::isolated()
+        } else {
+            LoadContext::with_co_runners(co)
+        };
+        // Synchronization: after every stage for baseline-style chunks,
+        // once per task (at the last stage) for pipelined chunks.
+        let sync = if chunk.sync_per_stage || stage_idx + 1 == chunk.stages.len() {
+            pu.sync_overhead_us()
+        } else {
+            0.0
+        };
+        let t = cost::latency(work, pu, soc, &ctx).as_f64() * noise.factor() + sync;
+        let demand = cost::bw_demand(work, pu);
+        (t, demand)
+    };
+
+    // Try to start the next task/stage on an idle chunk.
+    #[allow(clippy::too_many_arguments)]
+    fn try_start(
+        chunk_idx: usize,
+        now: f64,
+        states: &mut [ChunkState],
+        heap: &mut BinaryHeap<Event>,
+        started: &mut usize,
+        total_tasks: usize,
+        entry_time: &mut [f64],
+        service: &mut ServiceFn<'_>,
+        timeline: Option<&mut Vec<TimelineEvent>>,
+    ) {
+        if states[chunk_idx].busy.is_some() || states[chunk_idx].input.is_empty() {
+            return;
+        }
+        // The head chunk converts recycled objects into fresh tasks.
+        let task = if chunk_idx == 0 {
+            if *started >= total_tasks {
+                return; // stream exhausted
+            }
+            states[chunk_idx].input.pop_front();
+            let t = *started;
+            *started += 1;
+            entry_time[t] = now;
+            t
+        } else {
+            states[chunk_idx].input.pop_front().expect("checked non-empty")
+        };
+        let (dt, demand) = service(chunk_idx, 0, states);
+        states[chunk_idx].busy = Some(InFlight { task, stage: 0, demand });
+        states[chunk_idx].busy_since = now;
+        heap.push(Event { time: now + dt, chunk: chunk_idx });
+        if let Some(events) = timeline {
+            events.push(TimelineEvent {
+                chunk: chunk_idx,
+                stage: 0,
+                task,
+                start: now,
+                end: now + dt,
+            });
+        }
+    }
+
+    let mut service_fn = |c: usize, s: usize, st: &[ChunkState]| service(c, s, st, &mut noise);
+
+    try_start(
+        0,
+        now,
+        &mut states,
+        &mut heap,
+        &mut started,
+        total_tasks,
+        &mut entry_time,
+        &mut service_fn,
+        cfg.record_timeline.then_some(&mut timeline),
+    );
+
+    while completed < total_tasks {
+        let ev = heap.pop().expect("pipeline cannot deadlock with buffered queues");
+        now = ev.time;
+        let chunk_idx = ev.chunk;
+        let inflight = states[chunk_idx].busy.expect("event implies busy chunk");
+
+        if inflight.stage + 1 < chunks[chunk_idx].stages.len() {
+            // Next stage of the same chunk; re-sample interference now.
+            let (dt, demand) = service_fn(chunk_idx, inflight.stage + 1, &states);
+            states[chunk_idx].busy = Some(InFlight {
+                task: inflight.task,
+                stage: inflight.stage + 1,
+                demand,
+            });
+            heap.push(Event { time: now + dt, chunk: chunk_idx });
+            if cfg.record_timeline {
+                timeline.push(TimelineEvent {
+                    chunk: chunk_idx,
+                    stage: inflight.stage + 1,
+                    task: inflight.task,
+                    start: now,
+                    end: now + dt,
+                });
+            }
+            continue;
+        }
+
+        // Chunk finished its last stage for this task.
+        states[chunk_idx].busy_accum += now - states[chunk_idx].busy_since;
+        states[chunk_idx].busy = None;
+        let task = inflight.task;
+
+        if chunk_idx + 1 == n_chunks {
+            exit_time[task] = now;
+            completed += 1;
+            // Recycle the object to the head.
+            states[0].input.push_back(usize::MAX);
+            try_start(
+                0,
+                now,
+                &mut states,
+                &mut heap,
+                &mut started,
+                total_tasks,
+                &mut entry_time,
+                &mut service_fn,
+                cfg.record_timeline.then_some(&mut timeline),
+            );
+        } else {
+            states[chunk_idx + 1].input.push_back(task);
+            try_start(
+                chunk_idx + 1,
+                now,
+                &mut states,
+                &mut heap,
+                &mut started,
+                total_tasks,
+                &mut entry_time,
+                &mut service_fn,
+                cfg.record_timeline.then_some(&mut timeline),
+            );
+        }
+        // The finishing chunk may have more input waiting.
+        try_start(
+            chunk_idx,
+            now,
+            &mut states,
+            &mut heap,
+            &mut started,
+            total_tasks,
+            &mut entry_time,
+            &mut service_fn,
+            cfg.record_timeline.then_some(&mut timeline),
+        );
+    }
+
+    // Steady-state window: departures of the measured tasks. Using
+    // departure-to-departure time excludes the pipeline-fill transient
+    // that entry-based windows would charge to deep multi-buffering.
+    let departures = cfg.tasks.max(1) as f64;
+    let w_start = if measure_from > 0 {
+        exit_time[measure_from - 1]
+    } else {
+        // No warmup: fall back to the first entry (includes one fill).
+        entry_time[0]
+    };
+    let w_end = exit_time[total_tasks - 1];
+    let makespan = (w_end - w_start).max(1e-9);
+
+    let measured = &exit_time[measure_from..];
+    let mean_latency = measured
+        .iter()
+        .zip(&entry_time[measure_from..])
+        .map(|(x, e)| x - e)
+        .sum::<f64>()
+        / cfg.tasks as f64;
+
+    // Utilization within the measured window (approximated over the full
+    // run, which converges to the window value for steady pipelines).
+    let total_span = now.max(1e-9);
+    let chunk_utilization: Vec<f64> = states.iter().map(|s| s.busy_accum / total_span).collect();
+    let bottleneck_chunk = chunk_utilization
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("utilization is never NaN"))
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+
+    Ok(DesReport {
+        makespan: Micros::new(makespan),
+        mean_task_latency: Micros::new(mean_latency),
+        time_per_task: Micros::new(makespan / departures),
+        throughput_hz: departures / (makespan / 1e6),
+        chunk_utilization,
+        bottleneck_chunk,
+        tasks: cfg.tasks,
+        timeline,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::devices;
+
+    fn noiseless() -> DesConfig {
+        DesConfig {
+            tasks: 30,
+            warmup: 5,
+            seed: 1,
+            noise_sigma: 0.0,
+            ..DesConfig::default()
+        }
+    }
+
+    fn stage(flops: f64) -> WorkProfile {
+        WorkProfile::new(flops, flops / 4.0)
+    }
+
+    #[test]
+    fn empty_inputs_rejected() {
+        let soc = devices::pixel_7a();
+        assert!(matches!(
+            simulate(&soc, &[], &noiseless()),
+            Err(SocError::EmptySimulation)
+        ));
+        let chunks = [ChunkSpec::new(PuClass::BigCpu, vec![])];
+        assert!(matches!(
+            simulate(&soc, &chunks, &noiseless()),
+            Err(SocError::EmptySimulation)
+        ));
+    }
+
+    #[test]
+    fn missing_pu_rejected() {
+        let soc = devices::jetson_orin_nano();
+        let chunks = [ChunkSpec::new(PuClass::LittleCpu, vec![stage(1e6)])];
+        assert!(matches!(
+            simulate(&soc, &chunks, &noiseless()),
+            Err(SocError::MissingPu(PuClass::LittleCpu))
+        ));
+    }
+
+    #[test]
+    fn single_chunk_matches_serial_sum() {
+        let soc = devices::jetson_orin_nano();
+        let stages = vec![stage(1e7), stage(2e7), stage(5e6)];
+        let chunks = [ChunkSpec::new(PuClass::BigCpu, stages.clone())];
+        let report = simulate(&soc, &chunks, &noiseless()).unwrap();
+        let pu = soc.pu(PuClass::BigCpu).unwrap();
+        let serial: f64 = stages
+            .iter()
+            .map(|w| cost::latency(w, pu, &soc, &LoadContext::isolated()).as_f64())
+            .sum();
+        let per_task = report.time_per_task.as_f64();
+        assert!(
+            (per_task - serial).abs() / serial < 0.02,
+            "per-task {per_task} vs serial {serial}"
+        );
+    }
+
+    #[test]
+    fn two_balanced_chunks_double_throughput() {
+        let soc = devices::jetson_orin_nano();
+        // Two equal compute-bound stages; no interference model coupling
+        // beyond DVFS, which for Jetson slows CPUs ~1.33x under load.
+        let one = [ChunkSpec::new(
+            PuClass::BigCpu,
+            vec![stage(2e7), stage(2e7)],
+        )];
+        let two = [
+            ChunkSpec::new(PuClass::BigCpu, vec![stage(2e7)]),
+            ChunkSpec::new(PuClass::Gpu, vec![stage(2e7)]),
+        ];
+        let serial = simulate(&soc, &one, &noiseless()).unwrap();
+        let piped = simulate(&soc, &two, &noiseless()).unwrap();
+        assert!(
+            piped.time_per_task < serial.time_per_task,
+            "pipelining should raise throughput: {} vs {}",
+            piped.time_per_task,
+            serial.time_per_task
+        );
+    }
+
+    #[test]
+    fn bottleneck_chunk_has_highest_utilization() {
+        let soc = devices::jetson_orin_nano();
+        let chunks = [
+            ChunkSpec::new(PuClass::BigCpu, vec![stage(5e7)]), // heavy
+            ChunkSpec::new(PuClass::Gpu, vec![stage(1e6)]),    // light
+        ];
+        let report = simulate(&soc, &chunks, &noiseless()).unwrap();
+        assert_eq!(report.bottleneck_chunk, 0);
+        assert!(report.chunk_utilization[0] > report.chunk_utilization[1]);
+    }
+
+    #[test]
+    fn throughput_consistent_with_time_per_task() {
+        let soc = devices::pixel_7a();
+        let chunks = [
+            ChunkSpec::new(PuClass::BigCpu, vec![stage(1e7)]),
+            ChunkSpec::new(PuClass::Gpu, vec![stage(1e7)]),
+        ];
+        let r = simulate(&soc, &chunks, &noiseless()).unwrap();
+        let expect = 1e6 / r.time_per_task.as_f64();
+        assert!((r.throughput_hz - expect).abs() / expect < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let soc = devices::pixel_7a();
+        let chunks = [
+            ChunkSpec::new(PuClass::BigCpu, vec![stage(1e7)]),
+            ChunkSpec::new(PuClass::Gpu, vec![stage(8e6)]),
+        ];
+        let cfg = DesConfig { noise_sigma: 0.05, seed: 42, ..noiseless() };
+        let a = simulate(&soc, &chunks, &cfg).unwrap();
+        let b = simulate(&soc, &chunks, &cfg).unwrap();
+        assert_eq!(a.makespan.as_f64(), b.makespan.as_f64());
+        let cfg2 = DesConfig { seed: 43, ..cfg };
+        let c = simulate(&soc, &chunks, &cfg2).unwrap();
+        assert_ne!(a.makespan.as_f64(), c.makespan.as_f64());
+    }
+
+    #[test]
+    fn mean_task_latency_at_least_time_per_task() {
+        // Residence time includes queueing, so it can't be below the
+        // steady-state inter-departure time in a balanced pipeline.
+        let soc = devices::pixel_7a();
+        let chunks = [
+            ChunkSpec::new(PuClass::BigCpu, vec![stage(1e7)]),
+            ChunkSpec::new(PuClass::MediumCpu, vec![stage(9e6)]),
+            ChunkSpec::new(PuClass::Gpu, vec![stage(1.1e7)]),
+        ];
+        let r = simulate(&soc, &chunks, &noiseless()).unwrap();
+        assert!(r.mean_task_latency.as_f64() >= 0.9 * r.time_per_task.as_f64());
+    }
+
+    #[test]
+    fn interference_raises_pipeline_cost_vs_isolated_sum() {
+        // On the Pixel, two concurrently busy CPU chunks slow each other
+        // down (DVFS 1.3x), so the pipeline's bottleneck exceeds the
+        // isolated latency of the heavier chunk.
+        let soc = devices::pixel_7a();
+        let heavy = stage(2e7);
+        let pu = soc.pu(PuClass::BigCpu).unwrap();
+        let iso = cost::latency(&heavy, pu, &soc, &LoadContext::isolated()).as_f64();
+        let chunks = [
+            ChunkSpec::new(PuClass::BigCpu, vec![heavy.clone()]),
+            ChunkSpec::new(PuClass::MediumCpu, vec![stage(1.9e7)]),
+        ];
+        let r = simulate(&soc, &chunks, &noiseless()).unwrap();
+        assert!(
+            r.time_per_task.as_f64() > iso * 1.1,
+            "contended bottleneck {} should exceed isolated {}",
+            r.time_per_task.as_f64(),
+            iso
+        );
+    }
+}

@@ -1,0 +1,288 @@
+//! Dynamic (StarPU-style) scheduling in the simulator — the comparison
+//! point of the paper's Related Work (§6): a greedy runtime that assigns
+//! each ready (task, stage) to an idle PU at dispatch time instead of
+//! fixing a static stage → PU map.
+//!
+//! Two honest costs distinguish it from BT-Implementer's static chunks:
+//! every stage pays the PU's completion-synchronization cost (the runtime
+//! must observe completion before making the next decision), and placement
+//! uses at best *isolated* latency estimates — it cannot anticipate the
+//! interference its own concurrent placements create.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::cost::{self, LoadContext};
+use crate::des::{DesConfig, DesReport};
+use crate::{ActiveKernel, Micros, NoiseModel, PuClass, SocError, SocSpec, WorkProfile};
+
+/// Placement policy of the dynamic scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DynamicPolicy {
+    /// Oldest ready stage goes to the first idle PU (work-conserving FIFO).
+    Fifo,
+    /// Oldest ready stage goes to the idle PU with the lowest *isolated*
+    /// latency estimate for that stage — a HEFT-flavoured greedy heuristic.
+    BestFit,
+}
+
+#[derive(Debug, PartialEq)]
+struct Completion {
+    time: f64,
+    pu_idx: usize,
+}
+
+impl Eq for Completion {}
+
+impl Ord for Completion {
+    fn cmp(&self, other: &Completion) -> Ordering {
+        other
+            .time
+            .partial_cmp(&self.time)
+            .expect("virtual time is never NaN")
+            .then_with(|| other.pu_idx.cmp(&self.pu_idx))
+    }
+}
+
+impl PartialOrd for Completion {
+    fn partial_cmp(&self, other: &Completion) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Running {
+    task: usize,
+    stage: usize,
+    demand: f64,
+}
+
+/// Simulates dynamic scheduling of `stages` (per-task, in order) over all
+/// schedulable PUs of `soc`.
+///
+/// # Errors
+///
+/// Returns [`SocError::EmptySimulation`] for empty inputs.
+pub fn simulate_dynamic(
+    soc: &SocSpec,
+    stages: &[WorkProfile],
+    cfg: &DesConfig,
+    policy: DynamicPolicy,
+) -> Result<DesReport, SocError> {
+    if stages.is_empty() || cfg.tasks == 0 {
+        return Err(SocError::EmptySimulation);
+    }
+    let pus: Vec<PuClass> = soc.schedulable_classes();
+    if pus.is_empty() {
+        return Err(SocError::EmptyDevice);
+    }
+
+    let total = (cfg.tasks + cfg.warmup) as usize;
+    let in_flight_cap = if cfg.buffers == 0 {
+        pus.len() + 1
+    } else {
+        cfg.buffers as usize
+    };
+    let mut noise = NoiseModel::new(cfg.noise_sigma, cfg.seed);
+
+    // (task, next stage) ready entries in FIFO (task-seq) order.
+    let mut ready: std::collections::VecDeque<(usize, usize)> = std::collections::VecDeque::new();
+    let mut running: Vec<Option<Running>> = vec![None; pus.len()];
+    let mut busy_accum = vec![0.0f64; pus.len()];
+    let mut busy_since = vec![0.0f64; pus.len()];
+    let mut entry_time = vec![0.0f64; total];
+    let mut exit_time = vec![0.0f64; total];
+    let mut admitted = 0usize;
+    let mut completed = 0usize;
+    let mut in_flight = 0usize;
+    let mut heap: BinaryHeap<Completion> = BinaryHeap::new();
+    let mut now = 0.0f64;
+
+    let isolated_estimate = |stage: usize, pu_idx: usize| -> f64 {
+        let pu = soc.pu(pus[pu_idx]).expect("schedulable class present");
+        cost::latency(&stages[stage], pu, soc, &LoadContext::isolated()).as_f64()
+    };
+
+    loop {
+        // Admit new tasks while the window allows.
+        while admitted < total && in_flight < in_flight_cap {
+            entry_time[admitted] = now;
+            ready.push_back((admitted, 0));
+            admitted += 1;
+            in_flight += 1;
+        }
+
+        // Dispatch ready stages onto idle PUs.
+        while let Some(&(task, stage)) = ready.front() {
+            let idle: Vec<usize> = (0..pus.len()).filter(|&i| running[i].is_none()).collect();
+            if idle.is_empty() {
+                break;
+            }
+            let pu_idx = match policy {
+                DynamicPolicy::Fifo => idle[0],
+                DynamicPolicy::BestFit => idle
+                    .into_iter()
+                    .min_by(|&a, &b| {
+                        isolated_estimate(stage, a)
+                            .partial_cmp(&isolated_estimate(stage, b))
+                            .expect("finite estimates")
+                    })
+                    .expect("checked non-empty"),
+            };
+            ready.pop_front();
+            let pu = soc.pu(pus[pu_idx]).expect("present");
+            let co: Vec<ActiveKernel> = running
+                .iter()
+                .enumerate()
+                .filter_map(|(i, r)| {
+                    r.map(|r| ActiveKernel::new(pus[i], r.demand))
+                })
+                .collect();
+            let ctx = if co.is_empty() {
+                LoadContext::isolated()
+            } else {
+                LoadContext::with_co_runners(co)
+            };
+            // Dynamic runtimes synchronize after every stage.
+            let dt = cost::latency(&stages[stage], pu, soc, &ctx).as_f64() * noise.factor()
+                + pu.sync_overhead_us();
+            let demand = cost::bw_demand(&stages[stage], pu);
+            running[pu_idx] = Some(Running { task, stage, demand });
+            busy_since[pu_idx] = now;
+            heap.push(Completion { time: now + dt, pu_idx });
+        }
+
+        if completed >= total {
+            break;
+        }
+        let Some(done) = heap.pop() else {
+            debug_assert!(completed >= total, "no pending work but tasks remain");
+            break;
+        };
+        now = done.time;
+        let fin = running[done.pu_idx].take().expect("completion implies running");
+        busy_accum[done.pu_idx] += now - busy_since[done.pu_idx];
+        if fin.stage + 1 < stages.len() {
+            // Preserve FIFO order by task sequence.
+            let pos = ready
+                .iter()
+                .position(|&(t, _)| t > fin.task)
+                .unwrap_or(ready.len());
+            ready.insert(pos, (fin.task, fin.stage + 1));
+        } else {
+            exit_time[fin.task] = now;
+            completed += 1;
+            in_flight -= 1;
+        }
+    }
+
+    let measure_from = cfg.warmup as usize;
+    let departures = cfg.tasks.max(1) as f64;
+    let w_start = if measure_from > 0 {
+        exit_time[measure_from - 1]
+    } else {
+        entry_time[0]
+    };
+    let makespan = (exit_time[total - 1] - w_start).max(1e-9);
+    let mean_latency = exit_time[measure_from..]
+        .iter()
+        .zip(&entry_time[measure_from..])
+        .map(|(x, e)| x - e)
+        .sum::<f64>()
+        / cfg.tasks as f64;
+    let span = now.max(1e-9);
+    let chunk_utilization: Vec<f64> = busy_accum.iter().map(|b| b / span).collect();
+    let bottleneck_chunk = chunk_utilization
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+
+    Ok(DesReport {
+        makespan: Micros::new(makespan),
+        mean_task_latency: Micros::new(mean_latency),
+        time_per_task: Micros::new(makespan / departures),
+        throughput_hz: departures / (makespan / 1e6),
+        chunk_utilization,
+        bottleneck_chunk,
+        tasks: cfg.tasks,
+        timeline: Vec::new(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::devices;
+
+    fn stages() -> Vec<WorkProfile> {
+        vec![
+            WorkProfile::new(1e7, 2e6),
+            WorkProfile::new(2e7, 4e6),
+            WorkProfile::new(5e6, 1e6),
+        ]
+    }
+
+    fn cfg() -> DesConfig {
+        DesConfig {
+            noise_sigma: 0.0,
+            ..DesConfig::default()
+        }
+    }
+
+    #[test]
+    fn both_policies_complete_all_tasks() {
+        let soc = devices::pixel_7a();
+        for policy in [DynamicPolicy::Fifo, DynamicPolicy::BestFit] {
+            let r = simulate_dynamic(&soc, &stages(), &cfg(), policy).expect("simulates");
+            assert_eq!(r.tasks, 30);
+            assert!(r.time_per_task.as_f64() > 0.0);
+            assert_eq!(r.chunk_utilization.len(), 4, "one entry per schedulable PU");
+        }
+    }
+
+    #[test]
+    fn best_fit_beats_fifo_on_heterogeneous_work() {
+        // A stage mix with a strongly GPU-hostile stage: FIFO will sometimes
+        // place it on the GPU, BestFit won't.
+        let soc = devices::pixel_7a();
+        let mixed = vec![
+            WorkProfile::new(3e7, 5e6), // regular
+            WorkProfile::new(1e7, 8e6)
+                .with_divergence(0.9)
+                .with_irregularity(0.8), // GPU-hostile
+        ];
+        let fifo = simulate_dynamic(&soc, &mixed, &cfg(), DynamicPolicy::Fifo).expect("simulates");
+        let fit =
+            simulate_dynamic(&soc, &mixed, &cfg(), DynamicPolicy::BestFit).expect("simulates");
+        assert!(
+            fit.time_per_task.as_f64() <= fifo.time_per_task.as_f64() * 1.05,
+            "best-fit {} should not lose to fifo {}",
+            fit.time_per_task,
+            fifo.time_per_task
+        );
+    }
+
+    #[test]
+    fn oneplus_excludes_unpinnable_littles() {
+        let soc = devices::oneplus_11();
+        let r = simulate_dynamic(&soc, &stages(), &cfg(), DynamicPolicy::BestFit)
+            .expect("simulates");
+        assert_eq!(r.chunk_utilization.len(), 3, "little cluster is unpinnable");
+    }
+
+    #[test]
+    fn empty_inputs_rejected() {
+        let soc = devices::pixel_7a();
+        assert!(simulate_dynamic(&soc, &[], &cfg(), DynamicPolicy::Fifo).is_err());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let soc = devices::jetson_orin_nano();
+        let a = simulate_dynamic(&soc, &stages(), &cfg(), DynamicPolicy::BestFit).unwrap();
+        let b = simulate_dynamic(&soc, &stages(), &cfg(), DynamicPolicy::BestFit).unwrap();
+        assert_eq!(a.makespan.as_f64(), b.makespan.as_f64());
+    }
+}

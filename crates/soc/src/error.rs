@@ -1,0 +1,61 @@
+use std::error::Error;
+use std::fmt;
+
+use crate::PuClass;
+
+/// Errors produced while constructing or querying SoC models.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SocError {
+    /// The device model does not contain the requested PU class.
+    MissingPu(PuClass),
+    /// A device model was constructed with no processing units.
+    EmptyDevice,
+    /// A numeric specification parameter was zero or negative.
+    InvalidSpec {
+        /// Name of the offending parameter.
+        param: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A simulation was configured with no chunks or no tasks.
+    EmptySimulation,
+}
+
+impl fmt::Display for SocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SocError::MissingPu(class) => {
+                write!(f, "device model has no processing unit of class {class}")
+            }
+            SocError::EmptyDevice => write!(f, "device model has no processing units"),
+            SocError::InvalidSpec { param, value } => {
+                write!(f, "invalid specification: {param} = {value} must be positive")
+            }
+            SocError::EmptySimulation => {
+                write!(f, "simulation requires at least one chunk and one task")
+            }
+        }
+    }
+}
+
+impl Error for SocError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_nonempty() {
+        let e = SocError::MissingPu(PuClass::Gpu);
+        let s = e.to_string();
+        assert!(!s.is_empty());
+        assert!(s.starts_with(char::is_lowercase));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SocError>();
+    }
+}

@@ -1,0 +1,62 @@
+//! # bt-soc — heterogeneous SoC modeling substrate
+//!
+//! This crate is the hardware substrate of the BetterTogether reproduction.
+//! The paper evaluates on four physical edge platforms (Google Pixel 7a,
+//! OnePlus 11, NVIDIA Jetson Orin Nano in normal and low-power modes); this
+//! crate replaces them with calibrated analytic device models plus a
+//! discrete-event simulator, so every scheduling experiment in the paper can
+//! run on a development machine.
+//!
+//! The crate provides:
+//!
+//! - [`PuClass`] / [`PuSpec`] — processing-unit taxonomy (big/medium/little
+//!   CPU clusters and integrated GPUs) with architectural parameters.
+//! - [`SocSpec`] and the [`devices`] module — complete models of the paper's
+//!   four evaluation platforms (Table 2 of the paper).
+//! - [`WorkProfile`] — a black-box description of one pipeline stage's
+//!   resource demands (flops, DRAM traffic, parallel fraction, control-flow
+//!   divergence, memory irregularity).
+//! - [`cost`] — a roofline-style latency model mapping a `WorkProfile` onto a
+//!   PU under a given concurrency context.
+//! - [`InterferenceModel`] — per-device DVFS/firmware multipliers plus
+//!   dynamic DRAM bandwidth contention, calibrated against Fig. 7 of the
+//!   paper.
+//! - [`des`] — a discrete-event simulator that executes a pipelined chunk
+//!   schedule in virtual time, re-sampling interference against the set of
+//!   concurrently busy PUs.
+//!
+//! # Example
+//!
+//! ```
+//! use bt_soc::{devices, PuClass, WorkProfile, cost::{self, LoadContext}};
+//!
+//! let soc = devices::pixel_7a();
+//! let work = WorkProfile::new(1.0e6, 4.0e5).with_parallel_fraction(0.95);
+//! let gpu = soc.pu(PuClass::Gpu).expect("pixel has a GPU");
+//! let t = cost::latency(&work, gpu, &soc, &LoadContext::isolated());
+//! assert!(t.as_f64() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod affinity;
+mod clock;
+pub mod cost;
+pub mod des;
+pub mod des_dynamic;
+mod device;
+pub mod gantt;
+mod error;
+mod interference;
+pub mod power;
+mod pu;
+mod work;
+
+pub use affinity::AffinityMap;
+pub use clock::{seed_from_labels, Micros, NoiseModel, SimClock};
+pub use device::{devices, PerClass, SocBuilder, SocSpec};
+pub use error::SocError;
+pub use interference::{ActiveKernel, InterferenceModel};
+pub use pu::{GpuBackend, PuClass, PuId, PuSpec};
+pub use work::WorkProfile;

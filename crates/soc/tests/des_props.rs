@@ -1,0 +1,176 @@
+//! Property tests of the discrete-event pipeline simulator: conservation,
+//! determinism, and queueing-theoretic bounds over randomized schedules.
+
+use bt_soc::des::{simulate, ChunkSpec, DesConfig};
+use bt_soc::{cost, devices, InterferenceModel, PuClass, SocBuilder, PuSpec, WorkProfile};
+use proptest::prelude::*;
+
+/// A device with no interference at all, so queueing bounds are exact.
+fn clean_soc() -> bt_soc::SocSpec {
+    SocBuilder::new("clean")
+        .pu(PuSpec::new(PuClass::BigCpu, "big", 4, 2.0))
+        .pu(PuSpec::new(PuClass::MediumCpu, "med", 4, 1.5))
+        .pu(PuSpec::new(PuClass::Gpu, "gpu", 8, 1.0))
+        .dram_bw_gbs(1e9) // effectively unlimited
+        .interference(InterferenceModel::none())
+        .build()
+        .expect("valid device")
+}
+
+fn chunk_strategy() -> impl Strategy<Value = Vec<ChunkSpec>> {
+    let classes = [PuClass::BigCpu, PuClass::MediumCpu, PuClass::Gpu];
+    proptest::collection::vec(
+        (0usize..3, proptest::collection::vec(1.0e5f64..5.0e7, 1..4)),
+        1..=3,
+    )
+    .prop_map(move |raw| {
+        // Distinct classes per chunk (use index order).
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (_, flops))| {
+                ChunkSpec::new(
+                    classes[i],
+                    flops.into_iter().map(|f| WorkProfile::new(f, f / 4.0)).collect(),
+                )
+            })
+            .collect()
+    })
+}
+
+fn noiseless(tasks: u32) -> DesConfig {
+    DesConfig {
+        tasks,
+        warmup: 3,
+        noise_sigma: 0.0,
+        ..DesConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn deterministic_and_positive(chunks in chunk_strategy()) {
+        let soc = clean_soc();
+        let a = simulate(&soc, &chunks, &noiseless(20)).expect("simulates");
+        let b = simulate(&soc, &chunks, &noiseless(20)).expect("simulates");
+        prop_assert_eq!(a.makespan.as_f64(), b.makespan.as_f64());
+        prop_assert!(a.time_per_task.as_f64() > 0.0);
+        prop_assert!(a.mean_task_latency.as_f64() > 0.0);
+        prop_assert_eq!(a.chunk_utilization.len(), chunks.len());
+    }
+
+    #[test]
+    fn bottleneck_lower_bound_holds(chunks in chunk_strategy()) {
+        // Without interference, steady-state time-per-task can't beat the
+        // slowest chunk's isolated service time.
+        let soc = clean_soc();
+        let report = simulate(&soc, &chunks, &noiseless(40)).expect("simulates");
+        let bottleneck: f64 = chunks
+            .iter()
+            .map(|c| {
+                let pu = soc.pu(c.pu).expect("present");
+                c.stages
+                    .iter()
+                    .map(|w| cost::latency(w, pu, &soc, &cost::LoadContext::isolated()).as_f64())
+                    .sum::<f64>()
+                    + pu.sync_overhead_us()
+            })
+            .fold(0.0, f64::max);
+        prop_assert!(
+            report.time_per_task.as_f64() >= bottleneck * 0.99,
+            "{} < bottleneck {}",
+            report.time_per_task.as_f64(),
+            bottleneck
+        );
+        // And with ample buffering it approaches it (within 30%).
+        prop_assert!(
+            report.time_per_task.as_f64() <= bottleneck * 1.3 + 1.0,
+            "{} >> bottleneck {}",
+            report.time_per_task.as_f64(),
+            bottleneck
+        );
+    }
+
+    #[test]
+    fn residence_time_at_least_service_sum(chunks in chunk_strategy()) {
+        // A task's mean residence time is at least the sum of all its
+        // isolated service times (queueing only adds).
+        let soc = clean_soc();
+        let report = simulate(&soc, &chunks, &noiseless(20)).expect("simulates");
+        let service_sum: f64 = chunks
+            .iter()
+            .map(|c| {
+                let pu = soc.pu(c.pu).expect("present");
+                c.stages
+                    .iter()
+                    .map(|w| cost::latency(w, pu, &soc, &cost::LoadContext::isolated()).as_f64())
+                    .sum::<f64>()
+            })
+            .sum();
+        prop_assert!(report.mean_task_latency.as_f64() >= service_sum * 0.99);
+    }
+
+    #[test]
+    fn more_buffers_never_hurt_much(chunks in chunk_strategy()) {
+        let soc = clean_soc();
+        let shallow = simulate(
+            &soc,
+            &chunks,
+            &DesConfig { buffers: 1, ..noiseless(30) },
+        )
+        .expect("simulates");
+        let deep = simulate(
+            &soc,
+            &chunks,
+            &DesConfig { buffers: 8, ..noiseless(30) },
+        )
+        .expect("simulates");
+        prop_assert!(
+            deep.time_per_task.as_f64() <= shallow.time_per_task.as_f64() * 1.01,
+            "deep {} vs shallow {}",
+            deep.time_per_task.as_f64(),
+            shallow.time_per_task.as_f64()
+        );
+    }
+
+    #[test]
+    fn utilization_bounded_and_bottleneck_is_argmax(chunks in chunk_strategy()) {
+        let soc = clean_soc();
+        let report = simulate(&soc, &chunks, &noiseless(30)).expect("simulates");
+        for &u in &report.chunk_utilization {
+            prop_assert!((0.0..=1.02).contains(&u), "utilization {u}");
+        }
+        let max = report
+            .chunk_utilization
+            .iter()
+            .cloned()
+            .fold(f64::MIN, f64::max);
+        prop_assert!(
+            (report.chunk_utilization[report.bottleneck_chunk] - max).abs() < 1e-9
+        );
+    }
+}
+
+#[test]
+fn real_devices_simulate_every_class_combination() {
+    // Smoke over every device: a two-chunk schedule on each pair of
+    // present classes.
+    let work = WorkProfile::new(1e7, 2e6);
+    for soc in devices::all() {
+        let classes = soc.classes();
+        for &a in &classes {
+            for &b in &classes {
+                if a == b {
+                    continue;
+                }
+                let chunks = [
+                    ChunkSpec::new(a, vec![work.clone()]),
+                    ChunkSpec::new(b, vec![work.clone()]),
+                ];
+                let r = simulate(&soc, &chunks, &noiseless(10)).expect("simulates");
+                assert!(r.time_per_task.as_f64() > 0.0, "{} {a}/{b}", soc.name());
+            }
+        }
+    }
+}

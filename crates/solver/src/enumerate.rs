@@ -1,0 +1,265 @@
+//! Exact enumeration of the contiguous-partition schedule space.
+//!
+//! Under contiguity (C2), a schedule is an ordered partition of the stage
+//! sequence into at most `M` chunks, each assigned a *distinct* allowed PU
+//! class. For the paper's sizes (N ≤ 9, M ≤ 4) this space is tiny (≈2 000
+//! schedules), so exact enumeration is both the fast path of BT-Optimizer
+//! and the oracle the SAT encoding is property-tested against.
+
+use crate::{Assignment, ScheduleProblem};
+
+/// A fully evaluated schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleEval {
+    /// Stage → class assignment.
+    pub assignment: Assignment,
+    /// Maximal-chunk sums in pipeline order.
+    pub chunk_sums: Vec<f64>,
+    /// Predicted pipeline latency (bottleneck chunk).
+    pub t_max: f64,
+    /// Shortest chunk.
+    pub t_min: f64,
+}
+
+impl ScheduleEval {
+    /// Gapness: `T_max − T_min` (objective O1 of the paper).
+    pub fn gapness(&self) -> f64 {
+        self.t_max - self.t_min
+    }
+
+    /// Number of chunks (PUs used).
+    pub fn chunks(&self) -> usize {
+        self.chunk_sums.len()
+    }
+}
+
+/// Evaluates a valid assignment against a problem.
+///
+/// # Panics
+///
+/// Panics if the assignment is invalid for the problem.
+pub fn evaluate(problem: &ScheduleProblem, assignment: &[usize]) -> ScheduleEval {
+    let chunk_sums = problem.chunk_sums_of(assignment);
+    let t_max = chunk_sums.iter().cloned().fold(f64::MIN, f64::max);
+    let t_min = chunk_sums.iter().cloned().fold(f64::MAX, f64::min);
+    ScheduleEval {
+        assignment: assignment.to_vec(),
+        chunk_sums,
+        t_max,
+        t_min,
+    }
+}
+
+/// Enumerates every valid schedule of `problem`, evaluated. Deterministic
+/// order (recursive descent over chunk boundaries, classes ascending).
+pub fn enumerate_schedules(problem: &ScheduleProblem) -> Vec<ScheduleEval> {
+    let n = problem.stages();
+    let m = problem.classes();
+    let mut out = Vec::new();
+    let mut assignment = vec![0usize; n];
+    let mut used = vec![false; m];
+
+    // Recursive: place the chunk starting at `start`; `chunks` counts the
+    // chunks already placed (to honour any max-chunks cap).
+    fn recurse(
+        problem: &ScheduleProblem,
+        start: usize,
+        chunks: usize,
+        assignment: &mut Vec<usize>,
+        used: &mut Vec<bool>,
+        out: &mut Vec<ScheduleEval>,
+    ) {
+        let n = problem.stages();
+        if start == n {
+            out.push(evaluate(problem, assignment));
+            return;
+        }
+        if let Some(k) = problem.max_chunks() {
+            if chunks >= k {
+                return; // cap reached with stages remaining
+            }
+        }
+        for c in 0..problem.classes() {
+            if used[c] || !problem.is_allowed(c) {
+                continue;
+            }
+            used[c] = true;
+            for end in start..n {
+                assignment[end] = c;
+                recurse(problem, end + 1, chunks + 1, assignment, used, out);
+            }
+            used[c] = false;
+        }
+    }
+
+    recurse(problem, 0, 0, &mut assignment, &mut used, &mut out);
+    out
+}
+
+/// The gapness-optimal schedule (objective O1), by exact enumeration.
+pub fn min_gapness_exact(problem: &ScheduleProblem) -> Option<ScheduleEval> {
+    enumerate_schedules(problem).into_iter().min_by(|a, b| {
+        a.gapness()
+            .partial_cmp(&b.gapness())
+            .expect("latencies are finite")
+            .then_with(|| a.t_max.partial_cmp(&b.t_max).expect("finite"))
+    })
+}
+
+/// The `k` lowest-latency schedules, by exact enumeration (ties broken by
+/// gapness, then lexicographically for determinism).
+pub fn latency_candidates_exact(problem: &ScheduleProblem, k: usize) -> Vec<ScheduleEval> {
+    let mut all = enumerate_schedules(problem);
+    all.sort_by(|a, b| {
+        a.t_max
+            .partial_cmp(&b.t_max)
+            .expect("finite")
+            .then_with(|| a.gapness().partial_cmp(&b.gapness()).expect("finite"))
+            .then_with(|| a.assignment.cmp(&b.assignment))
+    });
+    all.truncate(k);
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn problem(rows: Vec<Vec<f64>>) -> ScheduleProblem {
+        ScheduleProblem::new(rows).unwrap()
+    }
+
+    /// Closed form: number of schedules = Σ_k C(n−1, k−1) · P(m, k).
+    fn expected_count(n: usize, m: usize) -> usize {
+        fn choose(n: usize, k: usize) -> usize {
+            if k > n {
+                return 0;
+            }
+            (0..k).fold(1, |acc, i| acc * (n - i) / (i + 1))
+        }
+        fn perm(m: usize, k: usize) -> usize {
+            (0..k).fold(1, |acc, i| acc * (m - i))
+        }
+        (1..=m.min(n)).map(|k| choose(n - 1, k - 1) * perm(m, k)).sum()
+    }
+
+    #[test]
+    fn enumeration_count_matches_closed_form() {
+        for (n, m) in [(2, 2), (3, 2), (4, 3), (5, 4), (9, 4)] {
+            let rows = vec![vec![1.0; m]; n];
+            let p = problem(rows);
+            let got = enumerate_schedules(&p).len();
+            assert_eq!(got, expected_count(n, m), "n={n}, m={m}");
+        }
+    }
+
+    #[test]
+    fn paper_size_space_is_262k_naive_but_2k_contiguous() {
+        // The paper counts 4^9 ≈ 262K naive assignments; contiguity cuts
+        // this to about 2 000 actual schedules.
+        let p = problem(vec![vec![1.0; 4]; 9]);
+        let n = enumerate_schedules(&p).len();
+        assert_eq!(n, expected_count(9, 4));
+        assert!(n < 3000);
+    }
+
+    #[test]
+    fn all_enumerated_schedules_are_valid_and_distinct() {
+        let p = problem(vec![vec![1.0, 2.0, 3.0]; 5]);
+        let all = enumerate_schedules(&p);
+        let mut seen = std::collections::HashSet::new();
+        for s in &all {
+            assert!(p.is_valid(&s.assignment));
+            assert!(seen.insert(s.assignment.clone()), "duplicate {:?}", s.assignment);
+        }
+    }
+
+    #[test]
+    fn evaluate_computes_extremes() {
+        let p = problem(vec![vec![5.0, 1.0], vec![5.0, 1.0], vec![5.0, 1.0]]);
+        let e = evaluate(&p, &[0, 1, 1]);
+        assert_eq!(e.chunk_sums, vec![5.0, 2.0]);
+        assert_eq!(e.t_max, 5.0);
+        assert_eq!(e.t_min, 2.0);
+        assert_eq!(e.gapness(), 3.0);
+        assert_eq!(e.chunks(), 2);
+    }
+
+    #[test]
+    fn min_gapness_exact_matches_sat() {
+        let tables = [
+            vec![vec![10.0, 30.0], vec![20.0, 10.0], vec![30.0, 20.0]],
+            vec![
+                vec![5.0, 50.0, 20.0],
+                vec![25.0, 10.0, 15.0],
+                vec![40.0, 30.0, 5.0],
+                vec![10.0, 20.0, 30.0],
+            ],
+        ];
+        for rows in tables {
+            let p = problem(rows);
+            let exact = min_gapness_exact(&p).expect("non-empty");
+            let (sat_gap, sat_sched) = p.min_gapness().expect("feasible");
+            assert!(
+                (exact.gapness() - sat_gap).abs() < 1e-6,
+                "exact {} vs sat {}",
+                exact.gapness(),
+                sat_gap
+            );
+            assert!(p.is_valid(&sat_sched));
+        }
+    }
+
+    #[test]
+    fn latency_candidates_exact_matches_sat_optimum() {
+        let p = problem(vec![
+            vec![10.0, 100.0],
+            vec![100.0, 10.0],
+            vec![10.0, 100.0],
+            vec![50.0, 60.0],
+        ]);
+        let exact = latency_candidates_exact(&p, 1)[0].t_max;
+        let (sat, _) = p.min_latency(&[]).expect("feasible");
+        assert!((exact - sat).abs() < 1e-6, "exact {exact} vs sat {sat}");
+    }
+
+    #[test]
+    fn max_chunks_cap_respected_by_both_engines() {
+        let p = problem(vec![
+            vec![10.0, 30.0, 20.0],
+            vec![20.0, 10.0, 30.0],
+            vec![30.0, 20.0, 10.0],
+            vec![15.0, 25.0, 35.0],
+        ])
+        .with_max_chunks(2);
+        let all = enumerate_schedules(&p);
+        assert!(!all.is_empty());
+        for e in &all {
+            assert!(e.chunks() <= 2, "schedule {:?} uses {} chunks", e.assignment, e.chunks());
+        }
+        // SAT engine agrees on the optimum under the cap.
+        let exact = latency_candidates_exact(&p, 1)[0].t_max;
+        let (sat, sched) = p.min_latency(&[]).expect("feasible");
+        assert!((exact - sat).abs() < 1e-6, "exact {exact} vs sat {sat}");
+        assert!(p.is_valid(&sched));
+        // The cap binds: without it the optimum is strictly better.
+        let free = problem(vec![
+            vec![10.0, 30.0, 20.0],
+            vec![20.0, 10.0, 30.0],
+            vec![30.0, 20.0, 10.0],
+            vec![15.0, 25.0, 35.0],
+        ]);
+        let unconstrained = latency_candidates_exact(&free, 1)[0].t_max;
+        assert!(unconstrained <= exact);
+    }
+
+    #[test]
+    fn disallowed_classes_excluded_from_enumeration() {
+        let p = problem(vec![vec![1.0, 2.0]; 3])
+            .with_allowed(vec![true, false])
+            .unwrap();
+        let all = enumerate_schedules(&p);
+        assert_eq!(all.len(), 1, "only the all-class-0 schedule remains");
+        assert_eq!(all[0].assignment, vec![0, 0, 0]);
+    }
+}

@@ -1,0 +1,45 @@
+//! # bt-solver — constraint-solving substrate
+//!
+//! The paper encodes schedule optimization as constraints (C1–C5, objective
+//! O1) and solves them with z3's Python API. This crate replaces z3 with a
+//! from-scratch, fully tested stack:
+//!
+//! - [`Solver`] — a complete DPLL SAT solver with two-watched-literal unit
+//!   propagation, chronological backtracking, and counter-propagated
+//!   pseudo-boolean (≤) constraints.
+//! - [`ScheduleProblem`] — the BetterTogether encoding: per-stage
+//!   exactly-one (C1), chunk contiguity (C2), per-chunk runtime windows
+//!   (C3a/C3b), blocking clauses (C5), with gapness (O1) and latency
+//!   minimized by binary search over achievable chunk sums.
+//! - [`enumerate`] — an exact enumerator of the contiguous-partition
+//!   schedule space, used both as BT-Optimizer's fast path and as the
+//!   oracle the SAT path is property-tested against.
+//!
+//! # Example
+//!
+//! ```
+//! use bt_solver::ScheduleProblem;
+//!
+//! // 3 stages × 2 PU classes, profiled latencies in µs.
+//! let p = ScheduleProblem::new(vec![
+//!     vec![10.0, 100.0],
+//!     vec![100.0, 10.0],
+//!     vec![10.0, 100.0],
+//! ])?;
+//! let (t_max, schedule) = p.min_latency(&[]).expect("feasible");
+//! assert!(t_max <= 120.0);
+//! assert_eq!(schedule.len(), 3);
+//! # Ok::<(), bt_solver::ProblemError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod enumerate;
+mod lit;
+mod schedule;
+mod solver;
+
+pub use lit::{Lit, Var};
+pub use schedule::{Assignment, ProblemError, ScheduleProblem};
+pub use solver::{Model, SolveResult, Solver};

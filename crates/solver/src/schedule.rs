@@ -1,0 +1,559 @@
+//! The BetterTogether schedule-optimization encoding (§3.3 of the paper).
+//!
+//! Decision variables `x[i][c]` assign stage `i` to PU class `c`, under:
+//!
+//! - **C1** — exactly one PU per stage;
+//! - **C2** — contiguity: stages mapped to the same PU form a single chunk;
+//! - **C3a/C3b** — every maximal chunk's summed latency lies in a window
+//!   `[T_min, T_max]`;
+//! - **C5ℓ** — blocking clauses excluding previously found schedules.
+//!
+//! Objectives (gapness **O1** and latency) are minimized by binary search
+//! over the discrete set of achievable chunk sums, each probe being one SAT
+//! call — the role z3's `Optimize` plays in the paper.
+
+use crate::{SolveResult, Solver, Var};
+
+/// A schedule: for each stage, the index of its assigned PU class.
+pub type Assignment = Vec<usize>;
+
+/// Errors constructing a [`ScheduleProblem`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ProblemError {
+    /// The latency table is empty or ragged.
+    BadShape,
+    /// A latency entry is non-positive or non-finite.
+    BadLatency {
+        /// Stage row.
+        stage: usize,
+        /// Class column.
+        class: usize,
+    },
+    /// No PU class is allowed.
+    NoAllowedClass,
+}
+
+impl std::fmt::Display for ProblemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProblemError::BadShape => f.write_str("latency table must be non-empty and rectangular"),
+            ProblemError::BadLatency { stage, class } => {
+                write!(f, "latency for stage {stage} on class {class} must be positive and finite")
+            }
+            ProblemError::NoAllowedClass => f.write_str("at least one PU class must be allowed"),
+        }
+    }
+}
+
+impl std::error::Error for ProblemError {}
+
+/// A schedule-optimization instance: the profiling table restricted to the
+/// classes the device can schedule.
+#[derive(Debug, Clone)]
+pub struct ScheduleProblem {
+    /// `latency[i][c]`: profiled latency of stage `i` on class `c` (µs).
+    latency: Vec<Vec<f64>>,
+    allowed: Vec<bool>,
+    /// Maximum number of chunks (dispatcher threads) a schedule may use;
+    /// `None` means only the PU count limits it.
+    max_chunks: Option<usize>,
+}
+
+impl ScheduleProblem {
+    /// Creates a problem from a `stages × classes` latency table, with all
+    /// classes allowed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProblemError`] if the table is empty, ragged, or contains
+    /// non-positive/non-finite entries.
+    pub fn new(latency: Vec<Vec<f64>>) -> Result<ScheduleProblem, ProblemError> {
+        if latency.is_empty() || latency[0].is_empty() {
+            return Err(ProblemError::BadShape);
+        }
+        let classes = latency[0].len();
+        for (i, row) in latency.iter().enumerate() {
+            if row.len() != classes {
+                return Err(ProblemError::BadShape);
+            }
+            for (c, &t) in row.iter().enumerate() {
+                if !(t > 0.0 && t.is_finite()) {
+                    return Err(ProblemError::BadLatency { stage: i, class: c });
+                }
+            }
+        }
+        let allowed = vec![true; classes];
+        Ok(ScheduleProblem {
+            latency,
+            allowed,
+            max_chunks: None,
+        })
+    }
+
+    /// Restricts which classes may host chunks (e.g. unpinnable clusters).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProblemError::NoAllowedClass`] if everything is disallowed,
+    /// or [`ProblemError::BadShape`] on length mismatch.
+    pub fn with_allowed(mut self, allowed: Vec<bool>) -> Result<ScheduleProblem, ProblemError> {
+        if allowed.len() != self.classes() {
+            return Err(ProblemError::BadShape);
+        }
+        if !allowed.iter().any(|&a| a) {
+            return Err(ProblemError::NoAllowedClass);
+        }
+        self.allowed = allowed;
+        Ok(self)
+    }
+
+    /// Caps the number of chunks (one dispatcher thread each, §3.4) a
+    /// schedule may use — e.g. to bound thread count or keep clusters
+    /// powered down. Encoded with a pseudo-boolean constraint over
+    /// chunk-boundary indicator variables in the SAT engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn with_max_chunks(mut self, k: usize) -> ScheduleProblem {
+        assert!(k >= 1, "at least one chunk is required");
+        self.max_chunks = Some(k);
+        self
+    }
+
+    /// The configured chunk cap, if any.
+    pub fn max_chunks(&self) -> Option<usize> {
+        self.max_chunks
+    }
+
+    /// Number of pipeline stages.
+    pub fn stages(&self) -> usize {
+        self.latency.len()
+    }
+
+    /// Number of PU classes (columns).
+    pub fn classes(&self) -> usize {
+        self.latency[0].len()
+    }
+
+    /// Whether class `c` may host chunks.
+    pub fn is_allowed(&self, c: usize) -> bool {
+        self.allowed[c]
+    }
+
+    /// Profiled latency of stage `i` on class `c`.
+    pub fn latency(&self, i: usize, c: usize) -> f64 {
+        self.latency[i][c]
+    }
+
+    /// Latency of the contiguous chunk `[i, j]` on class `c`.
+    pub fn chunk_sum(&self, i: usize, j: usize, c: usize) -> f64 {
+        self.latency[i..=j].iter().map(|row| row[c]).sum()
+    }
+
+    /// All achievable maximal-chunk sums over allowed classes, sorted and
+    /// deduplicated — the discrete search space for window bounds.
+    pub fn chunk_sums(&self) -> Vec<f64> {
+        let n = self.stages();
+        let mut sums = Vec::new();
+        for c in 0..self.classes() {
+            if !self.allowed[c] {
+                continue;
+            }
+            for i in 0..n {
+                let mut acc = 0.0;
+                for j in i..n {
+                    acc += self.latency[j][c];
+                    sums.push(acc);
+                }
+            }
+        }
+        sums.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        sums.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+        sums
+    }
+
+    /// Whether `assignment` satisfies C1 (length/range), contiguity (C2),
+    /// and class permissions.
+    pub fn is_valid(&self, assignment: &[usize]) -> bool {
+        if assignment.len() != self.stages() {
+            return false;
+        }
+        if assignment.iter().any(|&c| c >= self.classes() || !self.allowed[c]) {
+            return false;
+        }
+        // Contiguity: a class never reappears after a different class.
+        let mut seen_closed = vec![false; self.classes()];
+        let mut prev = usize::MAX;
+        let mut chunks = 0usize;
+        for &c in assignment {
+            if c != prev {
+                if seen_closed[c] {
+                    return false;
+                }
+                if prev != usize::MAX {
+                    seen_closed[prev] = true;
+                }
+                prev = c;
+                chunks += 1;
+            }
+        }
+        if let Some(k) = self.max_chunks {
+            if chunks > k {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The maximal-chunk sums of a valid assignment, in pipeline order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment is invalid.
+    pub fn chunk_sums_of(&self, assignment: &[usize]) -> Vec<f64> {
+        assert!(self.is_valid(assignment), "invalid assignment");
+        let mut sums = Vec::new();
+        let mut start = 0;
+        for i in 1..=assignment.len() {
+            if i == assignment.len() || assignment[i] != assignment[start] {
+                sums.push(self.chunk_sum(start, i - 1, assignment[start]));
+                start = i;
+            }
+        }
+        sums
+    }
+
+    /// Builds the SAT encoding for the window decision problem
+    /// `D(lo, hi)`: does a schedule exist whose every maximal chunk sum
+    /// lies in `[lo, hi]`, differing from every `blocked` schedule?
+    fn encode(&self, lo: f64, hi: f64, blocked: &[Assignment]) -> (Solver, Vec<Vec<Var>>) {
+        let n = self.stages();
+        let m = self.classes();
+        let mut solver = Solver::new();
+        let x: Vec<Vec<Var>> = (0..n)
+            .map(|_| (0..m).map(|_| solver.new_var()).collect())
+            .collect();
+
+        // Disallowed classes.
+        for (c, &ok) in self.allowed.iter().enumerate() {
+            if !ok {
+                for row in &x {
+                    solver.add_clause(&[row[c].neg()]);
+                }
+            }
+        }
+
+        // C1: exactly one class per stage.
+        for row in &x {
+            let lits: Vec<_> = row.iter().map(|v| v.pos()).collect();
+            solver.add_exactly_one(&lits);
+        }
+
+        // C2: contiguity. (x[i][c] ∧ x[k][c]) → x[i+1][c] for i+1 < k;
+        // induction extends this to all middle stages.
+        for c in 0..m {
+            for (i, row_i) in x.iter().enumerate() {
+                for row_k in x.iter().skip(i + 2) {
+                    let (xi, xk, xmid) = (row_i[c], row_k[c], x[i + 1][c]);
+                    solver.add_clause(&[xi.neg(), xk.neg(), xmid.pos()]);
+                }
+            }
+        }
+
+        // C3: forbid any maximal chunk whose sum falls outside [lo, hi].
+        let eps = 1e-9;
+        for c in 0..m {
+            if !self.allowed[c] {
+                continue;
+            }
+            for i in 0..n {
+                let mut acc = 0.0;
+                for j in i..n {
+                    acc += self.latency[j][c];
+                    if acc < lo - eps || acc > hi + eps {
+                        let mut clause = Vec::with_capacity(j - i + 3);
+                        if i > 0 {
+                            clause.push(x[i - 1][c].pos());
+                        }
+                        if j + 1 < n {
+                            clause.push(x[j + 1][c].pos());
+                        }
+                        for row in x.iter().take(j + 1).skip(i) {
+                            clause.push(row[c].neg());
+                        }
+                        solver.add_clause(&clause);
+                    }
+                }
+            }
+        }
+
+        // Chunk cap: boundary indicator b_i is forced true whenever stages
+        // i and i+1 run on different classes; Σ bᵢ ≤ max_chunks − 1 via the
+        // pseudo-boolean layer.
+        if let Some(k) = self.max_chunks {
+            if n > 1 {
+                let boundaries: Vec<Var> = (0..n - 1).map(|_| solver.new_var()).collect();
+                for (i, &b) in boundaries.iter().enumerate() {
+                    for (xi, xnext) in x[i].iter().zip(&x[i + 1]) {
+                        // (x[i][c] ∧ ¬x[i+1][c]) → b
+                        solver.add_clause(&[xi.neg(), xnext.pos(), b.pos()]);
+                    }
+                }
+                let terms: Vec<(crate::Lit, u64)> =
+                    boundaries.iter().map(|&b| (b.pos(), 1)).collect();
+                solver.add_pb_le(&terms, (k - 1) as u64);
+            }
+        }
+
+        // C5: block prior schedules (at least one stage must differ).
+        for sched in blocked {
+            let clause: Vec<_> = sched
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| x[i][c].neg())
+                .collect();
+            solver.add_clause(&clause);
+        }
+
+        (solver, x)
+    }
+
+    /// Solves the window decision problem `D(lo, hi)`, excluding `blocked`
+    /// schedules. Returns a satisfying assignment if one exists.
+    pub fn solve_window(&self, lo: f64, hi: f64, blocked: &[Assignment]) -> Option<Assignment> {
+        let (mut solver, x) = self.encode(lo, hi, blocked);
+        match solver.solve() {
+            SolveResult::Sat(model) => {
+                let assignment: Assignment = x
+                    .iter()
+                    .map(|row| {
+                        row.iter()
+                            .position(|v| model.value(*v))
+                            .expect("C1 guarantees one class per stage")
+                    })
+                    .collect();
+                debug_assert!(self.is_valid(&assignment));
+                Some(assignment)
+            }
+            SolveResult::Unsat => None,
+        }
+    }
+
+    /// Minimizes predicted pipeline latency (the bottleneck `T_max`) by
+    /// binary search over achievable chunk sums, excluding `blocked`
+    /// schedules. Returns `(T_max, schedule)`.
+    pub fn min_latency(&self, blocked: &[Assignment]) -> Option<(f64, Assignment)> {
+        let sums = self.chunk_sums();
+        let feasible = |u: f64| self.solve_window(0.0, u, blocked);
+        // Binary search the smallest feasible upper bound.
+        let mut lo = 0usize;
+        let mut hi = sums.len();
+        let mut best: Option<(f64, Assignment)> = None;
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            match feasible(sums[mid]) {
+                Some(a) => {
+                    best = Some((sums[mid], a));
+                    hi = mid;
+                }
+                None => lo = mid + 1,
+            }
+        }
+        best
+    }
+
+    /// Minimizes gapness (`T_max − T_min`, objective O1) by binary search
+    /// over achievable gaps; the inner feasibility test slides the window
+    /// over achievable lower bounds. Returns `(gapness, schedule)`.
+    ///
+    /// This is the paper-faithful counterpart of z3's `minimize`; the exact
+    /// enumerator in [`crate::enumerate`] is cross-checked against it.
+    pub fn min_gapness(&self) -> Option<(f64, Assignment)> {
+        let sums = self.chunk_sums();
+        let try_gap = |g: f64| -> Option<Assignment> {
+            for &l in &sums {
+                if let Some(a) = self.solve_window(l, l + g + 1e-9, &[]) {
+                    return Some(a);
+                }
+            }
+            None
+        };
+        // Candidate gaps: all pairwise differences (including 0).
+        let mut gaps: Vec<f64> = vec![0.0];
+        for (ai, &a) in sums.iter().enumerate() {
+            for &b in &sums[ai + 1..] {
+                gaps.push(b - a);
+            }
+        }
+        gaps.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        gaps.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+
+        let mut lo = 0usize;
+        let mut hi = gaps.len();
+        let mut best = None;
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            match try_gap(gaps[mid]) {
+                Some(a) => {
+                    best = Some((gaps[mid], a));
+                    hi = mid;
+                }
+                None => lo = mid + 1,
+            }
+        }
+        best
+    }
+
+    /// Enumerates up to `k` distinct schedules in non-decreasing predicted
+    /// latency order via blocking clauses (the paper's candidate set, 𝒦=20).
+    pub fn latency_candidates(&self, k: usize) -> Vec<(f64, Assignment)> {
+        let mut found: Vec<(f64, Assignment)> = Vec::with_capacity(k);
+        let mut blocked: Vec<Assignment> = Vec::new();
+        while found.len() < k {
+            match self.min_latency(&blocked) {
+                Some((t, a)) => {
+                    blocked.push(a.clone());
+                    found.push((t, a));
+                }
+                None => break,
+            }
+        }
+        found
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 3 stages × 2 classes with obvious structure.
+    fn small() -> ScheduleProblem {
+        ScheduleProblem::new(vec![
+            vec![10.0, 100.0],
+            vec![100.0, 10.0],
+            vec![10.0, 100.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_bad_tables() {
+        assert!(matches!(
+            ScheduleProblem::new(vec![]),
+            Err(ProblemError::BadShape)
+        ));
+        assert!(matches!(
+            ScheduleProblem::new(vec![vec![1.0], vec![1.0, 2.0]]),
+            Err(ProblemError::BadShape)
+        ));
+        assert!(matches!(
+            ScheduleProblem::new(vec![vec![1.0, -2.0]]),
+            Err(ProblemError::BadLatency { stage: 0, class: 1 })
+        ));
+    }
+
+    #[test]
+    fn validity_checks_contiguity() {
+        let p = small();
+        assert!(p.is_valid(&[0, 0, 0]));
+        assert!(p.is_valid(&[0, 1, 1]));
+        assert!(!p.is_valid(&[0, 1, 0]), "class 0 reappears");
+        assert!(!p.is_valid(&[0, 1]), "wrong length");
+        assert!(!p.is_valid(&[0, 2, 2]), "class out of range");
+    }
+
+    #[test]
+    fn chunk_sums_of_assignment() {
+        let p = small();
+        assert_eq!(p.chunk_sums_of(&[0, 0, 0]), vec![120.0]);
+        assert_eq!(p.chunk_sums_of(&[0, 1, 1]), vec![10.0, 110.0]);
+        assert_eq!(p.chunk_sums_of(&[0, 0, 1]), vec![110.0, 100.0]);
+    }
+
+    #[test]
+    fn solve_window_respects_bounds() {
+        let p = small();
+        // Only the all-on-one-class schedules have a single chunk ≥ 120.
+        let a = p.solve_window(115.0, 125.0, &[]).expect("feasible");
+        assert_eq!(p.chunk_sums_of(&a), vec![120.0]);
+        // Nothing has every chunk in [1, 5].
+        assert!(p.solve_window(1.0, 5.0, &[]).is_none());
+    }
+
+    #[test]
+    fn min_latency_finds_bottleneck_optimum() {
+        let p = small();
+        // Best split: [0] on 0 (10), [1,2] on 1 (110) → 110; or
+        // [0,1] on 0 (110), [2] on 1 (100) → 110. Optimum T_max = 110.
+        let (t, a) = p.min_latency(&[]).expect("feasible");
+        assert!((t - 110.0).abs() < 1e-6, "got {t}");
+        let sums = p.chunk_sums_of(&a);
+        assert!(sums.iter().all(|&s| s <= 110.0 + 1e-6));
+    }
+
+    #[test]
+    fn min_gapness_prefers_balanced_splits() {
+        let p = ScheduleProblem::new(vec![
+            vec![50.0, 500.0],
+            vec![50.0, 500.0],
+            vec![500.0, 100.0],
+        ])
+        .unwrap();
+        // [0,1] on class 0 = 100, [2] on class 1 = 100 → gapness 0.
+        let (g, a) = p.min_gapness().expect("feasible");
+        assert!(g.abs() < 1e-6, "gapness {g}");
+        assert_eq!(a, vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn blocking_yields_distinct_candidates() {
+        let p = small();
+        let cands = p.latency_candidates(10);
+        assert!(cands.len() >= 4);
+        for (i, (_, a)) in cands.iter().enumerate() {
+            for (_, b) in &cands[i + 1..] {
+                assert_ne!(a, b, "duplicate candidate");
+            }
+            assert!(p.is_valid(a));
+        }
+        // Non-decreasing latency.
+        for w in cands.windows(2) {
+            assert!(w[0].0 <= w[1].0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn disallowed_class_never_used() {
+        let p = ScheduleProblem::new(vec![
+            vec![10.0, 1.0, 20.0],
+            vec![10.0, 1.0, 20.0],
+        ])
+        .unwrap()
+        .with_allowed(vec![true, false, true])
+        .unwrap();
+        for (_, a) in p.latency_candidates(20) {
+            assert!(a.iter().all(|&c| c != 1), "used disallowed class: {a:?}");
+        }
+    }
+
+    #[test]
+    fn single_stage_problem() {
+        let p = ScheduleProblem::new(vec![vec![5.0, 3.0]]).unwrap();
+        let (t, a) = p.min_latency(&[]).unwrap();
+        assert_eq!(a, vec![1]);
+        assert!((t - 3.0).abs() < 1e-9);
+        let (g, _) = p.min_gapness().unwrap();
+        assert_eq!(g, 0.0);
+    }
+
+    #[test]
+    fn candidate_count_bounded_by_schedule_space() {
+        // 2 stages × 2 classes: schedules = {00, 01, 10, 11} minus
+        // non-contiguous (none for n=2) = 4.
+        let p = ScheduleProblem::new(vec![vec![1.0, 2.0], vec![1.0, 2.0]]).unwrap();
+        let cands = p.latency_candidates(100);
+        assert_eq!(cands.len(), 4);
+    }
+}

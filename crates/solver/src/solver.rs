@@ -1,0 +1,610 @@
+//! A small, complete DPLL SAT solver with two-watched-literal propagation
+//! and counter-based pseudo-boolean (≤) constraints.
+//!
+//! This is the substrate that replaces the paper's use of z3 (§3.3). The
+//! BetterTogether encoding only needs CNF plus blocking clauses, but the
+//! pseudo-boolean layer makes the solver reusable for weighted extensions
+//! (and is exercised by the ablation benches).
+
+use crate::{Lit, Var};
+
+/// Result of a satisfiability query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveResult {
+    /// Satisfiable, with a full model.
+    Sat(Model),
+    /// Proven unsatisfiable.
+    Unsat,
+}
+
+impl SolveResult {
+    /// The model if satisfiable.
+    pub fn model(&self) -> Option<&Model> {
+        match self {
+            SolveResult::Sat(m) => Some(m),
+            SolveResult::Unsat => None,
+        }
+    }
+
+    /// Whether the query was satisfiable.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SolveResult::Sat(_))
+    }
+}
+
+/// A complete assignment to all variables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Model(Vec<bool>);
+
+impl Model {
+    /// The value of `v` in this model.
+    pub fn value(&self, v: Var) -> bool {
+        self.0[v.index()]
+    }
+
+    /// Truth value of a literal.
+    pub fn lit_value(&self, l: Lit) -> bool {
+        l.eval(self.value(l.var()))
+    }
+}
+
+#[derive(Debug, Clone)]
+struct PbConstraint {
+    terms: Vec<(Lit, u64)>,
+    bound: u64,
+    /// Weight currently assigned true.
+    sum: u64,
+}
+
+const UNASSIGNED: i8 = -1;
+
+/// The DPLL solver. Clauses persist across [`Solver::solve`] calls, so
+/// blocking clauses support incremental enumeration of models.
+///
+/// ```
+/// use bt_solver::{Solver, SolveResult};
+/// let mut s = Solver::new();
+/// let a = s.new_var();
+/// let b = s.new_var();
+/// s.add_clause(&[a.pos(), b.pos()]);
+/// s.add_clause(&[a.neg()]);
+/// match s.solve() {
+///     SolveResult::Sat(m) => {
+///         assert!(!m.value(a));
+///         assert!(m.value(b));
+///     }
+///     SolveResult::Unsat => unreachable!(),
+/// }
+/// ```
+#[derive(Debug, Default)]
+pub struct Solver {
+    num_vars: usize,
+    clauses: Vec<Vec<Lit>>,
+    /// Watch lists: for each literal code, the clause indices currently
+    /// watching that literal.
+    watches: Vec<Vec<usize>>,
+    /// Unit clauses, enqueued at the root of every solve.
+    units: Vec<Lit>,
+    /// Pseudo-boolean ≤ constraints.
+    pbs: Vec<PbConstraint>,
+    /// For each literal code, the `(pb index, weight)` pairs where that
+    /// literal appears as a term.
+    pb_occ: Vec<Vec<(usize, u64)>>,
+    /// Trivially unsatisfiable (empty clause added).
+    trivially_unsat: bool,
+
+    // Search state (reset per solve).
+    assign: Vec<i8>,
+    trail: Vec<Lit>,
+    qhead: usize,
+    /// Per decision: (index into trail of the decision literal, flipped?).
+    decisions: Vec<(usize, bool)>,
+}
+
+impl Solver {
+    /// Creates an empty solver.
+    pub fn new() -> Solver {
+        Solver::default()
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var::new(self.num_vars as u32);
+        self.num_vars += 1;
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.pb_occ.push(Vec::new());
+        self.pb_occ.push(Vec::new());
+        self.assign.push(UNASSIGNED);
+        v
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of clauses (excluding units).
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Adds a clause (a disjunction of literals). Duplicates are removed;
+    /// tautologies are dropped; the empty clause makes the formula
+    /// trivially unsatisfiable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a literal references an unallocated variable.
+    pub fn add_clause(&mut self, lits: &[Lit]) {
+        for l in lits {
+            assert!(l.var().index() < self.num_vars, "unallocated variable");
+        }
+        let mut sorted: Vec<Lit> = lits.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        // Tautology check: both polarities present.
+        for w in sorted.windows(2) {
+            if w[0].var() == w[1].var() {
+                return; // x ∨ ¬x
+            }
+        }
+        match sorted.len() {
+            0 => self.trivially_unsat = true,
+            1 => self.units.push(sorted[0]),
+            _ => {
+                let idx = self.clauses.len();
+                self.watches[sorted[0].code()].push(idx);
+                self.watches[sorted[1].code()].push(idx);
+                self.clauses.push(sorted);
+            }
+        }
+    }
+
+    /// Adds the pseudo-boolean constraint `Σ wᵢ·litᵢ ≤ bound` (each weight
+    /// counts when its literal is true).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a weight is zero or a variable is unallocated.
+    pub fn add_pb_le(&mut self, terms: &[(Lit, u64)], bound: u64) {
+        for (l, w) in terms {
+            assert!(l.var().index() < self.num_vars, "unallocated variable");
+            assert!(*w > 0, "weights must be positive");
+        }
+        let idx = self.pbs.len();
+        for (l, w) in terms {
+            self.pb_occ[l.code()].push((idx, *w));
+        }
+        self.pbs.push(PbConstraint {
+            terms: terms.to_vec(),
+            bound,
+            sum: 0,
+        });
+    }
+
+    /// Convenience: at most one of `lits` is true (pairwise encoding).
+    pub fn add_at_most_one(&mut self, lits: &[Lit]) {
+        for i in 0..lits.len() {
+            for j in i + 1..lits.len() {
+                self.add_clause(&[!lits[i], !lits[j]]);
+            }
+        }
+    }
+
+    /// Convenience: exactly one of `lits` is true.
+    pub fn add_exactly_one(&mut self, lits: &[Lit]) {
+        self.add_clause(lits);
+        self.add_at_most_one(lits);
+    }
+
+    fn value_of(&self, l: Lit) -> i8 {
+        match self.assign[l.var().index()] {
+            UNASSIGNED => UNASSIGNED,
+            v => {
+                if l.eval(v == 1) {
+                    1
+                } else {
+                    0
+                }
+            }
+        }
+    }
+
+    /// Assigns `l` true; returns false on conflict with an existing value.
+    fn enqueue(&mut self, l: Lit) -> bool {
+        match self.value_of(l) {
+            1 => true,
+            0 => false,
+            _ => {
+                self.assign[l.var().index()] = i8::from(l.is_pos());
+                self.trail.push(l);
+                for occ in 0..self.pb_occ[l.code()].len() {
+                    let (pb, w) = self.pb_occ[l.code()][occ];
+                    self.pbs[pb].sum += w;
+                }
+                true
+            }
+        }
+    }
+
+    fn unassign(&mut self, l: Lit) {
+        self.assign[l.var().index()] = UNASSIGNED;
+        for occ in 0..self.pb_occ[l.code()].len() {
+            let (pb, w) = self.pb_occ[l.code()][occ];
+            self.pbs[pb].sum -= w;
+        }
+    }
+
+    /// Unit propagation over clauses and PB constraints. Returns false on
+    /// conflict.
+    fn propagate(&mut self) -> bool {
+        while self.qhead < self.trail.len() {
+            let l = self.trail[self.qhead];
+            self.qhead += 1;
+
+            // Clause propagation: literal !l just became false.
+            let false_lit = !l;
+            let mut i = 0;
+            while i < self.watches[false_lit.code()].len() {
+                let ci = self.watches[false_lit.code()][i];
+                // Ensure the false literal is at slot 1.
+                if self.clauses[ci][0] == false_lit {
+                    self.clauses[ci].swap(0, 1);
+                }
+                debug_assert_eq!(self.clauses[ci][1], false_lit);
+                if self.value_of(self.clauses[ci][0]) == 1 {
+                    i += 1;
+                    continue; // clause already satisfied
+                }
+                // Look for a replacement watch.
+                let mut moved = false;
+                for k in 2..self.clauses[ci].len() {
+                    if self.value_of(self.clauses[ci][k]) != 0 {
+                        self.clauses[ci].swap(1, k);
+                        let new_watch = self.clauses[ci][1];
+                        self.watches[new_watch.code()].push(ci);
+                        self.watches[false_lit.code()].swap_remove(i);
+                        moved = true;
+                        break;
+                    }
+                }
+                if moved {
+                    continue;
+                }
+                // Unit or conflict on slot 0.
+                let first = self.clauses[ci][0];
+                match self.value_of(first) {
+                    UNASSIGNED => {
+                        let ok = self.enqueue(first);
+                        debug_assert!(ok, "enqueue of unassigned literal cannot fail");
+                        i += 1;
+                    }
+                    0 => return false, // conflict
+                    _ => unreachable!("satisfied case handled above"),
+                }
+            }
+
+            // PB propagation triggered by constraints containing l.
+            for occ in 0..self.pb_occ[l.code()].len() {
+                let (pb_idx, _) = self.pb_occ[l.code()][occ];
+                if !self.pb_propagate(pb_idx) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    fn pb_propagate(&mut self, pb_idx: usize) -> bool {
+        let (sum, bound) = {
+            let pb = &self.pbs[pb_idx];
+            (pb.sum, pb.bound)
+        };
+        if sum > bound {
+            return false;
+        }
+        let slack = bound - sum;
+        let forced: Vec<Lit> = self.pbs[pb_idx]
+            .terms
+            .iter()
+            .filter(|(t, w)| *w > slack && self.value_of(*t) == UNASSIGNED)
+            .map(|(t, _)| !*t)
+            .collect();
+        for f in forced {
+            if !self.enqueue(f) {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn backtrack_to(&mut self, trail_len: usize) {
+        while self.trail.len() > trail_len {
+            let l = self.trail.pop().expect("trail non-empty");
+            self.unassign(l);
+        }
+        self.qhead = trail_len;
+    }
+
+    fn pick_branch_var(&self) -> Option<Var> {
+        self.assign
+            .iter()
+            .position(|&v| v == UNASSIGNED)
+            .map(|i| Var::new(i as u32))
+    }
+
+    /// Decides satisfiability of the current formula.
+    ///
+    /// Clauses added between calls persist (supporting blocking-clause
+    /// enumeration); search state is reset per call.
+    pub fn solve(&mut self) -> SolveResult {
+        if self.trivially_unsat {
+            return SolveResult::Unsat;
+        }
+        // Reset search state.
+        self.backtrack_to(0);
+        self.decisions.clear();
+        for v in 0..self.num_vars {
+            debug_assert_eq!(self.assign[v], UNASSIGNED);
+        }
+
+        // Root-level units.
+        for i in 0..self.units.len() {
+            let u = self.units[i];
+            if !self.enqueue(u) {
+                return SolveResult::Unsat;
+            }
+        }
+        // Root-level PB forcing (constraints whose weights exceed bounds).
+        for pb in 0..self.pbs.len() {
+            if !self.pb_propagate(pb) {
+                return SolveResult::Unsat;
+            }
+        }
+
+        loop {
+            if self.propagate() {
+                match self.pick_branch_var() {
+                    None => {
+                        let model = Model(self.assign.iter().map(|&v| v == 1).collect());
+                        return SolveResult::Sat(model);
+                    }
+                    Some(v) => {
+                        // Decide: phase false first.
+                        self.decisions.push((self.trail.len(), false));
+                        let ok = self.enqueue(v.neg());
+                        debug_assert!(ok);
+                    }
+                }
+            } else {
+                // Conflict: chronological backtracking.
+                loop {
+                    match self.decisions.pop() {
+                        None => return SolveResult::Unsat,
+                        Some((trail_pos, flipped)) => {
+                            let decision_lit = self.trail[trail_pos];
+                            self.backtrack_to(trail_pos);
+                            if !flipped {
+                                self.decisions.push((self.trail.len(), true));
+                                let ok = self.enqueue(!decision_lit);
+                                debug_assert!(ok);
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vars(s: &mut Solver, n: usize) -> Vec<Var> {
+        (0..n).map(|_| s.new_var()).collect()
+    }
+
+    #[test]
+    fn trivial_sat_and_unsat() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 1);
+        s.add_clause(&[v[0].pos()]);
+        assert!(s.solve().is_sat());
+        s.add_clause(&[v[0].neg()]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut s = Solver::new();
+        s.add_clause(&[]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        let mut s = Solver::new();
+        vars(&mut s, 3);
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn tautology_is_dropped() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 1);
+        s.add_clause(&[v[0].pos(), v[0].neg()]);
+        assert_eq!(s.num_clauses(), 0);
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn chain_of_implications_propagates() {
+        // a ∧ (a→b) ∧ (b→c) ∧ (c→d) forces all true.
+        let mut s = Solver::new();
+        let v = vars(&mut s, 4);
+        s.add_clause(&[v[0].pos()]);
+        for w in v.windows(2) {
+            s.add_clause(&[w[0].neg(), w[1].pos()]);
+        }
+        match s.solve() {
+            SolveResult::Sat(m) => assert!(v.iter().all(|&x| m.value(x))),
+            SolveResult::Unsat => panic!("should be sat"),
+        }
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_is_unsat() {
+        // p[i][j]: pigeon i in hole j. 3 pigeons, 2 holes.
+        let mut s = Solver::new();
+        let p: Vec<Vec<Var>> = (0..3).map(|_| vars(&mut s, 2)).collect();
+        for row in &p {
+            s.add_clause(&[row[0].pos(), row[1].pos()]);
+        }
+        #[allow(clippy::needless_range_loop)]
+        for hole in 0..2 {
+            for a in 0..3 {
+                for b in a + 1..3 {
+                    let (pa, pb) = (p[a][hole], p[b][hole]);
+                    s.add_clause(&[pa.neg(), pb.neg()]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn exactly_one_helper() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 4);
+        let lits: Vec<Lit> = v.iter().map(|x| x.pos()).collect();
+        s.add_exactly_one(&lits);
+        match s.solve() {
+            SolveResult::Sat(m) => {
+                let count = v.iter().filter(|&&x| m.value(x)).count();
+                assert_eq!(count, 1);
+            }
+            SolveResult::Unsat => panic!("should be sat"),
+        }
+    }
+
+    #[test]
+    fn blocking_clauses_enumerate_all_models() {
+        // 3 free variables → 8 models.
+        let mut s = Solver::new();
+        let v = vars(&mut s, 3);
+        let mut count = 0;
+        while let SolveResult::Sat(m) = s.solve() {
+            count += 1;
+            assert!(count <= 8, "more models than possible");
+            let block: Vec<Lit> = v
+                .iter()
+                .map(|&x| if m.value(x) { x.neg() } else { x.pos() })
+                .collect();
+            s.add_clause(&block);
+        }
+        assert_eq!(count, 8);
+    }
+
+    #[test]
+    fn pb_upper_bound_restricts_selection() {
+        // w = [3, 5, 7], bound 10, v2 forced true: v0 fits (7+3=10),
+        // v1 does not (7+5=12).
+        let mut s = Solver::new();
+        let v = vars(&mut s, 3);
+        s.add_pb_le(&[(v[0].pos(), 3), (v[1].pos(), 5), (v[2].pos(), 7)], 10);
+        s.add_clause(&[v[2].pos()]);
+        s.add_clause(&[v[0].pos(), v[1].pos()]); // at least one of the others
+        match s.solve() {
+            SolveResult::Sat(m) => {
+                assert!(m.value(v[2]));
+                assert!(m.value(v[0]), "only v0 fits under the bound");
+                assert!(!m.value(v[1]), "v1 would exceed the bound");
+            }
+            SolveResult::Unsat => panic!("should be sat"),
+        }
+    }
+
+    #[test]
+    fn pb_infeasible_bound_is_unsat() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 2);
+        s.add_pb_le(&[(v[0].pos(), 5), (v[1].pos(), 5)], 4);
+        s.add_clause(&[v[0].pos()]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn pb_with_negative_literals() {
+        // ¬a counts weight 10 with bound 5 → a must be true.
+        let mut s = Solver::new();
+        let v = vars(&mut s, 1);
+        s.add_pb_le(&[(v[0].neg(), 10)], 5);
+        match s.solve() {
+            SolveResult::Sat(m) => assert!(m.value(v[0])),
+            SolveResult::Unsat => panic!("should be sat"),
+        }
+    }
+
+    #[test]
+    fn solve_is_repeatable() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 2);
+        s.add_clause(&[v[0].pos(), v[1].pos()]);
+        let a = s.solve();
+        let b = s.solve();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn exhaustive_agreement_with_brute_force() {
+        // All 3-variable formulas over a fixed clause pool, cross-checked
+        // against truth-table evaluation.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..300 {
+            let n = 4;
+            let mut s = Solver::new();
+            let v = vars(&mut s, n);
+            let num_clauses = rng.gen_range(1..10);
+            let mut clause_list = Vec::new();
+            for _ in 0..num_clauses {
+                let len = rng.gen_range(1..=3);
+                let clause: Vec<Lit> = (0..len)
+                    .map(|_| {
+                        let var = v[rng.gen_range(0..n)];
+                        if rng.gen_bool(0.5) {
+                            var.pos()
+                        } else {
+                            var.neg()
+                        }
+                    })
+                    .collect();
+                s.add_clause(&clause);
+                clause_list.push(clause);
+            }
+            // Brute force.
+            let mut any = false;
+            for bits in 0..(1u32 << n) {
+                let assignment: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+                if clause_list.iter().all(|c| {
+                    c.iter().any(|l| l.eval(assignment[l.var().index()]))
+                }) {
+                    any = true;
+                    break;
+                }
+            }
+            let got = s.solve();
+            assert_eq!(got.is_sat(), any, "clauses: {clause_list:?}");
+            if let SolveResult::Sat(m) = got {
+                // Model must satisfy every clause.
+                for c in &clause_list {
+                    assert!(c.iter().any(|l| m.lit_value(*l)), "model violates {c:?}");
+                }
+            }
+        }
+    }
+}

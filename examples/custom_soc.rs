@@ -1,0 +1,82 @@
+//! Bring-your-own-device: define a new SoC model with [`SocBuilder`] and
+//! let BetterTogether specialize a pipeline to it — the framework's
+//! portability story extended beyond the paper's four platforms.
+//!
+//! ```sh
+//! cargo run --release --example custom_soc
+//! ```
+//!
+//! The example models an RK3588-class board (4 big + 4 little CPU cores,
+//! mid-range Vulkan GPU) and contrasts the schedule BetterTogether derives
+//! for it against the Pixel 7a's schedule for the same workload.
+
+use bettertogether::core::BetterTogether;
+use bettertogether::kernels::apps;
+use bettertogether::soc::{
+    devices, GpuBackend, InterferenceModel, PuClass, PuSpec, SocBuilder,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // An RK3588-like single-board computer.
+    let board = SocBuilder::new("RK3588-class SBC")
+        .pu(PuSpec::new(PuClass::BigCpu, "Cortex-A76", 4, 2.4)
+            .with_ipc(3.0)
+            .with_simd_lanes(4)
+            .with_arith_eff(0.33)
+            .with_mem_bw_gbs(20.0)
+            .with_dispatch_overhead_us(12.0))
+        .pu(PuSpec::new(PuClass::LittleCpu, "Cortex-A55", 4, 1.8)
+            .with_ipc(1.1)
+            .with_simd_lanes(2)
+            .with_arith_eff(0.28)
+            .with_mem_bw_gbs(8.0))
+        .pu(PuSpec::new(PuClass::Gpu, "Mali-G610 MC4", 4, 0.9)
+            .with_backend(GpuBackend::Vulkan)
+            .with_ipc(2.0)
+            .with_simd_lanes(32)
+            .with_arith_eff(0.38)
+            .with_divergence_penalty(0.9)
+            .with_irregular_penalty(0.85)
+            .with_mem_bw_gbs(16.0)
+            .with_dispatch_overhead_us(25.0)
+            .with_sync_overhead_us(120.0))
+        .dram_bw_gbs(24.0)
+        .interference(InterferenceModel::calibrated(
+            [
+                (PuClass::BigCpu, 1.25),
+                (PuClass::LittleCpu, 1.3),
+                (PuClass::Gpu, 0.9),
+            ],
+            0.3,
+        ))
+        .build()?;
+
+    let app = apps::octree_app(apps::OctreeConfig::default()).model();
+
+    println!("Scheduling the octree pipeline on two devices:\n");
+    for soc in [board, devices::pixel_7a()] {
+        let name = soc.name().to_string();
+        let d = BetterTogether::new(soc, app.clone()).run()?;
+        println!("{name}:");
+        println!("  best schedule: {}", d.best_schedule());
+        println!(
+            "  measured {:.2} ms/task — {:.2}x vs best homogeneous baseline",
+            d.best_latency().as_millis(),
+            d.speedup_over_best_baseline()
+        );
+        let chunks = d
+            .best_schedule()
+            .chunks()
+            .iter()
+            .map(|c| format!("{}[{}..={}]", c.pu, c.first_stage, c.last_stage))
+            .collect::<Vec<_>>()
+            .join("  ");
+        println!("  chunks: {chunks}\n");
+    }
+
+    println!(
+        "The two devices get different stage-to-PU mappings from the same application —\n\
+         the specialization BetterTogether automates."
+    );
+    Ok(())
+}

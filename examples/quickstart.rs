@@ -1,0 +1,64 @@
+//! Quickstart: schedule the octree pipeline on a simulated Google Pixel 7a.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Walks the full BetterTogether flow from Fig. 2 of the paper: profile
+//! every stage on every PU under interference, solve for candidate
+//! schedules, autotune, and compare against the homogeneous baselines.
+
+use bettertogether::core::BetterTogether;
+use bettertogether::kernels::apps;
+use bettertogether::soc::devices;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1–2. Inputs: the application (7-stage octree construction) and the
+    //      target system (a modeled Pixel 7a: big/medium/little CPU
+    //      clusters + Mali GPU).
+    let app = apps::octree_app(apps::OctreeConfig::default()).model();
+    let soc = devices::pixel_7a();
+    println!("application: {} ({} stages)", app.name, app.stage_count());
+    println!("device:      {}\n", soc.name());
+
+    let bt = BetterTogether::new(soc, app);
+
+    // 3. BT-Profiler: the interference-aware profiling table.
+    let table = bt.profile();
+    println!("{}", table.render());
+
+    // 4. BT-Optimizer: candidate schedules sorted by predicted latency.
+    let plan = bt.plan()?;
+    println!("top candidate schedules (B=big, M=medium, L=little, G=gpu):");
+    for (i, c) in plan.candidates.iter().take(5).enumerate() {
+        println!(
+            "  {}. {}  predicted {:.2} ms (gapness {:.2} ms)",
+            i + 1,
+            c.schedule,
+            c.predicted.as_millis(),
+            c.gapness.as_millis()
+        );
+    }
+
+    // 5. BT-Implementer + autotuning: execute the candidates, pick the
+    //    measured best, compare against CPU-only and GPU-only baselines.
+    let deployment = bt.run()?;
+    println!("\nbest schedule: {}", deployment.best_schedule());
+    println!("measured:      {:.2} ms/task", deployment.best_latency().as_millis());
+    println!(
+        "baselines:     CPU {:.2} ms, GPU {:.2} ms",
+        deployment.baselines.cpu.as_millis(),
+        deployment.baselines.gpu.as_millis()
+    );
+    println!(
+        "speedup:       {:.2}x vs best baseline ({:.2}x vs CPU, {:.2}x vs GPU)",
+        deployment.speedup_over_best_baseline(),
+        deployment.speedup_over_cpu(),
+        deployment.speedup_over_gpu()
+    );
+    println!(
+        "autotuning recovered {:.2}x beyond the predicted-best schedule",
+        deployment.autotuning_gain()
+    );
+    Ok(())
+}

@@ -1,0 +1,294 @@
+//! `bt` — command-line front end for the BetterTogether framework.
+//!
+//! ```text
+//! bt --device pixel7a --app octree            # full run, human-readable
+//! bt --device jetson --app sparse --json      # machine-readable output
+//! bt --device oneplus11 --app dense --mode isolated --candidates 10
+//! bt --list                                   # devices & apps
+//! ```
+
+use std::process::ExitCode;
+
+use bettertogether::core::{BetterTogether, BtConfig, OptimizerConfig};
+use bettertogether::kernels::{apps, AppModel};
+use bettertogether::profiler::ProfileMode;
+use bettertogether::soc::{devices, SocSpec};
+
+const USAGE: &str = "\
+bt — interference-aware software pipelining for heterogeneous SoCs
+
+USAGE:
+    bt --device <DEVICE> --app <APP> [OPTIONS]
+    bt --list
+
+OPTIONS:
+    --device <DEVICE>      pixel7a | oneplus11 | jetson | jetson-lp
+    --device-file <PATH>   load a custom SocSpec from JSON instead
+    --app <APP>            dense | sparse | octree
+    --mode <MODE>          interference (default) | isolated
+    --candidates <K>       candidate schedules to autotune (default 20)
+    --threshold <θ>        utilization filter T_min ≥ θ·T_max (default 0.45)
+    --max-chunks <K>       cap dispatcher threads / chunks per schedule
+    --json                 emit the deployment summary as JSON
+    --table                print the profiling table
+    --explain              print the winning schedule's chunk breakdown
+    --energy               report energy per task and EDP vs baselines
+    --list                 list available devices and applications
+    -h, --help             show this help";
+
+fn device_by_name(name: &str) -> Option<SocSpec> {
+    match name {
+        "pixel7a" | "pixel" => Some(devices::pixel_7a()),
+        "oneplus11" | "oneplus" => Some(devices::oneplus_11()),
+        "jetson" => Some(devices::jetson_orin_nano()),
+        "jetson-lp" => Some(devices::jetson_orin_nano_lp()),
+        _ => None,
+    }
+}
+
+fn app_by_name(name: &str) -> Option<AppModel> {
+    match name {
+        "dense" => Some(apps::alexnet_dense_app(apps::AlexNetConfig::default()).model()),
+        "sparse" => Some(apps::alexnet_sparse_app(apps::AlexNetConfig::default()).model()),
+        "octree" => Some(apps::octree_app(apps::OctreeConfig::default()).model()),
+        _ => None,
+    }
+}
+
+struct Args {
+    device: String,
+    device_file: Option<String>,
+    app: String,
+    mode: ProfileMode,
+    candidates: usize,
+    threshold: f64,
+    max_chunks: Option<usize>,
+    json: bool,
+    table: bool,
+    explain: bool,
+    energy: bool,
+}
+
+fn parse_args() -> Result<Option<Args>, String> {
+    let mut args = std::env::args().skip(1).peekable();
+    let mut device = None;
+    let mut device_file: Option<String> = None;
+    let mut app = None;
+    let mut mode = ProfileMode::InterferenceHeavy;
+    let mut candidates = 20usize;
+    let mut threshold = 0.45f64;
+    let mut max_chunks = None;
+    let mut json = false;
+    let mut table = false;
+    let mut explain = false;
+    let mut energy = false;
+
+    let next_value = |args: &mut std::iter::Peekable<std::iter::Skip<std::env::Args>>,
+                          flag: &str|
+     -> Result<String, String> {
+        args.next().ok_or_else(|| format!("{flag} needs a value"))
+    };
+
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return Ok(None);
+            }
+            "--list" => {
+                println!("devices: pixel7a, oneplus11, jetson, jetson-lp");
+                println!("apps:    dense, sparse, octree");
+                return Ok(None);
+            }
+            "--device" => device = Some(next_value(&mut args, "--device")?),
+            "--device-file" => device_file = Some(next_value(&mut args, "--device-file")?),
+            "--app" => app = Some(next_value(&mut args, "--app")?),
+            "--mode" => {
+                mode = match next_value(&mut args, "--mode")?.as_str() {
+                    "interference" => ProfileMode::InterferenceHeavy,
+                    "isolated" => ProfileMode::Isolated,
+                    other => return Err(format!("unknown mode '{other}'")),
+                }
+            }
+            "--candidates" => {
+                candidates = next_value(&mut args, "--candidates")?
+                    .parse()
+                    .map_err(|_| "--candidates needs an integer".to_string())?;
+            }
+            "--threshold" => {
+                threshold = next_value(&mut args, "--threshold")?
+                    .parse()
+                    .map_err(|_| "--threshold needs a number".to_string())?;
+            }
+            "--max-chunks" => {
+                max_chunks = Some(
+                    next_value(&mut args, "--max-chunks")?
+                        .parse()
+                        .map_err(|_| "--max-chunks needs an integer".to_string())?,
+                );
+            }
+            "--json" => json = true,
+            "--table" => table = true,
+            "--explain" => explain = true,
+            "--energy" => energy = true,
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    if device.is_none() && device_file.is_none() {
+        return Err("--device or --device-file is required (try --list)".into());
+    }
+    let device = device.unwrap_or_default();
+    let app = app.ok_or("--app is required (try --list)")?;
+    Ok(Some(Args {
+        device,
+        device_file,
+        app,
+        mode,
+        candidates,
+        threshold,
+        max_chunks,
+        json,
+        table,
+        explain,
+        energy,
+    }))
+}
+
+fn run(args: Args) -> Result<(), String> {
+    let soc = match &args.device_file {
+        Some(path) => {
+            let json = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            serde_json::from_str::<SocSpec>(&json)
+                .map_err(|e| format!("invalid device JSON in {path}: {e}"))?
+        }
+        None => device_by_name(&args.device)
+            .ok_or_else(|| format!("unknown device '{}' (try --list)", args.device))?,
+    };
+    let app = app_by_name(&args.app)
+        .ok_or_else(|| format!("unknown app '{}' (try --list)", args.app))?;
+
+    let bt = BetterTogether::new(soc, app).with_config(BtConfig {
+        profile_mode: args.mode,
+        optimizer: OptimizerConfig {
+            candidates: args.candidates,
+            max_chunks: args.max_chunks,
+            ..OptimizerConfig::with_threshold(args.threshold)
+        },
+        ..BtConfig::default()
+    });
+
+    let deployment = bt.run().map_err(|e| e.to_string())?;
+
+    if args.table {
+        println!("{}", deployment.plan.table.render());
+    }
+
+    if args.json {
+        // Hand-rolled JSON for a stable, dependency-free CLI contract.
+        let cands: Vec<String> = deployment
+            .plan
+            .candidates
+            .iter()
+            .zip(&deployment.outcome.measured)
+            .map(|(c, m)| {
+                format!(
+                    "{{\"schedule\":\"{}\",\"predicted_us\":{:.1},\"measured_us\":{:.1}}}",
+                    c.schedule,
+                    c.predicted.as_f64(),
+                    m.as_f64()
+                )
+            })
+            .collect();
+        println!(
+            "{{\"device\":\"{}\",\"app\":\"{}\",\"best_schedule\":\"{}\",\
+             \"best_us\":{:.1},\"baseline_cpu_us\":{:.1},\"baseline_gpu_us\":{:.1},\
+             \"speedup\":{:.3},\"autotuning_gain\":{:.3},\"candidates\":[{}]}}",
+            bt.soc().name(),
+            bt.app().name,
+            deployment.best_schedule(),
+            deployment.best_latency().as_f64(),
+            deployment.baselines.cpu.as_f64(),
+            deployment.baselines.gpu.as_f64(),
+            deployment.speedup_over_best_baseline(),
+            deployment.autotuning_gain(),
+            cands.join(",")
+        );
+    } else {
+        println!("device:        {}", bt.soc().name());
+        println!("application:   {} ({} stages)", bt.app().name, bt.app().stage_count());
+        println!("profiling:     {} mode", bt.config().profile_mode);
+        println!("best schedule: {}  (B=big M=medium L=little G=gpu)", deployment.best_schedule());
+        println!("measured:      {:.3} ms/task", deployment.best_latency().as_millis());
+        println!(
+            "baselines:     CPU {:.3} ms | GPU {:.3} ms",
+            deployment.baselines.cpu.as_millis(),
+            deployment.baselines.gpu.as_millis()
+        );
+        println!(
+            "speedup:       {:.2}x vs best baseline, {:.2}x vs CPU, {:.2}x vs GPU",
+            deployment.speedup_over_best_baseline(),
+            deployment.speedup_over_cpu(),
+            deployment.speedup_over_gpu()
+        );
+        println!("autotuning:    {:.2}x beyond predicted-best", deployment.autotuning_gain());
+        if args.energy {
+            use bettertogether::core::energy::{measure_baseline_energy, measure_energy};
+            use bettertogether::soc::power::PowerModel;
+            use bettertogether::soc::PuClass;
+            let model = PowerModel::default_for(bt.soc());
+            let des = &bt.config().des;
+            let e = measure_energy(bt.soc(), bt.app(), deployment.best_schedule(), &model, des)
+                .map_err(|e| e.to_string())?;
+            let cpu = measure_baseline_energy(bt.soc(), bt.app(), PuClass::BigCpu, &model, des)
+                .map_err(|e| e.to_string())?;
+            let gpu = measure_baseline_energy(bt.soc(), bt.app(), PuClass::Gpu, &model, des)
+                .map_err(|e| e.to_string())?;
+            println!(
+                "energy:        {:.2} mJ/task at {:.2} W (CPU baseline {:.2} mJ, GPU {:.2} mJ)",
+                e.per_task_mj, e.avg_watts, cpu.per_task_mj, gpu.per_task_mj
+            );
+            println!(
+                "EDP:           {:.2} mJ·ms vs best baseline {:.2} mJ·ms ({:.2}x better)",
+                e.edp_mj_ms,
+                cpu.edp_mj_ms.min(gpu.edp_mj_ms),
+                cpu.edp_mj_ms.min(gpu.edp_mj_ms) / e.edp_mj_ms
+            );
+        }
+        if args.explain {
+            let winner = &deployment.plan.candidates[deployment.outcome.best_index];
+            println!("\nchunk breakdown (predicted):");
+            for (chunk, sum) in winner.schedule.chunks().iter().zip(&winner.chunk_sums) {
+                let stage_names: Vec<&str> = (chunk.first_stage..=chunk.last_stage)
+                    .map(|i| deployment.plan.table.stages()[i].as_str())
+                    .collect();
+                println!(
+                    "  {:>6}  stages {}..={}  {:>9.3} ms  [{}]",
+                    chunk.pu.label(),
+                    chunk.first_stage,
+                    chunk.last_stage,
+                    sum.as_millis(),
+                    stage_names.join(", ")
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match parse_args() {
+        Ok(None) => ExitCode::SUCCESS,
+        Ok(Some(args)) => match run(args) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

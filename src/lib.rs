@@ -1,0 +1,40 @@
+//! # BetterTogether
+//!
+//! Facade crate re-exporting the full BetterTogether public API: an
+//! interference-aware framework for fine-grained software pipelining on
+//! heterogeneous SoCs (IISWC 2025), reproduced in Rust.
+//!
+//! - [`core`] — the end-to-end framework (profile → optimize → autotune).
+//! - [`profiler`] — BT-Profiler: isolated and interference-heavy tables.
+//! - [`solver`] — the constraint-solving substrate (DPLL + enumerator).
+//! - [`pipeline`] — BT-Implementer: dispatcher threads, SPSC queues,
+//!   TaskObjects; host and simulated executors.
+//! - [`kernels`] — the three evaluation workloads, implemented for real.
+//! - [`soc`] — device models, cost/interference models, and the
+//!   discrete-event simulator standing in for the paper's four devices.
+//!
+//! # Example
+//!
+//! ```
+//! use bettertogether::core::BetterTogether;
+//! use bettertogether::kernels::apps;
+//! use bettertogether::soc::devices;
+//!
+//! let app = apps::octree_app(apps::OctreeConfig::default()).model();
+//! let deployment = BetterTogether::new(devices::pixel_7a(), app).run()?;
+//! println!(
+//!     "{} → {} ({:.2}x vs best homogeneous baseline)",
+//!     deployment.best_schedule(),
+//!     deployment.best_latency(),
+//!     deployment.speedup_over_best_baseline(),
+//! );
+//! # Ok::<(), bettertogether::core::BtError>(())
+//! ```
+#![warn(missing_docs)]
+
+pub use bt_core as core;
+pub use bt_kernels as kernels;
+pub use bt_pipeline as pipeline;
+pub use bt_profiler as profiler;
+pub use bt_soc as soc;
+pub use bt_solver as solver;

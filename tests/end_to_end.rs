@@ -1,0 +1,137 @@
+//! End-to-end integration: the full BetterTogether flow across every
+//! (device, application) pair of the paper's evaluation matrix.
+
+use bettertogether::core::{BetterTogether, BtConfig, OptimizerConfig, SolverEngine};
+use bettertogether::kernels::apps;
+use bettertogether::profiler::ProfileMode;
+use bettertogether::soc::devices;
+
+fn workloads() -> Vec<bettertogether::kernels::AppModel> {
+    vec![
+        apps::alexnet_dense_app(apps::AlexNetConfig::default()).model(),
+        apps::alexnet_sparse_app(apps::AlexNetConfig::default()).model(),
+        apps::octree_app(apps::OctreeConfig::default()).model(),
+    ]
+}
+
+#[test]
+fn full_matrix_runs_and_beats_cpu_baseline() {
+    for soc in devices::all() {
+        for app in workloads() {
+            let label = format!("{}/{}", soc.name(), app.name);
+            let d = BetterTogether::new(soc.clone(), app)
+                .run()
+                .unwrap_or_else(|e| panic!("{label}: {e}"));
+            // The pipeline never loses to the CPU-only baseline in our
+            // calibration (the paper has one mild GPU-baseline slowdown).
+            assert!(
+                d.speedup_over_cpu() > 1.0,
+                "{label}: speedup vs CPU was {:.2}",
+                d.speedup_over_cpu()
+            );
+            assert!(
+                d.speedup_over_best_baseline() > 0.85,
+                "{label}: severe slowdown {:.2}",
+                d.speedup_over_best_baseline()
+            );
+            // Schedule covers every stage exactly once by construction.
+            assert_eq!(
+                d.best_schedule().stage_count(),
+                d.plan.table.stages().len(),
+                "{label}"
+            );
+        }
+    }
+}
+
+#[test]
+fn candidate_ranking_is_consistent_between_engines() {
+    let app = apps::octree_app(apps::OctreeConfig::default()).model();
+    for soc in devices::all() {
+        let exact = BetterTogether::new(soc.clone(), app.clone())
+            .with_config(BtConfig {
+                optimizer: OptimizerConfig {
+                    engine: SolverEngine::Exact,
+                    candidates: 3,
+                    ..OptimizerConfig::with_threshold(0.0)
+                },
+                ..BtConfig::default()
+            })
+            .plan()
+            .expect("exact plan");
+        let sat = BetterTogether::new(soc.clone(), app.clone())
+            .with_config(BtConfig {
+                optimizer: OptimizerConfig {
+                    engine: SolverEngine::Sat,
+                    candidates: 3,
+                    ..OptimizerConfig::with_threshold(0.0)
+                },
+                ..BtConfig::default()
+            })
+            .plan()
+            .expect("sat plan");
+        assert!(
+            (exact.predicted_best().predicted.as_f64() - sat.predicted_best().predicted.as_f64())
+                .abs()
+                < 1e-6,
+            "{}: engines disagree on the optimum",
+            soc.name()
+        );
+    }
+}
+
+#[test]
+fn interference_aware_profiles_differ_from_isolated_on_every_device() {
+    let app = apps::octree_app(apps::OctreeConfig::default()).model();
+    for soc in devices::all() {
+        let heavy = BetterTogether::new(soc.clone(), app.clone()).profile();
+        let iso = BetterTogether::new(soc.clone(), app.clone())
+            .with_config(BtConfig {
+                profile_mode: ProfileMode::Isolated,
+                ..BtConfig::default()
+            })
+            .profile();
+        assert_ne!(heavy, iso, "{}", soc.name());
+        // CPU cells must be slower (or equal) under load on Jetson/Pixel;
+        // the OnePlus little cores legitimately speed up (firmware boost).
+        if soc.name().contains("Jetson") {
+            for s in 0..app.stage_count() {
+                let h = heavy
+                    .latency(s, bettertogether::soc::PuClass::BigCpu)
+                    .expect("profiled");
+                let i = iso
+                    .latency(s, bettertogether::soc::PuClass::BigCpu)
+                    .expect("profiled");
+                assert!(h > i, "{} stage {s}", soc.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn octree_on_pixel_uses_heterogeneous_pipeline() {
+    let app = apps::octree_app(apps::OctreeConfig::default()).model();
+    let d = BetterTogether::new(devices::pixel_7a(), app)
+        .run()
+        .expect("runs");
+    let classes = d.best_schedule().classes_used();
+    assert!(
+        classes.len() >= 3,
+        "octree should spread over ≥3 PU classes on the Pixel, got {classes:?}"
+    );
+    assert!(
+        classes.contains(&bettertogether::soc::PuClass::Gpu),
+        "the GPU should host the radix-tree-centric middle stages"
+    );
+}
+
+#[test]
+fn jetson_schedules_use_at_most_two_chunks() {
+    // Only two PU classes exist on the Jetson — contiguity caps chunks.
+    for app in workloads() {
+        let d = BetterTogether::new(devices::jetson_orin_nano(), app)
+            .run()
+            .expect("runs");
+        assert!(d.best_schedule().chunks().len() <= 2);
+    }
+}
