@@ -1,0 +1,80 @@
+//! Host pipeline executor benches, centred on the telemetry contract:
+//! with `TelemetryConfig::OFF` the instrumented dispatch loop must cost
+//! the same as before the telemetry layer existed (one predictable
+//! branch per instrumentation point).
+
+use std::hint::black_box;
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bt_kernels::{Application, KernelFn, ParCtx, Stage};
+use bt_pipeline::{run_host, HostRunConfig, PuThreads, Schedule};
+use bt_telemetry::TelemetryConfig;
+
+#[derive(Debug, Default)]
+struct Payload {
+    seq: u64,
+    acc: u64,
+}
+
+/// Application whose stages do a fixed chunk of integer work — large
+/// enough to dominate thread wake-ups, small enough that per-task queue
+/// traffic (where the telemetry branches live) stays visible.
+fn busy_app(stages: usize, iters: u64) -> Application<Payload> {
+    let stage_list = (0..stages)
+        .map(|i| {
+            Stage::new(
+                format!("s{i}"),
+                bt_soc::WorkProfile::new(1.0, 1.0),
+                Arc::new(move |p: &mut Payload, _ctx: &ParCtx| {
+                    let mut x = p.seq.wrapping_add(i as u64);
+                    for _ in 0..iters {
+                        x = x
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                    }
+                    p.acc = p.acc.wrapping_add(x);
+                }) as KernelFn<Payload>,
+            )
+        })
+        .collect();
+    Application::new(
+        "busy",
+        stage_list,
+        Arc::new(Payload::default),
+        Arc::new(|p: &mut Payload, seq| p.seq = seq),
+    )
+}
+
+fn run_once(app: &Application<Payload>, telemetry: TelemetryConfig) -> f64 {
+    use bt_soc::PuClass::*;
+    let schedule = Schedule::new(vec![BigCpu, BigCpu, Gpu, Gpu]).expect("contiguous");
+    let cfg = HostRunConfig {
+        tasks: 200,
+        warmup: 10,
+        telemetry,
+        ..HostRunConfig::default()
+    };
+    let report = run_host(app, &schedule, &PuThreads::uniform(1), &cfg).expect("runs");
+    report.time_per_task.as_secs_f64()
+}
+
+fn executor_telemetry_overhead(c: &mut Criterion) {
+    let app = busy_app(4, 2_000);
+    let mut group = c.benchmark_group("executor");
+    group.bench_function("run_host_telemetry_off", |b| {
+        b.iter(|| black_box(run_once(&app, TelemetryConfig::OFF)))
+    });
+    group.bench_function("run_host_telemetry_full", |b| {
+        b.iter(|| black_box(run_once(&app, TelemetryConfig::full())))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = executor_telemetry_overhead
+}
+criterion_main!(benches);

@@ -101,7 +101,9 @@ fn cnn_kernels(c: &mut Criterion) {
     // Sparse SpMM at 10% density.
     let rows = 128;
     let cols = 64 * 9;
-    let dense: Vec<f32> = (0..rows * cols).map(|i| ((i % 17) as f32 - 8.0) * 0.1).collect();
+    let dense: Vec<f32> = (0..rows * cols)
+        .map(|i| ((i % 17) as f32 - 8.0) * 0.1)
+        .collect();
     let csr: CsrMatrix = prune_to_csr(&dense, rows, cols, 0.1);
     let rhs = vec![0.5f32; cols * 256];
     let mut spmm_out = vec![0.0f32; rows * 256];

@@ -22,10 +22,10 @@ use serde::Serialize;
 
 #[derive(Serialize, Default)]
 struct Ablations {
-    threshold_sweep: Vec<(f64, f64, f64)>,      // θ, correlation, best_ms
-    k_sweep: Vec<(usize, f64, f64)>,            // K, best_ms, cost_ms
+    threshold_sweep: Vec<(f64, f64, f64)>, // θ, correlation, best_ms
+    k_sweep: Vec<(usize, f64, f64)>,       // K, best_ms, cost_ms
     interference_ablation: Vec<(String, f64, f64)>, // variant, correlation, best_ms
-    buffer_sweep: Vec<(u32, f64)>,              // buffers, ms/task
+    buffer_sweep: Vec<(u32, f64)>,         // buffers, ms/task
 }
 
 fn main() {
@@ -36,8 +36,16 @@ fn main() {
 
     // 1. Utilization-threshold sweep.
     println!("1. utilization threshold sweep (sparse AlexNet / Pixel)\n");
-    println!("{:>6} {:>8} {:>12} {:>12}", "θ", "cands", "correlation", "best (ms)");
-    let table = profile(&soc, &app, ProfileMode::InterferenceHeavy, &ProfilerConfig::default());
+    println!(
+        "{:>6} {:>8} {:>12} {:>12}",
+        "θ", "cands", "correlation", "best (ms)"
+    );
+    let table = profile(
+        &soc,
+        &app,
+        ProfileMode::InterferenceHeavy,
+        &ProfilerConfig::default(),
+    );
     for theta in [0.0, 0.2, 0.35, 0.5, 0.65] {
         let cfg = OptimizerConfig::with_threshold(theta);
         let Ok(cands) = optimize(&soc, &table, &cfg) else {
@@ -46,9 +54,16 @@ fn main() {
         };
         let outcome = autotune(&soc, &app, &cands, &des).expect("autotunes");
         let xs: Vec<f64> = cands.iter().map(|c| c.predicted.as_f64()).collect();
-        let ys: Vec<f64> = outcome.measured.iter().map(|m| m.as_f64()).collect();
+        let ys: Vec<f64> = (0..cands.len())
+            .map(|i| {
+                outcome
+                    .measured_latency(i)
+                    .expect("candidate measured")
+                    .as_f64()
+            })
+            .collect();
         let r = pearson(&xs, &ys).unwrap_or(f64::NAN);
-        let best = outcome.measured[outcome.best_index].as_millis();
+        let best = outcome.best().expect("best measured").latency.as_millis();
         println!("{theta:>6.2} {:>8} {r:>12.3} {best:>12.2}", cands.len());
         out.threshold_sweep.push((theta, r, best));
     }
@@ -63,7 +78,7 @@ fn main() {
         };
         let cands = optimize(&soc, &table, &cfg).expect("candidates");
         let outcome = autotune(&soc, &app, &cands, &des).expect("autotunes");
-        let best = outcome.measured[outcome.best_index].as_millis();
+        let best = outcome.best().expect("best measured").latency.as_millis();
         let cost = outcome.evaluation_cost.as_millis();
         println!("{k:>6} {best:>12.2} {cost:>14.1}");
         out.k_sweep.push((k, best, cost));
@@ -72,7 +87,10 @@ fn main() {
     // 3. Interference-model component ablation: the profiler believes a
     //    simplified device; measurements run on the real one.
     println!("\n3. interference-model component ablation\n");
-    println!("{:>28} {:>12} {:>12}", "profiler's model", "correlation", "best (ms)");
+    println!(
+        "{:>28} {:>12} {:>12}",
+        "profiler's model", "correlation", "best (ms)"
+    );
     let full = soc.interference().clone();
     let dvfs_only = InterferenceModel::calibrated(
         [
@@ -83,8 +101,7 @@ fn main() {
         ],
         0.0,
     );
-    let contention_only =
-        InterferenceModel::calibrated::<0>([], full.contention_strength());
+    let contention_only = InterferenceModel::calibrated::<0>([], full.contention_strength());
     let variants: [(&str, InterferenceModel); 4] = [
         ("full (dvfs + contention)", full.clone()),
         ("dvfs only", dvfs_only),
@@ -139,7 +156,8 @@ fn main() {
         };
         let r = simulate(&soc, &chunks, &cfg).expect("simulates");
         println!("{buffers:>9} {:>12.2}", r.time_per_task.as_millis());
-        out.buffer_sweep.push((buffers, r.time_per_task.as_millis()));
+        out.buffer_sweep
+            .push((buffers, r.time_per_task.as_millis()));
     }
     let single = out.buffer_sweep[0].1;
     let deep = out.buffer_sweep.last().expect("non-empty").1;

@@ -12,11 +12,24 @@ use bt_solver::ScheduleProblem;
 
 fn main() {
     let apps: Vec<(&str, bt_kernels::AppModel)> = vec![
-        ("dense", apps::alexnet_dense_app(apps::AlexNetConfig::default()).model()),
-        ("sparse", apps::alexnet_sparse_app(apps::AlexNetConfig::default()).model()),
-        ("octree", apps::octree_app(apps::OctreeConfig::default()).model()),
+        (
+            "dense",
+            apps::alexnet_dense_app(apps::AlexNetConfig::default()).model(),
+        ),
+        (
+            "sparse",
+            apps::alexnet_sparse_app(apps::AlexNetConfig::default()).model(),
+        ),
+        (
+            "octree",
+            apps::octree_app(apps::OctreeConfig::default()).model(),
+        ),
     ];
-    let cfg = ProfilerConfig { reps: 1, noise_sigma: 0.0, seed: 0 };
+    let cfg = ProfilerConfig {
+        reps: 1,
+        noise_sigma: 0.0,
+        seed: 0,
+    };
     for soc in devices::all() {
         for (label, app) in &apps {
             let iso = profile(&soc, app, ProfileMode::Isolated, &cfg);
@@ -27,7 +40,10 @@ fn main() {
 
             // Homogeneous baselines (isolated single-chunk DES).
             let n = app.stage_count();
-            let des = DesConfig { noise_sigma: 0.0, ..DesConfig::default() };
+            let des = DesConfig {
+                noise_sigma: 0.0,
+                ..DesConfig::default()
+            };
             let _ = n;
             for class in soc.classes() {
                 let r = simulate_baseline(&soc, app, class, &des).unwrap();

@@ -75,9 +75,8 @@ fn main() {
     }
 
     let wins = rows.iter().filter(|r| r.static_vs_bestfit > 1.0).count();
-    let geo: f64 = (rows.iter().map(|r| r.static_vs_bestfit.ln()).sum::<f64>()
-        / rows.len() as f64)
-        .exp();
+    let geo: f64 =
+        (rows.iter().map(|r| r.static_vs_bestfit.ln()).sum::<f64>() / rows.len() as f64).exp();
     println!(
         "\nStatic interference-aware pipelines beat the dynamic best-fit runtime in \
          {wins}/{} configurations (geomean {geo:.2}x)",

@@ -47,8 +47,8 @@ fn main() {
                 .run()
                 .expect("framework runs");
             let bt = measure_energy(&soc, app, d.best_schedule(), &model, &des).expect("energy");
-            let cpu = measure_baseline_energy(&soc, app, PuClass::BigCpu, &model, &des)
-                .expect("energy");
+            let cpu =
+                measure_baseline_energy(&soc, app, PuClass::BigCpu, &model, &des).expect("energy");
             let gpu =
                 measure_baseline_energy(&soc, app, PuClass::Gpu, &model, &des).expect("energy");
             let best_edp = cpu.edp_mj_ms.min(gpu.edp_mj_ms);

@@ -32,10 +32,21 @@ struct Fig1 {
 fn main() {
     let soc = devices::pixel_7a();
     let app = apps::octree_app(apps::OctreeConfig::default()).model();
-    let table = profile(&soc, &app, ProfileMode::Isolated, &ProfilerConfig::default());
+    let table = profile(
+        &soc,
+        &app,
+        ProfileMode::Isolated,
+        &ProfilerConfig::default(),
+    );
 
-    println!("Figure 1 — stage execution time on {} (isolated)\n", soc.name());
-    println!("{:>14} {:>10} {:>10} {:>10} {:>10}", "stage", "big", "med", "little", "gpu");
+    println!(
+        "Figure 1 — stage execution time on {} (isolated)\n",
+        soc.name()
+    );
+    println!(
+        "{:>14} {:>10} {:>10} {:>10} {:>10}",
+        "stage", "big", "med", "little", "gpu"
+    );
 
     let fig_stages = ["sort", "radix-tree", "build-octree"];
     let mut rows = Vec::new();
@@ -50,9 +61,7 @@ fn main() {
             cell(PuClass::LittleCpu),
             cell(PuClass::Gpu),
         );
-        println!(
-            "{name:>14} {b:>9.0}µ {m:>9.0}µ {l:>9.0}µ {g:>9.0}µ"
-        );
+        println!("{name:>14} {b:>9.0}µ {m:>9.0}µ {l:>9.0}µ {g:>9.0}µ");
         rows.push(Fig1Row {
             stage: name.clone(),
             big_us: b,
@@ -66,8 +75,9 @@ fn main() {
     let rtree = &rows[1];
     let build = &rows[2];
     let gpu_worst_at_sort = sort.gpu_us > sort.big_us && sort.gpu_us > sort.medium_us;
-    let gpu_fastest_at_radix_tree =
-        rtree.gpu_us < rtree.big_us && rtree.gpu_us < rtree.medium_us && rtree.gpu_us < rtree.little_us;
+    let gpu_fastest_at_radix_tree = rtree.gpu_us < rtree.big_us
+        && rtree.gpu_us < rtree.medium_us
+        && rtree.gpu_us < rtree.little_us;
     let ratio = build.gpu_us / build.big_us;
     let octree_build_comparable = (0.33..=3.0).contains(&ratio);
 

@@ -43,7 +43,10 @@ fn panel(
         / pairs.len() as f64;
 
     println!("--- ({label}) mode={} filter={filter} ---", mode.label());
-    println!("{:>11} {:>12} {:>12} {:>8}", "schedule", "predicted", "measured", "err");
+    println!(
+        "{:>11} {:>12} {:>12} {:>8}",
+        "schedule", "predicted", "measured", "err"
+    );
     for p in &pairs {
         println!(
             "{:>11} {:>10.2}ms {:>10.2}ms {:>7.1}%",
@@ -53,7 +56,10 @@ fn panel(
             100.0 * (p.predicted_us - p.measured_us) / p.measured_us
         );
     }
-    println!("correlation = {correlation:.4}, mean |rel err| = {:.1}%\n", 100.0 * mean_abs_rel_error);
+    println!(
+        "correlation = {correlation:.4}, mean |rel err| = {:.1}%\n",
+        100.0 * mean_abs_rel_error
+    );
     Fig5Panel {
         label: label.into(),
         mode: mode.label().into(),
@@ -72,14 +78,44 @@ fn main() {
         soc.name()
     );
 
-    let a = panel("a: BetterTogether", &soc, &app, ProfileMode::InterferenceHeavy, true);
-    let b = panel("b: latency-only", &soc, &app, ProfileMode::InterferenceHeavy, false);
-    let c = panel("c: isolated+latency-only", &soc, &app, ProfileMode::Isolated, false);
+    let a = panel(
+        "a: BetterTogether",
+        &soc,
+        &app,
+        ProfileMode::InterferenceHeavy,
+        true,
+    );
+    let b = panel(
+        "b: latency-only",
+        &soc,
+        &app,
+        ProfileMode::InterferenceHeavy,
+        false,
+    );
+    let c = panel(
+        "c: isolated+latency-only",
+        &soc,
+        &app,
+        ProfileMode::Isolated,
+        false,
+    );
 
     println!("Summary (paper: (a) closest, then (b), then (c)):");
-    println!("  (a) r = {:.3}, err = {:.1}%", a.correlation, 100.0 * a.mean_abs_rel_error);
-    println!("  (b) r = {:.3}, err = {:.1}%", b.correlation, 100.0 * b.mean_abs_rel_error);
-    println!("  (c) r = {:.3}, err = {:.1}%", c.correlation, 100.0 * c.mean_abs_rel_error);
+    println!(
+        "  (a) r = {:.3}, err = {:.1}%",
+        a.correlation,
+        100.0 * a.mean_abs_rel_error
+    );
+    println!(
+        "  (b) r = {:.3}, err = {:.1}%",
+        b.correlation,
+        100.0 * b.mean_abs_rel_error
+    );
+    println!(
+        "  (c) r = {:.3}, err = {:.1}%",
+        c.correlation,
+        100.0 * c.mean_abs_rel_error
+    );
 
     bt_bench::write_result("fig5_pred_vs_measured", &vec![a, b, c]);
 }

@@ -77,10 +77,11 @@ fn main() {
         ProfileMode::Isolated,
         false,
     );
+    println!("Paper: (a) mean 0.92 / max 0.99; (b) mean ≈0.85 with Jetson sparse/octree lowest.");
     println!(
-        "Paper: (a) mean 0.92 / max 0.99; (b) mean ≈0.85 with Jetson sparse/octree lowest."
+        "Ours:  (a) mean {:.2} / max {:.2}; (b) mean {:.2}.",
+        a.mean, a.max, b.mean
     );
-    println!("Ours:  (a) mean {:.2} / max {:.2}; (b) mean {:.2}.", a.mean, a.max, b.mean);
     let improvement = a.mean - b.mean;
     println!("Interference-aware profiling improves mean correlation by {improvement:+.3}.");
     bt_bench::write_result("fig6_correlation", &vec![a, b]);

@@ -18,12 +18,25 @@ use serde::Serialize;
 fn paper_ratio(device: usize, class: PuClass) -> Option<f64> {
     use PuClass::*;
     let table: [&[(PuClass, f64)]; 4] = [
-        &[(BigCpu, 1.40), (MediumCpu, 1.20), (LittleCpu, 1.39), (Gpu, 0.86)],
-        &[(BigCpu, 1.38), (MediumCpu, 1.00), (LittleCpu, 0.63), (Gpu, 0.64)],
+        &[
+            (BigCpu, 1.40),
+            (MediumCpu, 1.20),
+            (LittleCpu, 1.39),
+            (Gpu, 0.86),
+        ],
+        &[
+            (BigCpu, 1.38),
+            (MediumCpu, 1.00),
+            (LittleCpu, 0.63),
+            (Gpu, 0.64),
+        ],
         &[(BigCpu, 1.43), (Gpu, 1.19)],
         &[(BigCpu, 1.29), (Gpu, 1.74)],
     ];
-    table[device].iter().find(|(c, _)| *c == class).map(|&(_, r)| r)
+    table[device]
+        .iter()
+        .find(|(c, _)| *c == class)
+        .map(|&(_, r)| r)
 }
 
 #[derive(Serialize)]
@@ -43,7 +56,10 @@ fn main() {
     let apps = bt_bench::paper_apps();
 
     println!("Figure 7 — interference-heavy / isolated latency ratios (avg over 3 apps)\n");
-    println!("{:>22} {:>8} {:>9} {:>9} {:>10}", "device", "PU", "ours", "paper", "direction");
+    println!(
+        "{:>22} {:>8} {:>9} {:>9} {:>10}",
+        "device", "PU", "ours", "paper", "direction"
+    );
 
     let mut cells = Vec::new();
     let mut directions_ok = 0;

@@ -26,7 +26,10 @@ fn main() {
     let mut rows = Vec::new();
 
     println!("Input-scale sensitivity on {}\n", soc.name());
-    println!("{:>10} {:>12} {:>12} {:>9} {:>9}", "workload", "scale", "schedule", "BT(ms)", "speedup");
+    println!(
+        "{:>10} {:>12} {:>12} {:>9} {:>9}",
+        "workload", "scale", "schedule", "BT(ms)", "speedup"
+    );
 
     for points in [1usize << 15, 1 << 17, 1 << 18, 1 << 19, 1 << 20] {
         let app = apps::octree_app(apps::OctreeConfig {

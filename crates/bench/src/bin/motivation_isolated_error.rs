@@ -46,8 +46,8 @@ fn main() {
         },
     )
     .expect("candidates")[0];
-    let iso_predicted = predict::predict_latency(&iso_table, &iso_best.schedule)
-        .expect("table covers schedule");
+    let iso_predicted =
+        predict::predict_latency(&iso_table, &iso_best.schedule).expect("table covers schedule");
     let iso_measured = simulate_schedule(&soc, &app, &iso_best.schedule, &des)
         .expect("simulates")
         .time_per_task;
@@ -63,7 +63,10 @@ fn main() {
         .time_per_task;
     let bt_err = 100.0 * (bt_measured.as_f64() - bt_predicted.as_f64()) / bt_predicted.as_f64();
 
-    println!("§1 motivation — isolated-model misprediction, sparse AlexNet on {}\n", soc.name());
+    println!(
+        "§1 motivation — isolated-model misprediction, sparse AlexNet on {}\n",
+        soc.name()
+    );
     println!(
         "isolated model:   predicted {:>7.2} ms, measured {:>7.2} ms → {:+.0}% error \
          (paper: 4.95 → 7.77 ms, +57%)",

@@ -29,7 +29,12 @@ struct SolverPerf {
 fn main() {
     let soc = devices::pixel_7a();
     let app = apps::alexnet_dense_app(apps::AlexNetConfig::default()).model();
-    let table = profile(&soc, &app, ProfileMode::InterferenceHeavy, &ProfilerConfig::default());
+    let table = profile(
+        &soc,
+        &app,
+        ProfileMode::InterferenceHeavy,
+        &ProfilerConfig::default(),
+    );
     println!("§3.3 — solver performance on the paper's case study (N=9, M=4)\n");
 
     // Exact engine: full candidate generation.

@@ -48,7 +48,14 @@ fn main() {
         .iter()
         .map(|c| c.predicted.as_millis())
         .collect();
-    let measured_ms: Vec<f64> = d.outcome.measured[..k].iter().map(|m| m.as_millis()).collect();
+    let measured_ms: Vec<f64> = (0..k)
+        .map(|i| {
+            d.outcome
+                .measured_latency(i)
+                .expect("candidate measured")
+                .as_millis()
+        })
+        .collect();
     let speedups: Vec<f64> = measured_ms.iter().map(|&m| measured_ms[0] / m).collect();
 
     print!("{:>10}", "Measured");
@@ -88,7 +95,10 @@ fn main() {
     );
     println!(
         "Performance tiers among predictions (anchor ms × members): {:?}",
-        tiers.iter().map(|(a, c)| (format!("{a:.2}"), *c)).collect::<Vec<_>>()
+        tiers
+            .iter()
+            .map(|(a, c)| (format!("{a:.2}"), *c))
+            .collect::<Vec<_>>()
     );
 
     bt_bench::write_result(
@@ -96,7 +106,10 @@ fn main() {
         &Table4 {
             device: soc.name().to_string(),
             app: "CIFAR-S".into(),
-            schedules: d.plan.candidates[..k].iter().map(|c| c.schedule.to_string()).collect(),
+            schedules: d.plan.candidates[..k]
+                .iter()
+                .map(|c| c.schedule.to_string())
+                .collect(),
             predicted_ms,
             measured_ms,
             speedup_vs_index1: speedups,

@@ -2,19 +2,19 @@
 //! octree pipeline (best BetterTogether schedule) next to the serialized
 //! homogeneous baseline — the overlap BT-Implementer's multi-buffering
 //! creates (§3.4), made visible.
+//!
+//! Also exports the BetterTogether run as a Chrome `trace_event` JSON
+//! (open `chrome://tracing` or <https://ui.perfetto.dev> and load
+//! `results/timeline_trace.json`).
 
 use bt_core::BetterTogether;
 use bt_kernels::apps;
-use bt_pipeline::{simulate_schedule, Schedule, to_chunk_specs};
+use bt_pipeline::{simulate_schedule, to_chunk_specs, Schedule};
 use bt_soc::des::DesConfig;
 use bt_soc::{devices, PuClass};
+use bt_telemetry::TelemetryConfig;
 
-fn gantt(
-    soc: &bt_soc::SocSpec,
-    app: &bt_kernels::AppModel,
-    schedule: &Schedule,
-    title: &str,
-) {
+fn gantt(soc: &bt_soc::SocSpec, app: &bt_kernels::AppModel, schedule: &Schedule, title: &str) {
     let cfg = DesConfig {
         tasks: 6,
         warmup: 0,
@@ -27,7 +27,10 @@ fn gantt(
         .iter()
         .map(|c| format!("{} ({} stages)", c.pu, c.stages.len()))
         .collect();
-    println!("{title}  —  {:.2} ms/task steady-state", report.time_per_task.as_millis());
+    println!(
+        "{title}  —  {:.2} ms/task steady-state",
+        report.time_per_task.as_millis()
+    );
     println!("{}", bt_bench::render_gantt(&report.timeline, &labels, 100));
 }
 
@@ -42,11 +45,32 @@ fn main() {
         "Six tasks (digits 0-5) flowing through the octree pipeline on {}\n",
         soc.name()
     );
-    gantt(&soc, &app, d.best_schedule(), &format!("BetterTogether {}", d.best_schedule()));
+    gantt(
+        &soc,
+        &app,
+        d.best_schedule(),
+        &format!("BetterTogether {}", d.best_schedule()),
+    );
     gantt(
         &soc,
         &app,
         &Schedule::homogeneous(app.stage_count(), PuClass::BigCpu),
         "CPU-only baseline",
     );
+
+    // Chrome trace of the winning schedule, from the telemetry layer.
+    let cfg = DesConfig {
+        tasks: 30,
+        noise_sigma: 0.0,
+        telemetry: TelemetryConfig::full(),
+        ..DesConfig::default()
+    };
+    let report = simulate_schedule(&soc, &app, d.best_schedule(), &cfg).expect("simulates");
+    let tele = report.telemetry.expect("telemetry requested");
+    let dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("results");
+    std::fs::create_dir_all(&dir).expect("create results directory");
+    std::fs::write(dir.join("timeline_trace.json"), tele.chrome_trace_json()).expect("write trace");
+    println!("\n[Chrome trace written to results/timeline_trace.json — load in chrome://tracing]");
 }

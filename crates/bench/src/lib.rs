@@ -101,9 +101,27 @@ mod tests {
     fn gantt_renders_rows_and_scale() {
         use bt_soc::des::TimelineEvent;
         let events = vec![
-            TimelineEvent { chunk: 0, stage: 0, task: 0, start: 0.0, end: 500.0 },
-            TimelineEvent { chunk: 1, stage: 0, task: 0, start: 500.0, end: 1000.0 },
-            TimelineEvent { chunk: 0, stage: 0, task: 1, start: 500.0, end: 1000.0 },
+            TimelineEvent {
+                chunk: 0,
+                stage: 0,
+                task: 0,
+                start: 0.0,
+                end: 500.0,
+            },
+            TimelineEvent {
+                chunk: 1,
+                stage: 0,
+                task: 0,
+                start: 500.0,
+                end: 1000.0,
+            },
+            TimelineEvent {
+                chunk: 0,
+                stage: 0,
+                task: 1,
+                start: 500.0,
+                end: 1000.0,
+            },
         ];
         let labels = vec!["cpu".to_string(), "gpu".to_string()];
         let chart = render_gantt(&events, &labels, 20);
@@ -118,7 +136,10 @@ mod tests {
     #[test]
     fn gantt_empty_timeline() {
         let spans: [GanttSpan; 0] = [];
-        assert_eq!(render_gantt(&spans, &["x".into()], 20), "(empty timeline)\n");
+        assert_eq!(
+            render_gantt(&spans, &["x".into()], 20),
+            "(empty timeline)\n"
+        );
     }
 }
 

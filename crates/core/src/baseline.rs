@@ -73,7 +73,11 @@ mod tests {
         let d = measure_baselines(&soc, &dense, &des()).unwrap();
         let o = measure_baselines(&soc, &octree, &des()).unwrap();
         assert_eq!(d.winner(), PuClass::Gpu, "Table 3: GPU wins dense");
-        assert_eq!(o.winner(), PuClass::BigCpu, "Table 3: CPU wins octree on phones");
+        assert_eq!(
+            o.winner(),
+            PuClass::BigCpu,
+            "Table 3: CPU wins octree on phones"
+        );
         assert_eq!(d.best(), d.gpu);
         assert_eq!(o.best(), o.cpu);
     }

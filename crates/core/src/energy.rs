@@ -57,7 +57,9 @@ mod tests {
         // the CPU baseline for the octree workload on the Pixel.
         let soc = devices::pixel_7a();
         let app = apps::octree_app(apps::OctreeConfig::default()).model();
-        let d = BetterTogether::new(soc.clone(), app.clone()).run().expect("runs");
+        let d = BetterTogether::new(soc.clone(), app.clone())
+            .run()
+            .expect("runs");
         let model = PowerModel::default_for(&soc);
         let des = DesConfig::default();
         let bt = measure_energy(&soc, &app, d.best_schedule(), &model, &des).expect("energy");

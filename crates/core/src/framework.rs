@@ -70,9 +70,11 @@ pub struct Plan {
 
 impl Plan {
     /// The schedule the model predicts to be fastest (index 1 of the
-    /// paper's Table 4).
-    pub fn predicted_best(&self) -> &Candidate {
-        &self.candidates[0]
+    /// paper's Table 4), or `None` for an empty plan. [`optimize`]
+    /// never returns an empty candidate set, but a `Plan` deserialized
+    /// from disk can carry one, so this cannot be a plain index.
+    pub fn predicted_best(&self) -> Option<&Candidate> {
+        self.candidates.first()
     }
 }
 
@@ -96,13 +98,18 @@ impl Deployment {
 
     /// Measured per-task latency of the best schedule.
     pub fn best_latency(&self) -> Micros {
-        self.outcome.measured[self.outcome.best_index]
+        self.outcome
+            .measured_latency(self.outcome.best_index)
+            .expect("autotune measured its own best candidate")
     }
 
     /// Measured latency of the *predicted*-best schedule (what a user gets
-    /// without level-3 autotuning).
+    /// without level-3 autotuning). Resolved by candidate index, not by
+    /// position in the measurement vector.
     pub fn predicted_best_latency(&self) -> Micros {
-        self.outcome.measured[0]
+        self.outcome
+            .measured_latency(0)
+            .expect("autotune measured the predicted-best candidate")
     }
 
     /// Speedup over the faster homogeneous baseline (Fig. 4's metric).
@@ -160,7 +167,12 @@ impl BetterTogether {
 
     /// Runs BT-Profiler (Fig. 2, step 3).
     pub fn profile(&self) -> ProfilingTable {
-        profile(&self.soc, &self.app, self.cfg.profile_mode, &self.cfg.profiler)
+        profile(
+            &self.soc,
+            &self.app,
+            self.cfg.profile_mode,
+            &self.cfg.profiler,
+        )
     }
 
     /// Runs levels 1–2 of BT-Optimizer (Fig. 2, step 4).
@@ -229,7 +241,7 @@ mod tests {
         let bt = BetterTogether::new(devices::oneplus_11(), app);
         let plan = bt.plan().unwrap();
         assert_eq!(
-            plan.predicted_best().predicted,
+            plan.predicted_best().expect("non-empty plan").predicted,
             plan.candidates[0].predicted
         );
         for w in plan.candidates.windows(2) {
@@ -259,8 +271,8 @@ mod tests {
         let back: Plan = serde_json::from_str(&json).expect("deserializes");
         assert_eq!(back.candidates.len(), plan.candidates.len());
         assert_eq!(
-            back.predicted_best().schedule,
-            plan.predicted_best().schedule
+            back.predicted_best().expect("non-empty plan").schedule,
+            plan.predicted_best().expect("non-empty plan").schedule
         );
         // Floats survive JSON within a ULP; compare cell-wise.
         for s in 0..plan.table.stages().len() {
@@ -268,6 +280,20 @@ mod tests {
                 assert!((a.as_f64() - b.as_f64()).abs() <= 1e-9 * b.as_f64().abs());
             }
         }
+    }
+
+    #[test]
+    fn empty_deserialized_plan_has_no_predicted_best() {
+        // A plan loaded from disk can have an empty candidate list; it
+        // must degrade to `None`, not panic.
+        let app = apps::octree_app(apps::OctreeConfig::default()).model();
+        let mut plan = BetterTogether::new(devices::jetson_orin_nano(), app)
+            .plan()
+            .expect("plans");
+        plan.candidates.clear();
+        let json = serde_json::to_string(&plan).expect("serializes");
+        let back: Plan = serde_json::from_str(&json).expect("deserializes");
+        assert!(back.predicted_best().is_none());
     }
 
     #[test]

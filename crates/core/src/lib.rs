@@ -46,6 +46,6 @@ pub use baseline::{measure_baselines, BaselinePair};
 pub use error::BtError;
 pub use framework::{BetterTogether, BtConfig, Deployment, Plan};
 pub use optimizer::{
-    autotune, build_problem, build_problem_with, min_gapness, optimize, AutotuneOutcome, Candidate, Objective,
-    OptimizerConfig, SolverEngine,
+    autotune, build_problem, build_problem_with, min_gapness, optimize, AutotuneOutcome, Candidate,
+    Objective, OptimizerConfig, SolverEngine,
 };

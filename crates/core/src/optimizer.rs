@@ -151,9 +151,7 @@ fn admits(objective: Objective, g_star: f64, t_max: f64, t_min: f64) -> bool {
         Objective::UtilizationFilter { threshold } => {
             threshold <= 0.0 || t_min >= threshold * t_max
         }
-        Objective::GapnessFirst { slack } => {
-            (t_max - t_min) <= g_star * (1.0 + slack) + 1e-9
-        }
+        Objective::GapnessFirst { slack } => (t_max - t_min) <= g_star * (1.0 + slack) + 1e-9,
     }
 }
 
@@ -227,20 +225,57 @@ pub fn min_gapness(soc: &SocSpec, table: &ProfilingTable) -> Result<Micros, BtEr
         .ok_or(BtError::NoCandidates)
 }
 
+/// One candidate's level-3 measurement, tagged with the index of the
+/// candidate it belongs to so the pairing survives reordering and
+/// serialization round-trips (nothing downstream has to assume the
+/// measurement vector is parallel to the candidate vector).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CandidateMeasurement {
+    /// Index into the candidate slice passed to [`autotune`].
+    pub candidate_index: usize,
+    /// Measured per-task latency of that candidate.
+    pub latency: Micros,
+    /// Telemetry from the measurement run (`None` unless
+    /// [`DesConfig::telemetry`] enabled collection).
+    #[serde(default)]
+    pub telemetry: Option<bt_telemetry::RunTelemetry>,
+}
+
 /// Level 3 result: measured latencies for every candidate.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct AutotuneOutcome {
-    /// Measured per-task latency of each candidate, same order as input.
-    pub measured: Vec<Micros>,
-    /// Index of the measured-best candidate.
+    /// Per-candidate measurements, each tagged with its candidate index.
+    pub measured: Vec<CandidateMeasurement>,
+    /// Candidate index of the measured-best candidate.
     pub best_index: usize,
     /// Total virtual time spent evaluating candidates (the paper reports
     /// ≈200 s per device/application for 𝒦 = 20 at 10 s each).
     pub evaluation_cost: Micros,
 }
 
+impl AutotuneOutcome {
+    /// The measured latency of candidate `candidate_index`, if it was
+    /// evaluated.
+    pub fn measured_latency(&self, candidate_index: usize) -> Option<Micros> {
+        self.measured
+            .iter()
+            .find(|m| m.candidate_index == candidate_index)
+            .map(|m| m.latency)
+    }
+
+    /// The measurement of the measured-best candidate.
+    pub fn best(&self) -> Option<&CandidateMeasurement> {
+        self.measured
+            .iter()
+            .find(|m| m.candidate_index == self.best_index)
+    }
+}
+
 /// Level 3: execute every candidate in the simulator and pick the measured
 /// best (the paper runs each for a fixed interval on the device).
+///
+/// Telemetry enabled through `des.telemetry` is collected independently
+/// for every candidate run and attached to its [`CandidateMeasurement`].
 ///
 /// # Errors
 ///
@@ -263,13 +298,20 @@ pub fn autotune(
         };
         let report = simulate_schedule(soc, app, &cand.schedule, &cfg)?;
         cost += report.makespan;
-        measured.push(report.time_per_task);
+        measured.push(CandidateMeasurement {
+            candidate_index: i,
+            latency: report.time_per_task,
+            telemetry: report.telemetry,
+        });
     }
     let best_index = measured
         .iter()
-        .enumerate()
-        .min_by(|a, b| a.1.partial_cmp(b.1).expect("latencies are finite"))
-        .map(|(i, _)| i)
+        .min_by(|a, b| {
+            a.latency
+                .partial_cmp(&b.latency)
+                .expect("latencies are finite")
+        })
+        .map(|m| m.candidate_index)
         .expect("non-empty");
     Ok(AutotuneOutcome {
         measured,
@@ -370,7 +412,9 @@ mod tests {
         let cands = optimize(&soc, &table, &OptimizerConfig::default()).unwrap();
         for c in &cands {
             assert!(
-                !c.schedule.classes_used().contains(&bt_soc::PuClass::LittleCpu),
+                !c.schedule
+                    .classes_used()
+                    .contains(&bt_soc::PuClass::LittleCpu),
                 "OnePlus little cores are unpinnable"
             );
         }
@@ -383,9 +427,59 @@ mod tests {
         let des = DesConfig::default();
         let outcome = autotune(&soc, &app, &cands, &des).unwrap();
         assert_eq!(outcome.measured.len(), cands.len());
-        let best = outcome.measured[outcome.best_index];
-        assert!(outcome.measured.iter().all(|&m| best <= m));
+        for (i, m) in outcome.measured.iter().enumerate() {
+            assert_eq!(m.candidate_index, i, "autotune preserves input order");
+        }
+        let best = outcome.best().expect("best candidate was measured").latency;
+        assert!(outcome.measured.iter().all(|m| best <= m.latency));
         assert!(outcome.evaluation_cost.as_f64() > 0.0);
+    }
+
+    #[test]
+    fn outcome_lookup_is_index_based_not_positional() {
+        // A reordered (e.g. re-sorted or partially persisted) measurement
+        // vector must still resolve candidates correctly.
+        let outcome = AutotuneOutcome {
+            measured: vec![
+                CandidateMeasurement {
+                    candidate_index: 2,
+                    latency: Micros::new(30.0),
+                    telemetry: None,
+                },
+                CandidateMeasurement {
+                    candidate_index: 0,
+                    latency: Micros::new(50.0),
+                    telemetry: None,
+                },
+                CandidateMeasurement {
+                    candidate_index: 1,
+                    latency: Micros::new(40.0),
+                    telemetry: None,
+                },
+            ],
+            best_index: 2,
+            evaluation_cost: Micros::new(120.0),
+        };
+        assert_eq!(outcome.measured_latency(0), Some(Micros::new(50.0)));
+        assert_eq!(outcome.measured_latency(2), Some(Micros::new(30.0)));
+        assert_eq!(outcome.measured_latency(9), None);
+        assert_eq!(outcome.best().expect("present").latency, Micros::new(30.0));
+    }
+
+    #[test]
+    fn autotune_threads_telemetry_through_candidates() {
+        let (soc, app, table) = setup();
+        let cands = optimize(&soc, &table, &OptimizerConfig::default()).unwrap();
+        let des = DesConfig {
+            telemetry: bt_telemetry::TelemetryConfig::counters_only(),
+            ..DesConfig::default()
+        };
+        let outcome = autotune(&soc, &app, &cands, &des).unwrap();
+        for m in &outcome.measured {
+            let tele = m.telemetry.as_ref().expect("telemetry requested");
+            assert_eq!(tele.source, "des");
+            assert!(!tele.dispatchers.is_empty());
+        }
     }
 
     #[test]

@@ -97,7 +97,10 @@ impl<P> Application<P> {
         factory: FactoryFn<P>,
         source: SourceFn<P>,
     ) -> Application<P> {
-        assert!(!stages.is_empty(), "an application needs at least one stage");
+        assert!(
+            !stages.is_empty(),
+            "an application needs at least one stage"
+        );
         Application {
             name: name.into(),
             stages,
@@ -264,7 +267,10 @@ pub struct TaskGraph {
 impl TaskGraph {
     /// A graph over `n` stages with no dependencies yet.
     pub fn new(n: usize) -> TaskGraph {
-        TaskGraph { n, deps: Vec::new() }
+        TaskGraph {
+            n,
+            deps: Vec::new(),
+        }
     }
 
     /// Declares that `to` consumes an output of `from` (so `from` must run

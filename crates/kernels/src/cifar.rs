@@ -45,7 +45,9 @@ impl CifarStream {
         let [c, h, w] = CIFAR_SHAPE;
         let mut img = Tensor::zeros(&CIFAR_SHAPE);
         // Raw noise, then a 3x3 box blur for spatial correlation.
-        let noise: Vec<f32> = (0..c * h * w).map(|_| self.rng.gen_range(-1.0..1.0)).collect();
+        let noise: Vec<f32> = (0..c * h * w)
+            .map(|_| self.rng.gen_range(-1.0..1.0))
+            .collect();
         for ch in 0..c {
             for y in 0..h {
                 for x in 0..w {

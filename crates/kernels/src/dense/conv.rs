@@ -112,7 +112,8 @@ pub fn conv2d_reference(
                             let iy = y as i64 + ky as i64 - pad;
                             let ix = x as i64 + kx as i64 - pad;
                             if iy >= 0 && iy < h as i64 && ix >= 0 && ix < w as i64 {
-                                let wv = weights[((co * params.in_channels + ci) * k + ky) * k + kx];
+                                let wv =
+                                    weights[((co * params.in_channels + ci) * k + ky) * k + kx];
                                 acc += input[(ci, iy as usize, ix as usize)] * wv;
                             }
                         }
@@ -143,10 +144,13 @@ mod tests {
             .as_mut_slice()
             .iter_mut()
             .for_each(|x| *x = rng.gen_range(-1.0..1.0));
-        let weights: Vec<f32> = (0..params.out_channels * params.in_channels * params.kernel * params.kernel)
-            .map(|_| rng.gen_range(-0.5..0.5))
+        let weights: Vec<f32> =
+            (0..params.out_channels * params.in_channels * params.kernel * params.kernel)
+                .map(|_| rng.gen_range(-0.5..0.5))
+                .collect();
+        let bias: Vec<f32> = (0..params.out_channels)
+            .map(|_| rng.gen_range(-0.1..0.1))
             .collect();
-        let bias: Vec<f32> = (0..params.out_channels).map(|_| rng.gen_range(-0.1..0.1)).collect();
         (input, weights, bias)
     }
 
@@ -176,8 +180,22 @@ mod tests {
         let (input, weights, bias) = random_setup(2, &params, 12, 12);
         let mut serial = Tensor::zeros(&[6, 12, 12]);
         let mut parallel = Tensor::zeros(&[6, 12, 12]);
-        conv2d(&ParCtx::serial(), &params, &input, &weights, &bias, &mut serial);
-        conv2d(&ParCtx::new(7), &params, &input, &weights, &bias, &mut parallel);
+        conv2d(
+            &ParCtx::serial(),
+            &params,
+            &input,
+            &weights,
+            &bias,
+            &mut serial,
+        );
+        conv2d(
+            &ParCtx::new(7),
+            &params,
+            &input,
+            &weights,
+            &bias,
+            &mut parallel,
+        );
         assert_eq!(serial, parallel);
     }
 
@@ -191,7 +209,14 @@ mod tests {
         };
         let input = Tensor::from_vec(&[1, 1, 2], vec![1.0, -1.0]);
         let mut out = Tensor::zeros(&[1, 1, 2]);
-        conv2d(&ParCtx::serial(), &params, &input, &[-2.0], &[0.0], &mut out);
+        conv2d(
+            &ParCtx::serial(),
+            &params,
+            &input,
+            &[-2.0],
+            &[0.0],
+            &mut out,
+        );
         assert_eq!(out.as_slice(), &[0.0, 2.0]);
     }
 

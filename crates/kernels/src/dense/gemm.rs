@@ -128,7 +128,14 @@ mod tests {
         let bias: Vec<f32> = (0..7).map(|_| rng.gen_range(-0.1..0.1)).collect();
 
         let mut direct = Tensor::zeros(&[7, 10, 10]);
-        conv2d(&ParCtx::new(2), &params, &input, &weights, &bias, &mut direct);
+        conv2d(
+            &ParCtx::new(2),
+            &params,
+            &input,
+            &weights,
+            &bias,
+            &mut direct,
+        );
         let mut gemm = Tensor::zeros(&[7, 10, 10]);
         conv2d_gemm(&ParCtx::new(2), &params, &input, &weights, &bias, &mut gemm);
         assert!(

@@ -12,7 +12,11 @@ use crate::{ParCtx, Tensor};
 pub fn linear(ctx: &ParCtx, input: &Tensor, weights: &[f32], bias: &[f32], out: &mut Tensor) {
     let in_features = input.len();
     let out_features = out.len();
-    assert_eq!(weights.len(), in_features * out_features, "weight shape mismatch");
+    assert_eq!(
+        weights.len(),
+        in_features * out_features,
+        "weight shape mismatch"
+    );
     assert_eq!(bias.len(), out_features, "bias shape mismatch");
 
     let x = input.as_slice();
@@ -50,7 +54,9 @@ mod tests {
     #[test]
     fn serial_parallel_agree() {
         let input = Tensor::from_vec(&[64], (0..64).map(|i| i as f32 * 0.1).collect());
-        let weights: Vec<f32> = (0..64 * 10).map(|i| ((i % 13) as f32 - 6.0) * 0.05).collect();
+        let weights: Vec<f32> = (0..64 * 10)
+            .map(|i| ((i % 13) as f32 - 6.0) * 0.05)
+            .collect();
         let bias = vec![0.1; 10];
         let mut a = Tensor::zeros(&[10]);
         let mut b = Tensor::zeros(&[10]);

@@ -78,7 +78,10 @@ impl Octree {
 
     /// Number of children of `cell`.
     pub fn child_count(&self, cell: usize) -> usize {
-        self.children[cell].iter().filter(|&&c| c != NO_CHILD).count()
+        self.children[cell]
+            .iter()
+            .filter(|&&c| c != NO_CHILD)
+            .count()
     }
 
     /// Whether `cell` has no children (a leaf of the truncated octree).
@@ -125,7 +128,10 @@ impl Octree {
                 return cell;
             }
             let child = child as usize;
-            debug_assert_eq!(self.code(child), key >> (MORTON_BITS - 3 * self.level(child)));
+            debug_assert_eq!(
+                self.code(child),
+                key >> (MORTON_BITS - 3 * self.level(child))
+            );
             cell = child;
         }
     }
@@ -255,7 +261,11 @@ pub fn build_octree(
     let mut children = vec![[NO_CHILD; 8]; cells];
     for c in 1..cells {
         let p = parent_of[c] as usize;
-        debug_assert_eq!(level[c] as usize, level[p] as usize + 1, "levels must chain");
+        debug_assert_eq!(
+            level[c] as usize,
+            level[p] as usize + 1,
+            "levels must chain"
+        );
         let digit = (code[c] & 7) as usize;
         debug_assert_eq!(
             children[p][digit], NO_CHILD,
@@ -445,7 +455,11 @@ mod tests {
             let ([x0, y0, z0], side) = octree.cell_bounds(cell);
             let p = morton_decode(key);
             let eps = 1e-5;
-            assert!(p[0] >= x0 - eps && p[0] < x0 + side + eps, "x {p:?} in [{x0}, {})", x0 + side);
+            assert!(
+                p[0] >= x0 - eps && p[0] < x0 + side + eps,
+                "x {p:?} in [{x0}, {})",
+                x0 + side
+            );
             assert!(p[1] >= y0 - eps && p[1] < y0 + side + eps);
             assert!(p[2] >= z0 - eps && p[2] < z0 + side + eps);
         }

@@ -10,7 +10,10 @@ use crate::ParCtx;
 ///
 /// Panics in debug builds if `sorted` is not sorted.
 pub fn dedup_sorted(ctx: &ParCtx, sorted: &[u32], out: &mut Vec<u32>) {
-    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "input must be sorted");
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "input must be sorted"
+    );
     out.clear();
     if sorted.is_empty() {
         return;

@@ -49,8 +49,14 @@ impl RadixTree {
     /// sorted/unique/in-range.
     pub fn build(ctx: &ParCtx, keys: &[u32]) -> RadixTree {
         assert!(keys.len() >= 2, "radix tree needs at least two keys");
-        debug_assert!(keys.windows(2).all(|w| w[0] < w[1]), "keys must be sorted unique");
-        debug_assert!(keys.iter().all(|&k| k < (1 << MORTON_BITS)), "keys must be 30-bit");
+        debug_assert!(
+            keys.windows(2).all(|w| w[0] < w[1]),
+            "keys must be sorted unique"
+        );
+        debug_assert!(
+            keys.iter().all(|&k| k < (1 << MORTON_BITS)),
+            "keys must be 30-bit"
+        );
 
         let n = keys.len();
         let internal = n - 1;
@@ -282,7 +288,11 @@ mod tests {
             let hi = *leaves.iter().max().expect("non-empty");
             assert_eq!(lo, tree.first(i), "node {i}");
             assert_eq!(hi, tree.last(i), "node {i}");
-            assert_eq!(leaves.len(), hi - lo + 1, "node {i} covers a contiguous range");
+            assert_eq!(
+                leaves.len(),
+                hi - lo + 1,
+                "node {i} covers a contiguous range"
+            );
         }
     }
 

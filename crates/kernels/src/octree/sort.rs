@@ -88,7 +88,11 @@ mod tests {
     #[test]
     fn sorts_random_data() {
         let mut rng = StdRng::seed_from_u64(1);
-        check_sorts((0..10_000).map(|_| rng.gen::<u32>() & 0x3fff_ffff).collect());
+        check_sorts(
+            (0..10_000)
+                .map(|_| rng.gen::<u32>() & 0x3fff_ffff)
+                .collect(),
+        );
     }
 
     #[test]

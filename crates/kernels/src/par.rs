@@ -197,10 +197,7 @@ impl ParCtx {
                 });
             }
         });
-        partials
-            .into_iter()
-            .flatten()
-            .fold(identity, &fold)
+        partials.into_iter().flatten().fold(identity, &fold)
     }
 }
 

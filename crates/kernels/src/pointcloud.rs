@@ -113,12 +113,18 @@ mod tests {
     use super::*;
 
     fn in_unit_cube(cloud: &[Point3]) -> bool {
-        cloud.iter().all(|p| p.iter().all(|&c| (0.0..1.0).contains(&c)))
+        cloud
+            .iter()
+            .all(|p| p.iter().all(|&c| (0.0..1.0).contains(&c)))
     }
 
     #[test]
     fn all_shapes_stay_in_unit_cube() {
-        for shape in [CloudShape::Uniform, CloudShape::Clustered, CloudShape::Surface] {
+        for shape in [
+            CloudShape::Uniform,
+            CloudShape::Clustered,
+            CloudShape::Surface,
+        ] {
             let cloud = PointCloudStream::new(shape, 1).next_cloud(2000);
             assert_eq!(cloud.len(), 2000);
             assert!(in_unit_cube(&cloud), "{shape:?} left the unit cube");

@@ -91,7 +91,10 @@ impl AlexNetSparse {
         let in_data = input.as_slice();
         let serial = ParCtx::serial();
         let run_image = |img: usize, out_chunk: &mut [f32]| {
-            let img_in = Tensor::from_vec(&per_in, in_data[img * in_stride..(img + 1) * in_stride].to_vec());
+            let img_in = Tensor::from_vec(
+                &per_in,
+                in_data[img * in_stride..(img + 1) * in_stride].to_vec(),
+            );
             let mut img_out = Tensor::zeros(&per_out);
             match stage {
                 0 | 2 | 4 | 6 => {

@@ -55,7 +55,11 @@ pub fn sparse_conv2d(
     let (c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2]);
     assert_eq!(weights.cols(), c * k * k, "weight columns mismatch");
     assert_eq!(bias.len(), weights.rows(), "bias mismatch");
-    assert_eq!(out.shape(), &[weights.rows(), h, w], "output shape mismatch");
+    assert_eq!(
+        out.shape(),
+        &[weights.rows(), h, w],
+        "output shape mismatch"
+    );
 
     let patches = im2col(input, k, pad);
     weights.spmm(ctx, &patches, h * w, out.as_mut_slice());

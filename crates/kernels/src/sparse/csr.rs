@@ -73,7 +73,10 @@ impl CsrMatrix {
         assert_eq!(row_ptr.len(), rows + 1, "row_ptr length");
         assert_eq!(col_idx.len(), values.len(), "col/val length");
         assert_eq!(*row_ptr.last().expect("non-empty") as usize, values.len());
-        assert!(row_ptr.windows(2).all(|w| w[0] <= w[1]), "row_ptr monotonic");
+        assert!(
+            row_ptr.windows(2).all(|w| w[0] <= w[1]),
+            "row_ptr monotonic"
+        );
         assert!(col_idx.iter().all(|&c| (c as usize) < cols), "column range");
         CsrMatrix {
             rows,

@@ -15,6 +15,7 @@ use std::time::{Duration, Instant};
 
 use bt_kernels::{Application, ParCtx};
 use bt_soc::{AffinityMap, PerClass, PuClass};
+use bt_telemetry::{DispatcherCounters, RunTelemetry, SpanRecorder, TelemetryConfig};
 
 use crate::spsc;
 use crate::{Schedule, TaskObject};
@@ -82,6 +83,9 @@ pub struct HostRunConfig {
     /// throughput", §3.3); `tasks` then only sizes the warmup accounting
     /// and the reported count comes from how many tasks actually finished.
     pub duration: Option<Duration>,
+    /// What telemetry to collect (off by default; the disabled path costs
+    /// one branch per instrumentation point).
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for HostRunConfig {
@@ -93,6 +97,7 @@ impl Default for HostRunConfig {
             affinity: None,
             record_timeline: false,
             duration: None,
+            telemetry: TelemetryConfig::OFF,
         }
     }
 }
@@ -124,24 +129,31 @@ impl From<HostTimelineEvent> for bt_soc::gantt::GanttSpan {
 /// Result of a host pipeline run.
 #[derive(Debug, Clone)]
 pub struct HostReport {
-    /// Wall-clock between the first measured task's departure and the last
-    /// task's departure (steady-state window).
+    /// Wall-clock of the steady-state measurement window: departure of the
+    /// task preceding the first measured one → departure of the last task
+    /// (with `warmup == 0`, first measured departure → last departure).
     pub makespan: Duration,
-    /// Steady-state inverse throughput (`makespan / tasks`).
+    /// Steady-state inverse throughput: `makespan` divided by the number of
+    /// inter-departure intervals it spans.
     pub time_per_task: Duration,
     /// Mean per-task residence time.
     pub mean_task_latency: Duration,
     /// Tasks per second.
     pub throughput_hz: f64,
-    /// Fraction of the run each chunk's dispatcher spent executing kernels
-    /// (per chunk, pipeline order) — the utilization the paper's gapness
-    /// objective maximizes.
+    /// Fraction of the measured window each chunk's dispatcher spent
+    /// executing kernels (per chunk, pipeline order) — the utilization the
+    /// paper's gapness objective maximizes. Kernel time outside the window
+    /// (warmup, pipeline fill) is excluded, so values are ≤ 1 by
+    /// construction.
     pub chunk_utilization: Vec<f64>,
     /// Number of measured tasks.
     pub tasks: u32,
     /// Recorded execution spans (empty unless
     /// [`HostRunConfig::record_timeline`] was set).
     pub timeline: Vec<HostTimelineEvent>,
+    /// Collected telemetry (`None` unless [`HostRunConfig::telemetry`]
+    /// enables something).
+    pub telemetry: Option<RunTelemetry>,
 }
 
 /// Errors from the host executor.
@@ -193,10 +205,12 @@ struct ChunkOutput {
     entries: Vec<Instant>,
     /// `(seq, residence, finished_at)` per task (tail dispatcher only).
     completions: Vec<(u64, Duration, Instant)>,
-    /// Total time this dispatcher spent inside kernels.
-    busy: Duration,
-    /// Recorded (task, start, end) spans when timeline recording is on.
-    events: Vec<(u64, Instant, Instant)>,
+    /// `(task, start, end)` of every chunk execution. Always recorded: the
+    /// measurement window is only known after the run, so computing
+    /// in-window busy time (utilization) requires the raw spans.
+    spans: Vec<(u64, Instant, Instant)>,
+    /// Telemetry counters (zeroed unless counter collection is on).
+    counters: DispatcherCounters,
 }
 
 fn w_fallback(entries: &[Instant]) -> Instant {
@@ -232,6 +246,43 @@ fn pop_until<T>(rx: &mut spsc::Consumer<T>, failed: &AtomicBool) -> Option<T> {
         }
         std::thread::yield_now();
     }
+}
+
+/// [`pop_until`] plus starvation accounting when counters are enabled.
+fn pop_timed<T>(
+    rx: &mut spsc::Consumer<T>,
+    failed: &AtomicBool,
+    count: bool,
+    counters: &mut DispatcherCounters,
+) -> Option<T> {
+    if !count {
+        return pop_until(rx, failed);
+    }
+    let t0 = Instant::now();
+    let v = pop_until(rx, failed);
+    counters.record_blocked_pop(t0.elapsed());
+    v
+}
+
+/// [`push_until`] plus back-pressure accounting and a post-push occupancy
+/// sample of the output queue when counters are enabled.
+fn push_timed<T>(
+    tx: &mut spsc::Producer<T>,
+    value: T,
+    failed: &AtomicBool,
+    count: bool,
+    counters: &mut DispatcherCounters,
+) -> bool {
+    if !count {
+        return push_until(tx, value, failed);
+    }
+    let t0 = Instant::now();
+    let ok = push_until(tx, value, failed);
+    counters.record_blocked_push(t0.elapsed());
+    if ok {
+        counters.sample_queue_depth(tx.len());
+    }
+    ok
 }
 
 /// Executes `schedule` over `app` on the host with real threads, streaming
@@ -328,9 +379,10 @@ pub fn run_host<P: Send + 'static>(
                 let mut head_rx = head_rx;
                 let mut tail_tx = tail_tx;
 
+                let count = cfg.telemetry.counters;
+                let mut counters = DispatcherCounters::new();
                 let mut busy = Duration::ZERO;
-                let mut events: Vec<(u64, Instant, Instant)> = Vec::new();
-                let record = cfg.record_timeline;
+                let mut spans: Vec<(u64, Instant, Instant)> = Vec::new();
                 let mut run_chunk = |obj: &mut TaskObject<P>, ctx: &ParCtx| -> bool {
                     let t0 = Instant::now();
                     let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
@@ -340,9 +392,7 @@ pub fn run_host<P: Send + 'static>(
                     }));
                     let t1 = Instant::now();
                     busy += t1 - t0;
-                    if record {
-                        events.push((obj.seq, t0, t1));
-                    }
+                    spans.push((obj.seq, t0, t1));
                     if result.is_err() {
                         failed_chunk
                             .compare_exchange(usize::MAX, ci, Ordering::SeqCst, Ordering::SeqCst)
@@ -362,7 +412,9 @@ pub fn run_host<P: Send + 'static>(
                                 break;
                             }
                         }
-                        let Some(mut obj) = pop_until(rx, failed) else { break };
+                        let Some(mut obj) = pop_timed(rx, failed, count, &mut counters) else {
+                            break;
+                        };
                         obj.recycle(seq);
                         app.load_input(&mut obj.payload, seq);
                         out.entries.push(obj.entered.expect("stamped by recycle"));
@@ -373,17 +425,21 @@ pub fn run_host<P: Send + 'static>(
                             let entered = obj.entered.expect("stamped");
                             let now = Instant::now();
                             out.completions.push((seq, now - entered, now));
-                            if !push_until(
+                            if !push_timed(
                                 tail_tx.as_mut().expect("tail owns the recycle producer"),
                                 obj,
                                 failed,
+                                count,
+                                &mut counters,
                             ) {
                                 break;
                             }
-                        } else if !push_until(
+                        } else if !push_timed(
                             output.as_mut().expect("non-tail has an output queue"),
                             Msg::Task(obj),
                             failed,
+                            count,
+                            &mut counters,
                         ) {
                             break;
                         }
@@ -394,7 +450,7 @@ pub fn run_host<P: Send + 'static>(
                 } else {
                     let rx = input.as_mut().expect("non-head has an input queue");
                     loop {
-                        match pop_until(rx, failed) {
+                        match pop_timed(rx, failed, count, &mut counters) {
                             None => break, // failure elsewhere: exit promptly
                             Some(Msg::Stop) => {
                                 if let Some(tx) = output.as_mut() {
@@ -416,17 +472,21 @@ pub fn run_host<P: Send + 'static>(
                                     let entered = obj.entered.expect("stamped by head");
                                     let now = Instant::now();
                                     out.completions.push((obj.seq, now - entered, now));
-                                    if !push_until(
+                                    if !push_timed(
                                         tail_tx.as_mut().expect("tail recycles"),
                                         obj,
                                         failed,
+                                        count,
+                                        &mut counters,
                                     ) {
                                         break;
                                     }
-                                } else if !push_until(
+                                } else if !push_timed(
                                     output.as_mut().expect("middle chunk"),
                                     Msg::Task(obj),
                                     failed,
+                                    count,
+                                    &mut counters,
                                 ) {
                                     break;
                                 }
@@ -434,8 +494,12 @@ pub fn run_host<P: Send + 'static>(
                         }
                     }
                 }
-                out.busy = busy;
-                out.events = events;
+                if count {
+                    counters.tasks = spans.len() as u64;
+                    counters.busy = busy;
+                }
+                out.counters = counters;
+                out.spans = spans;
                 out
             }));
         }
@@ -466,16 +530,24 @@ pub fn run_host<P: Send + 'static>(
     }
 
     let measure_from = cfg.warmup as usize;
-    // Steady-state window: departure-to-departure (see the DES simulator's
-    // identical convention).
+    // Steady-state window: departure-to-departure, the same convention as
+    // the DES simulator. With warmup the window opens at the last warmup
+    // task's departure and covers `measured_tasks` inter-departure
+    // intervals. Without warmup there is no preceding departure, so it
+    // opens at the *first measured departure* and covers
+    // `measured_tasks - 1` intervals — never at the first entry, which
+    // would charge the pipeline-fill transient to steady-state throughput.
+    // A single task with no warmup degenerates to its entry→exit latency.
     let mut by_seq: Vec<Instant> = vec![w_fallback(entries); completions.len()];
     for &(seq, _, at) in completions {
         by_seq[seq as usize] = at;
     }
-    let w_start = if measure_from > 0 {
-        by_seq[measure_from - 1]
+    let (w_start, intervals) = if measure_from > 0 {
+        (by_seq[measure_from - 1], measured_tasks)
+    } else if finished > 1 {
+        (by_seq[0], measured_tasks - 1)
     } else {
-        entries[0]
+        (entries[0], 1)
     };
     let w_end = *by_seq.last().expect("at least one completion");
     let makespan = w_end.saturating_duration_since(w_start);
@@ -487,22 +559,33 @@ pub fn run_host<P: Send + 'static>(
     let mean_latency = measured.iter().sum::<Duration>() / measured.len().max(1) as u32;
     let tasks = measured_tasks;
     let span = makespan.as_secs_f64().max(1e-12);
+    // Busy time clipped to [w_start, w_end]: warmup and fill work outside
+    // the window cannot inflate utilization, which is ≤ 1 by construction
+    // (a dispatcher's spans never overlap each other).
     let chunk_utilization = outputs
         .iter()
-        .map(|o| (o.busy.as_secs_f64() / span).min(1.0))
+        .map(|o| {
+            let in_window: Duration = o
+                .spans
+                .iter()
+                .map(|&(_, t0, t1)| t1.min(w_end).saturating_duration_since(t0.max(w_start)))
+                .sum();
+            in_window.as_secs_f64() / span
+        })
         .collect();
-    // Timeline relative to the earliest recorded instant.
+    // Timeline and telemetry spans share one epoch: the earliest recorded
+    // instant across all dispatchers.
+    let epoch = outputs
+        .iter()
+        .flat_map(|o| o.spans.iter().map(|&(_, s, _)| s))
+        .min()
+        .unwrap_or(w_start);
     let timeline = if cfg.record_timeline {
-        let epoch = outputs
-            .iter()
-            .flat_map(|o| o.events.iter().map(|&(_, s, _)| s))
-            .min()
-            .unwrap_or_else(Instant::now);
         outputs
             .iter()
             .enumerate()
             .flat_map(|(ci, o)| {
-                o.events.iter().map(move |&(task, s, e)| HostTimelineEvent {
+                o.spans.iter().map(move |&(task, s, e)| HostTimelineEvent {
                     chunk: ci,
                     task,
                     start_us: s.saturating_duration_since(epoch).as_secs_f64() * 1e6,
@@ -513,15 +596,38 @@ pub fn run_host<P: Send + 'static>(
     } else {
         Vec::new()
     };
+    let telemetry = if cfg.telemetry.any() {
+        let mut t = RunTelemetry::new("host");
+        if cfg.telemetry.counters {
+            t.dispatchers = outputs
+                .iter()
+                .enumerate()
+                .map(|(ci, o)| o.counters.stats(format!("chunk{ci}")))
+                .collect();
+        }
+        if cfg.telemetry.spans {
+            let mut rec = SpanRecorder::new(true, epoch);
+            for (ci, o) in outputs.iter().enumerate() {
+                for &(task, s, e) in &o.spans {
+                    rec.record(ci as u32, task, None, s, e);
+                }
+            }
+            t.spans = rec.into_spans();
+        }
+        Some(t)
+    } else {
+        None
+    };
 
     Ok(HostReport {
         makespan,
-        time_per_task: makespan / tasks,
+        time_per_task: makespan / intervals.max(1),
         mean_task_latency: mean_latency,
-        throughput_hz: tasks as f64 / span,
+        throughput_hz: intervals.max(1) as f64 / span,
         chunk_utilization,
         tasks,
         timeline,
+        telemetry,
     })
 }
 
@@ -602,7 +708,10 @@ mod tests {
         let schedule = Schedule::homogeneous(4, bt_soc::PuClass::BigCpu);
         assert_eq!(
             run_host(&app, &schedule, &PuThreads::uniform(1), &cfg(1, 0)).unwrap_err(),
-            PipelineError::StageMismatch { app: 3, schedule: 4 }
+            PipelineError::StageMismatch {
+                app: 3,
+                schedule: 4
+            }
         );
     }
 
@@ -621,5 +730,137 @@ mod tests {
         let t = PuThreads::uniform(4).with_class(bt_soc::PuClass::LittleCpu, 1);
         assert_eq!(t.threads(bt_soc::PuClass::BigCpu), 4);
         assert_eq!(t.threads(bt_soc::PuClass::LittleCpu), 1);
+    }
+
+    /// Application whose stage kernels sleep for per-(stage, seq) durations
+    /// chosen by `plan(stage, seq) -> millis`.
+    fn sleep_app(stages: usize, plan: fn(usize, u64) -> u64) -> Application<Trace> {
+        let stage_list = (0..stages)
+            .map(|i| {
+                Stage::new(
+                    format!("s{i}"),
+                    bt_soc::WorkProfile::new(1.0, 1.0),
+                    Arc::new(move |t: &mut Trace, _ctx: &ParCtx| {
+                        std::thread::sleep(Duration::from_millis(plan(i, t.seq)));
+                    }) as bt_kernels::KernelFn<Trace>,
+                )
+            })
+            .collect();
+        Application::new(
+            "sleep",
+            stage_list,
+            Arc::new(Trace::default),
+            Arc::new(|t: &mut Trace, seq| t.seq = seq),
+        )
+    }
+
+    /// Regression: warmup kernel time used to be counted in `busy` but
+    /// divided by the steady-state window, pushing utilization past 1.0 and
+    /// getting silently clamped. With a deliberately slow warmup stage the
+    /// non-bottleneck chunk must now report its true (low) steady-state
+    /// utilization instead of a saturated 1.0.
+    #[test]
+    fn slow_warmup_does_not_inflate_utilization() {
+        use bt_soc::PuClass::*;
+        // Stage 0: 20 ms during warmup (seq < 3), 1 ms after.
+        // Stage 1: 5 ms always — the steady-state bottleneck.
+        let app = sleep_app(2, |stage, seq| match (stage, seq) {
+            (0, s) if s < 3 => 20,
+            (0, _) => 1,
+            _ => 5,
+        });
+        let schedule = Schedule::new(vec![BigCpu, Gpu]).unwrap();
+        let report = run_host(&app, &schedule, &PuThreads::uniform(1), &cfg(10, 3)).unwrap();
+        // Chunk 0 works ~1 ms per ~5 ms steady interval. Its total busy
+        // time (3×20 ms warmup + 10×1 ms) exceeds the ~45 ms window, so the
+        // pre-fix computation reported a clamped 1.0 here.
+        assert!(
+            report.chunk_utilization[0] < 0.6,
+            "warmup work leaked into steady-state utilization: {:?}",
+            report.chunk_utilization
+        );
+        // The bottleneck chunk runs nearly the whole window.
+        assert!(
+            report.chunk_utilization[1] > 0.6,
+            "bottleneck should dominate the window: {:?}",
+            report.chunk_utilization
+        );
+        for &u in &report.chunk_utilization {
+            assert!((0.0..=1.0).contains(&u), "clipping bounds utilization");
+        }
+    }
+
+    /// Regression: with `warmup == 0` the window used to start at the first
+    /// task's *arrival* but end at a *departure*, charging the pipeline-fill
+    /// transient to steady-state throughput. An expensive first task must
+    /// not inflate `time_per_task` anymore.
+    #[test]
+    fn zero_warmup_window_excludes_fill_transient() {
+        use bt_soc::PuClass::*;
+        // Task 0 is 30× slower than steady state in stage 0.
+        let app = sleep_app(2, |stage, seq| match (stage, seq) {
+            (0, 0) => 60,
+            (0, _) => 2,
+            _ => 5,
+        });
+        let schedule = Schedule::new(vec![BigCpu, Gpu]).unwrap();
+        let report = run_host(&app, &schedule, &PuThreads::uniform(1), &cfg(10, 0)).unwrap();
+        // Steady-state inter-departure time is ~5 ms (the bottleneck). The
+        // pre-fix window averaged the 60 ms fill in, reporting ~11 ms.
+        assert!(
+            report.time_per_task < Duration::from_millis(9),
+            "fill transient leaked into time_per_task: {:?}",
+            report.time_per_task
+        );
+        assert!(report.time_per_task > Duration::from_millis(3));
+    }
+
+    #[test]
+    fn telemetry_disabled_reports_none() {
+        let app = trace_app(3, Arc::new(AtomicU64::new(0)));
+        let schedule = Schedule::homogeneous(3, bt_soc::PuClass::Gpu);
+        let report = run_host(&app, &schedule, &PuThreads::uniform(1), &cfg(5, 1)).unwrap();
+        assert!(report.telemetry.is_none());
+    }
+
+    #[test]
+    fn telemetry_counters_and_spans_cover_every_task() {
+        use bt_soc::PuClass::*;
+        let app = trace_app(4, Arc::new(AtomicU64::new(0)));
+        let schedule = Schedule::new(vec![BigCpu, BigCpu, Gpu, Gpu]).unwrap();
+        let run = HostRunConfig {
+            tasks: 12,
+            warmup: 2,
+            record_timeline: true,
+            telemetry: bt_telemetry::TelemetryConfig::full(),
+            ..HostRunConfig::default()
+        };
+        let report = run_host(&app, &schedule, &PuThreads::uniform(1), &run).unwrap();
+        let telemetry = report.telemetry.expect("telemetry requested");
+        assert_eq!(telemetry.source, "host");
+        assert_eq!(telemetry.dispatchers.len(), 2, "one per chunk");
+        for d in &telemetry.dispatchers {
+            assert_eq!(d.tasks, 14, "every dispatcher executes all tasks");
+            assert!(d.busy_us > 0.0);
+            assert!(d.queue_samples > 0, "every push samples occupancy");
+        }
+        // Telemetry spans are the record_timeline events, unified: same
+        // count, same offsets, same (track, task) identity.
+        assert_eq!(telemetry.spans.len(), report.timeline.len());
+        assert_eq!(telemetry.spans.len(), 2 * 14);
+        for (s, e) in telemetry.spans.iter().zip(&report.timeline) {
+            assert_eq!(s.track as usize, e.chunk);
+            assert_eq!(s.task, e.task);
+            assert!((s.start_us - e.start_us).abs() < 1e-6);
+            assert!((s.end_us - e.end_us).abs() < 1e-6);
+        }
+        // And the Chrome export of a host run is valid trace JSON.
+        let trace = telemetry.chrome_trace_json();
+        let v: serde_json::Value = serde_json::from_str(&trace).expect("valid JSON");
+        let events = v
+            .get("traceEvents")
+            .and_then(serde_json::Value::as_array)
+            .expect("traceEvents");
+        assert_eq!(events.len(), 2 + 2 * 14, "metadata + spans");
     }
 }

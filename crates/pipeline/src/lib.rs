@@ -24,7 +24,9 @@ pub mod spsc;
 mod usm;
 
 pub use affinity::{current_affinity, pin_current_thread};
-pub use executor::{run_host, HostReport, HostRunConfig, HostTimelineEvent, PipelineError, PuThreads};
+pub use executor::{
+    run_host, HostReport, HostRunConfig, HostTimelineEvent, PipelineError, PuThreads,
+};
 pub use schedule::{ChunkAssignment, Schedule, ScheduleError};
 pub use sim::{simulate_baseline, simulate_schedule, to_chunk_specs};
 pub use usm::{TaskObject, UsmBuffer};

@@ -24,7 +24,10 @@ impl fmt::Display for ScheduleError {
         match self {
             ScheduleError::Empty => f.write_str("a schedule needs at least one stage"),
             ScheduleError::NotContiguous { stage } => {
-                write!(f, "stages on one PU must be contiguous (violated at stage {stage})")
+                write!(
+                    f,
+                    "stages on one PU must be contiguous (violated at stage {stage})"
+                )
             }
         }
     }

@@ -75,7 +75,9 @@ pub fn channel<T>(capacity: usize) -> (Producer<T>, Consumer<T>) {
         tail: CachePadded::new(AtomicUsize::new(0)),
     });
     (
-        Producer { ring: Arc::clone(&ring) },
+        Producer {
+            ring: Arc::clone(&ring),
+        },
         Consumer { ring },
     )
 }
@@ -101,15 +103,24 @@ impl<T> Producer<T> {
         Ok(())
     }
 
-    /// Number of items currently queued (approximate under concurrency).
+    /// Number of items currently queued.
+    ///
+    /// The producer owns `tail`, so a relaxed self-load is exact; `head`
+    /// (the counter the consumer owns) is acquire-loaded so concurrent
+    /// pops are observed promptly and in order. Guarantee: the result is
+    /// an **upper bound** on the true occupancy — concurrent pops can
+    /// only shrink the queue under the producer — so at least
+    /// `capacity − len()` further pushes will succeed, and with no
+    /// producer-side pushes in between, successive calls never increase.
     pub fn len(&self) -> usize {
         let ring = &*self.ring;
         ring.tail
             .load(Ordering::Relaxed)
-            .wrapping_sub(ring.head.load(Ordering::Relaxed))
+            .wrapping_sub(ring.head.load(Ordering::Acquire))
     }
 
-    /// Whether the queue is empty (approximate under concurrency).
+    /// Whether the queue is empty (same guarantee as [`Producer::len`]:
+    /// `true` can only become stale through this endpoint's own pushes).
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
@@ -144,15 +155,24 @@ impl<T> Consumer<T> {
         }
     }
 
-    /// Number of items currently queued (approximate under concurrency).
+    /// Number of items currently queued.
+    ///
+    /// The consumer owns `head`, so a relaxed self-load is exact; `tail`
+    /// (the counter the producer owns) is acquire-loaded, which also
+    /// publishes the slots behind it. Guarantee: the result is a **lower
+    /// bound** on the true occupancy — concurrent pushes can only grow
+    /// the queue under the consumer — so at least `len()` immediate
+    /// [`pop`](Consumer::pop)s will succeed, and with no consumer-side
+    /// pops in between, successive calls never decrease.
     pub fn len(&self) -> usize {
         let ring = &*self.ring;
         ring.tail
-            .load(Ordering::Relaxed)
+            .load(Ordering::Acquire)
             .wrapping_sub(ring.head.load(Ordering::Relaxed))
     }
 
-    /// Whether the queue is empty (approximate under concurrency).
+    /// Whether the queue is empty (same guarantee as [`Consumer::len`]:
+    /// `false` is definitive, `true` can be stale by one in-flight push).
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
@@ -204,7 +224,8 @@ mod tests {
 
     #[test]
     fn concurrent_stress_no_loss_no_duplication() {
-        const N: u64 = 200_000;
+        // Miri interprets every memory access; keep its schedule bounded.
+        const N: u64 = if cfg!(miri) { 1_000 } else { 200_000 };
         let (mut tx, mut rx) = channel(64);
         let producer = std::thread::spawn(move || {
             for i in 0..N {
@@ -249,6 +270,52 @@ mod tests {
         assert_eq!(rx.len(), 2);
         rx.pop();
         assert_eq!(rx.len(), 1);
+    }
+
+    #[test]
+    fn len_bounds_hold_across_threads() {
+        const N: usize = if cfg!(miri) { 256 } else { 10_000 };
+
+        // While only the producer mutates the queue, the consumer-side
+        // len is a lower bound and never decreases, and every item it
+        // counts is immediately poppable.
+        let (mut tx, rx) = channel::<usize>(N);
+        let watcher = std::thread::spawn(move || {
+            let mut last = 0usize;
+            while last < N {
+                let cur = rx.len();
+                assert!(cur >= last, "consumer len went backwards: {last} -> {cur}");
+                last = cur;
+            }
+            rx
+        });
+        for i in 0..N {
+            tx.push(i).unwrap();
+        }
+        let mut rx = watcher.join().unwrap();
+        let counted = rx.len();
+        for _ in 0..counted {
+            assert!(rx.pop().is_some(), "counted item must be poppable");
+        }
+
+        // While only the consumer mutates the queue, the producer-side
+        // len is an upper bound and never increases.
+        let (mut tx, mut rx) = channel::<usize>(N);
+        for i in 0..N {
+            tx.push(i).unwrap();
+        }
+        let drainer = std::thread::spawn(move || while rx.pop().is_some() {});
+        let mut last = N;
+        while last > 0 {
+            let cur = tx.len();
+            assert!(
+                cur <= last,
+                "producer len grew without a push: {last} -> {cur}"
+            );
+            last = cur;
+        }
+        drainer.join().unwrap();
+        assert!(tx.is_empty());
     }
 
     #[test]

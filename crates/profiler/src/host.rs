@@ -44,7 +44,10 @@ impl HostClasses {
     /// Panics if `tiers` is empty or a thread count is zero.
     pub fn new(tiers: Vec<(PuClass, usize)>) -> HostClasses {
         assert!(!tiers.is_empty(), "need at least one tier");
-        assert!(tiers.iter().all(|&(_, n)| n > 0), "thread counts must be positive");
+        assert!(
+            tiers.iter().all(|&(_, n)| n > 0),
+            "thread counts must be positive"
+        );
         HostClasses { tiers }
     }
 
@@ -55,7 +58,10 @@ impl HostClasses {
 
     /// Threads of a class, if present.
     pub fn threads(&self, class: PuClass) -> Option<usize> {
-        self.tiers.iter().find(|(c, _)| *c == class).map(|&(_, n)| n)
+        self.tiers
+            .iter()
+            .find(|(c, _)| *c == class)
+            .map(|&(_, n)| n)
     }
 }
 
@@ -99,9 +105,7 @@ where
 
         for (si, stage) in app.stages().iter().enumerate() {
             let mean_us = match mode {
-                ProfileMode::Isolated => {
-                    measure(stage, &mut payload, &ctx, cfg, si, app)
-                }
+                ProfileMode::Isolated => measure(stage, &mut payload, &ctx, cfg, si, app),
                 ProfileMode::InterferenceHeavy => {
                     let stop = AtomicBool::new(false);
                     let result = std::thread::scope(|scope| {
@@ -140,14 +144,7 @@ where
 
     // Transposed fill above: latency[stage] currently gains one column per
     // tier iteration, in tier order — already the right layout.
-    ProfilingTable::new(
-        app.name(),
-        "host",
-        mode,
-        stage_names,
-        class_list,
-        latency,
-    )
+    ProfilingTable::new(app.name(), "host", mode, stage_names, class_list, latency)
 }
 
 /// Measures one stage: before *every* repetition the pipeline prefix is

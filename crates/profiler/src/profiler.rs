@@ -85,7 +85,13 @@ pub fn profile(
             let pu = soc.pu(class).expect("classes() only returns present PUs");
             let ctx = cell_context(soc, &stage.work, class, mode);
             let seed = seed_from_labels(
-                &[soc.name(), &app.name, &stage.name, class.label(), mode.label()],
+                &[
+                    soc.name(),
+                    &app.name,
+                    &stage.name,
+                    class.label(),
+                    mode.label(),
+                ],
                 cfg.seed,
             );
             let mut noise = NoiseModel::new(cfg.noise_sigma, seed);
@@ -269,7 +275,10 @@ mod tests {
                 speedups += 1;
             }
         }
-        assert!(speedups >= 5, "GPU should usually speed up, got {speedups}/7");
+        assert!(
+            speedups >= 5,
+            "GPU should usually speed up, got {speedups}/7"
+        );
     }
 
     #[test]
@@ -348,13 +357,7 @@ mod tests {
         };
         // Tiny window: every cell falls back to the single-sample path and
         // must still be positive.
-        let t = profile_by_throughput(
-            &soc,
-            &app,
-            ProfileMode::Isolated,
-            &cfg,
-            Micros::new(1.0),
-        );
+        let t = profile_by_throughput(&soc, &app, ProfileMode::Isolated, &cfg, Micros::new(1.0));
         for s in 0..app.stage_count() {
             for &c in t.classes() {
                 assert!(t.latency(s, c).unwrap().as_f64() > 0.0);
@@ -366,7 +369,12 @@ mod tests {
     fn profiling_cost_is_positive_and_scales_with_reps() {
         let soc = devices::pixel_7a();
         let app = octree_model();
-        let c30 = profiling_cost(&soc, &app, ProfileMode::InterferenceHeavy, &ProfilerConfig::default());
+        let c30 = profiling_cost(
+            &soc,
+            &app,
+            ProfileMode::InterferenceHeavy,
+            &ProfilerConfig::default(),
+        );
         let c60 = profiling_cost(
             &soc,
             &app,

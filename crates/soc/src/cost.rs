@@ -36,7 +36,9 @@ pub struct LoadContext {
 impl LoadContext {
     /// No other PU is active (isolated profiling mode, §3.2).
     pub fn isolated() -> LoadContext {
-        LoadContext { co_runners: Vec::new() }
+        LoadContext {
+            co_runners: Vec::new(),
+        }
     }
 
     /// The given kernels are active on other PUs.
@@ -195,8 +197,18 @@ mod tests {
     fn more_flops_takes_longer() {
         let soc = test_soc(0.0, &[]);
         let pu = soc.pu(PuClass::BigCpu).unwrap();
-        let a = latency(&WorkProfile::new(1e6, 1e4), pu, &soc, &LoadContext::isolated());
-        let b = latency(&WorkProfile::new(1e8, 1e4), pu, &soc, &LoadContext::isolated());
+        let a = latency(
+            &WorkProfile::new(1e6, 1e4),
+            pu,
+            &soc,
+            &LoadContext::isolated(),
+        );
+        let b = latency(
+            &WorkProfile::new(1e8, 1e4),
+            pu,
+            &soc,
+            &LoadContext::isolated(),
+        );
         assert!(b > a);
     }
 
@@ -210,7 +222,10 @@ mod tests {
         let ctx = LoadContext::isolated();
         let cpu_ratio = latency(&divergent, cpu, &soc, &ctx) / latency(&regular, cpu, &soc, &ctx);
         let gpu_ratio = latency(&divergent, gpu, &soc, &ctx) / latency(&regular, gpu, &soc, &ctx);
-        assert!(gpu_ratio > 2.0 * cpu_ratio, "gpu {gpu_ratio} vs cpu {cpu_ratio}");
+        assert!(
+            gpu_ratio > 2.0 * cpu_ratio,
+            "gpu {gpu_ratio} vs cpu {cpu_ratio}"
+        );
     }
 
     #[test]
@@ -288,7 +303,10 @@ mod tests {
         let half = WorkProfile::new(5e7, 1e5).with_parallel_fraction(0.5);
         let ctx = LoadContext::isolated();
         let ratio = latency(&half, gpu, &soc, &ctx) / latency(&par, gpu, &soc, &ctx);
-        assert!(ratio > 5.0, "serial residue should dominate on GPU, ratio {ratio}");
+        assert!(
+            ratio > 5.0,
+            "serial residue should dominate on GPU, ratio {ratio}"
+        );
     }
 
     #[test]

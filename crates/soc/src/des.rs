@@ -17,6 +17,9 @@
 
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};
+use std::time::Duration;
+
+use bt_telemetry::{DispatcherCounters, RunTelemetry, SpanRecorder, TelemetryConfig};
 
 use crate::cost::{self, LoadContext};
 use crate::{ActiveKernel, Micros, NoiseModel, PuClass, SocError, SocSpec, WorkProfile};
@@ -72,6 +75,9 @@ pub struct DesConfig {
     pub noise_sigma: f64,
     /// Record a per-stage execution timeline (for Gantt-style inspection).
     pub record_timeline: bool,
+    /// What telemetry to collect (off by default; the disabled path costs
+    /// one branch per instrumentation point).
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for DesConfig {
@@ -83,6 +89,7 @@ impl Default for DesConfig {
             seed: 0,
             noise_sigma: 0.02,
             record_timeline: false,
+            telemetry: TelemetryConfig::OFF,
         }
     }
 }
@@ -120,7 +127,8 @@ pub struct DesReport {
     pub time_per_task: Micros,
     /// Tasks completed per second of virtual time.
     pub throughput_hz: f64,
-    /// Fraction of the measured window each chunk spent busy.
+    /// Fraction of the measured window each chunk spent busy (busy time
+    /// clipped to the window, so warmup and fill work cannot inflate it).
     pub chunk_utilization: Vec<f64>,
     /// Index of the chunk with the highest utilization.
     pub bottleneck_chunk: usize,
@@ -129,6 +137,9 @@ pub struct DesReport {
     /// Per-stage execution records (empty unless
     /// [`DesConfig::record_timeline`] was set).
     pub timeline: Vec<TimelineEvent>,
+    /// Collected telemetry (`None` unless [`DesConfig::telemetry`] enables
+    /// something).
+    pub telemetry: Option<RunTelemetry>,
 }
 
 /// Min-heap event key with a total order (virtual times are never NaN).
@@ -174,7 +185,10 @@ struct ChunkState {
     input: VecDeque<usize>,
     busy: Option<InFlight>,
     busy_since: f64,
-    busy_accum: f64,
+    /// Contiguous (start, end) busy intervals, one per completed task.
+    /// Always collected: the measurement window is only known at the end,
+    /// so in-window utilization needs the raw intervals.
+    busy_spans: Vec<(f64, f64)>,
 }
 
 /// Simulates pipelined execution of `chunks` on `soc`.
@@ -184,7 +198,11 @@ struct ChunkState {
 /// Returns [`SocError::EmptySimulation`] if `chunks` is empty, any chunk has
 /// no stages, or `cfg.tasks == 0`; [`SocError::MissingPu`] if a chunk names
 /// a PU class the device lacks.
-pub fn simulate(soc: &SocSpec, chunks: &[ChunkSpec], cfg: &DesConfig) -> Result<DesReport, SocError> {
+pub fn simulate(
+    soc: &SocSpec,
+    chunks: &[ChunkSpec],
+    cfg: &DesConfig,
+) -> Result<DesReport, SocError> {
     if chunks.is_empty() || cfg.tasks == 0 || chunks.iter().any(|c| c.stages.is_empty()) {
         return Err(SocError::EmptySimulation);
     }
@@ -206,7 +224,7 @@ pub fn simulate(soc: &SocSpec, chunks: &[ChunkSpec], cfg: &DesConfig) -> Result<
             input: VecDeque::new(),
             busy: None,
             busy_since: 0.0,
-            busy_accum: 0.0,
+            busy_spans: Vec::new(),
         })
         .collect();
     // All task objects begin recycled at the head of the pipeline.
@@ -220,9 +238,12 @@ pub fn simulate(soc: &SocSpec, chunks: &[ChunkSpec], cfg: &DesConfig) -> Result<
     let mut exit_time = vec![0.0f64; total_tasks];
     let mut heap = BinaryHeap::new();
     let mut now = 0.0f64;
+    // Per-stage events feed both the report timeline and telemetry spans.
+    let collect_timeline = cfg.record_timeline || cfg.telemetry.spans;
     let mut timeline: Vec<TimelineEvent> = Vec::new();
+    let tele_counters = cfg.telemetry.counters;
+    let mut counters: Vec<DispatcherCounters> = vec![DispatcherCounters::new(); n_chunks];
 
-    // Measurement window: entry of first measured task → exit of last.
     let measure_from = cfg.warmup as usize;
 
     // Service-time computation against the instantaneous busy set.
@@ -287,12 +308,22 @@ pub fn simulate(soc: &SocSpec, chunks: &[ChunkSpec], cfg: &DesConfig) -> Result<
             entry_time[t] = now;
             t
         } else {
-            states[chunk_idx].input.pop_front().expect("checked non-empty")
+            states[chunk_idx]
+                .input
+                .pop_front()
+                .expect("checked non-empty")
         };
         let (dt, demand) = service(chunk_idx, 0, states);
-        states[chunk_idx].busy = Some(InFlight { task, stage: 0, demand });
+        states[chunk_idx].busy = Some(InFlight {
+            task,
+            stage: 0,
+            demand,
+        });
         states[chunk_idx].busy_since = now;
-        heap.push(Event { time: now + dt, chunk: chunk_idx });
+        heap.push(Event {
+            time: now + dt,
+            chunk: chunk_idx,
+        });
         if let Some(events) = timeline {
             events.push(TimelineEvent {
                 chunk: chunk_idx,
@@ -315,11 +346,13 @@ pub fn simulate(soc: &SocSpec, chunks: &[ChunkSpec], cfg: &DesConfig) -> Result<
         total_tasks,
         &mut entry_time,
         &mut service_fn,
-        cfg.record_timeline.then_some(&mut timeline),
+        collect_timeline.then_some(&mut timeline),
     );
 
     while completed < total_tasks {
-        let ev = heap.pop().expect("pipeline cannot deadlock with buffered queues");
+        let ev = heap
+            .pop()
+            .expect("pipeline cannot deadlock with buffered queues");
         now = ev.time;
         let chunk_idx = ev.chunk;
         let inflight = states[chunk_idx].busy.expect("event implies busy chunk");
@@ -332,8 +365,11 @@ pub fn simulate(soc: &SocSpec, chunks: &[ChunkSpec], cfg: &DesConfig) -> Result<
                 stage: inflight.stage + 1,
                 demand,
             });
-            heap.push(Event { time: now + dt, chunk: chunk_idx });
-            if cfg.record_timeline {
+            heap.push(Event {
+                time: now + dt,
+                chunk: chunk_idx,
+            });
+            if collect_timeline {
                 timeline.push(TimelineEvent {
                     chunk: chunk_idx,
                     stage: inflight.stage + 1,
@@ -346,15 +382,22 @@ pub fn simulate(soc: &SocSpec, chunks: &[ChunkSpec], cfg: &DesConfig) -> Result<
         }
 
         // Chunk finished its last stage for this task.
-        states[chunk_idx].busy_accum += now - states[chunk_idx].busy_since;
+        let busy_since = states[chunk_idx].busy_since;
+        states[chunk_idx].busy_spans.push((busy_since, now));
         states[chunk_idx].busy = None;
         let task = inflight.task;
+        if tele_counters {
+            counters[chunk_idx].record_task(Duration::from_secs_f64((now - busy_since) * 1e-6));
+        }
 
         if chunk_idx + 1 == n_chunks {
             exit_time[task] = now;
             completed += 1;
             // Recycle the object to the head.
             states[0].input.push_back(usize::MAX);
+            if tele_counters {
+                counters[chunk_idx].sample_queue_depth(states[0].input.len());
+            }
             try_start(
                 0,
                 now,
@@ -364,10 +407,13 @@ pub fn simulate(soc: &SocSpec, chunks: &[ChunkSpec], cfg: &DesConfig) -> Result<
                 total_tasks,
                 &mut entry_time,
                 &mut service_fn,
-                cfg.record_timeline.then_some(&mut timeline),
+                collect_timeline.then_some(&mut timeline),
             );
         } else {
             states[chunk_idx + 1].input.push_back(task);
+            if tele_counters {
+                counters[chunk_idx].sample_queue_depth(states[chunk_idx + 1].input.len());
+            }
             try_start(
                 chunk_idx + 1,
                 now,
@@ -377,7 +423,7 @@ pub fn simulate(soc: &SocSpec, chunks: &[ChunkSpec], cfg: &DesConfig) -> Result<
                 total_tasks,
                 &mut entry_time,
                 &mut service_fn,
-                cfg.record_timeline.then_some(&mut timeline),
+                collect_timeline.then_some(&mut timeline),
             );
         }
         // The finishing chunk may have more input waiting.
@@ -390,19 +436,23 @@ pub fn simulate(soc: &SocSpec, chunks: &[ChunkSpec], cfg: &DesConfig) -> Result<
             total_tasks,
             &mut entry_time,
             &mut service_fn,
-            cfg.record_timeline.then_some(&mut timeline),
+            collect_timeline.then_some(&mut timeline),
         );
     }
 
-    // Steady-state window: departures of the measured tasks. Using
-    // departure-to-departure time excludes the pipeline-fill transient
-    // that entry-based windows would charge to deep multi-buffering.
-    let departures = cfg.tasks.max(1) as f64;
-    let w_start = if measure_from > 0 {
-        exit_time[measure_from - 1]
+    // Steady-state window: departure-to-departure over the measured tasks,
+    // matching the host executor's convention. This excludes the
+    // pipeline-fill transient that entry-based windows would charge to
+    // deep multi-buffering. With warmup the window runs from the last
+    // warmup departure; without warmup the first measured departure
+    // anchors it (one fewer interval); a single task without warmup
+    // degenerates to entry→exit latency.
+    let (w_start, departures) = if measure_from > 0 {
+        (exit_time[measure_from - 1], cfg.tasks as f64)
+    } else if total_tasks > 1 {
+        (exit_time[0], (cfg.tasks - 1) as f64)
     } else {
-        // No warmup: fall back to the first entry (includes one fill).
-        entry_time[0]
+        (entry_time[0], 1.0)
     };
     let w_end = exit_time[total_tasks - 1];
     let makespan = (w_end - w_start).max(1e-9);
@@ -415,10 +465,20 @@ pub fn simulate(soc: &SocSpec, chunks: &[ChunkSpec], cfg: &DesConfig) -> Result<
         .sum::<f64>()
         / cfg.tasks as f64;
 
-    // Utilization within the measured window (approximated over the full
-    // run, which converges to the window value for steady pipelines).
-    let total_span = now.max(1e-9);
-    let chunk_utilization: Vec<f64> = states.iter().map(|s| s.busy_accum / total_span).collect();
+    // Utilization = busy time clipped to the measured window, over the
+    // window. Clipping makes the ratio ≤ 1 by construction and keeps
+    // warmup/fill work from inflating it.
+    let chunk_utilization: Vec<f64> = states
+        .iter()
+        .map(|s| {
+            let in_window: f64 = s
+                .busy_spans
+                .iter()
+                .map(|&(t0, t1)| (t1.min(w_end) - t0.max(w_start)).max(0.0))
+                .sum();
+            in_window / makespan
+        })
+        .collect();
     let bottleneck_chunk = chunk_utilization
         .iter()
         .enumerate()
@@ -426,15 +486,47 @@ pub fn simulate(soc: &SocSpec, chunks: &[ChunkSpec], cfg: &DesConfig) -> Result<
         .map(|(i, _)| i)
         .unwrap_or(0);
 
+    let telemetry = if cfg.telemetry.any() {
+        let mut tele = RunTelemetry::new("des");
+        if tele_counters {
+            tele.dispatchers = counters
+                .iter()
+                .enumerate()
+                .map(|(i, c)| c.stats(format!("chunk{i}")))
+                .collect();
+        }
+        if cfg.telemetry.spans {
+            let mut rec = SpanRecorder::virtual_time(true);
+            for ev in &timeline {
+                rec.record_virtual(
+                    ev.chunk as u32,
+                    ev.task as u64,
+                    Some(ev.stage as u32),
+                    ev.start,
+                    ev.end,
+                );
+            }
+            tele.spans = rec.into_spans();
+        }
+        Some(tele)
+    } else {
+        None
+    };
+
     Ok(DesReport {
         makespan: Micros::new(makespan),
         mean_task_latency: Micros::new(mean_latency),
-        time_per_task: Micros::new(makespan / departures),
-        throughput_hz: departures / (makespan / 1e6),
+        time_per_task: Micros::new(makespan / departures.max(1.0)),
+        throughput_hz: departures.max(1.0) / (makespan / 1e6),
         chunk_utilization,
         bottleneck_chunk,
         tasks: cfg.tasks,
-        timeline,
+        timeline: if cfg.record_timeline {
+            timeline
+        } else {
+            Vec::new()
+        },
+        telemetry,
     })
 }
 
@@ -553,7 +645,11 @@ mod tests {
             ChunkSpec::new(PuClass::BigCpu, vec![stage(1e7)]),
             ChunkSpec::new(PuClass::Gpu, vec![stage(8e6)]),
         ];
-        let cfg = DesConfig { noise_sigma: 0.05, seed: 42, ..noiseless() };
+        let cfg = DesConfig {
+            noise_sigma: 0.05,
+            seed: 42,
+            ..noiseless()
+        };
         let a = simulate(&soc, &chunks, &cfg).unwrap();
         let b = simulate(&soc, &chunks, &cfg).unwrap();
         assert_eq!(a.makespan.as_f64(), b.makespan.as_f64());
@@ -574,6 +670,84 @@ mod tests {
         ];
         let r = simulate(&soc, &chunks, &noiseless()).unwrap();
         assert!(r.mean_task_latency.as_f64() >= 0.9 * r.time_per_task.as_f64());
+    }
+
+    #[test]
+    fn zero_warmup_agrees_with_warmed_measurement() {
+        // Departure-to-departure windows make the steady-state estimate
+        // independent of warmup in a noiseless simulation. Before the
+        // window fix, warmup == 0 anchored at the first *entry* and
+        // divided by `tasks`, charging the pipeline-fill transient to
+        // every task.
+        let soc = devices::pixel_7a();
+        let chunks = [
+            ChunkSpec::new(PuClass::BigCpu, vec![stage(1e7)]),
+            ChunkSpec::new(PuClass::Gpu, vec![stage(9e6)]),
+        ];
+        let warm = simulate(&soc, &chunks, &noiseless()).unwrap();
+        let cold_cfg = DesConfig {
+            warmup: 0,
+            ..noiseless()
+        };
+        let cold = simulate(&soc, &chunks, &cold_cfg).unwrap();
+        let (a, b) = (warm.time_per_task.as_f64(), cold.time_per_task.as_f64());
+        assert!(
+            (a - b).abs() / a < 1e-6,
+            "warmup=5 gives {a} µs/task but warmup=0 gives {b}"
+        );
+    }
+
+    #[test]
+    fn utilization_clipped_to_window_stays_bounded() {
+        let soc = devices::pixel_7a();
+        let chunks = [
+            ChunkSpec::new(PuClass::BigCpu, vec![stage(3e7)]),
+            ChunkSpec::new(PuClass::Gpu, vec![stage(1e6)]),
+        ];
+        for warmup in [0, 1, 5] {
+            let cfg = DesConfig {
+                warmup,
+                ..noiseless()
+            };
+            let r = simulate(&soc, &chunks, &cfg).unwrap();
+            for (i, u) in r.chunk_utilization.iter().enumerate() {
+                assert!(
+                    (0.0..=1.0).contains(u),
+                    "warmup={warmup} chunk{i} utilization {u} out of bounds"
+                );
+            }
+            // The heavy chunk saturates its window.
+            assert!(r.chunk_utilization[0] > 0.9);
+        }
+    }
+
+    #[test]
+    fn telemetry_mirrors_run_structure() {
+        let soc = devices::pixel_7a();
+        let chunks = [
+            ChunkSpec::new(PuClass::BigCpu, vec![stage(1e7), stage(5e6)]),
+            ChunkSpec::new(PuClass::Gpu, vec![stage(8e6)]),
+        ];
+        let cfg = DesConfig {
+            telemetry: TelemetryConfig::full(),
+            ..noiseless()
+        };
+        let r = simulate(&soc, &chunks, &cfg).unwrap();
+        let tele = r.telemetry.expect("telemetry enabled");
+        assert_eq!(tele.source, "des");
+        assert_eq!(tele.dispatchers.len(), 2);
+        let total = (cfg.tasks + cfg.warmup) as u64;
+        for d in &tele.dispatchers {
+            assert_eq!(d.tasks, total);
+            assert!(d.queue_samples > 0);
+        }
+        // Spans cover every stage execution: 2 stages + 1 stage per task.
+        assert_eq!(tele.spans.len(), 3 * total as usize);
+        // Timeline stays empty unless record_timeline was requested.
+        assert!(r.timeline.is_empty());
+
+        let off = simulate(&soc, &chunks, &noiseless()).unwrap();
+        assert!(off.telemetry.is_none());
     }
 
     #[test]

@@ -88,8 +88,10 @@ pub fn simulate_dynamic(
     // (task, next stage) ready entries in FIFO (task-seq) order.
     let mut ready: std::collections::VecDeque<(usize, usize)> = std::collections::VecDeque::new();
     let mut running: Vec<Option<Running>> = vec![None; pus.len()];
-    let mut busy_accum = vec![0.0f64; pus.len()];
     let mut busy_since = vec![0.0f64; pus.len()];
+    // (start, end) busy intervals per PU, clipped to the measurement
+    // window once it is known.
+    let mut busy_spans: Vec<Vec<(f64, f64)>> = vec![Vec::new(); pus.len()];
     let mut entry_time = vec![0.0f64; total];
     let mut exit_time = vec![0.0f64; total];
     let mut admitted = 0usize;
@@ -134,9 +136,7 @@ pub fn simulate_dynamic(
             let co: Vec<ActiveKernel> = running
                 .iter()
                 .enumerate()
-                .filter_map(|(i, r)| {
-                    r.map(|r| ActiveKernel::new(pus[i], r.demand))
-                })
+                .filter_map(|(i, r)| r.map(|r| ActiveKernel::new(pus[i], r.demand)))
                 .collect();
             let ctx = if co.is_empty() {
                 LoadContext::isolated()
@@ -147,9 +147,16 @@ pub fn simulate_dynamic(
             let dt = cost::latency(&stages[stage], pu, soc, &ctx).as_f64() * noise.factor()
                 + pu.sync_overhead_us();
             let demand = cost::bw_demand(&stages[stage], pu);
-            running[pu_idx] = Some(Running { task, stage, demand });
+            running[pu_idx] = Some(Running {
+                task,
+                stage,
+                demand,
+            });
             busy_since[pu_idx] = now;
-            heap.push(Completion { time: now + dt, pu_idx });
+            heap.push(Completion {
+                time: now + dt,
+                pu_idx,
+            });
         }
 
         if completed >= total {
@@ -160,8 +167,10 @@ pub fn simulate_dynamic(
             break;
         };
         now = done.time;
-        let fin = running[done.pu_idx].take().expect("completion implies running");
-        busy_accum[done.pu_idx] += now - busy_since[done.pu_idx];
+        let fin = running[done.pu_idx]
+            .take()
+            .expect("completion implies running");
+        busy_spans[done.pu_idx].push((busy_since[done.pu_idx], now));
         if fin.stage + 1 < stages.len() {
             // Preserve FIFO order by task sequence.
             let pos = ready
@@ -176,22 +185,34 @@ pub fn simulate_dynamic(
         }
     }
 
+    // Same departure-to-departure steady-state convention as the static
+    // simulator and the host executor (see `des::simulate`).
     let measure_from = cfg.warmup as usize;
-    let departures = cfg.tasks.max(1) as f64;
-    let w_start = if measure_from > 0 {
-        exit_time[measure_from - 1]
+    let (w_start, departures) = if measure_from > 0 {
+        (exit_time[measure_from - 1], cfg.tasks as f64)
+    } else if total > 1 {
+        (exit_time[0], (cfg.tasks - 1) as f64)
     } else {
-        entry_time[0]
+        (entry_time[0], 1.0)
     };
-    let makespan = (exit_time[total - 1] - w_start).max(1e-9);
+    let w_end = exit_time[total - 1];
+    let makespan = (w_end - w_start).max(1e-9);
     let mean_latency = exit_time[measure_from..]
         .iter()
         .zip(&entry_time[measure_from..])
         .map(|(x, e)| x - e)
         .sum::<f64>()
         / cfg.tasks as f64;
-    let span = now.max(1e-9);
-    let chunk_utilization: Vec<f64> = busy_accum.iter().map(|b| b / span).collect();
+    let chunk_utilization: Vec<f64> = busy_spans
+        .iter()
+        .map(|spans| {
+            let in_window: f64 = spans
+                .iter()
+                .map(|&(t0, t1)| (t1.min(w_end) - t0.max(w_start)).max(0.0))
+                .sum();
+            in_window / makespan
+        })
+        .collect();
     let bottleneck_chunk = chunk_utilization
         .iter()
         .enumerate()
@@ -202,12 +223,13 @@ pub fn simulate_dynamic(
     Ok(DesReport {
         makespan: Micros::new(makespan),
         mean_task_latency: Micros::new(mean_latency),
-        time_per_task: Micros::new(makespan / departures),
-        throughput_hz: departures / (makespan / 1e6),
+        time_per_task: Micros::new(makespan / departures.max(1.0)),
+        throughput_hz: departures.max(1.0) / (makespan / 1e6),
         chunk_utilization,
         bottleneck_chunk,
         tasks: cfg.tasks,
         timeline: Vec::new(),
+        telemetry: None,
     })
 }
 
@@ -267,8 +289,8 @@ mod tests {
     #[test]
     fn oneplus_excludes_unpinnable_littles() {
         let soc = devices::oneplus_11();
-        let r = simulate_dynamic(&soc, &stages(), &cfg(), DynamicPolicy::BestFit)
-            .expect("simulates");
+        let r =
+            simulate_dynamic(&soc, &stages(), &cfg(), DynamicPolicy::BestFit).expect("simulates");
         assert_eq!(r.chunk_utilization.len(), 3, "little cluster is unpinnable");
     }
 

@@ -475,7 +475,9 @@ mod tests {
 
     #[test]
     fn per_class_iter_is_canonical_order() {
-        let m: PerClass<u8> = [(PuClass::Gpu, 3), (PuClass::BigCpu, 0)].into_iter().collect();
+        let m: PerClass<u8> = [(PuClass::Gpu, 3), (PuClass::BigCpu, 0)]
+            .into_iter()
+            .collect();
         let order: Vec<PuClass> = m.iter().map(|(c, _)| c).collect();
         assert_eq!(order, vec![PuClass::BigCpu, PuClass::Gpu]);
     }
@@ -494,7 +496,13 @@ mod tests {
             .pu(PuSpec::new(PuClass::BigCpu, "c", 1, 1.0))
             .dram_bw_gbs(0.0)
             .build();
-        assert!(matches!(r, Err(SocError::InvalidSpec { param: "dram_bw_gbs", .. })));
+        assert!(matches!(
+            r,
+            Err(SocError::InvalidSpec {
+                param: "dram_bw_gbs",
+                ..
+            })
+        ));
     }
 
     #[test]

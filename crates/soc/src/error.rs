@@ -30,7 +30,10 @@ impl fmt::Display for SocError {
             }
             SocError::EmptyDevice => write!(f, "device model has no processing units"),
             SocError::InvalidSpec { param, value } => {
-                write!(f, "invalid specification: {param} = {value} must be positive")
+                write!(
+                    f,
+                    "invalid specification: {param} = {value} must be positive"
+                )
             }
             SocError::EmptySimulation => {
                 write!(f, "simulation requires at least one chunk and one task")

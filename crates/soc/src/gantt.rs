@@ -99,9 +99,24 @@ mod tests {
     #[test]
     fn renders_rows_and_scale() {
         let events = vec![
-            GanttSpan { chunk: 0, task: 0, start: 0.0, end: 500.0 },
-            GanttSpan { chunk: 1, task: 0, start: 500.0, end: 1000.0 },
-            GanttSpan { chunk: 0, task: 1, start: 500.0, end: 1000.0 },
+            GanttSpan {
+                chunk: 0,
+                task: 0,
+                start: 0.0,
+                end: 500.0,
+            },
+            GanttSpan {
+                chunk: 1,
+                task: 0,
+                start: 500.0,
+                end: 1000.0,
+            },
+            GanttSpan {
+                chunk: 0,
+                task: 1,
+                start: 500.0,
+                end: 1000.0,
+            },
         ];
         let labels = vec!["cpu".to_string(), "gpu".to_string()];
         let chart = render_gantt(&events, &labels, 20);
@@ -116,7 +131,10 @@ mod tests {
     #[test]
     fn empty_timeline() {
         let spans: [GanttSpan; 0] = [];
-        assert_eq!(render_gantt(&spans, &["x".into()], 20), "(empty timeline)\n");
+        assert_eq!(
+            render_gantt(&spans, &["x".into()], 20),
+            "(empty timeline)\n"
+        );
     }
 
     #[test]

@@ -18,7 +18,10 @@ pub struct ActiveKernel {
 impl ActiveKernel {
     /// Convenience constructor.
     pub fn new(class: PuClass, bw_demand_gbs: f64) -> ActiveKernel {
-        ActiveKernel { class, bw_demand_gbs }
+        ActiveKernel {
+            class,
+            bw_demand_gbs,
+        }
     }
 }
 
@@ -105,8 +108,7 @@ impl InterferenceModel {
         if self.contention_strength == 0.0 || co_runners.is_empty() {
             return 1.0;
         }
-        let total: f64 =
-            own_demand_gbs + co_runners.iter().map(|k| k.bw_demand_gbs).sum::<f64>();
+        let total: f64 = own_demand_gbs + co_runners.iter().map(|k| k.bw_demand_gbs).sum::<f64>();
         if total <= dram_bw_gbs {
             return 1.0;
         }

@@ -46,8 +46,8 @@ pub mod cost;
 pub mod des;
 pub mod des_dynamic;
 mod device;
-pub mod gantt;
 mod error;
+pub mod gantt;
 mod interference;
 pub mod power;
 mod pu;

@@ -158,14 +158,25 @@ mod tests {
 
     #[test]
     fn busy_pu_costs_more_than_idle() {
-        let chunks = [ChunkSpec::new(PuClass::BigCpu, vec![WorkProfile::new(1e7, 1e6)])];
+        let chunks = [ChunkSpec::new(
+            PuClass::BigCpu,
+            vec![WorkProfile::new(1e7, 1e6)],
+        )];
         let (soc, report) = run(&chunks);
         let model = PowerModel::default_for(&soc);
         let e = energy_of_run(&soc, &model, &report, &[PuClass::BigCpu]);
         // Average power must exceed the all-idle floor and stay below the
         // all-busy ceiling.
-        let idle_floor: f64 = soc.classes().iter().map(|&c| model.spec(c).idle_watts).sum();
-        let busy_ceiling: f64 = soc.classes().iter().map(|&c| model.spec(c).busy_watts).sum();
+        let idle_floor: f64 = soc
+            .classes()
+            .iter()
+            .map(|&c| model.spec(c).idle_watts)
+            .sum();
+        let busy_ceiling: f64 = soc
+            .classes()
+            .iter()
+            .map(|&c| model.spec(c).busy_watts)
+            .sum();
         assert!(e.avg_watts > idle_floor, "{} <= {idle_floor}", e.avg_watts);
         assert!(e.avg_watts < busy_ceiling);
         assert!(e.per_task_mj > 0.0 && e.edp_mj_ms > 0.0);
@@ -197,7 +208,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "one class per chunk")]
     fn chunk_class_mismatch_panics() {
-        let chunks = [ChunkSpec::new(PuClass::BigCpu, vec![WorkProfile::new(1e6, 1e5)])];
+        let chunks = [ChunkSpec::new(
+            PuClass::BigCpu,
+            vec![WorkProfile::new(1e6, 1e5)],
+        )];
         let (soc, report) = run(&chunks);
         let model = PowerModel::default_for(&soc);
         let _ = energy_of_run(&soc, &model, &report, &[]);

@@ -502,7 +502,10 @@ mod tests {
         spec.freq_ghz = -1.0;
         assert!(matches!(
             spec.validate(),
-            Err(SocError::InvalidSpec { param: "freq_ghz", .. })
+            Err(SocError::InvalidSpec {
+                param: "freq_ghz",
+                ..
+            })
         ));
     }
 }

@@ -2,7 +2,7 @@
 //! determinism, and queueing-theoretic bounds over randomized schedules.
 
 use bt_soc::des::{simulate, ChunkSpec, DesConfig};
-use bt_soc::{cost, devices, InterferenceModel, PuClass, SocBuilder, PuSpec, WorkProfile};
+use bt_soc::{cost, devices, InterferenceModel, PuClass, PuSpec, SocBuilder, WorkProfile};
 use proptest::prelude::*;
 
 /// A device with no interference at all, so queueing bounds are exact.
@@ -30,7 +30,10 @@ fn chunk_strategy() -> impl Strategy<Value = Vec<ChunkSpec>> {
             .map(|(i, (_, flops))| {
                 ChunkSpec::new(
                     classes[i],
-                    flops.into_iter().map(|f| WorkProfile::new(f, f / 4.0)).collect(),
+                    flops
+                        .into_iter()
+                        .map(|f| WorkProfile::new(f, f / 4.0))
+                        .collect(),
                 )
             })
             .collect()

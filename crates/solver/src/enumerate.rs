@@ -140,7 +140,9 @@ mod tests {
         fn perm(m: usize, k: usize) -> usize {
             (0..k).fold(1, |acc, i| acc * (m - i))
         }
-        (1..=m.min(n)).map(|k| choose(n - 1, k - 1) * perm(m, k)).sum()
+        (1..=m.min(n))
+            .map(|k| choose(n - 1, k - 1) * perm(m, k))
+            .sum()
     }
 
     #[test]
@@ -170,7 +172,11 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         for s in &all {
             assert!(p.is_valid(&s.assignment));
-            assert!(seen.insert(s.assignment.clone()), "duplicate {:?}", s.assignment);
+            assert!(
+                seen.insert(s.assignment.clone()),
+                "duplicate {:?}",
+                s.assignment
+            );
         }
     }
 
@@ -235,7 +241,12 @@ mod tests {
         let all = enumerate_schedules(&p);
         assert!(!all.is_empty());
         for e in &all {
-            assert!(e.chunks() <= 2, "schedule {:?} uses {} chunks", e.assignment, e.chunks());
+            assert!(
+                e.chunks() <= 2,
+                "schedule {:?} uses {} chunks",
+                e.assignment,
+                e.chunks()
+            );
         }
         // SAT engine agrees on the optimum under the cap.
         let exact = latency_candidates_exact(&p, 1)[0].t_max;

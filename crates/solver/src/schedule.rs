@@ -37,9 +37,14 @@ pub enum ProblemError {
 impl std::fmt::Display for ProblemError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ProblemError::BadShape => f.write_str("latency table must be non-empty and rectangular"),
+            ProblemError::BadShape => {
+                f.write_str("latency table must be non-empty and rectangular")
+            }
             ProblemError::BadLatency { stage, class } => {
-                write!(f, "latency for stage {stage} on class {class} must be positive and finite")
+                write!(
+                    f,
+                    "latency for stage {stage} on class {class} must be positive and finite"
+                )
             }
             ProblemError::NoAllowedClass => f.write_str("at least one PU class must be allowed"),
         }
@@ -180,7 +185,10 @@ impl ScheduleProblem {
         if assignment.len() != self.stages() {
             return false;
         }
-        if assignment.iter().any(|&c| c >= self.classes() || !self.allowed[c]) {
+        if assignment
+            .iter()
+            .any(|&c| c >= self.classes() || !self.allowed[c])
+        {
             return false;
         }
         // Contiguity: a class never reappears after a different class.
@@ -526,13 +534,10 @@ mod tests {
 
     #[test]
     fn disallowed_class_never_used() {
-        let p = ScheduleProblem::new(vec![
-            vec![10.0, 1.0, 20.0],
-            vec![10.0, 1.0, 20.0],
-        ])
-        .unwrap()
-        .with_allowed(vec![true, false, true])
-        .unwrap();
+        let p = ScheduleProblem::new(vec![vec![10.0, 1.0, 20.0], vec![10.0, 1.0, 20.0]])
+            .unwrap()
+            .with_allowed(vec![true, false, true])
+            .unwrap();
         for (_, a) in p.latency_candidates(20) {
             assert!(a.iter().all(|&c| c != 1), "used disallowed class: {a:?}");
         }

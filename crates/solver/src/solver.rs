@@ -590,9 +590,10 @@ mod tests {
             let mut any = false;
             for bits in 0..(1u32 << n) {
                 let assignment: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
-                if clause_list.iter().all(|c| {
-                    c.iter().any(|l| l.eval(assignment[l.var().index()]))
-                }) {
+                if clause_list
+                    .iter()
+                    .all(|c| c.iter().any(|l| l.eval(assignment[l.var().index()])))
+                {
                     any = true;
                     break;
                 }

@@ -16,8 +16,14 @@ use bettertogether::soc::devices;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let workloads = [
-        ("AlexNet-dense", apps::alexnet_dense_app(apps::AlexNetConfig::default()).model()),
-        ("AlexNet-sparse", apps::alexnet_sparse_app(apps::AlexNetConfig::default()).model()),
+        (
+            "AlexNet-dense",
+            apps::alexnet_dense_app(apps::AlexNetConfig::default()).model(),
+        ),
+        (
+            "AlexNet-sparse",
+            apps::alexnet_sparse_app(apps::AlexNetConfig::default()).model(),
+        ),
     ];
 
     println!("Per-device optimal schedules (B=big, M=medium, L=little, G=gpu)\n");

@@ -12,9 +12,7 @@
 
 use bettertogether::core::BetterTogether;
 use bettertogether::kernels::apps;
-use bettertogether::soc::{
-    devices, GpuBackend, InterferenceModel, PuClass, PuSpec, SocBuilder,
-};
+use bettertogether::soc::{devices, GpuBackend, InterferenceModel, PuClass, PuSpec, SocBuilder};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // An RK3588-like single-board computer.

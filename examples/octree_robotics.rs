@@ -23,7 +23,9 @@ use bettertogether::profiler::ProfileMode;
 use bettertogether::soc::PuClass;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let per_tier = (cores / 2).max(1);
     println!("host parallelism: {cores} core(s) → {per_tier} worker(s) per tier");
     let app = apps::octree_app(OctreeConfig {
@@ -50,14 +52,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let sequential = t0.elapsed() / tasks;
     let cells = payload.octree.as_ref().expect("octree built").cell_count();
-    println!("sequential: {:.2} ms/task ({cells} octree cells/task)", sequential.as_secs_f64() * 1e3);
+    println!(
+        "sequential: {:.2} ms/task ({cells} octree cells/task)",
+        sequential.as_secs_f64() * 1e3
+    );
 
     // Pipelined: let the solver pick the split from the measured host
     // table — exactly the BT-Optimizer flow, driven by real wall-clock
     // profiles. Both host tiers get equal worker pools, so any win comes
     // from overlapping tasks across dispatchers.
-    let equal_tiers =
-        HostClasses::new(vec![(PuClass::BigCpu, per_tier), (PuClass::LittleCpu, per_tier)]);
+    let equal_tiers = HostClasses::new(vec![
+        (PuClass::BigCpu, per_tier),
+        (PuClass::LittleCpu, per_tier),
+    ]);
     let table = profile_host(&app, &equal_tiers, ProfileMode::Isolated, &cfg);
     let problem = bettertogether::solver::ScheduleProblem::new(table.to_matrix())?;
     let candidates = bettertogether::solver::enumerate::latency_candidates_exact(&problem, 5);

@@ -44,7 +44,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    measured best, compare against CPU-only and GPU-only baselines.
     let deployment = bt.run()?;
     println!("\nbest schedule: {}", deployment.best_schedule());
-    println!("measured:      {:.2} ms/task", deployment.best_latency().as_millis());
+    println!(
+        "measured:      {:.2} ms/task",
+        deployment.best_latency().as_millis()
+    );
     println!(
         "baselines:     CPU {:.2} ms, GPU {:.2} ms",
         deployment.baselines.cpu.as_millis(),

@@ -84,7 +84,7 @@ fn parse_args() -> Result<Option<Args>, String> {
     let mut energy = false;
 
     let next_value = |args: &mut std::iter::Peekable<std::iter::Skip<std::env::Args>>,
-                          flag: &str|
+                      flag: &str|
      -> Result<String, String> {
         args.next().ok_or_else(|| format!("{flag} needs a value"))
     };
@@ -157,16 +157,16 @@ fn parse_args() -> Result<Option<Args>, String> {
 fn run(args: Args) -> Result<(), String> {
     let soc = match &args.device_file {
         Some(path) => {
-            let json = std::fs::read_to_string(path)
-                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            let json =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
             serde_json::from_str::<SocSpec>(&json)
                 .map_err(|e| format!("invalid device JSON in {path}: {e}"))?
         }
         None => device_by_name(&args.device)
             .ok_or_else(|| format!("unknown device '{}' (try --list)", args.device))?,
     };
-    let app = app_by_name(&args.app)
-        .ok_or_else(|| format!("unknown app '{}' (try --list)", args.app))?;
+    let app =
+        app_by_name(&args.app).ok_or_else(|| format!("unknown app '{}' (try --list)", args.app))?;
 
     let bt = BetterTogether::new(soc, app).with_config(BtConfig {
         profile_mode: args.mode,
@@ -190,13 +190,17 @@ fn run(args: Args) -> Result<(), String> {
             .plan
             .candidates
             .iter()
-            .zip(&deployment.outcome.measured)
-            .map(|(c, m)| {
+            .enumerate()
+            .map(|(i, c)| {
+                let measured = deployment
+                    .outcome
+                    .measured_latency(i)
+                    .expect("autotune measured every candidate");
                 format!(
                     "{{\"schedule\":\"{}\",\"predicted_us\":{:.1},\"measured_us\":{:.1}}}",
                     c.schedule,
                     c.predicted.as_f64(),
-                    m.as_f64()
+                    measured.as_f64()
                 )
             })
             .collect();
@@ -216,10 +220,20 @@ fn run(args: Args) -> Result<(), String> {
         );
     } else {
         println!("device:        {}", bt.soc().name());
-        println!("application:   {} ({} stages)", bt.app().name, bt.app().stage_count());
+        println!(
+            "application:   {} ({} stages)",
+            bt.app().name,
+            bt.app().stage_count()
+        );
         println!("profiling:     {} mode", bt.config().profile_mode);
-        println!("best schedule: {}  (B=big M=medium L=little G=gpu)", deployment.best_schedule());
-        println!("measured:      {:.3} ms/task", deployment.best_latency().as_millis());
+        println!(
+            "best schedule: {}  (B=big M=medium L=little G=gpu)",
+            deployment.best_schedule()
+        );
+        println!(
+            "measured:      {:.3} ms/task",
+            deployment.best_latency().as_millis()
+        );
         println!(
             "baselines:     CPU {:.3} ms | GPU {:.3} ms",
             deployment.baselines.cpu.as_millis(),
@@ -231,7 +245,10 @@ fn run(args: Args) -> Result<(), String> {
             deployment.speedup_over_cpu(),
             deployment.speedup_over_gpu()
         );
-        println!("autotuning:    {:.2}x beyond predicted-best", deployment.autotuning_gain());
+        println!(
+            "autotuning:    {:.2}x beyond predicted-best",
+            deployment.autotuning_gain()
+        );
         if args.energy {
             use bettertogether::core::energy::{measure_baseline_energy, measure_energy};
             use bettertogether::soc::power::PowerModel;

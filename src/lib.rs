@@ -12,6 +12,8 @@
 //! - [`kernels`] — the three evaluation workloads, implemented for real.
 //! - [`soc`] — device models, cost/interference models, and the
 //!   discrete-event simulator standing in for the paper's four devices.
+//! - [`telemetry`] — per-dispatcher counters and execution spans shared by
+//!   host and simulated runs, with Chrome trace / JSONL exporters.
 //!
 //! # Example
 //!
@@ -38,3 +40,4 @@ pub use bt_pipeline as pipeline;
 pub use bt_profiler as profiler;
 pub use bt_soc as soc;
 pub use bt_solver as solver;
+pub use bt_telemetry as telemetry;

@@ -71,8 +71,17 @@ fn candidate_ranking_is_consistent_between_engines() {
             .plan()
             .expect("sat plan");
         assert!(
-            (exact.predicted_best().predicted.as_f64() - sat.predicted_best().predicted.as_f64())
-                .abs()
+            (exact
+                .predicted_best()
+                .expect("non-empty plan")
+                .predicted
+                .as_f64()
+                - sat
+                    .predicted_best()
+                    .expect("non-empty plan")
+                    .predicted
+                    .as_f64())
+            .abs()
                 < 1e-6,
             "{}: engines disagree on the optimum",
             soc.name()

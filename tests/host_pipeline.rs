@@ -24,7 +24,11 @@ fn mix(x: u64, stage: u64) -> u64 {
         .wrapping_add(stage)
 }
 
-fn checked_app(stages: usize, errors: Arc<AtomicU64>, done: Arc<AtomicU64>) -> Application<Checked> {
+fn checked_app(
+    stages: usize,
+    errors: Arc<AtomicU64>,
+    done: Arc<AtomicU64>,
+) -> Application<Checked> {
     let mut list = Vec::new();
     for i in 0..stages {
         let is_last = i == stages - 1;
@@ -46,7 +50,11 @@ fn checked_app(stages: usize, errors: Arc<AtomicU64>, done: Arc<AtomicU64>) -> A
                 done.fetch_add(1, Ordering::Relaxed);
             }
         });
-        list.push(Stage::new(format!("s{i}"), WorkProfile::new(10.0, 10.0), kernel));
+        list.push(Stage::new(
+            format!("s{i}"),
+            WorkProfile::new(10.0, 10.0),
+            kernel,
+        ));
     }
     Application::new(
         "checked",
@@ -247,7 +255,11 @@ fn duration_mode_runs_until_deadline() {
     let report = run_host(&app, &schedule, &PuThreads::uniform(1), &cfg).unwrap();
     assert_eq!(errors.load(Ordering::Relaxed), 0);
     // The trivial kernels complete far more than the warmup within 120 ms.
-    assert!(report.tasks > 10, "only {} tasks in the window", report.tasks);
+    assert!(
+        report.tasks > 10,
+        "only {} tasks in the window",
+        report.tasks
+    );
     assert_eq!(done.load(Ordering::Relaxed), u64::from(report.tasks) + 2);
     assert!(report.throughput_hz > 0.0);
 }

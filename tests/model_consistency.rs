@@ -134,7 +134,9 @@ fn balanced_schedules_predict_better_than_unbalanced() {
         &noiseless_profiler(),
     );
     let err = |schedule: &Schedule| -> f64 {
-        let p = predict::predict_latency(&table, schedule).expect("covered").as_f64();
+        let p = predict::predict_latency(&table, schedule)
+            .expect("covered")
+            .as_f64();
         let m = simulate_schedule(&soc, &app, schedule, &noiseless_des())
             .expect("simulates")
             .time_per_task

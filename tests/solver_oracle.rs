@@ -12,10 +12,7 @@ use proptest::prelude::*;
 fn table_strategy() -> impl Strategy<Value = Vec<Vec<f64>>> {
     // 2..=6 stages × 2..=4 classes, latencies in [1, 1000].
     (2usize..=6, 2usize..=4).prop_flat_map(|(n, m)| {
-        proptest::collection::vec(
-            proptest::collection::vec(1.0f64..1000.0, m..=m),
-            n..=n,
-        )
+        proptest::collection::vec(proptest::collection::vec(1.0f64..1000.0, m..=m), n..=n)
     })
 }
 

@@ -1,0 +1,292 @@
+//! Offline stand-in for `criterion`: a compact wall-clock benchmark harness
+//! exposing the API surface the workspace's benches use. It calibrates an
+//! iteration count per sample, takes `sample_size` samples, and prints the
+//! median with a simple spread estimate — no plotting, no HTML reports.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness configuration and entry point.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_millis(600),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Criterion {
+        let name = id.to_string();
+        run_benchmark(self, &name, None, &mut f);
+        self
+    }
+}
+
+/// Throughput annotation: turns ns/iter into elements or bytes per second.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.criterion.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let name = format!("{}/{}", self.name, id.label());
+        run_benchmark(self.criterion, &name, self.throughput, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id.label());
+        run_benchmark(self.criterion, &name, self.throughput, &mut |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier, optionally parameterized.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Batch-size hint for `iter_batched`; the stub runs one setup per routine
+/// call regardless, so the variants only exist for API compatibility.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// The measurement callback handle passed to bench closures.
+pub struct Bencher {
+    /// Iterations to run in the current sample.
+    iters: u64,
+    /// Measured duration of the current sample (excluding setup).
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    pub fn iter_batched<I, O, S: FnMut() -> I, F: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: F,
+        _size: BatchSize,
+    ) {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+fn run_sample<F: FnMut(&mut Bencher)>(f: &mut F, iters: u64) -> Duration {
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    b.elapsed
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    criterion: &Criterion,
+    name: &str,
+    throughput: Option<Throughput>,
+    f: &mut F,
+) {
+    // Calibrate: grow the iteration count until one sample costs roughly
+    // measurement_time / sample_size.
+    let budget = criterion.measurement_time / criterion.sample_size as u32;
+    let mut iters = 1u64;
+    loop {
+        let took = run_sample(f, iters);
+        if took >= budget || iters >= 1 << 24 {
+            break;
+        }
+        if took < budget / 16 {
+            iters = iters.saturating_mul(8);
+        } else {
+            let scale = (budget.as_secs_f64() / took.as_secs_f64().max(1e-9)).ceil();
+            iters = (iters as f64 * scale.clamp(1.0, 16.0)) as u64;
+        }
+    }
+
+    let mut per_iter_ns: Vec<f64> = (0..criterion.sample_size)
+        .map(|_| run_sample(f, iters).as_secs_f64() * 1e9 / iters as f64)
+        .collect();
+    per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter_ns[per_iter_ns.len() / 2];
+    let lo = per_iter_ns[per_iter_ns.len() / 10];
+    let hi = per_iter_ns[per_iter_ns.len() - 1 - per_iter_ns.len() / 10];
+
+    let thru = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  {:>12}/s", human_rate(n as f64 * 1e9 / median, "elem"))
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!("  {:>12}/s", human_rate(n as f64 * 1e9 / median, "B"))
+        }
+        None => String::new(),
+    };
+    println!(
+        "bench {name:<48} {:>12}/iter  (p10 {} .. p90 {}, {} iters){thru}",
+        human_time(median),
+        human_time(lo),
+        human_time(hi),
+        iters
+    );
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+fn human_rate(per_sec: f64, unit: &str) -> String {
+    if per_sec < 1e3 {
+        format!("{per_sec:.1} {unit}")
+    } else if per_sec < 1e6 {
+        format!("{:.1} K{unit}", per_sec / 1e3)
+    } else if per_sec < 1e9 {
+        format!("{:.1} M{unit}", per_sec / 1e6)
+    } else {
+        format!("{:.1} G{unit}", per_sec / 1e9)
+    }
+}
+
+/// Declares a benchmark entry function from a config and target list.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,40 @@
+//! Offline stand-in for `libc`, providing only the CPU-affinity surface the
+//! pipeline crate uses on Linux. The `extern "C"` declarations bind directly
+//! to the system C library, exactly as the real crate's do.
+
+#![allow(non_camel_case_types, non_snake_case)]
+
+pub type c_int = i32;
+pub type pid_t = i32;
+pub type size_t = usize;
+
+pub const CPU_SETSIZE: c_int = 1024;
+
+/// Mirrors glibc's `cpu_set_t`: a 1024-bit mask stored as unsigned longs.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct cpu_set_t {
+    bits: [u64; CPU_SETSIZE as usize / 64],
+}
+
+#[allow(clippy::missing_safety_doc)]
+pub unsafe fn CPU_ZERO(cpuset: &mut cpu_set_t) {
+    cpuset.bits = [0; CPU_SETSIZE as usize / 64];
+}
+
+#[allow(clippy::missing_safety_doc)]
+pub unsafe fn CPU_SET(cpu: usize, cpuset: &mut cpu_set_t) {
+    if cpu < CPU_SETSIZE as usize {
+        cpuset.bits[cpu / 64] |= 1 << (cpu % 64);
+    }
+}
+
+#[allow(clippy::missing_safety_doc)]
+pub unsafe fn CPU_ISSET(cpu: usize, cpuset: &cpu_set_t) -> bool {
+    cpu < CPU_SETSIZE as usize && cpuset.bits[cpu / 64] & (1 << (cpu % 64)) != 0
+}
+
+extern "C" {
+    pub fn sched_setaffinity(pid: pid_t, cpusetsize: size_t, cpuset: *const cpu_set_t) -> c_int;
+    pub fn sched_getaffinity(pid: pid_t, cpusetsize: size_t, cpuset: *mut cpu_set_t) -> c_int;
+}

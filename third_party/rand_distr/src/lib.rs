@@ -1,0 +1,100 @@
+//! Offline stand-in for `rand_distr`: the `Distribution` trait plus the
+//! `Normal`/`LogNormal` distributions (Box-Muller sampling).
+
+use rand::RngCore;
+
+/// Types that produce samples of `T` from a source of randomness.
+pub trait Distribution<T> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error constructing a distribution from invalid parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DistrError;
+
+impl std::fmt::Display for DistrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid distribution parameters")
+    }
+}
+
+impl std::error::Error for DistrError {}
+
+fn standard_normal<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    // Box-Muller; reject u1 == 0 to keep ln() finite.
+    loop {
+        let u1: f64 = <f64 as rand::Standard>::from_rng(rng);
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f64 = <f64 as rand::Standard>::from_rng(rng);
+        return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    }
+}
+
+/// Normal (Gaussian) distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal<T> {
+    mean: T,
+    std_dev: T,
+}
+
+impl Normal<f64> {
+    pub fn new(mean: f64, std_dev: f64) -> Result<Normal<f64>, DistrError> {
+        if !std_dev.is_finite() || std_dev < 0.0 {
+            return Err(DistrError);
+        }
+        Ok(Normal { mean, std_dev })
+    }
+}
+
+impl Distribution<f64> for Normal<f64> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * standard_normal(rng)
+    }
+}
+
+/// Log-normal distribution: `exp(N(mu, sigma))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal<T> {
+    mu: T,
+    sigma: T,
+}
+
+impl LogNormal<f64> {
+    pub fn new(mu: f64, sigma: f64) -> Result<LogNormal<f64>, DistrError> {
+        if !sigma.is_finite() || sigma < 0.0 {
+            return Err(DistrError);
+        }
+        Ok(LogNormal { mu, sigma })
+    }
+}
+
+impl Distribution<f64> for LogNormal<f64> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lognormal_moments_roughly_match() {
+        let dist = LogNormal::new(0.0, 0.25).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| dist.sample(&mut rng)).sum::<f64>() / n as f64;
+        // E[lognormal(0, s)] = exp(s^2/2) ≈ 1.0317 for s = 0.25.
+        assert!((mean - 1.0317).abs() < 0.02, "mean = {mean}");
+    }
+
+    #[test]
+    fn invalid_sigma_rejected() {
+        assert!(LogNormal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(0.0, f64::NAN).is_err());
+    }
+}

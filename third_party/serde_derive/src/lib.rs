@@ -1,0 +1,595 @@
+//! Derive macros for the vendored `serde` stub.
+//!
+//! Implemented with a hand-rolled token walker (no `syn`/`quote`, which are
+//! unavailable offline). Supports the shapes this workspace uses:
+//! named-field structs (with generics), tuple/newtype structs, and enums with
+//! unit, tuple, and struct variants (externally tagged), plus the
+//! `#[serde(default)]` field attribute and implicit `Option` defaulting.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Model
+// ---------------------------------------------------------------------------
+
+struct Field {
+    name: String,
+    is_option: bool,
+    has_default: bool,
+}
+
+enum Body {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    body: VariantBody,
+}
+
+enum VariantBody {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Item {
+    name: String,
+    /// Full generic parameter segments, e.g. `["T: Clone"]`.
+    generic_decls: Vec<String>,
+    /// Bare generic argument names, e.g. `["T"]`.
+    generic_args: Vec<String>,
+    /// Names of type parameters (subset of args) that need trait bounds.
+    type_params: Vec<String>,
+    body: Body,
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+
+    // Skip outer attributes and visibility.
+    loop {
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => pos += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                pos += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(pos) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        pos += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected struct/enum, found {other:?}"),
+    };
+    pos += 1;
+    let name = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name, found {other:?}"),
+    };
+    pos += 1;
+
+    // Generics.
+    let mut generic_decls = Vec::new();
+    let mut generic_args = Vec::new();
+    let mut type_params = Vec::new();
+    if let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+        if p.as_char() == '<' {
+            pos += 1;
+            let mut depth = 1usize;
+            let mut segment: Vec<TokenTree> = Vec::new();
+            let mut segments: Vec<Vec<TokenTree>> = Vec::new();
+            while depth > 0 {
+                let tok = tokens
+                    .get(pos)
+                    .unwrap_or_else(|| panic!("unterminated generics on {name}"))
+                    .clone();
+                pos += 1;
+                if let TokenTree::Punct(ref q) = tok {
+                    match q.as_char() {
+                        '<' => depth += 1,
+                        '>' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        ',' if depth == 1 => {
+                            segments.push(std::mem::take(&mut segment));
+                            continue;
+                        }
+                        _ => {}
+                    }
+                }
+                segment.push(tok);
+            }
+            if !segment.is_empty() {
+                segments.push(segment);
+            }
+            for seg in &segments {
+                let text = tokens_to_string(seg);
+                generic_decls.push(text);
+                match seg.first() {
+                    Some(TokenTree::Punct(q)) if q.as_char() == '\'' => {
+                        // Lifetime parameter: name is `'a`.
+                        let lt = match seg.get(1) {
+                            Some(TokenTree::Ident(id)) => format!("'{id}"),
+                            other => panic!("bad lifetime param {other:?}"),
+                        };
+                        generic_args.push(lt);
+                    }
+                    Some(TokenTree::Ident(id)) if id.to_string() == "const" => {
+                        let cname = match seg.get(1) {
+                            Some(TokenTree::Ident(id)) => id.to_string(),
+                            other => panic!("bad const param {other:?}"),
+                        };
+                        generic_args.push(cname);
+                    }
+                    Some(TokenTree::Ident(id)) => {
+                        let pname = id.to_string();
+                        generic_args.push(pname.clone());
+                        type_params.push(pname);
+                    }
+                    other => panic!("unsupported generic parameter {other:?}"),
+                }
+            }
+        }
+    }
+
+    let body = match kind.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::Unit,
+            other => panic!("unsupported struct body for {name}: {other:?}"),
+        },
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("unsupported enum body for {name}: {other:?}"),
+        },
+        other => panic!("cannot derive for `{other}` items"),
+    };
+
+    Item {
+        name,
+        generic_decls,
+        generic_args,
+        type_params,
+        body,
+    }
+}
+
+fn tokens_to_string(tokens: &[TokenTree]) -> String {
+    let mut s = String::new();
+    for t in tokens {
+        if !s.is_empty() {
+            s.push(' ');
+        }
+        s.push_str(&t.to_string());
+    }
+    s
+}
+
+/// Consumes leading attributes at `pos`; returns whether `#[serde(default)]`
+/// was among them.
+fn skip_attrs(tokens: &[TokenTree], pos: &mut usize) -> bool {
+    let mut has_default = false;
+    while let Some(TokenTree::Punct(p)) = tokens.get(*pos) {
+        if p.as_char() != '#' {
+            break;
+        }
+        if let Some(TokenTree::Group(g)) = tokens.get(*pos + 1) {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            if let Some(TokenTree::Ident(id)) = inner.first() {
+                if id.to_string() == "serde" {
+                    if let Some(TokenTree::Group(args)) = inner.get(1) {
+                        for arg in args.stream() {
+                            if let TokenTree::Ident(a) = arg {
+                                if a.to_string() == "default" {
+                                    has_default = true;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        *pos += 2;
+    }
+    has_default
+}
+
+fn skip_vis(tokens: &[TokenTree], pos: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*pos) {
+        if id.to_string() == "pub" {
+            *pos += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *pos += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Advances past a type, stopping at a top-level `,` (which is not consumed).
+fn skip_type(tokens: &[TokenTree], pos: &mut usize) -> Vec<TokenTree> {
+    let mut depth = 0usize;
+    let mut ty = Vec::new();
+    while let Some(tok) = tokens.get(*pos) {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth = depth.saturating_sub(1),
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+            _ => {}
+        }
+        ty.push(tok.clone());
+        *pos += 1;
+    }
+    ty
+}
+
+fn type_is_option(ty: &[TokenTree]) -> bool {
+    // Matches `Option<..>` and `std::option::Option<..>` heads.
+    ty.iter()
+        .take_while(|t| !matches!(t, TokenTree::Punct(p) if p.as_char() == '<'))
+        .any(|t| matches!(t, TokenTree::Ident(id) if id.to_string() == "Option"))
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut fields = Vec::new();
+    while pos < tokens.len() {
+        let has_default = skip_attrs(&tokens, &mut pos);
+        skip_vis(&tokens, &mut pos);
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("expected field name, found {other:?}"),
+        };
+        pos += 1;
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => panic!("expected `:` after field `{name}`, found {other:?}"),
+        }
+        let ty = skip_type(&tokens, &mut pos);
+        // Skip the trailing comma, if any.
+        if let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+            if p.as_char() == ',' {
+                pos += 1;
+            }
+        }
+        fields.push(Field {
+            name,
+            is_option: type_is_option(&ty),
+            has_default,
+        });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut count = 0;
+    while pos < tokens.len() {
+        skip_attrs(&tokens, &mut pos);
+        skip_vis(&tokens, &mut pos);
+        let ty = skip_type(&tokens, &mut pos);
+        if !ty.is_empty() {
+            count += 1;
+        }
+        if let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+            if p.as_char() == ',' {
+                pos += 1;
+            }
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut variants = Vec::new();
+    while pos < tokens.len() {
+        skip_attrs(&tokens, &mut pos);
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("expected variant name, found {other:?}"),
+        };
+        pos += 1;
+        let body = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                VariantBody::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                VariantBody::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => VariantBody::Unit,
+        };
+        // Skip any discriminant (`= expr`) and the separating comma.
+        while let Some(tok) = tokens.get(pos) {
+            if matches!(tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                pos += 1;
+                break;
+            }
+            pos += 1;
+        }
+        variants.push(Variant { name, body });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn impl_header(item: &Item, trait_name: &str) -> String {
+    let decls: Vec<String> = item
+        .generic_decls
+        .iter()
+        .zip(&item.generic_args)
+        .map(|(decl, arg)| {
+            if item.type_params.contains(arg) {
+                format!("{decl} : :: serde :: {trait_name}")
+            } else {
+                decl.clone()
+            }
+        })
+        .collect();
+    let impl_generics = if decls.is_empty() {
+        String::new()
+    } else {
+        format!("< {} >", decls.join(" , "))
+    };
+    let ty_generics = if item.generic_args.is_empty() {
+        String::new()
+    } else {
+        format!("< {} >", item.generic_args.join(" , "))
+    };
+    format!(
+        "impl {impl_generics} :: serde :: {trait_name} for {} {ty_generics}",
+        item.name
+    )
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Named(fields) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{0}\"), ::serde::Serialize::to_value(&self.{0})),",
+                        f.name
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(::std::vec![{pushes}])")
+        }
+        Body::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Body::Tuple(n) => {
+            let items: String = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{items}])")
+        }
+        Body::Unit => "::serde::Value::Null".to_string(),
+        Body::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.body {
+                        VariantBody::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::Str(::std::string::String::from(\"{vname}\")),"
+                        ),
+                        VariantBody::Tuple(1) => format!(
+                            "{name}::{vname}(x0) => ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{vname}\"), ::serde::Serialize::to_value(x0))]),"
+                        ),
+                        VariantBody::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                            let items: String = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b}),"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{vname}\"), ::serde::Value::Array(::std::vec![{items}]))]),",
+                                binds.join(", ")
+                            )
+                        }
+                        VariantBody::Named(fields) => {
+                            let binds: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let items: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{0}\"), ::serde::Serialize::to_value({0})),",
+                                        f.name
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {} }} => ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{vname}\"), ::serde::Value::Object(::std::vec![{items}]))]),",
+                                binds.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "{} {{ fn to_value(&self) -> ::serde::Value {{ {body} }} }}",
+        impl_header(item, "Serialize")
+    )
+}
+
+fn missing_field_expr(item_name: &str, f: &Field) -> String {
+    if f.has_default {
+        "::std::default::Default::default()".to_string()
+    } else if f.is_option {
+        "::std::option::Option::None".to_string()
+    } else {
+        format!(
+            "return ::std::result::Result::Err(::serde::Error::new(\"missing field `{}` in {item_name}\"))",
+            f.name
+        )
+    }
+}
+
+/// Builds the struct-literal field initializers for named fields read from
+/// the object value expression `src`.
+fn named_field_inits(item_name: &str, fields: &[Field], src: &str) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{0}: match {src}.get(\"{0}\") {{ \
+                     ::std::option::Option::Some(fv) => ::serde::Deserialize::from_value(fv)?, \
+                     ::std::option::Option::None => {1}, \
+                 }},",
+                f.name,
+                missing_field_expr(item_name, f)
+            )
+        })
+        .collect()
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Named(fields) => {
+            let inits = named_field_inits(name, fields, "v");
+            format!(
+                "if v.as_object().is_none() {{ \
+                     return ::std::result::Result::Err(::serde::Error::new(\"expected object for {name}\")); \
+                 }} \
+                 ::std::result::Result::Ok({name} {{ {inits} }})"
+            )
+        }
+        Body::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Body::Tuple(n) => {
+            let items: String = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?,"))
+                .collect();
+            format!(
+                "let items = v.as_array().ok_or_else(|| ::serde::Error::new(\"expected array for {name}\"))?; \
+                 if items.len() != {n} {{ \
+                     return ::std::result::Result::Err(::serde::Error::new(\"wrong tuple length for {name}\")); \
+                 }} \
+                 ::std::result::Result::Ok({name}({items}))"
+            )
+        }
+        Body::Unit => format!("::std::result::Result::Ok({name})"),
+        Body::Enum(variants) => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.body, VariantBody::Unit))
+                .map(|v| format!("\"{0}\" => ::std::result::Result::Ok({name}::{0}),", v.name))
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.body {
+                        VariantBody::Unit => None,
+                        VariantBody::Tuple(1) => Some(format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(::serde::Deserialize::from_value(inner)?)),"
+                        )),
+                        VariantBody::Tuple(n) => {
+                            let items: String = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?,"))
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => {{ \
+                                     let items = inner.as_array().ok_or_else(|| ::serde::Error::new(\"expected array for {name}::{vname}\"))?; \
+                                     if items.len() != {n} {{ \
+                                         return ::std::result::Result::Err(::serde::Error::new(\"wrong tuple length for {name}::{vname}\")); \
+                                     }} \
+                                     ::std::result::Result::Ok({name}::{vname}({items})) \
+                                 }}"
+                            ))
+                        }
+                        VariantBody::Named(fields) => {
+                            let inits = named_field_inits(name, fields, "inner");
+                            Some(format!(
+                                "\"{vname}\" => ::std::result::Result::Ok({name}::{vname} {{ {inits} }}),"
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "if let ::std::option::Option::Some(s) = v.as_str() {{ \
+                     return match s {{ \
+                         {unit_arms} \
+                         other => ::std::result::Result::Err(::serde::Error::new(::std::format!(\"unknown variant `{{}}` of {name}\", other))), \
+                     }}; \
+                 }} \
+                 if let ::std::option::Option::Some(fields) = v.as_object() {{ \
+                     if fields.len() == 1 {{ \
+                         let (tag, inner) = &fields[0]; \
+                         #[allow(unused_variables)] let inner = inner; \
+                         return match tag.as_str() {{ \
+                             {tagged_arms} \
+                             other => ::std::result::Result::Err(::serde::Error::new(::std::format!(\"unknown variant `{{}}` of {name}\", other))), \
+                         }}; \
+                     }} \
+                 }} \
+                 ::std::result::Result::Err(::serde::Error::new(\"expected variant of {name}\"))"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived] {} {{ \
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ {body} }} \
+         }}",
+        impl_header(item, "Deserialize")
+    )
+}
