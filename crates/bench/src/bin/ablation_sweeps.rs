@@ -12,7 +12,7 @@
 //!    circulating TaskObjects (§3.4's design).
 
 use bt_core::metrics::pearson;
-use bt_core::{autotune, optimize, OptimizerConfig};
+use bt_core::{autotune, optimize, OptimizerConfig, SimBackend};
 use bt_kernels::apps;
 use bt_pipeline::{simulate_schedule, to_chunk_specs};
 use bt_profiler::{profile, ProfileMode, ProfilerConfig};
@@ -32,6 +32,7 @@ fn main() {
     let soc = devices::pixel_7a();
     let app = apps::alexnet_sparse_app(apps::AlexNetConfig::default()).model();
     let des = DesConfig::default();
+    let backend = SimBackend::new(soc.clone(), app.clone()).with_des(des.clone());
     let mut out = Ablations::default();
 
     // 1. Utilization-threshold sweep.
@@ -52,7 +53,7 @@ fn main() {
             println!("{theta:>6.2} {:>8}", "none");
             continue;
         };
-        let outcome = autotune(&soc, &app, &cands, &des).expect("autotunes");
+        let outcome = autotune(&backend, &cands).expect("autotunes");
         let xs: Vec<f64> = cands.iter().map(|c| c.predicted.as_f64()).collect();
         let ys: Vec<f64> = (0..cands.len())
             .map(|i| {
@@ -77,7 +78,7 @@ fn main() {
             ..OptimizerConfig::default()
         };
         let cands = optimize(&soc, &table, &cfg).expect("candidates");
-        let outcome = autotune(&soc, &app, &cands, &des).expect("autotunes");
+        let outcome = autotune(&backend, &cands).expect("autotunes");
         let best = outcome.best().expect("best measured").latency.as_millis();
         let cost = outcome.evaluation_cost.as_millis();
         println!("{k:>6} {best:>12.2} {cost:>14.1}");
@@ -147,7 +148,7 @@ fn main() {
     println!("\n4. multi-buffering depth (fixed best schedule)\n");
     println!("{:>9} {:>12}", "buffers", "ms/task");
     let cands = optimize(&soc, &table, &OptimizerConfig::default()).expect("candidates");
-    let chunks = to_chunk_specs(&app, &cands[0].schedule);
+    let chunks = to_chunk_specs(&app, &cands[0].schedule).expect("chunk specs");
     for buffers in [1u32, 2, 3, 4, 6, 8] {
         let cfg = DesConfig {
             buffers,

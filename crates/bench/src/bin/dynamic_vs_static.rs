@@ -52,7 +52,7 @@ fn main() {
                 .expect("simulates")
                 .time_per_task
                 .as_millis();
-            let bt = d.best_latency().as_millis();
+            let bt = d.best_latency().expect("measured").as_millis();
             let gain = fit / bt;
             println!(
                 "{:>22} {:>9} {:>10.2} {:>11.2} {:>12.2} {:>9.2}x",

@@ -9,8 +9,7 @@
 //! and usually on plain energy per task as well.
 
 use bt_core::energy::{measure_baseline_energy, measure_energy};
-use bt_core::BetterTogether;
-use bt_soc::des::DesConfig;
+use bt_core::{BetterTogether, SimBackend};
 use bt_soc::power::PowerModel;
 use bt_soc::PuClass;
 use serde::Serialize;
@@ -31,7 +30,6 @@ struct EnergyCell {
 fn main() {
     let apps = bt_bench::paper_apps();
     let labels = bt_bench::paper_app_labels();
-    let des = DesConfig::default();
 
     println!("Energy efficiency — mJ/task and EDP (mJ·ms), pipeline vs baselines\n");
     println!(
@@ -46,11 +44,11 @@ fn main() {
             let d = BetterTogether::new(soc.clone(), app.clone())
                 .run()
                 .expect("framework runs");
-            let bt = measure_energy(&soc, app, d.best_schedule(), &model, &des).expect("energy");
-            let cpu =
-                measure_baseline_energy(&soc, app, PuClass::BigCpu, &model, &des).expect("energy");
-            let gpu =
-                measure_baseline_energy(&soc, app, PuClass::Gpu, &model, &des).expect("energy");
+            let backend = SimBackend::new(soc.clone(), app.clone());
+            let best = d.best_schedule().expect("autotuned");
+            let bt = measure_energy(&backend, best, &model).expect("energy");
+            let cpu = measure_baseline_energy(&backend, PuClass::BigCpu, &model).expect("energy");
+            let gpu = measure_baseline_energy(&backend, PuClass::Gpu, &model).expect("energy");
             let best_edp = cpu.edp_mj_ms.min(gpu.edp_mj_ms);
             let gain = best_edp / bt.edp_mj_ms;
             println!(
@@ -65,7 +63,7 @@ fn main() {
             cells.push(EnergyCell {
                 device: soc.name().to_string(),
                 app: labels[ai].to_string(),
-                schedule: d.best_schedule().to_string(),
+                schedule: best.to_string(),
                 bt_mj_per_task: bt.per_task_mj,
                 cpu_mj_per_task: cpu.per_task_mj,
                 gpu_mj_per_task: gpu.per_task_mj,

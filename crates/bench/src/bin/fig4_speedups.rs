@@ -54,13 +54,13 @@ fn main() {
             let cell = SpeedupCell {
                 device: soc.name().to_string(),
                 app: labels[ai].to_string(),
-                best_schedule: d.best_schedule().to_string(),
-                bt_ms: d.best_latency().as_millis(),
-                baseline_cpu_ms: d.baselines.cpu.as_millis(),
-                baseline_gpu_ms: d.baselines.gpu.as_millis(),
-                speedup_vs_best: d.speedup_over_best_baseline(),
-                speedup_vs_cpu: d.speedup_over_cpu(),
-                speedup_vs_gpu: d.speedup_over_gpu(),
+                best_schedule: d.best_schedule().expect("autotuned").to_string(),
+                bt_ms: d.best_latency().expect("measured").as_millis(),
+                baseline_cpu_ms: d.baselines.cpu().expect("measured").as_millis(),
+                baseline_gpu_ms: d.baselines.gpu().expect("measured").as_millis(),
+                speedup_vs_best: d.speedup_over_best_baseline().expect("measured"),
+                speedup_vs_cpu: d.speedup_over_cpu().expect("measured"),
+                speedup_vs_gpu: d.speedup_over_gpu().expect("measured"),
             };
             println!(
                 "{:>22} {:>9} {:>12.2} {:>9.2} {:>8.2}x {:>7.2}x  {}",

@@ -43,16 +43,16 @@ fn main() {
             "{:>10} {:>12} {:>12} {:>9.2} {:>8.2}x",
             "octree",
             label,
-            d.best_schedule().to_string(),
-            d.best_latency().as_millis(),
-            d.speedup_over_best_baseline()
+            d.best_schedule().expect("autotuned").to_string(),
+            d.best_latency().expect("measured").as_millis(),
+            d.speedup_over_best_baseline().expect("measured")
         );
         rows.push(ScaleRow {
             workload: "octree".into(),
             scale: label,
-            best_schedule: d.best_schedule().to_string(),
-            bt_ms: d.best_latency().as_millis(),
-            speedup_vs_best: d.speedup_over_best_baseline(),
+            best_schedule: d.best_schedule().expect("autotuned").to_string(),
+            bt_ms: d.best_latency().expect("measured").as_millis(),
+            speedup_vs_best: d.speedup_over_best_baseline().expect("measured"),
         });
     }
 
@@ -68,16 +68,16 @@ fn main() {
             "{:>10} {:>12} {:>12} {:>9.2} {:>8.2}x",
             "sparse",
             label,
-            d.best_schedule().to_string(),
-            d.best_latency().as_millis(),
-            d.speedup_over_best_baseline()
+            d.best_schedule().expect("autotuned").to_string(),
+            d.best_latency().expect("measured").as_millis(),
+            d.speedup_over_best_baseline().expect("measured")
         );
         rows.push(ScaleRow {
             workload: "sparse".into(),
             scale: label,
-            best_schedule: d.best_schedule().to_string(),
-            bt_ms: d.best_latency().as_millis(),
-            speedup_vs_best: d.speedup_over_best_baseline(),
+            best_schedule: d.best_schedule().expect("autotuned").to_string(),
+            bt_ms: d.best_latency().expect("measured").as_millis(),
+            speedup_vs_best: d.speedup_over_best_baseline().expect("measured"),
         });
     }
 

@@ -6,8 +6,7 @@
 //! octree on both phones while the (CUDA) GPU wins it on both Jetson
 //! configurations.
 
-use bt_core::measure_baselines;
-use bt_soc::des::DesConfig;
+use bt_core::{measure_baselines, SimBackend};
 use serde::Serialize;
 
 /// Paper's Table 3 (CPU | GPU, milliseconds), for side-by-side comparison.
@@ -31,7 +30,6 @@ struct Cell {
 }
 
 fn main() {
-    let des = DesConfig::default();
     let apps = bt_bench::paper_apps();
     let labels = bt_bench::paper_app_labels();
 
@@ -46,8 +44,12 @@ fn main() {
     for (di, soc) in bt_bench::paper_devices().iter().enumerate() {
         let mut line = format!("{:>22}", soc.name());
         for (ai, app) in apps.iter().enumerate() {
-            let pair = measure_baselines(soc, app, &des).expect("baselines simulate");
-            let (cpu, gpu) = (pair.cpu.as_millis(), pair.gpu.as_millis());
+            let backend = SimBackend::new(soc.clone(), app.clone());
+            let pair = measure_baselines(&backend).expect("baselines simulate");
+            let (cpu, gpu) = (
+                pair.cpu().expect("cpu baseline").as_millis(),
+                pair.gpu().expect("gpu baseline").as_millis(),
+            );
             let (p_cpu, p_gpu) = PAPER[di][ai];
             let winner = if cpu <= gpu { "cpu" } else { "gpu" };
             let paper_winner = if p_cpu <= p_gpu { "cpu" } else { "gpu" };

@@ -81,7 +81,7 @@ fn main() {
         }
     }
 
-    let gain = d.autotuning_gain();
+    let gain = d.autotuning_gain().expect("measured");
     let cost_s = d.outcome.evaluation_cost.as_secs();
     println!(
         "\nAutotuning: measured best is index {} → {gain:.2}x beyond the predicted-best \

@@ -24,6 +24,7 @@ fn gantt(soc: &bt_soc::SocSpec, app: &bt_kernels::AppModel, schedule: &Schedule,
     };
     let report = simulate_schedule(soc, app, schedule, &cfg).expect("simulates");
     let labels: Vec<String> = to_chunk_specs(app, schedule)
+        .expect("chunk specs")
         .iter()
         .map(|c| format!("{} ({} stages)", c.pu, c.stages.len()))
         .collect();
@@ -45,12 +46,8 @@ fn main() {
         "Six tasks (digits 0-5) flowing through the octree pipeline on {}\n",
         soc.name()
     );
-    gantt(
-        &soc,
-        &app,
-        d.best_schedule(),
-        &format!("BetterTogether {}", d.best_schedule()),
-    );
+    let best = d.best_schedule().expect("autotuned");
+    gantt(&soc, &app, best, &format!("BetterTogether {best}"));
     gantt(
         &soc,
         &app,
@@ -65,7 +62,7 @@ fn main() {
         telemetry: TelemetryConfig::full(),
         ..DesConfig::default()
     };
-    let report = simulate_schedule(&soc, &app, d.best_schedule(), &cfg).expect("simulates");
+    let report = simulate_schedule(&soc, &app, best, &cfg).expect("simulates");
     let tele = report.telemetry.expect("telemetry requested");
     let dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("../..")

@@ -1,0 +1,375 @@
+//! The execution-backend seam of the framework: one trait abstracting
+//! *where* schedules run, so the Fig. 2 loop (profile → three-level
+//! optimize → autotune → baseline comparison) exists exactly once and is
+//! generic over the measurement substrate.
+//!
+//! Two implementations ship:
+//!
+//! - [`SimBackend`] — the discrete-event simulator of `bt-soc`, modeling
+//!   the paper's four devices (the default; fast and deterministic).
+//! - [`HostBackend`] — the real dispatcher-thread runtime of
+//!   `bt-pipeline` plus wall-clock profiling from `bt-profiler`, running
+//!   actual kernels on the development machine.
+//!
+//! Any future substrate (remote device, process-isolated runner, batched
+//! measurement service) is a third `impl`, not a third copy of the loop.
+
+use bt_kernels::{AppModel, Application};
+use bt_pipeline::HostRunConfig;
+use bt_pipeline::{
+    run_host, simulate_baseline, simulate_schedule, Measurement, PuThreads, Schedule,
+};
+use bt_profiler::host::{profile_host, HostClasses, HostProfilerConfig};
+use bt_profiler::{profile, ProfileMode, ProfilerConfig, ProfilingTable};
+use bt_soc::des::DesConfig;
+use bt_soc::{PuClass, SocSpec};
+
+use crate::BtError;
+
+/// A substrate that can profile an application and measure schedules on
+/// it — everything the BetterTogether loop needs from the outside world.
+///
+/// The framework calls [`profile`](ExecutionBackend::profile) once, feeds
+/// the table through the optimizer (using
+/// [`schedulable`](ExecutionBackend::schedulable) as the class mask), then
+/// [`measure`](ExecutionBackend::measure)s each candidate during
+/// autotuning and each class in
+/// [`baseline_classes`](ExecutionBackend::baseline_classes) via
+/// [`measure_baseline`](ExecutionBackend::measure_baseline).
+pub trait ExecutionBackend {
+    /// Short identifier for reports ("sim", "host", …).
+    fn name(&self) -> &str;
+
+    /// Stage count of the bound application — the validation reference
+    /// for schedules and cached [`crate::Plan`]s.
+    fn stage_count(&self) -> usize;
+
+    /// Every PU class powered on this substrate (idle clusters still draw
+    /// power in the energy model).
+    fn classes(&self) -> Vec<PuClass>;
+
+    /// Whether chunks may be placed on `class` — the optimizer's allowed
+    /// mask (e.g. unpinnable clusters are present but unschedulable).
+    fn schedulable(&self, class: PuClass) -> bool;
+
+    /// The homogeneous baselines meaningful on this substrate.
+    fn baseline_classes(&self) -> Vec<PuClass>;
+
+    /// Runs BT-Profiler: per-(stage, class) latencies under `mode`.
+    fn profile(&self, mode: ProfileMode) -> ProfilingTable;
+
+    /// Executes `schedule` and reports its steady-state measurement.
+    ///
+    /// `run_index` distinguishes repeated measurements in one autotuning
+    /// sweep; deterministic backends decorrelate their noise with it,
+    /// wall-clock backends may ignore it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BtError`] when the substrate rejects the schedule
+    /// (stage mismatch, missing PU, failed run).
+    fn measure(&self, schedule: &Schedule, run_index: u64) -> Result<Measurement, BtError>;
+
+    /// Measures the homogeneous baseline on `class`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BtError`] when the class cannot host the whole
+    /// application on this substrate.
+    fn measure_baseline(&self, class: PuClass) -> Result<Measurement, BtError>;
+}
+
+/// The simulated backend: profiles and executes against the
+/// discrete-event model of one of the paper's devices.
+#[derive(Debug, Clone)]
+pub struct SimBackend {
+    soc: SocSpec,
+    app: AppModel,
+    profiler: ProfilerConfig,
+    des: DesConfig,
+}
+
+impl SimBackend {
+    /// Binds the simulator to a device model and an application model.
+    pub fn new(soc: SocSpec, app: AppModel) -> SimBackend {
+        SimBackend {
+            soc,
+            app,
+            profiler: ProfilerConfig::default(),
+            des: DesConfig::default(),
+        }
+    }
+
+    /// Overrides the profiler configuration.
+    pub fn with_profiler(mut self, profiler: ProfilerConfig) -> SimBackend {
+        self.profiler = profiler;
+        self
+    }
+
+    /// Overrides the simulator configuration used for measurements.
+    pub fn with_des(mut self, des: DesConfig) -> SimBackend {
+        self.des = des;
+        self
+    }
+
+    /// The bound device model.
+    pub fn soc(&self) -> &SocSpec {
+        &self.soc
+    }
+
+    /// The bound application model.
+    pub fn app(&self) -> &AppModel {
+        &self.app
+    }
+
+    /// The measurement configuration.
+    pub fn des(&self) -> &DesConfig {
+        &self.des
+    }
+}
+
+impl ExecutionBackend for SimBackend {
+    fn name(&self) -> &str {
+        "sim"
+    }
+
+    fn stage_count(&self) -> usize {
+        self.app.stage_count()
+    }
+
+    fn classes(&self) -> Vec<PuClass> {
+        self.soc.classes()
+    }
+
+    fn schedulable(&self, class: PuClass) -> bool {
+        self.soc.pu(class).map(|p| p.schedulable()).unwrap_or(false)
+    }
+
+    fn baseline_classes(&self) -> Vec<PuClass> {
+        // The paper's Table 3 pair: CPU-only on the big cores, GPU-only.
+        vec![PuClass::BigCpu, PuClass::Gpu]
+    }
+
+    fn profile(&self, mode: ProfileMode) -> ProfilingTable {
+        profile(&self.soc, &self.app, mode, &self.profiler)
+    }
+
+    fn measure(&self, schedule: &Schedule, run_index: u64) -> Result<Measurement, BtError> {
+        // Decorrelate simulator noise across autotuning runs while staying
+        // deterministic for a fixed (config, run_index) pair.
+        let cfg = DesConfig {
+            seed: self.des.seed.wrapping_add(run_index),
+            ..self.des.clone()
+        };
+        let report = simulate_schedule(&self.soc, &self.app, schedule, &cfg)?;
+        Ok(Measurement::from(report))
+    }
+
+    fn measure_baseline(&self, class: PuClass) -> Result<Measurement, BtError> {
+        let report = simulate_baseline(&self.soc, &self.app, class, &self.des)?;
+        Ok(Measurement::from(report))
+    }
+}
+
+/// The host backend: profiles real kernels with wall-clock timing and
+/// executes schedules through the real dispatcher-thread runtime. Host
+/// "PU classes" are thread-count tiers standing in for big/little
+/// clusters.
+///
+/// With the framework's default
+/// [`ProfileMode::InterferenceHeavy`](bt_profiler::ProfileMode), profiling
+/// runs real background co-runners on every other tier while each cell is
+/// measured — genuinely contended execution, so expect host profiling to
+/// take tiers × stages × reps kernel executions *plus* the co-runner load,
+/// and prefer small `reps` on a shared machine.
+pub struct HostBackend<P: Send + 'static> {
+    app: Application<P>,
+    classes: HostClasses,
+    threads: PuThreads,
+    profiler: HostProfilerConfig,
+    run: HostRunConfig,
+}
+
+impl<P: Send + 'static> std::fmt::Debug for HostBackend<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HostBackend")
+            .field("app", &self.app.name())
+            .field("classes", &self.classes)
+            .field("threads", &self.threads)
+            .field("profiler", &self.profiler)
+            .field("run", &self.run)
+            .finish()
+    }
+}
+
+impl<P: Send + 'static> HostBackend<P> {
+    /// Binds the host runtime to a real application, with the default
+    /// two-tier class layout for this machine.
+    pub fn new(app: Application<P>) -> HostBackend<P> {
+        HostBackend::with_classes(app, HostClasses::default_for_host())
+    }
+
+    /// Binds with an explicit tier layout; dispatcher worker counts are
+    /// derived from the tiers (override with
+    /// [`with_threads`](HostBackend::with_threads)).
+    pub fn with_classes(app: Application<P>, classes: HostClasses) -> HostBackend<P> {
+        let mut threads = PuThreads::uniform(1);
+        for &(class, n) in classes.tiers() {
+            threads = threads.with_class(class, n);
+        }
+        HostBackend {
+            app,
+            classes,
+            threads,
+            profiler: HostProfilerConfig::default(),
+            run: HostRunConfig::default(),
+        }
+    }
+
+    /// Overrides the per-class dispatcher worker counts.
+    pub fn with_threads(mut self, threads: PuThreads) -> HostBackend<P> {
+        self.threads = threads;
+        self
+    }
+
+    /// Overrides the profiler configuration.
+    pub fn with_profiler(mut self, profiler: HostProfilerConfig) -> HostBackend<P> {
+        self.profiler = profiler;
+        self
+    }
+
+    /// Overrides the per-measurement pipeline run configuration.
+    pub fn with_run(mut self, run: HostRunConfig) -> HostBackend<P> {
+        self.run = run;
+        self
+    }
+
+    /// The bound application.
+    pub fn app(&self) -> &Application<P> {
+        &self.app
+    }
+
+    /// The tier layout.
+    pub fn host_classes(&self) -> &HostClasses {
+        &self.classes
+    }
+}
+
+impl<P: Send + 'static> ExecutionBackend for HostBackend<P> {
+    fn name(&self) -> &str {
+        "host"
+    }
+
+    fn stage_count(&self) -> usize {
+        self.app.stage_count()
+    }
+
+    fn classes(&self) -> Vec<PuClass> {
+        self.classes.tiers().iter().map(|&(c, _)| c).collect()
+    }
+
+    fn schedulable(&self, class: PuClass) -> bool {
+        self.classes.threads(class).is_some()
+    }
+
+    fn baseline_classes(&self) -> Vec<PuClass> {
+        // Every tier is a meaningful homogeneous deployment on the host.
+        self.classes()
+    }
+
+    fn profile(&self, mode: ProfileMode) -> ProfilingTable {
+        profile_host(&self.app, &self.classes, mode, &self.profiler)
+    }
+
+    fn measure(&self, schedule: &Schedule, _run_index: u64) -> Result<Measurement, BtError> {
+        // Wall-clock runs are naturally decorrelated; run_index is unused.
+        let report = run_host(&self.app, schedule, &self.threads, &self.run)?;
+        Ok(Measurement::from(report))
+    }
+
+    fn measure_baseline(&self, class: PuClass) -> Result<Measurement, BtError> {
+        // The host baseline is the whole application as one chunk on the
+        // tier (the real runtime has no per-stage-sync dispatch mode; a
+        // single dispatcher already serializes stages per task).
+        let schedule = Schedule::homogeneous(self.app.stage_count(), class);
+        let report = run_host(&self.app, &schedule, &self.threads, &self.run)?;
+        Ok(Measurement::from(report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bt_kernels::apps;
+    use bt_soc::devices;
+
+    fn sim() -> SimBackend {
+        let app = apps::octree_app(apps::OctreeConfig::default()).model();
+        SimBackend::new(devices::pixel_7a(), app)
+    }
+
+    #[test]
+    fn sim_backend_reports_device_shape() {
+        let b = sim();
+        assert_eq!(b.name(), "sim");
+        assert_eq!(b.stage_count(), 7);
+        assert!(b.classes().contains(&PuClass::Gpu));
+        assert!(b.schedulable(PuClass::BigCpu));
+        assert_eq!(b.baseline_classes(), vec![PuClass::BigCpu, PuClass::Gpu]);
+    }
+
+    #[test]
+    fn sim_measure_decorrelates_by_run_index_but_is_deterministic() {
+        let b = sim();
+        let s = Schedule::homogeneous(7, PuClass::BigCpu);
+        let a0 = b.measure(&s, 0).unwrap();
+        let a0_again = b.measure(&s, 0).unwrap();
+        let a1 = b.measure(&s, 1).unwrap();
+        assert_eq!(a0.latency.as_f64(), a0_again.latency.as_f64());
+        assert_ne!(a0.latency.as_f64(), a1.latency.as_f64());
+    }
+
+    #[test]
+    fn sim_measure_rejects_stage_mismatch() {
+        let b = sim();
+        let s = Schedule::homogeneous(3, PuClass::BigCpu);
+        assert!(matches!(
+            b.measure(&s, 0),
+            Err(BtError::Pipeline(
+                bt_pipeline::PipelineError::StageMismatch {
+                    app: 7,
+                    schedule: 3
+                }
+            ))
+        ));
+    }
+
+    #[test]
+    fn unpinnable_class_is_unschedulable_on_sim() {
+        let app = apps::octree_app(apps::OctreeConfig::default()).model();
+        let b = SimBackend::new(devices::oneplus_11(), app);
+        assert!(!b.schedulable(PuClass::LittleCpu), "OnePlus little cores");
+        assert!(b.schedulable(PuClass::BigCpu));
+    }
+
+    #[test]
+    fn host_backend_shape_matches_tiers() {
+        let app = apps::octree_app(apps::OctreeConfig {
+            points: 500,
+            shape: bt_kernels::pointcloud::CloudShape::Uniform,
+            max_depth: 4,
+            seed: 1,
+        });
+        let b = HostBackend::with_classes(
+            app,
+            HostClasses::new(vec![(PuClass::BigCpu, 2), (PuClass::LittleCpu, 1)]),
+        );
+        assert_eq!(b.name(), "host");
+        assert_eq!(b.stage_count(), 7);
+        assert_eq!(b.classes(), vec![PuClass::BigCpu, PuClass::LittleCpu]);
+        assert!(b.schedulable(PuClass::LittleCpu));
+        assert!(!b.schedulable(PuClass::Gpu), "no GPU tier on the host");
+        assert_eq!(b.baseline_classes(), b.classes());
+        assert!(format!("{b:?}").contains("HostBackend"));
+    }
+}

@@ -1,101 +1,155 @@
-//! The paper's homogeneous baselines (§5.1): the whole application on the
-//! big CPU cluster (DOALL parallelism) or entirely offloaded to the GPU,
-//! with per-stage synchronization — the accelerator-oriented pattern.
+//! The paper's homogeneous baselines (§5.1): the whole application on one
+//! PU class — big-CPU DOALL parallelism or full GPU offload with per-stage
+//! synchronization on the simulator, one-tier execution on the host. The
+//! backend decides which classes constitute meaningful baselines.
 
-use bt_kernels::AppModel;
-use bt_pipeline::simulate_baseline;
-use bt_soc::des::DesConfig;
-use bt_soc::{Micros, PuClass, SocError, SocSpec};
+use bt_soc::{Micros, PuClass};
+use serde::{Deserialize, Serialize};
 
-/// Measured latencies of both homogeneous baselines for one
-/// (device, application) pair — one row of the paper's Table 3.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
-pub struct BaselinePair {
-    /// CPU-only (big cores), per-task latency.
-    pub cpu: Micros,
-    /// GPU-only, per-task latency.
-    pub gpu: Micros,
+use crate::backend::ExecutionBackend;
+use crate::BtError;
+
+/// One homogeneous baseline: the class and its measured per-task latency.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BaselineEntry {
+    /// The PU class hosting the whole application.
+    pub class: PuClass,
+    /// Measured per-task latency.
+    pub latency: Micros,
 }
 
-impl BaselinePair {
-    /// The faster of the two — the reference the paper's speedups use.
-    pub fn best(&self) -> Micros {
-        self.cpu.min(self.gpu)
+/// Measured homogeneous baselines for one (backend, application) pair —
+/// one row of the paper's Table 3.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Baselines {
+    entries: Vec<BaselineEntry>,
+}
+
+impl Baselines {
+    /// Builds from explicit entries (normally produced by
+    /// [`measure_baselines`]).
+    pub fn new(entries: Vec<BaselineEntry>) -> Baselines {
+        Baselines { entries }
     }
 
-    /// Which PU wins.
-    pub fn winner(&self) -> PuClass {
-        if self.cpu <= self.gpu {
-            PuClass::BigCpu
-        } else {
-            PuClass::Gpu
-        }
+    /// All entries, in the backend's baseline-class order.
+    pub fn entries(&self) -> &[BaselineEntry] {
+        &self.entries
+    }
+
+    /// The fastest baseline latency — the reference the paper's speedups
+    /// use. `None` if no baseline was measured.
+    pub fn best(&self) -> Option<Micros> {
+        self.entries.iter().map(|e| e.latency).reduce(Micros::min)
+    }
+
+    /// Which class wins, if any baseline was measured.
+    pub fn winner(&self) -> Option<PuClass> {
+        self.entries
+            .iter()
+            .min_by(|a, b| a.latency.partial_cmp(&b.latency).expect("finite latencies"))
+            .map(|e| e.class)
+    }
+
+    /// The measured latency of `class`'s baseline, if it was measured.
+    pub fn latency_of(&self, class: PuClass) -> Option<Micros> {
+        self.entries
+            .iter()
+            .find(|e| e.class == class)
+            .map(|e| e.latency)
+    }
+
+    /// The CPU-only (big cores) baseline, if measured.
+    pub fn cpu(&self) -> Option<Micros> {
+        self.latency_of(PuClass::BigCpu)
+    }
+
+    /// The GPU-only baseline, if measured.
+    pub fn gpu(&self) -> Option<Micros> {
+        self.latency_of(PuClass::Gpu)
     }
 }
 
-/// Runs both homogeneous baselines in the simulator.
+/// Measures every homogeneous baseline the backend declares meaningful
+/// (Fig. 2, step 5's comparison set).
 ///
-/// The CPU baseline uses only the big cores, as in the paper ("they
+/// On the simulator that is the paper's pair — big-CPU only ("they
 /// consistently deliver the best performance; mixing big and little cores
-/// led to degraded performance due to load imbalance").
+/// led to degraded performance due to load imbalance") and GPU-only; on
+/// the host, every configured tier.
 ///
 /// # Errors
 ///
-/// Propagates [`SocError`] (e.g. a device without a GPU).
-pub fn measure_baselines(
-    soc: &SocSpec,
-    app: &AppModel,
-    cfg: &DesConfig,
-) -> Result<BaselinePair, SocError> {
-    let cpu = simulate_baseline(soc, app, PuClass::BigCpu, cfg)?.time_per_task;
-    let gpu = simulate_baseline(soc, app, PuClass::Gpu, cfg)?.time_per_task;
-    Ok(BaselinePair { cpu, gpu })
+/// Propagates backend errors (e.g. a device without a GPU).
+pub fn measure_baselines<B: ExecutionBackend>(backend: &B) -> Result<Baselines, BtError> {
+    let mut entries = Vec::new();
+    for class in backend.baseline_classes() {
+        let m = backend.measure_baseline(class)?;
+        entries.push(BaselineEntry {
+            class,
+            latency: m.latency,
+        });
+    }
+    Ok(Baselines { entries })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::SimBackend;
     use bt_kernels::apps;
+    use bt_soc::des::DesConfig;
     use bt_soc::devices;
 
-    fn des() -> DesConfig {
-        DesConfig {
+    fn noiseless(soc: bt_soc::SocSpec, app: bt_kernels::AppModel) -> SimBackend {
+        SimBackend::new(soc, app).with_des(DesConfig {
             noise_sigma: 0.0,
             ..DesConfig::default()
-        }
+        })
     }
 
     #[test]
     fn gpu_wins_dense_cpu_wins_octree_on_pixel() {
-        let soc = devices::pixel_7a();
         let dense = apps::alexnet_dense_app(apps::AlexNetConfig::default()).model();
         let octree = apps::octree_app(apps::OctreeConfig::default()).model();
-        let d = measure_baselines(&soc, &dense, &des()).unwrap();
-        let o = measure_baselines(&soc, &octree, &des()).unwrap();
-        assert_eq!(d.winner(), PuClass::Gpu, "Table 3: GPU wins dense");
+        let d = measure_baselines(&noiseless(devices::pixel_7a(), dense)).unwrap();
+        let o = measure_baselines(&noiseless(devices::pixel_7a(), octree)).unwrap();
+        assert_eq!(d.winner(), Some(PuClass::Gpu), "Table 3: GPU wins dense");
         assert_eq!(
             o.winner(),
-            PuClass::BigCpu,
+            Some(PuClass::BigCpu),
             "Table 3: CPU wins octree on phones"
         );
-        assert_eq!(d.best(), d.gpu);
-        assert_eq!(o.best(), o.cpu);
+        assert_eq!(d.best(), d.gpu());
+        assert_eq!(o.best(), o.cpu());
+        assert_eq!(d.entries().len(), 2);
     }
 
     #[test]
     fn gpu_wins_octree_on_jetson() {
-        let soc = devices::jetson_orin_nano();
         let octree = apps::octree_app(apps::OctreeConfig::default()).model();
-        let o = measure_baselines(&soc, &octree, &des()).unwrap();
-        assert_eq!(o.winner(), PuClass::Gpu, "Table 3: Ampere wins octree");
+        let o = measure_baselines(&noiseless(devices::jetson_orin_nano(), octree)).unwrap();
+        assert_eq!(
+            o.winner(),
+            Some(PuClass::Gpu),
+            "Table 3: Ampere wins octree"
+        );
     }
 
     #[test]
     fn baselines_are_deterministic_without_noise() {
-        let soc = devices::oneplus_11();
         let app = apps::alexnet_sparse_app(apps::AlexNetConfig::default()).model();
-        let a = measure_baselines(&soc, &app, &des()).unwrap();
-        let b = measure_baselines(&soc, &app, &des()).unwrap();
+        let backend = noiseless(devices::oneplus_11(), app);
+        let a = measure_baselines(&backend).unwrap();
+        let b = measure_baselines(&backend).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_baselines_degrade_to_none() {
+        let b = Baselines::new(Vec::new());
+        assert_eq!(b.best(), None);
+        assert_eq!(b.winner(), None);
+        assert_eq!(b.cpu(), None);
     }
 }

@@ -1,51 +1,65 @@
 //! Energy evaluation of schedules — the edge-computing motivation of §1
 //! quantified: compare a BetterTogether pipeline against the homogeneous
-//! baselines on energy per task and energy-delay product.
+//! baselines on energy per task and energy-delay product. Generic over the
+//! execution backend: simulated windows and wall-clock host windows are
+//! priced by the same two-state power model.
 
-use bt_kernels::AppModel;
-use bt_pipeline::{simulate_baseline, simulate_schedule, Schedule};
-use bt_soc::des::DesConfig;
-use bt_soc::power::{energy_of_run, EnergyReport, PowerModel};
-use bt_soc::{PuClass, SocSpec};
+use bt_pipeline::Schedule;
+use bt_soc::power::{energy_of_window, EnergyReport, PowerModel};
+use bt_soc::PuClass;
 
+use crate::backend::ExecutionBackend;
 use crate::BtError;
 
-/// Simulates `schedule` and returns its energy accounting under `model`.
+/// Measures `schedule` on the backend and returns its energy accounting
+/// under `model`. Every class the backend reports powered draws at least
+/// idle power for the whole window.
 ///
 /// # Errors
 ///
-/// Propagates simulator errors.
-pub fn measure_energy(
-    soc: &SocSpec,
-    app: &AppModel,
+/// Propagates backend measurement errors.
+pub fn measure_energy<B: ExecutionBackend>(
+    backend: &B,
     schedule: &Schedule,
     model: &PowerModel,
-    des: &DesConfig,
 ) -> Result<EnergyReport, BtError> {
-    let report = simulate_schedule(soc, app, schedule, des)?;
+    let m = backend.measure(schedule, 0)?;
     let classes: Vec<PuClass> = schedule.chunks().iter().map(|c| c.pu).collect();
-    Ok(energy_of_run(soc, model, &report, &classes))
+    Ok(energy_of_window(
+        model,
+        m.makespan,
+        &m.chunk_utilization,
+        m.tasks,
+        &classes,
+        &backend.classes(),
+    ))
 }
 
-/// Simulates the homogeneous baseline on `class` and returns its energy.
+/// Measures the homogeneous baseline on `class` and returns its energy.
 ///
 /// # Errors
 ///
-/// Propagates simulator errors.
-pub fn measure_baseline_energy(
-    soc: &SocSpec,
-    app: &AppModel,
+/// Propagates backend measurement errors.
+pub fn measure_baseline_energy<B: ExecutionBackend>(
+    backend: &B,
     class: PuClass,
     model: &PowerModel,
-    des: &DesConfig,
 ) -> Result<EnergyReport, BtError> {
-    let report = simulate_baseline(soc, app, class, des)?;
-    Ok(energy_of_run(soc, model, &report, &[class]))
+    let m = backend.measure_baseline(class)?;
+    Ok(energy_of_window(
+        model,
+        m.makespan,
+        &m.chunk_utilization,
+        m.tasks,
+        &[class],
+        &backend.classes(),
+    ))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::SimBackend;
     use crate::BetterTogether;
     use bt_kernels::apps;
     use bt_soc::devices;
@@ -61,10 +75,10 @@ mod tests {
             .run()
             .expect("runs");
         let model = PowerModel::default_for(&soc);
-        let des = DesConfig::default();
-        let bt = measure_energy(&soc, &app, d.best_schedule(), &model, &des).expect("energy");
-        let cpu =
-            measure_baseline_energy(&soc, &app, PuClass::BigCpu, &model, &des).expect("energy");
+        let backend = SimBackend::new(soc, app);
+        let best = d.best_schedule().expect("autotuned");
+        let bt = measure_energy(&backend, best, &model).expect("energy");
+        let cpu = measure_baseline_energy(&backend, PuClass::BigCpu, &model).expect("energy");
         assert!(
             bt.edp_mj_ms < cpu.edp_mj_ms,
             "pipeline EDP {:.2} should beat CPU baseline {:.2}",
@@ -81,10 +95,9 @@ mod tests {
         let soc = devices::pixel_7a();
         let app = apps::octree_app(apps::OctreeConfig::default()).model();
         let model = PowerModel::default_for(&soc);
-        let des = DesConfig::default();
-        let gpu = measure_baseline_energy(&soc, &app, PuClass::Gpu, &model, &des).expect("energy");
-        let cpu =
-            measure_baseline_energy(&soc, &app, PuClass::BigCpu, &model, &des).expect("energy");
+        let backend = SimBackend::new(soc, app);
+        let gpu = measure_baseline_energy(&backend, PuClass::Gpu, &model).expect("energy");
+        let cpu = measure_baseline_energy(&backend, PuClass::BigCpu, &model).expect("energy");
         assert!(gpu.per_task_mj > cpu.per_task_mj);
     }
 }

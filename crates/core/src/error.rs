@@ -13,6 +13,15 @@ pub enum BtError {
     Pipeline(bt_pipeline::PipelineError),
     /// No schedule survived optimization / filtering.
     NoCandidates,
+    /// A (possibly cached) plan disagrees with the backend on stage count.
+    PlanStageMismatch {
+        /// Stages the plan was built for.
+        plan: usize,
+        /// Stages of the backend's bound application.
+        backend: usize,
+    },
+    /// A (possibly cached) plan schedules a class the backend cannot host.
+    PlanClassUnavailable(bt_soc::PuClass),
 }
 
 impl fmt::Display for BtError {
@@ -22,6 +31,16 @@ impl fmt::Display for BtError {
             BtError::Soc(e) => write!(f, "device model: {e}"),
             BtError::Pipeline(e) => write!(f, "pipeline: {e}"),
             BtError::NoCandidates => f.write_str("no candidate schedule satisfies the constraints"),
+            BtError::PlanStageMismatch { plan, backend } => write!(
+                f,
+                "plan was built for {plan} stages but the backend's application has {backend}"
+            ),
+            BtError::PlanClassUnavailable(class) => {
+                write!(
+                    f,
+                    "plan schedules PU class {class} which the backend cannot host"
+                )
+            }
         }
     }
 }
@@ -32,7 +51,7 @@ impl Error for BtError {
             BtError::Problem(e) => Some(e),
             BtError::Soc(e) => Some(e),
             BtError::Pipeline(e) => Some(e),
-            BtError::NoCandidates => None,
+            _ => None,
         }
     }
 }

@@ -1,43 +1,52 @@
 //! The end-to-end BetterTogether framework (Fig. 2 of the paper): inputs →
-//! interference-aware profiling → three-level optimization → deployment.
+//! interference-aware profiling → three-level optimization → deployment —
+//! generic over the [`ExecutionBackend`] so the identical loop drives the
+//! discrete-event simulator and the real host runtime.
+
+use bt_pipeline::Schedule;
+use bt_profiler::{ProfileMode, ProfilingTable};
+use bt_soc::{Micros, PuClass, SocSpec};
 
 use bt_kernels::AppModel;
-use bt_pipeline::Schedule;
-use bt_profiler::{profile, ProfileMode, ProfilerConfig, ProfilingTable};
-use bt_soc::des::DesConfig;
-use bt_soc::{Micros, SocSpec};
 
-use crate::baseline::{measure_baselines, BaselinePair};
-use crate::optimizer::{autotune, optimize, AutotuneOutcome, Candidate, OptimizerConfig};
+use crate::backend::{ExecutionBackend, SimBackend};
+use crate::baseline::{measure_baselines, Baselines};
+use crate::optimizer::{autotune, optimize_with, AutotuneOutcome, Candidate, OptimizerConfig};
 use crate::BtError;
 
-/// Framework configuration: every knob of the pipeline in Fig. 2.
+/// Framework configuration: the backend-independent knobs of Fig. 2.
+/// Substrate-specific knobs (simulator noise/seed, host thread tiers,
+/// repetitions) live on the backend itself.
 #[derive(Debug, Clone)]
 pub struct BtConfig {
     /// Profiling mode (the contribution is
     /// [`ProfileMode::InterferenceHeavy`]; `Isolated` reproduces the
-    /// prior-work comparison models).
+    /// prior-work comparison models). Interference-heavy is the default on
+    /// *every* backend — on the host this runs real background co-runners
+    /// during profiling, which costs genuine contended wall-clock time on
+    /// a shared machine.
     pub profile_mode: ProfileMode,
-    /// Profiler repetitions/noise.
-    pub profiler: ProfilerConfig,
     /// Optimizer levels 1–2.
     pub optimizer: OptimizerConfig,
-    /// Execution / autotuning configuration.
-    pub des: DesConfig,
 }
 
 impl Default for BtConfig {
     fn default() -> BtConfig {
         BtConfig {
             profile_mode: ProfileMode::InterferenceHeavy,
-            profiler: ProfilerConfig::default(),
             optimizer: OptimizerConfig::default(),
-            des: DesConfig::default(),
         }
     }
 }
 
-/// The BetterTogether framework bound to one (device, application) pair.
+/// The BetterTogether framework bound to one execution backend.
+///
+/// The default backend is the simulator; [`BetterTogether::new`] keeps the
+/// device-model entry point. Any other [`ExecutionBackend`] — notably
+/// [`crate::HostBackend`] for real kernels on the development machine —
+/// plugs in through [`BetterTogether::with_backend`] and drives the exact
+/// same loop: gapness pass, 𝒦 blocking-clause candidates, utilization
+/// filter, autotuning, and homogeneous-baseline comparison.
 ///
 /// ```
 /// use bt_core::BetterTogether;
@@ -47,19 +56,19 @@ impl Default for BtConfig {
 /// let app = apps::octree_app(apps::OctreeConfig::default()).model();
 /// let bt = BetterTogether::new(devices::pixel_7a(), app);
 /// let deployment = bt.run()?;
-/// assert!(deployment.speedup_over_best_baseline() > 1.0);
+/// assert!(deployment.speedup_over_best_baseline().expect("measured") > 1.0);
 /// # Ok::<(), bt_core::BtError>(())
 /// ```
 #[derive(Debug)]
-pub struct BetterTogether {
-    soc: SocSpec,
-    app: AppModel,
+pub struct BetterTogether<B: ExecutionBackend = SimBackend> {
+    backend: B,
     cfg: BtConfig,
 }
 
 /// Output of levels 1–2: the profiling table plus ranked candidates.
 /// Serializable, so plans can be cached on disk and re-deployed without
-/// re-profiling.
+/// re-profiling — but validate a deserialized plan against the live
+/// backend with [`Plan::validate`] before executing it.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct Plan {
     /// The profiling table optimization ran against.
@@ -70,94 +79,147 @@ pub struct Plan {
 
 impl Plan {
     /// The schedule the model predicts to be fastest (index 1 of the
-    /// paper's Table 4), or `None` for an empty plan. [`optimize`]
+    /// paper's Table 4), or `None` for an empty plan. [`optimize_with`]
     /// never returns an empty candidate set, but a `Plan` deserialized
     /// from disk can carry one, so this cannot be a plain index.
     pub fn predicted_best(&self) -> Option<&Candidate> {
         self.candidates.first()
     }
+
+    /// Checks that this plan can execute on `backend`: every candidate
+    /// (and the table itself) agrees with the backend's stage count, and
+    /// every scheduled PU class is one the backend can host. A stale
+    /// cached plan — re-configured app, different device — fails here
+    /// instead of panicking mid-execution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BtError::PlanStageMismatch`] or
+    /// [`BtError::PlanClassUnavailable`].
+    pub fn validate<B: ExecutionBackend>(&self, backend: &B) -> Result<(), BtError> {
+        let stages = backend.stage_count();
+        if self.table.stages().len() != stages {
+            return Err(BtError::PlanStageMismatch {
+                plan: self.table.stages().len(),
+                backend: stages,
+            });
+        }
+        for cand in &self.candidates {
+            if cand.schedule.stage_count() != stages {
+                return Err(BtError::PlanStageMismatch {
+                    plan: cand.schedule.stage_count(),
+                    backend: stages,
+                });
+            }
+            for class in cand.schedule.classes_used() {
+                if !backend.schedulable(class) {
+                    return Err(BtError::PlanClassUnavailable(class));
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Output of the full framework run: plan, autotuning measurements, and
-/// baselines.
+/// baselines — the same shape whether measured in the simulator or on the
+/// host.
 #[derive(Debug, Clone)]
 pub struct Deployment {
     /// The plan that was autotuned.
     pub plan: Plan,
     /// Per-candidate measurements and the measured-best index.
     pub outcome: AutotuneOutcome,
-    /// Homogeneous baselines for the same device/app.
-    pub baselines: BaselinePair,
+    /// Homogeneous baselines for the same backend/app.
+    pub baselines: Baselines,
 }
 
 impl Deployment {
-    /// The measured-best schedule — BetterTogether's final output.
-    pub fn best_schedule(&self) -> &Schedule {
-        &self.plan.candidates[self.outcome.best_index].schedule
+    /// The measured-best schedule — BetterTogether's final output. `None`
+    /// only if the deployment was assembled from inconsistent parts (e.g.
+    /// a deserialized outcome pointing outside the candidate list).
+    pub fn best_schedule(&self) -> Option<&Schedule> {
+        self.plan
+            .candidates
+            .get(self.outcome.best_index)
+            .map(|c| &c.schedule)
     }
 
-    /// Measured per-task latency of the best schedule.
-    pub fn best_latency(&self) -> Micros {
-        self.outcome
-            .measured_latency(self.outcome.best_index)
-            .expect("autotune measured its own best candidate")
+    /// Measured per-task latency of the best schedule, if it was measured.
+    pub fn best_latency(&self) -> Option<Micros> {
+        self.outcome.measured_latency(self.outcome.best_index)
     }
 
     /// Measured latency of the *predicted*-best schedule (what a user gets
-    /// without level-3 autotuning). Resolved by candidate index, not by
-    /// position in the measurement vector.
-    pub fn predicted_best_latency(&self) -> Micros {
-        self.outcome
-            .measured_latency(0)
-            .expect("autotune measured the predicted-best candidate")
+    /// without level-3 autotuning), if it was measured. Resolved by
+    /// candidate index, not by position in the measurement vector.
+    pub fn predicted_best_latency(&self) -> Option<Micros> {
+        self.outcome.measured_latency(0)
     }
 
     /// Speedup over the faster homogeneous baseline (Fig. 4's metric).
-    pub fn speedup_over_best_baseline(&self) -> f64 {
-        self.baselines.best() / self.best_latency()
+    pub fn speedup_over_best_baseline(&self) -> Option<f64> {
+        Some(self.baselines.best()? / self.best_latency()?)
+    }
+
+    /// Speedup over the baseline on `class`, if both were measured.
+    pub fn speedup_over(&self, class: PuClass) -> Option<f64> {
+        Some(self.baselines.latency_of(class)? / self.best_latency()?)
     }
 
     /// Speedup over the CPU-only baseline.
-    pub fn speedup_over_cpu(&self) -> f64 {
-        self.baselines.cpu / self.best_latency()
+    pub fn speedup_over_cpu(&self) -> Option<f64> {
+        self.speedup_over(PuClass::BigCpu)
     }
 
     /// Speedup over the GPU-only baseline.
-    pub fn speedup_over_gpu(&self) -> f64 {
-        self.baselines.gpu / self.best_latency()
+    pub fn speedup_over_gpu(&self) -> Option<f64> {
+        self.speedup_over(PuClass::Gpu)
     }
 
     /// The extra speedup autotuning contributed beyond the predicted-best
     /// schedule (the paper measures 1.35× on sparse AlexNet / Pixel).
-    pub fn autotuning_gain(&self) -> f64 {
-        self.predicted_best_latency() / self.best_latency()
+    pub fn autotuning_gain(&self) -> Option<f64> {
+        Some(self.predicted_best_latency()? / self.best_latency()?)
     }
 }
 
-impl BetterTogether {
-    /// Binds the framework to a device model and an application model.
-    pub fn new(soc: SocSpec, app: AppModel) -> BetterTogether {
+impl BetterTogether<SimBackend> {
+    /// Binds the framework to a device model and an application model,
+    /// measuring through the discrete-event simulator.
+    pub fn new(soc: SocSpec, app: AppModel) -> BetterTogether<SimBackend> {
+        BetterTogether::with_backend(SimBackend::new(soc, app))
+    }
+
+    /// The bound device.
+    pub fn soc(&self) -> &SocSpec {
+        self.backend.soc()
+    }
+
+    /// The bound application model.
+    pub fn app(&self) -> &AppModel {
+        self.backend.app()
+    }
+}
+
+impl<B: ExecutionBackend> BetterTogether<B> {
+    /// Binds the framework to an arbitrary execution backend.
+    pub fn with_backend(backend: B) -> BetterTogether<B> {
         BetterTogether {
-            soc,
-            app,
+            backend,
             cfg: BtConfig::default(),
         }
     }
 
     /// Overrides the configuration.
-    pub fn with_config(mut self, cfg: BtConfig) -> BetterTogether {
+    pub fn with_config(mut self, cfg: BtConfig) -> BetterTogether<B> {
         self.cfg = cfg;
         self
     }
 
-    /// The bound device.
-    pub fn soc(&self) -> &SocSpec {
-        &self.soc
-    }
-
-    /// The bound application model.
-    pub fn app(&self) -> &AppModel {
-        &self.app
+    /// The execution backend.
+    pub fn backend(&self) -> &B {
+        &self.backend
     }
 
     /// The active configuration.
@@ -167,12 +229,7 @@ impl BetterTogether {
 
     /// Runs BT-Profiler (Fig. 2, step 3).
     pub fn profile(&self) -> ProfilingTable {
-        profile(
-            &self.soc,
-            &self.app,
-            self.cfg.profile_mode,
-            &self.cfg.profiler,
-        )
+        self.backend.profile(self.cfg.profile_mode)
     }
 
     /// Runs levels 1–2 of BT-Optimizer (Fig. 2, step 4).
@@ -182,8 +239,27 @@ impl BetterTogether {
     /// Returns [`BtError`] when no candidate satisfies the constraints.
     pub fn plan(&self) -> Result<Plan, BtError> {
         let table = self.profile();
-        let candidates = optimize(&self.soc, &table, &self.cfg.optimizer)?;
+        let candidates =
+            optimize_with(&table, &self.cfg.optimizer, |c| self.backend.schedulable(c))?;
         Ok(Plan { table, candidates })
+    }
+
+    /// Autotunes an existing plan (e.g. one deserialized from disk) and
+    /// measures baselines, after validating the plan against the backend.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BtError`] if the plan fails validation or a measurement
+    /// fails.
+    pub fn deploy(&self, plan: Plan) -> Result<Deployment, BtError> {
+        plan.validate(&self.backend)?;
+        let outcome = autotune(&self.backend, &plan.candidates)?;
+        let baselines = measure_baselines(&self.backend)?;
+        Ok(Deployment {
+            plan,
+            outcome,
+            baselines,
+        })
     }
 
     /// Runs the full framework: profile → optimize → autotune → compare
@@ -191,16 +267,10 @@ impl BetterTogether {
     ///
     /// # Errors
     ///
-    /// Returns [`BtError`] on infeasible constraints or simulator errors.
+    /// Returns [`BtError`] on infeasible constraints or measurement
+    /// errors.
     pub fn run(&self) -> Result<Deployment, BtError> {
-        let plan = self.plan()?;
-        let outcome = autotune(&self.soc, &self.app, &plan.candidates, &self.cfg.des)?;
-        let baselines = measure_baselines(&self.soc, &self.app, &self.cfg.des)?;
-        Ok(Deployment {
-            plan,
-            outcome,
-            baselines,
-        })
+        self.deploy(self.plan()?)
     }
 }
 
@@ -215,14 +285,14 @@ mod tests {
         let app = apps::octree_app(apps::OctreeConfig::default()).model();
         let bt = BetterTogether::new(devices::pixel_7a(), app);
         let d = bt.run().unwrap();
+        let speedup = d.speedup_over_best_baseline().expect("measured");
         assert!(
-            d.speedup_over_best_baseline() > 1.5,
-            "octree on Pixel should speed up well, got {:.2}",
-            d.speedup_over_best_baseline()
+            speedup > 1.5,
+            "octree on Pixel should speed up well, got {speedup:.2}"
         );
-        assert!(d.speedup_over_cpu() >= d.speedup_over_best_baseline());
-        assert!(!d.best_schedule().is_homogeneous());
-        assert!(d.autotuning_gain() >= 1.0 - 1e-9);
+        assert!(d.speedup_over_cpu().expect("cpu baseline") >= speedup);
+        assert!(!d.best_schedule().expect("autotuned").is_homogeneous());
+        assert!(d.autotuning_gain().expect("measured") >= 1.0 - 1e-9);
     }
 
     #[test]
@@ -231,7 +301,7 @@ mod tests {
         let bt = BetterTogether::new(devices::jetson_orin_nano(), app);
         let d = bt.run().unwrap();
         // Modest gains expected on the homogeneous-CPU Jetson (paper §5.1).
-        assert!(d.speedup_over_best_baseline() > 0.8);
+        assert!(d.speedup_over_best_baseline().expect("measured") > 0.8);
         assert!(d.plan.candidates.len() <= 20);
     }
 
@@ -297,12 +367,58 @@ mod tests {
     }
 
     #[test]
+    fn stale_plan_is_rejected_before_execution() {
+        // A plan cached for one app must not execute against a backend
+        // whose app has a different stage count...
+        let octree = apps::octree_app(apps::OctreeConfig::default()).model();
+        let dense = apps::alexnet_dense_app(apps::AlexNetConfig::default()).model();
+        let soc = devices::pixel_7a();
+        let plan = BetterTogether::new(soc.clone(), octree)
+            .plan()
+            .expect("plans");
+        let other = BetterTogether::new(soc, dense);
+        assert!(matches!(
+            other.deploy(plan.clone()),
+            Err(BtError::PlanStageMismatch { .. })
+        ));
+        // ...nor against a device that cannot host a scheduled class.
+        let uses_little = plan.candidates.iter().any(|c| {
+            c.schedule
+                .classes_used()
+                .contains(&bt_soc::PuClass::LittleCpu)
+        });
+        if uses_little {
+            let octree = apps::octree_app(apps::OctreeConfig::default()).model();
+            let oneplus = BetterTogether::new(devices::oneplus_11(), octree);
+            assert!(matches!(
+                oneplus.deploy(plan),
+                Err(BtError::PlanClassUnavailable(_))
+            ));
+        }
+    }
+
+    #[test]
     fn deterministic_given_config() {
         let app = apps::octree_app(apps::OctreeConfig::default()).model();
         let bt = BetterTogether::new(devices::jetson_orin_nano(), app);
         let a = bt.run().unwrap();
         let b = bt.run().unwrap();
         assert_eq!(a.best_schedule(), b.best_schedule());
-        assert_eq!(a.best_latency().as_f64(), b.best_latency().as_f64());
+        assert_eq!(
+            a.best_latency().expect("measured").as_f64(),
+            b.best_latency().expect("measured").as_f64()
+        );
+    }
+
+    #[test]
+    fn inconsistent_deployment_degrades_to_none() {
+        let app = apps::octree_app(apps::OctreeConfig::default()).model();
+        let bt = BetterTogether::new(devices::jetson_orin_nano(), app);
+        let mut d = bt.run().unwrap();
+        d.outcome.best_index = d.plan.candidates.len() + 5;
+        assert!(d.best_schedule().is_none());
+        assert!(d.best_latency().is_none());
+        assert!(d.speedup_over_best_baseline().is_none());
+        assert!(d.autotuning_gain().is_none());
     }
 }

@@ -23,29 +23,36 @@
 //! let deployment = BetterTogether::new(devices::pixel_7a(), app).run()?;
 //! println!(
 //!     "best schedule {} → {} ({}× vs best homogeneous baseline)",
-//!     deployment.best_schedule(),
-//!     deployment.best_latency(),
-//!     deployment.speedup_over_best_baseline(),
+//!     deployment.best_schedule().expect("autotuned"),
+//!     deployment.best_latency().expect("measured"),
+//!     deployment.speedup_over_best_baseline().expect("measured"),
 //! );
 //! # Ok::<(), bt_core::BtError>(())
 //! ```
+//!
+//! The same loop runs on real silicon by swapping the backend: bind a
+//! [`HostBackend`] (real kernels, wall-clock profiling, dispatcher-thread
+//! execution) via [`BetterTogether::with_backend`] and call the identical
+//! `run()`.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod backend;
 mod baseline;
 pub mod energy;
 mod error;
 mod framework;
-pub mod host;
 pub mod metrics;
 mod optimizer;
 pub mod predict;
 
-pub use baseline::{measure_baselines, BaselinePair};
+pub use backend::{ExecutionBackend, HostBackend, SimBackend};
+pub use baseline::{measure_baselines, BaselineEntry, Baselines};
 pub use error::BtError;
 pub use framework::{BetterTogether, BtConfig, Deployment, Plan};
 pub use optimizer::{
-    autotune, build_problem, build_problem_with, min_gapness, optimize, AutotuneOutcome, Candidate,
-    Objective, OptimizerConfig, SolverEngine,
+    autotune, build_problem, build_problem_masked, build_problem_with, min_gapness, optimize,
+    optimize_with, AutotuneOutcome, Candidate, CandidateMeasurement, Objective, OptimizerConfig,
+    SolverEngine,
 };

@@ -13,16 +13,15 @@
 //! (fast path — the contiguous-partition space is small) and the SAT
 //! encoding (the z3-faithful path); they are property-tested to agree.
 
-use bt_kernels::AppModel;
-use bt_pipeline::{simulate_schedule, Schedule};
+use bt_pipeline::Schedule;
 use bt_profiler::ProfilingTable;
-use bt_soc::des::DesConfig;
-use bt_soc::{Micros, SocSpec};
+use bt_soc::{Micros, PuClass, SocSpec};
 use bt_solver::enumerate::{enumerate_schedules, evaluate};
 use bt_solver::ScheduleProblem;
 
 use serde::{Deserialize, Serialize};
 
+use crate::backend::ExecutionBackend;
 use crate::BtError;
 
 /// Which optimization engine produces the candidate set.
@@ -115,11 +114,21 @@ pub fn build_problem_with(
     table: &ProfilingTable,
     max_chunks: Option<usize>,
 ) -> Result<ScheduleProblem, BtError> {
-    let allowed: Vec<bool> = table
-        .classes()
-        .iter()
-        .map(|&c| soc.pu(c).map(|p| p.schedulable()).unwrap_or(false))
-        .collect();
+    build_problem_masked(
+        table,
+        |c| soc.pu(c).map(|p| p.schedulable()).unwrap_or(false),
+        max_chunks,
+    )
+}
+
+/// Builds the solver instance from a table and an arbitrary class-
+/// admission predicate — the backend-neutral core of [`build_problem`].
+pub fn build_problem_masked(
+    table: &ProfilingTable,
+    schedulable: impl Fn(PuClass) -> bool,
+    max_chunks: Option<usize>,
+) -> Result<ScheduleProblem, BtError> {
+    let allowed: Vec<bool> = table.classes().iter().map(|&c| schedulable(c)).collect();
     let mut problem = ScheduleProblem::new(table.to_matrix())?.with_allowed(allowed)?;
     if let Some(k) = max_chunks {
         problem = problem.with_max_chunks(k);
@@ -167,7 +176,25 @@ pub fn optimize(
     table: &ProfilingTable,
     cfg: &OptimizerConfig,
 ) -> Result<Vec<Candidate>, BtError> {
-    let problem = build_problem_with(soc, table, cfg.max_chunks)?;
+    optimize_with(table, cfg, |c| {
+        soc.pu(c).map(|p| p.schedulable()).unwrap_or(false)
+    })
+}
+
+/// [`optimize`] against an arbitrary class-admission predicate instead of
+/// a device model — the form the generic framework drives, letting any
+/// [`ExecutionBackend`] supply its own schedulability mask.
+///
+/// # Errors
+///
+/// Returns [`BtError`] if the table cannot form a valid problem or no
+/// schedule survives the filter.
+pub fn optimize_with(
+    table: &ProfilingTable,
+    cfg: &OptimizerConfig,
+    schedulable: impl Fn(PuClass) -> bool,
+) -> Result<Vec<Candidate>, BtError> {
+    let problem = build_problem_masked(table, schedulable, cfg.max_chunks)?;
     // Level 1 for the gapness-first objective: the optimum g*.
     let g_star = match cfg.objective {
         Objective::GapnessFirst { .. } => bt_solver::enumerate::min_gapness_exact(&problem)
@@ -235,8 +262,10 @@ pub struct CandidateMeasurement {
     pub candidate_index: usize,
     /// Measured per-task latency of that candidate.
     pub latency: Micros,
-    /// Telemetry from the measurement run (`None` unless
-    /// [`DesConfig::telemetry`] enabled collection).
+    /// Telemetry from the measurement run (`None` unless the backend's
+    /// telemetry configuration — [`bt_soc::des::DesConfig::telemetry`] on
+    /// the simulator, [`bt_pipeline::HostRunConfig::telemetry`] on the
+    /// host — enabled collection).
     #[serde(default)]
     pub telemetry: Option<bt_telemetry::RunTelemetry>,
 }
@@ -271,20 +300,19 @@ impl AutotuneOutcome {
     }
 }
 
-/// Level 3: execute every candidate in the simulator and pick the measured
+/// Level 3: execute every candidate on the backend and pick the measured
 /// best (the paper runs each for a fixed interval on the device).
 ///
-/// Telemetry enabled through `des.telemetry` is collected independently
-/// for every candidate run and attached to its [`CandidateMeasurement`].
+/// Telemetry enabled in the backend's run configuration is collected
+/// independently for every candidate run and attached to its
+/// [`CandidateMeasurement`].
 ///
 /// # Errors
 ///
-/// Propagates simulator errors.
-pub fn autotune(
-    soc: &SocSpec,
-    app: &AppModel,
+/// Propagates backend measurement errors.
+pub fn autotune<B: ExecutionBackend>(
+    backend: &B,
     candidates: &[Candidate],
-    des: &DesConfig,
 ) -> Result<AutotuneOutcome, BtError> {
     if candidates.is_empty() {
         return Err(BtError::NoCandidates);
@@ -292,16 +320,12 @@ pub fn autotune(
     let mut measured = Vec::with_capacity(candidates.len());
     let mut cost = Micros::ZERO;
     for (i, cand) in candidates.iter().enumerate() {
-        let cfg = DesConfig {
-            seed: des.seed.wrapping_add(i as u64),
-            ..des.clone()
-        };
-        let report = simulate_schedule(soc, app, &cand.schedule, &cfg)?;
-        cost += report.makespan;
+        let m = backend.measure(&cand.schedule, i as u64)?;
+        cost += m.makespan;
         measured.push(CandidateMeasurement {
             candidate_index: i,
-            latency: report.time_per_task,
-            telemetry: report.telemetry,
+            latency: m.latency,
+            telemetry: m.telemetry,
         });
     }
     let best_index = measured
@@ -323,8 +347,10 @@ pub fn autotune(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bt_kernels::apps;
+    use crate::backend::SimBackend;
+    use bt_kernels::{apps, AppModel};
     use bt_profiler::{profile, ProfileMode, ProfilerConfig};
+    use bt_soc::des::DesConfig;
     use bt_soc::devices;
 
     fn setup() -> (SocSpec, AppModel, ProfilingTable) {
@@ -424,8 +450,8 @@ mod tests {
     fn autotune_finds_measured_best() {
         let (soc, app, table) = setup();
         let cands = optimize(&soc, &table, &OptimizerConfig::default()).unwrap();
-        let des = DesConfig::default();
-        let outcome = autotune(&soc, &app, &cands, &des).unwrap();
+        let backend = SimBackend::new(soc, app);
+        let outcome = autotune(&backend, &cands).unwrap();
         assert_eq!(outcome.measured.len(), cands.len());
         for (i, m) in outcome.measured.iter().enumerate() {
             assert_eq!(m.candidate_index, i, "autotune preserves input order");
@@ -470,11 +496,11 @@ mod tests {
     fn autotune_threads_telemetry_through_candidates() {
         let (soc, app, table) = setup();
         let cands = optimize(&soc, &table, &OptimizerConfig::default()).unwrap();
-        let des = DesConfig {
+        let backend = SimBackend::new(soc, app).with_des(DesConfig {
             telemetry: bt_telemetry::TelemetryConfig::counters_only(),
             ..DesConfig::default()
-        };
-        let outcome = autotune(&soc, &app, &cands, &des).unwrap();
+        });
+        let outcome = autotune(&backend, &cands).unwrap();
         for m in &outcome.measured {
             let tele = m.telemetry.as_ref().expect("telemetry requested");
             assert_eq!(tele.source, "des");

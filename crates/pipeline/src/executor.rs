@@ -156,8 +156,8 @@ pub struct HostReport {
     pub telemetry: Option<RunTelemetry>,
 }
 
-/// Errors from the host executor.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Errors from the pipeline executors (host threads or simulator bridge).
+#[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum PipelineError {
     /// Schedule and application disagree on stage count.
@@ -174,6 +174,8 @@ pub enum PipelineError {
         /// Index of the chunk whose kernel panicked.
         chunk: usize,
     },
+    /// The simulated device rejected the run (missing PU, empty inputs).
+    Soc(bt_soc::SocError),
 }
 
 impl std::fmt::Display for PipelineError {
@@ -187,11 +189,25 @@ impl std::fmt::Display for PipelineError {
             PipelineError::StagePanicked { chunk } => {
                 write!(f, "a stage kernel panicked in chunk {chunk}")
             }
+            PipelineError::Soc(e) => write!(f, "simulated device error: {e}"),
         }
     }
 }
 
-impl std::error::Error for PipelineError {}
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PipelineError::Soc(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<bt_soc::SocError> for PipelineError {
+    fn from(e: bt_soc::SocError) -> PipelineError {
+        PipelineError::Soc(e)
+    }
+}
 
 enum Msg<P> {
     Task(Box<TaskObject<P>>),

@@ -18,6 +18,7 @@
 
 mod affinity;
 mod executor;
+mod measure;
 mod schedule;
 mod sim;
 pub mod spsc;
@@ -27,6 +28,7 @@ pub use affinity::{current_affinity, pin_current_thread};
 pub use executor::{
     run_host, HostReport, HostRunConfig, HostTimelineEvent, PipelineError, PuThreads,
 };
+pub use measure::Measurement;
 pub use schedule::{ChunkAssignment, Schedule, ScheduleError};
 pub use sim::{simulate_baseline, simulate_schedule, to_chunk_specs};
 pub use usm::{TaskObject, UsmBuffer};

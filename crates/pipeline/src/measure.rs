@@ -1,0 +1,95 @@
+//! The backend-neutral measurement vocabulary: one steady-state result
+//! type shared by the discrete-event simulator ([`crate::simulate_schedule`])
+//! and the real host runtime ([`crate::run_host`]), so framework layers can
+//! autotune, compare baselines, and price energy without knowing which
+//! substrate executed the schedule.
+
+use std::time::Duration;
+
+use bt_soc::des::DesReport;
+use bt_soc::Micros;
+use bt_telemetry::RunTelemetry;
+
+use crate::HostReport;
+
+/// Steady-state measurement of one pipeline run, in the simulator's
+/// microsecond vocabulary regardless of the executing substrate.
+///
+/// Produced from a [`DesReport`] (virtual time) or a [`HostReport`]
+/// (wall-clock time) via `From`; downstream consumers — autotuning,
+/// baseline comparison, energy accounting — treat both identically.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Steady-state inverse throughput (the paper's pipeline latency):
+    /// mean inter-departure time over the measured window.
+    pub latency: Micros,
+    /// Span of the steady-state measurement window.
+    pub makespan: Micros,
+    /// Mean per-task residence time (pipeline entry → exit).
+    pub mean_task_latency: Micros,
+    /// Tasks completed per second.
+    pub throughput_hz: f64,
+    /// Fraction of the window each chunk spent executing kernels, in
+    /// pipeline order.
+    pub chunk_utilization: Vec<f64>,
+    /// Number of measured tasks.
+    pub tasks: u32,
+    /// Telemetry collected during the run, when enabled.
+    pub telemetry: Option<RunTelemetry>,
+}
+
+fn duration_us(d: Duration) -> Micros {
+    Micros::new(d.as_secs_f64() * 1e6)
+}
+
+impl From<DesReport> for Measurement {
+    fn from(r: DesReport) -> Measurement {
+        Measurement {
+            latency: r.time_per_task,
+            makespan: r.makespan,
+            mean_task_latency: r.mean_task_latency,
+            throughput_hz: r.throughput_hz,
+            chunk_utilization: r.chunk_utilization,
+            tasks: r.tasks,
+            telemetry: r.telemetry,
+        }
+    }
+}
+
+impl From<HostReport> for Measurement {
+    fn from(r: HostReport) -> Measurement {
+        Measurement {
+            latency: duration_us(r.time_per_task),
+            makespan: duration_us(r.makespan),
+            mean_task_latency: duration_us(r.mean_task_latency),
+            throughput_hz: r.throughput_hz,
+            chunk_utilization: r.chunk_utilization,
+            tasks: r.tasks,
+            telemetry: r.telemetry,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn host_report_converts_to_micros() {
+        let m = Measurement::from(HostReport {
+            makespan: Duration::from_millis(10),
+            time_per_task: Duration::from_millis(2),
+            mean_task_latency: Duration::from_micros(2500),
+            throughput_hz: 500.0,
+            chunk_utilization: vec![0.9, 0.4],
+            tasks: 5,
+            timeline: Vec::new(),
+            telemetry: None,
+        });
+        assert!((m.makespan.as_millis() - 10.0).abs() < 1e-9);
+        assert!((m.latency.as_millis() - 2.0).abs() < 1e-9);
+        assert!((m.mean_task_latency.as_f64() - 2500.0).abs() < 1e-9);
+        assert_eq!(m.tasks, 5);
+        assert_eq!(m.chunk_utilization, vec![0.9, 0.4]);
+    }
+}

@@ -5,20 +5,26 @@ use bt_kernels::AppModel;
 use bt_soc::des::{self, ChunkSpec, DesConfig, DesReport};
 use bt_soc::{SocError, SocSpec};
 
-use crate::Schedule;
+use crate::{PipelineError, Schedule};
 
 /// Converts a schedule over `app` into the simulator's chunk list.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the schedule length mismatches the application.
-pub fn to_chunk_specs(app: &AppModel, schedule: &Schedule) -> Vec<ChunkSpec> {
-    assert_eq!(
-        schedule.stage_count(),
-        app.stage_count(),
-        "schedule/application stage mismatch"
-    );
-    schedule
+/// Returns [`PipelineError::StageMismatch`] if the schedule length
+/// mismatches the application — e.g. a cached plan deserialized against a
+/// differently-configured app.
+pub fn to_chunk_specs(
+    app: &AppModel,
+    schedule: &Schedule,
+) -> Result<Vec<ChunkSpec>, PipelineError> {
+    if schedule.stage_count() != app.stage_count() {
+        return Err(PipelineError::StageMismatch {
+            app: app.stage_count(),
+            schedule: schedule.stage_count(),
+        });
+    }
+    Ok(schedule
         .chunks()
         .iter()
         .map(|c| {
@@ -30,7 +36,7 @@ pub fn to_chunk_specs(app: &AppModel, schedule: &Schedule) -> Vec<ChunkSpec> {
                     .collect(),
             )
         })
-        .collect()
+        .collect())
 }
 
 /// Simulates pipelined execution of `schedule` over `app` on `soc` — the
@@ -38,15 +44,17 @@ pub fn to_chunk_specs(app: &AppModel, schedule: &Schedule) -> Vec<ChunkSpec> {
 ///
 /// # Errors
 ///
-/// Propagates [`SocError`] from the simulator (missing PU, empty inputs).
+/// Returns [`PipelineError::StageMismatch`] on a schedule/application stage
+/// disagreement, or [`PipelineError::Soc`] from the simulator (missing PU,
+/// empty inputs).
 pub fn simulate_schedule(
     soc: &SocSpec,
     app: &AppModel,
     schedule: &Schedule,
     cfg: &DesConfig,
-) -> Result<DesReport, SocError> {
-    let chunks = to_chunk_specs(app, schedule);
-    des::simulate(soc, &chunks, cfg)
+) -> Result<DesReport, PipelineError> {
+    let chunks = to_chunk_specs(app, schedule)?;
+    Ok(des::simulate(soc, &chunks, cfg)?)
 }
 
 /// Simulates the paper's homogeneous baseline: every stage offloaded to a
@@ -97,10 +105,28 @@ mod tests {
             PuClass::LittleCpu,
         ])
         .unwrap();
-        let chunks = to_chunk_specs(&app, &schedule);
+        let chunks = to_chunk_specs(&app, &schedule).unwrap();
         assert_eq!(chunks.len(), 4);
         let total: usize = chunks.iter().map(|c| c.stages.len()).sum();
         assert_eq!(total, 7);
+    }
+
+    #[test]
+    fn stage_mismatch_is_typed_error() {
+        let app = octree_model();
+        let schedule = Schedule::homogeneous(3, PuClass::BigCpu);
+        assert_eq!(
+            to_chunk_specs(&app, &schedule).unwrap_err(),
+            crate::PipelineError::StageMismatch {
+                app: app.stage_count(),
+                schedule: 3
+            }
+        );
+        let soc = devices::pixel_7a();
+        assert!(matches!(
+            simulate_schedule(&soc, &app, &schedule, &noiseless()).unwrap_err(),
+            crate::PipelineError::StageMismatch { .. }
+        ));
     }
 
     #[test]

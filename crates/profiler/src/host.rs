@@ -83,6 +83,15 @@ impl Default for HostProfilerConfig {
 /// Profiles every stage of `app` on every host tier with real wall-clock
 /// timing. The stage kernels execute for real; earlier stages run once per
 /// cell to produce valid inputs for the profiled stage.
+///
+/// Under [`ProfileMode::InterferenceHeavy`] — the framework's default —
+/// each cell is measured while live co-runner threads execute the same
+/// stage on every *other* tier (§3.2), so the contention is real, not
+/// modeled. That fidelity has a cost: the machine is deliberately
+/// saturated for the whole tiers × stages × `reps` sweep, and timings are
+/// only meaningful if nothing else competes for it. Keep
+/// [`HostProfilerConfig::reps`] small on shared machines, or profile with
+/// [`ProfileMode::Isolated`] when contention fidelity doesn't matter.
 pub fn profile_host<P>(
     app: &Application<P>,
     classes: &HostClasses,

@@ -109,29 +109,58 @@ pub fn energy_of_run(
     report: &DesReport,
     chunk_classes: &[PuClass],
 ) -> EnergyReport {
+    energy_of_window(
+        model,
+        report.makespan,
+        &report.chunk_utilization,
+        report.tasks,
+        chunk_classes,
+        &soc.classes(),
+    )
+}
+
+/// Execution-substrate-agnostic form of [`energy_of_run`]: accounts a
+/// measured window given its makespan, per-chunk utilization, and task
+/// count, without requiring a [`DesReport`] — so wall-clock host runs (or
+/// any other measurement source) can be priced by the same model.
+///
+/// `powered_classes` lists every cluster drawing idle power for the whole
+/// window (on a UMA SoC, all of them), whether or not it hosts a chunk.
+///
+/// # Panics
+///
+/// Panics if `chunk_classes.len()` disagrees with `chunk_utilization`.
+pub fn energy_of_window(
+    model: &PowerModel,
+    makespan: Micros,
+    chunk_utilization: &[f64],
+    tasks: u32,
+    chunk_classes: &[PuClass],
+    powered_classes: &[PuClass],
+) -> EnergyReport {
     assert_eq!(
         chunk_classes.len(),
-        report.chunk_utilization.len(),
+        chunk_utilization.len(),
         "one class per chunk"
     );
-    let span_s = report.makespan.as_secs();
+    let span_s = makespan.as_secs();
     let mut energy = 0.0;
     // Busy + idle split for clusters hosting chunks.
     let mut hosted: Vec<PuClass> = Vec::new();
-    for (&class, &util) in chunk_classes.iter().zip(&report.chunk_utilization) {
+    for (&class, &util) in chunk_classes.iter().zip(chunk_utilization) {
         let spec = model.spec(class);
         let busy_s = span_s * util.clamp(0.0, 1.0);
         energy += busy_s * spec.busy_watts + (span_s - busy_s) * spec.idle_watts;
         hosted.push(class);
     }
     // Clusters with no chunk idle for the whole window.
-    for class in soc.classes() {
+    for &class in powered_classes {
         if !hosted.contains(&class) {
             energy += span_s * model.spec(class).idle_watts;
         }
     }
-    let per_task_j = energy / report.tasks.max(1) as f64;
-    let per_task_ms = Micros::new(report.makespan.as_f64() / report.tasks.max(1) as f64);
+    let per_task_j = energy / tasks.max(1) as f64;
+    let per_task_ms = Micros::new(makespan.as_f64() / tasks.max(1) as f64);
     EnergyReport {
         total_j: energy,
         per_task_mj: per_task_j * 1e3,

@@ -36,15 +36,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut schedules = HashSet::new();
         for soc in devices::all() {
             let d = BetterTogether::new(soc.clone(), app.clone()).run()?;
+            let best = d.best_schedule().expect("autotuned").to_string();
             println!(
                 "{:>16} {:>22} {:>11} {:>9.2} {:>8.2}x",
                 name,
                 soc.name(),
-                d.best_schedule().to_string(),
-                d.best_latency().as_millis(),
-                d.speedup_over_best_baseline()
+                best,
+                d.best_latency().expect("measured").as_millis(),
+                d.speedup_over_best_baseline().expect("measured")
             );
-            schedules.insert(d.best_schedule().to_string());
+            schedules.insert(best);
         }
         println!(
             "  → {} distinct optimal schedules across 4 devices\n",

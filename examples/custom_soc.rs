@@ -55,15 +55,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for soc in [board, devices::pixel_7a()] {
         let name = soc.name().to_string();
         let d = BetterTogether::new(soc, app.clone()).run()?;
+        let best = d.best_schedule().expect("autotuned");
         println!("{name}:");
-        println!("  best schedule: {}", d.best_schedule());
+        println!("  best schedule: {best}");
         println!(
             "  measured {:.2} ms/task — {:.2}x vs best homogeneous baseline",
-            d.best_latency().as_millis(),
-            d.speedup_over_best_baseline()
+            d.best_latency().expect("measured").as_millis(),
+            d.speedup_over_best_baseline().expect("measured")
         );
-        let chunks = d
-            .best_schedule()
+        let chunks = best
             .chunks()
             .iter()
             .map(|c| format!("{}[{}..={}]", c.pu, c.first_stage, c.last_stage))

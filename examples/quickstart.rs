@@ -1,28 +1,27 @@
-//! Quickstart: schedule the octree pipeline on a simulated Google Pixel 7a.
+//! Quickstart: one generic driver, two execution backends.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 //!
-//! Walks the full BetterTogether flow from Fig. 2 of the paper: profile
+//! Walks the full BetterTogether flow from Fig. 2 of the paper — profile
 //! every stage on every PU under interference, solve for candidate
-//! schedules, autotune, and compare against the homogeneous baselines.
+//! schedules, autotune, compare against the homogeneous baselines — first
+//! on the simulated Google Pixel 7a, then re-runs the *identical* loop on
+//! the real host runtime (wall-clock profiling of the actual octree
+//! kernels, dispatcher threads, SPSC queues) just by swapping the
+//! [`ExecutionBackend`].
 
-use bettertogether::core::BetterTogether;
+use bettertogether::core::{BetterTogether, Deployment, ExecutionBackend, HostBackend};
 use bettertogether::kernels::apps;
-use bettertogether::soc::devices;
+use bettertogether::pipeline::HostRunConfig;
+use bettertogether::profiler::host::{HostClasses, HostProfilerConfig};
+use bettertogether::soc::{devices, PuClass};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // 1–2. Inputs: the application (7-stage octree construction) and the
-    //      target system (a modeled Pixel 7a: big/medium/little CPU
-    //      clusters + Mali GPU).
-    let app = apps::octree_app(apps::OctreeConfig::default()).model();
-    let soc = devices::pixel_7a();
-    println!("application: {} ({} stages)", app.name, app.stage_count());
-    println!("device:      {}\n", soc.name());
-
-    let bt = BetterTogether::new(soc, app);
-
+/// The whole framework, generic over where schedules execute.
+fn drive<B: ExecutionBackend>(
+    bt: &BetterTogether<B>,
+) -> Result<Deployment, Box<dyn std::error::Error>> {
     // 3. BT-Profiler: the interference-aware profiling table.
     let table = bt.profile();
     println!("{}", table.render());
@@ -41,27 +40,67 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // 5. BT-Implementer + autotuning: execute the candidates, pick the
-    //    measured best, compare against CPU-only and GPU-only baselines.
-    let deployment = bt.run()?;
-    println!("\nbest schedule: {}", deployment.best_schedule());
+    //    measured best, compare against the homogeneous baselines.
+    let deployment = bt.deploy(plan)?;
+    println!(
+        "\nbest schedule: {}",
+        deployment.best_schedule().expect("autotuned")
+    );
     println!(
         "measured:      {:.2} ms/task",
-        deployment.best_latency().as_millis()
+        deployment.best_latency().expect("measured").as_millis()
     );
+    for e in deployment.baselines.entries() {
+        println!(
+            "baseline:      {} {:.2} ms ({:.2}x speedup)",
+            e.class,
+            e.latency.as_millis(),
+            deployment.speedup_over(e.class).expect("measured")
+        );
+    }
     println!(
-        "baselines:     CPU {:.2} ms, GPU {:.2} ms",
-        deployment.baselines.cpu.as_millis(),
-        deployment.baselines.gpu.as_millis()
-    );
-    println!(
-        "speedup:       {:.2}x vs best baseline ({:.2}x vs CPU, {:.2}x vs GPU)",
-        deployment.speedup_over_best_baseline(),
-        deployment.speedup_over_cpu(),
-        deployment.speedup_over_gpu()
+        "speedup:       {:.2}x vs best baseline",
+        deployment.speedup_over_best_baseline().expect("measured")
     );
     println!(
         "autotuning recovered {:.2}x beyond the predicted-best schedule",
-        deployment.autotuning_gain()
+        deployment.autotuning_gain().expect("measured")
     );
+    Ok(deployment)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1–2. Inputs: the application (7-stage octree construction) and the
+    //      target system (a modeled Pixel 7a: big/medium/little CPU
+    //      clusters + Mali GPU).
+    let app = apps::octree_app(apps::OctreeConfig::default()).model();
+    let soc = devices::pixel_7a();
+    println!("application: {} ({} stages)", app.name, app.stage_count());
+    println!("device:      {} (simulated)\n", soc.name());
+    drive(&BetterTogether::new(soc, app))?;
+
+    // Same driver, real execution: profile the actual octree kernels with
+    // wall-clock timing and autotune through the dispatcher-thread
+    // runtime. Host "PU classes" are thread-count tiers. Sized small so
+    // the real runs stay quick.
+    let real_app = apps::octree_app(apps::OctreeConfig {
+        points: 2_000,
+        shape: bettertogether::kernels::pointcloud::CloudShape::Uniform,
+        max_depth: 5,
+        seed: 7,
+    });
+    println!("\n================ host backend ================\n");
+    println!("device:      development host (real kernels)\n");
+    let backend = HostBackend::with_classes(
+        real_app,
+        HostClasses::new(vec![(PuClass::BigCpu, 2), (PuClass::LittleCpu, 1)]),
+    )
+    .with_profiler(HostProfilerConfig { reps: 1, warmup: 0 })
+    .with_run(HostRunConfig {
+        tasks: 4,
+        warmup: 1,
+        ..HostRunConfig::default()
+    });
+    drive(&BetterTogether::with_backend(backend))?;
     Ok(())
 }

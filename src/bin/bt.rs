@@ -175,10 +175,12 @@ fn run(args: Args) -> Result<(), String> {
             max_chunks: args.max_chunks,
             ..OptimizerConfig::with_threshold(args.threshold)
         },
-        ..BtConfig::default()
     });
 
     let deployment = bt.run().map_err(|e| e.to_string())?;
+    let best_schedule = deployment
+        .best_schedule()
+        .ok_or("autotuning produced no best schedule")?;
 
     if args.table {
         println!("{}", deployment.plan.table.render());
@@ -210,12 +212,12 @@ fn run(args: Args) -> Result<(), String> {
              \"speedup\":{:.3},\"autotuning_gain\":{:.3},\"candidates\":[{}]}}",
             bt.soc().name(),
             bt.app().name,
-            deployment.best_schedule(),
-            deployment.best_latency().as_f64(),
-            deployment.baselines.cpu.as_f64(),
-            deployment.baselines.gpu.as_f64(),
-            deployment.speedup_over_best_baseline(),
-            deployment.autotuning_gain(),
+            best_schedule,
+            deployment.best_latency().expect("measured").as_f64(),
+            deployment.baselines.cpu().expect("measured").as_f64(),
+            deployment.baselines.gpu().expect("measured").as_f64(),
+            deployment.speedup_over_best_baseline().expect("measured"),
+            deployment.autotuning_gain().expect("measured"),
             cands.join(",")
         );
     } else {
@@ -226,40 +228,36 @@ fn run(args: Args) -> Result<(), String> {
             bt.app().stage_count()
         );
         println!("profiling:     {} mode", bt.config().profile_mode);
-        println!(
-            "best schedule: {}  (B=big M=medium L=little G=gpu)",
-            deployment.best_schedule()
-        );
+        println!("best schedule: {best_schedule}  (B=big M=medium L=little G=gpu)");
         println!(
             "measured:      {:.3} ms/task",
-            deployment.best_latency().as_millis()
+            deployment.best_latency().expect("measured").as_millis()
         );
         println!(
             "baselines:     CPU {:.3} ms | GPU {:.3} ms",
-            deployment.baselines.cpu.as_millis(),
-            deployment.baselines.gpu.as_millis()
+            deployment.baselines.cpu().expect("measured").as_millis(),
+            deployment.baselines.gpu().expect("measured").as_millis()
         );
         println!(
             "speedup:       {:.2}x vs best baseline, {:.2}x vs CPU, {:.2}x vs GPU",
-            deployment.speedup_over_best_baseline(),
-            deployment.speedup_over_cpu(),
-            deployment.speedup_over_gpu()
+            deployment.speedup_over_best_baseline().expect("measured"),
+            deployment.speedup_over_cpu().expect("measured"),
+            deployment.speedup_over_gpu().expect("measured")
         );
         println!(
             "autotuning:    {:.2}x beyond predicted-best",
-            deployment.autotuning_gain()
+            deployment.autotuning_gain().expect("measured")
         );
         if args.energy {
             use bettertogether::core::energy::{measure_baseline_energy, measure_energy};
             use bettertogether::soc::power::PowerModel;
             use bettertogether::soc::PuClass;
             let model = PowerModel::default_for(bt.soc());
-            let des = &bt.config().des;
-            let e = measure_energy(bt.soc(), bt.app(), deployment.best_schedule(), &model, des)
+            let e =
+                measure_energy(bt.backend(), best_schedule, &model).map_err(|e| e.to_string())?;
+            let cpu = measure_baseline_energy(bt.backend(), PuClass::BigCpu, &model)
                 .map_err(|e| e.to_string())?;
-            let cpu = measure_baseline_energy(bt.soc(), bt.app(), PuClass::BigCpu, &model, des)
-                .map_err(|e| e.to_string())?;
-            let gpu = measure_baseline_energy(bt.soc(), bt.app(), PuClass::Gpu, &model, des)
+            let gpu = measure_baseline_energy(bt.backend(), PuClass::Gpu, &model)
                 .map_err(|e| e.to_string())?;
             println!(
                 "energy:        {:.2} mJ/task at {:.2} W (CPU baseline {:.2} mJ, GPU {:.2} mJ)",

@@ -26,12 +26,17 @@
 //! let deployment = BetterTogether::new(devices::pixel_7a(), app).run()?;
 //! println!(
 //!     "{} → {} ({:.2}x vs best homogeneous baseline)",
-//!     deployment.best_schedule(),
-//!     deployment.best_latency(),
-//!     deployment.speedup_over_best_baseline(),
+//!     deployment.best_schedule().expect("autotuned"),
+//!     deployment.best_latency().expect("measured"),
+//!     deployment.speedup_over_best_baseline().expect("measured"),
 //! );
 //! # Ok::<(), bettertogether::core::BtError>(())
 //! ```
+//!
+//! The deployment above was measured in the simulator; swap in
+//! [`core::HostBackend`] via [`core::BetterTogether::with_backend`] to run
+//! the identical loop against real kernels on this machine (see
+//! `examples/quickstart.rs`).
 #![warn(missing_docs)]
 
 pub use bt_core as core;
