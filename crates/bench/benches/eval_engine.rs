@@ -1,0 +1,104 @@
+//! End-to-end evaluation-engine benchmarks: the full Fig. 2 loop
+//! (profile → optimize → autotune → baselines), the DES service cache,
+//! and the incremental SAT candidate enumerator — each against its
+//! pre-optimization configuration. `bench_eval` (a binary) distils the
+//! same comparisons into the `BENCH_eval.json` trajectory artefact.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bt_core::{build_problem, BetterTogether, SimBackend};
+use bt_kernels::apps;
+use bt_pipeline::simulate_schedule;
+use bt_soc::des::DesConfig;
+use bt_soc::devices;
+
+fn fig2_loop(c: &mut Criterion) {
+    let soc = devices::pixel_7a();
+    let app = apps::alexnet_sparse_app(apps::AlexNetConfig::default()).model();
+    let current = SimBackend::new(soc.clone(), app.clone());
+    let pre_pr = SimBackend::new(soc, app)
+        .with_parallel(false)
+        .with_des(DesConfig {
+            service_cache: false,
+            ..DesConfig::default()
+        });
+
+    let mut group = c.benchmark_group("fig2_loop");
+    group.sample_size(10);
+    group.bench_function("current", |b| {
+        b.iter(|| {
+            black_box(
+                BetterTogether::with_backend(current.clone())
+                    .run()
+                    .expect("runs")
+                    .outcome
+                    .best_index,
+            )
+        });
+    });
+    group.bench_function("pre_pr", |b| {
+        b.iter(|| {
+            black_box(
+                BetterTogether::with_backend(pre_pr.clone())
+                    .run()
+                    .expect("runs")
+                    .outcome
+                    .best_index,
+            )
+        });
+    });
+    group.finish();
+}
+
+fn des_service_cache(c: &mut Criterion) {
+    let soc = devices::pixel_7a();
+    let app = apps::alexnet_sparse_app(apps::AlexNetConfig::default()).model();
+    let plan = BetterTogether::new(soc.clone(), app.clone())
+        .plan()
+        .expect("plan");
+    let schedule = plan.candidates[0].schedule.clone();
+
+    let mut group = c.benchmark_group("des_service_cache");
+    for cache in [true, false] {
+        let cfg = DesConfig {
+            tasks: 3000,
+            service_cache: cache,
+            ..DesConfig::default()
+        };
+        group.bench_function(if cache { "on" } else { "off" }, |b| {
+            b.iter(|| {
+                black_box(
+                    simulate_schedule(&soc, &app, &schedule, &cfg)
+                        .expect("simulates")
+                        .time_per_task,
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn solver_enumerator(c: &mut Criterion) {
+    let soc = devices::pixel_7a();
+    let app = apps::alexnet_sparse_app(apps::AlexNetConfig::default()).model();
+    let table = BetterTogether::new(soc.clone(), app).profile();
+    let problem = build_problem(&soc, &table).expect("valid problem");
+
+    c.bench_function("solver_incremental_20", |b| {
+        b.iter(|| black_box(problem.latency_candidates(20).len()));
+    });
+}
+
+fn bench_all(c: &mut Criterion) {
+    fig2_loop(c);
+    des_service_cache(c);
+    solver_enumerator(c);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_all
+}
+criterion_main!(benches);

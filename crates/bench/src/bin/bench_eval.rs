@@ -1,0 +1,307 @@
+//! **Perf-trajectory harness for the evaluation engine**: times the three
+//! hot paths this repo's autotuning loop lives in — the end-to-end Fig. 2
+//! loop (profile → optimize → autotune → baselines), the discrete-event
+//! simulator, and the SAT candidate enumerator — each in a "before"
+//! configuration (serial measurement, no DES service cache, per-round
+//! solver re-encoding) and in the current default configuration.
+//!
+//! Writes `BENCH_eval.json` at the **repository root** so CI can upload it
+//! and reviewers can diff the trajectory across commits. Also checks that
+//! the parallel evaluation path produces a `Deployment` byte-identical to
+//! the serial one (same seeds, index-ordered merge).
+//!
+//! `--smoke` shrinks iteration counts for CI; the JSON shape is unchanged.
+
+use std::time::Instant;
+
+use bt_core::{build_problem, BetterTogether, SimBackend};
+use bt_kernels::{apps, AppModel};
+use bt_pipeline::{simulate_baseline, simulate_schedule, Schedule};
+use bt_profiler::{profile, ProfileMode, ProfilerConfig};
+use bt_soc::des::DesConfig;
+use bt_soc::{devices, PuClass, SocSpec};
+use bt_solver::enumerate::{enumerate_schedules, evaluate};
+use bt_solver::{Assignment, ScheduleProblem};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Fig2Loop {
+    /// Serial measurement, DES cache off — the pre-optimization path.
+    pre_pr_ms: f64,
+    /// Current defaults (parallel hint honoured, DES cache on).
+    current_ms: f64,
+    speedup: f64,
+    /// Parallel and serial runs produced identical `Deployment`s.
+    deployment_byte_identical: bool,
+}
+
+#[derive(Serialize)]
+struct DesThroughput {
+    tasks_per_run: u32,
+    runs: u32,
+    /// Task-stage service events per wall-clock second, cache off/on.
+    events_per_sec_cache_off: f64,
+    events_per_sec_cache_on: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct SolverCandidates {
+    candidates: usize,
+    /// Old algorithm: fresh CNF encoding per blocking-clause round.
+    reencode_ms: f64,
+    /// Current algorithm: persistent incremental solver across rounds.
+    incremental_ms: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct BenchEval {
+    device: &'static str,
+    app: &'static str,
+    smoke: bool,
+    fig2_loop: Fig2Loop,
+    des: DesThroughput,
+    solver: SolverCandidates,
+    /// The acceptance bar: current Fig. 2 loop ≥ 2× the pre-PR path.
+    meets_2x_fig2: bool,
+}
+
+fn ms(t: Instant) -> f64 {
+    t.elapsed().as_secs_f64() * 1e3
+}
+
+/// The seed's Fig. 2 loop, reconstructed from public primitives: serial
+/// profiling; exact optimization that materializes the whole schedule
+/// space, re-validates every leaf through [`evaluate`], and full-sorts it
+/// before truncating to 𝒦; serial autotuning and baselines on the
+/// uncached DES path. This is the "before" arm of the trajectory — the
+/// framework's own entry points have since moved to streaming top-𝒦
+/// selection, memoized service times, and hint-gated parallel fan-out.
+fn pre_pr_fig2_loop(soc: &SocSpec, app: &AppModel) -> usize {
+    let table = profile(
+        soc,
+        app,
+        ProfileMode::InterferenceHeavy,
+        &ProfilerConfig {
+            parallel: false,
+            ..ProfilerConfig::default()
+        },
+    );
+    let problem = build_problem(soc, &table).expect("valid problem");
+    let mut all: Vec<_> = enumerate_schedules(&problem)
+        .iter()
+        .map(|e| evaluate(&problem, &e.assignment))
+        .collect();
+    all.retain(|e| e.t_min >= 0.45 * e.t_max);
+    all.sort_by(|a, b| {
+        a.t_max
+            .partial_cmp(&b.t_max)
+            .expect("finite")
+            .then_with(|| a.gapness().partial_cmp(&b.gapness()).expect("finite"))
+            .then_with(|| a.assignment.cmp(&b.assignment))
+    });
+    all.truncate(20);
+    let des = DesConfig {
+        service_cache: false,
+        ..DesConfig::default()
+    };
+    let mut best = (f64::INFINITY, 0usize);
+    for (i, e) in all.iter().enumerate() {
+        let schedule =
+            Schedule::from_class_indices(&e.assignment, table.classes()).expect("contiguous");
+        let cfg = DesConfig {
+            seed: des.seed.wrapping_add(i as u64),
+            ..des.clone()
+        };
+        let r = simulate_schedule(soc, app, &schedule, &cfg).expect("simulates");
+        if r.time_per_task.as_f64() < best.0 {
+            best = (r.time_per_task.as_f64(), i);
+        }
+    }
+    for class in [PuClass::BigCpu, PuClass::Gpu] {
+        simulate_baseline(soc, app, class, &des).expect("baseline");
+    }
+    best.1
+}
+
+/// The pre-PR candidate loop: binary-search the smallest feasible latency
+/// tier with a fresh solver encoding per `solve_window` probe, blocking
+/// found assignments between rounds. Kept here (not in bt-solver) purely
+/// as the baseline arm of the trajectory.
+fn reencode_candidates(problem: &ScheduleProblem, k: usize) -> Vec<(f64, Assignment)> {
+    let sums = problem.chunk_sums();
+    let mut blocked: Vec<Assignment> = Vec::new();
+    let mut found = Vec::with_capacity(k);
+    while found.len() < k {
+        let (mut lo, mut hi, mut best) = (0usize, sums.len(), None);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            match problem.solve_window(0.0, sums[mid], &blocked) {
+                Some(a) => {
+                    best = Some((sums[mid], a));
+                    hi = mid;
+                }
+                None => lo = mid + 1,
+            }
+        }
+        match best {
+            Some((t, a)) => {
+                blocked.push(a.clone());
+                found.push((t, a));
+            }
+            None => break,
+        }
+    }
+    found
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let soc = devices::pixel_7a();
+    let app = apps::alexnet_sparse_app(apps::AlexNetConfig::default()).model();
+    println!(
+        "evaluation-engine trajectory — Pixel 7a × sparse AlexNet{}\n",
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    // --- Fig. 2 loop: reconstructed pre-PR path vs current defaults. ----
+    // Both arms run in ~1 ms, so a single averaged pass is at the mercy of
+    // scheduler contention on small CI boxes. Contention is one-sided (it
+    // only ever slows an arm down), so interleave short batches of the two
+    // arms and keep the *minimum* batch mean per arm — the cleanest
+    // observation each arm managed under identical machine conditions.
+    let fig2_batches: u32 = if smoke { 2 } else { 6 };
+    let fig2_reps: u32 = if smoke { 3 } else { 5 };
+    let cur_backend = SimBackend::new(soc.clone(), app.clone());
+
+    // Warm both arms once (page/allocator effects), then time.
+    let bt = BetterTogether::with_backend(cur_backend.clone());
+    pre_pr_fig2_loop(&soc, &app);
+    bt.run().expect("warms");
+
+    let mut pre_pr_ms = f64::INFINITY;
+    let mut current_ms = f64::INFINITY;
+    let mut current = None;
+    for _ in 0..fig2_batches {
+        let t0 = Instant::now();
+        for _ in 0..fig2_reps {
+            std::hint::black_box(pre_pr_fig2_loop(&soc, &app));
+        }
+        pre_pr_ms = pre_pr_ms.min(ms(t0) / f64::from(fig2_reps));
+
+        let t0 = Instant::now();
+        for _ in 0..fig2_reps {
+            current = Some(bt.run().expect("current loop runs"));
+        }
+        current_ms = current_ms.min(ms(t0) / f64::from(fig2_reps));
+    }
+
+    // Byte-identical check: same defaults, parallel hint on vs forced
+    // serial. Debug formatting covers every field of the Deployment.
+    let serial = BetterTogether::with_backend(cur_backend.clone().with_parallel(false))
+        .run()
+        .expect("serial loop runs");
+    let identical = format!("{:?}", current.expect("ran")) == format!("{serial:?}");
+    let fig2 = Fig2Loop {
+        pre_pr_ms,
+        current_ms,
+        speedup: pre_pr_ms / current_ms,
+        deployment_byte_identical: identical,
+    };
+    println!(
+        "Fig. 2 loop:  pre-PR {pre_pr_ms:9.2} ms   current {current_ms:9.2} ms   \
+         speedup {:.2}x   byte-identical: {identical}",
+        fig2.speedup
+    );
+
+    // --- DES throughput: service cache off vs on. -----------------------
+    let plan = BetterTogether::with_backend(cur_backend.clone())
+        .plan()
+        .expect("plan");
+    let schedule = &plan.candidates[0].schedule;
+    let tasks: u32 = if smoke { 300 } else { 3000 };
+    let runs: u32 = if smoke { 3 } else { 20 };
+    let des_arm = |cache: bool| {
+        let cfg = DesConfig {
+            tasks,
+            service_cache: cache,
+            ..DesConfig::default()
+        };
+        let t0 = Instant::now();
+        for seed in 0..u64::from(runs) {
+            simulate_schedule(
+                &soc,
+                &app,
+                schedule,
+                &DesConfig {
+                    seed,
+                    ..cfg.clone()
+                },
+            )
+            .expect("simulates");
+        }
+        let secs = t0.elapsed().as_secs_f64();
+        // Each task crosses each chunk once: one dispatch + one completion.
+        let events = f64::from(runs)
+            * f64::from(tasks + DesConfig::default().warmup)
+            * schedule.chunks().len() as f64
+            * 2.0;
+        events / secs
+    };
+    let off = des_arm(false);
+    let on = des_arm(true);
+    let des = DesThroughput {
+        tasks_per_run: tasks,
+        runs,
+        events_per_sec_cache_off: off,
+        events_per_sec_cache_on: on,
+        speedup: on / off,
+    };
+    println!(
+        "DES:          cache off {off:10.0} ev/s   cache on {on:10.0} ev/s   speedup {:.2}x",
+        des.speedup
+    );
+
+    // --- Solver: 20 candidates, re-encode vs incremental. ---------------
+    let k = if smoke { 8 } else { 20 };
+    let table = BetterTogether::with_backend(cur_backend).profile();
+    let problem = build_problem(&soc, &table).expect("valid problem");
+    let t0 = Instant::now();
+    let old = reencode_candidates(&problem, k);
+    let reencode_ms = ms(t0);
+    let t0 = Instant::now();
+    let new = problem.latency_candidates(k);
+    let incremental_ms = ms(t0);
+    assert_eq!(old.len(), new.len(), "both arms enumerate the same count");
+    let solver = SolverCandidates {
+        candidates: k,
+        reencode_ms,
+        incremental_ms,
+        speedup: reencode_ms / incremental_ms,
+    };
+    println!(
+        "Solver ({k}):  re-encode {reencode_ms:8.2} ms   incremental {incremental_ms:8.2} ms   \
+         speedup {:.2}x",
+        solver.speedup
+    );
+
+    let meets = fig2.speedup >= 2.0;
+    println!(
+        "\nFig. 2 loop >= 2x over pre-PR path: {}",
+        if meets { "met" } else { "NOT met" }
+    );
+
+    bt_bench::write_root_result(
+        "BENCH_eval",
+        &BenchEval {
+            device: "pixel_7a",
+            app: "alexnet_sparse",
+            smoke,
+            fig2_loop: fig2,
+            des,
+            solver,
+            meets_2x_fig2: meets,
+        },
+    );
+}

@@ -29,6 +29,7 @@ fn main() {
         reps: 1,
         noise_sigma: 0.0,
         seed: 0,
+        ..ProfilerConfig::default()
     };
     for soc in devices::all() {
         for (label, app) in &apps {

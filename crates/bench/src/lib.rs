@@ -69,6 +69,25 @@ pub fn write_result<T: Serialize>(name: &str, value: &T) {
     println!("\n[artefact written to results/{name}.json]");
 }
 
+/// Writes a performance-trajectory artefact as pretty JSON at the
+/// **repository root** (next to `Cargo.toml`), not under `results/`.
+///
+/// Root placement is deliberate: these artefacts (e.g. `BENCH_eval.json`)
+/// are per-commit performance records that CI uploads and reviewers diff
+/// across PRs, while `results/` holds regenerable paper figures.
+///
+/// # Panics
+///
+/// Panics if the artefact cannot be serialized or written.
+pub fn write_root_result<T: Serialize>(name: &str, value: &T) {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value).expect("serialize artefact");
+    fs::write(&path, json).expect("write artefact");
+    println!("\n[artefact written to {name}.json]");
+}
+
 /// Renders one row of an aligned text table.
 pub fn row(cells: &[String], widths: &[usize]) -> String {
     cells

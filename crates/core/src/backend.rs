@@ -36,9 +36,29 @@ use crate::BtError;
 /// autotuning and each class in
 /// [`baseline_classes`](ExecutionBackend::baseline_classes) via
 /// [`measure_baseline`](ExecutionBackend::measure_baseline).
-pub trait ExecutionBackend {
+///
+/// Backends are `Sync` so the framework can fan independent measurements
+/// out over scoped worker threads when
+/// [`parallel_measure_hint`](ExecutionBackend::parallel_measure_hint)
+/// allows it.
+pub trait ExecutionBackend: Sync {
     /// Short identifier for reports ("sim", "host", …).
     fn name(&self) -> &str;
+
+    /// Whether independent measurements may run concurrently.
+    ///
+    /// `true` means [`measure`](ExecutionBackend::measure) and
+    /// [`measure_baseline`](ExecutionBackend::measure_baseline) calls are
+    /// pure functions of their arguments (virtual-time backends): the
+    /// framework then spreads autotuning candidates, baselines, and energy
+    /// measurements over scoped threads, merging results in input order so
+    /// the outcome is byte-identical to a serial sweep. The default is
+    /// `false` — correct for any wall-clock backend, where concurrent runs
+    /// would contend for the machine and corrupt the very latencies being
+    /// ranked.
+    fn parallel_measure_hint(&self) -> bool {
+        false
+    }
 
     /// Stage count of the bound application — the validation reference
     /// for schedules and cached [`crate::Plan`]s.
@@ -87,6 +107,7 @@ pub struct SimBackend {
     app: AppModel,
     profiler: ProfilerConfig,
     des: DesConfig,
+    parallel: bool,
 }
 
 impl SimBackend {
@@ -97,12 +118,24 @@ impl SimBackend {
             app,
             profiler: ProfilerConfig::default(),
             des: DesConfig::default(),
+            parallel: true,
         }
     }
 
     /// Overrides the profiler configuration.
     pub fn with_profiler(mut self, profiler: ProfilerConfig) -> SimBackend {
         self.profiler = profiler;
+        self
+    }
+
+    /// Enables or disables concurrent measurement/profiling (on by
+    /// default). Simulated runs are pure functions of `(config, seed)`, so
+    /// parallel sweeps return byte-identical results; turning this off
+    /// forces the reference serial path (used by the determinism tests and
+    /// the perf-trajectory bench).
+    pub fn with_parallel(mut self, parallel: bool) -> SimBackend {
+        self.parallel = parallel;
+        self.profiler.parallel = parallel;
         self
     }
 
@@ -131,6 +164,12 @@ impl SimBackend {
 impl ExecutionBackend for SimBackend {
     fn name(&self) -> &str {
         "sim"
+    }
+
+    fn parallel_measure_hint(&self) -> bool {
+        // DES runs are independent and seed-decorrelated by run index;
+        // concurrent evaluation cannot perturb them.
+        self.parallel
     }
 
     fn stage_count(&self) -> usize {
@@ -260,6 +299,12 @@ impl<P: Send + 'static> ExecutionBackend for HostBackend<P> {
         "host"
     }
 
+    // `parallel_measure_hint` stays at the default `false`: host
+    // measurements are wall-clock pipeline runs that own the machine's
+    // cores. Running two candidates concurrently would make them contend
+    // for CPUs and memory bandwidth, corrupting exactly the latencies
+    // autotuning is trying to rank — the host sweep must stay serial.
+
     fn stage_count(&self) -> usize {
         self.app.stage_count()
     }
@@ -350,6 +395,13 @@ mod tests {
         let b = SimBackend::new(devices::oneplus_11(), app);
         assert!(!b.schedulable(PuClass::LittleCpu), "OnePlus little cores");
         assert!(b.schedulable(PuClass::BigCpu));
+    }
+
+    #[test]
+    fn sim_parallel_hint_defaults_on_and_toggles() {
+        let b = sim();
+        assert!(b.parallel_measure_hint());
+        assert!(!b.with_parallel(false).parallel_measure_hint());
     }
 
     #[test]

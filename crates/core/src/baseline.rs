@@ -78,18 +78,27 @@ impl Baselines {
 /// led to degraded performance due to load imbalance") and GPU-only; on
 /// the host, every configured tier.
 ///
+/// When the backend's
+/// [`parallel_measure_hint`](ExecutionBackend::parallel_measure_hint) is
+/// set, the baseline classes are measured concurrently and merged in class
+/// order — byte-identical to the serial sweep.
+///
 /// # Errors
 ///
 /// Propagates backend errors (e.g. a device without a GPU).
 pub fn measure_baselines<B: ExecutionBackend>(backend: &B) -> Result<Baselines, BtError> {
-    let mut entries = Vec::new();
-    for class in backend.baseline_classes() {
-        let m = backend.measure_baseline(class)?;
-        entries.push(BaselineEntry {
+    let classes = backend.baseline_classes();
+    let runs = crate::parallel::fan_out(classes.len(), backend.parallel_measure_hint(), |i| {
+        backend.measure_baseline(classes[i])
+    })?;
+    let entries = classes
+        .into_iter()
+        .zip(runs)
+        .map(|(class, m)| BaselineEntry {
             class,
             latency: m.latency,
-        });
-    }
+        })
+        .collect();
     Ok(Baselines { entries })
 }
 

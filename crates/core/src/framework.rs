@@ -247,6 +247,12 @@ impl<B: ExecutionBackend> BetterTogether<B> {
     /// Autotunes an existing plan (e.g. one deserialized from disk) and
     /// measures baselines, after validating the plan against the backend.
     ///
+    /// Backends whose
+    /// [`parallel_measure_hint`](ExecutionBackend::parallel_measure_hint)
+    /// is set (the simulator by default) evaluate the candidate sweep and
+    /// the baselines on concurrent worker threads; the deployment is
+    /// byte-identical to a serial evaluation either way.
+    ///
     /// # Errors
     ///
     /// Returns [`BtError`] if the plan fails validation or a measurement

@@ -45,6 +45,7 @@ mod error;
 mod framework;
 pub mod metrics;
 mod optimizer;
+mod parallel;
 pub mod predict;
 
 pub use backend::{ExecutionBackend, HostBackend, SimBackend};

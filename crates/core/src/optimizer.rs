@@ -16,7 +16,7 @@
 use bt_pipeline::Schedule;
 use bt_profiler::ProfilingTable;
 use bt_soc::{Micros, PuClass, SocSpec};
-use bt_solver::enumerate::{enumerate_schedules, evaluate};
+use bt_solver::enumerate::{evaluate, for_each_schedule, ScheduleEval};
 use bt_solver::ScheduleProblem;
 
 use serde::{Deserialize, Serialize};
@@ -195,42 +195,97 @@ pub fn optimize_with(
     schedulable: impl Fn(PuClass) -> bool,
 ) -> Result<Vec<Candidate>, BtError> {
     let problem = build_problem_masked(table, schedulable, cfg.max_chunks)?;
-    // Level 1 for the gapness-first objective: the optimum g*.
-    let g_star = match cfg.objective {
-        Objective::GapnessFirst { .. } => bt_solver::enumerate::min_gapness_exact(&problem)
-            .map(|e| e.gapness())
-            .ok_or(BtError::NoCandidates)?,
-        Objective::UtilizationFilter { .. } => 0.0,
-    };
     let candidates = match cfg.engine {
         SolverEngine::Exact => {
-            let mut all = enumerate_schedules(&problem);
-            all.retain(|e| admits(cfg.objective, g_star, e.t_max, e.t_min));
-            all.sort_by(|a, b| {
+            // The Fig. 2 loop re-enters this path on every run, so the
+            // space is streamed rather than materialized: one pass for
+            // the gapness optimum g* when the objective needs it, one
+            // pass keeping a bounded top-𝒦 ordered by
+            // (T_max, gapness, assignment) — the same total order the
+            // old collect-sort-truncate produced, without the ~|space|
+            // allocations and full sort behind it.
+            let g_star = match cfg.objective {
+                Objective::GapnessFirst { .. } => {
+                    let mut best = f64::INFINITY;
+                    for_each_schedule(&problem, |_, sums| {
+                        let t_max = sums.iter().cloned().fold(f64::MIN, f64::max);
+                        let t_min = sums.iter().cloned().fold(f64::MAX, f64::min);
+                        best = best.min(t_max - t_min);
+                    });
+                    if best.is_infinite() {
+                        return Err(BtError::NoCandidates);
+                    }
+                    best
+                }
+                Objective::UtilizationFilter { .. } => 0.0,
+            };
+            let mut top: Vec<ScheduleEval> = Vec::with_capacity(cfg.candidates + 1);
+            let rank = |a: &ScheduleEval, b: &ScheduleEval| {
                 a.t_max
                     .partial_cmp(&b.t_max)
                     .expect("finite latencies")
                     .then_with(|| a.gapness().partial_cmp(&b.gapness()).expect("finite"))
                     .then_with(|| a.assignment.cmp(&b.assignment))
+            };
+            for_each_schedule(&problem, |assignment, sums| {
+                let t_max = sums.iter().cloned().fold(f64::MIN, f64::max);
+                let t_min = sums.iter().cloned().fold(f64::MAX, f64::min);
+                if !admits(cfg.objective, g_star, t_max, t_min) {
+                    return;
+                }
+                let full = top.len() == cfg.candidates;
+                // Cheap pre-test against the current worst before paying
+                // for the ScheduleEval materialization. (Equal T_max must
+                // still be inserted — tie-breaks may rank it earlier.)
+                if full {
+                    match top.last() {
+                        Some(worst) if t_max <= worst.t_max => {}
+                        _ => return, // beaten, or 𝒦 = 0
+                    }
+                }
+                let eval = ScheduleEval {
+                    assignment: assignment.to_vec(),
+                    chunk_sums: sums.to_vec(),
+                    t_max,
+                    t_min,
+                };
+                let at = top
+                    .binary_search_by(|e| rank(e, &eval))
+                    .unwrap_or_else(|i| i);
+                if full && at == top.len() {
+                    return;
+                }
+                top.insert(at, eval);
+                top.truncate(cfg.candidates);
             });
-            all.truncate(cfg.candidates);
-            all.iter()
+            top.iter()
                 .map(|e| to_candidate(table, &e.assignment, &problem))
                 .collect::<Vec<_>>()
         }
         SolverEngine::Sat => {
+            // Level 1 for the gapness-first objective: the optimum g*.
+            let g_star = match cfg.objective {
+                Objective::GapnessFirst { .. } => bt_solver::enumerate::min_gapness_exact(&problem)
+                    .map(|e| e.gapness())
+                    .ok_or(BtError::NoCandidates)?,
+                Objective::UtilizationFilter { .. } => 0.0,
+            };
             let mut found = Vec::new();
-            let mut blocked = Vec::new();
             // Generate by ascending T_max; keep only filtered survivors.
+            // The incremental enumerator keeps one solver alive across the
+            // blocking-clause rounds instead of re-encoding the problem
+            // per candidate (see [`bt_solver::LatencyEnumerator`]).
+            let mut enumerator = problem.latency_enumerator();
             let budget = cfg.candidates * 12;
-            while found.len() < cfg.candidates && blocked.len() < budget {
-                match problem.min_latency(&blocked) {
+            let mut enumerated = 0usize;
+            while found.len() < cfg.candidates && enumerated < budget {
+                match enumerator.next_candidate() {
                     Some((_, assignment)) => {
+                        enumerated += 1;
                         let eval = evaluate(&problem, &assignment);
                         if admits(cfg.objective, g_star, eval.t_max, eval.t_min) {
                             found.push(to_candidate(table, &assignment, &problem));
                         }
-                        blocked.push(assignment);
                     }
                     None => break,
                 }
@@ -283,20 +338,30 @@ pub struct AutotuneOutcome {
 }
 
 impl AutotuneOutcome {
+    /// Resolves a candidate index to its measurement. [`autotune`] pushes
+    /// measurements in candidate order, so position `i` normally carries
+    /// tag `i` and the lookup is a direct index; the tagged-index contract
+    /// still governs — a reordered or partially persisted vector falls
+    /// back to a scan of the tags.
+    fn lookup(&self, candidate_index: usize) -> Option<&CandidateMeasurement> {
+        match self.measured.get(candidate_index) {
+            Some(m) if m.candidate_index == candidate_index => Some(m),
+            _ => self
+                .measured
+                .iter()
+                .find(|m| m.candidate_index == candidate_index),
+        }
+    }
+
     /// The measured latency of candidate `candidate_index`, if it was
     /// evaluated.
     pub fn measured_latency(&self, candidate_index: usize) -> Option<Micros> {
-        self.measured
-            .iter()
-            .find(|m| m.candidate_index == candidate_index)
-            .map(|m| m.latency)
+        self.lookup(candidate_index).map(|m| m.latency)
     }
 
     /// The measurement of the measured-best candidate.
     pub fn best(&self) -> Option<&CandidateMeasurement> {
-        self.measured
-            .iter()
-            .find(|m| m.candidate_index == self.best_index)
+        self.lookup(self.best_index)
     }
 }
 
@@ -306,6 +371,13 @@ impl AutotuneOutcome {
 /// Telemetry enabled in the backend's run configuration is collected
 /// independently for every candidate run and attached to its
 /// [`CandidateMeasurement`].
+///
+/// When the backend's
+/// [`parallel_measure_hint`](ExecutionBackend::parallel_measure_hint) is
+/// set, candidate runs fan out over scoped worker threads; each run keeps
+/// its serial `run_index` (so simulator seeds are unchanged) and results
+/// merge in candidate order, making the outcome byte-identical to the
+/// serial sweep.
 ///
 /// # Errors
 ///
@@ -317,10 +389,12 @@ pub fn autotune<B: ExecutionBackend>(
     if candidates.is_empty() {
         return Err(BtError::NoCandidates);
     }
+    let runs = crate::parallel::fan_out(candidates.len(), backend.parallel_measure_hint(), |i| {
+        backend.measure(&candidates[i].schedule, i as u64)
+    })?;
     let mut measured = Vec::with_capacity(candidates.len());
     let mut cost = Micros::ZERO;
-    for (i, cand) in candidates.iter().enumerate() {
-        let m = backend.measure(&cand.schedule, i as u64)?;
+    for (i, m) in runs.into_iter().enumerate() {
         cost += m.makespan;
         measured.push(CandidateMeasurement {
             candidate_index: i,
@@ -328,6 +402,13 @@ pub fn autotune<B: ExecutionBackend>(
             telemetry: m.telemetry,
         });
     }
+    debug_assert!(
+        measured
+            .iter()
+            .enumerate()
+            .all(|(i, m)| m.candidate_index == i),
+        "autotune emits measurements in candidate order"
+    );
     let best_index = measured
         .iter()
         .min_by(|a, b| {

@@ -1,0 +1,95 @@
+//! Scoped-thread fan-out for independent backend measurements.
+//!
+//! The Fig. 2 loop repeatedly evaluates *independent* runs — 𝒦 autotuning
+//! candidates, the homogeneous baselines, the energy comparison set. When a
+//! backend's [`parallel_measure_hint`][hint] says runs cannot perturb each
+//! other (the simulator: every run is a pure function of its config and
+//! run-index-decorrelated seed), those evaluations spread over scoped
+//! worker threads. Results are merged **in input-index order**, so the
+//! output is byte-identical to the serial sweep; wall-clock backends keep
+//! the hint off and take the serial path below untouched.
+//!
+//! [hint]: crate::ExecutionBackend::parallel_measure_hint
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Evaluates `f(0..n)` and collects the results in index order.
+///
+/// With `parallel` set (and more than one core), indices are pulled from a
+/// shared counter by scoped workers; otherwise the map is a plain serial
+/// loop. On failure the error for the *smallest* failing index is
+/// returned — the same error the serial loop would surface first.
+pub(crate) fn fan_out<T, E, F>(n: usize, parallel: bool, f: F) -> Result<Vec<T>, E>
+where
+    T: Send,
+    E: Send,
+    F: Fn(usize) -> Result<T, E> + Sync,
+{
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n);
+    if !parallel || workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let per_worker: Vec<Vec<(usize, Result<T, E>)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        out.push((i, f(i)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("measurement worker panicked"))
+            .collect()
+    });
+    let mut slots: Vec<Option<Result<T, E>>> = (0..n).map(|_| None).collect();
+    for chunk in per_worker {
+        for (i, r) in chunk {
+            slots[i] = Some(r);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|r| r.expect("work counter covers every index"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_index_order() {
+        let serial: Result<Vec<usize>, ()> = fan_out(100, false, |i| Ok(i * 3));
+        let parallel: Result<Vec<usize>, ()> = fan_out(100, true, |i| Ok(i * 3));
+        assert_eq!(serial, parallel);
+        assert_eq!(parallel.unwrap()[7], 21);
+    }
+
+    #[test]
+    fn returns_error_of_smallest_failing_index() {
+        for parallel in [false, true] {
+            let r: Result<Vec<usize>, usize> =
+                fan_out(50, parallel, |i| if i % 17 == 13 { Err(i) } else { Ok(i) });
+            assert_eq!(r, Err(13), "parallel={parallel}");
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_empty_vec() {
+        let r: Result<Vec<u8>, ()> = fan_out(0, true, |_| unreachable!());
+        assert_eq!(r, Ok(Vec::new()));
+    }
+}

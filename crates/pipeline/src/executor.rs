@@ -236,6 +236,7 @@ fn w_fallback(entries: &[Instant]) -> Instant {
 /// Blocking push that aborts (returning `false`) once the failure flag is
 /// raised, so no dispatcher deadlocks on a dead neighbour's full queue.
 fn push_until<T>(tx: &mut spsc::Producer<T>, mut value: T, failed: &AtomicBool) -> bool {
+    let mut backoff = spsc::Backoff::new();
     loop {
         match tx.push(value) {
             Ok(()) => return true,
@@ -244,7 +245,7 @@ fn push_until<T>(tx: &mut spsc::Producer<T>, mut value: T, failed: &AtomicBool) 
                     return false;
                 }
                 value = back;
-                std::thread::yield_now();
+                backoff.snooze();
             }
         }
     }
@@ -253,6 +254,7 @@ fn push_until<T>(tx: &mut spsc::Producer<T>, mut value: T, failed: &AtomicBool) 
 /// Blocking pop that gives up (returning `None`) once the failure flag is
 /// raised and the queue is empty.
 fn pop_until<T>(rx: &mut spsc::Consumer<T>, failed: &AtomicBool) -> Option<T> {
+    let mut backoff = spsc::Backoff::new();
     loop {
         if let Some(v) = rx.pop() {
             return Some(v);
@@ -260,7 +262,7 @@ fn pop_until<T>(rx: &mut spsc::Consumer<T>, failed: &AtomicBool) -> Option<T> {
         if failed.load(Ordering::Relaxed) {
             return None;
         }
-        std::thread::yield_now();
+        backoff.snooze();
     }
 }
 

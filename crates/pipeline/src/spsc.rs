@@ -82,6 +82,59 @@ pub fn channel<T>(capacity: usize) -> (Producer<T>, Consumer<T>) {
     )
 }
 
+/// Exponential backoff for busy-wait loops around [`Producer::push`] /
+/// [`Consumer::pop`].
+///
+/// Escalates through three regimes as an operation keeps failing:
+/// first busy-spin with `hint::spin_loop` (doubling the spin count each
+/// round up to `2^SPIN_LIMIT`), then `thread::yield_now`, and finally a
+/// short sleep. Spinning wins when the peer is running on another core
+/// and will publish within tens of nanoseconds; yielding and sleeping
+/// stop a starved dispatcher from burning a whole core — which matters
+/// on small phone SoCs where the spinner would steal cycles from the
+/// very peer it is waiting on.
+///
+/// Miri-safe: only `spin_loop`, `yield_now`, and `sleep` — no clock
+/// reads or OS parking primitives.
+#[derive(Debug, Default)]
+pub struct Backoff {
+    step: u32,
+}
+
+impl Backoff {
+    const SPIN_LIMIT: u32 = 6;
+    const YIELD_LIMIT: u32 = 10;
+    const SLEEP: std::time::Duration = std::time::Duration::from_micros(50);
+
+    /// A fresh backoff at the spinning stage.
+    pub fn new() -> Backoff {
+        Backoff::default()
+    }
+
+    /// Waits one round and escalates. Call after each failed push/pop
+    /// attempt; drop (or [`reset`](Backoff::reset)) once it succeeds.
+    pub fn snooze(&mut self) {
+        if self.step <= Self::SPIN_LIMIT {
+            for _ in 0..1u32 << self.step {
+                std::hint::spin_loop();
+            }
+        } else if self.step <= Self::YIELD_LIMIT {
+            std::thread::yield_now();
+        } else {
+            std::thread::sleep(Self::SLEEP);
+        }
+        if self.step <= Self::YIELD_LIMIT {
+            self.step += 1;
+        }
+    }
+
+    /// Returns to the spinning stage (e.g. after a successful operation
+    /// when the same `Backoff` is reused across loop iterations).
+    pub fn reset(&mut self) {
+        self.step = 0;
+    }
+}
+
 impl<T> Producer<T> {
     /// Attempts to enqueue `value`; returns it back if the queue is full.
     ///
@@ -145,13 +198,15 @@ impl<T> Consumer<T> {
         value
     }
 
-    /// Blocking pop: spins (with `yield_now`) until an item arrives.
+    /// Blocking pop: waits with exponential [`Backoff`] (spin → yield →
+    /// sleep) until an item arrives.
     pub fn pop_blocking(&mut self) -> T {
+        let mut backoff = Backoff::new();
         loop {
             if let Some(v) = self.pop() {
                 return v;
             }
-            std::thread::yield_now();
+            backoff.snooze();
         }
     }
 
@@ -316,6 +371,19 @@ mod tests {
         }
         drainer.join().unwrap();
         assert!(tx.is_empty());
+    }
+
+    #[test]
+    fn backoff_escalates_and_resets_without_panicking() {
+        let mut b = Backoff::new();
+        // Walk through all three regimes: spin (steps 0..=6), yield
+        // (7..=10), sleep (capped at 11). Must stay callable forever.
+        for _ in 0..16 {
+            b.snooze();
+        }
+        assert_eq!(b.step, Backoff::YIELD_LIMIT + 1, "step caps at sleep");
+        b.reset();
+        assert_eq!(b.step, 0, "reset returns to the spin stage");
     }
 
     #[test]

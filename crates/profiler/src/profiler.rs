@@ -22,6 +22,11 @@ pub struct ProfilerConfig {
     pub noise_sigma: f64,
     /// Base seed; each cell derives its own reproducible noise stream.
     pub seed: u64,
+    /// Fill table rows (stages) concurrently. Safe on the simulated
+    /// substrate because every cell seeds its own noise stream from its
+    /// labels — rows are independent, and the merge preserves stage order,
+    /// so the table is byte-identical to a serial fill.
+    pub parallel: bool,
 }
 
 impl Default for ProfilerConfig {
@@ -30,8 +35,55 @@ impl Default for ProfilerConfig {
             reps: 30,
             noise_sigma: 0.02,
             seed: 0,
+            parallel: true,
         }
     }
+}
+
+/// Maps `f` over `0..n` across scoped worker threads, returning results in
+/// index order (byte-identical to a serial map). Falls back to the serial
+/// path on single-core hosts or single-row tables.
+fn fan_rows<T: Send>(n: usize, parallel: bool, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n);
+    if !parallel || workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let per_worker: Vec<Vec<(usize, T)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        out.push((i, f(i)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("profiler worker panicked"))
+            .collect()
+    });
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    for chunk in per_worker {
+        for (i, v) in chunk {
+            slots[i] = Some(v);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|v| v.expect("work counter covers every index"))
+        .collect()
 }
 
 /// The load context a cell is measured under: isolated, or with every other
@@ -76,33 +128,49 @@ pub fn profile(
     cfg: &ProfilerConfig,
 ) -> ProfilingTable {
     let classes = soc.classes();
+    // Rows are independent (per-cell seeded noise), so fill them across
+    // worker threads and merge in stage order.
+    let rows: Vec<(Vec<Micros>, Vec<Micros>)> =
+        fan_rows(app.stage_count(), cfg.parallel, |stage_idx| {
+            let stage = &app.stages[stage_idx];
+            let mut row = Vec::with_capacity(classes.len());
+            let mut srow = Vec::with_capacity(classes.len());
+            for &class in &classes {
+                let pu = soc.pu(class).expect("classes() only returns present PUs");
+                let ctx = cell_context(soc, &stage.work, class, mode);
+                let seed = seed_from_labels(
+                    &[
+                        soc.name(),
+                        &app.name,
+                        &stage.name,
+                        class.label(),
+                        mode.label(),
+                    ],
+                    cfg.seed,
+                );
+                let mut noise = NoiseModel::new(cfg.noise_sigma, seed);
+                let base = cost::latency(&stage.work, pu, soc, &ctx);
+                let reps = cfg.reps.max(1);
+                // Streaming Welford accumulation: one pass, no sample
+                // buffer; variance is the population form (÷ reps), as
+                // before.
+                let mut mean = 0.0;
+                let mut m2 = 0.0;
+                for k in 1..=reps {
+                    let x = base.as_f64() * noise.factor();
+                    let d = x - mean;
+                    mean += d / k as f64;
+                    m2 += d * (x - mean);
+                }
+                let var = m2 / reps as f64;
+                row.push(Micros::new(mean));
+                srow.push(Micros::new(var.sqrt()));
+            }
+            (row, srow)
+        });
     let mut latency = Vec::with_capacity(app.stage_count());
     let mut spread = Vec::with_capacity(app.stage_count());
-    for stage in &app.stages {
-        let mut row = Vec::with_capacity(classes.len());
-        let mut srow = Vec::with_capacity(classes.len());
-        for &class in &classes {
-            let pu = soc.pu(class).expect("classes() only returns present PUs");
-            let ctx = cell_context(soc, &stage.work, class, mode);
-            let seed = seed_from_labels(
-                &[
-                    soc.name(),
-                    &app.name,
-                    &stage.name,
-                    class.label(),
-                    mode.label(),
-                ],
-                cfg.seed,
-            );
-            let mut noise = NoiseModel::new(cfg.noise_sigma, seed);
-            let base = cost::latency(&stage.work, pu, soc, &ctx);
-            let reps = cfg.reps.max(1);
-            let samples: Vec<f64> = (0..reps).map(|_| base.as_f64() * noise.factor()).collect();
-            let mean = samples.iter().sum::<f64>() / reps as f64;
-            let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / reps as f64;
-            row.push(Micros::new(mean));
-            srow.push(Micros::new(var.sqrt()));
-        }
+    for (row, srow) in rows {
         latency.push(row);
         spread.push(srow);
     }
@@ -289,16 +357,19 @@ mod tests {
             reps: 1,
             noise_sigma: 0.2,
             seed: 3,
+            ..ProfilerConfig::default()
         };
         let averaged = ProfilerConfig {
             reps: 200,
             noise_sigma: 0.2,
             seed: 3,
+            ..ProfilerConfig::default()
         };
         let exact = ProfilerConfig {
             reps: 1,
             noise_sigma: 0.0,
             seed: 3,
+            ..ProfilerConfig::default()
         };
         let t_noisy = profile(&soc, &app, ProfileMode::Isolated, &noisy);
         let t_avg = profile(&soc, &app, ProfileMode::Isolated, &averaged);
@@ -315,6 +386,77 @@ mod tests {
                 .sum()
         };
         assert!(err(&t_avg) < err(&t_noisy));
+    }
+
+    #[test]
+    fn parallel_fill_is_identical_to_serial() {
+        let soc = devices::pixel_7a();
+        let app = octree_model();
+        let par = ProfilerConfig {
+            noise_sigma: 0.1,
+            seed: 7,
+            ..ProfilerConfig::default()
+        };
+        let ser = ProfilerConfig {
+            parallel: false,
+            ..par.clone()
+        };
+        for mode in [ProfileMode::Isolated, ProfileMode::InterferenceHeavy] {
+            assert_eq!(
+                profile(&soc, &app, mode, &par),
+                profile(&soc, &app, mode, &ser)
+            );
+        }
+    }
+
+    #[test]
+    fn welford_spread_matches_two_pass_formula() {
+        // Regression against the pre-streaming implementation: rebuild each
+        // cell's sample stream from its (labels, seed) noise model and
+        // compute mean/σ with the old collect-then-two-pass formulas.
+        let soc = devices::pixel_7a();
+        let app = octree_model();
+        let cfg = ProfilerConfig {
+            noise_sigma: 0.15,
+            seed: 21,
+            ..ProfilerConfig::default()
+        };
+        let mode = ProfileMode::InterferenceHeavy;
+        let table = profile(&soc, &app, mode, &cfg);
+        for (s, stage) in app.stages.iter().enumerate() {
+            for &class in table.classes() {
+                let pu = soc.pu(class).unwrap();
+                let ctx = cell_context(&soc, &stage.work, class, mode);
+                let seed = seed_from_labels(
+                    &[
+                        soc.name(),
+                        &app.name,
+                        &stage.name,
+                        class.label(),
+                        mode.label(),
+                    ],
+                    cfg.seed,
+                );
+                let mut noise = NoiseModel::new(cfg.noise_sigma, seed);
+                let base = cost::latency(&stage.work, pu, &soc, &ctx);
+                let samples: Vec<f64> = (0..cfg.reps)
+                    .map(|_| base.as_f64() * noise.factor())
+                    .collect();
+                let mean = samples.iter().sum::<f64>() / cfg.reps as f64;
+                let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / cfg.reps as f64;
+                let got_mean = table.latency(s, class).unwrap().as_f64();
+                let got_sd = table.latency_spread(s, class).unwrap().as_f64();
+                assert!(
+                    ((got_mean - mean) / mean).abs() < 1e-12,
+                    "stage {s} on {class}: mean {got_mean} vs two-pass {mean}"
+                );
+                assert!(
+                    (got_sd - var.sqrt()).abs() <= 1e-12 * var.sqrt().max(1.0),
+                    "stage {s} on {class}: σ {got_sd} vs two-pass {}",
+                    var.sqrt()
+                );
+            }
+        }
     }
 
     #[test]

@@ -127,6 +127,19 @@ pub fn bw_demand(work: &WorkProfile, pu: &PuSpec) -> f64 {
 /// assert!(gpu < cpu);
 /// ```
 pub fn latency(work: &WorkProfile, pu: &PuSpec, soc: &SocSpec, ctx: &LoadContext) -> Micros {
+    latency_under(work, pu, soc, ctx.co_runners())
+}
+
+/// [`latency`] against a borrowed co-runner slice instead of a
+/// [`LoadContext`] — the allocation-free form hot loops (the discrete-event
+/// simulator's per-dispatch service computation) call with a reused scratch
+/// buffer. Bit-identical to [`latency`] with the same co-runners.
+pub fn latency_under(
+    work: &WorkProfile,
+    pu: &PuSpec,
+    soc: &SocSpec,
+    co_runners: &[ActiveKernel],
+) -> Micros {
     let pf = work.parallel_fraction();
 
     // Parallel phase: roofline of compute and memory.
@@ -134,11 +147,9 @@ pub fn latency(work: &WorkProfile, pu: &PuSpec, soc: &SocSpec, ctx: &LoadContext
     let mut t_mem = work.bytes() * pf / memory_throughput(work, pu);
 
     // DRAM contention dilates the memory phase.
-    let dilation = soc.interference().memory_dilation(
-        bw_demand(work, pu),
-        ctx.co_runners(),
-        soc.dram_bw_gbs(),
-    );
+    let dilation =
+        soc.interference()
+            .memory_dilation(bw_demand(work, pu), co_runners, soc.dram_bw_gbs());
     t_mem *= dilation;
 
     let t_parallel = t_comp.max(t_mem);
@@ -148,10 +159,10 @@ pub fn latency(work: &WorkProfile, pu: &PuSpec, soc: &SocSpec, ctx: &LoadContext
     let t_serial = work.flops() * (1.0 - pf) / scalar_thr;
 
     // DVFS / firmware response when any co-runner is active.
-    let dvfs = if ctx.is_contended() {
-        soc.interference().dvfs_multiplier(pu.class())
-    } else {
+    let dvfs = if co_runners.is_empty() {
         1.0
+    } else {
+        soc.interference().dvfs_multiplier(pu.class())
     };
 
     let t_dispatch = work.launches() as f64 * pu.dispatch_overhead_us();

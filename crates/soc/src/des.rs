@@ -15,14 +15,13 @@
 //! interference-aware profiling to get *close* (Fig. 6) and autotuning to
 //! close the residual gap (Table 4).
 
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::{HashMap, VecDeque};
 use std::time::Duration;
 
 use bt_telemetry::{DispatcherCounters, RunTelemetry, SpanRecorder, TelemetryConfig};
 
-use crate::cost::{self, LoadContext};
-use crate::{ActiveKernel, Micros, NoiseModel, PuClass, SocError, SocSpec, WorkProfile};
+use crate::cost;
+use crate::{ActiveKernel, Micros, NoiseModel, PuClass, PuSpec, SocError, SocSpec, WorkProfile};
 
 /// One pipeline chunk: a PU class plus the stages it executes in order.
 #[derive(Debug, Clone)]
@@ -78,6 +77,15 @@ pub struct DesConfig {
     /// What telemetry to collect (off by default; the disabled path costs
     /// one branch per instrumentation point).
     pub telemetry: TelemetryConfig,
+    /// Memoize base service times per (chunk, stage, busy-set) key.
+    ///
+    /// The co-runner space is tiny — each chunk is either idle or on one of
+    /// its stages — so steady-state pipelines revisit the same interference
+    /// contexts thousands of times. The cache stores the *noiseless* roofline
+    /// latency; per-event measurement noise is applied after lookup, so a
+    /// cached run is bit-identical to an uncached one. On by default;
+    /// disable to A/B-test the model directly.
+    pub service_cache: bool,
 }
 
 impl Default for DesConfig {
@@ -90,6 +98,7 @@ impl Default for DesConfig {
             noise_sigma: 0.02,
             record_timeline: false,
             telemetry: TelemetryConfig::OFF,
+            service_cache: true,
         }
     }
 }
@@ -142,29 +151,52 @@ pub struct DesReport {
     pub telemetry: Option<RunTelemetry>,
 }
 
-/// Min-heap event key with a total order (virtual times are never NaN).
-#[derive(Debug, PartialEq)]
-struct Event {
-    time: f64,
-    chunk: usize,
+/// The pending completion events, one slot per chunk.
+///
+/// A chunk serves at most one in-flight (task, stage) at a time, so the
+/// event set never exceeds the chunk count and a fixed array of next
+/// completion times replaces a binary heap: push is a store, pop is an
+/// argmin scan over a handful of `f64`s. The ascending scan with a strict
+/// `<` keeps the heap's exact (time, lowest chunk index) tie-break, so
+/// traces are bit-identical to the heap-based engine it replaced.
+#[derive(Debug)]
+struct EventSlots {
+    /// Completion time per chunk; `INFINITY` marks an idle chunk.
+    next_done: Vec<f64>,
 }
 
-impl Eq for Event {}
-
-impl Ord for Event {
-    fn cmp(&self, other: &Event) -> Ordering {
-        // Reversed for a min-heap on (time, chunk).
-        other
-            .time
-            .partial_cmp(&self.time)
-            .expect("virtual time is never NaN")
-            .then_with(|| other.chunk.cmp(&self.chunk))
+impl EventSlots {
+    fn new(n_chunks: usize) -> EventSlots {
+        EventSlots {
+            next_done: vec![f64::INFINITY; n_chunks],
+        }
     }
-}
 
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Event) -> Option<Ordering> {
-        Some(self.cmp(other))
+    /// Schedules chunk `chunk` to complete its in-flight stage at `time`.
+    fn push(&mut self, chunk: usize, time: f64) {
+        debug_assert!(self.next_done[chunk].is_infinite(), "one event per chunk");
+        self.next_done[chunk] = time;
+    }
+
+    /// Removes and returns the earliest `(time, chunk)` event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no event is pending (the pipeline cannot deadlock with
+    /// buffered queues, so this is unreachable from `simulate`).
+    fn pop(&mut self) -> (f64, usize) {
+        let mut best = (f64::INFINITY, usize::MAX);
+        for (chunk, &t) in self.next_done.iter().enumerate() {
+            if t < best.0 {
+                best = (t, chunk);
+            }
+        }
+        assert!(
+            best.1 != usize::MAX,
+            "pipeline cannot deadlock with buffered queues"
+        );
+        self.next_done[best.1] = f64::INFINITY;
+        best
     }
 }
 
@@ -189,6 +221,174 @@ struct ChunkState {
     /// Always collected: the measurement window is only known at the end,
     /// so in-window utilization needs the raw intervals.
     busy_spans: Vec<(f64, f64)>,
+}
+
+/// Multiplicative hasher for the memo cache's packed `u64` keys.
+///
+/// The key's fields already occupy disjoint bit ranges, so one Fibonacci
+/// multiply spreads them adequately; routing 8 bytes through SipHash (the
+/// `HashMap` default) costs a significant fraction of the roofline
+/// evaluation the cache exists to avoid.
+#[derive(Debug, Default, Clone, Copy)]
+struct KeyHasher(u64);
+
+impl std::hash::Hasher for KeyHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(u64::from(b));
+        }
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        self.0 = (self.0 ^ n).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+}
+
+/// The noiseless base-latency memo keyed on (chunk, stage, busy set).
+type ServiceCache = HashMap<u64, f64, std::hash::BuildHasherDefault<KeyHasher>>;
+
+/// Allocation-lean service-time computation for the event loop.
+///
+/// Per dispatch the old path allocated a fresh `Vec<ActiveKernel>` of
+/// co-runners and re-walked the roofline model. This struct instead keeps a
+/// reusable scratch buffer, precomputes the per-(chunk, stage) bandwidth
+/// demand and synchronization cost (both independent of the busy set), and
+/// memoizes the noiseless base latency per (chunk, stage, busy-set) key.
+///
+/// Cache keying: each chunk's contribution to the busy set is `0` when idle
+/// or `stage + 1` when busy, packed in [`ServiceModel::STAGE_BITS`] bits per
+/// chunk; the dispatching chunk's own slot is forced to `0` (a chunk is
+/// never its own co-runner) and its (chunk, stage) coordinates occupy the
+/// high bits. That key determines the co-runner multiset exactly because a
+/// co-runner's advertised bandwidth demand is a pure function of its
+/// (chunk, stage). Pipelines too wide or too deep for the packing
+/// (> [`ServiceModel::MAX_CACHED_CHUNKS`] chunks, or ≥ 63 stages in one
+/// chunk) fall back to the uncached path.
+struct ServiceModel<'a> {
+    soc: &'a SocSpec,
+    chunks: &'a [ChunkSpec],
+    pus: Vec<&'a PuSpec>,
+    /// `demand[chunk][stage]`: DRAM bandwidth advertised while that stage
+    /// runs (busy-set independent).
+    demand: Vec<Vec<f64>>,
+    /// `sync[chunk][stage]`: completion-synchronization cost added to the
+    /// sampled service time.
+    sync: Vec<Vec<f64>>,
+    /// Reused co-runner buffer (cleared per dispatch, never reallocated
+    /// once it reaches `chunks - 1` capacity).
+    scratch: Vec<ActiveKernel>,
+    /// Noiseless base-latency memo, `None` when disabled or unkeyable.
+    cache: Option<ServiceCache>,
+}
+
+impl<'a> ServiceModel<'a> {
+    /// Bits per chunk in the busy-set key: stage index + 1, or 0 for idle.
+    const STAGE_BITS: u32 = 6;
+    /// Chunk-count limit for the packed key (6 bits × 8 chunks = 48 bits of
+    /// busy set, leaving room for the dispatcher coordinates).
+    const MAX_CACHED_CHUNKS: usize = 8;
+
+    fn new(soc: &'a SocSpec, chunks: &'a [ChunkSpec], use_cache: bool) -> ServiceModel<'a> {
+        let pus: Vec<&PuSpec> = chunks
+            .iter()
+            .map(|c| soc.pu(c.pu).expect("chunk PUs validated by simulate"))
+            .collect();
+        let demand: Vec<Vec<f64>> = chunks
+            .iter()
+            .zip(&pus)
+            .map(|(c, pu)| c.stages.iter().map(|w| cost::bw_demand(w, pu)).collect())
+            .collect();
+        let sync: Vec<Vec<f64>> = chunks
+            .iter()
+            .zip(&pus)
+            .map(|(c, pu)| {
+                (0..c.stages.len())
+                    .map(|s| {
+                        if c.sync_per_stage || s + 1 == c.stages.len() {
+                            pu.sync_overhead_us()
+                        } else {
+                            0.0
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let keyable = chunks.len() <= Self::MAX_CACHED_CHUNKS
+            && chunks
+                .iter()
+                .all(|c| c.stages.len() < (1 << Self::STAGE_BITS) - 1);
+        ServiceModel {
+            soc,
+            chunks,
+            pus,
+            demand,
+            sync,
+            scratch: Vec::with_capacity(chunks.len().saturating_sub(1)),
+            // Pre-sized past the busy-set combinations short pipelines
+            // reach, so steady-state runs never pay a rehash-and-grow.
+            cache: (use_cache && keyable).then(|| {
+                ServiceCache::with_capacity_and_hasher(
+                    256,
+                    std::hash::BuildHasherDefault::default(),
+                )
+            }),
+        }
+    }
+
+    /// Service time (µs, noise applied) and bandwidth demand (GB/s) for
+    /// `chunk_idx` starting `stage_idx` against the instantaneous busy set.
+    fn service(
+        &mut self,
+        chunk_idx: usize,
+        stage_idx: usize,
+        states: &[ChunkState],
+        noise: &mut NoiseModel,
+    ) -> (f64, f64) {
+        // Key first: a cache hit skips the co-runner scratch build and the
+        // roofline walk entirely — the steady state of a converged pipeline
+        // cycles through a handful of busy sets, so hits dominate.
+        let key = self.cache.as_ref().map(|_| {
+            let mut busy_key = 0u64;
+            for (i, s) in states.iter().enumerate() {
+                if i == chunk_idx {
+                    continue;
+                }
+                if let Some(inflight) = s.busy {
+                    busy_key |= (inflight.stage as u64 + 1) << (i as u32 * Self::STAGE_BITS);
+                }
+            }
+            busy_key | (chunk_idx as u64) << 48 | (stage_idx as u64) << (48 + Self::STAGE_BITS)
+        });
+        let cached = key.and_then(|k| self.cache.as_ref().and_then(|c| c.get(&k).copied()));
+        let base = match cached {
+            Some(v) => v,
+            None => {
+                self.scratch.clear();
+                for (i, s) in states.iter().enumerate() {
+                    if i == chunk_idx {
+                        continue;
+                    }
+                    if let Some(inflight) = s.busy {
+                        self.scratch
+                            .push(ActiveKernel::new(self.chunks[i].pu, inflight.demand));
+                    }
+                }
+                let work = &self.chunks[chunk_idx].stages[stage_idx];
+                let v = cost::latency_under(work, self.pus[chunk_idx], self.soc, &self.scratch)
+                    .as_f64();
+                if let (Some(cache), Some(k)) = (self.cache.as_mut(), key) {
+                    cache.insert(k, v);
+                }
+                v
+            }
+        };
+        let t = base * noise.factor() + self.sync[chunk_idx][stage_idx];
+        (t, self.demand[chunk_idx][stage_idx])
+    }
 }
 
 /// Simulates pipelined execution of `chunks` on `soc`.
@@ -221,10 +421,12 @@ pub fn simulate(
 
     let mut states: Vec<ChunkState> = (0..n_chunks)
         .map(|_| ChunkState {
-            input: VecDeque::new(),
+            input: VecDeque::with_capacity(buffers),
             busy: None,
             busy_since: 0.0,
-            busy_spans: Vec::new(),
+            // One span per task served; sized up front so the event loop
+            // never reallocates it.
+            busy_spans: Vec::with_capacity(total_tasks),
         })
         .collect();
     // All task objects begin recycled at the head of the pipeline.
@@ -236,50 +438,28 @@ pub fn simulate(
     let mut completed = 0usize;
     let mut entry_time = vec![0.0f64; total_tasks];
     let mut exit_time = vec![0.0f64; total_tasks];
-    let mut heap = BinaryHeap::new();
+    let mut events = EventSlots::new(n_chunks);
     let mut now = 0.0f64;
-    // Per-stage events feed both the report timeline and telemetry spans.
+    // Per-stage events feed both the report timeline and telemetry spans;
+    // both buffers stay unallocated when nothing consumes them.
     let collect_timeline = cfg.record_timeline || cfg.telemetry.spans;
-    let mut timeline: Vec<TimelineEvent> = Vec::new();
+    let mut timeline: Vec<TimelineEvent> = if collect_timeline {
+        let total_stages: usize = chunks.iter().map(|c| c.stages.len()).sum();
+        Vec::with_capacity(total_tasks * total_stages)
+    } else {
+        Vec::new()
+    };
     let tele_counters = cfg.telemetry.counters;
-    let mut counters: Vec<DispatcherCounters> = vec![DispatcherCounters::new(); n_chunks];
+    let mut counters: Vec<DispatcherCounters> = if tele_counters {
+        vec![DispatcherCounters::new(); n_chunks]
+    } else {
+        Vec::new()
+    };
 
     let measure_from = cfg.warmup as usize;
 
     // Service-time computation against the instantaneous busy set.
-    let service = |chunk_idx: usize,
-                   stage_idx: usize,
-                   states: &[ChunkState],
-                   noise: &mut NoiseModel|
-     -> (f64, f64) {
-        let chunk = &chunks[chunk_idx];
-        let work = &chunk.stages[stage_idx];
-        let pu = soc.pu(chunk.pu).expect("validated above");
-        let co: Vec<ActiveKernel> = states
-            .iter()
-            .enumerate()
-            .filter(|(i, s)| *i != chunk_idx && s.busy.is_some())
-            .map(|(i, s)| {
-                let inflight = s.busy.expect("filtered on is_some");
-                ActiveKernel::new(chunks[i].pu, inflight.demand)
-            })
-            .collect();
-        let ctx = if co.is_empty() {
-            LoadContext::isolated()
-        } else {
-            LoadContext::with_co_runners(co)
-        };
-        // Synchronization: after every stage for baseline-style chunks,
-        // once per task (at the last stage) for pipelined chunks.
-        let sync = if chunk.sync_per_stage || stage_idx + 1 == chunk.stages.len() {
-            pu.sync_overhead_us()
-        } else {
-            0.0
-        };
-        let t = cost::latency(work, pu, soc, &ctx).as_f64() * noise.factor() + sync;
-        let demand = cost::bw_demand(work, pu);
-        (t, demand)
-    };
+    let mut model = ServiceModel::new(soc, chunks, cfg.service_cache);
 
     // Try to start the next task/stage on an idle chunk.
     #[allow(clippy::too_many_arguments)]
@@ -287,7 +467,7 @@ pub fn simulate(
         chunk_idx: usize,
         now: f64,
         states: &mut [ChunkState],
-        heap: &mut BinaryHeap<Event>,
+        events: &mut EventSlots,
         started: &mut usize,
         total_tasks: usize,
         entry_time: &mut [f64],
@@ -320,12 +500,9 @@ pub fn simulate(
             demand,
         });
         states[chunk_idx].busy_since = now;
-        heap.push(Event {
-            time: now + dt,
-            chunk: chunk_idx,
-        });
-        if let Some(events) = timeline {
-            events.push(TimelineEvent {
+        events.push(chunk_idx, now + dt);
+        if let Some(records) = timeline {
+            records.push(TimelineEvent {
                 chunk: chunk_idx,
                 stage: 0,
                 task,
@@ -335,13 +512,14 @@ pub fn simulate(
         }
     }
 
-    let mut service_fn = |c: usize, s: usize, st: &[ChunkState]| service(c, s, st, &mut noise);
+    let mut service_fn =
+        |c: usize, s: usize, st: &[ChunkState]| model.service(c, s, st, &mut noise);
 
     try_start(
         0,
         now,
         &mut states,
-        &mut heap,
+        &mut events,
         &mut started,
         total_tasks,
         &mut entry_time,
@@ -350,11 +528,8 @@ pub fn simulate(
     );
 
     while completed < total_tasks {
-        let ev = heap
-            .pop()
-            .expect("pipeline cannot deadlock with buffered queues");
-        now = ev.time;
-        let chunk_idx = ev.chunk;
+        let (ev_time, chunk_idx) = events.pop();
+        now = ev_time;
         let inflight = states[chunk_idx].busy.expect("event implies busy chunk");
 
         if inflight.stage + 1 < chunks[chunk_idx].stages.len() {
@@ -365,10 +540,7 @@ pub fn simulate(
                 stage: inflight.stage + 1,
                 demand,
             });
-            heap.push(Event {
-                time: now + dt,
-                chunk: chunk_idx,
-            });
+            events.push(chunk_idx, now + dt);
             if collect_timeline {
                 timeline.push(TimelineEvent {
                     chunk: chunk_idx,
@@ -402,7 +574,7 @@ pub fn simulate(
                 0,
                 now,
                 &mut states,
-                &mut heap,
+                &mut events,
                 &mut started,
                 total_tasks,
                 &mut entry_time,
@@ -418,7 +590,7 @@ pub fn simulate(
                 chunk_idx + 1,
                 now,
                 &mut states,
-                &mut heap,
+                &mut events,
                 &mut started,
                 total_tasks,
                 &mut entry_time,
@@ -431,7 +603,7 @@ pub fn simulate(
             chunk_idx,
             now,
             &mut states,
-            &mut heap,
+            &mut events,
             &mut started,
             total_tasks,
             &mut entry_time,
@@ -533,6 +705,7 @@ pub fn simulate(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cost::LoadContext;
     use crate::devices;
 
     fn noiseless() -> DesConfig {
@@ -748,6 +921,32 @@ mod tests {
 
         let off = simulate(&soc, &chunks, &noiseless()).unwrap();
         assert!(off.telemetry.is_none());
+    }
+
+    #[test]
+    fn service_cache_is_bit_identical_to_uncached() {
+        let soc = devices::pixel_7a();
+        let chunks = [
+            ChunkSpec::new(PuClass::BigCpu, vec![stage(1e7), stage(5e6)]),
+            ChunkSpec::new(PuClass::MediumCpu, vec![stage(7e6)]),
+            ChunkSpec::new(PuClass::Gpu, vec![stage(8e6)]),
+        ];
+        let cached = DesConfig {
+            noise_sigma: 0.05,
+            seed: 9,
+            ..noiseless()
+        };
+        let uncached = DesConfig {
+            service_cache: false,
+            ..cached.clone()
+        };
+        let a = simulate(&soc, &chunks, &cached).unwrap();
+        let b = simulate(&soc, &chunks, &uncached).unwrap();
+        assert_eq!(a.makespan.as_f64(), b.makespan.as_f64());
+        assert_eq!(a.mean_task_latency.as_f64(), b.mean_task_latency.as_f64());
+        assert_eq!(a.time_per_task.as_f64(), b.time_per_task.as_f64());
+        assert_eq!(a.chunk_utilization, b.chunk_utilization);
+        assert_eq!(a.bottleneck_chunk, b.bottleneck_chunk);
     }
 
     #[test]

@@ -12,9 +12,9 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-use crate::cost::{self, LoadContext};
+use crate::cost;
 use crate::des::{DesConfig, DesReport};
-use crate::{ActiveKernel, Micros, NoiseModel, PuClass, SocError, SocSpec, WorkProfile};
+use crate::{ActiveKernel, Micros, NoiseModel, PuClass, PuSpec, SocError, SocSpec, WorkProfile};
 
 /// Placement policy of the dynamic scheduler.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -100,10 +100,28 @@ pub fn simulate_dynamic(
     let mut heap: BinaryHeap<Completion> = BinaryHeap::new();
     let mut now = 0.0f64;
 
-    let isolated_estimate = |stage: usize, pu_idx: usize| -> f64 {
-        let pu = soc.pu(pus[pu_idx]).expect("schedulable class present");
-        cost::latency(&stages[stage], pu, soc, &LoadContext::isolated()).as_f64()
-    };
+    // Hoisted per-dispatch state: PU specs resolved once, the placement
+    // heuristic's isolated estimates and the advertised bandwidth demands
+    // precomputed as (stage × PU) tables (both are busy-set independent),
+    // and one reusable co-runner scratch buffer.
+    let pu_specs: Vec<&PuSpec> = pus
+        .iter()
+        .map(|&c| soc.pu(c).expect("schedulable class present"))
+        .collect();
+    let isolated: Vec<Vec<f64>> = stages
+        .iter()
+        .map(|w| {
+            pu_specs
+                .iter()
+                .map(|pu| cost::latency_under(w, pu, soc, &[]).as_f64())
+                .collect()
+        })
+        .collect();
+    let demands: Vec<Vec<f64>> = stages
+        .iter()
+        .map(|w| pu_specs.iter().map(|pu| cost::bw_demand(w, pu)).collect())
+        .collect();
+    let mut co: Vec<ActiveKernel> = Vec::with_capacity(pus.len());
 
     loop {
         // Admit new tasks while the window allows.
@@ -116,37 +134,31 @@ pub fn simulate_dynamic(
 
         // Dispatch ready stages onto idle PUs.
         while let Some(&(task, stage)) = ready.front() {
-            let idle: Vec<usize> = (0..pus.len()).filter(|&i| running[i].is_none()).collect();
-            if idle.is_empty() {
-                break;
-            }
+            let mut idle = (0..pus.len()).filter(|&i| running[i].is_none());
             let pu_idx = match policy {
-                DynamicPolicy::Fifo => idle[0],
-                DynamicPolicy::BestFit => idle
-                    .into_iter()
-                    .min_by(|&a, &b| {
-                        isolated_estimate(stage, a)
-                            .partial_cmp(&isolated_estimate(stage, b))
-                            .expect("finite estimates")
-                    })
-                    .expect("checked non-empty"),
+                DynamicPolicy::Fifo => idle.next(),
+                DynamicPolicy::BestFit => idle.min_by(|&a, &b| {
+                    isolated[stage][a]
+                        .partial_cmp(&isolated[stage][b])
+                        .expect("finite estimates")
+                }),
+            };
+            let Some(pu_idx) = pu_idx else {
+                break;
             };
             ready.pop_front();
-            let pu = soc.pu(pus[pu_idx]).expect("present");
-            let co: Vec<ActiveKernel> = running
-                .iter()
-                .enumerate()
-                .filter_map(|(i, r)| r.map(|r| ActiveKernel::new(pus[i], r.demand)))
-                .collect();
-            let ctx = if co.is_empty() {
-                LoadContext::isolated()
-            } else {
-                LoadContext::with_co_runners(co)
-            };
+            let pu = pu_specs[pu_idx];
+            co.clear();
+            co.extend(
+                running
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, r)| r.map(|r| ActiveKernel::new(pus[i], r.demand))),
+            );
             // Dynamic runtimes synchronize after every stage.
-            let dt = cost::latency(&stages[stage], pu, soc, &ctx).as_f64() * noise.factor()
+            let dt = cost::latency_under(&stages[stage], pu, soc, &co).as_f64() * noise.factor()
                 + pu.sync_overhead_us();
-            let demand = cost::bw_demand(&stages[stage], pu);
+            let demand = demands[stage][pu_idx];
             running[pu_idx] = Some(Running {
                 task,
                 stage,

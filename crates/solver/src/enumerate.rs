@@ -50,32 +50,41 @@ pub fn evaluate(problem: &ScheduleProblem, assignment: &[usize]) -> ScheduleEval
     }
 }
 
-/// Enumerates every valid schedule of `problem`, evaluated. Deterministic
-/// order (recursive descent over chunk boundaries, classes ascending).
-pub fn enumerate_schedules(problem: &ScheduleProblem) -> Vec<ScheduleEval> {
+/// Streams every valid schedule of `problem` through `f` without
+/// materializing the space. Deterministic order (recursive descent over
+/// chunk boundaries, classes ascending).
+///
+/// `f` receives the stage → class assignment and the maximal-chunk sums in
+/// pipeline order; both slices are reused between calls, so the callback
+/// must copy whatever it keeps. Chunk sums are accumulated during the
+/// descent from the problem's per-stage prefix sums — one O(1)
+/// [`ScheduleProblem::chunk_sum`] lookup per chunk placed, no per-leaf
+/// re-validation, rescan, or allocation. This is the allocation-free core
+/// that [`enumerate_schedules`] and the optimizer's exact engine share.
+pub fn for_each_schedule<F: FnMut(&[usize], &[f64])>(problem: &ScheduleProblem, mut f: F) {
     let n = problem.stages();
     let m = problem.classes();
-    let mut out = Vec::new();
     let mut assignment = vec![0usize; n];
     let mut used = vec![false; m];
+    let mut sums: Vec<f64> = Vec::with_capacity(m);
 
-    // Recursive: place the chunk starting at `start`; `chunks` counts the
-    // chunks already placed (to honour any max-chunks cap).
-    fn recurse(
+    // Recursive: place the chunk starting at `start`; `sums` carries the
+    // chunk sums of the chunks already placed (honouring any cap).
+    fn recurse<F: FnMut(&[usize], &[f64])>(
         problem: &ScheduleProblem,
         start: usize,
-        chunks: usize,
         assignment: &mut Vec<usize>,
         used: &mut Vec<bool>,
-        out: &mut Vec<ScheduleEval>,
+        sums: &mut Vec<f64>,
+        f: &mut F,
     ) {
         let n = problem.stages();
         if start == n {
-            out.push(evaluate(problem, assignment));
+            f(assignment, sums);
             return;
         }
         if let Some(k) = problem.max_chunks() {
-            if chunks >= k {
+            if sums.len() >= k {
                 return; // cap reached with stages remaining
             }
         }
@@ -86,13 +95,31 @@ pub fn enumerate_schedules(problem: &ScheduleProblem) -> Vec<ScheduleEval> {
             used[c] = true;
             for end in start..n {
                 assignment[end] = c;
-                recurse(problem, end + 1, chunks + 1, assignment, used, out);
+                sums.push(problem.chunk_sum(start, end, c));
+                recurse(problem, end + 1, assignment, used, sums, f);
+                sums.pop();
             }
             used[c] = false;
         }
     }
 
-    recurse(problem, 0, 0, &mut assignment, &mut used, &mut out);
+    recurse(problem, 0, &mut assignment, &mut used, &mut sums, &mut f);
+}
+
+/// Enumerates every valid schedule of `problem`, evaluated. Deterministic
+/// order (see [`for_each_schedule`]).
+pub fn enumerate_schedules(problem: &ScheduleProblem) -> Vec<ScheduleEval> {
+    let mut out = Vec::new();
+    for_each_schedule(problem, |assignment, sums| {
+        let t_max = sums.iter().cloned().fold(f64::MIN, f64::max);
+        let t_min = sums.iter().cloned().fold(f64::MAX, f64::min);
+        out.push(ScheduleEval {
+            assignment: assignment.to_vec(),
+            chunk_sums: sums.to_vec(),
+            t_max,
+            t_min,
+        });
+    });
     out
 }
 

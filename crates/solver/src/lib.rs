@@ -41,5 +41,5 @@ mod schedule;
 mod solver;
 
 pub use lit::{Lit, Var};
-pub use schedule::{Assignment, ProblemError, ScheduleProblem};
+pub use schedule::{Assignment, LatencyEnumerator, ProblemError, ScheduleProblem};
 pub use solver::{Model, SolveResult, Solver};

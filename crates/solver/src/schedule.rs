@@ -12,7 +12,7 @@
 //! over the discrete set of achievable chunk sums, each probe being one SAT
 //! call — the role z3's `Optimize` plays in the paper.
 
-use crate::{SolveResult, Solver, Var};
+use crate::{Model, SolveResult, Solver, Var};
 
 /// A schedule: for each stage, the index of its assigned PU class.
 pub type Assignment = Vec<usize>;
@@ -59,6 +59,12 @@ impl std::error::Error for ProblemError {}
 pub struct ScheduleProblem {
     /// `latency[i][c]`: profiled latency of stage `i` on class `c` (µs).
     latency: Vec<Vec<f64>>,
+    /// `prefix[c][i]`: Σ `latency[0..i][c]` — every chunk sum `[i, j]` on
+    /// class `c` is the O(1) difference `prefix[c][j+1] − prefix[c][i]`.
+    /// All chunk-sum consumers (candidate `T_max` prediction, the window
+    /// encoding, assignment evaluation) read these same differences, so a
+    /// chunk's value is bit-identical everywhere it appears.
+    prefix: Vec<Vec<f64>>,
     allowed: Vec<bool>,
     /// Maximum number of chunks (dispatcher threads) a schedule may use;
     /// `None` means only the PU count limits it.
@@ -89,8 +95,21 @@ impl ScheduleProblem {
             }
         }
         let allowed = vec![true; classes];
+        let prefix: Vec<Vec<f64>> = (0..classes)
+            .map(|c| {
+                let mut acc = 0.0;
+                let mut p = Vec::with_capacity(latency.len() + 1);
+                p.push(0.0);
+                for row in &latency {
+                    acc += row[c];
+                    p.push(acc);
+                }
+                p
+            })
+            .collect();
         Ok(ScheduleProblem {
             latency,
+            prefix,
             allowed,
             max_chunks: None,
         })
@@ -152,9 +171,10 @@ impl ScheduleProblem {
         self.latency[i][c]
     }
 
-    /// Latency of the contiguous chunk `[i, j]` on class `c`.
+    /// Latency of the contiguous chunk `[i, j]` on class `c` — an O(1)
+    /// per-stage prefix-sum difference.
     pub fn chunk_sum(&self, i: usize, j: usize, c: usize) -> f64 {
-        self.latency[i..=j].iter().map(|row| row[c]).sum()
+        self.prefix[c][j + 1] - self.prefix[c][i]
     }
 
     /// All achievable maximal-chunk sums over allowed classes, sorted and
@@ -167,10 +187,8 @@ impl ScheduleProblem {
                 continue;
             }
             for i in 0..n {
-                let mut acc = 0.0;
                 for j in i..n {
-                    acc += self.latency[j][c];
-                    sums.push(acc);
+                    sums.push(self.chunk_sum(i, j, c));
                 }
             }
         }
@@ -271,15 +289,17 @@ impl ScheduleProblem {
         }
 
         // C3: forbid any maximal chunk whose sum falls outside [lo, hi].
+        // Sums come from the same prefix differences the candidate `T_max`
+        // predictions use, so the window test and the reported optimum agree
+        // bit-for-bit.
         let eps = 1e-9;
         for c in 0..m {
             if !self.allowed[c] {
                 continue;
             }
             for i in 0..n {
-                let mut acc = 0.0;
                 for j in i..n {
-                    acc += self.latency[j][c];
+                    let acc = self.chunk_sum(i, j, c);
                     if acc < lo - eps || acc > hi + eps {
                         let mut clause = Vec::with_capacity(j - i + 3);
                         if i > 0 {
@@ -328,23 +348,27 @@ impl ScheduleProblem {
         (solver, x)
     }
 
+    /// Decodes a satisfying model of the window encoding into a
+    /// stage → class assignment.
+    fn decode(&self, x: &[Vec<Var>], model: &Model) -> Assignment {
+        let assignment: Assignment = x
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .position(|v| model.value(*v))
+                    .expect("C1 guarantees one class per stage")
+            })
+            .collect();
+        debug_assert!(self.is_valid(&assignment));
+        assignment
+    }
+
     /// Solves the window decision problem `D(lo, hi)`, excluding `blocked`
     /// schedules. Returns a satisfying assignment if one exists.
     pub fn solve_window(&self, lo: f64, hi: f64, blocked: &[Assignment]) -> Option<Assignment> {
         let (mut solver, x) = self.encode(lo, hi, blocked);
         match solver.solve() {
-            SolveResult::Sat(model) => {
-                let assignment: Assignment = x
-                    .iter()
-                    .map(|row| {
-                        row.iter()
-                            .position(|v| model.value(*v))
-                            .expect("C1 guarantees one class per stage")
-                    })
-                    .collect();
-                debug_assert!(self.is_valid(&assignment));
-                Some(assignment)
-            }
+            SolveResult::Sat(model) => Some(self.decode(&x, &model)),
             SolveResult::Unsat => None,
         }
     }
@@ -417,18 +441,114 @@ impl ScheduleProblem {
     /// Enumerates up to `k` distinct schedules in non-decreasing predicted
     /// latency order via blocking clauses (the paper's candidate set, 𝒦=20).
     pub fn latency_candidates(&self, k: usize) -> Vec<(f64, Assignment)> {
+        let mut e = self.latency_enumerator();
         let mut found: Vec<(f64, Assignment)> = Vec::with_capacity(k);
-        let mut blocked: Vec<Assignment> = Vec::new();
         while found.len() < k {
-            match self.min_latency(&blocked) {
-                Some((t, a)) => {
-                    blocked.push(a.clone());
-                    found.push((t, a));
-                }
+            match e.next_candidate() {
+                Some(ta) => found.push(ta),
                 None => break,
             }
         }
         found
+    }
+
+    /// Creates an incremental enumerator over distinct schedules in
+    /// non-decreasing predicted-latency order (what
+    /// [`ScheduleProblem::latency_candidates`] drives).
+    pub fn latency_enumerator(&self) -> LatencyEnumerator<'_> {
+        LatencyEnumerator {
+            problem: self,
+            sums: self.chunk_sums(),
+            tier: 0,
+            solver: None,
+            blocked: Vec::new(),
+            exhausted: false,
+        }
+    }
+}
+
+/// Incremental blocking-clause enumeration of schedules in non-decreasing
+/// predicted-latency (`T_max`) order.
+///
+/// The naive enumeration re-encodes and re-binary-searches the whole
+/// problem from scratch on every round — K rounds × O(log sums) probes,
+/// each rebuilding the full clause database. This enumerator exploits two
+/// monotonicity facts:
+///
+/// 1. Blocking clauses only shrink the solution set, so the minimal
+///    feasible latency tier never *decreases* across rounds — the binary
+///    search for the next tier starts at the current one instead of zero.
+/// 2. [`Solver`] supports adding clauses between `solve()` calls, so while
+///    consecutive candidates share a tier, one persistent solver instance
+///    absorbs each new blocking clause and re-solves — no rebuild at all.
+///
+/// Every model found at tier `t` has its maximum chunk sum *exactly*
+/// `sums[t]`: were it smaller it would have satisfied the window at a lower
+/// tier already proven infeasible (blocking never removed it before it was
+/// emitted), a contradiction. So reported latencies match the
+/// re-encode-every-round path bit-for-bit.
+#[derive(Debug)]
+pub struct LatencyEnumerator<'a> {
+    problem: &'a ScheduleProblem,
+    /// Sorted distinct achievable chunk sums — the latency tiers.
+    sums: Vec<f64>,
+    /// Lowest tier index not yet proven infeasible for the blocked set.
+    tier: usize,
+    /// Persistent solver at `sums[tier]`, with every blocking clause so far.
+    solver: Option<(Solver, Vec<Vec<Var>>)>,
+    blocked: Vec<Assignment>,
+    exhausted: bool,
+}
+
+impl LatencyEnumerator<'_> {
+    /// Returns the next-cheapest unseen schedule as `(T_max, assignment)`,
+    /// or `None` once the schedule space is exhausted.
+    pub fn next_candidate(&mut self) -> Option<(f64, Assignment)> {
+        while !self.exhausted {
+            if let Some((solver, x)) = self.solver.as_mut() {
+                match solver.solve() {
+                    SolveResult::Sat(model) => {
+                        let a = self.problem.decode(x, &model);
+                        let clause: Vec<_> =
+                            a.iter().enumerate().map(|(i, &c)| x[i][c].neg()).collect();
+                        solver.add_clause(&clause);
+                        self.blocked.push(a.clone());
+                        return Some((self.sums[self.tier], a));
+                    }
+                    SolveResult::Unsat => {
+                        // Tier drained; resume the search strictly above it.
+                        self.solver = None;
+                        self.tier += 1;
+                    }
+                }
+            }
+            // Binary search the smallest feasible tier in [tier, len).
+            let (mut lo, mut hi) = (self.tier, self.sums.len());
+            let mut found = None;
+            while lo < hi {
+                let mid = (lo + hi) / 2;
+                if self
+                    .problem
+                    .solve_window(0.0, self.sums[mid], &self.blocked)
+                    .is_some()
+                {
+                    found = Some(mid);
+                    hi = mid;
+                } else {
+                    lo = mid + 1;
+                }
+            }
+            match found {
+                Some(t) => {
+                    self.tier = t;
+                    // Materialize the persistent solver at the new tier;
+                    // the loop's next iteration pulls a model from it.
+                    self.solver = Some(self.problem.encode(0.0, self.sums[t], &self.blocked));
+                }
+                None => self.exhausted = true,
+            }
+        }
+        None
     }
 }
 

@@ -111,6 +111,30 @@ fn sim_backend_satisfies_structural_invariants() {
 }
 
 #[test]
+fn parallel_hint_is_on_for_sim_and_off_for_host() {
+    // The simulator may fan measurements out: runs are pure functions of
+    // (config, run-index seed), so concurrency cannot perturb them.
+    let app = apps::octree_app(apps::OctreeConfig::default()).model();
+    let sim = SimBackend::new(devices::pixel_7a(), app);
+    assert!(sim.parallel_measure_hint());
+    assert!(!sim.with_parallel(false).parallel_measure_hint());
+
+    // The host backend must stay strictly serial: wall-clock candidate
+    // runs own the machine's cores, and concurrent runs would contend for
+    // CPU and memory bandwidth — corrupting the latencies being ranked.
+    let host = HostBackend::with_classes(
+        apps::octree_app(apps::OctreeConfig {
+            points: 100,
+            shape: bettertogether::kernels::pointcloud::CloudShape::Uniform,
+            max_depth: 3,
+            seed: 1,
+        }),
+        HostClasses::new(vec![(PuClass::BigCpu, 2), (PuClass::LittleCpu, 1)]),
+    );
+    assert!(!host.parallel_measure_hint());
+}
+
+#[test]
 fn host_backend_satisfies_structural_invariants() {
     // Small real octree so the wall-clock profiling + autotuning sweep
     // stays test-sized (a few hundred kernel executions).

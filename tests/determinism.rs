@@ -1,0 +1,107 @@
+//! Determinism guarantees of the parallel evaluation engine.
+//!
+//! Two invariants gate every performance shortcut this engine takes:
+//!
+//! 1. **Parallel ≡ serial.** When the simulator backend fans autotuning,
+//!    baseline, and profiling measurements out over worker threads, the
+//!    resulting `Deployment` must be *bit-for-bit* identical to the one the
+//!    forced-serial path produces — same per-run seeds (decorrelated by
+//!    run index, not by thread), results merged in input order.
+//! 2. **Cached ≡ uncached.** The DES service-time memo stores the
+//!    *noiseless* base latency per (chunk, stage, busy-set) key and applies
+//!    per-event noise after lookup, so enabling it must not change a single
+//!    bit of any report, across every device model and application.
+//!
+//! Both are checked through `Debug` formatting, which covers every field
+//! (including telemetry and utilization vectors) and exposes the full f64
+//! bit pattern up to the shortest round-trippable decimal.
+
+use bettertogether::core::{BetterTogether, SimBackend};
+use bettertogether::kernels::apps;
+use bettertogether::kernels::AppModel;
+use bettertogether::pipeline::simulate_schedule;
+use bettertogether::soc::des::DesConfig;
+use bettertogether::soc::{devices, SocSpec};
+
+fn three_apps() -> Vec<(&'static str, AppModel)> {
+    vec![
+        (
+            "octree",
+            apps::octree_app(apps::OctreeConfig::default()).model(),
+        ),
+        (
+            "alexnet_sparse",
+            apps::alexnet_sparse_app(apps::AlexNetConfig::default()).model(),
+        ),
+        (
+            "alexnet_dense",
+            apps::alexnet_dense_app(apps::AlexNetConfig::default()).model(),
+        ),
+    ]
+}
+
+fn four_devices() -> Vec<(&'static str, SocSpec)> {
+    vec![
+        ("pixel_7a", devices::pixel_7a()),
+        ("oneplus_11", devices::oneplus_11()),
+        ("jetson_orin_nano", devices::jetson_orin_nano()),
+        ("jetson_orin_nano_lp", devices::jetson_orin_nano_lp()),
+    ]
+}
+
+#[test]
+fn parallel_deployment_is_bit_identical_to_serial() {
+    for (dev_name, soc) in four_devices() {
+        for (app_name, app) in three_apps() {
+            let parallel = BetterTogether::with_backend(
+                SimBackend::new(soc.clone(), app.clone()).with_parallel(true),
+            )
+            .run()
+            .expect("parallel run");
+            let serial = BetterTogether::with_backend(
+                SimBackend::new(soc.clone(), app.clone()).with_parallel(false),
+            )
+            .run()
+            .expect("serial run");
+            assert_eq!(
+                format!("{parallel:?}"),
+                format!("{serial:?}"),
+                "{dev_name} × {app_name}: parallel deployment diverged from serial"
+            );
+        }
+    }
+}
+
+#[test]
+fn service_cache_is_bit_identical_to_uncached_everywhere() {
+    for (dev_name, soc) in four_devices() {
+        for (app_name, app) in three_apps() {
+            // Take the framework's own top candidate so the schedule
+            // exercises real multi-chunk interference on this device.
+            let plan = BetterTogether::with_backend(SimBackend::new(soc.clone(), app.clone()))
+                .plan()
+                .expect("plan");
+            let schedule = &plan.candidates[0].schedule;
+            for seed in [0u64, 7, 23] {
+                let cached = DesConfig {
+                    seed,
+                    service_cache: true,
+                    ..DesConfig::default()
+                };
+                let uncached = DesConfig {
+                    service_cache: false,
+                    ..cached.clone()
+                };
+                let with_cache =
+                    simulate_schedule(&soc, &app, schedule, &cached).expect("cached run");
+                let without_cache =
+                    simulate_schedule(&soc, &app, schedule, &uncached).expect("uncached run");
+                assert_eq!(
+                    format!("{with_cache:?}"),
+                    format!("{without_cache:?}"),
+                    "{dev_name} × {app_name} (seed {seed}): cache changed the simulation"
+                );
+            }
+        }
+    }
+}

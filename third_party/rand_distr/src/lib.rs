@@ -1,5 +1,10 @@
 //! Offline stand-in for `rand_distr`: the `Distribution` trait plus the
-//! `Normal`/`LogNormal` distributions (Box-Muller sampling).
+//! `Normal`/`LogNormal` distributions. Standard-normal sampling uses the
+//! Marsaglia–Tsang ziggurat (the same algorithm the real crate uses): the
+//! common path is one RNG word, one table compare, and one multiply, which
+//! matters because the simulator draws one noise factor per service event.
+
+use std::sync::OnceLock;
 
 use rand::RngCore;
 
@@ -20,15 +25,79 @@ impl std::fmt::Display for DistrError {
 
 impl std::error::Error for DistrError {}
 
-fn standard_normal<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
-    // Box-Muller; reject u1 == 0 to keep ln() finite.
-    loop {
-        let u1: f64 = <f64 as rand::Standard>::from_rng(rng);
-        if u1 <= f64::MIN_POSITIVE {
-            continue;
+/// Ziggurat layer count (Marsaglia & Tsang's classic 128-layer setup).
+const ZIG_LAYERS: usize = 128;
+/// Right edge of the base layer.
+const ZIG_R: f64 = 3.442619855899;
+/// Area of each layer.
+const ZIG_V: f64 = 9.91256303526217e-3;
+
+struct ZigTables {
+    /// Integer acceptance thresholds: `|hz| < kn[i]` accepts immediately.
+    kn: [u32; ZIG_LAYERS],
+    /// Scale factors mapping the 32-bit integer to an x coordinate.
+    wn: [f64; ZIG_LAYERS],
+    /// Density at each layer edge.
+    fx: [f64; ZIG_LAYERS],
+}
+
+fn zig_tables() -> &'static ZigTables {
+    static TABLES: OnceLock<ZigTables> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let m1 = 2_147_483_648.0f64; // 2^31
+        let mut kn = [0u32; ZIG_LAYERS];
+        let mut wn = [0f64; ZIG_LAYERS];
+        let mut fx = [0f64; ZIG_LAYERS];
+        let mut dn = ZIG_R;
+        let mut tn = dn;
+        let q = ZIG_V / (-0.5 * dn * dn).exp();
+        kn[0] = ((dn / q) * m1) as u32;
+        kn[1] = 0;
+        wn[0] = q / m1;
+        wn[ZIG_LAYERS - 1] = dn / m1;
+        fx[0] = 1.0;
+        fx[ZIG_LAYERS - 1] = (-0.5 * dn * dn).exp();
+        for i in (1..=ZIG_LAYERS - 2).rev() {
+            dn = (-2.0 * (ZIG_V / dn + (-0.5 * dn * dn).exp()).ln()).sqrt();
+            kn[i + 1] = ((dn / tn) * m1) as u32;
+            tn = dn;
+            fx[i] = (-0.5 * dn * dn).exp();
+            wn[i] = dn / m1;
         }
-        let u2: f64 = <f64 as rand::Standard>::from_rng(rng);
-        return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        ZigTables { kn, wn, fx }
+    })
+}
+
+/// Uniform in `(0, 1]`, safe as a `ln()` argument.
+fn uni<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    1.0 - <f64 as rand::Standard>::from_rng(rng)
+}
+
+/// One standard-normal draw (Marsaglia & Tsang's RNOR).
+fn standard_normal<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    let t = zig_tables();
+    let mut hz = (rng.next_u64() >> 32) as u32 as i32;
+    let mut iz = (hz & 127) as usize;
+    loop {
+        if (i64::from(hz)).unsigned_abs() < u64::from(t.kn[iz]) {
+            return f64::from(hz) * t.wn[iz];
+        }
+        if iz == 0 {
+            // Tail beyond R: Marsaglia's exponential-rejection scheme.
+            loop {
+                let x = -uni(rng).ln() / ZIG_R;
+                let y = -uni(rng).ln();
+                if y + y >= x * x {
+                    return if hz > 0 { ZIG_R + x } else { -ZIG_R - x };
+                }
+            }
+        }
+        let x = f64::from(hz) * t.wn[iz];
+        if t.fx[iz] + uni(rng) * (t.fx[iz - 1] - t.fx[iz]) < (-0.5 * x * x).exp() {
+            return x;
+        }
+        hz = (rng.next_u64() >> 32) as u32 as i32;
+        iz = (hz & 127) as usize;
     }
 }
 
@@ -90,6 +159,53 @@ mod tests {
         let mean: f64 = (0..n).map(|_| dist.sample(&mut rng)).sum::<f64>() / n as f64;
         // E[lognormal(0, s)] = exp(s^2/2) ≈ 1.0317 for s = 0.25.
         assert!((mean - 1.0317).abs() < 0.02, "mean = {mean}");
+    }
+
+    #[test]
+    fn normal_moments_roughly_match() {
+        let dist = Normal::new(2.0, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| dist.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.02, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var = {var}");
+    }
+
+    #[test]
+    fn normal_tail_frequencies_are_sane() {
+        // The ziggurat's slow paths (layer rejection, tail) must still
+        // produce the right tail mass: P(|Z| > 2) ≈ 0.0455,
+        // P(|Z| > 3.5) ≈ 4.66e-4 (beyond the base layer edge R ≈ 3.44).
+        let dist = Normal::new(0.0, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(17);
+        let n = 200_000;
+        let mut beyond2 = 0u32;
+        let mut beyond35 = 0u32;
+        for _ in 0..n {
+            let z: f64 = dist.sample(&mut rng);
+            if z.abs() > 2.0 {
+                beyond2 += 1;
+            }
+            if z.abs() > 3.5 {
+                beyond35 += 1;
+            }
+        }
+        let p2 = f64::from(beyond2) / f64::from(n);
+        let p35 = f64::from(beyond35) / f64::from(n);
+        assert!((p2 - 0.0455).abs() < 0.004, "P(|Z|>2) = {p2}");
+        assert!(p35 > 1e-4 && p35 < 1.2e-3, "P(|Z|>3.5) = {p35}");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let dist = Normal::new(0.0, 1.0).unwrap();
+        let mut a = StdRng::seed_from_u64(5);
+        let mut b = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            assert_eq!(dist.sample(&mut a), dist.sample(&mut b));
+        }
     }
 
     #[test]
