@@ -11,6 +11,13 @@
 //! the serial one (same seeds, index-ordered merge).
 //!
 //! `--smoke` shrinks iteration counts for CI; the JSON shape is unchanged.
+//!
+//! `--gate` turns the run into a regression gate: after measuring, the
+//! fresh Fig. 2 loop speedup is compared against the committed
+//! `BENCH_eval.json` baseline (informational) and the process exits
+//! non-zero if the fresh speedup falls below 1.8× — the CI floor under
+//! the 2× local acceptance bar, leaving headroom for noisy shared
+//! runners.
 
 use std::time::Instant;
 
@@ -156,8 +163,21 @@ fn reencode_candidates(problem: &ScheduleProblem, k: usize) -> Vec<(f64, Assignm
     found
 }
 
+/// Fig. 2 loop speedup recorded in the committed `BENCH_eval.json`, if
+/// the file exists and parses. Read before the run overwrites it.
+fn committed_baseline_speedup() -> Option<f64> {
+    let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_eval.json");
+    let text = std::fs::read_to_string(path).ok()?;
+    let v: serde_json::Value = serde_json::from_str(&text).ok()?;
+    v.get("fig2_loop")?.get("speedup")?.as_f64()
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    let gate = std::env::args().any(|a| a == "--gate");
+    let baseline_speedup = gate.then(committed_baseline_speedup).flatten();
     let soc = devices::pixel_7a();
     let app = apps::alexnet_sparse_app(apps::AlexNetConfig::default()).model();
     println!(
@@ -292,6 +312,7 @@ fn main() {
         if meets { "met" } else { "NOT met" }
     );
 
+    let fig2_speedup = fig2.speedup;
     bt_bench::write_root_result(
         "BENCH_eval",
         &BenchEval {
@@ -304,4 +325,24 @@ fn main() {
             meets_2x_fig2: meets,
         },
     );
+
+    if gate {
+        const GATE_FLOOR: f64 = 1.8;
+        match baseline_speedup {
+            Some(b) => println!(
+                "gate: Fig. 2 loop speedup {fig2_speedup:.2}x vs committed baseline {b:.2}x \
+                 ({:+.1}%)",
+                (fig2_speedup / b - 1.0) * 100.0
+            ),
+            None => println!("gate: no committed baseline found (first run?)"),
+        }
+        if fig2_speedup < GATE_FLOOR {
+            eprintln!(
+                "gate: FAIL — Fig. 2 loop speedup {fig2_speedup:.2}x is below the \
+                 {GATE_FLOOR}x regression floor"
+            );
+            std::process::exit(1);
+        }
+        println!("gate: pass ({fig2_speedup:.2}x >= {GATE_FLOOR}x)");
+    }
 }

@@ -17,12 +17,13 @@
 use bt_kernels::{AppModel, Application};
 use bt_pipeline::HostRunConfig;
 use bt_pipeline::{
-    run_host, simulate_baseline, simulate_schedule, Measurement, PuThreads, Schedule,
+    run_host, simulate_baseline, simulate_schedule, simulate_schedule_faulted, Measurement,
+    PuThreads, Schedule,
 };
 use bt_profiler::host::{profile_host, HostClasses, HostProfilerConfig};
 use bt_profiler::{profile, ProfileMode, ProfilerConfig, ProfilingTable};
 use bt_soc::des::DesConfig;
-use bt_soc::{PuClass, SocSpec};
+use bt_soc::{FaultSpec, PuClass, SocSpec};
 
 use crate::BtError;
 
@@ -108,6 +109,7 @@ pub struct SimBackend {
     profiler: ProfilerConfig,
     des: DesConfig,
     parallel: bool,
+    faults: FaultSpec,
 }
 
 impl SimBackend {
@@ -119,7 +121,24 @@ impl SimBackend {
             profiler: ProfilerConfig::default(),
             des: DesConfig::default(),
             parallel: true,
+            faults: FaultSpec::none(),
         }
+    }
+
+    /// Injects a fault specification into every subsequent
+    /// [`measure`](ExecutionBackend::measure) call: schedules run under
+    /// the perturbed simulator ([`simulate_schedule_faulted`]) instead of
+    /// the clean one. Profiling and baselines stay unfaulted — the fault
+    /// model perturbs *execution*, not the knowledge the optimizer starts
+    /// from.
+    pub fn with_faults(mut self, faults: FaultSpec) -> SimBackend {
+        self.faults = faults;
+        self
+    }
+
+    /// The active fault specification (empty by default).
+    pub fn faults(&self) -> &FaultSpec {
+        &self.faults
     }
 
     /// Overrides the profiler configuration.
@@ -200,8 +219,22 @@ impl ExecutionBackend for SimBackend {
             seed: self.des.seed.wrapping_add(run_index),
             ..self.des.clone()
         };
-        let report = simulate_schedule(&self.soc, &self.app, schedule, &cfg)?;
-        Ok(Measurement::from(report))
+        if self.faults.is_empty() {
+            let report = simulate_schedule(&self.soc, &self.app, schedule, &cfg)?;
+            return Ok(Measurement::from(report));
+        }
+        let faulted =
+            simulate_schedule_faulted(&self.soc, &self.app, schedule, &cfg, &self.faults)?;
+        let (submitted, completed, dropped) =
+            (faulted.submitted, faulted.completed, faulted.dropped);
+        match faulted.report {
+            Some(report) => Ok(Measurement::from(report)),
+            None => Err(BtError::RunDegraded {
+                submitted: submitted.into(),
+                completed: completed.into(),
+                dropped: dropped.into(),
+            }),
+        }
     }
 
     fn measure_baseline(&self, class: PuClass) -> Result<Measurement, BtError> {

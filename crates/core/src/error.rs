@@ -22,6 +22,21 @@ pub enum BtError {
     },
     /// A (possibly cached) plan schedules a class the backend cannot host.
     PlanClassUnavailable(bt_soc::PuClass),
+    /// A faulted run degraded so far that no steady-state measurement
+    /// exists (every measured-window task was dropped).
+    RunDegraded {
+        /// Tasks admitted into the pipeline.
+        submitted: u64,
+        /// Tasks that completed.
+        completed: u64,
+        /// Tasks lost to injected faults.
+        dropped: u64,
+    },
+    /// A fault-injection wrapper deliberately failed this measurement.
+    InjectedFault {
+        /// The autotuning run index the fault was armed for.
+        run_index: u64,
+    },
 }
 
 impl fmt::Display for BtError {
@@ -40,6 +55,17 @@ impl fmt::Display for BtError {
                     f,
                     "plan schedules PU class {class} which the backend cannot host"
                 )
+            }
+            BtError::RunDegraded {
+                submitted,
+                completed,
+                dropped,
+            } => write!(
+                f,
+                "faulted run degraded past measurement: {completed}/{submitted} tasks completed, {dropped} dropped"
+            ),
+            BtError::InjectedFault { run_index } => {
+                write!(f, "fault injected into measurement run {run_index}")
             }
         }
     }

@@ -47,6 +47,7 @@ pub mod metrics;
 mod optimizer;
 mod parallel;
 pub mod predict;
+mod resilience;
 
 pub use backend::{ExecutionBackend, HostBackend, SimBackend};
 pub use baseline::{measure_baselines, BaselineEntry, Baselines};
@@ -57,3 +58,4 @@ pub use optimizer::{
     optimize_with, AutotuneOutcome, Candidate, CandidateMeasurement, Objective, OptimizerConfig,
     SolverEngine,
 };
+pub use resilience::{DriftConfig, RescheduleEvent, ResilientRun};

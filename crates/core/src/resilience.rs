@@ -1,0 +1,366 @@
+//! Telemetry-driven re-optimization under runtime faults.
+//!
+//! A deployed schedule is only optimal while the device behaves like the
+//! profiling table says it does. DVFS throttles, thermal caps, and
+//! stragglers change per-cluster costs mid-run; this module closes the
+//! loop: observe per-chunk runtimes from the run's telemetry, compare
+//! against the optimizer's predictions, and when the drift exceeds a
+//! threshold, rescale the affected cost-table columns, re-solve, and
+//! redeploy — emitting a [`RescheduleEvent`] per round so callers can
+//! audit every decision.
+
+use bt_pipeline::{Measurement, Schedule};
+use bt_soc::{FaultSpec, Micros, PuClass};
+
+use crate::backend::{ExecutionBackend, SimBackend};
+use crate::optimizer::{autotune, optimize_with};
+use crate::{BetterTogether, BtError, Deployment};
+
+/// Knobs of the drift-detection / re-optimization loop.
+#[derive(Debug, Clone)]
+pub struct DriftConfig {
+    /// Relative per-chunk drift (|observed/predicted − 1|) that triggers a
+    /// re-solve. Small model mismatch is expected even fault-free, so this
+    /// should stay well above the simulator's noise floor.
+    pub threshold: f64,
+    /// Re-optimization rounds before the loop settles for what it has.
+    pub max_rounds: usize,
+    /// Clamp on the per-class rescale factor applied to the cost table.
+    pub max_factor: f64,
+}
+
+impl Default for DriftConfig {
+    fn default() -> DriftConfig {
+        DriftConfig {
+            threshold: 0.3,
+            max_rounds: 2,
+            max_factor: 16.0,
+        }
+    }
+}
+
+/// One round of the resilience loop: the drift that was observed, the
+/// cost-table correction applied, and the schedule swap it produced.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct RescheduleEvent {
+    /// Loop round (0-based).
+    pub round: usize,
+    /// Per-chunk observed/predicted runtime ratios of the outgoing
+    /// schedule. Empty when the probe run degraded past measurement (a
+    /// lost PU), in which case the re-solve was triggered by the failure
+    /// itself rather than a drift ratio.
+    pub drifts: Vec<f64>,
+    /// Per-class factors applied to the cost table before re-solving.
+    pub factors: Vec<(PuClass, f64)>,
+    /// The schedule that was running when drift was detected.
+    pub old_schedule: Schedule,
+    /// The re-optimized replacement.
+    pub new_schedule: Schedule,
+    /// Measured latency of the outgoing schedule under the live faults
+    /// (`None` when that run degraded past measurement).
+    pub old_latency: Option<Micros>,
+    /// Measured latency of the replacement under the same faults.
+    pub new_latency: Micros,
+}
+
+impl RescheduleEvent {
+    /// Whether the reschedule strictly improved measured latency (a
+    /// degraded outgoing run counts as improved upon by construction).
+    pub fn improved(&self) -> bool {
+        self.old_latency
+            .is_none_or(|old| self.new_latency.as_f64() < old.as_f64())
+    }
+}
+
+/// Output of [`BetterTogether::run_resilient`]: the initial fault-free
+/// deployment, every reschedule the loop performed, and the schedule left
+/// running at the end.
+#[derive(Debug)]
+pub struct ResilientRun {
+    /// The fault-free deployment the run started from.
+    pub deployment: Deployment,
+    /// The schedule deployed before any fault was observed.
+    pub stale_schedule: Schedule,
+    /// The stale schedule's measurement under the live faults (`None`
+    /// when it degraded past measurement).
+    pub stale_under_fault: Option<Measurement>,
+    /// One event per reschedule, in loop order. Empty when no drift
+    /// crossed the threshold.
+    pub events: Vec<RescheduleEvent>,
+    /// The schedule left running after the loop settled.
+    pub schedule: Schedule,
+    /// The final schedule's measurement under the live faults.
+    pub under_fault: Option<Measurement>,
+}
+
+impl ResilientRun {
+    /// Whether the loop replaced the stale schedule at least once.
+    pub fn rescheduled(&self) -> bool {
+        !self.events.is_empty()
+    }
+
+    /// Latency ratio stale/final under the live faults — > 1 means the
+    /// re-optimized schedule beats the stale one. `None` unless both were
+    /// measurable.
+    pub fn improvement(&self) -> Option<f64> {
+        let stale = self.stale_under_fault.as_ref()?.latency.as_f64();
+        let now = self.under_fault.as_ref()?.latency.as_f64();
+        Some(stale / now)
+    }
+}
+
+/// Per-chunk observed runtime per task, in microseconds. Prefers the
+/// run's telemetry counters (`busy_us / tasks` per dispatcher); falls back
+/// to the utilization-derived estimate `utilization × makespan / tasks`,
+/// which is available on every measurement.
+fn observed_chunk_cost(m: &Measurement) -> Vec<f64> {
+    if let Some(t) = &m.telemetry {
+        if t.dispatchers.len() == m.chunk_utilization.len() && m.tasks > 0 {
+            let from_counters: Vec<f64> = t
+                .dispatchers
+                .iter()
+                .map(|d| {
+                    if d.tasks == 0 {
+                        0.0
+                    } else {
+                        d.busy_us / d.tasks as f64
+                    }
+                })
+                .collect();
+            if from_counters.iter().all(|&c| c.is_finite()) {
+                return from_counters;
+            }
+        }
+    }
+    let per_task = m.makespan.as_f64() / f64::from(m.tasks.max(1));
+    m.chunk_utilization.iter().map(|u| u * per_task).collect()
+}
+
+impl BetterTogether<SimBackend> {
+    /// Runs the full framework, then keeps the deployment honest under the
+    /// injected `faults`: the deployed (now stale) schedule is observed
+    /// under the perturbed simulator, per-chunk drift against the
+    /// optimizer's predictions is computed from telemetry, and any drift
+    /// past [`DriftConfig::threshold`] rescales the affected cost-table
+    /// columns and re-solves. Each replacement is measured under the same
+    /// faults and recorded as a [`RescheduleEvent`].
+    ///
+    /// A probe run degraded past measurement (a lost PU) skips the ratio
+    /// test and re-solves immediately with the lost classes masked out of
+    /// the placement domain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BtError`] when the initial fault-free run fails, or when
+    /// re-solving finds no feasible candidate (e.g. every schedulable
+    /// class lost).
+    pub fn run_resilient(
+        &self,
+        faults: &FaultSpec,
+        drift: &DriftConfig,
+    ) -> Result<ResilientRun, BtError> {
+        let deployment = self.run()?;
+        let stale_schedule = deployment
+            .best_schedule()
+            .ok_or(BtError::NoCandidates)?
+            .clone();
+        let mut chunk_pred: Vec<Micros> = deployment.plan.candidates[deployment.outcome.best_index]
+            .chunk_sums
+            .clone();
+        let mut table = deployment.plan.table.clone();
+
+        let faulted = self.backend().clone().with_faults(faults.clone());
+        // Chunks on a lost PU never produce again; take the class out of
+        // the placement domain for every re-solve.
+        let placeable = |c: PuClass| faulted.schedulable(c) && faults.loss_at(c).is_none();
+
+        let mut current = stale_schedule.clone();
+        let mut current_meas = match faulted.measure(&current, 0) {
+            Ok(m) => Some(m),
+            Err(BtError::RunDegraded { .. }) => None,
+            Err(e) => return Err(e),
+        };
+        let stale_under_fault = current_meas.clone();
+        let mut events = Vec::new();
+
+        for round in 0..drift.max_rounds {
+            let (drifts, factors) = match &current_meas {
+                Some(m) => {
+                    let observed = observed_chunk_cost(m);
+                    let drifts: Vec<f64> = observed
+                        .iter()
+                        .zip(&chunk_pred)
+                        .map(|(obs, pred)| obs / pred.as_f64().max(1e-9))
+                        .collect();
+                    let mut factors: Vec<(PuClass, f64)> = Vec::new();
+                    for (i, chunk) in current.chunks().iter().enumerate() {
+                        let d = drifts[i];
+                        if (d - 1.0).abs() <= drift.threshold || !d.is_finite() {
+                            continue;
+                        }
+                        let f = d.clamp(1.0 / drift.max_factor, drift.max_factor);
+                        match factors.iter_mut().find(|(c, _)| *c == chunk.pu) {
+                            // Two drifting chunks on one class: believe the
+                            // larger slowdown.
+                            Some((_, old)) => *old = old.max(f),
+                            None => factors.push((chunk.pu, f)),
+                        }
+                    }
+                    if factors.is_empty() {
+                        break; // within tolerance: the deployment stands
+                    }
+                    (drifts, factors)
+                }
+                // Degraded probe: no ratios to rescale by; re-solve on the
+                // masked domain (the loss itself is the trigger).
+                None => (Vec::new(), Vec::new()),
+            };
+
+            for &(class, f) in &factors {
+                table = table
+                    .scaled_class(class, f)
+                    .expect("factor clamped finite-positive; class came from the table");
+            }
+            let candidates = optimize_with(&table, &self.config().optimizer, placeable)?;
+            let outcome = autotune(&faulted, &candidates)?;
+            let best = &candidates[outcome.best_index];
+            let new_schedule = best.schedule.clone();
+            let new_latency = outcome
+                .measured_latency(outcome.best_index)
+                .ok_or(BtError::NoCandidates)?;
+            events.push(RescheduleEvent {
+                round,
+                drifts,
+                factors,
+                old_schedule: current.clone(),
+                new_schedule: new_schedule.clone(),
+                old_latency: current_meas.as_ref().map(|m| m.latency),
+                new_latency,
+            });
+            let settled = new_schedule == current;
+            chunk_pred = best.chunk_sums.clone();
+            current = new_schedule;
+            current_meas = match faulted.measure(&current, 0) {
+                Ok(m) => Some(m),
+                Err(BtError::RunDegraded { .. }) => None,
+                Err(e) => return Err(e),
+            };
+            if settled {
+                break;
+            }
+        }
+
+        Ok(ResilientRun {
+            deployment,
+            stale_schedule,
+            stale_under_fault,
+            events,
+            schedule: current,
+            under_fault: current_meas,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bt_kernels::apps;
+    use bt_soc::{devices, PuLoss, SlowdownRamp};
+
+    fn pixel_octree() -> BetterTogether<SimBackend> {
+        let app = apps::octree_app(apps::OctreeConfig::default()).model();
+        BetterTogether::new(devices::pixel_7a(), app)
+    }
+
+    #[test]
+    fn no_faults_means_no_reschedule() {
+        let bt = pixel_octree();
+        let run = bt
+            .run_resilient(&FaultSpec::none(), &DriftConfig::default())
+            .unwrap();
+        assert!(!run.rescheduled(), "clean runs must not churn the schedule");
+        assert_eq!(run.schedule, run.stale_schedule);
+        assert!(run.under_fault.is_some());
+    }
+
+    #[test]
+    fn midrun_big_cluster_throttle_triggers_beneficial_reschedule() {
+        let bt = pixel_octree();
+        // 2× DVFS throttle on the big cluster, stepping in early enough
+        // that most of the measured window runs throttled.
+        let faults = FaultSpec {
+            slowdowns: vec![SlowdownRamp {
+                class: PuClass::BigCpu,
+                start_us: 2_000.0,
+                ramp_us: 0.0,
+                factor: 2.0,
+            }],
+            ..FaultSpec::none()
+        };
+        let run = bt.run_resilient(&faults, &DriftConfig::default()).unwrap();
+        assert!(run.rescheduled(), "a 2× throttle must trip drift detection");
+        let ev = &run.events[0];
+        assert!(
+            ev.factors
+                .iter()
+                .any(|&(c, f)| c == PuClass::BigCpu && f > 1.3),
+            "the throttled class should be rescaled: {:?}",
+            ev.factors
+        );
+        assert!(
+            run.improvement().expect("both measurable") > 1.0,
+            "re-optimized schedule must strictly beat the stale one: {:?}",
+            run.improvement()
+        );
+    }
+
+    #[test]
+    fn lost_gpu_reroutes_without_ratios() {
+        let bt = pixel_octree();
+        let stale = bt.run().unwrap();
+        let uses_gpu = stale
+            .best_schedule()
+            .expect("deployed")
+            .classes_used()
+            .contains(&PuClass::Gpu);
+        assert!(uses_gpu, "octree on Pixel should offload to the GPU");
+        let faults = FaultSpec {
+            losses: vec![PuLoss {
+                class: PuClass::Gpu,
+                at_us: 0.0,
+            }],
+            ..FaultSpec::none()
+        };
+        let run = bt.run_resilient(&faults, &DriftConfig::default()).unwrap();
+        assert!(run.rescheduled(), "a dead PU must force a reschedule");
+        assert!(run.events[0].drifts.is_empty(), "no ratios on a dead probe");
+        assert!(
+            !run.schedule.classes_used().contains(&PuClass::Gpu),
+            "the replacement must avoid the lost class: {}",
+            run.schedule
+        );
+        assert!(run.under_fault.is_some(), "replacement must be measurable");
+    }
+
+    #[test]
+    fn resilient_runs_are_deterministic() {
+        let bt = pixel_octree();
+        let faults = FaultSpec {
+            slowdowns: vec![SlowdownRamp {
+                class: PuClass::BigCpu,
+                start_us: 2_000.0,
+                ramp_us: 0.0,
+                factor: 2.0,
+            }],
+            ..FaultSpec::none()
+        };
+        let a = bt.run_resilient(&faults, &DriftConfig::default()).unwrap();
+        let b = bt.run_resilient(&faults, &DriftConfig::default()).unwrap();
+        assert_eq!(a.schedule, b.schedule);
+        assert_eq!(a.events.len(), b.events.len());
+        assert_eq!(
+            a.under_fault.unwrap().latency.as_f64(),
+            b.under_fault.unwrap().latency.as_f64()
+        );
+    }
+}

@@ -1,0 +1,202 @@
+//! Nightly fault-matrix harness: random fault plans against one
+//! (device, app) cell, checking the simulator's resilience invariants.
+//!
+//! For every seed the harness generates a [`FaultPlan`], runs both the
+//! static pipeline simulator and the dynamic scheduler under it, and
+//! checks:
+//!
+//! 1. **Termination** — the run returns instead of deadlocking (enforced
+//!    by reaching the assertions at all).
+//! 2. **Conservation** — `completed + dropped == submitted`.
+//! 3. **Determinism** — replaying the same plan yields a bit-identical
+//!    outcome (`Debug`-representation equality).
+//!
+//! A violated invariant writes the failing plan to `--out` as JSON (the
+//! CI workflow uploads these as artifacts for local replay) and flips the
+//! exit code to 1 after the sweep completes.
+//!
+//! ```text
+//! fault_matrix --device pixel_7a --app octree --seeds 10 --out target/fault-matrix
+//! ```
+
+use std::path::PathBuf;
+
+use bt_core::BetterTogether;
+use bt_faults::{FaultDomain, FaultPlan};
+use bt_kernels::{apps, AppModel};
+use bt_pipeline::{simulate_schedule_faulted, Schedule};
+use bt_soc::des::DesConfig;
+use bt_soc::des_dynamic::{simulate_dynamic_faulted, DynamicPolicy};
+use bt_soc::{devices, SocSpec};
+
+#[derive(serde::Serialize)]
+struct Failure {
+    device: String,
+    app: String,
+    seed: u64,
+    invariant: String,
+    detail: String,
+    plan: FaultPlan,
+}
+
+fn device_by_name(name: &str) -> Option<SocSpec> {
+    match name {
+        "pixel_7a" => Some(devices::pixel_7a()),
+        "oneplus_11" => Some(devices::oneplus_11()),
+        "jetson_orin_nano" => Some(devices::jetson_orin_nano()),
+        "jetson_orin_nano_lp" => Some(devices::jetson_orin_nano_lp()),
+        _ => None,
+    }
+}
+
+fn app_by_name(name: &str) -> Option<AppModel> {
+    match name {
+        "octree" => Some(apps::octree_app(apps::OctreeConfig::default()).model()),
+        "alexnet_dense" => Some(apps::alexnet_dense_app(apps::AlexNetConfig::default()).model()),
+        "alexnet_sparse" => Some(apps::alexnet_sparse_app(apps::AlexNetConfig::default()).model()),
+        _ => None,
+    }
+}
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+struct Cell {
+    soc: SocSpec,
+    app: AppModel,
+    schedule: Schedule,
+    cfg: DesConfig,
+    domain: FaultDomain,
+}
+
+fn build_cell(device: &str, app_name: &str) -> Result<Cell, String> {
+    let soc = device_by_name(device).ok_or_else(|| format!("unknown device '{device}'"))?;
+    let app = app_by_name(app_name).ok_or_else(|| format!("unknown app '{app_name}'"))?;
+    let plan = BetterTogether::new(soc.clone(), app.clone())
+        .plan()
+        .map_err(|e| format!("planning failed: {e}"))?;
+    let schedule = plan
+        .predicted_best()
+        .ok_or("empty candidate list")?
+        .schedule
+        .clone();
+    let cfg = DesConfig::default();
+    // Size the fault domain from an unfaulted reference run so onsets land
+    // inside (and shortly after) the real execution window.
+    let reference = bt_pipeline::simulate_schedule(&soc, &app, &schedule, &cfg)
+        .map_err(|e| format!("reference run failed: {e}"))?;
+    let domain = FaultDomain {
+        classes: soc.schedulable_classes(),
+        chunks: schedule.chunks().len(),
+        stages: app.stage_count(),
+        tasks: cfg.tasks + cfg.warmup,
+        horizon_us: reference.makespan.as_f64() * 1.5,
+        ..FaultDomain::default()
+    };
+    Ok(Cell {
+        soc,
+        app,
+        schedule,
+        cfg,
+        domain,
+    })
+}
+
+fn check_seed(cell: &Cell, seed: u64) -> Result<(), (String, String)> {
+    let plan = FaultPlan::random(seed, &cell.domain);
+    let spec = plan.to_spec();
+
+    let run_static =
+        || simulate_schedule_faulted(&cell.soc, &cell.app, &cell.schedule, &cell.cfg, &spec);
+    let a = run_static().map_err(|e| ("static-run".into(), e.to_string()))?;
+    let b = run_static().map_err(|e| ("static-run".into(), e.to_string()))?;
+    if u64::from(a.completed) + u64::from(a.dropped) != u64::from(a.submitted) {
+        return Err((
+            "static-conservation".into(),
+            format!(
+                "completed {} + dropped {} != submitted {}",
+                a.completed, a.dropped, a.submitted
+            ),
+        ));
+    }
+    if format!("{a:?}") != format!("{b:?}") {
+        return Err(("static-determinism".into(), "replay diverged".into()));
+    }
+
+    let works = cell.app.works();
+    for policy in [DynamicPolicy::Fifo, DynamicPolicy::BestFit] {
+        let run_dyn = || simulate_dynamic_faulted(&cell.soc, &works, &cell.cfg, policy, &spec);
+        let a = run_dyn().map_err(|e| ("dynamic-run".into(), e.to_string()))?;
+        let b = run_dyn().map_err(|e| ("dynamic-run".into(), e.to_string()))?;
+        if u64::from(a.completed) + u64::from(a.dropped) != u64::from(a.submitted) {
+            return Err((
+                format!("dynamic-conservation-{policy:?}"),
+                format!(
+                    "completed {} + dropped {} != submitted {}",
+                    a.completed, a.dropped, a.submitted
+                ),
+            ));
+        }
+        if format!("{a:?}") != format!("{b:?}") {
+            return Err((
+                format!("dynamic-determinism-{policy:?}"),
+                "replay diverged".into(),
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let device = arg_value(&args, "--device").unwrap_or_else(|| "pixel_7a".into());
+    let app_name = arg_value(&args, "--app").unwrap_or_else(|| "octree".into());
+    let seeds: u64 = arg_value(&args, "--seeds")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+    let out: PathBuf = arg_value(&args, "--out")
+        .unwrap_or_else(|| "target/fault-matrix".into())
+        .into();
+
+    let cell = match build_cell(&device, &app_name) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("fault_matrix: {e}");
+            std::process::exit(2);
+        }
+    };
+    std::fs::create_dir_all(&out).expect("create output directory");
+
+    let mut failures = 0u32;
+    for seed in 0..seeds {
+        match check_seed(&cell, seed) {
+            Ok(()) => println!("ok   {device}/{app_name} seed {seed}"),
+            Err((invariant, detail)) => {
+                failures += 1;
+                println!("FAIL {device}/{app_name} seed {seed}: {invariant}: {detail}");
+                let failure = Failure {
+                    device: device.clone(),
+                    app: app_name.clone(),
+                    seed,
+                    invariant,
+                    detail,
+                    plan: FaultPlan::random(seed, &cell.domain),
+                };
+                let path = out.join(format!("fault-{device}-{app_name}-seed{seed}.json"));
+                let json = serde_json::to_string_pretty(&failure).expect("serializable failure");
+                std::fs::write(&path, json).expect("write failing plan");
+                eprintln!("     failing plan written to {}", path.display());
+            }
+        }
+    }
+    println!(
+        "fault_matrix: {device}/{app_name}: {}/{seeds} seeds passed",
+        seeds - u64::from(failures)
+    );
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

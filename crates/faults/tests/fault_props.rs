@@ -1,0 +1,111 @@
+//! Property tests of the fault-injection layer: random fault plans must
+//! never deadlock the simulators, must conserve tasks
+//! (`completed + dropped == submitted`), and must replay bit-identically.
+
+use bt_faults::{FaultDomain, FaultPlan};
+use bt_soc::des::{simulate, simulate_faulted, ChunkSpec, DesConfig};
+use bt_soc::des_dynamic::{simulate_dynamic_faulted, DynamicPolicy};
+use bt_soc::{devices, PuClass, WorkProfile};
+use proptest::prelude::*;
+
+fn pipeline_chunks() -> Vec<ChunkSpec> {
+    vec![
+        ChunkSpec::new(
+            PuClass::BigCpu,
+            vec![
+                WorkProfile::new(4.0e6, 1.0e6),
+                WorkProfile::new(2.0e6, 5.0e5),
+            ],
+        ),
+        ChunkSpec::new(PuClass::MediumCpu, vec![WorkProfile::new(3.0e6, 8.0e5)]),
+        ChunkSpec::new(PuClass::Gpu, vec![WorkProfile::new(8.0e6, 2.0e6)]),
+    ]
+}
+
+fn cfg() -> DesConfig {
+    DesConfig {
+        tasks: 25,
+        warmup: 3,
+        noise_sigma: 0.02,
+        seed: 11,
+        ..DesConfig::default()
+    }
+}
+
+fn domain() -> FaultDomain {
+    let soc = devices::pixel_7a();
+    let reference = simulate(&soc, &pipeline_chunks(), &cfg()).expect("reference run");
+    FaultDomain {
+        classes: soc.schedulable_classes(),
+        chunks: 3,
+        stages: 2,
+        tasks: 28,
+        horizon_us: reference.makespan.as_f64() * 1.5,
+        ..FaultDomain::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The static engine under arbitrary plans terminates (reaching the
+    /// assertions proves no deadlock) and conserves tasks.
+    #[test]
+    fn static_engine_conserves_tasks(seed in any::<u64>()) {
+        let plan = FaultPlan::random(seed, &domain());
+        let soc = devices::pixel_7a();
+        let r = simulate_faulted(&soc, &pipeline_chunks(), &cfg(), &plan.to_spec())
+            .expect("valid configuration");
+        prop_assert_eq!(r.completed + r.dropped, r.submitted);
+        if let Some(report) = &r.report {
+            prop_assert!(report.makespan.as_f64() > 0.0);
+            prop_assert!(report.tasks > 0);
+        } else {
+            prop_assert_eq!(r.completed, 0, "no report only when nothing completed");
+        }
+    }
+
+    /// Same plan, same seed ⇒ bit-identical outcome (the artifact-replay
+    /// guarantee of the nightly fault matrix).
+    #[test]
+    fn static_engine_replays_bit_identically(seed in any::<u64>()) {
+        let plan = FaultPlan::random(seed, &domain());
+        let soc = devices::pixel_7a();
+        let a = simulate_faulted(&soc, &pipeline_chunks(), &cfg(), &plan.to_spec())
+            .expect("valid configuration");
+        let b = simulate_faulted(&soc, &pipeline_chunks(), &cfg(), &plan.to_spec())
+            .expect("valid configuration");
+        prop_assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    /// The dynamic scheduler under arbitrary plans terminates, conserves
+    /// tasks, and replays bit-identically under both placement policies.
+    #[test]
+    fn dynamic_engine_conserves_and_replays(seed in any::<u64>()) {
+        let plan = FaultPlan::random(seed, &domain());
+        let soc = devices::pixel_7a();
+        let stages = [
+            WorkProfile::new(4.0e6, 1.0e6),
+            WorkProfile::new(3.0e6, 8.0e5),
+            WorkProfile::new(8.0e6, 2.0e6),
+        ];
+        for policy in [DynamicPolicy::Fifo, DynamicPolicy::BestFit] {
+            let a = simulate_dynamic_faulted(&soc, &stages, &cfg(), policy, &plan.to_spec())
+                .expect("valid configuration");
+            prop_assert_eq!(a.completed + a.dropped, a.submitted);
+            let b = simulate_dynamic_faulted(&soc, &stages, &cfg(), policy, &plan.to_spec())
+                .expect("valid configuration");
+            prop_assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        }
+    }
+
+    /// Plans survive a JSON round trip unchanged — what makes a CI
+    /// artifact replayable.
+    #[test]
+    fn plans_round_trip_through_json(seed in any::<u64>()) {
+        let plan = FaultPlan::random(seed, &domain());
+        let json = serde_json::to_string(&plan).expect("serializes");
+        let back: FaultPlan = serde_json::from_str(&json).expect("deserializes");
+        prop_assert_eq!(plan, back);
+    }
+}

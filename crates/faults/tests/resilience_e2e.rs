@@ -1,0 +1,126 @@
+//! End-to-end resilience: a mid-run DVFS throttle on the big cluster must
+//! trip drift detection, trigger a re-solve on the rescaled cost table,
+//! and produce a schedule that strictly beats the stale one in the DES —
+//! the acceptance scenario of the fault subsystem.
+
+use bt_core::{BetterTogether, BtError, DriftConfig, ExecutionBackend, SimBackend};
+use bt_faults::{FaultPlan, FaultyBackend};
+use bt_kernels::apps;
+use bt_soc::{devices, FaultSpec, PuClass, SlowdownRamp};
+
+fn pixel_octree() -> BetterTogether<SimBackend> {
+    let app = apps::octree_app(apps::OctreeConfig::default()).model();
+    BetterTogether::new(devices::pixel_7a(), app)
+}
+
+fn big_cluster_throttle() -> FaultPlan {
+    FaultPlan {
+        seed: 0,
+        spec: FaultSpec {
+            slowdowns: vec![SlowdownRamp {
+                class: PuClass::BigCpu,
+                start_us: 2_000.0,
+                ramp_us: 0.0,
+                factor: 2.0,
+            }],
+            ..FaultSpec::none()
+        },
+    }
+}
+
+#[test]
+fn midrun_throttle_reschedule_beats_stale_schedule() {
+    let bt = pixel_octree();
+    let plan = big_cluster_throttle();
+    let run = bt
+        .run_resilient(&plan.to_spec(), &DriftConfig::default())
+        .expect("resilient run");
+
+    // Drift detection fired and produced a reschedule event.
+    assert!(run.rescheduled(), "2× throttle must trip drift detection");
+    let ev = &run.events[0];
+    assert!(
+        ev.factors
+            .iter()
+            .any(|&(c, f)| c == PuClass::BigCpu && f > 1.3),
+        "cost table must be rescaled on the throttled class: {:?}",
+        ev.factors
+    );
+    assert!(ev.improved(), "the reschedule must measure faster");
+
+    // The acceptance bar: re-optimized strictly beats stale, both measured
+    // in the DES under the same live fault.
+    let improvement = run.improvement().expect("both measurable");
+    assert!(
+        improvement > 1.0,
+        "re-optimized schedule must strictly beat the stale one under the \
+         throttle (stale/new latency ratio {improvement:.3})"
+    );
+}
+
+#[test]
+fn resilient_outcome_is_deterministic_for_a_plan() {
+    let bt = pixel_octree();
+    let plan = big_cluster_throttle();
+    let a = bt
+        .run_resilient(&plan.to_spec(), &DriftConfig::default())
+        .expect("resilient run");
+    let b = bt
+        .run_resilient(&plan.to_spec(), &DriftConfig::default())
+        .expect("resilient run");
+    assert_eq!(a.schedule, b.schedule);
+    assert_eq!(a.events.len(), b.events.len());
+    assert_eq!(
+        a.under_fault.expect("measured").latency.as_f64(),
+        b.under_fault.expect("measured").latency.as_f64()
+    );
+}
+
+#[test]
+fn injected_measurement_failure_surfaces_as_typed_error() {
+    let app = apps::octree_app(apps::OctreeConfig::default()).model();
+    let backend =
+        FaultyBackend::new(SimBackend::new(devices::pixel_7a(), app)).fail_on_runs(vec![0]);
+    // Run 0 is the predicted-best candidate's measurement: the whole
+    // autotuning sweep must fail loudly with the injected fault, not hang
+    // or silently skip the candidate.
+    let err = BetterTogether::with_backend(backend)
+        .run()
+        .expect_err("armed fault must surface");
+    assert!(
+        matches!(err, BtError::InjectedFault { run_index: 0 }),
+        "{err}"
+    );
+}
+
+#[test]
+fn unarmed_faulty_backend_is_transparent() {
+    let app = apps::octree_app(apps::OctreeConfig::default()).model();
+    let plain = SimBackend::new(devices::pixel_7a(), app.clone());
+    let wrapped = FaultyBackend::new(SimBackend::new(devices::pixel_7a(), app));
+    let d_plain = BetterTogether::with_backend(plain).run().expect("runs");
+    let d_wrapped = BetterTogether::with_backend(wrapped).run().expect("runs");
+    assert_eq!(d_plain.best_schedule(), d_wrapped.best_schedule());
+    assert_eq!(
+        d_plain.best_latency().expect("measured").as_f64(),
+        d_wrapped.best_latency().expect("measured").as_f64()
+    );
+}
+
+#[test]
+fn rescheduling_event_serializes_for_artifacts() {
+    let bt = pixel_octree();
+    let run = bt
+        .run_resilient(&big_cluster_throttle().to_spec(), &DriftConfig::default())
+        .expect("resilient run");
+    let json = serde_json::to_string(&run.events).expect("events serialize");
+    assert!(json.contains("new_schedule"));
+}
+
+#[test]
+fn faulty_backend_exposes_inner() {
+    let app = apps::octree_app(apps::OctreeConfig::default()).model();
+    let wrapped = FaultyBackend::new(SimBackend::new(devices::pixel_7a(), app));
+    assert_eq!(wrapped.inner().name(), "sim");
+    assert_eq!(wrapped.stage_count(), wrapped.inner().stage_count());
+}

@@ -649,6 +649,615 @@ pub fn run_host<P: Send + 'static>(
     })
 }
 
+/// Resilience policy of [`run_host_resilient`].
+#[derive(Debug, Clone)]
+pub struct ResilienceConfig {
+    /// Per-dispatcher watchdog on blocking input pops. When a dispatcher
+    /// starves this long while its producer is still alive, the run is
+    /// declared wedged (an upstream kernel is presumed hung), every
+    /// dispatcher unwinds, and the outcome degrades with
+    /// [`DegradeReason::WatchdogTimeout`]. `None` disables the watchdog
+    /// (pops still detect dead producers via the SPSC disconnect signal).
+    pub watchdog: Option<Duration>,
+    /// Retries per failed stage execution, beyond the first attempt.
+    pub retries: u32,
+    /// Backoff before the first retry; doubles on each further retry.
+    pub retry_backoff: Duration,
+    /// Tombstoned (retries-exhausted) tasks one chunk tolerates before the
+    /// head stops admitting and the pipeline drains into
+    /// [`DegradeReason::KernelFailures`].
+    pub max_task_failures: u32,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> ResilienceConfig {
+        ResilienceConfig {
+            watchdog: Some(Duration::from_secs(2)),
+            retries: 2,
+            retry_backoff: Duration::from_millis(1),
+            max_task_failures: 3,
+        }
+    }
+}
+
+/// Why a resilient run degraded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DegradeReason {
+    /// `chunk` exhausted its per-chunk failure budget
+    /// ([`ResilienceConfig::max_task_failures`]); the head stopped
+    /// admitting and the pipeline drained its in-flight tasks.
+    KernelFailures {
+        /// The chunk whose kernels kept failing.
+        chunk: usize,
+    },
+    /// `chunk`'s dispatcher starved past the watchdog deadline with its
+    /// producer still alive — an upstream kernel is presumed hung, so the
+    /// pipeline unwound without a full drain.
+    WatchdogTimeout {
+        /// The dispatcher that starved (not necessarily the hung one).
+        chunk: usize,
+    },
+}
+
+/// Outcome of [`run_host_resilient`]: either a clean run or a typed
+/// degradation — never a hang, never a panic escaping the executor.
+///
+/// Accounting invariant: `completed + dropped == submitted`. Tasks that
+/// were in flight when a watchdog unwind discarded them count as dropped.
+#[derive(Debug, Clone)]
+pub enum RunOutcome {
+    /// Every submitted task completed; measurement is equivalent to
+    /// [`run_host`]'s.
+    Completed(HostReport),
+    /// Some tasks were lost. The report covers the tasks that did
+    /// complete; `None` when nothing completed.
+    Degraded {
+        /// Steady-state measurement over completed tasks, if any.
+        report: Option<HostReport>,
+        /// Tasks admitted by the head dispatcher.
+        submitted: u64,
+        /// Tasks that exited the pipeline tail.
+        completed: u64,
+        /// `submitted - completed`: tombstoned by retries-exhausted
+        /// kernels or discarded by a watchdog unwind.
+        dropped: u64,
+        /// What went wrong.
+        reason: DegradeReason,
+    },
+}
+
+impl RunOutcome {
+    /// The steady-state report, if any tasks completed.
+    pub fn report(&self) -> Option<&HostReport> {
+        match self {
+            RunOutcome::Completed(r) => Some(r),
+            RunOutcome::Degraded { report, .. } => report.as_ref(),
+        }
+    }
+
+    /// Whether the run degraded.
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, RunOutcome::Degraded { .. })
+    }
+}
+
+/// Degradation signals shared by the resilient dispatchers.
+struct DegradeSignals {
+    /// Graceful: the head stops admitting; in-flight tasks drain normally.
+    degrade: AtomicBool,
+    /// Hard: every blocking loop aborts promptly (wedged pipeline).
+    halt: AtomicBool,
+    /// Encoded first-reported reason: 0 none, 1 kernel failures, 2
+    /// watchdog; `reason_chunk` is only meaningful once `reason_kind != 0`.
+    reason_kind: AtomicUsize,
+    reason_chunk: AtomicUsize,
+}
+
+impl DegradeSignals {
+    fn new() -> DegradeSignals {
+        DegradeSignals {
+            degrade: AtomicBool::new(false),
+            halt: AtomicBool::new(false),
+            reason_kind: AtomicUsize::new(0),
+            reason_chunk: AtomicUsize::new(0),
+        }
+    }
+
+    /// Records the first degradation reason; later reports are ignored.
+    fn report(&self, kind: usize, chunk: usize) {
+        if self
+            .reason_kind
+            .compare_exchange(0, kind, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+        {
+            self.reason_chunk.store(chunk, Ordering::SeqCst);
+        }
+    }
+
+    fn kernel_failures(&self, chunk: usize) {
+        self.report(1, chunk);
+        self.degrade.store(true, Ordering::SeqCst);
+    }
+
+    fn watchdog(&self, chunk: usize) {
+        self.report(2, chunk);
+        self.degrade.store(true, Ordering::SeqCst);
+        self.halt.store(true, Ordering::SeqCst);
+    }
+
+    fn reason(&self) -> Option<DegradeReason> {
+        let chunk = self.reason_chunk.load(Ordering::SeqCst);
+        match self.reason_kind.load(Ordering::SeqCst) {
+            1 => Some(DegradeReason::KernelFailures { chunk }),
+            2 => Some(DegradeReason::WatchdogTimeout { chunk }),
+            _ => None,
+        }
+    }
+}
+
+enum ResilientPop<T> {
+    Got(T),
+    /// Producer gone or halt raised: stop consuming.
+    Stopped,
+    /// Watchdog deadline elapsed with a live producer.
+    Starved,
+}
+
+/// Watchdog-aware blocking pop: waits for an item, a dead producer, the
+/// halt flag, or the watchdog deadline — whichever comes first.
+fn pop_watchdog<T>(
+    rx: &mut spsc::Consumer<T>,
+    halt: &AtomicBool,
+    watchdog: Option<Duration>,
+) -> ResilientPop<T> {
+    let Some(watchdog) = watchdog else {
+        // No deadline: still halt-aware and disconnect-aware.
+        let mut backoff = spsc::Backoff::new();
+        loop {
+            if let Some(v) = rx.pop() {
+                return ResilientPop::Got(v);
+            }
+            if halt.load(Ordering::Relaxed) || rx.is_disconnected() {
+                return match rx.pop() {
+                    Some(v) => ResilientPop::Got(v),
+                    None => ResilientPop::Stopped,
+                };
+            }
+            backoff.snooze();
+        }
+    };
+    // Wait in short slices so a halt raised elsewhere is noticed well
+    // before a long watchdog deadline expires.
+    let deadline = Instant::now() + watchdog;
+    loop {
+        let slice = Duration::from_millis(5).min(watchdog);
+        match rx.pop_deadline(slice) {
+            Ok(v) => return ResilientPop::Got(v),
+            Err(spsc::PopError::Disconnected) => return ResilientPop::Stopped,
+            Err(spsc::PopError::TimedOut) => {
+                if halt.load(Ordering::Relaxed) {
+                    return match rx.pop() {
+                        Some(v) => ResilientPop::Got(v),
+                        None => ResilientPop::Stopped,
+                    };
+                }
+                if Instant::now() >= deadline {
+                    return ResilientPop::Starved;
+                }
+            }
+        }
+    }
+}
+
+/// Executes `schedule` over `app` like [`run_host`], but survives runtime
+/// faults instead of failing the whole run:
+///
+/// - **Bounded retry with backoff**: a panicking stage kernel is retried up
+///   to [`ResilienceConfig::retries`] times (backoff doubling from
+///   [`ResilienceConfig::retry_backoff`]).
+/// - **Tombstoning**: a task whose retries are exhausted is marked
+///   [`TaskObject::dropped`] and keeps flowing, so the object pool never
+///   shrinks; downstream chunks skip it and the tail counts it as dropped.
+/// - **Drain and degrade**: a chunk exceeding
+///   [`ResilienceConfig::max_task_failures`] stops the head; in-flight
+///   tasks complete and the run reports
+///   [`RunOutcome::Degraded`] instead of hanging or panicking.
+/// - **Watchdog**: a dispatcher starving past
+///   [`ResilienceConfig::watchdog`] on a live producer declares the
+///   pipeline wedged and unwinds every thread promptly.
+///
+/// # Errors
+///
+/// Returns [`PipelineError`] only for configuration errors (stage
+/// mismatch, zero tasks). Runtime faults degrade the [`RunOutcome`]
+/// instead.
+pub fn run_host_resilient<P: Send + 'static>(
+    app: &Application<P>,
+    schedule: &Schedule,
+    threads: &PuThreads,
+    cfg: &HostRunConfig,
+    res: &ResilienceConfig,
+) -> Result<RunOutcome, PipelineError> {
+    if schedule.stage_count() != app.stage_count() {
+        return Err(PipelineError::StageMismatch {
+            app: app.stage_count(),
+            schedule: schedule.stage_count(),
+        });
+    }
+    if cfg.tasks == 0 {
+        return Err(PipelineError::NoTasks);
+    }
+
+    let chunks = schedule.chunks();
+    let k = chunks.len();
+    let duration_mode = cfg.duration.is_some();
+    let total = if duration_mode {
+        u64::MAX
+    } else {
+        (cfg.tasks + cfg.warmup) as u64
+    };
+    let deadline = cfg.duration.map(|d| Instant::now() + d);
+    let buffers = if cfg.buffers == 0 { k + 1 } else { cfg.buffers };
+
+    let mut producers: Vec<Option<spsc::Producer<Msg<P>>>> = Vec::new();
+    let mut consumers: Vec<Option<spsc::Consumer<Msg<P>>>> = Vec::new();
+    for _ in 1..k {
+        let (tx, rx) = spsc::channel(buffers.max(1));
+        producers.push(Some(tx));
+        consumers.push(Some(rx));
+    }
+    let (mut recycle_tx, recycle_rx) = spsc::channel::<Box<TaskObject<P>>>(buffers.max(1));
+    for _ in 0..buffers {
+        let obj = Box::new(TaskObject::new(app.new_payload()));
+        recycle_tx
+            .push(obj)
+            .unwrap_or_else(|_| unreachable!("capacity equals the pool size"));
+    }
+
+    let signals = DegradeSignals::new();
+    let submitted = AtomicUsize::new(0);
+    let tail_dropped = AtomicUsize::new(0);
+    let outputs: Vec<ChunkOutput> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(k);
+        let mut recycle_rx = Some(recycle_rx);
+        let mut recycle_tx = Some(recycle_tx);
+
+        for (ci, chunk) in chunks.iter().copied().enumerate() {
+            let is_head = ci == 0;
+            let is_tail = ci == k - 1;
+            let input = if is_head {
+                None
+            } else {
+                Some(consumers[ci - 1].take().expect("each consumer moved once"))
+            };
+            let output = if is_tail {
+                None
+            } else {
+                Some(producers[ci].take().expect("each producer moved once"))
+            };
+            let head_rx = if is_head { recycle_rx.take() } else { None };
+            let tail_tx = if is_tail { recycle_tx.take() } else { None };
+            let ctx = ParCtx::new(threads.threads(chunk.pu));
+            let pin_cores: Vec<usize> = cfg
+                .affinity
+                .as_ref()
+                .map(|m| m.pinnable(chunk.pu).to_vec())
+                .unwrap_or_default();
+
+            let signals = &signals;
+            let submitted = &submitted;
+            let tail_dropped = &tail_dropped;
+            handles.push(scope.spawn(move || {
+                crate::affinity::pin_current_thread(&pin_cores);
+
+                let mut out = ChunkOutput::default();
+                let mut input = input;
+                let mut output = output;
+                let mut head_rx = head_rx;
+                let mut tail_tx = tail_tx;
+                let halt = &signals.halt;
+
+                let count = cfg.telemetry.counters;
+                let mut counters = DispatcherCounters::new();
+                let mut busy = Duration::ZERO;
+                let mut spans: Vec<(u64, Instant, Instant)> = Vec::new();
+                let mut failures = 0u32;
+
+                // One stage execution attempt; retried with doubling
+                // backoff. A task whose attempts are all spent is
+                // tombstoned rather than aborting the pipeline, and a
+                // chunk burning through its failure budget degrades the
+                // run gracefully (the head stops admitting).
+                let mut run_chunk = |obj: &mut TaskObject<P>, ctx: &ParCtx| {
+                    let mut wait = res.retry_backoff;
+                    for attempt in 0..=res.retries {
+                        if attempt > 0 {
+                            std::thread::sleep(wait);
+                            wait *= 2;
+                        }
+                        let t0 = Instant::now();
+                        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                            for s in chunk.first_stage..=chunk.last_stage {
+                                app.stages()[s].run(&mut obj.payload, ctx);
+                            }
+                        }));
+                        let t1 = Instant::now();
+                        busy += t1 - t0;
+                        spans.push((obj.seq, t0, t1));
+                        if result.is_ok() {
+                            return;
+                        }
+                    }
+                    obj.dropped = true;
+                    failures += 1;
+                    // Any tombstone makes the run degraded; only a budget
+                    // overrun additionally stops the head from admitting.
+                    signals.report(1, ci);
+                    if failures > res.max_task_failures {
+                        signals.kernel_failures(ci);
+                    }
+                };
+
+                let pop_in = |rx: &mut spsc::Consumer<Msg<P>>,
+                              counters: &mut DispatcherCounters|
+                 -> ResilientPop<Msg<P>> {
+                    let t0 = count.then(Instant::now);
+                    let r = pop_watchdog(rx, halt, res.watchdog);
+                    if let Some(t0) = t0 {
+                        counters.record_blocked_pop(t0.elapsed());
+                    }
+                    r
+                };
+
+                if is_head {
+                    let rx = head_rx.as_mut().expect("head owns the recycle consumer");
+                    for seq in 0..total {
+                        if signals.degrade.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        if let Some(d) = deadline {
+                            if Instant::now() >= d {
+                                break;
+                            }
+                        }
+                        let t0 = count.then(Instant::now);
+                        let popped = pop_watchdog(rx, halt, res.watchdog);
+                        if let Some(t0) = t0 {
+                            counters.record_blocked_pop(t0.elapsed());
+                        }
+                        let mut obj = match popped {
+                            ResilientPop::Got(o) => o,
+                            ResilientPop::Stopped => break,
+                            ResilientPop::Starved => {
+                                signals.watchdog(ci);
+                                break;
+                            }
+                        };
+                        obj.recycle(seq);
+                        app.load_input(&mut obj.payload, seq);
+                        out.entries.push(obj.entered.expect("stamped by recycle"));
+                        submitted.fetch_add(1, Ordering::Relaxed);
+                        run_chunk(&mut obj, &ctx);
+                        if is_tail {
+                            if obj.dropped {
+                                tail_dropped.fetch_add(1, Ordering::Relaxed);
+                            } else {
+                                let entered = obj.entered.expect("stamped");
+                                let now = Instant::now();
+                                out.completions.push((seq, now - entered, now));
+                            }
+                            if !push_timed(
+                                tail_tx.as_mut().expect("tail owns the recycle producer"),
+                                obj,
+                                halt,
+                                count,
+                                &mut counters,
+                            ) {
+                                break;
+                            }
+                        } else if !push_timed(
+                            output.as_mut().expect("non-tail has an output queue"),
+                            Msg::Task(obj),
+                            halt,
+                            count,
+                            &mut counters,
+                        ) {
+                            break;
+                        }
+                    }
+                    if !is_tail {
+                        let _ = push_until(output.as_mut().expect("non-tail"), Msg::Stop, halt);
+                    }
+                } else {
+                    let rx = input.as_mut().expect("non-head has an input queue");
+                    loop {
+                        match pop_in(rx, &mut counters) {
+                            ResilientPop::Stopped => break,
+                            ResilientPop::Starved => {
+                                signals.watchdog(ci);
+                                break;
+                            }
+                            ResilientPop::Got(Msg::Stop) => {
+                                if let Some(tx) = output.as_mut() {
+                                    let _ = push_until(tx, Msg::Stop, halt);
+                                }
+                                break;
+                            }
+                            ResilientPop::Got(Msg::Task(mut obj)) => {
+                                if halt.load(Ordering::Relaxed) {
+                                    continue; // drain to unblock upstream
+                                }
+                                if !obj.dropped {
+                                    run_chunk(&mut obj, &ctx);
+                                }
+                                if is_tail {
+                                    if obj.dropped {
+                                        tail_dropped.fetch_add(1, Ordering::Relaxed);
+                                    } else {
+                                        let entered = obj.entered.expect("stamped by head");
+                                        let now = Instant::now();
+                                        out.completions.push((obj.seq, now - entered, now));
+                                    }
+                                    if !push_timed(
+                                        tail_tx.as_mut().expect("tail recycles"),
+                                        obj,
+                                        halt,
+                                        count,
+                                        &mut counters,
+                                    ) {
+                                        break;
+                                    }
+                                } else if !push_timed(
+                                    output.as_mut().expect("middle chunk"),
+                                    Msg::Task(obj),
+                                    halt,
+                                    count,
+                                    &mut counters,
+                                ) {
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                }
+                if count {
+                    counters.tasks = spans.len() as u64;
+                    counters.busy = busy;
+                }
+                out.counters = counters;
+                out.spans = spans;
+                out
+            }));
+        }
+
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("dispatcher threads do not panic"))
+            .collect()
+    });
+
+    let submitted = submitted.load(Ordering::SeqCst) as u64;
+    let completed = outputs[k - 1].completions.len() as u64;
+    let dropped = submitted - completed;
+    let report = assemble_resilient_report(&outputs, cfg, k);
+
+    match signals.reason() {
+        None if dropped == 0 => {
+            let report = report.ok_or(PipelineError::NoTasks)?;
+            Ok(RunOutcome::Completed(report))
+        }
+        reason => Ok(RunOutcome::Degraded {
+            report,
+            submitted,
+            completed,
+            dropped,
+            // A drop without a recorded signal cannot happen (tombstones
+            // raise the failure path), but degrade defensively if it does.
+            reason: reason.unwrap_or(DegradeReason::KernelFailures { chunk: usize::MAX }),
+        }),
+    }
+}
+
+/// Builds the steady-state report of a (possibly degraded) resilient run.
+///
+/// Unlike [`run_host`]'s assembly, task sequence numbers can be sparse —
+/// dropped tasks leave gaps — so the window is anchored positionally: the
+/// first `warmup` *completions* are excluded as the fill transient, and the
+/// window runs departure-to-departure over the rest. With nothing dropped
+/// this coincides with [`run_host`]'s convention.
+fn assemble_resilient_report(
+    outputs: &[ChunkOutput],
+    cfg: &HostRunConfig,
+    k: usize,
+) -> Option<HostReport> {
+    let entries = &outputs[0].entries;
+    let completions = &outputs[k - 1].completions;
+    let n = completions.len();
+    if n == 0 {
+        return None;
+    }
+    let warmup = cfg.warmup as usize;
+    let (w_start, skip, intervals) = if warmup > 0 && n > warmup {
+        (completions[warmup - 1].2, warmup, (n - warmup) as u32)
+    } else if n > 1 {
+        (completions[0].2, 0, (n - 1) as u32)
+    } else {
+        (w_fallback(entries), 0, 1)
+    };
+    let w_end = completions[n - 1].2;
+    let makespan = w_end.saturating_duration_since(w_start);
+    let measured = &completions[skip..];
+    let mean_latency =
+        measured.iter().map(|&(_, lat, _)| lat).sum::<Duration>() / measured.len().max(1) as u32;
+    let span = makespan.as_secs_f64().max(1e-12);
+    let chunk_utilization = outputs
+        .iter()
+        .map(|o| {
+            let in_window: Duration = o
+                .spans
+                .iter()
+                .map(|&(_, t0, t1)| t1.min(w_end).saturating_duration_since(t0.max(w_start)))
+                .sum();
+            in_window.as_secs_f64() / span
+        })
+        .collect();
+    let epoch = outputs
+        .iter()
+        .flat_map(|o| o.spans.iter().map(|&(_, s, _)| s))
+        .min()
+        .unwrap_or(w_start);
+    let timeline = if cfg.record_timeline {
+        outputs
+            .iter()
+            .enumerate()
+            .flat_map(|(ci, o)| {
+                o.spans.iter().map(move |&(task, s, e)| HostTimelineEvent {
+                    chunk: ci,
+                    task,
+                    start_us: s.saturating_duration_since(epoch).as_secs_f64() * 1e6,
+                    end_us: e.saturating_duration_since(epoch).as_secs_f64() * 1e6,
+                })
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let telemetry = if cfg.telemetry.any() {
+        let mut t = RunTelemetry::new("host");
+        if cfg.telemetry.counters {
+            t.dispatchers = outputs
+                .iter()
+                .enumerate()
+                .map(|(ci, o)| o.counters.stats(format!("chunk{ci}")))
+                .collect();
+        }
+        if cfg.telemetry.spans {
+            let mut rec = SpanRecorder::new(true, epoch);
+            for (ci, o) in outputs.iter().enumerate() {
+                for &(task, s, e) in &o.spans {
+                    rec.record(ci as u32, task, None, s, e);
+                }
+            }
+            t.spans = rec.into_spans();
+        }
+        Some(t)
+    } else {
+        None
+    };
+
+    Some(HostReport {
+        makespan,
+        time_per_task: makespan / intervals.max(1),
+        mean_task_latency: mean_latency,
+        throughput_hz: f64::from(intervals.max(1)) / span,
+        chunk_utilization,
+        tasks: (n - skip) as u32,
+        timeline,
+        telemetry,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -880,5 +1489,204 @@ mod tests {
             .and_then(serde_json::Value::as_array)
             .expect("traceEvents");
         assert_eq!(events.len(), 2 + 2 * 14, "metadata + spans");
+    }
+
+    /// Application whose stage-0 kernel panics when `decide(seq, attempt)`
+    /// says so; `attempt` counts calls for that seq (retries increment it).
+    fn faulty_app(
+        stages: usize,
+        decide: fn(u64, u64) -> bool,
+        attempts: Arc<AtomicU64>,
+    ) -> Application<Trace> {
+        let stage_list = (0..stages)
+            .map(|i| {
+                let attempts = Arc::clone(&attempts);
+                Stage::new(
+                    format!("s{i}"),
+                    bt_soc::WorkProfile::new(1.0, 1.0),
+                    Arc::new(move |t: &mut Trace, _ctx: &ParCtx| {
+                        if i == 0 {
+                            let n = attempts.fetch_add(1, Ordering::Relaxed);
+                            // attempt index is per-run order; decide gets
+                            // (seq, global attempt counter) — enough for
+                            // "fail first time" and "always fail" plans.
+                            if decide(t.seq, n) {
+                                panic!("injected kernel fault");
+                            }
+                        }
+                        t.visits.push(i);
+                    }) as bt_kernels::KernelFn<Trace>,
+                )
+            })
+            .collect();
+        Application::new(
+            "faulty",
+            stage_list,
+            Arc::new(Trace::default),
+            Arc::new(|t: &mut Trace, seq| {
+                t.seq = seq;
+                t.visits.clear();
+            }),
+        )
+    }
+
+    fn quick_res() -> ResilienceConfig {
+        ResilienceConfig {
+            watchdog: Some(Duration::from_secs(5)),
+            retries: 2,
+            retry_backoff: Duration::from_micros(100),
+            max_task_failures: 3,
+        }
+    }
+
+    #[test]
+    fn resilient_clean_run_completes_like_run_host() {
+        use bt_soc::PuClass::*;
+        let counter = Arc::new(AtomicU64::new(0));
+        let app = trace_app(4, Arc::clone(&counter));
+        let schedule = Schedule::new(vec![BigCpu, BigCpu, Gpu, Gpu]).unwrap();
+        let outcome = run_host_resilient(
+            &app,
+            &schedule,
+            &PuThreads::uniform(1),
+            &cfg(15, 2),
+            &quick_res(),
+        )
+        .unwrap();
+        assert!(!outcome.is_degraded());
+        let report = outcome.report().expect("clean run has a report");
+        assert_eq!(report.tasks, 15);
+        assert!(report.makespan > Duration::ZERO);
+        assert_eq!(counter.load(Ordering::Relaxed), 17 * 4);
+    }
+
+    #[test]
+    fn flaky_kernel_is_retried_to_completion() {
+        use bt_soc::PuClass::*;
+        // Seq 4 panics on its first attempt only (the retry, a later
+        // global attempt for the same seq, succeeds).
+        static FAILED_ONCE: AtomicU64 = AtomicU64::new(0);
+        FAILED_ONCE.store(0, Ordering::SeqCst);
+        let attempts = Arc::new(AtomicU64::new(0));
+        let app = faulty_app(
+            2,
+            |seq, _n| seq == 4 && FAILED_ONCE.swap(1, Ordering::SeqCst) == 0,
+            Arc::clone(&attempts),
+        );
+        let schedule = Schedule::new(vec![BigCpu, Gpu]).unwrap();
+        let outcome = run_host_resilient(
+            &app,
+            &schedule,
+            &PuThreads::uniform(1),
+            &cfg(10, 0),
+            &quick_res(),
+        )
+        .unwrap();
+        assert!(
+            !outcome.is_degraded(),
+            "retry should absorb a one-shot fault"
+        );
+        assert_eq!(outcome.report().unwrap().tasks, 10);
+        // 10 tasks + 1 retried attempt.
+        assert_eq!(attempts.load(Ordering::Relaxed), 11);
+    }
+
+    #[test]
+    fn deterministic_failure_tombstones_and_degrades() {
+        use bt_soc::PuClass::*;
+        let attempts = Arc::new(AtomicU64::new(0));
+        // Seq 5 fails every attempt: retries exhaust, the task tombstones.
+        let app = faulty_app(2, |seq, _n| seq == 5, Arc::clone(&attempts));
+        let schedule = Schedule::new(vec![BigCpu, Gpu]).unwrap();
+        let res = ResilienceConfig {
+            retries: 1,
+            ..quick_res()
+        };
+        let outcome =
+            run_host_resilient(&app, &schedule, &PuThreads::uniform(1), &cfg(12, 0), &res).unwrap();
+        let RunOutcome::Degraded {
+            report,
+            submitted,
+            completed,
+            dropped,
+            reason,
+        } = outcome
+        else {
+            panic!("a tombstoned task must degrade the outcome");
+        };
+        assert_eq!(dropped, 1);
+        assert_eq!(completed + dropped, submitted);
+        assert_eq!(reason, DegradeReason::KernelFailures { chunk: 0 });
+        let report = report.expect("surviving tasks still measured");
+        assert_eq!(u64::from(report.tasks), completed);
+    }
+
+    #[test]
+    fn failure_budget_overrun_stops_admission() {
+        use bt_soc::PuClass::*;
+        let attempts = Arc::new(AtomicU64::new(0));
+        // Every seq >= 3 fails all attempts.
+        let app = faulty_app(2, |seq, _n| seq >= 3, Arc::clone(&attempts));
+        let schedule = Schedule::new(vec![BigCpu, Gpu]).unwrap();
+        let res = ResilienceConfig {
+            retries: 0,
+            max_task_failures: 2,
+            ..quick_res()
+        };
+        let outcome =
+            run_host_resilient(&app, &schedule, &PuThreads::uniform(1), &cfg(1000, 0), &res)
+                .unwrap();
+        let RunOutcome::Degraded {
+            submitted,
+            completed,
+            dropped,
+            reason,
+            ..
+        } = outcome
+        else {
+            panic!("budget overrun must degrade");
+        };
+        assert_eq!(reason, DegradeReason::KernelFailures { chunk: 0 });
+        // The head stopped admitting shortly after the third failure
+        // instead of burning through all 1000 tasks.
+        assert!(submitted < 1000, "head kept admitting: {submitted}");
+        assert_eq!(completed, 3, "seqs 0..3 complete");
+        assert_eq!(completed + dropped, submitted);
+    }
+
+    #[test]
+    fn hung_kernel_trips_watchdog_instead_of_hanging() {
+        use bt_soc::PuClass::*;
+        // Seq 2's stage-0 kernel "hangs" (sleeps far past the watchdog).
+        let app = sleep_app(2, |stage, seq| match (stage, seq) {
+            (0, 2) => 400,
+            _ => 1,
+        });
+        let schedule = Schedule::new(vec![BigCpu, Gpu]).unwrap();
+        let res = ResilienceConfig {
+            watchdog: Some(Duration::from_millis(50)),
+            retries: 0,
+            ..quick_res()
+        };
+        let t0 = Instant::now();
+        let outcome =
+            run_host_resilient(&app, &schedule, &PuThreads::uniform(1), &cfg(50, 0), &res).unwrap();
+        let elapsed = t0.elapsed();
+        let RunOutcome::Degraded {
+            submitted,
+            completed,
+            dropped,
+            reason,
+            ..
+        } = outcome
+        else {
+            panic!("a wedged pipeline must degrade, not hang");
+        };
+        assert_eq!(reason, DegradeReason::WatchdogTimeout { chunk: 1 });
+        assert_eq!(completed + dropped, submitted);
+        assert!(
+            elapsed < Duration::from_secs(5),
+            "watchdog unwind took {elapsed:?}"
+        );
     }
 }

@@ -26,9 +26,10 @@ mod usm;
 
 pub use affinity::{current_affinity, pin_current_thread};
 pub use executor::{
-    run_host, HostReport, HostRunConfig, HostTimelineEvent, PipelineError, PuThreads,
+    run_host, run_host_resilient, DegradeReason, HostReport, HostRunConfig, HostTimelineEvent,
+    PipelineError, PuThreads, ResilienceConfig, RunOutcome,
 };
 pub use measure::Measurement;
 pub use schedule::{ChunkAssignment, Schedule, ScheduleError};
-pub use sim::{simulate_baseline, simulate_schedule, to_chunk_specs};
+pub use sim::{simulate_baseline, simulate_schedule, simulate_schedule_faulted, to_chunk_specs};
 pub use usm::{TaskObject, UsmBuffer};

@@ -3,7 +3,7 @@
 
 use bt_kernels::AppModel;
 use bt_soc::des::{self, ChunkSpec, DesConfig, DesReport};
-use bt_soc::{SocError, SocSpec};
+use bt_soc::{FaultSpec, FaultedDesReport, SocError, SocSpec};
 
 use crate::{PipelineError, Schedule};
 
@@ -55,6 +55,26 @@ pub fn simulate_schedule(
 ) -> Result<DesReport, PipelineError> {
     let chunks = to_chunk_specs(app, schedule)?;
     Ok(des::simulate(soc, &chunks, cfg)?)
+}
+
+/// Simulates pipelined execution of `schedule` under injected faults —
+/// the virtual-device counterpart of [`crate::run_host_resilient`]. The
+/// returned [`FaultedDesReport`] carries the completed/dropped accounting
+/// alongside the steady-state measurement over surviving tasks.
+///
+/// # Errors
+///
+/// Returns [`PipelineError::StageMismatch`] on a schedule/application
+/// stage disagreement, or [`PipelineError::Soc`] from the simulator.
+pub fn simulate_schedule_faulted(
+    soc: &SocSpec,
+    app: &AppModel,
+    schedule: &Schedule,
+    cfg: &DesConfig,
+    faults: &FaultSpec,
+) -> Result<FaultedDesReport, PipelineError> {
+    let chunks = to_chunk_specs(app, schedule)?;
+    Ok(des::simulate_faulted(soc, &chunks, cfg, faults)?)
 }
 
 /// Simulates the paper's homogeneous baseline: every stage offloaded to a

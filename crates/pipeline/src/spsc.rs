@@ -8,8 +8,9 @@
 //! payload.
 
 use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use crossbeam::utils::CachePadded;
 
@@ -19,6 +20,14 @@ struct Ring<T> {
     head: CachePadded<AtomicUsize>,
     /// Next slot to write (owned by the producer; read by the consumer).
     tail: CachePadded<AtomicUsize>,
+    /// Cleared when the `Producer` endpoint drops. Lets a blocked consumer
+    /// distinguish "queue momentarily empty" from "no item will ever
+    /// arrive" — without it, `pop_blocking` on a dead dispatcher spins
+    /// forever.
+    producer_alive: AtomicBool,
+    /// Cleared when the `Consumer` endpoint drops (symmetric signal for
+    /// blocked producers).
+    consumer_alive: AtomicBool,
 }
 
 // SAFETY: the ring is shared between exactly one producer and one consumer
@@ -73,6 +82,8 @@ pub fn channel<T>(capacity: usize) -> (Producer<T>, Consumer<T>) {
         buf: buf.into_boxed_slice(),
         head: CachePadded::new(AtomicUsize::new(0)),
         tail: CachePadded::new(AtomicUsize::new(0)),
+        producer_alive: AtomicBool::new(true),
+        consumer_alive: AtomicBool::new(true),
     });
     (
         Producer {
@@ -81,6 +92,40 @@ pub fn channel<T>(capacity: usize) -> (Producer<T>, Consumer<T>) {
         Consumer { ring },
     )
 }
+
+/// The peer endpoint dropped: no further item will ever arrive (consumer
+/// side) or be drained (producer side).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Disconnected;
+
+impl std::fmt::Display for Disconnected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SPSC peer endpoint dropped")
+    }
+}
+
+impl std::error::Error for Disconnected {}
+
+/// Why a deadline-bounded blocking operation gave up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PopError {
+    /// The producer endpoint dropped and the queue is drained.
+    Disconnected,
+    /// The deadline elapsed with the producer still alive — what a
+    /// watchdog reports as a stuck upstream stage.
+    TimedOut,
+}
+
+impl std::fmt::Display for PopError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PopError::Disconnected => f.write_str("SPSC producer dropped, queue drained"),
+            PopError::TimedOut => f.write_str("SPSC pop deadline elapsed"),
+        }
+    }
+}
+
+impl std::error::Error for PopError {}
 
 /// Exponential backoff for busy-wait loops around [`Producer::push`] /
 /// [`Consumer::pop`].
@@ -177,6 +222,18 @@ impl<T> Producer<T> {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Whether the consumer endpoint has dropped. Once `true` it stays
+    /// `true`, and nothing pushed afterwards will ever be drained.
+    pub fn is_disconnected(&self) -> bool {
+        !self.ring.consumer_alive.load(Ordering::Acquire)
+    }
+}
+
+impl<T> Drop for Producer<T> {
+    fn drop(&mut self) {
+        self.ring.producer_alive.store(false, Ordering::Release);
+    }
 }
 
 impl<T> Consumer<T> {
@@ -199,15 +256,59 @@ impl<T> Consumer<T> {
     }
 
     /// Blocking pop: waits with exponential [`Backoff`] (spin → yield →
-    /// sleep) until an item arrives.
-    pub fn pop_blocking(&mut self) -> T {
+    /// sleep) until an item arrives or the producer endpoint drops.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Disconnected`] once the producer has dropped *and* the
+    /// queue is drained — items published before the drop are still
+    /// delivered.
+    pub fn pop_blocking(&mut self) -> Result<T, Disconnected> {
         let mut backoff = Backoff::new();
         loop {
             if let Some(v) = self.pop() {
-                return v;
+                return Ok(v);
+            }
+            // Check liveness only after an empty pop: a producer that
+            // pushed and then dropped must still have its items drained,
+            // so re-poll once after observing the death.
+            if !self.ring.producer_alive.load(Ordering::Acquire) {
+                return self.pop().ok_or(Disconnected);
             }
             backoff.snooze();
         }
+    }
+
+    /// Blocking pop with a deadline: like
+    /// [`pop_blocking`](Consumer::pop_blocking), but gives up after
+    /// `timeout` — the primitive under the executor's per-chunk watchdog.
+    ///
+    /// # Errors
+    ///
+    /// [`PopError::Disconnected`] once the producer has dropped and the
+    /// queue is drained; [`PopError::TimedOut`] when `timeout` elapses
+    /// with the producer still alive.
+    pub fn pop_deadline(&mut self, timeout: Duration) -> Result<T, PopError> {
+        let deadline = Instant::now() + timeout;
+        let mut backoff = Backoff::new();
+        loop {
+            if let Some(v) = self.pop() {
+                return Ok(v);
+            }
+            if !self.ring.producer_alive.load(Ordering::Acquire) {
+                return self.pop().ok_or(PopError::Disconnected);
+            }
+            if Instant::now() >= deadline {
+                return self.pop().ok_or(PopError::TimedOut);
+            }
+            backoff.snooze();
+        }
+    }
+
+    /// Whether the producer endpoint has dropped. Once `true` it stays
+    /// `true`; at most [`len`](Consumer::len) further pops can succeed.
+    pub fn is_disconnected(&self) -> bool {
+        !self.ring.producer_alive.load(Ordering::Acquire)
     }
 
     /// Number of items currently queued.
@@ -230,6 +331,12 @@ impl<T> Consumer<T> {
     /// `false` is definitive, `true` can be stale by one in-flight push).
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+}
+
+impl<T> Drop for Consumer<T> {
+    fn drop(&mut self) {
+        self.ring.consumer_alive.store(false, Ordering::Release);
     }
 }
 
@@ -392,7 +499,54 @@ mod tests {
         let h = std::thread::spawn(move || rx.pop_blocking());
         std::thread::sleep(std::time::Duration::from_millis(20));
         tx.push(42).unwrap();
-        assert_eq!(h.join().unwrap(), 42);
+        assert_eq!(h.join().unwrap(), Ok(42));
+    }
+
+    #[test]
+    fn pop_blocking_unblocks_when_producer_dies() {
+        // The bug this guards against: a consumer blocked on a queue whose
+        // producer dispatcher died used to spin forever.
+        let (tx, mut rx) = channel::<u8>(4);
+        let h = std::thread::spawn(move || rx.pop_blocking());
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        drop(tx);
+        assert_eq!(h.join().unwrap(), Err(Disconnected));
+    }
+
+    #[test]
+    fn pop_blocking_drains_items_published_before_death() {
+        let (mut tx, mut rx) = channel(4);
+        tx.push(1).unwrap();
+        tx.push(2).unwrap();
+        drop(tx);
+        assert_eq!(rx.pop_blocking(), Ok(1));
+        assert_eq!(rx.pop_blocking(), Ok(2));
+        assert_eq!(rx.pop_blocking(), Err(Disconnected));
+        assert!(rx.is_disconnected());
+    }
+
+    #[test]
+    fn pop_deadline_times_out_then_succeeds() {
+        let (mut tx, mut rx) = channel(1);
+        assert_eq!(
+            rx.pop_deadline(std::time::Duration::from_millis(5)),
+            Err(PopError::TimedOut)
+        );
+        tx.push(7).unwrap();
+        assert_eq!(rx.pop_deadline(std::time::Duration::from_millis(5)), Ok(7));
+        drop(tx);
+        assert_eq!(
+            rx.pop_deadline(std::time::Duration::from_millis(5)),
+            Err(PopError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn producer_observes_consumer_death() {
+        let (tx, rx) = channel::<u8>(1);
+        assert!(!tx.is_disconnected());
+        drop(rx);
+        assert!(tx.is_disconnected());
     }
 
     #[test]

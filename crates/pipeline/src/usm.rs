@@ -103,6 +103,11 @@ pub struct TaskObject<P> {
     pub generation: u32,
     /// Timestamp of pipeline entry (set by the head dispatcher).
     pub entered: Option<std::time::Instant>,
+    /// Tombstone set by the resilient executor when every retry of a stage
+    /// failed: the object keeps flowing (so the pool never shrinks) but
+    /// downstream chunks skip execution and the tail counts it as dropped
+    /// instead of completed. Cleared on [`recycle`](TaskObject::recycle).
+    pub dropped: bool,
     /// The application-specific buffers (persistent + scratchpad).
     pub payload: P,
 }
@@ -114,16 +119,18 @@ impl<P> TaskObject<P> {
             seq: 0,
             generation: 0,
             entered: None,
+            dropped: false,
             payload,
         }
     }
 
     /// Prepares the object for a new task: bumps the generation, assigns
-    /// the sequence number, stamps entry time.
+    /// the sequence number, stamps entry time, clears the tombstone.
     pub fn recycle(&mut self, seq: u64) {
         self.seq = seq;
         self.generation += 1;
         self.entered = Some(std::time::Instant::now());
+        self.dropped = false;
     }
 }
 

@@ -181,6 +181,32 @@ impl ProfilingTable {
             .collect()
     }
 
+    /// Returns a copy with every latency in `class`'s column multiplied by
+    /// `factor` — the drift-correction primitive of the re-optimization
+    /// loop: an observed slowdown on one cluster rescales its predicted
+    /// costs without re-profiling. Spread (when recorded) scales by the
+    /// same factor, since a multiplicative throttle stretches the whole
+    /// distribution.
+    ///
+    /// Returns `None` if `class` is not a column of this table or `factor`
+    /// is not finite and positive.
+    pub fn scaled_class(&self, class: PuClass, factor: f64) -> Option<ProfilingTable> {
+        if !(factor.is_finite() && factor > 0.0) {
+            return None;
+        }
+        let col = self.classes.iter().position(|&c| c == class)?;
+        let mut out = self.clone();
+        for row in &mut out.latency {
+            row[col] = Micros::new(row[col].as_f64() * factor);
+        }
+        if let Some(spread) = &mut out.spread {
+            for row in spread {
+                row[col] = Micros::new(row[col].as_f64() * factor);
+            }
+        }
+        Some(out)
+    }
+
     /// Sum of all entries — proportional to the wall-clock cost of
     /// collecting the table (the paper reports ≈6 min per device per app).
     pub fn total_profiled_time(&self) -> Micros {
@@ -297,6 +323,26 @@ mod tests {
             vec![vec![Micros::new(1.0)]],
         );
         assert!(a.ratio_over(&b).is_none());
+    }
+
+    #[test]
+    fn scaled_class_rescales_one_column() {
+        let t = table().with_spread(vec![
+            vec![Micros::new(1.0), Micros::new(2.0)],
+            vec![Micros::new(3.0), Micros::new(4.0)],
+        ]);
+        let s = t.scaled_class(PuClass::BigCpu, 2.0).expect("column exists");
+        assert_eq!(s.latency(0, PuClass::BigCpu).unwrap().as_f64(), 200.0);
+        assert_eq!(s.latency(1, PuClass::BigCpu).unwrap().as_f64(), 400.0);
+        // Other columns untouched.
+        assert_eq!(s.latency(0, PuClass::Gpu).unwrap().as_f64(), 50.0);
+        // Spread scales with the same factor.
+        assert_eq!(s.latency_spread(1, PuClass::BigCpu).unwrap().as_f64(), 6.0);
+        assert_eq!(s.latency_spread(1, PuClass::Gpu).unwrap().as_f64(), 4.0);
+        // Missing column and degenerate factors are rejected.
+        assert!(t.scaled_class(PuClass::LittleCpu, 2.0).is_none());
+        assert!(t.scaled_class(PuClass::BigCpu, 0.0).is_none());
+        assert!(t.scaled_class(PuClass::BigCpu, f64::NAN).is_none());
     }
 
     #[test]

@@ -21,6 +21,7 @@ use std::time::Duration;
 use bt_telemetry::{DispatcherCounters, RunTelemetry, SpanRecorder, TelemetryConfig};
 
 use crate::cost;
+use crate::fault::{FaultSpec, FaultedDesReport, StageFaultKind};
 use crate::{ActiveKernel, Micros, NoiseModel, PuClass, PuSpec, SocError, SocSpec, WorkProfile};
 
 /// One pipeline chunk: a PU class plus the stages it executes in order.
@@ -702,6 +703,437 @@ pub fn simulate(
     })
 }
 
+/// The faulted counterpart of the event loop in [`simulate`].
+///
+/// Kept as a separate engine so the fault checks cost the fault-free hot
+/// path nothing; an equivalence test pins `simulate_faulted` with an empty
+/// spec to `simulate` bit-for-bit.
+struct FaultEngine<'a> {
+    chunks: &'a [ChunkSpec],
+    faults: &'a FaultSpec,
+    /// Loss instant of each chunk's PU class, if it is lost at all.
+    loss: Vec<Option<f64>>,
+    states: Vec<ChunkState>,
+    /// The chunk's in-flight stage dies at its (loss-clamped) completion.
+    doomed: Vec<bool>,
+    events: EventSlots,
+    model: ServiceModel<'a>,
+    noise: NoiseModel,
+    started: usize,
+    total_tasks: usize,
+    completed: usize,
+    dropped: usize,
+    faults_fired: u32,
+    entry_time: Vec<f64>,
+    /// `(entry, exit)` per completed task, in completion order (which at
+    /// the FIFO tail is also task order).
+    completions: Vec<(f64, f64)>,
+    timeline: Vec<TimelineEvent>,
+    collect_timeline: bool,
+    counters: Vec<DispatcherCounters>,
+    tele_counters: bool,
+    /// A drop recycled an object to the head outside the normal
+    /// completion flow since the last head pump.
+    recycled: bool,
+}
+
+impl FaultEngine<'_> {
+    fn lost(&self, c: usize, now: f64) -> bool {
+        self.loss[c].is_some_and(|t| now >= t)
+    }
+
+    /// Drops the task just popped from a non-head chunk: its object
+    /// recycles to the head pool.
+    fn drop_and_recycle(&mut self) {
+        self.dropped += 1;
+        self.states[0].input.push_back(usize::MAX);
+        self.recycled = true;
+    }
+
+    /// Closes the chunk's busy interval at `now` and frees it.
+    fn finish_span(&mut self, c: usize, now: f64) {
+        let since = self.states[c].busy_since;
+        self.states[c].busy_spans.push((since, now));
+        self.states[c].busy = None;
+        if self.tele_counters {
+            self.counters[c].record_task(Duration::from_secs_f64((now - since) * 1e-6));
+        }
+    }
+
+    /// Straggler multiplier for `(chunk, task)`; counted as one fault
+    /// activation at the task's first stage on that chunk.
+    fn straggler(&mut self, c: usize, task: usize, stage: usize) -> f64 {
+        let f = self.faults.straggler_factor(c, task);
+        if stage == 0 && f != 1.0 {
+            self.faults_fired += 1;
+        }
+        f
+    }
+
+    /// Samples the (perturbed) service time of `(c, stage, task)` at `now`
+    /// and schedules its completion, clamped to the chunk's loss instant.
+    fn start_stage(&mut self, c: usize, task: usize, stage: usize, now: f64) {
+        let (base, demand) = self.model.service(c, stage, &self.states, &mut self.noise);
+        let mut dt = base
+            * self.faults.slowdown_factor(self.chunks[c].pu, now)
+            * self.straggler(c, task, stage);
+        if let Some(StageFaultKind::Timeout { extra_us }) = self.faults.stage_fault(c, task, stage)
+        {
+            dt += extra_us;
+            self.faults_fired += 1;
+        }
+        let mut end = now + dt;
+        if let Some(t_loss) = self.loss[c] {
+            if end > t_loss {
+                // The PU dies mid-service; the stage "completes" at the
+                // loss instant as a doomed event and the task drops there.
+                end = t_loss;
+                self.doomed[c] = true;
+            }
+        }
+        self.states[c].busy = Some(InFlight {
+            task,
+            stage,
+            demand,
+        });
+        if stage == 0 {
+            self.states[c].busy_since = now;
+        }
+        self.events.push(c, end);
+        if self.collect_timeline {
+            self.timeline.push(TimelineEvent {
+                chunk: c,
+                stage,
+                task,
+                start: now,
+                end,
+            });
+        }
+    }
+
+    /// Starts work on idle chunk `c`: admits new tasks at the head, drains
+    /// fault-induced drops (lost PU, stage-0 `Error`) without advancing
+    /// virtual time, and dispatches the first unfaulted arrival.
+    fn pump(&mut self, c: usize, now: f64) {
+        loop {
+            if self.states[c].busy.is_some() {
+                return;
+            }
+            let task = if c == 0 {
+                if self.started >= self.total_tasks || self.states[0].input.is_empty() {
+                    return;
+                }
+                // A lost head consumes the task stream but keeps its
+                // objects: every remaining admission drops immediately.
+                if self.lost(0, now) {
+                    self.entry_time[self.started] = now;
+                    self.started += 1;
+                    self.dropped += 1;
+                    self.faults_fired += 1;
+                    continue;
+                }
+                self.states[0].input.pop_front();
+                let t = self.started;
+                self.started += 1;
+                self.entry_time[t] = now;
+                t
+            } else {
+                match self.states[c].input.pop_front() {
+                    Some(t) => t,
+                    None => return,
+                }
+            };
+            if c != 0 && self.lost(c, now) {
+                self.faults_fired += 1;
+                self.drop_and_recycle();
+                continue;
+            }
+            if matches!(
+                self.faults.stage_fault(c, task, 0),
+                Some(StageFaultKind::Error)
+            ) {
+                self.faults_fired += 1;
+                self.dropped += 1;
+                self.states[0].input.push_back(usize::MAX);
+                if c != 0 {
+                    self.recycled = true;
+                }
+                continue;
+            }
+            self.start_stage(c, task, 0, now);
+            return;
+        }
+    }
+
+    /// Objects recycled by drops re-arm the head outside the normal
+    /// completion flow; give it a chance to admit with them.
+    fn flush_recycled(&mut self, now: f64) {
+        while self.recycled {
+            self.recycled = false;
+            self.pump(0, now);
+        }
+    }
+
+    fn run(&mut self) {
+        self.pump(0, 0.0);
+        while self.completed + self.dropped < self.total_tasks {
+            let (now, c) = self.events.pop();
+            let inflight = self.states[c].busy.expect("event implies busy chunk");
+
+            if self.doomed[c] {
+                // The PU died mid-service at `now` (its loss instant).
+                self.doomed[c] = false;
+                self.finish_span(c, now);
+                self.faults_fired += 1;
+                self.drop_and_recycle();
+                self.pump(c, now); // drains the queued input as drops
+                self.flush_recycled(now);
+                continue;
+            }
+
+            if inflight.stage + 1 < self.chunks[c].stages.len() {
+                if matches!(
+                    self.faults
+                        .stage_fault(c, inflight.task, inflight.stage + 1),
+                    Some(StageFaultKind::Error)
+                ) {
+                    self.faults_fired += 1;
+                    self.finish_span(c, now);
+                    self.drop_and_recycle();
+                    self.pump(c, now);
+                    self.flush_recycled(now);
+                } else {
+                    // Next stage of the same chunk; re-sample interference.
+                    self.start_stage(c, inflight.task, inflight.stage + 1, now);
+                }
+                continue;
+            }
+
+            // Chunk finished its last stage for this task.
+            self.finish_span(c, now);
+            let task = inflight.task;
+            if c + 1 == self.chunks.len() {
+                self.completions.push((self.entry_time[task], now));
+                self.completed += 1;
+                self.states[0].input.push_back(usize::MAX);
+                if self.tele_counters {
+                    self.counters[c].sample_queue_depth(self.states[0].input.len());
+                }
+                self.pump(0, now);
+            } else {
+                self.states[c + 1].input.push_back(task);
+                if self.tele_counters {
+                    self.counters[c].sample_queue_depth(self.states[c + 1].input.len());
+                }
+                self.pump(c + 1, now);
+            }
+            self.pump(c, now);
+            self.flush_recycled(now);
+        }
+    }
+}
+
+/// Simulates pipelined execution of `chunks` on `soc` under the
+/// perturbations in `faults`.
+///
+/// Fault semantics — every activation is a pure function of
+/// `(chunk, task, stage, class, virtual time)`, so faulted runs are exactly
+/// as seed-deterministic as fault-free ones:
+///
+/// - **Slowdown ramps** multiply a stage's sampled service time by the
+///   class factor in effect at dispatch time.
+/// - **Stragglers** multiply every stage of one `(chunk, task)` pair.
+/// - **Stage `Timeout` faults** add `extra_us` to that one iteration.
+/// - **Stage `Error` faults** drop the task; its object recycles to the
+///   pipeline head and the chunk moves on.
+/// - **PU loss** kills the class at `at_us`: in-flight work on it dies at
+///   the loss instant, queued and future arrivals at its chunks drop (their
+///   objects recycle), and the rest of the pipeline drains. A lost *head*
+///   consumes the remaining task stream as immediate drops.
+///
+/// The engine maintains `completed + dropped == submitted` and never
+/// deadlocks; with `faults == FaultSpec::none()` the run is bit-identical
+/// to [`simulate`].
+///
+/// # Errors
+///
+/// Same validation as [`simulate`].
+pub fn simulate_faulted(
+    soc: &SocSpec,
+    chunks: &[ChunkSpec],
+    cfg: &DesConfig,
+    faults: &FaultSpec,
+) -> Result<FaultedDesReport, SocError> {
+    if chunks.is_empty() || cfg.tasks == 0 || chunks.iter().any(|c| c.stages.is_empty()) {
+        return Err(SocError::EmptySimulation);
+    }
+    for chunk in chunks {
+        soc.try_pu(chunk.pu)?;
+    }
+
+    let n_chunks = chunks.len();
+    let total_tasks = (cfg.tasks + cfg.warmup) as usize;
+    let buffers = if cfg.buffers == 0 {
+        n_chunks + 1
+    } else {
+        cfg.buffers as usize
+    };
+    let mut states: Vec<ChunkState> = (0..n_chunks)
+        .map(|_| ChunkState {
+            input: VecDeque::with_capacity(buffers),
+            busy: None,
+            busy_since: 0.0,
+            busy_spans: Vec::with_capacity(total_tasks),
+        })
+        .collect();
+    for _ in 0..buffers {
+        states[0].input.push_back(usize::MAX);
+    }
+    let collect_timeline = cfg.record_timeline || cfg.telemetry.spans;
+    let tele_counters = cfg.telemetry.counters;
+
+    let mut eng = FaultEngine {
+        chunks,
+        faults,
+        loss: chunks.iter().map(|c| faults.loss_at(c.pu)).collect(),
+        states,
+        doomed: vec![false; n_chunks],
+        events: EventSlots::new(n_chunks),
+        model: ServiceModel::new(soc, chunks, cfg.service_cache),
+        noise: NoiseModel::new(cfg.noise_sigma, cfg.seed),
+        started: 0,
+        total_tasks,
+        completed: 0,
+        dropped: 0,
+        faults_fired: 0,
+        entry_time: vec![0.0f64; total_tasks],
+        completions: Vec::with_capacity(total_tasks),
+        timeline: if collect_timeline {
+            let total_stages: usize = chunks.iter().map(|c| c.stages.len()).sum();
+            Vec::with_capacity(total_tasks * total_stages)
+        } else {
+            Vec::new()
+        },
+        collect_timeline,
+        counters: if tele_counters {
+            vec![DispatcherCounters::new(); n_chunks]
+        } else {
+            Vec::new()
+        },
+        tele_counters,
+        recycled: false,
+    };
+    eng.run();
+    debug_assert_eq!(eng.completed + eng.dropped, eng.started);
+
+    let report = faulted_report(&mut eng, cfg);
+    Ok(FaultedDesReport {
+        report,
+        submitted: eng.started as u32,
+        completed: eng.completed as u32,
+        dropped: eng.dropped as u32,
+        faults_fired: eng.faults_fired,
+    })
+}
+
+/// Builds a steady-state report over `completions` — `(entry, exit)` pairs
+/// of the tasks that actually completed, in task-sequence order (at the
+/// static pipeline's FIFO tail this is also completion order) — using the
+/// same departure-to-departure convention as [`simulate`]. The first
+/// `warmup` *completions* (whatever their sequence numbers) are excluded as
+/// the pipeline-fill transient; dropped tasks contribute nothing. Shared by
+/// both faulted engines; returns `None` when nothing completed.
+pub(crate) fn steady_report_from_completions(
+    completions: &[(f64, f64)],
+    warmup: usize,
+    busy_spans: &[&[(f64, f64)]],
+) -> Option<DesReport> {
+    let n = completions.len();
+    if n == 0 {
+        return None;
+    }
+    let (w_start, skip, intervals) = if warmup > 0 && n > warmup {
+        (completions[warmup - 1].1, warmup, (n - warmup) as f64)
+    } else if n > 1 {
+        (completions[0].1, 0, (n - 1) as f64)
+    } else {
+        (completions[0].0, 0, 1.0)
+    };
+    let w_end = completions[n - 1].1;
+    let makespan = (w_end - w_start).max(1e-9);
+    let measured = &completions[skip..];
+    let mean_latency = measured.iter().map(|(e, x)| x - e).sum::<f64>() / measured.len() as f64;
+
+    let chunk_utilization: Vec<f64> = busy_spans
+        .iter()
+        .map(|spans| {
+            let in_window: f64 = spans
+                .iter()
+                .map(|&(t0, t1)| (t1.min(w_end) - t0.max(w_start)).max(0.0))
+                .sum();
+            in_window / makespan
+        })
+        .collect();
+    let bottleneck_chunk = chunk_utilization
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("utilization is never NaN"))
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+
+    Some(DesReport {
+        makespan: Micros::new(makespan),
+        mean_task_latency: Micros::new(mean_latency),
+        time_per_task: Micros::new(makespan / intervals.max(1.0)),
+        throughput_hz: intervals.max(1.0) / (makespan / 1e6),
+        chunk_utilization,
+        bottleneck_chunk,
+        tasks: (n - skip) as u32,
+        timeline: Vec::new(),
+        telemetry: None,
+    })
+}
+
+/// Attaches the static engine's timeline/telemetry to the shared
+/// completion-window report.
+fn faulted_report(eng: &mut FaultEngine<'_>, cfg: &DesConfig) -> Option<DesReport> {
+    let spans: Vec<&[(f64, f64)]> = eng.states.iter().map(|s| s.busy_spans.as_slice()).collect();
+    let mut report = steady_report_from_completions(&eng.completions, cfg.warmup as usize, &spans)?;
+
+    report.telemetry = if cfg.telemetry.any() {
+        let mut tele = RunTelemetry::new("des");
+        if eng.tele_counters {
+            tele.dispatchers = eng
+                .counters
+                .iter()
+                .enumerate()
+                .map(|(i, c)| c.stats(format!("chunk{i}")))
+                .collect();
+        }
+        if cfg.telemetry.spans {
+            let mut rec = SpanRecorder::virtual_time(true);
+            for ev in &eng.timeline {
+                rec.record_virtual(
+                    ev.chunk as u32,
+                    ev.task as u64,
+                    Some(ev.stage as u32),
+                    ev.start,
+                    ev.end,
+                );
+            }
+            tele.spans = rec.into_spans();
+        }
+        Some(tele)
+    } else {
+        None
+    };
+
+    if cfg.record_timeline {
+        report.timeline = std::mem::take(&mut eng.timeline);
+    }
+    Some(report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -968,6 +1400,225 @@ mod tests {
             "contended bottleneck {} should exceed isolated {}",
             r.time_per_task.as_f64(),
             iso
+        );
+    }
+
+    // ------------------------- faulted engine --------------------------
+
+    use crate::fault::{PuLoss, SlowdownRamp, StageFault, Straggler};
+
+    fn fault_chunks() -> Vec<ChunkSpec> {
+        vec![
+            ChunkSpec::new(PuClass::BigCpu, vec![stage(1e7), stage(5e6)]),
+            ChunkSpec::new(PuClass::MediumCpu, vec![stage(7e6)]),
+            ChunkSpec::new(PuClass::Gpu, vec![stage(8e6)]),
+        ]
+    }
+
+    #[test]
+    fn empty_spec_is_bit_identical_to_simulate() {
+        let soc = devices::pixel_7a();
+        let chunks = fault_chunks();
+        let cfg = DesConfig {
+            noise_sigma: 0.05,
+            seed: 9,
+            record_timeline: true,
+            telemetry: TelemetryConfig::full(),
+            ..noiseless()
+        };
+        let plain = simulate(&soc, &chunks, &cfg).unwrap();
+        let faulted = simulate_faulted(&soc, &chunks, &cfg, &FaultSpec::none()).unwrap();
+        assert_eq!(faulted.submitted, cfg.tasks + cfg.warmup);
+        assert_eq!(faulted.completed, cfg.tasks + cfg.warmup);
+        assert_eq!(faulted.dropped, 0);
+        assert_eq!(faulted.faults_fired, 0);
+        assert!(!faulted.degraded());
+        let r = faulted.report.expect("all tasks completed");
+        assert_eq!(r.makespan.as_f64(), plain.makespan.as_f64());
+        assert_eq!(
+            r.mean_task_latency.as_f64(),
+            plain.mean_task_latency.as_f64()
+        );
+        assert_eq!(r.time_per_task.as_f64(), plain.time_per_task.as_f64());
+        assert_eq!(r.chunk_utilization, plain.chunk_utilization);
+        assert_eq!(r.bottleneck_chunk, plain.bottleneck_chunk);
+        assert_eq!(r.tasks, plain.tasks);
+        assert_eq!(r.timeline, plain.timeline);
+        let (a, b) = (r.telemetry.unwrap(), plain.telemetry.unwrap());
+        assert_eq!(a.dispatchers.len(), b.dispatchers.len());
+        assert_eq!(a.spans.len(), b.spans.len());
+    }
+
+    #[test]
+    fn slowdown_ramp_inflates_time_per_task() {
+        let soc = devices::pixel_7a();
+        let chunks = fault_chunks();
+        let base = simulate(&soc, &chunks, &noiseless()).unwrap();
+        let spec = FaultSpec {
+            slowdowns: vec![SlowdownRamp {
+                class: PuClass::BigCpu,
+                start_us: 0.0,
+                ramp_us: 0.0,
+                factor: 3.0,
+            }],
+            ..FaultSpec::default()
+        };
+        let r = simulate_faulted(&soc, &chunks, &noiseless(), &spec)
+            .unwrap()
+            .report
+            .expect("completes");
+        assert!(
+            r.time_per_task.as_f64() > base.time_per_task.as_f64() * 1.5,
+            "throttled {} vs base {}",
+            r.time_per_task,
+            base.time_per_task
+        );
+    }
+
+    #[test]
+    fn straggler_fires_once_and_completes_everything() {
+        let soc = devices::pixel_7a();
+        let chunks = fault_chunks();
+        let spec = FaultSpec {
+            stragglers: vec![Straggler {
+                chunk: 1,
+                task: 7,
+                factor: 20.0,
+            }],
+            ..FaultSpec::default()
+        };
+        let r = simulate_faulted(&soc, &chunks, &noiseless(), &spec).unwrap();
+        assert_eq!(r.faults_fired, 1);
+        assert_eq!(r.dropped, 0);
+        assert_eq!(r.completed, r.submitted);
+        let base = simulate(&soc, &chunks, &noiseless()).unwrap();
+        let faulted = r.report.expect("completes");
+        assert!(faulted.makespan.as_f64() > base.makespan.as_f64());
+    }
+
+    #[test]
+    fn stage_error_drops_exactly_that_task() {
+        let soc = devices::pixel_7a();
+        let chunks = fault_chunks();
+        // Second stage of the first chunk, mid-stream task.
+        let spec = FaultSpec {
+            stage_faults: vec![StageFault {
+                chunk: 0,
+                task: 12,
+                stage: 1,
+                kind: StageFaultKind::Error,
+            }],
+            ..FaultSpec::default()
+        };
+        let r = simulate_faulted(&soc, &chunks, &noiseless(), &spec).unwrap();
+        assert_eq!(r.dropped, 1);
+        assert_eq!(r.completed, r.submitted - 1);
+        assert!(r.degraded());
+        assert!(r.report.is_some());
+    }
+
+    #[test]
+    fn stage_timeout_adds_its_delay() {
+        let soc = devices::pixel_7a();
+        let chunks = fault_chunks();
+        let base = simulate(&soc, &chunks, &noiseless()).unwrap();
+        let extra = 5e4;
+        let spec = FaultSpec {
+            stage_faults: vec![StageFault {
+                chunk: 2,
+                task: 15,
+                stage: 0,
+                kind: StageFaultKind::Timeout { extra_us: extra },
+            }],
+            ..FaultSpec::default()
+        };
+        let r = simulate_faulted(&soc, &chunks, &noiseless(), &spec).unwrap();
+        assert_eq!(r.dropped, 0);
+        assert_eq!(r.faults_fired, 1);
+        let faulted = r.report.expect("completes");
+        // The stall lands inside the measured window of the tail chunk, so
+        // the makespan grows by at least most of the injected delay.
+        assert!(
+            faulted.makespan.as_f64() > base.makespan.as_f64() + 0.5 * extra,
+            "timeout did not stretch the window: {} vs {}",
+            faulted.makespan,
+            base.makespan
+        );
+    }
+
+    #[test]
+    fn head_loss_at_time_zero_drops_everything() {
+        let soc = devices::pixel_7a();
+        let chunks = fault_chunks();
+        let spec = FaultSpec {
+            losses: vec![PuLoss {
+                class: PuClass::BigCpu,
+                at_us: 0.0,
+            }],
+            ..FaultSpec::default()
+        };
+        let r = simulate_faulted(&soc, &chunks, &noiseless(), &spec).unwrap();
+        assert_eq!(r.completed, 0);
+        assert_eq!(r.dropped, r.submitted);
+        assert!(r.report.is_none());
+        assert!(r.degraded());
+    }
+
+    #[test]
+    fn midrun_tail_loss_drains_and_degrades() {
+        let soc = devices::pixel_7a();
+        let chunks = fault_chunks();
+        let cfg = DesConfig {
+            record_timeline: true,
+            ..noiseless()
+        };
+        let base = simulate(&soc, &chunks, &cfg).unwrap();
+        let t_end = base.timeline.iter().map(|e| e.end).fold(0.0f64, f64::max);
+        let spec = FaultSpec {
+            losses: vec![PuLoss {
+                class: PuClass::Gpu,
+                at_us: t_end / 2.0,
+            }],
+            ..FaultSpec::default()
+        };
+        let r = simulate_faulted(&soc, &chunks, &noiseless(), &spec).unwrap();
+        assert!(r.completed > 0, "tasks before the loss should complete");
+        assert!(r.dropped > 0, "tasks after the loss should drop");
+        assert_eq!(r.completed + r.dropped, r.submitted);
+        assert!(r.report.is_some());
+    }
+
+    #[test]
+    fn faulted_runs_are_seed_deterministic() {
+        let soc = devices::pixel_7a();
+        let chunks = fault_chunks();
+        let cfg = DesConfig {
+            noise_sigma: 0.05,
+            seed: 77,
+            ..noiseless()
+        };
+        let spec = FaultSpec {
+            slowdowns: vec![SlowdownRamp {
+                class: PuClass::MediumCpu,
+                start_us: 500.0,
+                ramp_us: 1000.0,
+                factor: 2.0,
+            }],
+            stage_faults: vec![StageFault {
+                chunk: 0,
+                task: 9,
+                stage: 0,
+                kind: StageFaultKind::Error,
+            }],
+            ..FaultSpec::default()
+        };
+        let a = simulate_faulted(&soc, &chunks, &cfg, &spec).unwrap();
+        let b = simulate_faulted(&soc, &chunks, &cfg, &spec).unwrap();
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        let other = simulate_faulted(&soc, &chunks, &DesConfig { seed: 78, ..cfg }, &spec).unwrap();
+        assert_ne!(
+            a.report.unwrap().makespan.as_f64(),
+            other.report.unwrap().makespan.as_f64()
         );
     }
 }

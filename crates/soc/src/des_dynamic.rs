@@ -13,7 +13,8 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use crate::cost;
-use crate::des::{DesConfig, DesReport};
+use crate::des::{steady_report_from_completions, DesConfig, DesReport};
+use crate::fault::{FaultSpec, FaultedDesReport, StageFaultKind};
 use crate::{ActiveKernel, Micros, NoiseModel, PuClass, PuSpec, SocError, SocSpec, WorkProfile};
 
 /// Placement policy of the dynamic scheduler.
@@ -245,6 +246,207 @@ pub fn simulate_dynamic(
     })
 }
 
+/// Simulates dynamic scheduling of `stages` under the perturbations in
+/// `faults` — the faulted counterpart of [`simulate_dynamic`].
+///
+/// The dynamic runtime has no chunk identity, so stragglers match on
+/// `task` alone and stage faults on `(task, stage)` (the `*_any_chunk`
+/// lookups of [`FaultSpec`]). Where the static pipeline drains and
+/// degrades on PU loss, the dynamic scheduler *routes around* it: lost PUs
+/// leave the idle set, in-flight work on them dies at the loss instant,
+/// and only work that no surviving PU can serve is dropped.
+///
+/// # Errors
+///
+/// Same validation as [`simulate_dynamic`].
+pub fn simulate_dynamic_faulted(
+    soc: &SocSpec,
+    stages: &[WorkProfile],
+    cfg: &DesConfig,
+    policy: DynamicPolicy,
+    faults: &FaultSpec,
+) -> Result<FaultedDesReport, SocError> {
+    if stages.is_empty() || cfg.tasks == 0 {
+        return Err(SocError::EmptySimulation);
+    }
+    let pus: Vec<PuClass> = soc.schedulable_classes();
+    if pus.is_empty() {
+        return Err(SocError::EmptyDevice);
+    }
+
+    let total = (cfg.tasks + cfg.warmup) as usize;
+    let in_flight_cap = if cfg.buffers == 0 {
+        pus.len() + 1
+    } else {
+        cfg.buffers as usize
+    };
+    let mut noise = NoiseModel::new(cfg.noise_sigma, cfg.seed);
+
+    let mut ready: std::collections::VecDeque<(usize, usize)> = std::collections::VecDeque::new();
+    let mut running: Vec<Option<Running>> = vec![None; pus.len()];
+    let mut doomed = vec![false; pus.len()];
+    let mut busy_since = vec![0.0f64; pus.len()];
+    let mut busy_spans: Vec<Vec<(f64, f64)>> = vec![Vec::new(); pus.len()];
+    let mut entry_time = vec![0.0f64; total];
+    // `(task, entry, exit)`; sorted by task before windowing, because the
+    // dynamic runtime can complete tasks out of sequence order while the
+    // steady-state convention (shared with `des::simulate`) anchors on
+    // task-order departures.
+    let mut completions: Vec<(usize, f64, f64)> = Vec::with_capacity(total);
+    let mut admitted = 0usize;
+    let mut completed = 0usize;
+    let mut dropped = 0usize;
+    let mut faults_fired = 0u32;
+    let mut in_flight = 0usize;
+    let mut heap: BinaryHeap<Completion> = BinaryHeap::new();
+    let mut now = 0.0f64;
+
+    let pu_specs: Vec<&PuSpec> = pus
+        .iter()
+        .map(|&c| soc.pu(c).expect("schedulable class present"))
+        .collect();
+    let loss: Vec<Option<f64>> = pus.iter().map(|&c| faults.loss_at(c)).collect();
+    let isolated: Vec<Vec<f64>> = stages
+        .iter()
+        .map(|w| {
+            pu_specs
+                .iter()
+                .map(|pu| cost::latency_under(w, pu, soc, &[]).as_f64())
+                .collect()
+        })
+        .collect();
+    let demands: Vec<Vec<f64>> = stages
+        .iter()
+        .map(|w| pu_specs.iter().map(|pu| cost::bw_demand(w, pu)).collect())
+        .collect();
+    let mut co: Vec<ActiveKernel> = Vec::with_capacity(pus.len());
+
+    loop {
+        while admitted < total && in_flight < in_flight_cap {
+            entry_time[admitted] = now;
+            ready.push_back((admitted, 0));
+            admitted += 1;
+            in_flight += 1;
+        }
+
+        while let Some(&(task, stage)) = ready.front() {
+            // Kernel errors kill the stage before it runs anywhere.
+            if matches!(
+                faults.stage_fault_any_chunk(task, stage),
+                Some(StageFaultKind::Error)
+            ) {
+                ready.pop_front();
+                faults_fired += 1;
+                dropped += 1;
+                in_flight -= 1;
+                continue;
+            }
+            // Lost PUs leave the idle set: the scheduler routes around them.
+            let mut idle = (0..pus.len())
+                .filter(|&i| running[i].is_none() && !loss[i].is_some_and(|t| now >= t));
+            let pu_idx = match policy {
+                DynamicPolicy::Fifo => idle.next(),
+                DynamicPolicy::BestFit => idle.min_by(|&a, &b| {
+                    isolated[stage][a]
+                        .partial_cmp(&isolated[stage][b])
+                        .expect("finite estimates")
+                }),
+            };
+            let Some(pu_idx) = pu_idx else {
+                break;
+            };
+            ready.pop_front();
+            let pu = pu_specs[pu_idx];
+            co.clear();
+            co.extend(
+                running
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, r)| r.map(|r| ActiveKernel::new(pus[i], r.demand))),
+            );
+            let straggle = faults.straggler_factor_any_chunk(task);
+            if stage == 0 && straggle != 1.0 {
+                faults_fired += 1;
+            }
+            let mut dt = (cost::latency_under(&stages[stage], pu, soc, &co).as_f64()
+                * noise.factor()
+                + pu.sync_overhead_us())
+                * faults.slowdown_factor(pus[pu_idx], now)
+                * straggle;
+            if let Some(StageFaultKind::Timeout { extra_us }) =
+                faults.stage_fault_any_chunk(task, stage)
+            {
+                dt += extra_us;
+                faults_fired += 1;
+            }
+            let mut end = now + dt;
+            if let Some(t_loss) = loss[pu_idx] {
+                if end > t_loss {
+                    // The PU dies mid-service; the stage ends there, doomed.
+                    end = t_loss;
+                    doomed[pu_idx] = true;
+                }
+            }
+            let demand = demands[stage][pu_idx];
+            running[pu_idx] = Some(Running {
+                task,
+                stage,
+                demand,
+            });
+            busy_since[pu_idx] = now;
+            heap.push(Completion { time: end, pu_idx });
+        }
+
+        if completed + dropped >= total {
+            break;
+        }
+        let Some(done) = heap.pop() else {
+            // Nothing is running and nothing could be placed: every
+            // surviving placement target is gone. Remaining work drops.
+            let stranded = ready.len() + (total - admitted);
+            dropped += stranded;
+            faults_fired += stranded as u32;
+            ready.clear();
+            break;
+        };
+        now = done.time;
+        let fin = running[done.pu_idx]
+            .take()
+            .expect("completion implies running");
+        busy_spans[done.pu_idx].push((busy_since[done.pu_idx], now));
+        if doomed[done.pu_idx] {
+            // Died with the PU at its loss instant.
+            doomed[done.pu_idx] = false;
+            faults_fired += 1;
+            dropped += 1;
+            in_flight -= 1;
+        } else if fin.stage + 1 < stages.len() {
+            let pos = ready
+                .iter()
+                .position(|&(t, _)| t > fin.task)
+                .unwrap_or(ready.len());
+            ready.insert(pos, (fin.task, fin.stage + 1));
+        } else {
+            completions.push((fin.task, entry_time[fin.task], now));
+            completed += 1;
+            in_flight -= 1;
+        }
+    }
+
+    debug_assert_eq!(completed + dropped, total);
+    completions.sort_unstable_by_key(|&(task, _, _)| task);
+    let ordered: Vec<(f64, f64)> = completions.iter().map(|&(_, e, x)| (e, x)).collect();
+    let spans: Vec<&[(f64, f64)]> = busy_spans.iter().map(|s| s.as_slice()).collect();
+    let report = steady_report_from_completions(&ordered, cfg.warmup as usize, &spans);
+    Ok(FaultedDesReport {
+        report,
+        submitted: total as u32,
+        completed: completed as u32,
+        dropped: dropped as u32,
+        faults_fired,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -318,5 +520,95 @@ mod tests {
         let a = simulate_dynamic(&soc, &stages(), &cfg(), DynamicPolicy::BestFit).unwrap();
         let b = simulate_dynamic(&soc, &stages(), &cfg(), DynamicPolicy::BestFit).unwrap();
         assert_eq!(a.makespan.as_f64(), b.makespan.as_f64());
+    }
+
+    // ------------------------- faulted variant -------------------------
+
+    use crate::fault::{FaultSpec, PuLoss, StageFault, StageFaultKind};
+
+    #[test]
+    fn empty_spec_matches_simulate_dynamic() {
+        let soc = devices::pixel_7a();
+        let cfg = DesConfig {
+            noise_sigma: 0.03,
+            seed: 5,
+            ..cfg()
+        };
+        for policy in [DynamicPolicy::Fifo, DynamicPolicy::BestFit] {
+            let plain = simulate_dynamic(&soc, &stages(), &cfg, policy).unwrap();
+            let faulted =
+                simulate_dynamic_faulted(&soc, &stages(), &cfg, policy, &FaultSpec::none())
+                    .unwrap();
+            assert_eq!(faulted.dropped, 0);
+            assert_eq!(faulted.completed, faulted.submitted);
+            let r = faulted.report.expect("completes");
+            assert_eq!(r.makespan.as_f64(), plain.makespan.as_f64());
+            assert_eq!(r.time_per_task.as_f64(), plain.time_per_task.as_f64());
+            assert_eq!(r.chunk_utilization, plain.chunk_utilization);
+        }
+    }
+
+    #[test]
+    fn dynamic_scheduler_routes_around_pu_loss() {
+        let soc = devices::pixel_7a();
+        let base = simulate_dynamic(&soc, &stages(), &cfg(), DynamicPolicy::BestFit).unwrap();
+        // Lose the GPU halfway through the run: at most the in-flight
+        // stage dies; everything else lands on surviving PUs.
+        let spec = FaultSpec {
+            losses: vec![PuLoss {
+                class: PuClass::Gpu,
+                at_us: base.makespan.as_f64() / 2.0,
+            }],
+            ..FaultSpec::default()
+        };
+        let r = simulate_dynamic_faulted(&soc, &stages(), &cfg(), DynamicPolicy::BestFit, &spec)
+            .unwrap();
+        assert_eq!(r.completed + r.dropped, r.submitted);
+        assert!(r.dropped <= 1, "only in-flight work may die: {}", r.dropped);
+        assert!(r.report.is_some());
+    }
+
+    #[test]
+    fn losing_every_pu_drops_everything() {
+        let soc = devices::pixel_7a();
+        let losses = soc
+            .schedulable_classes()
+            .into_iter()
+            .map(|class| PuLoss { class, at_us: 0.0 })
+            .collect();
+        let spec = FaultSpec {
+            losses,
+            ..FaultSpec::default()
+        };
+        let r =
+            simulate_dynamic_faulted(&soc, &stages(), &cfg(), DynamicPolicy::Fifo, &spec).unwrap();
+        assert_eq!(r.completed, 0);
+        assert_eq!(r.dropped, r.submitted);
+        assert!(r.report.is_none());
+    }
+
+    #[test]
+    fn faulted_dynamic_runs_are_deterministic() {
+        let soc = devices::jetson_orin_nano();
+        let cfg = DesConfig {
+            noise_sigma: 0.05,
+            seed: 11,
+            ..cfg()
+        };
+        let spec = FaultSpec {
+            stage_faults: vec![StageFault {
+                chunk: 0,
+                task: 4,
+                stage: 1,
+                kind: StageFaultKind::Error,
+            }],
+            ..FaultSpec::default()
+        };
+        let a =
+            simulate_dynamic_faulted(&soc, &stages(), &cfg, DynamicPolicy::BestFit, &spec).unwrap();
+        let b =
+            simulate_dynamic_faulted(&soc, &stages(), &cfg, DynamicPolicy::BestFit, &spec).unwrap();
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        assert_eq!(a.dropped, 1);
     }
 }

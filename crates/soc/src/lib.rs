@@ -47,6 +47,7 @@ pub mod des;
 pub mod des_dynamic;
 mod device;
 mod error;
+pub mod fault;
 pub mod gantt;
 mod interference;
 pub mod power;
@@ -57,6 +58,9 @@ pub use affinity::AffinityMap;
 pub use clock::{seed_from_labels, Micros, NoiseModel, SimClock};
 pub use device::{devices, PerClass, SocBuilder, SocSpec};
 pub use error::SocError;
+pub use fault::{
+    FaultSpec, FaultedDesReport, PuLoss, SlowdownRamp, StageFault, StageFaultKind, Straggler,
+};
 pub use interference::{ActiveKernel, InterferenceModel};
 pub use pu::{GpuBackend, PuClass, PuId, PuSpec};
 pub use work::WorkProfile;
