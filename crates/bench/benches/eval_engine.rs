@@ -10,8 +10,7 @@ use std::hint::black_box;
 use bt_core::{build_problem, BetterTogether, SimBackend};
 use bt_kernels::apps;
 use bt_pipeline::simulate_schedule;
-use bt_soc::des::DesConfig;
-use bt_soc::devices;
+use bt_soc::{devices, RunConfig};
 
 fn fig2_loop(c: &mut Criterion) {
     let soc = devices::pixel_7a();
@@ -19,9 +18,9 @@ fn fig2_loop(c: &mut Criterion) {
     let current = SimBackend::new(soc.clone(), app.clone());
     let pre_pr = SimBackend::new(soc, app)
         .with_parallel(false)
-        .with_des(DesConfig {
+        .with_run(RunConfig {
             service_cache: false,
-            ..DesConfig::default()
+            ..RunConfig::default()
         });
 
     let mut group = c.benchmark_group("fig2_loop");
@@ -61,16 +60,17 @@ fn des_service_cache(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("des_service_cache");
     for cache in [true, false] {
-        let cfg = DesConfig {
+        let cfg = RunConfig {
             tasks: 3000,
             service_cache: cache,
-            ..DesConfig::default()
+            ..RunConfig::default()
         };
         group.bench_function(if cache { "on" } else { "off" }, |b| {
             b.iter(|| {
                 black_box(
-                    simulate_schedule(&soc, &app, &schedule, &cfg)
+                    simulate_schedule(&soc, &app, &schedule, &cfg, None)
                         .expect("simulates")
+                        .expect_stats()
                         .time_per_task,
                 )
             });

@@ -9,7 +9,7 @@ use std::sync::Arc;
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use bt_kernels::{Application, KernelFn, ParCtx, Stage};
-use bt_pipeline::{run_host, HostRunConfig, PuThreads, Schedule};
+use bt_pipeline::{run_host, PuThreads, RunConfig, Schedule};
 use bt_telemetry::TelemetryConfig;
 
 #[derive(Debug, Default)]
@@ -50,14 +50,14 @@ fn busy_app(stages: usize, iters: u64) -> Application<Payload> {
 fn run_once(app: &Application<Payload>, telemetry: TelemetryConfig) -> f64 {
     use bt_soc::PuClass::*;
     let schedule = Schedule::new(vec![BigCpu, BigCpu, Gpu, Gpu]).expect("contiguous");
-    let cfg = HostRunConfig {
+    let cfg = RunConfig {
         tasks: 200,
         warmup: 10,
         telemetry,
-        ..HostRunConfig::default()
+        ..RunConfig::default()
     };
-    let report = run_host(app, &schedule, &PuThreads::uniform(1), &cfg).expect("runs");
-    report.time_per_task.as_secs_f64()
+    let report = run_host(app, &schedule, &PuThreads::uniform(1), &cfg, None).expect("runs");
+    report.expect_stats().time_per_task.as_f64() * 1e-6
 }
 
 fn executor_telemetry_overhead(c: &mut Criterion) {

@@ -6,8 +6,7 @@ use std::hint::black_box;
 
 use bt_kernels::apps;
 use bt_pipeline::{simulate_schedule, Schedule};
-use bt_soc::des::DesConfig;
-use bt_soc::{devices, PuClass};
+use bt_soc::{devices, PuClass, RunConfig};
 
 fn simulator_throughput(c: &mut Criterion) {
     let soc = devices::pixel_7a();
@@ -25,15 +24,16 @@ fn simulator_throughput(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("des");
     for tasks in [30u32, 300, 3000] {
-        let cfg = DesConfig {
+        let cfg = RunConfig {
             tasks,
-            ..DesConfig::default()
+            ..RunConfig::default()
         };
         group.bench_with_input(BenchmarkId::new("octree_pixel", tasks), &cfg, |b, cfg| {
             b.iter(|| {
                 black_box(
-                    simulate_schedule(&soc, &app, &schedule, cfg)
+                    simulate_schedule(&soc, &app, &schedule, cfg, None)
                         .expect("simulates")
+                        .expect_stats()
                         .time_per_task,
                 )
             });

@@ -16,8 +16,8 @@ use bt_core::{autotune, optimize, OptimizerConfig, SimBackend};
 use bt_kernels::apps;
 use bt_pipeline::{simulate_schedule, to_chunk_specs};
 use bt_profiler::{profile, ProfileMode, ProfilerConfig};
-use bt_soc::des::{simulate, DesConfig};
-use bt_soc::{devices, InterferenceModel, PuClass};
+use bt_soc::des::simulate;
+use bt_soc::{devices, InterferenceModel, PuClass, RunConfig};
 use serde::Serialize;
 
 #[derive(Serialize, Default)]
@@ -31,8 +31,8 @@ struct Ablations {
 fn main() {
     let soc = devices::pixel_7a();
     let app = apps::alexnet_sparse_app(apps::AlexNetConfig::default()).model();
-    let des = DesConfig::default();
-    let backend = SimBackend::new(soc.clone(), app.clone()).with_des(des.clone());
+    let des = RunConfig::default();
+    let backend = SimBackend::new(soc.clone(), app.clone()).with_run(des.clone());
     let mut out = Ablations::default();
 
     // 1. Utilization-threshold sweep.
@@ -127,12 +127,14 @@ fn main() {
                     &soc,
                     &app,
                     &c.schedule,
-                    &DesConfig {
+                    &RunConfig {
                         seed: i as u64,
                         ..des.clone()
                     },
+                    None,
                 )
                 .expect("simulates")
+                .expect_stats()
                 .time_per_task
                 .as_f64()
             })
@@ -150,15 +152,15 @@ fn main() {
     let cands = optimize(&soc, &table, &OptimizerConfig::default()).expect("candidates");
     let chunks = to_chunk_specs(&app, &cands[0].schedule).expect("chunk specs");
     for buffers in [1u32, 2, 3, 4, 6, 8] {
-        let cfg = DesConfig {
+        let cfg = RunConfig {
             buffers,
             noise_sigma: 0.0,
-            ..DesConfig::default()
+            ..RunConfig::default()
         };
-        let r = simulate(&soc, &chunks, &cfg).expect("simulates");
-        println!("{buffers:>9} {:>12.2}", r.time_per_task.as_millis());
-        out.buffer_sweep
-            .push((buffers, r.time_per_task.as_millis()));
+        let r = simulate(&soc, &chunks, &cfg, None).expect("simulates");
+        let tpt = r.expect_stats().time_per_task;
+        println!("{buffers:>9} {:>12.2}", tpt.as_millis());
+        out.buffer_sweep.push((buffers, tpt.as_millis()));
     }
     let single = out.buffer_sweep[0].1;
     let deep = out.buffer_sweep.last().expect("non-empty").1;

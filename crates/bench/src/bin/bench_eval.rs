@@ -25,8 +25,7 @@ use bt_core::{build_problem, BetterTogether, SimBackend};
 use bt_kernels::{apps, AppModel};
 use bt_pipeline::{simulate_baseline, simulate_schedule, Schedule};
 use bt_profiler::{profile, ProfileMode, ProfilerConfig};
-use bt_soc::des::DesConfig;
-use bt_soc::{devices, PuClass, SocSpec};
+use bt_soc::{devices, PuClass, RunConfig, SocSpec};
 use bt_solver::enumerate::{enumerate_schedules, evaluate};
 use bt_solver::{Assignment, ScheduleProblem};
 use serde::Serialize;
@@ -109,21 +108,24 @@ fn pre_pr_fig2_loop(soc: &SocSpec, app: &AppModel) -> usize {
             .then_with(|| a.assignment.cmp(&b.assignment))
     });
     all.truncate(20);
-    let des = DesConfig {
+    let des = RunConfig {
         service_cache: false,
-        ..DesConfig::default()
+        ..RunConfig::default()
     };
     let mut best = (f64::INFINITY, 0usize);
     for (i, e) in all.iter().enumerate() {
         let schedule =
             Schedule::from_class_indices(&e.assignment, table.classes()).expect("contiguous");
-        let cfg = DesConfig {
+        let cfg = RunConfig {
             seed: des.seed.wrapping_add(i as u64),
             ..des.clone()
         };
-        let r = simulate_schedule(soc, app, &schedule, &cfg).expect("simulates");
-        if r.time_per_task.as_f64() < best.0 {
-            best = (r.time_per_task.as_f64(), i);
+        let tpt = simulate_schedule(soc, app, &schedule, &cfg, None)
+            .expect("simulates")
+            .expect_stats()
+            .time_per_task;
+        if tpt.as_f64() < best.0 {
+            best = (tpt.as_f64(), i);
         }
     }
     for class in [PuClass::BigCpu, PuClass::Gpu] {
@@ -243,10 +245,10 @@ fn main() {
     let tasks: u32 = if smoke { 300 } else { 3000 };
     let runs: u32 = if smoke { 3 } else { 20 };
     let des_arm = |cache: bool| {
-        let cfg = DesConfig {
+        let cfg = RunConfig {
             tasks,
             service_cache: cache,
-            ..DesConfig::default()
+            ..RunConfig::default()
         };
         let t0 = Instant::now();
         for seed in 0..u64::from(runs) {
@@ -254,17 +256,18 @@ fn main() {
                 &soc,
                 &app,
                 schedule,
-                &DesConfig {
+                &RunConfig {
                     seed,
                     ..cfg.clone()
                 },
+                None,
             )
             .expect("simulates");
         }
         let secs = t0.elapsed().as_secs_f64();
         // Each task crosses each chunk once: one dispatch + one completion.
         let events = f64::from(runs)
-            * f64::from(tasks + DesConfig::default().warmup)
+            * f64::from(tasks + RunConfig::default().warmup)
             * schedule.chunks().len() as f64
             * 2.0;
         events / secs

@@ -5,8 +5,7 @@
 use bt_kernels::apps;
 use bt_pipeline::{simulate_baseline, simulate_schedule, Schedule};
 use bt_profiler::{profile, ProfileMode, ProfilerConfig};
-use bt_soc::des::DesConfig;
-use bt_soc::devices;
+use bt_soc::{devices, RunConfig};
 use bt_solver::enumerate::{enumerate_schedules, ScheduleEval};
 use bt_solver::ScheduleProblem;
 
@@ -41,14 +40,15 @@ fn main() {
 
             // Homogeneous baselines (isolated single-chunk DES).
             let n = app.stage_count();
-            let des = DesConfig {
+            let des = RunConfig {
                 noise_sigma: 0.0,
-                ..DesConfig::default()
+                ..RunConfig::default()
             };
             let _ = n;
             for class in soc.classes() {
                 let r = simulate_baseline(&soc, app, class, &des).unwrap();
-                println!("baseline {class}: {:.2} ms", r.time_per_task.as_millis());
+                let tpt = r.expect_stats().time_per_task;
+                println!("baseline {class}: {:.2} ms", tpt.as_millis());
             }
 
             // Best pipeline by exhaustive search over the heavy table.
@@ -68,9 +68,10 @@ fn main() {
             let mut best_sched = String::new();
             for e in evals.iter().take(20) {
                 let s = Schedule::from_class_indices(&e.assignment, &classes).unwrap();
-                let r = simulate_schedule(&soc, app, &s, &des).unwrap();
-                if r.time_per_task.as_f64() < best_measured {
-                    best_measured = r.time_per_task.as_f64();
+                let r = simulate_schedule(&soc, app, &s, &des, None).unwrap();
+                let tpt = r.expect_stats().time_per_task;
+                if tpt.as_f64() < best_measured {
+                    best_measured = tpt.as_f64();
                     best_sched = s.to_string();
                 }
             }

@@ -9,8 +9,8 @@
 //! make static, interference-profiled schedules win on edge SoCs.
 
 use bt_core::BetterTogether;
-use bt_soc::des::DesConfig;
 use bt_soc::des_dynamic::{simulate_dynamic, DynamicPolicy};
+use bt_soc::RunConfig;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -26,9 +26,9 @@ struct Row {
 fn main() {
     let apps = bt_bench::paper_apps();
     let labels = bt_bench::paper_app_labels();
-    let des = DesConfig {
+    let des = RunConfig {
         noise_sigma: 0.0,
-        ..DesConfig::default()
+        ..RunConfig::default()
     };
 
     println!("Static (BetterTogether) vs dynamic greedy scheduling, ms/task\n");
@@ -44,12 +44,14 @@ fn main() {
                 .run()
                 .expect("framework runs");
             let works = app.works();
-            let fifo = simulate_dynamic(&soc, &works, &des, DynamicPolicy::Fifo)
+            let fifo = simulate_dynamic(&soc, &works, &des, DynamicPolicy::Fifo, None)
                 .expect("simulates")
+                .expect_stats()
                 .time_per_task
                 .as_millis();
-            let fit = simulate_dynamic(&soc, &works, &des, DynamicPolicy::BestFit)
+            let fit = simulate_dynamic(&soc, &works, &des, DynamicPolicy::BestFit, None)
                 .expect("simulates")
+                .expect_stats()
                 .time_per_task
                 .as_millis();
             let bt = d.best_latency().expect("measured").as_millis();

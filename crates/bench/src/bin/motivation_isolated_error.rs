@@ -13,8 +13,7 @@ use bt_core::{optimize, predict, OptimizerConfig};
 use bt_kernels::apps;
 use bt_pipeline::simulate_schedule;
 use bt_profiler::{profile, ProfileMode, ProfilerConfig};
-use bt_soc::des::DesConfig;
-use bt_soc::devices;
+use bt_soc::{devices, RunConfig};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -32,7 +31,7 @@ struct Motivation {
 fn main() {
     let soc = devices::pixel_7a();
     let app = apps::alexnet_sparse_app(apps::AlexNetConfig::default()).model();
-    let des = DesConfig::default();
+    let des = RunConfig::default();
     let profiler = ProfilerConfig::default();
 
     // Prior-work approach: isolated table, latency-only optimization.
@@ -48,8 +47,9 @@ fn main() {
     .expect("candidates")[0];
     let iso_predicted =
         predict::predict_latency(&iso_table, &iso_best.schedule).expect("table covers schedule");
-    let iso_measured = simulate_schedule(&soc, &app, &iso_best.schedule, &des)
+    let iso_measured = simulate_schedule(&soc, &app, &iso_best.schedule, &des, None)
         .expect("simulates")
+        .expect_stats()
         .time_per_task;
     let iso_err = 100.0 * (iso_measured.as_f64() - iso_predicted.as_f64()) / iso_predicted.as_f64();
 
@@ -58,8 +58,9 @@ fn main() {
     let bt_best = &optimize(&soc, &bt_table, &OptimizerConfig::default()).expect("candidates")[0];
     let bt_predicted =
         predict::predict_latency(&bt_table, &bt_best.schedule).expect("table covers schedule");
-    let bt_measured = simulate_schedule(&soc, &app, &bt_best.schedule, &des)
+    let bt_measured = simulate_schedule(&soc, &app, &bt_best.schedule, &des, None)
         .expect("simulates")
+        .expect_stats()
         .time_per_task;
     let bt_err = 100.0 * (bt_measured.as_f64() - bt_predicted.as_f64()) / bt_predicted.as_f64();
 

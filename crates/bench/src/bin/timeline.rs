@@ -10,19 +10,18 @@
 use bt_core::BetterTogether;
 use bt_kernels::apps;
 use bt_pipeline::{simulate_schedule, to_chunk_specs, Schedule};
-use bt_soc::des::DesConfig;
-use bt_soc::{devices, PuClass};
+use bt_soc::{devices, PuClass, RunConfig};
 use bt_telemetry::TelemetryConfig;
 
 fn gantt(soc: &bt_soc::SocSpec, app: &bt_kernels::AppModel, schedule: &Schedule, title: &str) {
-    let cfg = DesConfig {
+    let cfg = RunConfig {
         tasks: 6,
         warmup: 0,
         noise_sigma: 0.0,
         record_timeline: true,
-        ..DesConfig::default()
+        ..RunConfig::default()
     };
-    let report = simulate_schedule(soc, app, schedule, &cfg).expect("simulates");
+    let report = simulate_schedule(soc, app, schedule, &cfg, None).expect("simulates");
     let labels: Vec<String> = to_chunk_specs(app, schedule)
         .expect("chunk specs")
         .iter()
@@ -30,7 +29,7 @@ fn gantt(soc: &bt_soc::SocSpec, app: &bt_kernels::AppModel, schedule: &Schedule,
         .collect();
     println!(
         "{title}  —  {:.2} ms/task steady-state",
-        report.time_per_task.as_millis()
+        report.expect_stats().time_per_task.as_millis()
     );
     println!("{}", bt_bench::render_gantt(&report.timeline, &labels, 100));
 }
@@ -56,13 +55,13 @@ fn main() {
     );
 
     // Chrome trace of the winning schedule, from the telemetry layer.
-    let cfg = DesConfig {
+    let cfg = RunConfig {
         tasks: 30,
         noise_sigma: 0.0,
         telemetry: TelemetryConfig::full(),
-        ..DesConfig::default()
+        ..RunConfig::default()
     };
-    let report = simulate_schedule(&soc, &app, best, &cfg).expect("simulates");
+    let report = simulate_schedule(&soc, &app, best, &cfg, None).expect("simulates");
     let tele = report.telemetry.expect("telemetry requested");
     let dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("../..")

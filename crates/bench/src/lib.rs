@@ -118,28 +118,28 @@ mod tests {
 
     #[test]
     fn gantt_renders_rows_and_scale() {
-        use bt_soc::des::TimelineEvent;
+        use bt_soc::TimelineSpan;
         let events = vec![
-            TimelineEvent {
+            TimelineSpan {
                 chunk: 0,
-                stage: 0,
+                stage: Some(0),
                 task: 0,
-                start: 0.0,
-                end: 500.0,
+                start_us: 0.0,
+                end_us: 500.0,
             },
-            TimelineEvent {
+            TimelineSpan {
                 chunk: 1,
-                stage: 0,
+                stage: Some(0),
                 task: 0,
-                start: 500.0,
-                end: 1000.0,
+                start_us: 500.0,
+                end_us: 1000.0,
             },
-            TimelineEvent {
+            TimelineSpan {
                 chunk: 0,
-                stage: 0,
+                stage: Some(0),
                 task: 1,
-                start: 500.0,
-                end: 1000.0,
+                start_us: 500.0,
+                end_us: 1000.0,
             },
         ];
         let labels = vec!["cpu".to_string(), "gpu".to_string()];
@@ -190,7 +190,7 @@ pub fn predicted_vs_measured(
     use bt_core::OptimizerConfig;
     use bt_pipeline::simulate_schedule;
     use bt_profiler::{profile, ProfilerConfig};
-    use bt_soc::des::DesConfig;
+    use bt_soc::RunConfig;
 
     let table = profile(soc, app, mode, &ProfilerConfig::default());
     let cfg = OptimizerConfig {
@@ -202,12 +202,13 @@ pub fn predicted_vs_measured(
         .iter()
         .enumerate()
         .map(|(i, c)| {
-            let des = DesConfig {
+            let run = RunConfig {
                 seed: i as u64,
-                ..DesConfig::default()
+                ..RunConfig::default()
             };
-            let measured = simulate_schedule(soc, app, &c.schedule, &des)
+            let measured = simulate_schedule(soc, app, &c.schedule, &run, None)
                 .expect("candidate simulates")
+                .expect_stats()
                 .time_per_task;
             PredMeasured {
                 schedule: c.schedule.to_string(),

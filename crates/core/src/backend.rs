@@ -15,15 +15,12 @@
 //! measurement service) is a third `impl`, not a third copy of the loop.
 
 use bt_kernels::{AppModel, Application};
-use bt_pipeline::HostRunConfig;
 use bt_pipeline::{
-    run_host, simulate_baseline, simulate_schedule, simulate_schedule_faulted, Measurement,
-    PuThreads, Schedule,
+    run_host, simulate_baseline, simulate_schedule, Measurement, PuThreads, Schedule,
 };
 use bt_profiler::host::{profile_host, HostClasses, HostProfilerConfig};
 use bt_profiler::{profile, ProfileMode, ProfilerConfig, ProfilingTable};
-use bt_soc::des::DesConfig;
-use bt_soc::{FaultSpec, PuClass, SocSpec};
+use bt_soc::{FaultSpec, PuClass, RunConfig, SocSpec};
 
 use crate::BtError;
 
@@ -107,7 +104,7 @@ pub struct SimBackend {
     soc: SocSpec,
     app: AppModel,
     profiler: ProfilerConfig,
-    des: DesConfig,
+    run: RunConfig,
     parallel: bool,
     faults: FaultSpec,
 }
@@ -119,7 +116,7 @@ impl SimBackend {
             soc,
             app,
             profiler: ProfilerConfig::default(),
-            des: DesConfig::default(),
+            run: RunConfig::default(),
             parallel: true,
             faults: FaultSpec::none(),
         }
@@ -127,10 +124,10 @@ impl SimBackend {
 
     /// Injects a fault specification into every subsequent
     /// [`measure`](ExecutionBackend::measure) call: schedules run under
-    /// the perturbed simulator ([`simulate_schedule_faulted`]) instead of
-    /// the clean one. Profiling and baselines stay unfaulted — the fault
-    /// model perturbs *execution*, not the knowledge the optimizer starts
-    /// from.
+    /// the perturbed simulator (`simulate_schedule` with `Some(faults)`)
+    /// instead of the clean one. Profiling and baselines stay unfaulted —
+    /// the fault model perturbs *execution*, not the knowledge the
+    /// optimizer starts from.
     pub fn with_faults(mut self, faults: FaultSpec) -> SimBackend {
         self.faults = faults;
         self
@@ -158,10 +155,16 @@ impl SimBackend {
         self
     }
 
-    /// Overrides the simulator configuration used for measurements.
-    pub fn with_des(mut self, des: DesConfig) -> SimBackend {
-        self.des = des;
+    /// Overrides the run configuration used for measurements.
+    pub fn with_run(mut self, run: RunConfig) -> SimBackend {
+        self.run = run;
         self
+    }
+
+    /// Overrides the run configuration used for measurements.
+    #[deprecated(since = "0.2.0", note = "use with_run")]
+    pub fn with_des(self, des: RunConfig) -> SimBackend {
+        self.with_run(des)
     }
 
     /// The bound device model.
@@ -175,8 +178,14 @@ impl SimBackend {
     }
 
     /// The measurement configuration.
-    pub fn des(&self) -> &DesConfig {
-        &self.des
+    pub fn run(&self) -> &RunConfig {
+        &self.run
+    }
+
+    /// The measurement configuration.
+    #[deprecated(since = "0.2.0", note = "use run")]
+    pub fn des(&self) -> &RunConfig {
+        &self.run
     }
 }
 
@@ -215,31 +224,23 @@ impl ExecutionBackend for SimBackend {
     fn measure(&self, schedule: &Schedule, run_index: u64) -> Result<Measurement, BtError> {
         // Decorrelate simulator noise across autotuning runs while staying
         // deterministic for a fixed (config, run_index) pair.
-        let cfg = DesConfig {
-            seed: self.des.seed.wrapping_add(run_index),
-            ..self.des.clone()
+        let cfg = RunConfig {
+            seed: self.run.seed.wrapping_add(run_index),
+            ..self.run.clone()
         };
-        if self.faults.is_empty() {
-            let report = simulate_schedule(&self.soc, &self.app, schedule, &cfg)?;
-            return Ok(Measurement::from(report));
-        }
-        let faulted =
-            simulate_schedule_faulted(&self.soc, &self.app, schedule, &cfg, &self.faults)?;
-        let (submitted, completed, dropped) =
-            (faulted.submitted, faulted.completed, faulted.dropped);
-        match faulted.report {
-            Some(report) => Ok(Measurement::from(report)),
-            None => Err(BtError::RunDegraded {
-                submitted: submitted.into(),
-                completed: completed.into(),
-                dropped: dropped.into(),
-            }),
-        }
+        let faults = (!self.faults.is_empty()).then_some(&self.faults);
+        let report = simulate_schedule(&self.soc, &self.app, schedule, &cfg, faults)?;
+        let (submitted, completed, dropped) = (report.submitted, report.completed, report.dropped);
+        Measurement::from_run(report).ok_or(BtError::RunDegraded {
+            submitted,
+            completed,
+            dropped,
+        })
     }
 
     fn measure_baseline(&self, class: PuClass) -> Result<Measurement, BtError> {
-        let report = simulate_baseline(&self.soc, &self.app, class, &self.des)?;
-        Ok(Measurement::from(report))
+        let report = simulate_baseline(&self.soc, &self.app, class, &self.run)?;
+        Ok(Measurement::from_run(report).expect("clean baseline runs complete every task"))
     }
 }
 
@@ -259,7 +260,7 @@ pub struct HostBackend<P: Send + 'static> {
     classes: HostClasses,
     threads: PuThreads,
     profiler: HostProfilerConfig,
-    run: HostRunConfig,
+    run: RunConfig,
 }
 
 impl<P: Send + 'static> std::fmt::Debug for HostBackend<P> {
@@ -294,7 +295,7 @@ impl<P: Send + 'static> HostBackend<P> {
             classes,
             threads,
             profiler: HostProfilerConfig::default(),
-            run: HostRunConfig::default(),
+            run: RunConfig::default(),
         }
     }
 
@@ -311,7 +312,7 @@ impl<P: Send + 'static> HostBackend<P> {
     }
 
     /// Overrides the per-measurement pipeline run configuration.
-    pub fn with_run(mut self, run: HostRunConfig) -> HostBackend<P> {
+    pub fn with_run(mut self, run: RunConfig) -> HostBackend<P> {
         self.run = run;
         self
     }
@@ -361,8 +362,8 @@ impl<P: Send + 'static> ExecutionBackend for HostBackend<P> {
 
     fn measure(&self, schedule: &Schedule, _run_index: u64) -> Result<Measurement, BtError> {
         // Wall-clock runs are naturally decorrelated; run_index is unused.
-        let report = run_host(&self.app, schedule, &self.threads, &self.run)?;
-        Ok(Measurement::from(report))
+        let report = run_host(&self.app, schedule, &self.threads, &self.run, None)?;
+        Ok(Measurement::from_run(report).expect("fail-fast host runs always measure"))
     }
 
     fn measure_baseline(&self, class: PuClass) -> Result<Measurement, BtError> {
@@ -370,8 +371,8 @@ impl<P: Send + 'static> ExecutionBackend for HostBackend<P> {
         // tier (the real runtime has no per-stage-sync dispatch mode; a
         // single dispatcher already serializes stages per task).
         let schedule = Schedule::homogeneous(self.app.stage_count(), class);
-        let report = run_host(&self.app, &schedule, &self.threads, &self.run)?;
-        Ok(Measurement::from(report))
+        let report = run_host(&self.app, &schedule, &self.threads, &self.run, None)?;
+        Ok(Measurement::from_run(report).expect("fail-fast host runs always measure"))
     }
 }
 

@@ -107,13 +107,13 @@ mod tests {
     use super::*;
     use crate::backend::SimBackend;
     use bt_kernels::apps;
-    use bt_soc::des::DesConfig;
     use bt_soc::devices;
+    use bt_soc::RunConfig;
 
     fn noiseless(soc: bt_soc::SocSpec, app: bt_kernels::AppModel) -> SimBackend {
-        SimBackend::new(soc, app).with_des(DesConfig {
+        SimBackend::new(soc, app).with_run(RunConfig {
             noise_sigma: 0.0,
-            ..DesConfig::default()
+            ..RunConfig::default()
         })
     }
 

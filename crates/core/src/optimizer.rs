@@ -318,9 +318,8 @@ pub struct CandidateMeasurement {
     /// Measured per-task latency of that candidate.
     pub latency: Micros,
     /// Telemetry from the measurement run (`None` unless the backend's
-    /// telemetry configuration — [`bt_soc::des::DesConfig::telemetry`] on
-    /// the simulator, [`bt_pipeline::HostRunConfig::telemetry`] on the
-    /// host — enabled collection).
+    /// [`bt_soc::RunConfig::telemetry`] enabled collection — the same
+    /// field on both the simulator and the host).
     #[serde(default)]
     pub telemetry: Option<bt_telemetry::RunTelemetry>,
 }
@@ -431,8 +430,8 @@ mod tests {
     use crate::backend::SimBackend;
     use bt_kernels::{apps, AppModel};
     use bt_profiler::{profile, ProfileMode, ProfilerConfig};
-    use bt_soc::des::DesConfig;
     use bt_soc::devices;
+    use bt_soc::RunConfig;
 
     fn setup() -> (SocSpec, AppModel, ProfilingTable) {
         let soc = devices::pixel_7a();
@@ -577,9 +576,9 @@ mod tests {
     fn autotune_threads_telemetry_through_candidates() {
         let (soc, app, table) = setup();
         let cands = optimize(&soc, &table, &OptimizerConfig::default()).unwrap();
-        let backend = SimBackend::new(soc, app).with_des(DesConfig {
+        let backend = SimBackend::new(soc, app).with_run(RunConfig {
             telemetry: bt_telemetry::TelemetryConfig::counters_only(),
-            ..DesConfig::default()
+            ..RunConfig::default()
         });
         let outcome = autotune(&backend, &cands).unwrap();
         for m in &outcome.measured {

@@ -24,10 +24,9 @@ use std::path::PathBuf;
 use bt_core::BetterTogether;
 use bt_faults::{FaultDomain, FaultPlan};
 use bt_kernels::{apps, AppModel};
-use bt_pipeline::{simulate_schedule_faulted, Schedule};
-use bt_soc::des::DesConfig;
-use bt_soc::des_dynamic::{simulate_dynamic_faulted, DynamicPolicy};
-use bt_soc::{devices, SocSpec};
+use bt_pipeline::{simulate_schedule, Schedule};
+use bt_soc::des_dynamic::{simulate_dynamic, DynamicPolicy};
+use bt_soc::{devices, RunConfig, SocSpec};
 
 #[derive(serde::Serialize)]
 struct Failure {
@@ -68,7 +67,7 @@ struct Cell {
     soc: SocSpec,
     app: AppModel,
     schedule: Schedule,
-    cfg: DesConfig,
+    cfg: RunConfig,
     domain: FaultDomain,
 }
 
@@ -83,17 +82,17 @@ fn build_cell(device: &str, app_name: &str) -> Result<Cell, String> {
         .ok_or("empty candidate list")?
         .schedule
         .clone();
-    let cfg = DesConfig::default();
+    let cfg = RunConfig::default();
     // Size the fault domain from an unfaulted reference run so onsets land
     // inside (and shortly after) the real execution window.
-    let reference = bt_pipeline::simulate_schedule(&soc, &app, &schedule, &cfg)
+    let reference = simulate_schedule(&soc, &app, &schedule, &cfg, None)
         .map_err(|e| format!("reference run failed: {e}"))?;
     let domain = FaultDomain {
         classes: soc.schedulable_classes(),
         chunks: schedule.chunks().len(),
         stages: app.stage_count(),
         tasks: cfg.tasks + cfg.warmup,
-        horizon_us: reference.makespan.as_f64() * 1.5,
+        horizon_us: reference.expect_stats().makespan.as_f64() * 1.5,
         ..FaultDomain::default()
     };
     Ok(Cell {
@@ -110,10 +109,10 @@ fn check_seed(cell: &Cell, seed: u64) -> Result<(), (String, String)> {
     let spec = plan.to_spec();
 
     let run_static =
-        || simulate_schedule_faulted(&cell.soc, &cell.app, &cell.schedule, &cell.cfg, &spec);
+        || simulate_schedule(&cell.soc, &cell.app, &cell.schedule, &cell.cfg, Some(&spec));
     let a = run_static().map_err(|e| ("static-run".into(), e.to_string()))?;
     let b = run_static().map_err(|e| ("static-run".into(), e.to_string()))?;
-    if u64::from(a.completed) + u64::from(a.dropped) != u64::from(a.submitted) {
+    if a.completed + a.dropped != a.submitted {
         return Err((
             "static-conservation".into(),
             format!(
@@ -128,10 +127,10 @@ fn check_seed(cell: &Cell, seed: u64) -> Result<(), (String, String)> {
 
     let works = cell.app.works();
     for policy in [DynamicPolicy::Fifo, DynamicPolicy::BestFit] {
-        let run_dyn = || simulate_dynamic_faulted(&cell.soc, &works, &cell.cfg, policy, &spec);
+        let run_dyn = || simulate_dynamic(&cell.soc, &works, &cell.cfg, policy, Some(&spec));
         let a = run_dyn().map_err(|e| ("dynamic-run".into(), e.to_string()))?;
         let b = run_dyn().map_err(|e| ("dynamic-run".into(), e.to_string()))?;
-        if u64::from(a.completed) + u64::from(a.dropped) != u64::from(a.submitted) {
+        if a.completed + a.dropped != a.submitted {
             return Err((
                 format!("dynamic-conservation-{policy:?}"),
                 format!(

@@ -3,9 +3,9 @@
 //! (`completed + dropped == submitted`), and must replay bit-identically.
 
 use bt_faults::{FaultDomain, FaultPlan};
-use bt_soc::des::{simulate, simulate_faulted, ChunkSpec, DesConfig};
-use bt_soc::des_dynamic::{simulate_dynamic_faulted, DynamicPolicy};
-use bt_soc::{devices, PuClass, WorkProfile};
+use bt_soc::des::{simulate, ChunkSpec};
+use bt_soc::des_dynamic::{simulate_dynamic, DynamicPolicy};
+use bt_soc::{devices, PuClass, RunConfig, WorkProfile};
 use proptest::prelude::*;
 
 fn pipeline_chunks() -> Vec<ChunkSpec> {
@@ -22,25 +22,25 @@ fn pipeline_chunks() -> Vec<ChunkSpec> {
     ]
 }
 
-fn cfg() -> DesConfig {
-    DesConfig {
+fn cfg() -> RunConfig {
+    RunConfig {
         tasks: 25,
         warmup: 3,
         noise_sigma: 0.02,
         seed: 11,
-        ..DesConfig::default()
+        ..RunConfig::default()
     }
 }
 
 fn domain() -> FaultDomain {
     let soc = devices::pixel_7a();
-    let reference = simulate(&soc, &pipeline_chunks(), &cfg()).expect("reference run");
+    let reference = simulate(&soc, &pipeline_chunks(), &cfg(), None).expect("reference run");
     FaultDomain {
         classes: soc.schedulable_classes(),
         chunks: 3,
         stages: 2,
         tasks: 28,
-        horizon_us: reference.makespan.as_f64() * 1.5,
+        horizon_us: reference.expect_stats().makespan.as_f64() * 1.5,
         ..FaultDomain::default()
     }
 }
@@ -54,10 +54,10 @@ proptest! {
     fn static_engine_conserves_tasks(seed in any::<u64>()) {
         let plan = FaultPlan::random(seed, &domain());
         let soc = devices::pixel_7a();
-        let r = simulate_faulted(&soc, &pipeline_chunks(), &cfg(), &plan.to_spec())
+        let r = simulate(&soc, &pipeline_chunks(), &cfg(), Some(&plan.to_spec()))
             .expect("valid configuration");
         prop_assert_eq!(r.completed + r.dropped, r.submitted);
-        if let Some(report) = &r.report {
+        if let Some(report) = &r.stats {
             prop_assert!(report.makespan.as_f64() > 0.0);
             prop_assert!(report.tasks > 0);
         } else {
@@ -71,9 +71,9 @@ proptest! {
     fn static_engine_replays_bit_identically(seed in any::<u64>()) {
         let plan = FaultPlan::random(seed, &domain());
         let soc = devices::pixel_7a();
-        let a = simulate_faulted(&soc, &pipeline_chunks(), &cfg(), &plan.to_spec())
+        let a = simulate(&soc, &pipeline_chunks(), &cfg(), Some(&plan.to_spec()))
             .expect("valid configuration");
-        let b = simulate_faulted(&soc, &pipeline_chunks(), &cfg(), &plan.to_spec())
+        let b = simulate(&soc, &pipeline_chunks(), &cfg(), Some(&plan.to_spec()))
             .expect("valid configuration");
         prop_assert_eq!(format!("{a:?}"), format!("{b:?}"));
     }
@@ -90,10 +90,10 @@ proptest! {
             WorkProfile::new(8.0e6, 2.0e6),
         ];
         for policy in [DynamicPolicy::Fifo, DynamicPolicy::BestFit] {
-            let a = simulate_dynamic_faulted(&soc, &stages, &cfg(), policy, &plan.to_spec())
+            let a = simulate_dynamic(&soc, &stages, &cfg(), policy, Some(&plan.to_spec()))
                 .expect("valid configuration");
             prop_assert_eq!(a.completed + a.dropped, a.submitted);
-            let b = simulate_dynamic_faulted(&soc, &stages, &cfg(), policy, &plan.to_spec())
+            let b = simulate_dynamic(&soc, &stages, &cfg(), policy, Some(&plan.to_spec()))
                 .expect("valid configuration");
             prop_assert_eq!(format!("{a:?}"), format!("{b:?}"));
         }

@@ -1,0 +1,283 @@
+//! Deprecated pre-unification entry points and report types, kept for one
+//! release so downstream code can migrate to the one-run-model API
+//! ([`crate::run_host`] with an optional [`crate::ResilienceConfig`], and
+//! [`crate::simulate_schedule`] with an optional
+//! [`bt_soc::FaultSpec`]) at its own pace. Everything here is a thin
+//! projection of the unified [`RunReport`].
+
+#![allow(deprecated)]
+
+use std::time::Duration;
+
+use bt_kernels::{AppModel, Application};
+use bt_soc::{
+    DegradeReason, FaultSpec, FaultedDesReport, Micros, RunConfig, RunReport, SocSpec, TimelineSpan,
+};
+use bt_telemetry::RunTelemetry;
+
+use crate::executor::{run_host, PipelineError, PuThreads, ResilienceConfig};
+use crate::Schedule;
+
+/// Former host-only run configuration, now the shared [`RunConfig`].
+///
+/// Note the historical drift fixed by the unification: the host default
+/// `warmup` used to be 3 while the simulator's was 5; both now share the
+/// documented default of 5 (see `DESIGN.md`, § The run model).
+#[deprecated(since = "0.2.0", note = "use bt_soc::RunConfig")]
+pub type HostRunConfig = RunConfig;
+
+/// One recorded chunk execution on the host (µs relative to run start).
+#[deprecated(since = "0.2.0", note = "use bt_soc::TimelineSpan")]
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HostTimelineEvent {
+    /// Which chunk executed.
+    pub chunk: usize,
+    /// Task sequence number.
+    pub task: u64,
+    /// Start offset in µs.
+    pub start_us: f64,
+    /// End offset in µs.
+    pub end_us: f64,
+}
+
+impl From<TimelineSpan> for HostTimelineEvent {
+    fn from(s: TimelineSpan) -> HostTimelineEvent {
+        HostTimelineEvent {
+            chunk: s.chunk,
+            task: s.task,
+            start_us: s.start_us,
+            end_us: s.end_us,
+        }
+    }
+}
+
+impl From<HostTimelineEvent> for bt_soc::gantt::GanttSpan {
+    fn from(e: HostTimelineEvent) -> bt_soc::gantt::GanttSpan {
+        bt_soc::gantt::GanttSpan {
+            chunk: e.chunk,
+            task: e.task,
+            start: e.start_us,
+            end: e.end_us,
+        }
+    }
+}
+
+/// Result of a host pipeline run, in wall-clock [`Duration`]s.
+#[deprecated(since = "0.2.0", note = "use bt_soc::RunReport (stats in µs)")]
+#[derive(Debug, Clone)]
+pub struct HostReport {
+    /// Wall-clock of the steady-state measurement window.
+    pub makespan: Duration,
+    /// Steady-state inverse throughput.
+    pub time_per_task: Duration,
+    /// Mean per-task residence time.
+    pub mean_task_latency: Duration,
+    /// Tasks per second.
+    pub throughput_hz: f64,
+    /// Fraction of the measured window each chunk spent executing kernels.
+    pub chunk_utilization: Vec<f64>,
+    /// Number of measured tasks.
+    pub tasks: u32,
+    /// Recorded execution spans (empty unless requested).
+    pub timeline: Vec<HostTimelineEvent>,
+    /// Collected telemetry, when enabled.
+    pub telemetry: Option<RunTelemetry>,
+}
+
+/// Projects the measured window of a unified report; `None` when the run
+/// completed no tasks.
+fn host_report(r: &RunReport) -> Option<HostReport> {
+    let s = r.stats.as_ref()?;
+    let d = |m: Micros| Duration::from_secs_f64(m.as_f64() * 1e-6);
+    Some(HostReport {
+        makespan: d(s.makespan),
+        time_per_task: d(s.time_per_task),
+        mean_task_latency: d(s.mean_task_latency),
+        throughput_hz: s.throughput_hz,
+        chunk_utilization: s.chunk_utilization.clone(),
+        tasks: s.tasks,
+        timeline: r.timeline.iter().copied().map(Into::into).collect(),
+        telemetry: r.telemetry.clone(),
+    })
+}
+
+/// Outcome of [`run_host_resilient`]: either a clean run or a typed
+/// degradation.
+#[deprecated(
+    since = "0.2.0",
+    note = "use bt_soc::RunReport (degraded + dropped accounting)"
+)]
+#[derive(Debug, Clone)]
+pub enum RunOutcome {
+    /// Every submitted task completed.
+    Completed(HostReport),
+    /// Some tasks were lost. The report covers the tasks that did
+    /// complete; `None` when nothing completed.
+    Degraded {
+        /// Steady-state measurement over completed tasks, if any.
+        report: Option<HostReport>,
+        /// Tasks admitted by the head dispatcher.
+        submitted: u64,
+        /// Tasks that exited the pipeline tail.
+        completed: u64,
+        /// `submitted - completed`.
+        dropped: u64,
+        /// What went wrong.
+        reason: DegradeReason,
+    },
+}
+
+impl RunOutcome {
+    /// The steady-state report, if any tasks completed.
+    pub fn report(&self) -> Option<&HostReport> {
+        match self {
+            RunOutcome::Completed(r) => Some(r),
+            RunOutcome::Degraded { report, .. } => report.as_ref(),
+        }
+    }
+
+    /// Whether the run degraded.
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, RunOutcome::Degraded { .. })
+    }
+}
+
+impl From<RunReport> for RunOutcome {
+    fn from(r: RunReport) -> RunOutcome {
+        if r.degraded.is_none() && r.dropped == 0 {
+            RunOutcome::Completed(
+                host_report(&r).expect("clean resilient runs measure at least one task"),
+            )
+        } else {
+            RunOutcome::Degraded {
+                report: host_report(&r),
+                submitted: r.submitted,
+                completed: r.completed,
+                dropped: r.dropped,
+                // A drop without a recorded signal cannot happen
+                // (tombstones raise the failure path), but degrade
+                // defensively if it does.
+                reason: r
+                    .degraded
+                    .unwrap_or(DegradeReason::KernelFailures { chunk: usize::MAX }),
+            }
+        }
+    }
+}
+
+/// Resilient host execution, now [`run_host`] with `Some(res)`.
+///
+/// # Errors
+///
+/// Returns [`PipelineError`] only for configuration errors (stage
+/// mismatch, zero tasks); runtime faults degrade the [`RunOutcome`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use run_host(app, schedule, threads, cfg, Some(res))"
+)]
+pub fn run_host_resilient<P: Send + 'static>(
+    app: &Application<P>,
+    schedule: &Schedule,
+    threads: &PuThreads,
+    cfg: &RunConfig,
+    res: &ResilienceConfig,
+) -> Result<RunOutcome, PipelineError> {
+    run_host(app, schedule, threads, cfg, Some(res)).map(Into::into)
+}
+
+/// Faulted schedule simulation, now [`crate::simulate_schedule`] with
+/// `Some(faults)`.
+///
+/// # Errors
+///
+/// Returns [`PipelineError::StageMismatch`] on a schedule/application
+/// stage disagreement, or [`PipelineError::Soc`] from the simulator.
+#[deprecated(
+    since = "0.2.0",
+    note = "use simulate_schedule(soc, app, schedule, cfg, Some(faults))"
+)]
+pub fn simulate_schedule_faulted(
+    soc: &SocSpec,
+    app: &AppModel,
+    schedule: &Schedule,
+    cfg: &RunConfig,
+    faults: &FaultSpec,
+) -> Result<FaultedDesReport, PipelineError> {
+    let chunks = crate::sim::to_chunk_specs(app, schedule)?;
+    Ok(bt_soc::compat::simulate_faulted(soc, &chunks, cfg, faults)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timeline_events_convert_from_spans() {
+        let span = TimelineSpan {
+            chunk: 2,
+            stage: None,
+            task: 7,
+            start_us: 1.0,
+            end_us: 3.5,
+        };
+        let e = HostTimelineEvent::from(span);
+        assert_eq!(e.chunk, 2);
+        assert_eq!(e.task, 7);
+        let g = bt_soc::gantt::GanttSpan::from(e);
+        assert_eq!(g.chunk, 2);
+        assert!((g.end - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn outcome_projects_the_unified_report_faithfully() {
+        use bt_soc::RunStats;
+        let stats = RunStats {
+            makespan: Micros::new(1000.0),
+            mean_task_latency: Micros::new(120.0),
+            time_per_task: Micros::new(100.0),
+            throughput_hz: 10_000.0,
+            chunk_utilization: vec![0.5, 0.9],
+            bottleneck_chunk: 1,
+            tasks: 10,
+        };
+        let clean = RunReport {
+            submitted: 12,
+            completed: 12,
+            dropped: 0,
+            faults_fired: 0,
+            stats: Some(stats.clone()),
+            timeline: Vec::new(),
+            telemetry: None,
+            degraded: None,
+        };
+        let RunOutcome::Completed(r) = RunOutcome::from(clean) else {
+            panic!("clean report maps to Completed");
+        };
+        assert_eq!(r.tasks, 10);
+        assert!((r.makespan.as_secs_f64() - 1e-3).abs() < 1e-12);
+
+        let degraded = RunReport {
+            submitted: 12,
+            completed: 11,
+            dropped: 1,
+            faults_fired: 1,
+            stats: Some(stats),
+            timeline: Vec::new(),
+            telemetry: None,
+            degraded: Some(DegradeReason::KernelFailures { chunk: 0 }),
+        };
+        let RunOutcome::Degraded {
+            submitted,
+            completed,
+            dropped,
+            reason,
+            report,
+        } = RunOutcome::from(degraded)
+        else {
+            panic!("degraded report maps to Degraded");
+        };
+        assert_eq!((submitted, completed, dropped), (12, 11, 1));
+        assert_eq!(reason, DegradeReason::KernelFailures { chunk: 0 });
+        assert!(report.is_some());
+    }
+}

@@ -8,14 +8,31 @@
 //! next queue. The head dispatcher doubles as the streaming source,
 //! recycling returned objects for new inputs; the tail records completion
 //! timestamps.
+//!
+//! There is **one** executor, [`run_host`], parameterized by an optional
+//! [`ResilienceConfig`]:
+//!
+//! - `res == None` — *fail-fast*: a panicking stage kernel aborts the run
+//!   with [`PipelineError::StagePanicked`] after a clean shutdown of every
+//!   dispatcher.
+//! - `res == Some(_)` — *resilient*: panics are retried with backoff,
+//!   retries-exhausted tasks are tombstoned and counted as dropped, a
+//!   failure-budget overrun drains the pipeline gracefully, and a watchdog
+//!   unwinds a wedged pipeline. The run then *degrades* (see
+//!   [`RunReport::degraded`]) instead of erroring.
+//!
+//! Both modes share one dispatcher loop, one accounting path, and one
+//! report type — the unified [`RunReport`] also produced by the simulator.
 
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use bt_kernels::{Application, ParCtx};
-use bt_soc::{AffinityMap, PerClass, PuClass};
-use bt_telemetry::{DispatcherCounters, RunTelemetry, SpanRecorder, TelemetryConfig};
+use bt_soc::{
+    DegradeReason, Micros, PerClass, PuClass, RunConfig, RunReport, RunStats, TimelineSpan,
+};
+use bt_telemetry::{DispatcherCounters, RunTelemetry, SpanRecorder};
 
 use crate::spsc;
 use crate::{Schedule, TaskObject};
@@ -63,99 +80,6 @@ impl Default for PuThreads {
     }
 }
 
-/// Configuration of a host pipeline run.
-#[derive(Debug, Clone)]
-pub struct HostRunConfig {
-    /// Measured tasks (the paper uses 30 per run).
-    pub tasks: u32,
-    /// Warmup tasks excluded from measurement.
-    pub warmup: u32,
-    /// Circulating TaskObjects; 0 means `chunks + 1`.
-    pub buffers: usize,
-    /// Optional device affinity map: dispatchers pin themselves to their
-    /// chunk's pinnable cores (best-effort; ignored where unavailable).
-    pub affinity: Option<AffinityMap>,
-    /// Record per-(chunk, task) execution spans for Gantt-style inspection.
-    pub record_timeline: bool,
-    /// When set, the head keeps admitting tasks until this wall-clock
-    /// duration elapses (the paper's autotuning protocol runs each
-    /// candidate "for a fixed interval of 10 seconds to measure its
-    /// throughput", §3.3); `tasks` then only sizes the warmup accounting
-    /// and the reported count comes from how many tasks actually finished.
-    pub duration: Option<Duration>,
-    /// What telemetry to collect (off by default; the disabled path costs
-    /// one branch per instrumentation point).
-    pub telemetry: TelemetryConfig,
-}
-
-impl Default for HostRunConfig {
-    fn default() -> HostRunConfig {
-        HostRunConfig {
-            tasks: 30,
-            warmup: 3,
-            buffers: 0,
-            affinity: None,
-            record_timeline: false,
-            duration: None,
-            telemetry: TelemetryConfig::OFF,
-        }
-    }
-}
-
-/// One recorded chunk execution on the host (µs relative to run start).
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct HostTimelineEvent {
-    /// Which chunk executed.
-    pub chunk: usize,
-    /// Task sequence number.
-    pub task: u64,
-    /// Start offset in µs.
-    pub start_us: f64,
-    /// End offset in µs.
-    pub end_us: f64,
-}
-
-impl From<HostTimelineEvent> for bt_soc::gantt::GanttSpan {
-    fn from(e: HostTimelineEvent) -> bt_soc::gantt::GanttSpan {
-        bt_soc::gantt::GanttSpan {
-            chunk: e.chunk,
-            task: e.task,
-            start: e.start_us,
-            end: e.end_us,
-        }
-    }
-}
-
-/// Result of a host pipeline run.
-#[derive(Debug, Clone)]
-pub struct HostReport {
-    /// Wall-clock of the steady-state measurement window: departure of the
-    /// task preceding the first measured one → departure of the last task
-    /// (with `warmup == 0`, first measured departure → last departure).
-    pub makespan: Duration,
-    /// Steady-state inverse throughput: `makespan` divided by the number of
-    /// inter-departure intervals it spans.
-    pub time_per_task: Duration,
-    /// Mean per-task residence time.
-    pub mean_task_latency: Duration,
-    /// Tasks per second.
-    pub throughput_hz: f64,
-    /// Fraction of the measured window each chunk's dispatcher spent
-    /// executing kernels (per chunk, pipeline order) — the utilization the
-    /// paper's gapness objective maximizes. Kernel time outside the window
-    /// (warmup, pipeline fill) is excluded, so values are ≤ 1 by
-    /// construction.
-    pub chunk_utilization: Vec<f64>,
-    /// Number of measured tasks.
-    pub tasks: u32,
-    /// Recorded execution spans (empty unless
-    /// [`HostRunConfig::record_timeline`] was set).
-    pub timeline: Vec<HostTimelineEvent>,
-    /// Collected telemetry (`None` unless [`HostRunConfig::telemetry`]
-    /// enables something).
-    pub telemetry: Option<RunTelemetry>,
-}
-
 /// Errors from the pipeline executors (host threads or simulator bridge).
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
@@ -167,9 +91,10 @@ pub enum PipelineError {
         /// Stages in the schedule.
         schedule: usize,
     },
-    /// `tasks` was zero.
+    /// `tasks` was zero, or a run measured nothing.
     NoTasks,
-    /// A stage kernel panicked; the pipeline was shut down cleanly.
+    /// A stage kernel panicked in fail-fast mode; the pipeline was shut
+    /// down cleanly. Resilient runs degrade instead of returning this.
     StagePanicked {
         /// Index of the chunk whose kernel panicked.
         chunk: usize,
@@ -209,453 +134,13 @@ impl From<bt_soc::SocError> for PipelineError {
     }
 }
 
-enum Msg<P> {
-    Task(Box<TaskObject<P>>),
-    Stop,
-}
-
-/// Per-dispatcher results collected at join time.
-#[derive(Default)]
-struct ChunkOutput {
-    /// Entry instants per seq (head dispatcher only).
-    entries: Vec<Instant>,
-    /// `(seq, residence, finished_at)` per task (tail dispatcher only).
-    completions: Vec<(u64, Duration, Instant)>,
-    /// `(task, start, end)` of every chunk execution. Always recorded: the
-    /// measurement window is only known after the run, so computing
-    /// in-window busy time (utilization) requires the raw spans.
-    spans: Vec<(u64, Instant, Instant)>,
-    /// Telemetry counters (zeroed unless counter collection is on).
-    counters: DispatcherCounters,
-}
-
-fn w_fallback(entries: &[Instant]) -> Instant {
-    entries.first().copied().unwrap_or_else(Instant::now)
-}
-
-/// Blocking push that aborts (returning `false`) once the failure flag is
-/// raised, so no dispatcher deadlocks on a dead neighbour's full queue.
-fn push_until<T>(tx: &mut spsc::Producer<T>, mut value: T, failed: &AtomicBool) -> bool {
-    let mut backoff = spsc::Backoff::new();
-    loop {
-        match tx.push(value) {
-            Ok(()) => return true,
-            Err(back) => {
-                if failed.load(Ordering::Relaxed) {
-                    return false;
-                }
-                value = back;
-                backoff.snooze();
-            }
-        }
-    }
-}
-
-/// Blocking pop that gives up (returning `None`) once the failure flag is
-/// raised and the queue is empty.
-fn pop_until<T>(rx: &mut spsc::Consumer<T>, failed: &AtomicBool) -> Option<T> {
-    let mut backoff = spsc::Backoff::new();
-    loop {
-        if let Some(v) = rx.pop() {
-            return Some(v);
-        }
-        if failed.load(Ordering::Relaxed) {
-            return None;
-        }
-        backoff.snooze();
-    }
-}
-
-/// [`pop_until`] plus starvation accounting when counters are enabled.
-fn pop_timed<T>(
-    rx: &mut spsc::Consumer<T>,
-    failed: &AtomicBool,
-    count: bool,
-    counters: &mut DispatcherCounters,
-) -> Option<T> {
-    if !count {
-        return pop_until(rx, failed);
-    }
-    let t0 = Instant::now();
-    let v = pop_until(rx, failed);
-    counters.record_blocked_pop(t0.elapsed());
-    v
-}
-
-/// [`push_until`] plus back-pressure accounting and a post-push occupancy
-/// sample of the output queue when counters are enabled.
-fn push_timed<T>(
-    tx: &mut spsc::Producer<T>,
-    value: T,
-    failed: &AtomicBool,
-    count: bool,
-    counters: &mut DispatcherCounters,
-) -> bool {
-    if !count {
-        return push_until(tx, value, failed);
-    }
-    let t0 = Instant::now();
-    let ok = push_until(tx, value, failed);
-    counters.record_blocked_push(t0.elapsed());
-    if ok {
-        counters.sample_queue_depth(tx.len());
-    }
-    ok
-}
-
-/// Executes `schedule` over `app` on the host with real threads, streaming
-/// `cfg.tasks + cfg.warmup` inputs through the pipeline.
-///
-/// # Errors
-///
-/// Returns [`PipelineError`] if the schedule length mismatches the
-/// application or no tasks were requested.
-pub fn run_host<P: Send + 'static>(
-    app: &Application<P>,
-    schedule: &Schedule,
-    threads: &PuThreads,
-    cfg: &HostRunConfig,
-) -> Result<HostReport, PipelineError> {
-    if schedule.stage_count() != app.stage_count() {
-        return Err(PipelineError::StageMismatch {
-            app: app.stage_count(),
-            schedule: schedule.stage_count(),
-        });
-    }
-    if cfg.tasks == 0 {
-        return Err(PipelineError::NoTasks);
-    }
-
-    let chunks = schedule.chunks();
-    let k = chunks.len();
-    // In duration mode the head admits tasks until the deadline, bounded by
-    // a generous cap so buffers can be preallocated deterministically.
-    let duration_mode = cfg.duration.is_some();
-    let total = if duration_mode {
-        u64::MAX
-    } else {
-        (cfg.tasks + cfg.warmup) as u64
-    };
-    let deadline = cfg.duration.map(|d| Instant::now() + d);
-    let buffers = if cfg.buffers == 0 { k + 1 } else { cfg.buffers };
-
-    // Queues: inter-chunk channels 0..k-1 carry Msg; the recycle channel
-    // carries bare boxes back to the head.
-    let mut producers: Vec<Option<spsc::Producer<Msg<P>>>> = Vec::new();
-    let mut consumers: Vec<Option<spsc::Consumer<Msg<P>>>> = Vec::new();
-    for _ in 1..k {
-        let (tx, rx) = spsc::channel(buffers.max(1));
-        producers.push(Some(tx));
-        consumers.push(Some(rx));
-    }
-    let (mut recycle_tx, recycle_rx) = spsc::channel::<Box<TaskObject<P>>>(buffers.max(1));
-    for _ in 0..buffers {
-        let obj = Box::new(TaskObject::new(app.new_payload()));
-        recycle_tx
-            .push(obj)
-            .unwrap_or_else(|_| unreachable!("capacity equals the pool size"));
-    }
-
-    let failed = AtomicBool::new(false);
-    let failed_chunk = AtomicUsize::new(usize::MAX);
-    let outputs: Vec<ChunkOutput> = std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(k);
-        let mut recycle_rx = Some(recycle_rx);
-        let mut recycle_tx = Some(recycle_tx);
-
-        for (ci, chunk) in chunks.iter().copied().enumerate() {
-            let is_head = ci == 0;
-            let is_tail = ci == k - 1;
-            let input = if is_head {
-                None
-            } else {
-                Some(consumers[ci - 1].take().expect("each consumer moved once"))
-            };
-            let output = if is_tail {
-                None
-            } else {
-                Some(producers[ci].take().expect("each producer moved once"))
-            };
-            let head_rx = if is_head { recycle_rx.take() } else { None };
-            let tail_tx = if is_tail { recycle_tx.take() } else { None };
-            let ctx = ParCtx::new(threads.threads(chunk.pu));
-            let pin_cores: Vec<usize> = cfg
-                .affinity
-                .as_ref()
-                .map(|m| m.pinnable(chunk.pu).to_vec())
-                .unwrap_or_default();
-
-            let failed = &failed;
-            let failed_chunk = &failed_chunk;
-            handles.push(scope.spawn(move || {
-                // Best-effort pinning; worker threads inherit the mask.
-                crate::affinity::pin_current_thread(&pin_cores);
-
-                let mut out = ChunkOutput::default();
-                let mut input = input;
-                let mut output = output;
-                let mut head_rx = head_rx;
-                let mut tail_tx = tail_tx;
-
-                let count = cfg.telemetry.counters;
-                let mut counters = DispatcherCounters::new();
-                let mut busy = Duration::ZERO;
-                let mut spans: Vec<(u64, Instant, Instant)> = Vec::new();
-                let mut run_chunk = |obj: &mut TaskObject<P>, ctx: &ParCtx| -> bool {
-                    let t0 = Instant::now();
-                    let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
-                        for s in chunk.first_stage..=chunk.last_stage {
-                            app.stages()[s].run(&mut obj.payload, ctx);
-                        }
-                    }));
-                    let t1 = Instant::now();
-                    busy += t1 - t0;
-                    spans.push((obj.seq, t0, t1));
-                    if result.is_err() {
-                        failed_chunk
-                            .compare_exchange(usize::MAX, ci, Ordering::SeqCst, Ordering::SeqCst)
-                            .ok();
-                        failed.store(true, Ordering::SeqCst);
-                        false
-                    } else {
-                        true
-                    }
-                };
-
-                if is_head {
-                    let rx = head_rx.as_mut().expect("head owns the recycle consumer");
-                    for seq in 0..total {
-                        if let Some(d) = deadline {
-                            if Instant::now() >= d {
-                                break;
-                            }
-                        }
-                        let Some(mut obj) = pop_timed(rx, failed, count, &mut counters) else {
-                            break;
-                        };
-                        obj.recycle(seq);
-                        app.load_input(&mut obj.payload, seq);
-                        out.entries.push(obj.entered.expect("stamped by recycle"));
-                        if !run_chunk(&mut obj, &ctx) {
-                            break;
-                        }
-                        if is_tail {
-                            let entered = obj.entered.expect("stamped");
-                            let now = Instant::now();
-                            out.completions.push((seq, now - entered, now));
-                            if !push_timed(
-                                tail_tx.as_mut().expect("tail owns the recycle producer"),
-                                obj,
-                                failed,
-                                count,
-                                &mut counters,
-                            ) {
-                                break;
-                            }
-                        } else if !push_timed(
-                            output.as_mut().expect("non-tail has an output queue"),
-                            Msg::Task(obj),
-                            failed,
-                            count,
-                            &mut counters,
-                        ) {
-                            break;
-                        }
-                    }
-                    if !is_tail {
-                        let _ = push_until(output.as_mut().expect("non-tail"), Msg::Stop, failed);
-                    }
-                } else {
-                    let rx = input.as_mut().expect("non-head has an input queue");
-                    loop {
-                        match pop_timed(rx, failed, count, &mut counters) {
-                            None => break, // failure elsewhere: exit promptly
-                            Some(Msg::Stop) => {
-                                if let Some(tx) = output.as_mut() {
-                                    let _ = push_until(tx, Msg::Stop, failed);
-                                }
-                                break;
-                            }
-                            Some(Msg::Task(mut obj)) => {
-                                if failed.load(Ordering::Relaxed) {
-                                    continue; // drain to unblock upstream
-                                }
-                                if !run_chunk(&mut obj, &ctx) {
-                                    if let Some(tx) = output.as_mut() {
-                                        let _ = push_until(tx, Msg::Stop, failed);
-                                    }
-                                    continue; // keep draining
-                                }
-                                if is_tail {
-                                    let entered = obj.entered.expect("stamped by head");
-                                    let now = Instant::now();
-                                    out.completions.push((obj.seq, now - entered, now));
-                                    if !push_timed(
-                                        tail_tx.as_mut().expect("tail recycles"),
-                                        obj,
-                                        failed,
-                                        count,
-                                        &mut counters,
-                                    ) {
-                                        break;
-                                    }
-                                } else if !push_timed(
-                                    output.as_mut().expect("middle chunk"),
-                                    Msg::Task(obj),
-                                    failed,
-                                    count,
-                                    &mut counters,
-                                ) {
-                                    break;
-                                }
-                            }
-                        }
-                    }
-                }
-                if count {
-                    counters.tasks = spans.len() as u64;
-                    counters.busy = busy;
-                }
-                out.counters = counters;
-                out.spans = spans;
-                out
-            }));
-        }
-
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("dispatcher threads do not panic"))
-            .collect()
-    });
-
-    if failed.load(Ordering::SeqCst) {
-        return Err(PipelineError::StagePanicked {
-            chunk: failed_chunk.load(Ordering::SeqCst),
-        });
-    }
-
-    // Head entries + tail completions.
-    let entries = &outputs[0].entries;
-    let completions = &outputs[k - 1].completions;
-    let finished = completions.len();
-    if !duration_mode {
-        debug_assert_eq!(entries.len(), total as usize);
-        debug_assert_eq!(finished, total as usize);
-    }
-    let measured_tasks = finished.saturating_sub(cfg.warmup as usize) as u32;
-    if measured_tasks == 0 {
-        return Err(PipelineError::NoTasks);
-    }
-
-    let measure_from = cfg.warmup as usize;
-    // Steady-state window: departure-to-departure, the same convention as
-    // the DES simulator. With warmup the window opens at the last warmup
-    // task's departure and covers `measured_tasks` inter-departure
-    // intervals. Without warmup there is no preceding departure, so it
-    // opens at the *first measured departure* and covers
-    // `measured_tasks - 1` intervals — never at the first entry, which
-    // would charge the pipeline-fill transient to steady-state throughput.
-    // A single task with no warmup degenerates to its entry→exit latency.
-    let mut by_seq: Vec<Instant> = vec![w_fallback(entries); completions.len()];
-    for &(seq, _, at) in completions {
-        by_seq[seq as usize] = at;
-    }
-    let (w_start, intervals) = if measure_from > 0 {
-        (by_seq[measure_from - 1], measured_tasks)
-    } else if finished > 1 {
-        (by_seq[0], measured_tasks - 1)
-    } else {
-        (entries[0], 1)
-    };
-    let w_end = *by_seq.last().expect("at least one completion");
-    let makespan = w_end.saturating_duration_since(w_start);
-    let measured: Vec<Duration> = completions
-        .iter()
-        .filter(|&&(seq, _, _)| seq >= measure_from as u64)
-        .map(|&(_, lat, _)| lat)
-        .collect();
-    let mean_latency = measured.iter().sum::<Duration>() / measured.len().max(1) as u32;
-    let tasks = measured_tasks;
-    let span = makespan.as_secs_f64().max(1e-12);
-    // Busy time clipped to [w_start, w_end]: warmup and fill work outside
-    // the window cannot inflate utilization, which is ≤ 1 by construction
-    // (a dispatcher's spans never overlap each other).
-    let chunk_utilization = outputs
-        .iter()
-        .map(|o| {
-            let in_window: Duration = o
-                .spans
-                .iter()
-                .map(|&(_, t0, t1)| t1.min(w_end).saturating_duration_since(t0.max(w_start)))
-                .sum();
-            in_window.as_secs_f64() / span
-        })
-        .collect();
-    // Timeline and telemetry spans share one epoch: the earliest recorded
-    // instant across all dispatchers.
-    let epoch = outputs
-        .iter()
-        .flat_map(|o| o.spans.iter().map(|&(_, s, _)| s))
-        .min()
-        .unwrap_or(w_start);
-    let timeline = if cfg.record_timeline {
-        outputs
-            .iter()
-            .enumerate()
-            .flat_map(|(ci, o)| {
-                o.spans.iter().map(move |&(task, s, e)| HostTimelineEvent {
-                    chunk: ci,
-                    task,
-                    start_us: s.saturating_duration_since(epoch).as_secs_f64() * 1e6,
-                    end_us: e.saturating_duration_since(epoch).as_secs_f64() * 1e6,
-                })
-            })
-            .collect()
-    } else {
-        Vec::new()
-    };
-    let telemetry = if cfg.telemetry.any() {
-        let mut t = RunTelemetry::new("host");
-        if cfg.telemetry.counters {
-            t.dispatchers = outputs
-                .iter()
-                .enumerate()
-                .map(|(ci, o)| o.counters.stats(format!("chunk{ci}")))
-                .collect();
-        }
-        if cfg.telemetry.spans {
-            let mut rec = SpanRecorder::new(true, epoch);
-            for (ci, o) in outputs.iter().enumerate() {
-                for &(task, s, e) in &o.spans {
-                    rec.record(ci as u32, task, None, s, e);
-                }
-            }
-            t.spans = rec.into_spans();
-        }
-        Some(t)
-    } else {
-        None
-    };
-
-    Ok(HostReport {
-        makespan,
-        time_per_task: makespan / intervals.max(1),
-        mean_task_latency: mean_latency,
-        throughput_hz: intervals.max(1) as f64 / span,
-        chunk_utilization,
-        tasks,
-        timeline,
-        telemetry,
-    })
-}
-
-/// Resilience policy of [`run_host_resilient`].
+/// Resilience policy of [`run_host`]; `None` means fail-fast.
 #[derive(Debug, Clone)]
 pub struct ResilienceConfig {
     /// Per-dispatcher watchdog on blocking input pops. When a dispatcher
     /// starves this long while its producer is still alive, the run is
     /// declared wedged (an upstream kernel is presumed hung), every
-    /// dispatcher unwinds, and the outcome degrades with
+    /// dispatcher unwinds, and the run degrades with
     /// [`DegradeReason::WatchdogTimeout`]. `None` disables the watchdog
     /// (pops still detect dead producers via the SPSC disconnect signal).
     pub watchdog: Option<Duration>,
@@ -680,73 +165,78 @@ impl Default for ResilienceConfig {
     }
 }
 
-/// Why a resilient run degraded.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[non_exhaustive]
-pub enum DegradeReason {
-    /// `chunk` exhausted its per-chunk failure budget
-    /// ([`ResilienceConfig::max_task_failures`]); the head stopped
-    /// admitting and the pipeline drained its in-flight tasks.
-    KernelFailures {
-        /// The chunk whose kernels kept failing.
-        chunk: usize,
-    },
-    /// `chunk`'s dispatcher starved past the watchdog deadline with its
-    /// producer still alive — an upstream kernel is presumed hung, so the
-    /// pipeline unwound without a full drain.
-    WatchdogTimeout {
-        /// The dispatcher that starved (not necessarily the hung one).
-        chunk: usize,
-    },
+enum Msg<P> {
+    Task(Box<TaskObject<P>>),
+    Stop,
 }
 
-/// Outcome of [`run_host_resilient`]: either a clean run or a typed
-/// degradation — never a hang, never a panic escaping the executor.
-///
-/// Accounting invariant: `completed + dropped == submitted`. Tasks that
-/// were in flight when a watchdog unwind discarded them count as dropped.
-#[derive(Debug, Clone)]
-pub enum RunOutcome {
-    /// Every submitted task completed; measurement is equivalent to
-    /// [`run_host`]'s.
-    Completed(HostReport),
-    /// Some tasks were lost. The report covers the tasks that did
-    /// complete; `None` when nothing completed.
-    Degraded {
-        /// Steady-state measurement over completed tasks, if any.
-        report: Option<HostReport>,
-        /// Tasks admitted by the head dispatcher.
-        submitted: u64,
-        /// Tasks that exited the pipeline tail.
-        completed: u64,
-        /// `submitted - completed`: tombstoned by retries-exhausted
-        /// kernels or discarded by a watchdog unwind.
-        dropped: u64,
-        /// What went wrong.
-        reason: DegradeReason,
-    },
+/// Per-dispatcher results collected at join time.
+#[derive(Default)]
+struct ChunkOutput {
+    /// Entry instants per seq (head dispatcher only).
+    entries: Vec<Instant>,
+    /// `(seq, residence, finished_at)` per task (tail dispatcher only).
+    completions: Vec<(u64, Duration, Instant)>,
+    /// `(task, start, end)` of every chunk execution. Always recorded: the
+    /// measurement window is only known after the run, so computing
+    /// in-window busy time (utilization) requires the raw spans.
+    spans: Vec<(u64, Instant, Instant)>,
+    /// Telemetry counters (zeroed unless counter collection is on).
+    counters: DispatcherCounters,
 }
 
-impl RunOutcome {
-    /// The steady-state report, if any tasks completed.
-    pub fn report(&self) -> Option<&HostReport> {
-        match self {
-            RunOutcome::Completed(r) => Some(r),
-            RunOutcome::Degraded { report, .. } => report.as_ref(),
+fn w_fallback(entries: &[Instant]) -> Instant {
+    entries.first().copied().unwrap_or_else(Instant::now)
+}
+
+/// Blocking push that aborts (returning `false`) once the halt flag is
+/// raised, so no dispatcher deadlocks on a dead neighbour's full queue.
+fn push_until<T>(tx: &mut spsc::Producer<T>, mut value: T, halt: &AtomicBool) -> bool {
+    let mut backoff = spsc::Backoff::new();
+    loop {
+        match tx.push(value) {
+            Ok(()) => return true,
+            Err(back) => {
+                if halt.load(Ordering::Relaxed) {
+                    return false;
+                }
+                value = back;
+                backoff.snooze();
+            }
         }
     }
-
-    /// Whether the run degraded.
-    pub fn is_degraded(&self) -> bool {
-        matches!(self, RunOutcome::Degraded { .. })
-    }
 }
 
-/// Degradation signals shared by the resilient dispatchers.
+/// [`push_until`] plus back-pressure accounting and a post-push occupancy
+/// sample of the output queue when counters are enabled.
+fn push_timed<T>(
+    tx: &mut spsc::Producer<T>,
+    value: T,
+    halt: &AtomicBool,
+    count: bool,
+    counters: &mut DispatcherCounters,
+) -> bool {
+    if !count {
+        return push_until(tx, value, halt);
+    }
+    let t0 = Instant::now();
+    let ok = push_until(tx, value, halt);
+    counters.record_blocked_push(t0.elapsed());
+    if ok {
+        counters.sample_queue_depth(tx.len());
+    }
+    ok
+}
+
+/// Degradation signals shared by the dispatchers.
+///
+/// Fail-fast mode uses only `halt` (raised on the first kernel panic);
+/// resilient mode additionally reports typed degradation reasons.
 struct DegradeSignals {
     /// Graceful: the head stops admitting; in-flight tasks drain normally.
     degrade: AtomicBool,
-    /// Hard: every blocking loop aborts promptly (wedged pipeline).
+    /// Hard: every blocking loop aborts promptly (wedged or failed
+    /// pipeline).
     halt: AtomicBool,
     /// Encoded first-reported reason: 0 none, 1 kernel failures, 2
     /// watchdog; `reason_chunk` is only meaningful once `reason_kind != 0`.
@@ -805,14 +295,15 @@ enum ResilientPop<T> {
 }
 
 /// Watchdog-aware blocking pop: waits for an item, a dead producer, the
-/// halt flag, or the watchdog deadline — whichever comes first.
+/// halt flag, or the watchdog deadline — whichever comes first. With no
+/// watchdog it is still halt-aware and disconnect-aware, which is the
+/// fail-fast pop as well.
 fn pop_watchdog<T>(
     rx: &mut spsc::Consumer<T>,
     halt: &AtomicBool,
     watchdog: Option<Duration>,
 ) -> ResilientPop<T> {
     let Some(watchdog) = watchdog else {
-        // No deadline: still halt-aware and disconnect-aware.
         let mut backoff = spsc::Backoff::new();
         loop {
             if let Some(v) = rx.pop() {
@@ -850,35 +341,46 @@ fn pop_watchdog<T>(
     }
 }
 
-/// Executes `schedule` over `app` like [`run_host`], but survives runtime
-/// faults instead of failing the whole run:
+/// Executes `schedule` over `app` on the host with real threads, streaming
+/// `cfg.tasks + cfg.warmup` inputs through the pipeline (or admitting until
+/// [`RunConfig::duration`] elapses).
 ///
-/// - **Bounded retry with backoff**: a panicking stage kernel is retried up
-///   to [`ResilienceConfig::retries`] times (backoff doubling from
-///   [`ResilienceConfig::retry_backoff`]).
-/// - **Tombstoning**: a task whose retries are exhausted is marked
-///   [`TaskObject::dropped`] and keeps flowing, so the object pool never
-///   shrinks; downstream chunks skip it and the tail counts it as dropped.
-/// - **Drain and degrade**: a chunk exceeding
-///   [`ResilienceConfig::max_task_failures`] stops the head; in-flight
-///   tasks complete and the run reports
-///   [`RunOutcome::Degraded`] instead of hanging or panicking.
-/// - **Watchdog**: a dispatcher starving past
+/// `res` selects the failure policy:
+///
+/// - `None` — **fail-fast**: a panicking stage kernel shuts every
+///   dispatcher down and the run errors with
+///   [`PipelineError::StagePanicked`].
+/// - `Some(res)` — **resilient**: never a hang, never a panic escaping the
+///   executor. A panicking kernel is retried up to
+///   [`ResilienceConfig::retries`] times (backoff doubling from
+///   [`ResilienceConfig::retry_backoff`]); a task whose retries are
+///   exhausted is tombstoned ([`TaskObject::dropped`]) and keeps flowing so
+///   the object pool never shrinks; a chunk exceeding
+///   [`ResilienceConfig::max_task_failures`] stops the head and the
+///   pipeline drains; a dispatcher starving past
 ///   [`ResilienceConfig::watchdog`] on a live producer declares the
-///   pipeline wedged and unwinds every thread promptly.
+///   pipeline wedged and unwinds every thread promptly. The run then
+///   reports a [`DegradeReason`] in [`RunReport::degraded`] and dropped
+///   tasks in [`RunReport::dropped`].
+///
+/// The report upholds `completed + dropped == submitted`; tasks in flight
+/// during a watchdog unwind count as dropped. [`RunReport::faults_fired`]
+/// counts tombstoned tasks observed at the tail.
+///
+/// Simulator-only fields of [`RunConfig`] (`seed`, `noise_sigma`,
+/// `service_cache`) are ignored: the host measures wall-clock reality.
 ///
 /// # Errors
 ///
-/// Returns [`PipelineError`] only for configuration errors (stage
-/// mismatch, zero tasks). Runtime faults degrade the [`RunOutcome`]
-/// instead.
-pub fn run_host_resilient<P: Send + 'static>(
+/// Returns [`PipelineError`] for configuration errors (stage mismatch,
+/// zero tasks), a fail-fast kernel panic, or a run that measured nothing.
+pub fn run_host<P: Send + 'static>(
     app: &Application<P>,
     schedule: &Schedule,
     threads: &PuThreads,
-    cfg: &HostRunConfig,
-    res: &ResilienceConfig,
-) -> Result<RunOutcome, PipelineError> {
+    cfg: &RunConfig,
+    res: Option<&ResilienceConfig>,
+) -> Result<RunReport, PipelineError> {
     if schedule.stage_count() != app.stage_count() {
         return Err(PipelineError::StageMismatch {
             app: app.stage_count(),
@@ -891,6 +393,7 @@ pub fn run_host_resilient<P: Send + 'static>(
 
     let chunks = schedule.chunks();
     let k = chunks.len();
+    // In duration mode the head admits tasks until the deadline.
     let duration_mode = cfg.duration.is_some();
     let total = if duration_mode {
         u64::MAX
@@ -898,8 +401,14 @@ pub fn run_host_resilient<P: Send + 'static>(
         (cfg.tasks + cfg.warmup) as u64
     };
     let deadline = cfg.duration.map(|d| Instant::now() + d);
-    let buffers = if cfg.buffers == 0 { k + 1 } else { cfg.buffers };
+    let buffers = if cfg.buffers == 0 {
+        k + 1
+    } else {
+        cfg.buffers as usize
+    };
 
+    // Queues: inter-chunk channels 0..k-1 carry Msg; the recycle channel
+    // carries bare boxes back to the head.
     let mut producers: Vec<Option<spsc::Producer<Msg<P>>>> = Vec::new();
     let mut consumers: Vec<Option<spsc::Consumer<Msg<P>>>> = Vec::new();
     for _ in 1..k {
@@ -916,6 +425,7 @@ pub fn run_host_resilient<P: Send + 'static>(
     }
 
     let signals = DegradeSignals::new();
+    let failed_chunk = AtomicUsize::new(usize::MAX);
     let submitted = AtomicUsize::new(0);
     let tail_dropped = AtomicUsize::new(0);
     let outputs: Vec<ChunkOutput> = std::thread::scope(|scope| {
@@ -946,9 +456,11 @@ pub fn run_host_resilient<P: Send + 'static>(
                 .unwrap_or_default();
 
             let signals = &signals;
+            let failed_chunk = &failed_chunk;
             let submitted = &submitted;
             let tail_dropped = &tail_dropped;
             handles.push(scope.spawn(move || {
+                // Best-effort pinning; worker threads inherit the mask.
                 crate::affinity::pin_current_thread(&pin_cores);
 
                 let mut out = ChunkOutput::default();
@@ -957,6 +469,7 @@ pub fn run_host_resilient<P: Send + 'static>(
                 let mut head_rx = head_rx;
                 let mut tail_tx = tail_tx;
                 let halt = &signals.halt;
+                let watchdog = res.and_then(|r| r.watchdog);
 
                 let count = cfg.telemetry.counters;
                 let mut counters = DispatcherCounters::new();
@@ -964,14 +477,20 @@ pub fn run_host_resilient<P: Send + 'static>(
                 let mut spans: Vec<(u64, Instant, Instant)> = Vec::new();
                 let mut failures = 0u32;
 
-                // One stage execution attempt; retried with doubling
-                // backoff. A task whose attempts are all spent is
-                // tombstoned rather than aborting the pipeline, and a
-                // chunk burning through its failure budget degrades the
-                // run gracefully (the head stops admitting).
-                let mut run_chunk = |obj: &mut TaskObject<P>, ctx: &ParCtx| {
-                    let mut wait = res.retry_backoff;
-                    for attempt in 0..=res.retries {
+                // One task's chunk execution. Returns whether the object
+                // should keep flowing downstream.
+                //
+                // Fail-fast (`res == None`): a single attempt; a panic
+                // records the chunk, halts the pipeline, and returns
+                // `false`. Resilient: retried with doubling backoff; a
+                // task whose attempts are all spent is tombstoned rather
+                // than aborting the pipeline (so it always returns
+                // `true`), and a chunk burning through its failure budget
+                // degrades the run gracefully (the head stops admitting).
+                let mut run_chunk = |obj: &mut TaskObject<P>, ctx: &ParCtx| -> bool {
+                    let retries = res.map_or(0, |r| r.retries);
+                    let mut wait = res.map_or(Duration::ZERO, |r| r.retry_backoff);
+                    for attempt in 0..=retries {
                         if attempt > 0 {
                             std::thread::sleep(wait);
                             wait *= 2;
@@ -986,9 +505,17 @@ pub fn run_host_resilient<P: Send + 'static>(
                         busy += t1 - t0;
                         spans.push((obj.seq, t0, t1));
                         if result.is_ok() {
-                            return;
+                            return true;
                         }
                     }
+                    let Some(res) = res else {
+                        // Fail-fast: first panic ends the run.
+                        failed_chunk
+                            .compare_exchange(usize::MAX, ci, Ordering::SeqCst, Ordering::SeqCst)
+                            .ok();
+                        halt.store(true, Ordering::SeqCst);
+                        return false;
+                    };
                     obj.dropped = true;
                     failures += 1;
                     // Any tombstone makes the run degraded; only a budget
@@ -997,13 +524,14 @@ pub fn run_host_resilient<P: Send + 'static>(
                     if failures > res.max_task_failures {
                         signals.kernel_failures(ci);
                     }
+                    true
                 };
 
                 let pop_in = |rx: &mut spsc::Consumer<Msg<P>>,
                               counters: &mut DispatcherCounters|
                  -> ResilientPop<Msg<P>> {
                     let t0 = count.then(Instant::now);
-                    let r = pop_watchdog(rx, halt, res.watchdog);
+                    let r = pop_watchdog(rx, halt, watchdog);
                     if let Some(t0) = t0 {
                         counters.record_blocked_pop(t0.elapsed());
                     }
@@ -1022,7 +550,7 @@ pub fn run_host_resilient<P: Send + 'static>(
                             }
                         }
                         let t0 = count.then(Instant::now);
-                        let popped = pop_watchdog(rx, halt, res.watchdog);
+                        let popped = pop_watchdog(rx, halt, watchdog);
                         if let Some(t0) = t0 {
                             counters.record_blocked_pop(t0.elapsed());
                         }
@@ -1038,7 +566,9 @@ pub fn run_host_resilient<P: Send + 'static>(
                         app.load_input(&mut obj.payload, seq);
                         out.entries.push(obj.entered.expect("stamped by recycle"));
                         submitted.fetch_add(1, Ordering::Relaxed);
-                        run_chunk(&mut obj, &ctx);
+                        if !run_chunk(&mut obj, &ctx) {
+                            break;
+                        }
                         if is_tail {
                             if obj.dropped {
                                 tail_dropped.fetch_add(1, Ordering::Relaxed);
@@ -1088,8 +618,13 @@ pub fn run_host_resilient<P: Send + 'static>(
                                 if halt.load(Ordering::Relaxed) {
                                     continue; // drain to unblock upstream
                                 }
-                                if !obj.dropped {
-                                    run_chunk(&mut obj, &ctx);
+                                if !obj.dropped && !run_chunk(&mut obj, &ctx) {
+                                    // Fail-fast panic: tell downstream,
+                                    // keep draining to unblock upstream.
+                                    if let Some(tx) = output.as_mut() {
+                                        let _ = push_until(tx, Msg::Stop, halt);
+                                    }
+                                    continue;
                                 }
                                 if is_tail {
                                     if obj.dropped {
@@ -1137,45 +672,65 @@ pub fn run_host_resilient<P: Send + 'static>(
             .collect()
     });
 
+    let panicked = failed_chunk.load(Ordering::SeqCst);
+    if panicked != usize::MAX {
+        return Err(PipelineError::StagePanicked { chunk: panicked });
+    }
+
     let submitted = submitted.load(Ordering::SeqCst) as u64;
     let completed = outputs[k - 1].completions.len() as u64;
     let dropped = submitted - completed;
-    let report = assemble_resilient_report(&outputs, cfg, k);
-
-    match signals.reason() {
-        None if dropped == 0 => {
-            let report = report.ok_or(PipelineError::NoTasks)?;
-            Ok(RunOutcome::Completed(report))
-        }
-        reason => Ok(RunOutcome::Degraded {
-            report,
-            submitted,
-            completed,
-            dropped,
-            // A drop without a recorded signal cannot happen (tombstones
-            // raise the failure path), but degrade defensively if it does.
-            reason: reason.unwrap_or(DegradeReason::KernelFailures { chunk: usize::MAX }),
-        }),
+    debug_assert!(
+        res.is_some() || dropped == 0,
+        "fail-fast run lost tasks without erroring"
+    );
+    if !duration_mode && res.is_none() {
+        debug_assert_eq!(completed, total);
     }
+
+    // A fail-fast run that measured nothing (duration shorter than the
+    // warmup) is an error, like the zero-task configuration; a clean
+    // resilient run likewise has nothing to report without measurements.
+    let finished = outputs[k - 1].completions.len();
+    if res.is_none() && finished.saturating_sub(cfg.warmup as usize) == 0 {
+        return Err(PipelineError::NoTasks);
+    }
+    let degraded = signals.reason();
+    let (stats, timeline, telemetry) = assemble(&outputs, cfg, k);
+    if res.is_some() && degraded.is_none() && dropped == 0 && stats.is_none() {
+        return Err(PipelineError::NoTasks);
+    }
+
+    Ok(RunReport {
+        submitted,
+        completed,
+        dropped,
+        faults_fired: tail_dropped.load(Ordering::SeqCst) as u32,
+        stats,
+        timeline,
+        telemetry,
+        degraded,
+    })
 }
 
-/// Builds the steady-state report of a (possibly degraded) resilient run.
+/// Builds the steady-state measurement of a (possibly degraded) run.
 ///
-/// Unlike [`run_host`]'s assembly, task sequence numbers can be sparse —
-/// dropped tasks leave gaps — so the window is anchored positionally: the
-/// first `warmup` *completions* are excluded as the fill transient, and the
-/// window runs departure-to-departure over the rest. With nothing dropped
-/// this coincides with [`run_host`]'s convention.
-fn assemble_resilient_report(
+/// Task sequence numbers can be sparse — dropped tasks leave gaps — so the
+/// window is anchored positionally: the first `warmup` *completions* are
+/// excluded as the fill transient, and the window runs departure-to-
+/// departure over the rest. With nothing dropped (every clean run) tail
+/// completions arrive in sequence order, so this coincides with the
+/// sequence-indexed convention of the simulator.
+fn assemble(
     outputs: &[ChunkOutput],
-    cfg: &HostRunConfig,
+    cfg: &RunConfig,
     k: usize,
-) -> Option<HostReport> {
+) -> (Option<RunStats>, Vec<TimelineSpan>, Option<RunTelemetry>) {
     let entries = &outputs[0].entries;
     let completions = &outputs[k - 1].completions;
     let n = completions.len();
     if n == 0 {
-        return None;
+        return (None, Vec::new(), None);
     }
     let warmup = cfg.warmup as usize;
     let (w_start, skip, intervals) = if warmup > 0 && n > warmup {
@@ -1191,7 +746,10 @@ fn assemble_resilient_report(
     let mean_latency =
         measured.iter().map(|&(_, lat, _)| lat).sum::<Duration>() / measured.len().max(1) as u32;
     let span = makespan.as_secs_f64().max(1e-12);
-    let chunk_utilization = outputs
+    // Busy time clipped to [w_start, w_end]: warmup and fill work outside
+    // the window cannot inflate utilization, which is ≤ 1 by construction
+    // (a dispatcher's spans never overlap each other).
+    let chunk_utilization: Vec<f64> = outputs
         .iter()
         .map(|o| {
             let in_window: Duration = o
@@ -1202,21 +760,30 @@ fn assemble_resilient_report(
             in_window.as_secs_f64() / span
         })
         .collect();
+    let bottleneck_chunk = chunk_utilization
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map_or(0, |(i, _)| i);
+    // Timeline and telemetry spans share one epoch: the earliest recorded
+    // instant across all dispatchers.
     let epoch = outputs
         .iter()
         .flat_map(|o| o.spans.iter().map(|&(_, s, _)| s))
         .min()
         .unwrap_or(w_start);
+    let us = |at: Instant| at.saturating_duration_since(epoch).as_secs_f64() * 1e6;
     let timeline = if cfg.record_timeline {
         outputs
             .iter()
             .enumerate()
             .flat_map(|(ci, o)| {
-                o.spans.iter().map(move |&(task, s, e)| HostTimelineEvent {
+                o.spans.iter().map(move |&(task, s, e)| TimelineSpan {
                     chunk: ci,
+                    stage: None,
                     task,
-                    start_us: s.saturating_duration_since(epoch).as_secs_f64() * 1e6,
-                    end_us: e.saturating_duration_since(epoch).as_secs_f64() * 1e6,
+                    start_us: us(s),
+                    end_us: us(e),
                 })
             })
             .collect()
@@ -1246,16 +813,17 @@ fn assemble_resilient_report(
         None
     };
 
-    Some(HostReport {
-        makespan,
-        time_per_task: makespan / intervals.max(1),
-        mean_task_latency: mean_latency,
+    let to_us = |d: Duration| Micros::new(d.as_secs_f64() * 1e6);
+    let stats = RunStats {
+        makespan: to_us(makespan),
+        mean_task_latency: to_us(mean_latency),
+        time_per_task: to_us(makespan / intervals.max(1)),
         throughput_hz: f64::from(intervals.max(1)) / span,
         chunk_utilization,
+        bottleneck_chunk,
         tasks: (n - skip) as u32,
-        timeline,
-        telemetry,
-    })
+    };
+    (Some(stats), timeline, telemetry)
 }
 
 #[cfg(test)]
@@ -1298,11 +866,11 @@ mod tests {
         )
     }
 
-    fn cfg(tasks: u32, warmup: u32) -> HostRunConfig {
-        HostRunConfig {
+    fn cfg(tasks: u32, warmup: u32) -> RunConfig {
+        RunConfig {
             tasks,
             warmup,
-            ..HostRunConfig::default()
+            ..RunConfig::default()
         }
     }
 
@@ -1312,8 +880,10 @@ mod tests {
         let counter = Arc::new(AtomicU64::new(0));
         let app = trace_app(5, Arc::clone(&counter));
         let schedule = Schedule::new(vec![BigCpu, BigCpu, MediumCpu, Gpu, Gpu]).unwrap();
-        let report = run_host(&app, &schedule, &PuThreads::uniform(2), &cfg(20, 2)).unwrap();
-        assert_eq!(report.tasks, 20);
+        let report = run_host(&app, &schedule, &PuThreads::uniform(2), &cfg(20, 2), None).unwrap();
+        assert_eq!(report.expect_stats().tasks, 20);
+        assert_eq!(report.completed, report.submitted);
+        assert!(!report.is_degraded());
         // 22 tasks × 5 stages.
         assert_eq!(counter.load(Ordering::Relaxed), 22 * 5);
     }
@@ -1323,10 +893,11 @@ mod tests {
         let counter = Arc::new(AtomicU64::new(0));
         let app = trace_app(3, Arc::clone(&counter));
         let schedule = Schedule::homogeneous(3, bt_soc::PuClass::Gpu);
-        let report = run_host(&app, &schedule, &PuThreads::uniform(1), &cfg(10, 0)).unwrap();
+        let report = run_host(&app, &schedule, &PuThreads::uniform(1), &cfg(10, 0), None).unwrap();
         assert_eq!(counter.load(Ordering::Relaxed), 30);
-        assert!(report.makespan > Duration::ZERO);
-        assert!(report.throughput_hz > 0.0);
+        let stats = report.expect_stats();
+        assert!(stats.makespan.as_f64() > 0.0);
+        assert!(stats.throughput_hz > 0.0);
     }
 
     #[test]
@@ -1334,7 +905,7 @@ mod tests {
         let app = trace_app(3, Arc::new(AtomicU64::new(0)));
         let schedule = Schedule::homogeneous(4, bt_soc::PuClass::BigCpu);
         assert_eq!(
-            run_host(&app, &schedule, &PuThreads::uniform(1), &cfg(1, 0)).unwrap_err(),
+            run_host(&app, &schedule, &PuThreads::uniform(1), &cfg(1, 0), None).unwrap_err(),
             PipelineError::StageMismatch {
                 app: 3,
                 schedule: 4
@@ -1347,7 +918,7 @@ mod tests {
         let app = trace_app(2, Arc::new(AtomicU64::new(0)));
         let schedule = Schedule::homogeneous(2, bt_soc::PuClass::BigCpu);
         assert_eq!(
-            run_host(&app, &schedule, &PuThreads::uniform(1), &cfg(0, 1)).unwrap_err(),
+            run_host(&app, &schedule, &PuThreads::uniform(1), &cfg(0, 1), None).unwrap_err(),
             PipelineError::NoTasks
         );
     }
@@ -1397,22 +968,24 @@ mod tests {
             _ => 5,
         });
         let schedule = Schedule::new(vec![BigCpu, Gpu]).unwrap();
-        let report = run_host(&app, &schedule, &PuThreads::uniform(1), &cfg(10, 3)).unwrap();
+        let report = run_host(&app, &schedule, &PuThreads::uniform(1), &cfg(10, 3), None).unwrap();
+        let stats = report.expect_stats();
         // Chunk 0 works ~1 ms per ~5 ms steady interval. Its total busy
         // time (3×20 ms warmup + 10×1 ms) exceeds the ~45 ms window, so the
         // pre-fix computation reported a clamped 1.0 here.
         assert!(
-            report.chunk_utilization[0] < 0.6,
+            stats.chunk_utilization[0] < 0.6,
             "warmup work leaked into steady-state utilization: {:?}",
-            report.chunk_utilization
+            stats.chunk_utilization
         );
         // The bottleneck chunk runs nearly the whole window.
         assert!(
-            report.chunk_utilization[1] > 0.6,
+            stats.chunk_utilization[1] > 0.6,
             "bottleneck should dominate the window: {:?}",
-            report.chunk_utilization
+            stats.chunk_utilization
         );
-        for &u in &report.chunk_utilization {
+        assert_eq!(stats.bottleneck_chunk, 1);
+        for &u in &stats.chunk_utilization {
             assert!((0.0..=1.0).contains(&u), "clipping bounds utilization");
         }
     }
@@ -1431,23 +1004,24 @@ mod tests {
             _ => 5,
         });
         let schedule = Schedule::new(vec![BigCpu, Gpu]).unwrap();
-        let report = run_host(&app, &schedule, &PuThreads::uniform(1), &cfg(10, 0)).unwrap();
+        let report = run_host(&app, &schedule, &PuThreads::uniform(1), &cfg(10, 0), None).unwrap();
         // Steady-state inter-departure time is ~5 ms (the bottleneck). The
         // pre-fix window averaged the 60 ms fill in, reporting ~11 ms.
+        let tpt = report.expect_stats().time_per_task;
         assert!(
-            report.time_per_task < Duration::from_millis(9),
-            "fill transient leaked into time_per_task: {:?}",
-            report.time_per_task
+            tpt.as_millis() < 9.0,
+            "fill transient leaked into time_per_task: {tpt:?}"
         );
-        assert!(report.time_per_task > Duration::from_millis(3));
+        assert!(tpt.as_millis() > 3.0);
     }
 
     #[test]
     fn telemetry_disabled_reports_none() {
         let app = trace_app(3, Arc::new(AtomicU64::new(0)));
         let schedule = Schedule::homogeneous(3, bt_soc::PuClass::Gpu);
-        let report = run_host(&app, &schedule, &PuThreads::uniform(1), &cfg(5, 1)).unwrap();
+        let report = run_host(&app, &schedule, &PuThreads::uniform(1), &cfg(5, 1), None).unwrap();
         assert!(report.telemetry.is_none());
+        assert!(report.timeline.is_empty());
     }
 
     #[test]
@@ -1455,14 +1029,14 @@ mod tests {
         use bt_soc::PuClass::*;
         let app = trace_app(4, Arc::new(AtomicU64::new(0)));
         let schedule = Schedule::new(vec![BigCpu, BigCpu, Gpu, Gpu]).unwrap();
-        let run = HostRunConfig {
+        let run = RunConfig {
             tasks: 12,
             warmup: 2,
             record_timeline: true,
             telemetry: bt_telemetry::TelemetryConfig::full(),
-            ..HostRunConfig::default()
+            ..RunConfig::default()
         };
-        let report = run_host(&app, &schedule, &PuThreads::uniform(1), &run).unwrap();
+        let report = run_host(&app, &schedule, &PuThreads::uniform(1), &run, None).unwrap();
         let telemetry = report.telemetry.expect("telemetry requested");
         assert_eq!(telemetry.source, "host");
         assert_eq!(telemetry.dispatchers.len(), 2, "one per chunk");
@@ -1478,6 +1052,7 @@ mod tests {
         for (s, e) in telemetry.spans.iter().zip(&report.timeline) {
             assert_eq!(s.track as usize, e.chunk);
             assert_eq!(s.task, e.task);
+            assert_eq!(e.stage, None, "host spans cover whole chunks");
             assert!((s.start_us - e.start_us).abs() < 1e-6);
             assert!((s.end_us - e.end_us).abs() < 1e-6);
         }
@@ -1540,23 +1115,37 @@ mod tests {
     }
 
     #[test]
-    fn resilient_clean_run_completes_like_run_host() {
+    fn fail_fast_mode_surfaces_kernel_panic() {
+        use bt_soc::PuClass::*;
+        let attempts = Arc::new(AtomicU64::new(0));
+        let app = faulty_app(2, |seq, _n| seq == 3, Arc::clone(&attempts));
+        let schedule = Schedule::new(vec![BigCpu, Gpu]).unwrap();
+        assert_eq!(
+            run_host(&app, &schedule, &PuThreads::uniform(1), &cfg(10, 0), None).unwrap_err(),
+            PipelineError::StagePanicked { chunk: 0 }
+        );
+        // No retries in fail-fast mode: seq 3 was attempted exactly once.
+        assert_eq!(attempts.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn resilient_clean_run_completes_like_fail_fast() {
         use bt_soc::PuClass::*;
         let counter = Arc::new(AtomicU64::new(0));
         let app = trace_app(4, Arc::clone(&counter));
         let schedule = Schedule::new(vec![BigCpu, BigCpu, Gpu, Gpu]).unwrap();
-        let outcome = run_host_resilient(
+        let report = run_host(
             &app,
             &schedule,
             &PuThreads::uniform(1),
             &cfg(15, 2),
-            &quick_res(),
+            Some(&quick_res()),
         )
         .unwrap();
-        assert!(!outcome.is_degraded());
-        let report = outcome.report().expect("clean run has a report");
-        assert_eq!(report.tasks, 15);
-        assert!(report.makespan > Duration::ZERO);
+        assert!(!report.is_degraded());
+        assert_eq!(report.completed, report.submitted);
+        assert_eq!(report.expect_stats().tasks, 15);
+        assert!(report.expect_stats().makespan.as_f64() > 0.0);
         assert_eq!(counter.load(Ordering::Relaxed), 17 * 4);
     }
 
@@ -1574,19 +1163,19 @@ mod tests {
             Arc::clone(&attempts),
         );
         let schedule = Schedule::new(vec![BigCpu, Gpu]).unwrap();
-        let outcome = run_host_resilient(
+        let report = run_host(
             &app,
             &schedule,
             &PuThreads::uniform(1),
             &cfg(10, 0),
-            &quick_res(),
+            Some(&quick_res()),
         )
         .unwrap();
         assert!(
-            !outcome.is_degraded(),
+            !report.is_degraded(),
             "retry should absorb a one-shot fault"
         );
-        assert_eq!(outcome.report().unwrap().tasks, 10);
+        assert_eq!(report.expect_stats().tasks, 10);
         // 10 tasks + 1 retried attempt.
         assert_eq!(attempts.load(Ordering::Relaxed), 11);
     }
@@ -1602,23 +1191,24 @@ mod tests {
             retries: 1,
             ..quick_res()
         };
-        let outcome =
-            run_host_resilient(&app, &schedule, &PuThreads::uniform(1), &cfg(12, 0), &res).unwrap();
-        let RunOutcome::Degraded {
-            report,
-            submitted,
-            completed,
-            dropped,
-            reason,
-        } = outcome
-        else {
-            panic!("a tombstoned task must degrade the outcome");
-        };
-        assert_eq!(dropped, 1);
-        assert_eq!(completed + dropped, submitted);
-        assert_eq!(reason, DegradeReason::KernelFailures { chunk: 0 });
-        let report = report.expect("surviving tasks still measured");
-        assert_eq!(u64::from(report.tasks), completed);
+        let report = run_host(
+            &app,
+            &schedule,
+            &PuThreads::uniform(1),
+            &cfg(12, 0),
+            Some(&res),
+        )
+        .unwrap();
+        assert!(report.is_degraded(), "a tombstoned task must degrade");
+        assert_eq!(report.dropped, 1);
+        assert_eq!(report.completed + report.dropped, report.submitted);
+        assert_eq!(report.faults_fired, 1, "one tombstone observed at tail");
+        assert_eq!(
+            report.degraded,
+            Some(DegradeReason::KernelFailures { chunk: 0 })
+        );
+        let stats = report.stats.as_ref().expect("surviving tasks measured");
+        assert_eq!(u64::from(stats.tasks), report.completed);
     }
 
     #[test]
@@ -1633,25 +1223,27 @@ mod tests {
             max_task_failures: 2,
             ..quick_res()
         };
-        let outcome =
-            run_host_resilient(&app, &schedule, &PuThreads::uniform(1), &cfg(1000, 0), &res)
-                .unwrap();
-        let RunOutcome::Degraded {
-            submitted,
-            completed,
-            dropped,
-            reason,
-            ..
-        } = outcome
-        else {
-            panic!("budget overrun must degrade");
-        };
-        assert_eq!(reason, DegradeReason::KernelFailures { chunk: 0 });
+        let report = run_host(
+            &app,
+            &schedule,
+            &PuThreads::uniform(1),
+            &cfg(1000, 0),
+            Some(&res),
+        )
+        .unwrap();
+        assert_eq!(
+            report.degraded,
+            Some(DegradeReason::KernelFailures { chunk: 0 })
+        );
         // The head stopped admitting shortly after the third failure
         // instead of burning through all 1000 tasks.
-        assert!(submitted < 1000, "head kept admitting: {submitted}");
-        assert_eq!(completed, 3, "seqs 0..3 complete");
-        assert_eq!(completed + dropped, submitted);
+        assert!(
+            report.submitted < 1000,
+            "head kept admitting: {}",
+            report.submitted
+        );
+        assert_eq!(report.completed, 3, "seqs 0..3 complete");
+        assert_eq!(report.completed + report.dropped, report.submitted);
     }
 
     #[test]
@@ -1669,21 +1261,21 @@ mod tests {
             ..quick_res()
         };
         let t0 = Instant::now();
-        let outcome =
-            run_host_resilient(&app, &schedule, &PuThreads::uniform(1), &cfg(50, 0), &res).unwrap();
+        let report = run_host(
+            &app,
+            &schedule,
+            &PuThreads::uniform(1),
+            &cfg(50, 0),
+            Some(&res),
+        )
+        .unwrap();
         let elapsed = t0.elapsed();
-        let RunOutcome::Degraded {
-            submitted,
-            completed,
-            dropped,
-            reason,
-            ..
-        } = outcome
-        else {
-            panic!("a wedged pipeline must degrade, not hang");
-        };
-        assert_eq!(reason, DegradeReason::WatchdogTimeout { chunk: 1 });
-        assert_eq!(completed + dropped, submitted);
+        assert!(report.is_degraded(), "a wedged pipeline must degrade");
+        assert_eq!(
+            report.degraded,
+            Some(DegradeReason::WatchdogTimeout { chunk: 1 })
+        );
+        assert_eq!(report.completed + report.dropped, report.submitted);
         assert!(
             elapsed < Duration::from_secs(5),
             "watchdog unwind took {elapsed:?}"

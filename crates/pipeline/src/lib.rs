@@ -4,19 +4,22 @@
 //! chunk) pass recycled [`TaskObject`]s through lock-free SPSC queues,
 //! with best-effort thread pinning to the chunk's CPU cluster.
 //!
-//! Two executors share the [`Schedule`] abstraction:
+//! Two executors share the [`Schedule`] abstraction, one [`RunConfig`],
+//! and one [`RunReport`]:
 //!
 //! - [`run_host`] — real threads on the development machine, running the
 //!   actual kernels from `bt-kernels` (demonstrates the runtime substrate
-//!   end to end).
+//!   end to end). Pass `Some(&ResilienceConfig)` for fault-tolerant
+//!   execution, `None` for fail-fast.
 //! - [`simulate_schedule`] — the discrete-event simulator of `bt-soc`,
 //!   producing the "measured on device" numbers of the paper's
-//!   experiments.
+//!   experiments. Pass `Some(&FaultSpec)` to inject faults.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod affinity;
+pub mod compat;
 mod executor;
 mod measure;
 mod schedule;
@@ -25,11 +28,16 @@ pub mod spsc;
 mod usm;
 
 pub use affinity::{current_affinity, pin_current_thread};
-pub use executor::{
-    run_host, run_host_resilient, DegradeReason, HostReport, HostRunConfig, HostTimelineEvent,
-    PipelineError, PuThreads, ResilienceConfig, RunOutcome,
+#[allow(deprecated)]
+pub use compat::{
+    run_host_resilient, simulate_schedule_faulted, HostReport, HostRunConfig, HostTimelineEvent,
+    RunOutcome,
 };
+pub use executor::{run_host, PipelineError, PuThreads, ResilienceConfig};
 pub use measure::Measurement;
 pub use schedule::{ChunkAssignment, Schedule, ScheduleError};
-pub use sim::{simulate_baseline, simulate_schedule, simulate_schedule_faulted, to_chunk_specs};
+pub use sim::{simulate_baseline, simulate_schedule, to_chunk_specs};
+// The shared run vocabulary, re-exported so runtime consumers need not
+// depend on bt-soc directly.
+pub use bt_soc::{DegradeReason, RunConfig, RunReport, RunStats, TimelineSpan};
 pub use usm::{TaskObject, UsmBuffer};

@@ -6,18 +6,16 @@
 
 use std::time::Duration;
 
-use bt_soc::des::DesReport;
-use bt_soc::Micros;
+use bt_soc::{Micros, RunReport};
 use bt_telemetry::RunTelemetry;
-
-use crate::HostReport;
 
 /// Steady-state measurement of one pipeline run, in the simulator's
 /// microsecond vocabulary regardless of the executing substrate.
 ///
-/// Produced from a [`DesReport`] (virtual time) or a [`HostReport`]
-/// (wall-clock time) via `From`; downstream consumers — autotuning,
-/// baseline comparison, energy accounting — treat both identically.
+/// Produced from the unified [`RunReport`] via [`Measurement::from_run`]
+/// (both executors emit µs there already); downstream consumers —
+/// autotuning, baseline comparison, energy accounting — treat simulated
+/// and host runs identically.
 #[derive(Debug, Clone)]
 pub struct Measurement {
     /// Steady-state inverse throughput (the paper's pipeline latency):
@@ -38,12 +36,30 @@ pub struct Measurement {
     pub telemetry: Option<RunTelemetry>,
 }
 
+impl Measurement {
+    /// Projects the steady-state window of a unified report, consuming it;
+    /// `None` when the run completed no tasks (fully degraded).
+    pub fn from_run(report: RunReport) -> Option<Measurement> {
+        let s = report.stats?;
+        Some(Measurement {
+            latency: s.time_per_task,
+            makespan: s.makespan,
+            mean_task_latency: s.mean_task_latency,
+            throughput_hz: s.throughput_hz,
+            chunk_utilization: s.chunk_utilization,
+            tasks: s.tasks,
+            telemetry: report.telemetry,
+        })
+    }
+}
+
 fn duration_us(d: Duration) -> Micros {
     Micros::new(d.as_secs_f64() * 1e6)
 }
 
-impl From<DesReport> for Measurement {
-    fn from(r: DesReport) -> Measurement {
+#[allow(deprecated)]
+impl From<bt_soc::compat::DesReport> for Measurement {
+    fn from(r: bt_soc::compat::DesReport) -> Measurement {
         Measurement {
             latency: r.time_per_task,
             makespan: r.makespan,
@@ -56,8 +72,9 @@ impl From<DesReport> for Measurement {
     }
 }
 
-impl From<HostReport> for Measurement {
-    fn from(r: HostReport) -> Measurement {
+#[allow(deprecated)]
+impl From<crate::compat::HostReport> for Measurement {
+    fn from(r: crate::compat::HostReport) -> Measurement {
         Measurement {
             latency: duration_us(r.time_per_task),
             makespan: duration_us(r.makespan),
@@ -73,23 +90,48 @@ impl From<HostReport> for Measurement {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bt_soc::RunStats;
 
     #[test]
-    fn host_report_converts_to_micros() {
-        let m = Measurement::from(HostReport {
-            makespan: Duration::from_millis(10),
-            time_per_task: Duration::from_millis(2),
-            mean_task_latency: Duration::from_micros(2500),
-            throughput_hz: 500.0,
-            chunk_utilization: vec![0.9, 0.4],
-            tasks: 5,
+    fn from_run_projects_stats_in_micros() {
+        let report = RunReport {
+            submitted: 7,
+            completed: 7,
+            dropped: 0,
+            faults_fired: 0,
+            stats: Some(RunStats {
+                makespan: Micros::new(10_000.0),
+                mean_task_latency: Micros::new(2500.0),
+                time_per_task: Micros::new(2000.0),
+                throughput_hz: 500.0,
+                chunk_utilization: vec![0.9, 0.4],
+                bottleneck_chunk: 0,
+                tasks: 5,
+            }),
             timeline: Vec::new(),
             telemetry: None,
-        });
+            degraded: None,
+        };
+        let m = Measurement::from_run(report).expect("stats present");
         assert!((m.makespan.as_millis() - 10.0).abs() < 1e-9);
         assert!((m.latency.as_millis() - 2.0).abs() < 1e-9);
         assert!((m.mean_task_latency.as_f64() - 2500.0).abs() < 1e-9);
         assert_eq!(m.tasks, 5);
         assert_eq!(m.chunk_utilization, vec![0.9, 0.4]);
+    }
+
+    #[test]
+    fn fully_degraded_run_measures_nothing() {
+        let report = RunReport {
+            submitted: 3,
+            completed: 0,
+            dropped: 3,
+            faults_fired: 3,
+            stats: None,
+            timeline: Vec::new(),
+            telemetry: None,
+            degraded: Some(bt_soc::DegradeReason::KernelFailures { chunk: 0 }),
+        };
+        assert!(Measurement::from_run(report).is_none());
     }
 }

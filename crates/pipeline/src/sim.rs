@@ -2,8 +2,8 @@
 //! virtual-device counterpart of [`crate::run_host`].
 
 use bt_kernels::AppModel;
-use bt_soc::des::{self, ChunkSpec, DesConfig, DesReport};
-use bt_soc::{FaultSpec, FaultedDesReport, SocError, SocSpec};
+use bt_soc::des::{self, ChunkSpec};
+use bt_soc::{FaultSpec, RunConfig, RunReport, SocError, SocSpec};
 
 use crate::{PipelineError, Schedule};
 
@@ -40,7 +40,11 @@ pub fn to_chunk_specs(
 }
 
 /// Simulates pipelined execution of `schedule` over `app` on `soc` — the
-/// "measured" latency of the reproduction's experiments.
+/// "measured" latency of the reproduction's experiments. Pass
+/// `Some(faults)` to inject runtime faults (the virtual-device counterpart
+/// of resilient host execution); the returned [`RunReport`] carries the
+/// completed/dropped accounting alongside the steady-state measurement
+/// over surviving tasks.
 ///
 /// # Errors
 ///
@@ -51,30 +55,11 @@ pub fn simulate_schedule(
     soc: &SocSpec,
     app: &AppModel,
     schedule: &Schedule,
-    cfg: &DesConfig,
-) -> Result<DesReport, PipelineError> {
+    cfg: &RunConfig,
+    faults: Option<&FaultSpec>,
+) -> Result<RunReport, PipelineError> {
     let chunks = to_chunk_specs(app, schedule)?;
-    Ok(des::simulate(soc, &chunks, cfg)?)
-}
-
-/// Simulates pipelined execution of `schedule` under injected faults —
-/// the virtual-device counterpart of [`crate::run_host_resilient`]. The
-/// returned [`FaultedDesReport`] carries the completed/dropped accounting
-/// alongside the steady-state measurement over surviving tasks.
-///
-/// # Errors
-///
-/// Returns [`PipelineError::StageMismatch`] on a schedule/application
-/// stage disagreement, or [`PipelineError::Soc`] from the simulator.
-pub fn simulate_schedule_faulted(
-    soc: &SocSpec,
-    app: &AppModel,
-    schedule: &Schedule,
-    cfg: &DesConfig,
-    faults: &FaultSpec,
-) -> Result<FaultedDesReport, PipelineError> {
-    let chunks = to_chunk_specs(app, schedule)?;
-    Ok(des::simulate_faulted(soc, &chunks, cfg, faults)?)
+    Ok(des::simulate(soc, &chunks, cfg, faults)?)
 }
 
 /// Simulates the paper's homogeneous baseline: every stage offloaded to a
@@ -89,10 +74,10 @@ pub fn simulate_baseline(
     soc: &SocSpec,
     app: &AppModel,
     class: bt_soc::PuClass,
-    cfg: &DesConfig,
-) -> Result<DesReport, SocError> {
+    cfg: &RunConfig,
+) -> Result<RunReport, SocError> {
     let chunk = ChunkSpec::new(class, app.works()).with_per_stage_sync();
-    des::simulate(soc, &[chunk], cfg)
+    des::simulate(soc, &[chunk], cfg, None)
 }
 
 #[cfg(test)]
@@ -105,11 +90,19 @@ mod tests {
         apps::octree_app(apps::OctreeConfig::default()).model()
     }
 
-    fn noiseless() -> DesConfig {
-        DesConfig {
+    fn noiseless() -> RunConfig {
+        RunConfig {
             noise_sigma: 0.0,
-            ..DesConfig::default()
+            ..RunConfig::default()
         }
+    }
+
+    fn tpt(soc: &SocSpec, app: &AppModel, schedule: &Schedule) -> f64 {
+        simulate_schedule(soc, app, schedule, &noiseless(), None)
+            .unwrap()
+            .expect_stats()
+            .time_per_task
+            .as_f64()
     }
 
     #[test]
@@ -144,7 +137,7 @@ mod tests {
         );
         let soc = devices::pixel_7a();
         assert!(matches!(
-            simulate_schedule(&soc, &app, &schedule, &noiseless()).unwrap_err(),
+            simulate_schedule(&soc, &app, &schedule, &noiseless(), None).unwrap_err(),
             crate::PipelineError::StageMismatch { .. }
         ));
     }
@@ -155,7 +148,7 @@ mod tests {
         let app = octree_model();
         let soc = devices::pixel_7a();
         let homog = Schedule::homogeneous(7, BigCpu);
-        let base = simulate_schedule(&soc, &app, &homog, &noiseless()).unwrap();
+        let base = tpt(&soc, &app, &homog);
 
         let candidates = [
             vec![BigCpu, BigCpu, MediumCpu, Gpu, Gpu, LittleCpu, LittleCpu],
@@ -167,17 +160,11 @@ mod tests {
         let best = candidates
             .iter()
             .filter_map(|a| Schedule::new(a.clone()).ok())
-            .map(|s| {
-                simulate_schedule(&soc, &app, &s, &noiseless())
-                    .unwrap()
-                    .time_per_task
-            })
-            .fold(f64::MAX, |acc, t| acc.min(t.as_f64()));
+            .map(|s| tpt(&soc, &app, &s))
+            .fold(f64::MAX, f64::min);
         assert!(
-            best < base.time_per_task.as_f64(),
-            "some pipeline should beat homogeneous: best {} vs base {}",
-            best,
-            base.time_per_task.as_f64()
+            best < base,
+            "some pipeline should beat homogeneous: best {best} vs base {base}"
         );
     }
 
@@ -186,6 +173,6 @@ mod tests {
         let app = octree_model();
         let soc = devices::jetson_orin_nano();
         let schedule = Schedule::new(vec![PuClass::LittleCpu; 7]).unwrap();
-        assert!(simulate_schedule(&soc, &app, &schedule, &noiseless()).is_err());
+        assert!(simulate_schedule(&soc, &app, &schedule, &noiseless(), None).is_err());
     }
 }

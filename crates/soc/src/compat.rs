@@ -1,0 +1,224 @@
+//! Deprecated pre-unification API surface, kept one release as thin shims.
+//!
+//! PR 5 collapsed the forked engine entry points
+//! (`simulate`/`simulate_faulted`, `simulate_dynamic`/
+//! `simulate_dynamic_faulted`) and their parallel type families
+//! (`DesConfig`, `DesReport`, `TimelineEvent`, `FaultedDesReport`) into the
+//! shared run model of [`crate::run`]. Everything here converts to or from
+//! that model and will be removed in the release after next.
+
+#![allow(deprecated)]
+
+use bt_telemetry::RunTelemetry;
+
+use crate::des::{self, ChunkSpec};
+use crate::des_dynamic::{self, DynamicPolicy};
+use crate::fault::FaultSpec;
+use crate::run::{RunConfig, RunReport, TimelineSpan};
+use crate::{Micros, SocError, SocSpec, WorkProfile};
+
+/// Former simulator configuration, now the shared [`RunConfig`].
+#[deprecated(since = "0.2.0", note = "use bt_soc::RunConfig")]
+pub type DesConfig = RunConfig;
+
+/// Former simulator timeline entry; superseded by [`TimelineSpan`].
+#[deprecated(since = "0.2.0", note = "use bt_soc::TimelineSpan")]
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimelineEvent {
+    /// Chunk index.
+    pub chunk: usize,
+    /// Stage index within the chunk.
+    pub stage: usize,
+    /// Task sequence number.
+    pub task: usize,
+    /// Start of the execution, µs of virtual time.
+    pub start: f64,
+    /// End of the execution, µs of virtual time.
+    pub end: f64,
+}
+
+impl From<TimelineEvent> for crate::gantt::GanttSpan {
+    fn from(e: TimelineEvent) -> crate::gantt::GanttSpan {
+        crate::gantt::GanttSpan {
+            chunk: e.chunk,
+            task: e.task as u64,
+            start: e.start,
+            end: e.end,
+        }
+    }
+}
+
+impl From<TimelineSpan> for TimelineEvent {
+    fn from(s: TimelineSpan) -> TimelineEvent {
+        TimelineEvent {
+            chunk: s.chunk,
+            stage: s.stage.unwrap_or(0),
+            task: s.task as usize,
+            start: s.start_us,
+            end: s.end_us,
+        }
+    }
+}
+
+/// Former clean-run simulator report; superseded by
+/// [`RunReport`]/[`crate::run::RunStats`].
+#[deprecated(since = "0.2.0", note = "use bt_soc::RunReport")]
+#[derive(Debug, Clone)]
+pub struct DesReport {
+    /// Steady-state window length, µs.
+    pub makespan: Micros,
+    /// Mean per-task residence time, µs.
+    pub mean_task_latency: Micros,
+    /// Steady-state inverse throughput, µs.
+    pub time_per_task: Micros,
+    /// Tasks completed per second.
+    pub throughput_hz: f64,
+    /// Busy fraction of the window per chunk.
+    pub chunk_utilization: Vec<f64>,
+    /// Index of the busiest chunk.
+    pub bottleneck_chunk: usize,
+    /// Measured task count.
+    pub tasks: u32,
+    /// Recorded executions (empty unless requested).
+    pub timeline: Vec<TimelineEvent>,
+    /// Collected telemetry, if enabled.
+    pub telemetry: Option<RunTelemetry>,
+}
+
+/// Projects a unified report onto the legacy clean-run shape
+/// (`None` when nothing completed).
+fn des_report(r: RunReport) -> Option<DesReport> {
+    let stats = r.stats?;
+    Some(DesReport {
+        makespan: stats.makespan,
+        mean_task_latency: stats.mean_task_latency,
+        time_per_task: stats.time_per_task,
+        throughput_hz: stats.throughput_hz,
+        chunk_utilization: stats.chunk_utilization,
+        bottleneck_chunk: stats.bottleneck_chunk,
+        tasks: stats.tasks,
+        timeline: r.timeline.into_iter().map(Into::into).collect(),
+        telemetry: r.telemetry,
+    })
+}
+
+/// Former faulted-simulation report; superseded by [`RunReport`], whose
+/// accounting triple it mirrors.
+#[deprecated(since = "0.2.0", note = "use bt_soc::RunReport")]
+#[derive(Debug, Clone)]
+pub struct FaultedDesReport {
+    /// Steady-state measurement over completed tasks; `None` when nothing
+    /// completed.
+    pub report: Option<DesReport>,
+    /// Tasks admitted at the pipeline head.
+    pub submitted: u32,
+    /// Tasks that exited the pipeline tail.
+    pub completed: u32,
+    /// Tasks dropped by kernel errors or PU loss.
+    pub dropped: u32,
+    /// Discrete fault activations observed.
+    pub faults_fired: u32,
+}
+
+impl FaultedDesReport {
+    /// Whether the run degraded (any task was dropped).
+    pub fn degraded(&self) -> bool {
+        self.dropped > 0
+    }
+}
+
+impl From<RunReport> for FaultedDesReport {
+    fn from(r: RunReport) -> FaultedDesReport {
+        FaultedDesReport {
+            submitted: r.submitted as u32,
+            completed: r.completed as u32,
+            dropped: r.dropped as u32,
+            faults_fired: r.faults_fired,
+            report: des_report(r),
+        }
+    }
+}
+
+/// Former faulted entry point of the static simulator.
+#[deprecated(since = "0.2.0", note = "use bt_soc::des::simulate with Some(&faults)")]
+pub fn simulate_faulted(
+    soc: &SocSpec,
+    chunks: &[ChunkSpec],
+    cfg: &RunConfig,
+    faults: &FaultSpec,
+) -> Result<FaultedDesReport, SocError> {
+    des::simulate(soc, chunks, cfg, Some(faults)).map(Into::into)
+}
+
+/// Former faulted entry point of the dynamic simulator.
+#[deprecated(
+    since = "0.2.0",
+    note = "use bt_soc::des_dynamic::simulate_dynamic with Some(&faults)"
+)]
+pub fn simulate_dynamic_faulted(
+    soc: &SocSpec,
+    stages: &[WorkProfile],
+    cfg: &RunConfig,
+    policy: DynamicPolicy,
+    faults: &FaultSpec,
+) -> Result<FaultedDesReport, SocError> {
+    des_dynamic::simulate_dynamic(soc, stages, cfg, policy, Some(faults)).map(Into::into)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{StageFault, StageFaultKind};
+    use crate::{devices, PuClass};
+
+    #[test]
+    fn shims_project_the_unified_report_faithfully() {
+        let soc = devices::pixel_7a();
+        let chunks = [
+            ChunkSpec::new(PuClass::BigCpu, vec![WorkProfile::new(1e7, 2e6)]),
+            ChunkSpec::new(PuClass::Gpu, vec![WorkProfile::new(8e6, 2e6)]),
+        ];
+        let cfg = RunConfig {
+            noise_sigma: 0.0,
+            ..RunConfig::default()
+        };
+        let spec = FaultSpec {
+            stage_faults: vec![StageFault {
+                chunk: 0,
+                task: 9,
+                stage: 0,
+                kind: StageFaultKind::Error,
+            }],
+            ..FaultSpec::default()
+        };
+        let unified = des::simulate(&soc, &chunks, &cfg, Some(&spec)).unwrap();
+        let legacy = simulate_faulted(&soc, &chunks, &cfg, &spec).unwrap();
+        assert_eq!(u64::from(legacy.submitted), unified.submitted);
+        assert_eq!(u64::from(legacy.completed), unified.completed);
+        assert_eq!(u64::from(legacy.dropped), unified.dropped);
+        assert!(legacy.degraded());
+        let (l, u) = (legacy.report.unwrap(), unified.expect_stats());
+        assert_eq!(l.makespan.as_f64(), u.makespan.as_f64());
+        assert_eq!(l.chunk_utilization, u.chunk_utilization);
+
+        let dynamic =
+            simulate_dynamic_faulted(&soc, &chunks[0].stages, &cfg, DynamicPolicy::Fifo, &spec)
+                .unwrap();
+        assert_eq!(dynamic.completed + dynamic.dropped, dynamic.submitted);
+    }
+
+    #[test]
+    fn timeline_events_convert_from_spans() {
+        let span = TimelineSpan {
+            chunk: 2,
+            stage: Some(1),
+            task: 13,
+            start_us: 1.0,
+            end_us: 2.0,
+        };
+        let e = TimelineEvent::from(span);
+        assert_eq!(e.chunk, 2);
+        assert_eq!(e.stage, 1);
+        assert_eq!(e.task, 13);
+    }
+}

@@ -7,6 +7,11 @@
 //! circulates through the chunks and back to the head (multi-buffering with
 //! recycling).
 //!
+//! One engine serves both fault-free and faulted runs: [`simulate`] takes
+//! an `Option<&FaultSpec>`, and with `None` every fault lookup is skipped
+//! behind a single predictable branch — a golden-fixture suite pins the
+//! fault-free path bit-identically to the pre-unification clean engine.
+//!
 //! Fidelity detail that matters for the paper's results: when a chunk starts
 //! a *stage*, its service time is computed against the set of PUs busy **at
 //! that instant** (their current stage's class and bandwidth demand). Real
@@ -18,11 +23,16 @@
 use std::collections::{HashMap, VecDeque};
 use std::time::Duration;
 
-use bt_telemetry::{DispatcherCounters, RunTelemetry, SpanRecorder, TelemetryConfig};
+use bt_telemetry::{DispatcherCounters, RunTelemetry, SpanRecorder};
 
 use crate::cost;
-use crate::fault::{FaultSpec, FaultedDesReport, StageFaultKind};
+use crate::fault::{FaultSpec, StageFaultKind};
+use crate::run::{RunConfig, RunReport, RunStats, TimelineSpan};
 use crate::{ActiveKernel, Micros, NoiseModel, PuClass, PuSpec, SocError, SocSpec, WorkProfile};
+
+// Pre-unification names, re-exported one release under their old paths.
+#[allow(deprecated)]
+pub use crate::compat::{simulate_faulted, DesConfig, DesReport, TimelineEvent};
 
 /// One pipeline chunk: a PU class plus the stages it executes in order.
 #[derive(Debug, Clone)]
@@ -57,99 +67,6 @@ impl ChunkSpec {
         self.sync_per_stage = true;
         self
     }
-}
-
-/// Configuration of one simulated pipeline run.
-#[derive(Debug, Clone)]
-pub struct DesConfig {
-    /// Measured tasks (the paper uses 30 per run).
-    pub tasks: u32,
-    /// Warmup tasks excluded from measurement.
-    pub warmup: u32,
-    /// Circulating task objects (multi-buffering depth). Defaults to
-    /// `chunks + 1` when 0.
-    pub buffers: u32,
-    /// Seed for the measurement-noise stream.
-    pub seed: u64,
-    /// Log-scale sigma of multiplicative measurement noise.
-    pub noise_sigma: f64,
-    /// Record a per-stage execution timeline (for Gantt-style inspection).
-    pub record_timeline: bool,
-    /// What telemetry to collect (off by default; the disabled path costs
-    /// one branch per instrumentation point).
-    pub telemetry: TelemetryConfig,
-    /// Memoize base service times per (chunk, stage, busy-set) key.
-    ///
-    /// The co-runner space is tiny — each chunk is either idle or on one of
-    /// its stages — so steady-state pipelines revisit the same interference
-    /// contexts thousands of times. The cache stores the *noiseless* roofline
-    /// latency; per-event measurement noise is applied after lookup, so a
-    /// cached run is bit-identical to an uncached one. On by default;
-    /// disable to A/B-test the model directly.
-    pub service_cache: bool,
-}
-
-impl Default for DesConfig {
-    fn default() -> DesConfig {
-        DesConfig {
-            tasks: 30,
-            warmup: 5,
-            buffers: 0,
-            seed: 0,
-            noise_sigma: 0.02,
-            record_timeline: false,
-            telemetry: TelemetryConfig::OFF,
-            service_cache: true,
-        }
-    }
-}
-
-/// One recorded stage execution (only when
-/// [`DesConfig::record_timeline`] is set).
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct TimelineEvent {
-    /// Which chunk executed.
-    pub chunk: usize,
-    /// Stage index *within* the chunk.
-    pub stage: usize,
-    /// Task sequence number.
-    pub task: usize,
-    /// Virtual start time (µs).
-    pub start: f64,
-    /// Virtual end time (µs).
-    pub end: f64,
-}
-
-/// Result of a simulated pipeline run.
-#[derive(Debug, Clone)]
-pub struct DesReport {
-    /// Virtual time between the first measured task's departure and the
-    /// last task's departure (steady-state window, excluding pipeline
-    /// fill).
-    pub makespan: Micros,
-    /// Mean per-task residence time (entry into chunk 0 → exit from the
-    /// last chunk) over measured tasks.
-    pub mean_task_latency: Micros,
-    /// Steady-state inverse throughput (mean inter-departure time over the
-    /// measured window). This is the quantity the paper reports as
-    /// pipeline latency and compares against the predicted bottleneck
-    /// `T_max`.
-    pub time_per_task: Micros,
-    /// Tasks completed per second of virtual time.
-    pub throughput_hz: f64,
-    /// Fraction of the measured window each chunk spent busy (busy time
-    /// clipped to the window, so warmup and fill work cannot inflate it).
-    pub chunk_utilization: Vec<f64>,
-    /// Index of the chunk with the highest utilization.
-    pub bottleneck_chunk: usize,
-    /// Number of measured tasks.
-    pub tasks: u32,
-    /// Per-stage execution records (empty unless
-    /// [`DesConfig::record_timeline`] was set).
-    pub timeline: Vec<TimelineEvent>,
-    /// Collected telemetry (`None` unless [`DesConfig::telemetry`] enables
-    /// something).
-    pub telemetry: Option<RunTelemetry>,
 }
 
 /// The pending completion events, one slot per chunk.
@@ -208,10 +125,6 @@ struct InFlight {
     /// (class, bw demand) advertised to co-runners while this stage runs.
     demand: f64,
 }
-
-/// Signature of the service-time sampler threaded through the event loop:
-/// `(chunk, stage, states) → (service µs, bandwidth demand GB/s)`.
-type ServiceFn<'a> = dyn FnMut(usize, usize, &[ChunkState]) -> (f64, f64) + 'a;
 
 #[derive(Debug)]
 struct ChunkState {
@@ -392,325 +305,14 @@ impl<'a> ServiceModel<'a> {
     }
 }
 
-/// Simulates pipelined execution of `chunks` on `soc`.
+/// The mode-parameterized pipeline engine behind [`simulate`].
 ///
-/// # Errors
-///
-/// Returns [`SocError::EmptySimulation`] if `chunks` is empty, any chunk has
-/// no stages, or `cfg.tasks == 0`; [`SocError::MissingPu`] if a chunk names
-/// a PU class the device lacks.
-pub fn simulate(
-    soc: &SocSpec,
-    chunks: &[ChunkSpec],
-    cfg: &DesConfig,
-) -> Result<DesReport, SocError> {
-    if chunks.is_empty() || cfg.tasks == 0 || chunks.iter().any(|c| c.stages.is_empty()) {
-        return Err(SocError::EmptySimulation);
-    }
-    for chunk in chunks {
-        soc.try_pu(chunk.pu)?;
-    }
-
-    let n_chunks = chunks.len();
-    let total_tasks = (cfg.tasks + cfg.warmup) as usize;
-    let buffers = if cfg.buffers == 0 {
-        n_chunks + 1
-    } else {
-        cfg.buffers as usize
-    };
-    let mut noise = NoiseModel::new(cfg.noise_sigma, cfg.seed);
-
-    let mut states: Vec<ChunkState> = (0..n_chunks)
-        .map(|_| ChunkState {
-            input: VecDeque::with_capacity(buffers),
-            busy: None,
-            busy_since: 0.0,
-            // One span per task served; sized up front so the event loop
-            // never reallocates it.
-            busy_spans: Vec::with_capacity(total_tasks),
-        })
-        .collect();
-    // All task objects begin recycled at the head of the pipeline.
-    for _ in 0..buffers {
-        states[0].input.push_back(usize::MAX); // placeholder: object slot
-    }
-
-    let mut started = 0usize;
-    let mut completed = 0usize;
-    let mut entry_time = vec![0.0f64; total_tasks];
-    let mut exit_time = vec![0.0f64; total_tasks];
-    let mut events = EventSlots::new(n_chunks);
-    let mut now = 0.0f64;
-    // Per-stage events feed both the report timeline and telemetry spans;
-    // both buffers stay unallocated when nothing consumes them.
-    let collect_timeline = cfg.record_timeline || cfg.telemetry.spans;
-    let mut timeline: Vec<TimelineEvent> = if collect_timeline {
-        let total_stages: usize = chunks.iter().map(|c| c.stages.len()).sum();
-        Vec::with_capacity(total_tasks * total_stages)
-    } else {
-        Vec::new()
-    };
-    let tele_counters = cfg.telemetry.counters;
-    let mut counters: Vec<DispatcherCounters> = if tele_counters {
-        vec![DispatcherCounters::new(); n_chunks]
-    } else {
-        Vec::new()
-    };
-
-    let measure_from = cfg.warmup as usize;
-
-    // Service-time computation against the instantaneous busy set.
-    let mut model = ServiceModel::new(soc, chunks, cfg.service_cache);
-
-    // Try to start the next task/stage on an idle chunk.
-    #[allow(clippy::too_many_arguments)]
-    fn try_start(
-        chunk_idx: usize,
-        now: f64,
-        states: &mut [ChunkState],
-        events: &mut EventSlots,
-        started: &mut usize,
-        total_tasks: usize,
-        entry_time: &mut [f64],
-        service: &mut ServiceFn<'_>,
-        timeline: Option<&mut Vec<TimelineEvent>>,
-    ) {
-        if states[chunk_idx].busy.is_some() || states[chunk_idx].input.is_empty() {
-            return;
-        }
-        // The head chunk converts recycled objects into fresh tasks.
-        let task = if chunk_idx == 0 {
-            if *started >= total_tasks {
-                return; // stream exhausted
-            }
-            states[chunk_idx].input.pop_front();
-            let t = *started;
-            *started += 1;
-            entry_time[t] = now;
-            t
-        } else {
-            states[chunk_idx]
-                .input
-                .pop_front()
-                .expect("checked non-empty")
-        };
-        let (dt, demand) = service(chunk_idx, 0, states);
-        states[chunk_idx].busy = Some(InFlight {
-            task,
-            stage: 0,
-            demand,
-        });
-        states[chunk_idx].busy_since = now;
-        events.push(chunk_idx, now + dt);
-        if let Some(records) = timeline {
-            records.push(TimelineEvent {
-                chunk: chunk_idx,
-                stage: 0,
-                task,
-                start: now,
-                end: now + dt,
-            });
-        }
-    }
-
-    let mut service_fn =
-        |c: usize, s: usize, st: &[ChunkState]| model.service(c, s, st, &mut noise);
-
-    try_start(
-        0,
-        now,
-        &mut states,
-        &mut events,
-        &mut started,
-        total_tasks,
-        &mut entry_time,
-        &mut service_fn,
-        collect_timeline.then_some(&mut timeline),
-    );
-
-    while completed < total_tasks {
-        let (ev_time, chunk_idx) = events.pop();
-        now = ev_time;
-        let inflight = states[chunk_idx].busy.expect("event implies busy chunk");
-
-        if inflight.stage + 1 < chunks[chunk_idx].stages.len() {
-            // Next stage of the same chunk; re-sample interference now.
-            let (dt, demand) = service_fn(chunk_idx, inflight.stage + 1, &states);
-            states[chunk_idx].busy = Some(InFlight {
-                task: inflight.task,
-                stage: inflight.stage + 1,
-                demand,
-            });
-            events.push(chunk_idx, now + dt);
-            if collect_timeline {
-                timeline.push(TimelineEvent {
-                    chunk: chunk_idx,
-                    stage: inflight.stage + 1,
-                    task: inflight.task,
-                    start: now,
-                    end: now + dt,
-                });
-            }
-            continue;
-        }
-
-        // Chunk finished its last stage for this task.
-        let busy_since = states[chunk_idx].busy_since;
-        states[chunk_idx].busy_spans.push((busy_since, now));
-        states[chunk_idx].busy = None;
-        let task = inflight.task;
-        if tele_counters {
-            counters[chunk_idx].record_task(Duration::from_secs_f64((now - busy_since) * 1e-6));
-        }
-
-        if chunk_idx + 1 == n_chunks {
-            exit_time[task] = now;
-            completed += 1;
-            // Recycle the object to the head.
-            states[0].input.push_back(usize::MAX);
-            if tele_counters {
-                counters[chunk_idx].sample_queue_depth(states[0].input.len());
-            }
-            try_start(
-                0,
-                now,
-                &mut states,
-                &mut events,
-                &mut started,
-                total_tasks,
-                &mut entry_time,
-                &mut service_fn,
-                collect_timeline.then_some(&mut timeline),
-            );
-        } else {
-            states[chunk_idx + 1].input.push_back(task);
-            if tele_counters {
-                counters[chunk_idx].sample_queue_depth(states[chunk_idx + 1].input.len());
-            }
-            try_start(
-                chunk_idx + 1,
-                now,
-                &mut states,
-                &mut events,
-                &mut started,
-                total_tasks,
-                &mut entry_time,
-                &mut service_fn,
-                collect_timeline.then_some(&mut timeline),
-            );
-        }
-        // The finishing chunk may have more input waiting.
-        try_start(
-            chunk_idx,
-            now,
-            &mut states,
-            &mut events,
-            &mut started,
-            total_tasks,
-            &mut entry_time,
-            &mut service_fn,
-            collect_timeline.then_some(&mut timeline),
-        );
-    }
-
-    // Steady-state window: departure-to-departure over the measured tasks,
-    // matching the host executor's convention. This excludes the
-    // pipeline-fill transient that entry-based windows would charge to
-    // deep multi-buffering. With warmup the window runs from the last
-    // warmup departure; without warmup the first measured departure
-    // anchors it (one fewer interval); a single task without warmup
-    // degenerates to entry→exit latency.
-    let (w_start, departures) = if measure_from > 0 {
-        (exit_time[measure_from - 1], cfg.tasks as f64)
-    } else if total_tasks > 1 {
-        (exit_time[0], (cfg.tasks - 1) as f64)
-    } else {
-        (entry_time[0], 1.0)
-    };
-    let w_end = exit_time[total_tasks - 1];
-    let makespan = (w_end - w_start).max(1e-9);
-
-    let measured = &exit_time[measure_from..];
-    let mean_latency = measured
-        .iter()
-        .zip(&entry_time[measure_from..])
-        .map(|(x, e)| x - e)
-        .sum::<f64>()
-        / cfg.tasks as f64;
-
-    // Utilization = busy time clipped to the measured window, over the
-    // window. Clipping makes the ratio ≤ 1 by construction and keeps
-    // warmup/fill work from inflating it.
-    let chunk_utilization: Vec<f64> = states
-        .iter()
-        .map(|s| {
-            let in_window: f64 = s
-                .busy_spans
-                .iter()
-                .map(|&(t0, t1)| (t1.min(w_end) - t0.max(w_start)).max(0.0))
-                .sum();
-            in_window / makespan
-        })
-        .collect();
-    let bottleneck_chunk = chunk_utilization
-        .iter()
-        .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).expect("utilization is never NaN"))
-        .map(|(i, _)| i)
-        .unwrap_or(0);
-
-    let telemetry = if cfg.telemetry.any() {
-        let mut tele = RunTelemetry::new("des");
-        if tele_counters {
-            tele.dispatchers = counters
-                .iter()
-                .enumerate()
-                .map(|(i, c)| c.stats(format!("chunk{i}")))
-                .collect();
-        }
-        if cfg.telemetry.spans {
-            let mut rec = SpanRecorder::virtual_time(true);
-            for ev in &timeline {
-                rec.record_virtual(
-                    ev.chunk as u32,
-                    ev.task as u64,
-                    Some(ev.stage as u32),
-                    ev.start,
-                    ev.end,
-                );
-            }
-            tele.spans = rec.into_spans();
-        }
-        Some(tele)
-    } else {
-        None
-    };
-
-    Ok(DesReport {
-        makespan: Micros::new(makespan),
-        mean_task_latency: Micros::new(mean_latency),
-        time_per_task: Micros::new(makespan / departures.max(1.0)),
-        throughput_hz: departures.max(1.0) / (makespan / 1e6),
-        chunk_utilization,
-        bottleneck_chunk,
-        tasks: cfg.tasks,
-        timeline: if cfg.record_timeline {
-            timeline
-        } else {
-            Vec::new()
-        },
-        telemetry,
-    })
-}
-
-/// The faulted counterpart of the event loop in [`simulate`].
-///
-/// Kept as a separate engine so the fault checks cost the fault-free hot
-/// path nothing; an equivalence test pins `simulate_faulted` with an empty
-/// spec to `simulate` bit-for-bit.
-struct FaultEngine<'a> {
+/// `faults: None` is the hot path: every fault lookup sits behind one
+/// predictable branch and the run is bit-identical to passing an empty
+/// [`FaultSpec`].
+struct Engine<'a> {
     chunks: &'a [ChunkSpec],
-    faults: &'a FaultSpec,
+    faults: Option<&'a FaultSpec>,
     /// Loss instant of each chunk's PU class, if it is lost at all.
     loss: Vec<Option<f64>>,
     states: Vec<ChunkState>,
@@ -728,7 +330,7 @@ struct FaultEngine<'a> {
     /// `(entry, exit)` per completed task, in completion order (which at
     /// the FIFO tail is also task order).
     completions: Vec<(f64, f64)>,
-    timeline: Vec<TimelineEvent>,
+    timeline: Vec<TimelineSpan>,
     collect_timeline: bool,
     counters: Vec<DispatcherCounters>,
     tele_counters: bool,
@@ -737,7 +339,7 @@ struct FaultEngine<'a> {
     recycled: bool,
 }
 
-impl FaultEngine<'_> {
+impl Engine<'_> {
     fn lost(&self, c: usize, now: f64) -> bool {
         self.loss[c].is_some_and(|t| now >= t)
     }
@@ -760,27 +362,29 @@ impl FaultEngine<'_> {
         }
     }
 
-    /// Straggler multiplier for `(chunk, task)`; counted as one fault
-    /// activation at the task's first stage on that chunk.
-    fn straggler(&mut self, c: usize, task: usize, stage: usize) -> f64 {
-        let f = self.faults.straggler_factor(c, task);
-        if stage == 0 && f != 1.0 {
-            self.faults_fired += 1;
-        }
-        f
+    /// The task's fault at `(c, stage)` if a spec is active.
+    fn stage_fault(&self, c: usize, task: usize, stage: usize) -> Option<StageFaultKind> {
+        self.faults.and_then(|f| f.stage_fault(c, task, stage))
     }
 
-    /// Samples the (perturbed) service time of `(c, stage, task)` at `now`
-    /// and schedules its completion, clamped to the chunk's loss instant.
+    /// Samples the (possibly perturbed) service time of `(c, stage, task)`
+    /// at `now` and schedules its completion, clamped to the chunk's loss
+    /// instant.
     fn start_stage(&mut self, c: usize, task: usize, stage: usize, now: f64) {
         let (base, demand) = self.model.service(c, stage, &self.states, &mut self.noise);
-        let mut dt = base
-            * self.faults.slowdown_factor(self.chunks[c].pu, now)
-            * self.straggler(c, task, stage);
-        if let Some(StageFaultKind::Timeout { extra_us }) = self.faults.stage_fault(c, task, stage)
-        {
-            dt += extra_us;
-            self.faults_fired += 1;
+        let mut dt = base;
+        if let Some(spec) = self.faults {
+            // Straggler multiplier, counted as one fault activation at the
+            // task's first stage on that chunk.
+            let straggle = spec.straggler_factor(c, task);
+            if stage == 0 && straggle != 1.0 {
+                self.faults_fired += 1;
+            }
+            dt = base * spec.slowdown_factor(self.chunks[c].pu, now) * straggle;
+            if let Some(StageFaultKind::Timeout { extra_us }) = spec.stage_fault(c, task, stage) {
+                dt += extra_us;
+                self.faults_fired += 1;
+            }
         }
         let mut end = now + dt;
         if let Some(t_loss) = self.loss[c] {
@@ -801,12 +405,12 @@ impl FaultEngine<'_> {
         }
         self.events.push(c, end);
         if self.collect_timeline {
-            self.timeline.push(TimelineEvent {
+            self.timeline.push(TimelineSpan {
                 chunk: c,
-                stage,
-                task,
-                start: now,
-                end,
+                stage: Some(stage),
+                task: task as u64,
+                start_us: now,
+                end_us: end,
             });
         }
     }
@@ -848,10 +452,7 @@ impl FaultEngine<'_> {
                 self.drop_and_recycle();
                 continue;
             }
-            if matches!(
-                self.faults.stage_fault(c, task, 0),
-                Some(StageFaultKind::Error)
-            ) {
+            if matches!(self.stage_fault(c, task, 0), Some(StageFaultKind::Error)) {
                 self.faults_fired += 1;
                 self.dropped += 1;
                 self.states[0].input.push_back(usize::MAX);
@@ -893,8 +494,7 @@ impl FaultEngine<'_> {
 
             if inflight.stage + 1 < self.chunks[c].stages.len() {
                 if matches!(
-                    self.faults
-                        .stage_fault(c, inflight.task, inflight.stage + 1),
+                    self.stage_fault(c, inflight.task, inflight.stage + 1),
                     Some(StageFaultKind::Error)
                 ) {
                     self.faults_fired += 1;
@@ -933,8 +533,8 @@ impl FaultEngine<'_> {
     }
 }
 
-/// Simulates pipelined execution of `chunks` on `soc` under the
-/// perturbations in `faults`.
+/// Simulates pipelined execution of `chunks` on `soc`, optionally under
+/// the perturbations in `faults`.
 ///
 /// Fault semantics — every activation is a pure function of
 /// `(chunk, task, stage, class, virtual time)`, so faulted runs are exactly
@@ -952,18 +552,20 @@ impl FaultEngine<'_> {
 ///   consumes the remaining task stream as immediate drops.
 ///
 /// The engine maintains `completed + dropped == submitted` and never
-/// deadlocks; with `faults == FaultSpec::none()` the run is bit-identical
-/// to [`simulate`].
+/// deadlocks; `faults == None` skips every fault lookup and is
+/// bit-identical to an empty spec.
 ///
 /// # Errors
 ///
-/// Same validation as [`simulate`].
-pub fn simulate_faulted(
+/// Returns [`SocError::EmptySimulation`] if `chunks` is empty, any chunk
+/// has no stages, or `cfg.tasks == 0`; [`SocError::MissingPu`] if a chunk
+/// names a PU class the device lacks.
+pub fn simulate(
     soc: &SocSpec,
     chunks: &[ChunkSpec],
-    cfg: &DesConfig,
-    faults: &FaultSpec,
-) -> Result<FaultedDesReport, SocError> {
+    cfg: &RunConfig,
+    faults: Option<&FaultSpec>,
+) -> Result<RunReport, SocError> {
     if chunks.is_empty() || cfg.tasks == 0 || chunks.iter().any(|c| c.stages.is_empty()) {
         return Err(SocError::EmptySimulation);
     }
@@ -983,19 +585,25 @@ pub fn simulate_faulted(
             input: VecDeque::with_capacity(buffers),
             busy: None,
             busy_since: 0.0,
+            // One span per task served; sized up front so the event loop
+            // never reallocates it.
             busy_spans: Vec::with_capacity(total_tasks),
         })
         .collect();
+    // All task objects begin recycled at the head of the pipeline.
     for _ in 0..buffers {
-        states[0].input.push_back(usize::MAX);
+        states[0].input.push_back(usize::MAX); // placeholder: object slot
     }
     let collect_timeline = cfg.record_timeline || cfg.telemetry.spans;
     let tele_counters = cfg.telemetry.counters;
 
-    let mut eng = FaultEngine {
+    let mut eng = Engine {
         chunks,
         faults,
-        loss: chunks.iter().map(|c| faults.loss_at(c.pu)).collect(),
+        loss: match faults {
+            Some(f) => chunks.iter().map(|c| f.loss_at(c.pu)).collect(),
+            None => vec![None; n_chunks],
+        },
         states,
         doomed: vec![false; n_chunks],
         events: EventSlots::new(n_chunks),
@@ -1026,28 +634,64 @@ pub fn simulate_faulted(
     eng.run();
     debug_assert_eq!(eng.completed + eng.dropped, eng.started);
 
-    let report = faulted_report(&mut eng, cfg);
-    Ok(FaultedDesReport {
-        report,
-        submitted: eng.started as u32,
-        completed: eng.completed as u32,
-        dropped: eng.dropped as u32,
+    let spans: Vec<&[(f64, f64)]> = eng.states.iter().map(|s| s.busy_spans.as_slice()).collect();
+    let stats = steady_stats_from_completions(&eng.completions, cfg.warmup as usize, &spans);
+    let telemetry = if cfg.telemetry.any() {
+        let mut tele = RunTelemetry::new("des");
+        if eng.tele_counters {
+            tele.dispatchers = eng
+                .counters
+                .iter()
+                .enumerate()
+                .map(|(i, c)| c.stats(format!("chunk{i}")))
+                .collect();
+        }
+        if cfg.telemetry.spans {
+            let mut rec = SpanRecorder::virtual_time(true);
+            for ev in &eng.timeline {
+                rec.record_virtual(
+                    ev.chunk as u32,
+                    ev.task,
+                    ev.stage.map(|s| s as u32),
+                    ev.start_us,
+                    ev.end_us,
+                );
+            }
+            tele.spans = rec.into_spans();
+        }
+        Some(tele)
+    } else {
+        None
+    };
+
+    Ok(RunReport {
+        submitted: eng.started as u64,
+        completed: eng.completed as u64,
+        dropped: eng.dropped as u64,
         faults_fired: eng.faults_fired,
+        stats,
+        timeline: if cfg.record_timeline {
+            std::mem::take(&mut eng.timeline)
+        } else {
+            Vec::new()
+        },
+        telemetry,
+        degraded: None,
     })
 }
 
-/// Builds a steady-state report over `completions` — `(entry, exit)` pairs
+/// Builds steady-state stats over `completions` — `(entry, exit)` pairs
 /// of the tasks that actually completed, in task-sequence order (at the
 /// static pipeline's FIFO tail this is also completion order) — using the
-/// same departure-to-departure convention as [`simulate`]. The first
+/// departure-to-departure convention shared by every engine. The first
 /// `warmup` *completions* (whatever their sequence numbers) are excluded as
 /// the pipeline-fill transient; dropped tasks contribute nothing. Shared by
-/// both faulted engines; returns `None` when nothing completed.
-pub(crate) fn steady_report_from_completions(
+/// both simulation engines; returns `None` when nothing completed.
+pub(crate) fn steady_stats_from_completions(
     completions: &[(f64, f64)],
     warmup: usize,
     busy_spans: &[&[(f64, f64)]],
-) -> Option<DesReport> {
+) -> Option<RunStats> {
     let n = completions.len();
     if n == 0 {
         return None;
@@ -1081,7 +725,7 @@ pub(crate) fn steady_report_from_completions(
         .map(|(i, _)| i)
         .unwrap_or(0);
 
-    Some(DesReport {
+    Some(RunStats {
         makespan: Micros::new(makespan),
         mean_task_latency: Micros::new(mean_latency),
         time_per_task: Micros::new(makespan / intervals.max(1.0)),
@@ -1089,49 +733,7 @@ pub(crate) fn steady_report_from_completions(
         chunk_utilization,
         bottleneck_chunk,
         tasks: (n - skip) as u32,
-        timeline: Vec::new(),
-        telemetry: None,
     })
-}
-
-/// Attaches the static engine's timeline/telemetry to the shared
-/// completion-window report.
-fn faulted_report(eng: &mut FaultEngine<'_>, cfg: &DesConfig) -> Option<DesReport> {
-    let spans: Vec<&[(f64, f64)]> = eng.states.iter().map(|s| s.busy_spans.as_slice()).collect();
-    let mut report = steady_report_from_completions(&eng.completions, cfg.warmup as usize, &spans)?;
-
-    report.telemetry = if cfg.telemetry.any() {
-        let mut tele = RunTelemetry::new("des");
-        if eng.tele_counters {
-            tele.dispatchers = eng
-                .counters
-                .iter()
-                .enumerate()
-                .map(|(i, c)| c.stats(format!("chunk{i}")))
-                .collect();
-        }
-        if cfg.telemetry.spans {
-            let mut rec = SpanRecorder::virtual_time(true);
-            for ev in &eng.timeline {
-                rec.record_virtual(
-                    ev.chunk as u32,
-                    ev.task as u64,
-                    Some(ev.stage as u32),
-                    ev.start,
-                    ev.end,
-                );
-            }
-            tele.spans = rec.into_spans();
-        }
-        Some(tele)
-    } else {
-        None
-    };
-
-    if cfg.record_timeline {
-        report.timeline = std::mem::take(&mut eng.timeline);
-    }
-    Some(report)
 }
 
 #[cfg(test)]
@@ -1139,14 +741,15 @@ mod tests {
     use super::*;
     use crate::cost::LoadContext;
     use crate::devices;
+    use bt_telemetry::TelemetryConfig;
 
-    fn noiseless() -> DesConfig {
-        DesConfig {
+    fn noiseless() -> RunConfig {
+        RunConfig {
             tasks: 30,
             warmup: 5,
             seed: 1,
             noise_sigma: 0.0,
-            ..DesConfig::default()
+            ..RunConfig::default()
         }
     }
 
@@ -1154,16 +757,24 @@ mod tests {
         WorkProfile::new(flops, flops / 4.0)
     }
 
+    /// Clean-run stats, panicking if the run degraded.
+    fn stats(soc: &SocSpec, chunks: &[ChunkSpec], cfg: &RunConfig) -> RunStats {
+        simulate(soc, chunks, cfg, None)
+            .expect("simulates")
+            .expect_stats()
+            .clone()
+    }
+
     #[test]
     fn empty_inputs_rejected() {
         let soc = devices::pixel_7a();
         assert!(matches!(
-            simulate(&soc, &[], &noiseless()),
+            simulate(&soc, &[], &noiseless(), None),
             Err(SocError::EmptySimulation)
         ));
         let chunks = [ChunkSpec::new(PuClass::BigCpu, vec![])];
         assert!(matches!(
-            simulate(&soc, &chunks, &noiseless()),
+            simulate(&soc, &chunks, &noiseless(), None),
             Err(SocError::EmptySimulation)
         ));
     }
@@ -1173,7 +784,7 @@ mod tests {
         let soc = devices::jetson_orin_nano();
         let chunks = [ChunkSpec::new(PuClass::LittleCpu, vec![stage(1e6)])];
         assert!(matches!(
-            simulate(&soc, &chunks, &noiseless()),
+            simulate(&soc, &chunks, &noiseless(), None),
             Err(SocError::MissingPu(PuClass::LittleCpu))
         ));
     }
@@ -1183,7 +794,7 @@ mod tests {
         let soc = devices::jetson_orin_nano();
         let stages = vec![stage(1e7), stage(2e7), stage(5e6)];
         let chunks = [ChunkSpec::new(PuClass::BigCpu, stages.clone())];
-        let report = simulate(&soc, &chunks, &noiseless()).unwrap();
+        let report = stats(&soc, &chunks, &noiseless());
         let pu = soc.pu(PuClass::BigCpu).unwrap();
         let serial: f64 = stages
             .iter()
@@ -1209,8 +820,8 @@ mod tests {
             ChunkSpec::new(PuClass::BigCpu, vec![stage(2e7)]),
             ChunkSpec::new(PuClass::Gpu, vec![stage(2e7)]),
         ];
-        let serial = simulate(&soc, &one, &noiseless()).unwrap();
-        let piped = simulate(&soc, &two, &noiseless()).unwrap();
+        let serial = stats(&soc, &one, &noiseless());
+        let piped = stats(&soc, &two, &noiseless());
         assert!(
             piped.time_per_task < serial.time_per_task,
             "pipelining should raise throughput: {} vs {}",
@@ -1226,7 +837,7 @@ mod tests {
             ChunkSpec::new(PuClass::BigCpu, vec![stage(5e7)]), // heavy
             ChunkSpec::new(PuClass::Gpu, vec![stage(1e6)]),    // light
         ];
-        let report = simulate(&soc, &chunks, &noiseless()).unwrap();
+        let report = stats(&soc, &chunks, &noiseless());
         assert_eq!(report.bottleneck_chunk, 0);
         assert!(report.chunk_utilization[0] > report.chunk_utilization[1]);
     }
@@ -1238,7 +849,7 @@ mod tests {
             ChunkSpec::new(PuClass::BigCpu, vec![stage(1e7)]),
             ChunkSpec::new(PuClass::Gpu, vec![stage(1e7)]),
         ];
-        let r = simulate(&soc, &chunks, &noiseless()).unwrap();
+        let r = stats(&soc, &chunks, &noiseless());
         let expect = 1e6 / r.time_per_task.as_f64();
         assert!((r.throughput_hz - expect).abs() / expect < 1e-9);
     }
@@ -1250,16 +861,16 @@ mod tests {
             ChunkSpec::new(PuClass::BigCpu, vec![stage(1e7)]),
             ChunkSpec::new(PuClass::Gpu, vec![stage(8e6)]),
         ];
-        let cfg = DesConfig {
+        let cfg = RunConfig {
             noise_sigma: 0.05,
             seed: 42,
             ..noiseless()
         };
-        let a = simulate(&soc, &chunks, &cfg).unwrap();
-        let b = simulate(&soc, &chunks, &cfg).unwrap();
+        let a = stats(&soc, &chunks, &cfg);
+        let b = stats(&soc, &chunks, &cfg);
         assert_eq!(a.makespan.as_f64(), b.makespan.as_f64());
-        let cfg2 = DesConfig { seed: 43, ..cfg };
-        let c = simulate(&soc, &chunks, &cfg2).unwrap();
+        let cfg2 = RunConfig { seed: 43, ..cfg };
+        let c = stats(&soc, &chunks, &cfg2);
         assert_ne!(a.makespan.as_f64(), c.makespan.as_f64());
     }
 
@@ -1273,7 +884,7 @@ mod tests {
             ChunkSpec::new(PuClass::MediumCpu, vec![stage(9e6)]),
             ChunkSpec::new(PuClass::Gpu, vec![stage(1.1e7)]),
         ];
-        let r = simulate(&soc, &chunks, &noiseless()).unwrap();
+        let r = stats(&soc, &chunks, &noiseless());
         assert!(r.mean_task_latency.as_f64() >= 0.9 * r.time_per_task.as_f64());
     }
 
@@ -1289,12 +900,12 @@ mod tests {
             ChunkSpec::new(PuClass::BigCpu, vec![stage(1e7)]),
             ChunkSpec::new(PuClass::Gpu, vec![stage(9e6)]),
         ];
-        let warm = simulate(&soc, &chunks, &noiseless()).unwrap();
-        let cold_cfg = DesConfig {
+        let warm = stats(&soc, &chunks, &noiseless());
+        let cold_cfg = RunConfig {
             warmup: 0,
             ..noiseless()
         };
-        let cold = simulate(&soc, &chunks, &cold_cfg).unwrap();
+        let cold = stats(&soc, &chunks, &cold_cfg);
         let (a, b) = (warm.time_per_task.as_f64(), cold.time_per_task.as_f64());
         assert!(
             (a - b).abs() / a < 1e-6,
@@ -1310,11 +921,11 @@ mod tests {
             ChunkSpec::new(PuClass::Gpu, vec![stage(1e6)]),
         ];
         for warmup in [0, 1, 5] {
-            let cfg = DesConfig {
+            let cfg = RunConfig {
                 warmup,
                 ..noiseless()
             };
-            let r = simulate(&soc, &chunks, &cfg).unwrap();
+            let r = stats(&soc, &chunks, &cfg);
             for (i, u) in r.chunk_utilization.iter().enumerate() {
                 assert!(
                     (0.0..=1.0).contains(u),
@@ -1333,11 +944,11 @@ mod tests {
             ChunkSpec::new(PuClass::BigCpu, vec![stage(1e7), stage(5e6)]),
             ChunkSpec::new(PuClass::Gpu, vec![stage(8e6)]),
         ];
-        let cfg = DesConfig {
+        let cfg = RunConfig {
             telemetry: TelemetryConfig::full(),
             ..noiseless()
         };
-        let r = simulate(&soc, &chunks, &cfg).unwrap();
+        let r = simulate(&soc, &chunks, &cfg, None).unwrap();
         let tele = r.telemetry.expect("telemetry enabled");
         assert_eq!(tele.source, "des");
         assert_eq!(tele.dispatchers.len(), 2);
@@ -1351,7 +962,7 @@ mod tests {
         // Timeline stays empty unless record_timeline was requested.
         assert!(r.timeline.is_empty());
 
-        let off = simulate(&soc, &chunks, &noiseless()).unwrap();
+        let off = simulate(&soc, &chunks, &noiseless(), None).unwrap();
         assert!(off.telemetry.is_none());
     }
 
@@ -1363,17 +974,17 @@ mod tests {
             ChunkSpec::new(PuClass::MediumCpu, vec![stage(7e6)]),
             ChunkSpec::new(PuClass::Gpu, vec![stage(8e6)]),
         ];
-        let cached = DesConfig {
+        let cached = RunConfig {
             noise_sigma: 0.05,
             seed: 9,
             ..noiseless()
         };
-        let uncached = DesConfig {
+        let uncached = RunConfig {
             service_cache: false,
             ..cached.clone()
         };
-        let a = simulate(&soc, &chunks, &cached).unwrap();
-        let b = simulate(&soc, &chunks, &uncached).unwrap();
+        let a = stats(&soc, &chunks, &cached);
+        let b = stats(&soc, &chunks, &uncached);
         assert_eq!(a.makespan.as_f64(), b.makespan.as_f64());
         assert_eq!(a.mean_task_latency.as_f64(), b.mean_task_latency.as_f64());
         assert_eq!(a.time_per_task.as_f64(), b.time_per_task.as_f64());
@@ -1394,7 +1005,7 @@ mod tests {
             ChunkSpec::new(PuClass::BigCpu, vec![heavy.clone()]),
             ChunkSpec::new(PuClass::MediumCpu, vec![stage(1.9e7)]),
         ];
-        let r = simulate(&soc, &chunks, &noiseless()).unwrap();
+        let r = stats(&soc, &chunks, &noiseless());
         assert!(
             r.time_per_task.as_f64() > iso * 1.1,
             "contended bottleneck {} should exceed isolated {}",
@@ -1403,7 +1014,7 @@ mod tests {
         );
     }
 
-    // ------------------------- faulted engine --------------------------
+    // ------------------------- fault injection --------------------------
 
     use crate::fault::{PuLoss, SlowdownRamp, StageFault, Straggler};
 
@@ -1416,35 +1027,36 @@ mod tests {
     }
 
     #[test]
-    fn empty_spec_is_bit_identical_to_simulate() {
+    fn none_faults_is_bit_identical_to_empty_spec() {
+        // The `None` fast path skips every fault lookup; the empty-spec
+        // path walks them and multiplies by 1.0. Both must consume the
+        // noise stream identically and report identical numbers.
         let soc = devices::pixel_7a();
         let chunks = fault_chunks();
-        let cfg = DesConfig {
+        let cfg = RunConfig {
             noise_sigma: 0.05,
             seed: 9,
             record_timeline: true,
             telemetry: TelemetryConfig::full(),
             ..noiseless()
         };
-        let plain = simulate(&soc, &chunks, &cfg).unwrap();
-        let faulted = simulate_faulted(&soc, &chunks, &cfg, &FaultSpec::none()).unwrap();
-        assert_eq!(faulted.submitted, cfg.tasks + cfg.warmup);
-        assert_eq!(faulted.completed, cfg.tasks + cfg.warmup);
+        let plain = simulate(&soc, &chunks, &cfg, None).unwrap();
+        let empty = FaultSpec::none();
+        let faulted = simulate(&soc, &chunks, &cfg, Some(&empty)).unwrap();
+        assert_eq!(faulted.submitted, u64::from(cfg.tasks + cfg.warmup));
+        assert_eq!(faulted.completed, faulted.submitted);
         assert_eq!(faulted.dropped, 0);
         assert_eq!(faulted.faults_fired, 0);
-        assert!(!faulted.degraded());
-        let r = faulted.report.expect("all tasks completed");
-        assert_eq!(r.makespan.as_f64(), plain.makespan.as_f64());
-        assert_eq!(
-            r.mean_task_latency.as_f64(),
-            plain.mean_task_latency.as_f64()
-        );
-        assert_eq!(r.time_per_task.as_f64(), plain.time_per_task.as_f64());
-        assert_eq!(r.chunk_utilization, plain.chunk_utilization);
-        assert_eq!(r.bottleneck_chunk, plain.bottleneck_chunk);
-        assert_eq!(r.tasks, plain.tasks);
-        assert_eq!(r.timeline, plain.timeline);
-        let (a, b) = (r.telemetry.unwrap(), plain.telemetry.unwrap());
+        assert!(!faulted.is_degraded());
+        let (r, p) = (faulted.expect_stats(), plain.expect_stats());
+        assert_eq!(r.makespan.as_f64(), p.makespan.as_f64());
+        assert_eq!(r.mean_task_latency.as_f64(), p.mean_task_latency.as_f64());
+        assert_eq!(r.time_per_task.as_f64(), p.time_per_task.as_f64());
+        assert_eq!(r.chunk_utilization, p.chunk_utilization);
+        assert_eq!(r.bottleneck_chunk, p.bottleneck_chunk);
+        assert_eq!(r.tasks, p.tasks);
+        assert_eq!(faulted.timeline, plain.timeline);
+        let (a, b) = (faulted.telemetry.unwrap(), plain.telemetry.unwrap());
         assert_eq!(a.dispatchers.len(), b.dispatchers.len());
         assert_eq!(a.spans.len(), b.spans.len());
     }
@@ -1453,7 +1065,7 @@ mod tests {
     fn slowdown_ramp_inflates_time_per_task() {
         let soc = devices::pixel_7a();
         let chunks = fault_chunks();
-        let base = simulate(&soc, &chunks, &noiseless()).unwrap();
+        let base = stats(&soc, &chunks, &noiseless());
         let spec = FaultSpec {
             slowdowns: vec![SlowdownRamp {
                 class: PuClass::BigCpu,
@@ -1463,10 +1075,8 @@ mod tests {
             }],
             ..FaultSpec::default()
         };
-        let r = simulate_faulted(&soc, &chunks, &noiseless(), &spec)
-            .unwrap()
-            .report
-            .expect("completes");
+        let r = simulate(&soc, &chunks, &noiseless(), Some(&spec)).unwrap();
+        let r = r.expect_stats();
         assert!(
             r.time_per_task.as_f64() > base.time_per_task.as_f64() * 1.5,
             "throttled {} vs base {}",
@@ -1487,13 +1097,12 @@ mod tests {
             }],
             ..FaultSpec::default()
         };
-        let r = simulate_faulted(&soc, &chunks, &noiseless(), &spec).unwrap();
+        let r = simulate(&soc, &chunks, &noiseless(), Some(&spec)).unwrap();
         assert_eq!(r.faults_fired, 1);
         assert_eq!(r.dropped, 0);
         assert_eq!(r.completed, r.submitted);
-        let base = simulate(&soc, &chunks, &noiseless()).unwrap();
-        let faulted = r.report.expect("completes");
-        assert!(faulted.makespan.as_f64() > base.makespan.as_f64());
+        let base = stats(&soc, &chunks, &noiseless());
+        assert!(r.expect_stats().makespan.as_f64() > base.makespan.as_f64());
     }
 
     #[test]
@@ -1510,18 +1119,18 @@ mod tests {
             }],
             ..FaultSpec::default()
         };
-        let r = simulate_faulted(&soc, &chunks, &noiseless(), &spec).unwrap();
+        let r = simulate(&soc, &chunks, &noiseless(), Some(&spec)).unwrap();
         assert_eq!(r.dropped, 1);
         assert_eq!(r.completed, r.submitted - 1);
-        assert!(r.degraded());
-        assert!(r.report.is_some());
+        assert!(r.is_degraded());
+        assert!(r.stats.is_some());
     }
 
     #[test]
     fn stage_timeout_adds_its_delay() {
         let soc = devices::pixel_7a();
         let chunks = fault_chunks();
-        let base = simulate(&soc, &chunks, &noiseless()).unwrap();
+        let base = stats(&soc, &chunks, &noiseless());
         let extra = 5e4;
         let spec = FaultSpec {
             stage_faults: vec![StageFault {
@@ -1532,10 +1141,10 @@ mod tests {
             }],
             ..FaultSpec::default()
         };
-        let r = simulate_faulted(&soc, &chunks, &noiseless(), &spec).unwrap();
+        let r = simulate(&soc, &chunks, &noiseless(), Some(&spec)).unwrap();
         assert_eq!(r.dropped, 0);
         assert_eq!(r.faults_fired, 1);
-        let faulted = r.report.expect("completes");
+        let faulted = r.expect_stats();
         // The stall lands inside the measured window of the tail chunk, so
         // the makespan grows by at least most of the injected delay.
         assert!(
@@ -1557,23 +1166,27 @@ mod tests {
             }],
             ..FaultSpec::default()
         };
-        let r = simulate_faulted(&soc, &chunks, &noiseless(), &spec).unwrap();
+        let r = simulate(&soc, &chunks, &noiseless(), Some(&spec)).unwrap();
         assert_eq!(r.completed, 0);
         assert_eq!(r.dropped, r.submitted);
-        assert!(r.report.is_none());
-        assert!(r.degraded());
+        assert!(r.stats.is_none());
+        assert!(r.is_degraded());
     }
 
     #[test]
     fn midrun_tail_loss_drains_and_degrades() {
         let soc = devices::pixel_7a();
         let chunks = fault_chunks();
-        let cfg = DesConfig {
+        let cfg = RunConfig {
             record_timeline: true,
             ..noiseless()
         };
-        let base = simulate(&soc, &chunks, &cfg).unwrap();
-        let t_end = base.timeline.iter().map(|e| e.end).fold(0.0f64, f64::max);
+        let base = simulate(&soc, &chunks, &cfg, None).unwrap();
+        let t_end = base
+            .timeline
+            .iter()
+            .map(|e| e.end_us)
+            .fold(0.0f64, f64::max);
         let spec = FaultSpec {
             losses: vec![PuLoss {
                 class: PuClass::Gpu,
@@ -1581,18 +1194,18 @@ mod tests {
             }],
             ..FaultSpec::default()
         };
-        let r = simulate_faulted(&soc, &chunks, &noiseless(), &spec).unwrap();
+        let r = simulate(&soc, &chunks, &noiseless(), Some(&spec)).unwrap();
         assert!(r.completed > 0, "tasks before the loss should complete");
         assert!(r.dropped > 0, "tasks after the loss should drop");
         assert_eq!(r.completed + r.dropped, r.submitted);
-        assert!(r.report.is_some());
+        assert!(r.stats.is_some());
     }
 
     #[test]
     fn faulted_runs_are_seed_deterministic() {
         let soc = devices::pixel_7a();
         let chunks = fault_chunks();
-        let cfg = DesConfig {
+        let cfg = RunConfig {
             noise_sigma: 0.05,
             seed: 77,
             ..noiseless()
@@ -1612,13 +1225,13 @@ mod tests {
             }],
             ..FaultSpec::default()
         };
-        let a = simulate_faulted(&soc, &chunks, &cfg, &spec).unwrap();
-        let b = simulate_faulted(&soc, &chunks, &cfg, &spec).unwrap();
+        let a = simulate(&soc, &chunks, &cfg, Some(&spec)).unwrap();
+        let b = simulate(&soc, &chunks, &cfg, Some(&spec)).unwrap();
         assert_eq!(format!("{a:?}"), format!("{b:?}"));
-        let other = simulate_faulted(&soc, &chunks, &DesConfig { seed: 78, ..cfg }, &spec).unwrap();
+        let other = simulate(&soc, &chunks, &RunConfig { seed: 78, ..cfg }, Some(&spec)).unwrap();
         assert_ne!(
-            a.report.unwrap().makespan.as_f64(),
-            other.report.unwrap().makespan.as_f64()
+            a.expect_stats().makespan.as_f64(),
+            other.expect_stats().makespan.as_f64()
         );
     }
 }

@@ -8,14 +8,28 @@
 //! must observe completion before making the next decision), and placement
 //! uses at best *isolated* latency estimates — it cannot anticipate the
 //! interference its own concurrent placements create.
+//!
+//! Like [`crate::des::simulate`], one engine serves both fault-free and
+//! faulted runs via an `Option<&FaultSpec>` mode parameter. The dynamic
+//! runtime has no chunk identity, so stragglers match on `task` alone and
+//! stage faults on `(task, stage)` (the `*_any_chunk` lookups of
+//! [`FaultSpec`]). Where the static pipeline drains and degrades on PU
+//! loss, the dynamic scheduler *routes around* it: lost PUs leave the idle
+//! set, in-flight work on them dies at the loss instant, and only work
+//! that no surviving PU can serve is dropped.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use crate::cost;
-use crate::des::{steady_report_from_completions, DesConfig, DesReport};
-use crate::fault::{FaultSpec, FaultedDesReport, StageFaultKind};
-use crate::{ActiveKernel, Micros, NoiseModel, PuClass, PuSpec, SocError, SocSpec, WorkProfile};
+use crate::des::steady_stats_from_completions;
+use crate::fault::{FaultSpec, StageFaultKind};
+use crate::run::{RunConfig, RunReport};
+use crate::{ActiveKernel, NoiseModel, PuClass, PuSpec, SocError, SocSpec, WorkProfile};
+
+// Pre-unification name, re-exported one release under its old path.
+#[allow(deprecated)]
+pub use crate::compat::simulate_dynamic_faulted;
 
 /// Placement policy of the dynamic scheduler.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,17 +73,21 @@ struct Running {
 }
 
 /// Simulates dynamic scheduling of `stages` (per-task, in order) over all
-/// schedulable PUs of `soc`.
+/// schedulable PUs of `soc`, optionally under the perturbations in
+/// `faults` (`None` skips every fault lookup and is bit-identical to an
+/// empty spec).
 ///
 /// # Errors
 ///
-/// Returns [`SocError::EmptySimulation`] for empty inputs.
+/// Returns [`SocError::EmptySimulation`] for empty inputs and
+/// [`SocError::EmptyDevice`] when the device has no schedulable PU.
 pub fn simulate_dynamic(
     soc: &SocSpec,
     stages: &[WorkProfile],
-    cfg: &DesConfig,
+    cfg: &RunConfig,
     policy: DynamicPolicy,
-) -> Result<DesReport, SocError> {
+    faults: Option<&FaultSpec>,
+) -> Result<RunReport, SocError> {
     if stages.is_empty() || cfg.tasks == 0 {
         return Err(SocError::EmptySimulation);
     }
@@ -89,14 +107,22 @@ pub fn simulate_dynamic(
     // (task, next stage) ready entries in FIFO (task-seq) order.
     let mut ready: std::collections::VecDeque<(usize, usize)> = std::collections::VecDeque::new();
     let mut running: Vec<Option<Running>> = vec![None; pus.len()];
+    // The PU's in-flight stage dies at its (loss-clamped) completion.
+    let mut doomed = vec![false; pus.len()];
     let mut busy_since = vec![0.0f64; pus.len()];
     // (start, end) busy intervals per PU, clipped to the measurement
     // window once it is known.
     let mut busy_spans: Vec<Vec<(f64, f64)>> = vec![Vec::new(); pus.len()];
     let mut entry_time = vec![0.0f64; total];
-    let mut exit_time = vec![0.0f64; total];
+    // `(task, entry, exit)`; sorted by task before windowing, because the
+    // dynamic runtime can complete tasks out of sequence order while the
+    // steady-state convention (shared with `des::simulate`) anchors on
+    // task-order departures.
+    let mut completions: Vec<(usize, f64, f64)> = Vec::with_capacity(total);
     let mut admitted = 0usize;
     let mut completed = 0usize;
+    let mut dropped = 0usize;
+    let mut faults_fired = 0u32;
     let mut in_flight = 0usize;
     let mut heap: BinaryHeap<Completion> = BinaryHeap::new();
     let mut now = 0.0f64;
@@ -109,6 +135,10 @@ pub fn simulate_dynamic(
         .iter()
         .map(|&c| soc.pu(c).expect("schedulable class present"))
         .collect();
+    let loss: Vec<Option<f64>> = match faults {
+        Some(f) => pus.iter().map(|&c| f.loss_at(c)).collect(),
+        None => vec![None; pus.len()],
+    };
     let isolated: Vec<Vec<f64>> = stages
         .iter()
         .map(|w| {
@@ -135,206 +165,13 @@ pub fn simulate_dynamic(
 
         // Dispatch ready stages onto idle PUs.
         while let Some(&(task, stage)) = ready.front() {
-            let mut idle = (0..pus.len()).filter(|&i| running[i].is_none());
-            let pu_idx = match policy {
-                DynamicPolicy::Fifo => idle.next(),
-                DynamicPolicy::BestFit => idle.min_by(|&a, &b| {
-                    isolated[stage][a]
-                        .partial_cmp(&isolated[stage][b])
-                        .expect("finite estimates")
-                }),
-            };
-            let Some(pu_idx) = pu_idx else {
-                break;
-            };
-            ready.pop_front();
-            let pu = pu_specs[pu_idx];
-            co.clear();
-            co.extend(
-                running
-                    .iter()
-                    .enumerate()
-                    .filter_map(|(i, r)| r.map(|r| ActiveKernel::new(pus[i], r.demand))),
-            );
-            // Dynamic runtimes synchronize after every stage.
-            let dt = cost::latency_under(&stages[stage], pu, soc, &co).as_f64() * noise.factor()
-                + pu.sync_overhead_us();
-            let demand = demands[stage][pu_idx];
-            running[pu_idx] = Some(Running {
-                task,
-                stage,
-                demand,
-            });
-            busy_since[pu_idx] = now;
-            heap.push(Completion {
-                time: now + dt,
-                pu_idx,
-            });
-        }
-
-        if completed >= total {
-            break;
-        }
-        let Some(done) = heap.pop() else {
-            debug_assert!(completed >= total, "no pending work but tasks remain");
-            break;
-        };
-        now = done.time;
-        let fin = running[done.pu_idx]
-            .take()
-            .expect("completion implies running");
-        busy_spans[done.pu_idx].push((busy_since[done.pu_idx], now));
-        if fin.stage + 1 < stages.len() {
-            // Preserve FIFO order by task sequence.
-            let pos = ready
-                .iter()
-                .position(|&(t, _)| t > fin.task)
-                .unwrap_or(ready.len());
-            ready.insert(pos, (fin.task, fin.stage + 1));
-        } else {
-            exit_time[fin.task] = now;
-            completed += 1;
-            in_flight -= 1;
-        }
-    }
-
-    // Same departure-to-departure steady-state convention as the static
-    // simulator and the host executor (see `des::simulate`).
-    let measure_from = cfg.warmup as usize;
-    let (w_start, departures) = if measure_from > 0 {
-        (exit_time[measure_from - 1], cfg.tasks as f64)
-    } else if total > 1 {
-        (exit_time[0], (cfg.tasks - 1) as f64)
-    } else {
-        (entry_time[0], 1.0)
-    };
-    let w_end = exit_time[total - 1];
-    let makespan = (w_end - w_start).max(1e-9);
-    let mean_latency = exit_time[measure_from..]
-        .iter()
-        .zip(&entry_time[measure_from..])
-        .map(|(x, e)| x - e)
-        .sum::<f64>()
-        / cfg.tasks as f64;
-    let chunk_utilization: Vec<f64> = busy_spans
-        .iter()
-        .map(|spans| {
-            let in_window: f64 = spans
-                .iter()
-                .map(|&(t0, t1)| (t1.min(w_end) - t0.max(w_start)).max(0.0))
-                .sum();
-            in_window / makespan
-        })
-        .collect();
-    let bottleneck_chunk = chunk_utilization
-        .iter()
-        .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
-        .map(|(i, _)| i)
-        .unwrap_or(0);
-
-    Ok(DesReport {
-        makespan: Micros::new(makespan),
-        mean_task_latency: Micros::new(mean_latency),
-        time_per_task: Micros::new(makespan / departures.max(1.0)),
-        throughput_hz: departures.max(1.0) / (makespan / 1e6),
-        chunk_utilization,
-        bottleneck_chunk,
-        tasks: cfg.tasks,
-        timeline: Vec::new(),
-        telemetry: None,
-    })
-}
-
-/// Simulates dynamic scheduling of `stages` under the perturbations in
-/// `faults` — the faulted counterpart of [`simulate_dynamic`].
-///
-/// The dynamic runtime has no chunk identity, so stragglers match on
-/// `task` alone and stage faults on `(task, stage)` (the `*_any_chunk`
-/// lookups of [`FaultSpec`]). Where the static pipeline drains and
-/// degrades on PU loss, the dynamic scheduler *routes around* it: lost PUs
-/// leave the idle set, in-flight work on them dies at the loss instant,
-/// and only work that no surviving PU can serve is dropped.
-///
-/// # Errors
-///
-/// Same validation as [`simulate_dynamic`].
-pub fn simulate_dynamic_faulted(
-    soc: &SocSpec,
-    stages: &[WorkProfile],
-    cfg: &DesConfig,
-    policy: DynamicPolicy,
-    faults: &FaultSpec,
-) -> Result<FaultedDesReport, SocError> {
-    if stages.is_empty() || cfg.tasks == 0 {
-        return Err(SocError::EmptySimulation);
-    }
-    let pus: Vec<PuClass> = soc.schedulable_classes();
-    if pus.is_empty() {
-        return Err(SocError::EmptyDevice);
-    }
-
-    let total = (cfg.tasks + cfg.warmup) as usize;
-    let in_flight_cap = if cfg.buffers == 0 {
-        pus.len() + 1
-    } else {
-        cfg.buffers as usize
-    };
-    let mut noise = NoiseModel::new(cfg.noise_sigma, cfg.seed);
-
-    let mut ready: std::collections::VecDeque<(usize, usize)> = std::collections::VecDeque::new();
-    let mut running: Vec<Option<Running>> = vec![None; pus.len()];
-    let mut doomed = vec![false; pus.len()];
-    let mut busy_since = vec![0.0f64; pus.len()];
-    let mut busy_spans: Vec<Vec<(f64, f64)>> = vec![Vec::new(); pus.len()];
-    let mut entry_time = vec![0.0f64; total];
-    // `(task, entry, exit)`; sorted by task before windowing, because the
-    // dynamic runtime can complete tasks out of sequence order while the
-    // steady-state convention (shared with `des::simulate`) anchors on
-    // task-order departures.
-    let mut completions: Vec<(usize, f64, f64)> = Vec::with_capacity(total);
-    let mut admitted = 0usize;
-    let mut completed = 0usize;
-    let mut dropped = 0usize;
-    let mut faults_fired = 0u32;
-    let mut in_flight = 0usize;
-    let mut heap: BinaryHeap<Completion> = BinaryHeap::new();
-    let mut now = 0.0f64;
-
-    let pu_specs: Vec<&PuSpec> = pus
-        .iter()
-        .map(|&c| soc.pu(c).expect("schedulable class present"))
-        .collect();
-    let loss: Vec<Option<f64>> = pus.iter().map(|&c| faults.loss_at(c)).collect();
-    let isolated: Vec<Vec<f64>> = stages
-        .iter()
-        .map(|w| {
-            pu_specs
-                .iter()
-                .map(|pu| cost::latency_under(w, pu, soc, &[]).as_f64())
-                .collect()
-        })
-        .collect();
-    let demands: Vec<Vec<f64>> = stages
-        .iter()
-        .map(|w| pu_specs.iter().map(|pu| cost::bw_demand(w, pu)).collect())
-        .collect();
-    let mut co: Vec<ActiveKernel> = Vec::with_capacity(pus.len());
-
-    loop {
-        while admitted < total && in_flight < in_flight_cap {
-            entry_time[admitted] = now;
-            ready.push_back((admitted, 0));
-            admitted += 1;
-            in_flight += 1;
-        }
-
-        while let Some(&(task, stage)) = ready.front() {
             // Kernel errors kill the stage before it runs anywhere.
-            if matches!(
-                faults.stage_fault_any_chunk(task, stage),
-                Some(StageFaultKind::Error)
-            ) {
+            if faults.is_some_and(|f| {
+                matches!(
+                    f.stage_fault_any_chunk(task, stage),
+                    Some(StageFaultKind::Error)
+                )
+            }) {
                 ready.pop_front();
                 faults_fired += 1;
                 dropped += 1;
@@ -364,20 +201,22 @@ pub fn simulate_dynamic_faulted(
                     .enumerate()
                     .filter_map(|(i, r)| r.map(|r| ActiveKernel::new(pus[i], r.demand))),
             );
-            let straggle = faults.straggler_factor_any_chunk(task);
-            if stage == 0 && straggle != 1.0 {
-                faults_fired += 1;
-            }
-            let mut dt = (cost::latency_under(&stages[stage], pu, soc, &co).as_f64()
-                * noise.factor()
-                + pu.sync_overhead_us())
-                * faults.slowdown_factor(pus[pu_idx], now)
-                * straggle;
-            if let Some(StageFaultKind::Timeout { extra_us }) =
-                faults.stage_fault_any_chunk(task, stage)
-            {
-                dt += extra_us;
-                faults_fired += 1;
+            // Dynamic runtimes synchronize after every stage.
+            let base = cost::latency_under(&stages[stage], pu, soc, &co).as_f64() * noise.factor()
+                + pu.sync_overhead_us();
+            let mut dt = base;
+            if let Some(spec) = faults {
+                let straggle = spec.straggler_factor_any_chunk(task);
+                if stage == 0 && straggle != 1.0 {
+                    faults_fired += 1;
+                }
+                dt = base * spec.slowdown_factor(pus[pu_idx], now) * straggle;
+                if let Some(StageFaultKind::Timeout { extra_us }) =
+                    spec.stage_fault_any_chunk(task, stage)
+                {
+                    dt += extra_us;
+                    faults_fired += 1;
+                }
             }
             let mut end = now + dt;
             if let Some(t_loss) = loss[pu_idx] {
@@ -402,8 +241,10 @@ pub fn simulate_dynamic_faulted(
         }
         let Some(done) = heap.pop() else {
             // Nothing is running and nothing could be placed: every
-            // surviving placement target is gone. Remaining work drops.
+            // surviving placement target is gone (unreachable without
+            // faults). Remaining work drops.
             let stranded = ready.len() + (total - admitted);
+            debug_assert!(faults.is_some() || stranded == 0, "clean run stranded work");
             dropped += stranded;
             faults_fired += stranded as u32;
             ready.clear();
@@ -421,6 +262,7 @@ pub fn simulate_dynamic_faulted(
             dropped += 1;
             in_flight -= 1;
         } else if fin.stage + 1 < stages.len() {
+            // Preserve FIFO order by task sequence.
             let pos = ready
                 .iter()
                 .position(|&(t, _)| t > fin.task)
@@ -437,13 +279,18 @@ pub fn simulate_dynamic_faulted(
     completions.sort_unstable_by_key(|&(task, _, _)| task);
     let ordered: Vec<(f64, f64)> = completions.iter().map(|&(_, e, x)| (e, x)).collect();
     let spans: Vec<&[(f64, f64)]> = busy_spans.iter().map(|s| s.as_slice()).collect();
-    let report = steady_report_from_completions(&ordered, cfg.warmup as usize, &spans);
-    Ok(FaultedDesReport {
-        report,
-        submitted: total as u32,
-        completed: completed as u32,
-        dropped: dropped as u32,
+    // Same departure-to-departure steady-state convention as the static
+    // simulator and the host executor (see `des::simulate`).
+    let stats = steady_stats_from_completions(&ordered, cfg.warmup as usize, &spans);
+    Ok(RunReport {
+        submitted: total as u64,
+        completed: completed as u64,
+        dropped: dropped as u64,
         faults_fired,
+        stats,
+        timeline: Vec::new(),
+        telemetry: None,
+        degraded: None,
     })
 }
 
@@ -451,6 +298,7 @@ pub fn simulate_dynamic_faulted(
 mod tests {
     use super::*;
     use crate::devices;
+    use crate::run::RunStats;
 
     fn stages() -> Vec<WorkProfile> {
         vec![
@@ -460,18 +308,30 @@ mod tests {
         ]
     }
 
-    fn cfg() -> DesConfig {
-        DesConfig {
+    fn cfg() -> RunConfig {
+        RunConfig {
             noise_sigma: 0.0,
-            ..DesConfig::default()
+            ..RunConfig::default()
         }
+    }
+
+    fn stats(
+        soc: &SocSpec,
+        work: &[WorkProfile],
+        cfg: &RunConfig,
+        policy: DynamicPolicy,
+    ) -> RunStats {
+        simulate_dynamic(soc, work, cfg, policy, None)
+            .expect("simulates")
+            .expect_stats()
+            .clone()
     }
 
     #[test]
     fn both_policies_complete_all_tasks() {
         let soc = devices::pixel_7a();
         for policy in [DynamicPolicy::Fifo, DynamicPolicy::BestFit] {
-            let r = simulate_dynamic(&soc, &stages(), &cfg(), policy).expect("simulates");
+            let r = stats(&soc, &stages(), &cfg(), policy);
             assert_eq!(r.tasks, 30);
             assert!(r.time_per_task.as_f64() > 0.0);
             assert_eq!(r.chunk_utilization.len(), 4, "one entry per schedulable PU");
@@ -489,9 +349,8 @@ mod tests {
                 .with_divergence(0.9)
                 .with_irregularity(0.8), // GPU-hostile
         ];
-        let fifo = simulate_dynamic(&soc, &mixed, &cfg(), DynamicPolicy::Fifo).expect("simulates");
-        let fit =
-            simulate_dynamic(&soc, &mixed, &cfg(), DynamicPolicy::BestFit).expect("simulates");
+        let fifo = stats(&soc, &mixed, &cfg(), DynamicPolicy::Fifo);
+        let fit = stats(&soc, &mixed, &cfg(), DynamicPolicy::BestFit);
         assert!(
             fit.time_per_task.as_f64() <= fifo.time_per_task.as_f64() * 1.05,
             "best-fit {} should not lose to fifo {}",
@@ -503,55 +362,54 @@ mod tests {
     #[test]
     fn oneplus_excludes_unpinnable_littles() {
         let soc = devices::oneplus_11();
-        let r =
-            simulate_dynamic(&soc, &stages(), &cfg(), DynamicPolicy::BestFit).expect("simulates");
+        let r = stats(&soc, &stages(), &cfg(), DynamicPolicy::BestFit);
         assert_eq!(r.chunk_utilization.len(), 3, "little cluster is unpinnable");
     }
 
     #[test]
     fn empty_inputs_rejected() {
         let soc = devices::pixel_7a();
-        assert!(simulate_dynamic(&soc, &[], &cfg(), DynamicPolicy::Fifo).is_err());
+        assert!(simulate_dynamic(&soc, &[], &cfg(), DynamicPolicy::Fifo, None).is_err());
     }
 
     #[test]
     fn deterministic_per_seed() {
         let soc = devices::jetson_orin_nano();
-        let a = simulate_dynamic(&soc, &stages(), &cfg(), DynamicPolicy::BestFit).unwrap();
-        let b = simulate_dynamic(&soc, &stages(), &cfg(), DynamicPolicy::BestFit).unwrap();
+        let a = stats(&soc, &stages(), &cfg(), DynamicPolicy::BestFit);
+        let b = stats(&soc, &stages(), &cfg(), DynamicPolicy::BestFit);
         assert_eq!(a.makespan.as_f64(), b.makespan.as_f64());
     }
 
-    // ------------------------- faulted variant -------------------------
+    // ------------------------- faulted mode -------------------------
 
-    use crate::fault::{FaultSpec, PuLoss, StageFault, StageFaultKind};
+    use crate::fault::{PuLoss, StageFault};
 
     #[test]
-    fn empty_spec_matches_simulate_dynamic() {
+    fn none_faults_matches_empty_spec() {
         let soc = devices::pixel_7a();
-        let cfg = DesConfig {
+        let cfg = RunConfig {
             noise_sigma: 0.03,
             seed: 5,
             ..cfg()
         };
         for policy in [DynamicPolicy::Fifo, DynamicPolicy::BestFit] {
-            let plain = simulate_dynamic(&soc, &stages(), &cfg, policy).unwrap();
-            let faulted =
-                simulate_dynamic_faulted(&soc, &stages(), &cfg, policy, &FaultSpec::none())
-                    .unwrap();
+            let plain = simulate_dynamic(&soc, &stages(), &cfg, policy, None).unwrap();
+            let empty = FaultSpec::none();
+            let faulted = simulate_dynamic(&soc, &stages(), &cfg, policy, Some(&empty)).unwrap();
             assert_eq!(faulted.dropped, 0);
             assert_eq!(faulted.completed, faulted.submitted);
-            let r = faulted.report.expect("completes");
-            assert_eq!(r.makespan.as_f64(), plain.makespan.as_f64());
-            assert_eq!(r.time_per_task.as_f64(), plain.time_per_task.as_f64());
-            assert_eq!(r.chunk_utilization, plain.chunk_utilization);
+            assert_eq!(faulted.faults_fired, 0);
+            let (r, p) = (faulted.expect_stats(), plain.expect_stats());
+            assert_eq!(r.makespan.as_f64(), p.makespan.as_f64());
+            assert_eq!(r.time_per_task.as_f64(), p.time_per_task.as_f64());
+            assert_eq!(r.chunk_utilization, p.chunk_utilization);
         }
     }
 
     #[test]
     fn dynamic_scheduler_routes_around_pu_loss() {
         let soc = devices::pixel_7a();
-        let base = simulate_dynamic(&soc, &stages(), &cfg(), DynamicPolicy::BestFit).unwrap();
+        let base = stats(&soc, &stages(), &cfg(), DynamicPolicy::BestFit);
         // Lose the GPU halfway through the run: at most the in-flight
         // stage dies; everything else lands on surviving PUs.
         let spec = FaultSpec {
@@ -561,11 +419,11 @@ mod tests {
             }],
             ..FaultSpec::default()
         };
-        let r = simulate_dynamic_faulted(&soc, &stages(), &cfg(), DynamicPolicy::BestFit, &spec)
-            .unwrap();
+        let r =
+            simulate_dynamic(&soc, &stages(), &cfg(), DynamicPolicy::BestFit, Some(&spec)).unwrap();
         assert_eq!(r.completed + r.dropped, r.submitted);
         assert!(r.dropped <= 1, "only in-flight work may die: {}", r.dropped);
-        assert!(r.report.is_some());
+        assert!(r.stats.is_some());
     }
 
     #[test]
@@ -581,16 +439,17 @@ mod tests {
             ..FaultSpec::default()
         };
         let r =
-            simulate_dynamic_faulted(&soc, &stages(), &cfg(), DynamicPolicy::Fifo, &spec).unwrap();
+            simulate_dynamic(&soc, &stages(), &cfg(), DynamicPolicy::Fifo, Some(&spec)).unwrap();
         assert_eq!(r.completed, 0);
         assert_eq!(r.dropped, r.submitted);
-        assert!(r.report.is_none());
+        assert!(r.stats.is_none());
+        assert!(r.is_degraded());
     }
 
     #[test]
     fn faulted_dynamic_runs_are_deterministic() {
         let soc = devices::jetson_orin_nano();
-        let cfg = DesConfig {
+        let cfg = RunConfig {
             noise_sigma: 0.05,
             seed: 11,
             ..cfg()
@@ -605,9 +464,9 @@ mod tests {
             ..FaultSpec::default()
         };
         let a =
-            simulate_dynamic_faulted(&soc, &stages(), &cfg, DynamicPolicy::BestFit, &spec).unwrap();
+            simulate_dynamic(&soc, &stages(), &cfg, DynamicPolicy::BestFit, Some(&spec)).unwrap();
         let b =
-            simulate_dynamic_faulted(&soc, &stages(), &cfg, DynamicPolicy::BestFit, &spec).unwrap();
+            simulate_dynamic(&soc, &stages(), &cfg, DynamicPolicy::BestFit, Some(&spec)).unwrap();
         assert_eq!(format!("{a:?}"), format!("{b:?}"));
         assert_eq!(a.dropped, 1);
     }

@@ -15,7 +15,6 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::des::DesReport;
 use crate::PuClass;
 
 /// A DVFS-style slowdown ramp on one PU class: service times of chunks
@@ -192,37 +191,6 @@ impl FaultSpec {
             .filter(|l| l.class == class)
             .map(|l| l.at_us)
             .fold(None, |acc, t| Some(acc.map_or(t, |a: f64| a.min(t))))
-    }
-}
-
-/// Result of a faulted simulation: task accounting plus the steady-state
-/// report over the tasks that actually completed.
-///
-/// The invariant every faulted engine maintains (and the fault-matrix
-/// suite asserts) is `completed + dropped == submitted`: a task either
-/// exits the pipeline tail or is dropped by a fault — the simulation never
-/// hangs and never loses a task silently.
-#[derive(Debug, Clone)]
-pub struct FaultedDesReport {
-    /// Steady-state measurement over completed tasks; `None` when nothing
-    /// completed (e.g. the head chunk's PU was lost at t = 0).
-    pub report: Option<DesReport>,
-    /// Tasks admitted at the pipeline head (warmup + measured stream).
-    pub submitted: u32,
-    /// Tasks that exited the pipeline tail.
-    pub completed: u32,
-    /// Tasks dropped by kernel errors or PU loss.
-    pub dropped: u32,
-    /// Discrete fault activations observed (stage faults fired, stragglers
-    /// applied, loss-induced drops). Continuous slowdown ramps are not
-    /// counted.
-    pub faults_fired: u32,
-}
-
-impl FaultedDesReport {
-    /// Whether the run degraded (any task was dropped).
-    pub fn degraded(&self) -> bool {
-        self.dropped > 0
     }
 }
 

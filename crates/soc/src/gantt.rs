@@ -2,7 +2,7 @@
 //! discrete-event simulator's virtual timelines and the host runtime's
 //! wall-clock ones.
 
-use crate::des::TimelineEvent;
+use crate::run::TimelineSpan;
 
 /// One span of a Gantt chart.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -17,13 +17,13 @@ pub struct GanttSpan {
     pub end: f64,
 }
 
-impl From<TimelineEvent> for GanttSpan {
-    fn from(e: TimelineEvent) -> GanttSpan {
+impl From<TimelineSpan> for GanttSpan {
+    fn from(s: TimelineSpan) -> GanttSpan {
         GanttSpan {
-            chunk: e.chunk,
-            task: e.task as u64,
-            start: e.start,
-            end: e.end,
+            chunk: s.chunk,
+            task: s.task,
+            start: s.start_us,
+            end: s.end_us,
         }
     }
 }
@@ -138,13 +138,13 @@ mod tests {
     }
 
     #[test]
-    fn des_timeline_converts() {
-        let e = TimelineEvent {
+    fn run_timeline_converts() {
+        let e = TimelineSpan {
             chunk: 2,
-            stage: 1,
+            stage: Some(1),
             task: 13,
-            start: 1.0,
-            end: 2.0,
+            start_us: 1.0,
+            end_us: 2.0,
         };
         let s: GanttSpan = e.into();
         assert_eq!(s.chunk, 2);

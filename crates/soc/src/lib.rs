@@ -42,6 +42,7 @@
 
 mod affinity;
 mod clock;
+pub mod compat;
 pub mod cost;
 pub mod des;
 pub mod des_dynamic;
@@ -52,15 +53,17 @@ pub mod gantt;
 mod interference;
 pub mod power;
 mod pu;
+pub mod run;
 mod work;
 
 pub use affinity::AffinityMap;
 pub use clock::{seed_from_labels, Micros, NoiseModel, SimClock};
+#[allow(deprecated)]
+pub use compat::FaultedDesReport;
 pub use device::{devices, PerClass, SocBuilder, SocSpec};
 pub use error::SocError;
-pub use fault::{
-    FaultSpec, FaultedDesReport, PuLoss, SlowdownRamp, StageFault, StageFaultKind, Straggler,
-};
+pub use fault::{FaultSpec, PuLoss, SlowdownRamp, StageFault, StageFaultKind, Straggler};
 pub use interference::{ActiveKernel, InterferenceModel};
 pub use pu::{GpuBackend, PuClass, PuId, PuSpec};
+pub use run::{DegradeReason, RunConfig, RunReport, RunStats, TimelineSpan};
 pub use work::WorkProfile;

@@ -9,7 +9,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::des::DesReport;
+use crate::run::RunStats;
 use crate::{Micros, PerClass, PuClass, SocSpec};
 
 /// Two-state power draw of one PU cluster.
@@ -106,7 +106,7 @@ pub struct EnergyReport {
 pub fn energy_of_run(
     soc: &SocSpec,
     model: &PowerModel,
-    report: &DesReport,
+    report: &RunStats,
     chunk_classes: &[PuClass],
 ) -> EnergyReport {
     energy_of_window(
@@ -121,7 +121,7 @@ pub fn energy_of_run(
 
 /// Execution-substrate-agnostic form of [`energy_of_run`]: accounts a
 /// measured window given its makespan, per-chunk utilization, and task
-/// count, without requiring a [`DesReport`] — so wall-clock host runs (or
+/// count, without requiring a [`RunStats`] — so wall-clock host runs (or
 /// any other measurement source) can be priced by the same model.
 ///
 /// `powered_classes` lists every cluster drawing idle power for the whole
@@ -172,17 +172,19 @@ pub fn energy_of_window(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::des::{simulate, ChunkSpec, DesConfig};
+    use crate::des::{simulate, ChunkSpec};
+    use crate::run::RunConfig;
     use crate::{devices, WorkProfile};
 
-    fn run(chunks: &[ChunkSpec]) -> (SocSpec, DesReport) {
+    fn run(chunks: &[ChunkSpec]) -> (SocSpec, RunStats) {
         let soc = devices::pixel_7a();
-        let cfg = DesConfig {
+        let cfg = RunConfig {
             noise_sigma: 0.0,
-            ..DesConfig::default()
+            ..RunConfig::default()
         };
-        let report = simulate(&soc, chunks, &cfg).expect("simulates");
-        (soc, report)
+        let report = simulate(&soc, chunks, &cfg, None).expect("simulates");
+        let stats = report.expect_stats().clone();
+        (soc, stats)
     }
 
     #[test]

@@ -1,0 +1,203 @@
+//! The shared run model: one configuration, one report, and one timeline
+//! type for every execution engine in the workspace.
+//!
+//! Before this module existed the runtime had three parallel type families
+//! that had already drifted (`DesConfig` vs `HostRunConfig`,
+//! `TimelineEvent` vs `HostTimelineEvent`, `DesReport` vs
+//! `FaultedDesReport` vs `HostReport`). Every engine — the static DES
+//! ([`crate::des::simulate`]), the dynamic-scheduling DES
+//! ([`crate::des_dynamic::simulate_dynamic`]), and the host executor
+//! (`bt_pipeline::run_host`) — now takes a [`RunConfig`] and returns a
+//! [`RunReport`]. Fault injection and resilience ride alongside as explicit
+//! mode parameters (`Option<&FaultSpec>`, an optional host
+//! `ResilienceConfig`), so the fault-free hot path pays a single branch.
+//!
+//! Accounting invariant shared by every engine:
+//! `completed + dropped == submitted`.
+
+use std::time::Duration;
+
+use bt_telemetry::{RunTelemetry, TelemetryConfig};
+
+use crate::{AffinityMap, Micros};
+
+/// Configuration of one pipeline run, simulated or on the host.
+///
+/// Substrate-specific knobs are documented as such and ignored by engines
+/// they do not apply to: `noise_sigma`/`service_cache` drive the simulator
+/// only, `affinity`/`duration` the host executor only.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Measured tasks (the paper uses 30 per run).
+    pub tasks: u32,
+    /// Warmup tasks excluded from measurement.
+    ///
+    /// One default for every engine: 5. (Historically the simulator
+    /// defaulted to 5 and the host executor to 3 — see DESIGN.md § The run
+    /// model for why they disagreed and why 5 won.)
+    pub warmup: u32,
+    /// Circulating task objects (multi-buffering depth). `0` means the
+    /// engine default: `chunks + 1` for pipelined engines, `PUs + 1` for
+    /// the dynamic scheduler.
+    pub buffers: u32,
+    /// Seed for the simulator's measurement-noise stream.
+    pub seed: u64,
+    /// Log-scale sigma of multiplicative measurement noise (simulator
+    /// only; the host measures real wall-clock noise).
+    pub noise_sigma: f64,
+    /// Record a per-(chunk, task) execution timeline
+    /// ([`RunReport::timeline`]) for Gantt-style inspection.
+    pub record_timeline: bool,
+    /// What telemetry to collect (off by default; the disabled path costs
+    /// one branch per instrumentation point).
+    pub telemetry: TelemetryConfig,
+    /// Memoize noiseless base service times per (chunk, stage, busy-set)
+    /// key (simulator only; bit-identical on or off).
+    pub service_cache: bool,
+    /// Optional device affinity map (host only): dispatchers pin
+    /// themselves to their chunk's pinnable cores, best-effort.
+    pub affinity: Option<AffinityMap>,
+    /// When set (host only), the head keeps admitting tasks until this
+    /// wall-clock duration elapses (the paper's autotuning protocol runs
+    /// each candidate "for a fixed interval of 10 seconds to measure its
+    /// throughput", §3.3); `tasks` then only sizes the warmup accounting
+    /// and the reported count comes from how many tasks actually finished.
+    pub duration: Option<Duration>,
+}
+
+impl Default for RunConfig {
+    fn default() -> RunConfig {
+        RunConfig {
+            tasks: 30,
+            warmup: 5,
+            buffers: 0,
+            seed: 0,
+            noise_sigma: 0.02,
+            record_timeline: false,
+            telemetry: TelemetryConfig::OFF,
+            service_cache: true,
+            affinity: None,
+            duration: None,
+        }
+    }
+}
+
+/// One recorded execution span, shared by every engine's timeline and fed
+/// to `bt-telemetry` span recording and [`crate::gantt`] rendering.
+///
+/// The simulator records one span per *stage* execution (`stage` is
+/// `Some`); the host executor records one span per *chunk* execution
+/// (`stage` is `None` — kernels inside a chunk are dispatched back to back
+/// and only the chunk boundary is observable).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimelineSpan {
+    /// Which chunk (or PU slot, for the dynamic scheduler) executed.
+    pub chunk: usize,
+    /// Stage index within the chunk, when per-stage resolution exists.
+    pub stage: Option<usize>,
+    /// Task sequence number.
+    pub task: u64,
+    /// Start offset in µs (virtual time, or wall-clock relative to the
+    /// run's epoch).
+    pub start_us: f64,
+    /// End offset in µs.
+    pub end_us: f64,
+}
+
+/// Steady-state measurement of the tasks that completed.
+///
+/// All engines share the same departure-to-departure window convention:
+/// with warmup the window opens at the last warmup departure and covers
+/// `tasks` inter-departure intervals; without warmup it opens at the first
+/// measured departure (one fewer interval); a single completed task
+/// degenerates to its entry→exit latency.
+#[derive(Debug, Clone)]
+pub struct RunStats {
+    /// Time between the window anchor and the last task's departure
+    /// (steady-state window, excluding pipeline fill).
+    pub makespan: Micros,
+    /// Mean per-task residence time (entry into the pipeline → exit from
+    /// the last chunk) over measured tasks.
+    pub mean_task_latency: Micros,
+    /// Steady-state inverse throughput (mean inter-departure time over the
+    /// measured window). This is the quantity the paper reports as
+    /// pipeline latency and compares against the predicted bottleneck
+    /// `T_max`.
+    pub time_per_task: Micros,
+    /// Tasks completed per second.
+    pub throughput_hz: f64,
+    /// Fraction of the measured window each chunk spent busy (busy time
+    /// clipped to the window, so warmup and fill work cannot inflate it).
+    pub chunk_utilization: Vec<f64>,
+    /// Index of the chunk with the highest utilization.
+    pub bottleneck_chunk: usize,
+    /// Number of measured tasks.
+    pub tasks: u32,
+}
+
+/// Why a host run degraded instead of completing cleanly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DegradeReason {
+    /// `chunk` exhausted its per-chunk failure budget
+    /// (`ResilienceConfig::max_task_failures`); the head stopped admitting
+    /// and the pipeline drained its in-flight tasks.
+    KernelFailures {
+        /// The chunk whose kernels kept failing.
+        chunk: usize,
+    },
+    /// `chunk`'s dispatcher starved past the watchdog deadline with its
+    /// producer still alive — an upstream kernel is presumed hung, so the
+    /// pipeline unwound without a full drain.
+    WatchdogTimeout {
+        /// The dispatcher that starved (not necessarily the hung one).
+        chunk: usize,
+    },
+}
+
+/// Result of one pipeline run — simulated or host, fault-free or not.
+///
+/// The accounting triple (`submitted`, `completed`, `dropped`) always
+/// conserves tasks; `stats` is `None` only when *nothing* completed.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Tasks admitted at the pipeline head.
+    pub submitted: u64,
+    /// Tasks that exited the pipeline tail.
+    pub completed: u64,
+    /// `submitted - completed`: dropped by fault injection, tombstoned by
+    /// retries-exhausted kernels, or discarded by a watchdog unwind.
+    pub dropped: u64,
+    /// Fault activations observed (injected-fault firings in the
+    /// simulator; tombstoned tasks on the host).
+    pub faults_fired: u32,
+    /// Steady-state measurement over the tasks that completed, if any.
+    pub stats: Option<RunStats>,
+    /// Recorded execution spans (empty unless
+    /// [`RunConfig::record_timeline`] was set).
+    pub timeline: Vec<TimelineSpan>,
+    /// Collected telemetry (`None` unless [`RunConfig::telemetry`] enables
+    /// something).
+    pub telemetry: Option<RunTelemetry>,
+    /// Host-executor degradation verdict (`None` for clean runs and for
+    /// the simulator, whose degradations are visible as `dropped > 0`).
+    pub degraded: Option<DegradeReason>,
+}
+
+impl RunReport {
+    /// Whether the run lost tasks or degraded.
+    pub fn is_degraded(&self) -> bool {
+        self.dropped > 0 || self.stats.is_none() || self.degraded.is_some()
+    }
+
+    /// The steady-state stats of a run expected to be clean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing completed (`stats` is `None`).
+    pub fn expect_stats(&self) -> &RunStats {
+        self.stats
+            .as_ref()
+            .expect("run completed no tasks; check is_degraded() first")
+    }
+}

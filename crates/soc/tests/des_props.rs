@@ -1,8 +1,11 @@
 //! Property tests of the discrete-event pipeline simulator: conservation,
 //! determinism, and queueing-theoretic bounds over randomized schedules.
 
-use bt_soc::des::{simulate, ChunkSpec, DesConfig};
-use bt_soc::{cost, devices, InterferenceModel, PuClass, PuSpec, SocBuilder, WorkProfile};
+use bt_soc::des::{simulate, ChunkSpec};
+use bt_soc::{
+    cost, devices, InterferenceModel, PuClass, PuSpec, RunConfig, RunStats, SocBuilder, SocSpec,
+    WorkProfile,
+};
 use proptest::prelude::*;
 
 /// A device with no interference at all, so queueing bounds are exact.
@@ -40,13 +43,20 @@ fn chunk_strategy() -> impl Strategy<Value = Vec<ChunkSpec>> {
     })
 }
 
-fn noiseless(tasks: u32) -> DesConfig {
-    DesConfig {
+fn noiseless(tasks: u32) -> RunConfig {
+    RunConfig {
         tasks,
         warmup: 3,
         noise_sigma: 0.0,
-        ..DesConfig::default()
+        ..RunConfig::default()
     }
+}
+
+/// Clean-run stats; fault-free runs always complete everything.
+fn stats(soc: &SocSpec, chunks: &[ChunkSpec], cfg: &RunConfig) -> RunStats {
+    let report = simulate(soc, chunks, cfg, None).expect("simulates");
+    assert_eq!(report.completed, report.submitted, "clean run conserves");
+    report.expect_stats().clone()
 }
 
 proptest! {
@@ -55,8 +65,8 @@ proptest! {
     #[test]
     fn deterministic_and_positive(chunks in chunk_strategy()) {
         let soc = clean_soc();
-        let a = simulate(&soc, &chunks, &noiseless(20)).expect("simulates");
-        let b = simulate(&soc, &chunks, &noiseless(20)).expect("simulates");
+        let a = stats(&soc, &chunks, &noiseless(20));
+        let b = stats(&soc, &chunks, &noiseless(20));
         prop_assert_eq!(a.makespan.as_f64(), b.makespan.as_f64());
         prop_assert!(a.time_per_task.as_f64() > 0.0);
         prop_assert!(a.mean_task_latency.as_f64() > 0.0);
@@ -68,7 +78,7 @@ proptest! {
         // Without interference, steady-state time-per-task can't beat the
         // slowest chunk's isolated service time.
         let soc = clean_soc();
-        let report = simulate(&soc, &chunks, &noiseless(40)).expect("simulates");
+        let report = stats(&soc, &chunks, &noiseless(40));
         let bottleneck: f64 = chunks
             .iter()
             .map(|c| {
@@ -100,7 +110,7 @@ proptest! {
         // A task's mean residence time is at least the sum of all its
         // isolated service times (queueing only adds).
         let soc = clean_soc();
-        let report = simulate(&soc, &chunks, &noiseless(20)).expect("simulates");
+        let report = stats(&soc, &chunks, &noiseless(20));
         let service_sum: f64 = chunks
             .iter()
             .map(|c| {
@@ -117,18 +127,16 @@ proptest! {
     #[test]
     fn more_buffers_never_hurt_much(chunks in chunk_strategy()) {
         let soc = clean_soc();
-        let shallow = simulate(
+        let shallow = stats(
             &soc,
             &chunks,
-            &DesConfig { buffers: 1, ..noiseless(30) },
-        )
-        .expect("simulates");
-        let deep = simulate(
+            &RunConfig { buffers: 1, ..noiseless(30) },
+        );
+        let deep = stats(
             &soc,
             &chunks,
-            &DesConfig { buffers: 8, ..noiseless(30) },
-        )
-        .expect("simulates");
+            &RunConfig { buffers: 8, ..noiseless(30) },
+        );
         prop_assert!(
             deep.time_per_task.as_f64() <= shallow.time_per_task.as_f64() * 1.01,
             "deep {} vs shallow {}",
@@ -140,7 +148,7 @@ proptest! {
     #[test]
     fn utilization_bounded_and_bottleneck_is_argmax(chunks in chunk_strategy()) {
         let soc = clean_soc();
-        let report = simulate(&soc, &chunks, &noiseless(30)).expect("simulates");
+        let report = stats(&soc, &chunks, &noiseless(30));
         for &u in &report.chunk_utilization {
             prop_assert!((0.0..=1.02).contains(&u), "utilization {u}");
         }
@@ -171,7 +179,7 @@ fn real_devices_simulate_every_class_combination() {
                     ChunkSpec::new(a, vec![work.clone()]),
                     ChunkSpec::new(b, vec![work.clone()]),
                 ];
-                let r = simulate(&soc, &chunks, &noiseless(10)).expect("simulates");
+                let r = stats(&soc, &chunks, &noiseless(10));
                 assert!(r.time_per_task.as_f64() > 0.0, "{} {a}/{b}", soc.name());
             }
         }

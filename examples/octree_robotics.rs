@@ -17,7 +17,7 @@ use std::time::Instant;
 use bettertogether::kernels::apps::{self, OctreeConfig};
 use bettertogether::kernels::pointcloud::CloudShape;
 use bettertogether::kernels::ParCtx;
-use bettertogether::pipeline::{run_host, HostRunConfig, PuThreads, Schedule};
+use bettertogether::pipeline::{run_host, PuThreads, RunConfig, Schedule};
 use bettertogether::profiler::host::{profile_host, HostClasses, HostProfilerConfig};
 use bettertogether::profiler::ProfileMode;
 use bettertogether::soc::PuClass;
@@ -81,19 +81,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &app,
         &schedule,
         &threads,
-        &HostRunConfig {
+        &RunConfig {
             tasks,
             warmup: 3,
             record_timeline: true,
-            ..HostRunConfig::default()
+            ..RunConfig::default()
         },
+        None,
     )?;
+    let stats = report.expect_stats();
     println!(
         "pipelined ({}): {:.2} ms/task, {:.1} tasks/s, residence {:.2} ms",
         schedule,
-        report.time_per_task.as_secs_f64() * 1e3,
-        report.throughput_hz,
-        report.mean_task_latency.as_secs_f64() * 1e3
+        stats.time_per_task.as_f64() / 1e3,
+        stats.throughput_hz,
+        stats.mean_task_latency.as_f64() / 1e3
     );
     // Real-execution Gantt: every row is a dispatcher thread.
     let labels: Vec<String> = schedule
@@ -107,7 +109,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         bettertogether::soc::gantt::render_gantt(&report.timeline, &labels, 100)
     );
 
-    let speedup = sequential.as_secs_f64() / report.time_per_task.as_secs_f64();
+    let speedup = sequential.as_secs_f64() * 1e6 / stats.time_per_task.as_f64();
     println!("overlap speedup: {speedup:.2}x");
     if cores < 4 {
         println!(

@@ -14,7 +14,7 @@
 
 use bettertogether::core::{BetterTogether, Deployment, ExecutionBackend, HostBackend};
 use bettertogether::kernels::apps;
-use bettertogether::pipeline::HostRunConfig;
+use bettertogether::pipeline::RunConfig;
 use bettertogether::profiler::host::{HostClasses, HostProfilerConfig};
 use bettertogether::soc::{devices, PuClass};
 
@@ -96,10 +96,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         HostClasses::new(vec![(PuClass::BigCpu, 2), (PuClass::LittleCpu, 1)]),
     )
     .with_profiler(HostProfilerConfig { reps: 1, warmup: 0 })
-    .with_run(HostRunConfig {
+    .with_run(RunConfig {
         tasks: 4,
         warmup: 1,
-        ..HostRunConfig::default()
+        ..RunConfig::default()
     });
     drive(&BetterTogether::with_backend(backend))?;
     Ok(())

@@ -17,9 +17,8 @@ use bettertogether::core::{
     SimBackend,
 };
 use bettertogether::kernels::apps;
-use bettertogether::pipeline::HostRunConfig;
+use bettertogether::pipeline::RunConfig;
 use bettertogether::profiler::host::{HostClasses, HostProfilerConfig};
-use bettertogether::soc::des::DesConfig;
 use bettertogether::soc::{devices, PuClass};
 use bettertogether::telemetry::TelemetryConfig;
 
@@ -101,9 +100,9 @@ fn small_config() -> BtConfig {
 #[test]
 fn sim_backend_satisfies_structural_invariants() {
     let app = apps::octree_app(apps::OctreeConfig::default()).model();
-    let backend = SimBackend::new(devices::pixel_7a(), app).with_des(DesConfig {
+    let backend = SimBackend::new(devices::pixel_7a(), app).with_run(RunConfig {
         telemetry: TelemetryConfig::full(),
-        ..DesConfig::default()
+        ..RunConfig::default()
     });
     let d = drive_and_check(&BetterTogether::with_backend(backend).with_config(small_config()));
     // The simulated Pixel beats its own homogeneous baselines.
@@ -149,11 +148,11 @@ fn host_backend_satisfies_structural_invariants() {
         HostClasses::new(vec![(PuClass::BigCpu, 2), (PuClass::LittleCpu, 1)]),
     )
     .with_profiler(HostProfilerConfig { reps: 1, warmup: 0 })
-    .with_run(HostRunConfig {
+    .with_run(RunConfig {
         tasks: 4,
         warmup: 1,
         telemetry: TelemetryConfig::full(),
-        ..HostRunConfig::default()
+        ..RunConfig::default()
     });
     let d = drive_and_check(&BetterTogether::with_backend(backend).with_config(small_config()));
     // Host tiers both appear in the baseline table.

@@ -20,8 +20,7 @@ use bettertogether::core::{BetterTogether, SimBackend};
 use bettertogether::kernels::apps;
 use bettertogether::kernels::AppModel;
 use bettertogether::pipeline::simulate_schedule;
-use bettertogether::soc::des::DesConfig;
-use bettertogether::soc::{devices, SocSpec};
+use bettertogether::soc::{devices, RunConfig, SocSpec};
 
 fn three_apps() -> Vec<(&'static str, AppModel)> {
     vec![
@@ -83,19 +82,19 @@ fn service_cache_is_bit_identical_to_uncached_everywhere() {
                 .expect("plan");
             let schedule = &plan.candidates[0].schedule;
             for seed in [0u64, 7, 23] {
-                let cached = DesConfig {
+                let cached = RunConfig {
                     seed,
                     service_cache: true,
-                    ..DesConfig::default()
+                    ..RunConfig::default()
                 };
-                let uncached = DesConfig {
+                let uncached = RunConfig {
                     service_cache: false,
                     ..cached.clone()
                 };
                 let with_cache =
-                    simulate_schedule(&soc, &app, schedule, &cached).expect("cached run");
+                    simulate_schedule(&soc, &app, schedule, &cached, None).expect("cached run");
                 let without_cache =
-                    simulate_schedule(&soc, &app, schedule, &uncached).expect("uncached run");
+                    simulate_schedule(&soc, &app, schedule, &uncached, None).expect("uncached run");
                 assert_eq!(
                     format!("{with_cache:?}"),
                     format!("{without_cache:?}"),

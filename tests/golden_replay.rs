@@ -1,0 +1,264 @@
+//! Golden-fixture replay for the simulation engines.
+//!
+//! Pins the exact numeric output of the DES across all 4 paper devices ×
+//! 3 paper apps in clean, faulted, dynamic, and dynamic-faulted modes.
+//! The fixtures were captured from the pre-unification engines
+//! (`simulate`/`simulate_faulted`/`simulate_dynamic`/`simulate_dynamic_faulted`)
+//! and the unified mode-parameterized engines must reproduce them
+//! bit-identically: every float is compared via its shortest-roundtrip JSON
+//! encoding, so a single ULP of drift in event ordering or summation order
+//! fails the suite.
+//!
+//! Regenerate (only when an *intentional* model change lands) with:
+//!
+//! ```text
+//! BT_GOLDEN_REGEN=1 cargo test --test golden_replay
+//! ```
+
+use bt_kernels::apps;
+use bt_soc::des::{simulate, ChunkSpec};
+use bt_soc::des_dynamic::{simulate_dynamic, DynamicPolicy};
+use bt_soc::{
+    devices, FaultSpec, RunConfig, RunReport, SlowdownRamp, SocSpec, StageFault, StageFaultKind,
+    Straggler, WorkProfile,
+};
+use serde::{Deserialize, Serialize};
+
+const FIXTURE: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/fixtures/golden_des.json"
+);
+
+/// One pinned engine result. Every numeric field is serialized with
+/// shortest-roundtrip f64 formatting, so string equality of the JSON
+/// encoding is bit equality of the floats.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+struct GoldenCase {
+    device: String,
+    app: String,
+    mode: String,
+    submitted: u32,
+    completed: u32,
+    dropped: u32,
+    faults_fired: u32,
+    makespan_us: Option<f64>,
+    mean_task_latency_us: Option<f64>,
+    time_per_task_us: Option<f64>,
+    throughput_hz: Option<f64>,
+    chunk_utilization: Option<Vec<f64>>,
+    bottleneck_chunk: Option<usize>,
+    tasks: Option<u32>,
+}
+
+/// The paper's three workloads, matching `bt_bench::paper_apps()` (the root
+/// crate does not depend on bt-bench, so the list is restated here).
+fn paper_apps() -> Vec<(String, Vec<WorkProfile>)> {
+    vec![
+        (
+            "alexnet_dense".into(),
+            apps::alexnet_dense_app(apps::AlexNetConfig::default())
+                .model()
+                .works(),
+        ),
+        (
+            "alexnet_sparse".into(),
+            apps::alexnet_sparse_app(apps::AlexNetConfig::default())
+                .model()
+                .works(),
+        ),
+        (
+            "octree".into(),
+            apps::octree_app(apps::OctreeConfig::default())
+                .model()
+                .works(),
+        ),
+    ]
+}
+
+/// Deterministic contiguous chunking: stages split as evenly as possible
+/// across the device's schedulable classes, in class order. Not an optimized
+/// schedule — just a stable shape that exercises every PU class.
+fn golden_chunks(soc: &SocSpec, works: &[WorkProfile]) -> Vec<ChunkSpec> {
+    let classes = soc.schedulable_classes();
+    let k = classes.len().min(works.len());
+    let base = works.len() / k;
+    let extra = works.len() % k;
+    let mut chunks = Vec::with_capacity(k);
+    let mut next = 0usize;
+    for (i, class) in classes.into_iter().take(k).enumerate() {
+        let len = base + usize::from(i < extra);
+        chunks.push(ChunkSpec::new(class, works[next..next + len].to_vec()));
+        next += len;
+    }
+    chunks
+}
+
+/// A deterministic fault cocktail exercising every fault family except PU
+/// loss (loss drains the pipeline, which would leave most stats `None` and
+/// pin nothing).
+fn golden_faults(soc: &SocSpec) -> FaultSpec {
+    let class = soc.schedulable_classes()[0];
+    FaultSpec {
+        slowdowns: vec![SlowdownRamp {
+            class,
+            start_us: 200.0,
+            ramp_us: 400.0,
+            factor: 1.5,
+        }],
+        stragglers: vec![Straggler {
+            chunk: 0,
+            task: 7,
+            factor: 3.0,
+        }],
+        stage_faults: vec![
+            StageFault {
+                chunk: 0,
+                task: 11,
+                stage: 0,
+                kind: StageFaultKind::Timeout { extra_us: 50.0 },
+            },
+            StageFault {
+                chunk: 0,
+                task: 17,
+                stage: 0,
+                kind: StageFaultKind::Error,
+            },
+        ],
+        losses: vec![],
+    }
+}
+
+fn golden_config() -> RunConfig {
+    RunConfig {
+        tasks: 20,
+        warmup: 4,
+        seed: 42,
+        ..RunConfig::default()
+    }
+}
+
+/// Projects a unified [`RunReport`] onto the pinned fixture shape.
+fn fill(case: &mut GoldenCase, r: &RunReport) {
+    case.submitted = u32::try_from(r.submitted).expect("golden runs are small");
+    case.completed = u32::try_from(r.completed).expect("golden runs are small");
+    case.dropped = u32::try_from(r.dropped).expect("golden runs are small");
+    case.faults_fired = r.faults_fired;
+    if let Some(s) = &r.stats {
+        case.makespan_us = Some(s.makespan.as_f64());
+        case.mean_task_latency_us = Some(s.mean_task_latency.as_f64());
+        case.time_per_task_us = Some(s.time_per_task.as_f64());
+        case.throughput_hz = Some(s.throughput_hz);
+        case.chunk_utilization = Some(s.chunk_utilization.clone());
+        case.bottleneck_chunk = Some(s.bottleneck_chunk);
+        case.tasks = Some(s.tasks);
+    }
+}
+
+fn blank_case(device: &str, app: &str, mode: &str) -> GoldenCase {
+    GoldenCase {
+        device: device.into(),
+        app: app.into(),
+        mode: mode.into(),
+        submitted: 0,
+        completed: 0,
+        dropped: 0,
+        faults_fired: 0,
+        makespan_us: None,
+        mean_task_latency_us: None,
+        time_per_task_us: None,
+        throughput_hz: None,
+        chunk_utilization: None,
+        bottleneck_chunk: None,
+        tasks: None,
+    }
+}
+
+/// Runs all four engine modes for every device × app and returns the cases
+/// in a stable order.
+fn compute_cases() -> Vec<GoldenCase> {
+    let cfg = golden_config();
+    let mut cases = Vec::new();
+    for soc in devices::all() {
+        for (app_name, works) in paper_apps() {
+            let chunks = golden_chunks(&soc, &works);
+            let faults = golden_faults(&soc);
+
+            let mut clean = blank_case(soc.name(), &app_name, "clean");
+            let r = simulate(&soc, &chunks, &cfg, None).expect("clean static run");
+            fill(&mut clean, &r);
+            cases.push(clean);
+
+            let mut faulted = blank_case(soc.name(), &app_name, "faulted");
+            let r = simulate(&soc, &chunks, &cfg, Some(&faults)).expect("faulted static run");
+            fill(&mut faulted, &r);
+            cases.push(faulted);
+
+            let mut dynamic = blank_case(soc.name(), &app_name, "dynamic");
+            let r = simulate_dynamic(&soc, &works, &cfg, DynamicPolicy::Fifo, None)
+                .expect("clean dynamic run");
+            fill(&mut dynamic, &r);
+            cases.push(dynamic);
+
+            let mut dyn_faulted = blank_case(soc.name(), &app_name, "dynamic_faulted");
+            let r = simulate_dynamic(&soc, &works, &cfg, DynamicPolicy::BestFit, Some(&faults))
+                .expect("faulted dynamic run");
+            fill(&mut dyn_faulted, &r);
+            cases.push(dyn_faulted);
+        }
+    }
+    cases
+}
+
+#[test]
+fn golden_fixtures_replay_bit_identically() {
+    let cases = compute_cases();
+    assert_eq!(cases.len(), 4 * 3 * 4, "4 devices x 3 apps x 4 modes");
+
+    if std::env::var("BT_GOLDEN_REGEN").is_ok() {
+        let json = serde_json::to_string_pretty(&cases).expect("serialize fixtures");
+        std::fs::write(FIXTURE, json).expect("write fixture file");
+        eprintln!("regenerated {FIXTURE} with {} cases", cases.len());
+        return;
+    }
+
+    let raw = std::fs::read_to_string(FIXTURE)
+        .expect("fixture missing — run with BT_GOLDEN_REGEN=1 to capture");
+    let golden: Vec<GoldenCase> = serde_json::from_str(&raw).expect("parse fixture");
+    assert_eq!(golden.len(), cases.len(), "fixture case count");
+
+    let mut mismatches = Vec::new();
+    for (got, want) in cases.iter().zip(&golden) {
+        // Compare through the JSON encoding: shortest-roundtrip f64
+        // formatting makes string equality equivalent to bit equality.
+        let got_s = serde_json::to_string(got).unwrap();
+        let want_s = serde_json::to_string(want).unwrap();
+        if got_s != want_s {
+            mismatches.push(format!(
+                "{}/{}/{}:\n  got  {got_s}\n  want {want_s}",
+                got.device, got.app, got.mode
+            ));
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "{} golden case(s) drifted:\n{}",
+        mismatches.len(),
+        mismatches.join("\n")
+    );
+}
+
+/// Faulted fixtures must themselves conserve tasks — guards against
+/// capturing a broken baseline.
+#[test]
+fn golden_fixtures_conserve_tasks() {
+    for case in compute_cases() {
+        assert_eq!(
+            case.completed + case.dropped,
+            case.submitted,
+            "{}/{}/{} leaks tasks",
+            case.device,
+            case.app,
+            case.mode
+        );
+    }
+}

@@ -6,7 +6,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bettertogether::kernels::{apps, Application, KernelFn, ParCtx, Stage};
-use bettertogether::pipeline::{run_host, HostRunConfig, PuThreads, Schedule};
+use bettertogether::pipeline::{run_host, PuThreads, RunConfig, Schedule};
 use bettertogether::soc::{PuClass, WorkProfile};
 
 /// Payload that hashes its sequence number through each stage; the last
@@ -75,15 +75,15 @@ fn every_task_processed_exactly_once_in_order() {
     let app = checked_app(6, Arc::clone(&errors), Arc::clone(&done));
     let schedule =
         Schedule::new(vec![BigCpu, BigCpu, MediumCpu, MediumCpu, Gpu, LittleCpu]).unwrap();
-    let cfg = HostRunConfig {
+    let cfg = RunConfig {
         tasks: 200,
         warmup: 5,
-        ..HostRunConfig::default()
+        ..RunConfig::default()
     };
-    let report = run_host(&app, &schedule, &PuThreads::uniform(2), &cfg).unwrap();
+    let report = run_host(&app, &schedule, &PuThreads::uniform(2), &cfg, None).unwrap();
     assert_eq!(errors.load(Ordering::Relaxed), 0, "payload corruption");
     assert_eq!(done.load(Ordering::Relaxed), 205, "every task completes");
-    assert!(report.throughput_hz > 0.0);
+    assert!(report.expect_stats().throughput_hz > 0.0);
 }
 
 #[test]
@@ -100,13 +100,13 @@ fn deep_pipelines_and_tiny_buffers() {
     .unwrap();
     // Buffer pool of exactly 1 forces full serialization through the
     // queues; correctness must be unaffected.
-    let cfg = HostRunConfig {
+    let cfg = RunConfig {
         tasks: 50,
         warmup: 0,
         buffers: 1,
-        ..HostRunConfig::default()
+        ..RunConfig::default()
     };
-    run_host(&app, &schedule, &PuThreads::uniform(1), &cfg).unwrap();
+    run_host(&app, &schedule, &PuThreads::uniform(1), &cfg, None).unwrap();
     assert_eq!(errors.load(Ordering::Relaxed), 0);
     assert_eq!(done.load(Ordering::Relaxed), 50);
 }
@@ -157,12 +157,12 @@ fn real_octree_pipeline_produces_correct_structures() {
         PuClass::Gpu,
     ])
     .unwrap();
-    let cfg = HostRunConfig {
+    let cfg = RunConfig {
         tasks: 12,
         warmup: 2,
-        ..HostRunConfig::default()
+        ..RunConfig::default()
     };
-    run_host(&app, &schedule, &PuThreads::uniform(2), &cfg).unwrap();
+    run_host(&app, &schedule, &PuThreads::uniform(2), &cfg, None).unwrap();
     assert_eq!(validated.load(Ordering::Relaxed), 14);
 }
 
@@ -195,12 +195,12 @@ fn panicking_stage_fails_cleanly_without_deadlock() {
         PuClass::LittleCpu,
     ])
     .unwrap();
-    let cfg = HostRunConfig {
+    let cfg = RunConfig {
         tasks: 50,
         warmup: 0,
-        ..HostRunConfig::default()
+        ..RunConfig::default()
     };
-    let err = run_host(&app, &schedule, &PuThreads::uniform(1), &cfg).unwrap_err();
+    let err = run_host(&app, &schedule, &PuThreads::uniform(1), &cfg, None).unwrap_err();
     assert_eq!(err, PipelineError::StagePanicked { chunk: 2 });
 }
 
@@ -229,11 +229,12 @@ fn panicking_head_stage_fails_cleanly() {
         &app,
         &schedule,
         &PuThreads::uniform(1),
-        &HostRunConfig {
+        &RunConfig {
             tasks: 20,
             warmup: 0,
-            ..HostRunConfig::default()
+            ..RunConfig::default()
         },
+        None,
     )
     .unwrap_err();
     assert_eq!(err, PipelineError::StagePanicked { chunk: 0 });
@@ -246,22 +247,19 @@ fn duration_mode_runs_until_deadline() {
     let done = Arc::new(AtomicU64::new(0));
     let app = checked_app(3, Arc::clone(&errors), Arc::clone(&done));
     let schedule = Schedule::new(vec![PuClass::BigCpu, PuClass::Gpu, PuClass::Gpu]).unwrap();
-    let cfg = HostRunConfig {
+    let cfg = RunConfig {
         tasks: 1, // only sizes warmup accounting in duration mode
         warmup: 2,
         duration: Some(Duration::from_millis(120)),
-        ..HostRunConfig::default()
+        ..RunConfig::default()
     };
-    let report = run_host(&app, &schedule, &PuThreads::uniform(1), &cfg).unwrap();
+    let report = run_host(&app, &schedule, &PuThreads::uniform(1), &cfg, None).unwrap();
     assert_eq!(errors.load(Ordering::Relaxed), 0);
+    let stats = report.expect_stats();
     // The trivial kernels complete far more than the warmup within 120 ms.
-    assert!(
-        report.tasks > 10,
-        "only {} tasks in the window",
-        report.tasks
-    );
-    assert_eq!(done.load(Ordering::Relaxed), u64::from(report.tasks) + 2);
-    assert!(report.throughput_hz > 0.0);
+    assert!(stats.tasks > 10, "only {} tasks in the window", stats.tasks);
+    assert_eq!(done.load(Ordering::Relaxed), u64::from(stats.tasks) + 2);
+    assert!(stats.throughput_hz > 0.0);
 }
 
 #[test]
@@ -270,13 +268,13 @@ fn timeline_recording_captures_all_tasks() {
     let done = Arc::new(AtomicU64::new(0));
     let app = checked_app(3, Arc::clone(&errors), Arc::clone(&done));
     let schedule = Schedule::new(vec![PuClass::BigCpu, PuClass::Gpu, PuClass::Gpu]).unwrap();
-    let cfg = HostRunConfig {
+    let cfg = RunConfig {
         tasks: 10,
         warmup: 0,
         record_timeline: true,
-        ..HostRunConfig::default()
+        ..RunConfig::default()
     };
-    let report = run_host(&app, &schedule, &PuThreads::uniform(1), &cfg).unwrap();
+    let report = run_host(&app, &schedule, &PuThreads::uniform(1), &cfg, None).unwrap();
     // Two chunks × 10 tasks = 20 spans, all well-formed.
     assert_eq!(report.timeline.len(), 20);
     for span in &report.timeline {
@@ -292,13 +290,13 @@ fn single_chunk_host_run_matches_multi_chunk_results() {
     let d1 = Arc::new(AtomicU64::new(0));
     let app = checked_app(3, Arc::clone(&e1), Arc::clone(&d1));
     let single = Schedule::homogeneous(3, PuClass::BigCpu);
-    let cfg = HostRunConfig {
+    let cfg = RunConfig {
         tasks: 30,
         warmup: 0,
         buffers: 2,
-        ..HostRunConfig::default()
+        ..RunConfig::default()
     };
-    run_host(&app, &single, &PuThreads::uniform(2), &cfg).unwrap();
+    run_host(&app, &single, &PuThreads::uniform(2), &cfg, None).unwrap();
     assert_eq!(e1.load(Ordering::Relaxed), 0);
     assert_eq!(d1.load(Ordering::Relaxed), 30);
 }

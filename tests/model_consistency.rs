@@ -8,8 +8,7 @@ use bettertogether::core::{optimize, predict, OptimizerConfig};
 use bettertogether::kernels::apps;
 use bettertogether::pipeline::{simulate_baseline, simulate_schedule, Schedule};
 use bettertogether::profiler::{profile, ProfileMode, ProfilerConfig};
-use bettertogether::soc::des::DesConfig;
-use bettertogether::soc::{devices, PuClass};
+use bettertogether::soc::{devices, PuClass, RunConfig};
 
 fn noiseless_profiler() -> ProfilerConfig {
     ProfilerConfig {
@@ -18,10 +17,10 @@ fn noiseless_profiler() -> ProfilerConfig {
     }
 }
 
-fn noiseless_des() -> DesConfig {
-    DesConfig {
+fn noiseless_des() -> RunConfig {
+    RunConfig {
         noise_sigma: 0.0,
-        ..DesConfig::default()
+        ..RunConfig::default()
     }
 }
 
@@ -35,8 +34,9 @@ fn homogeneous_prediction_matches_isolated_baseline_modulo_sync() {
     let table = profile(&soc, &app, ProfileMode::Isolated, &noiseless_profiler());
     let schedule = Schedule::homogeneous(7, PuClass::BigCpu);
     let predicted = predict::predict_latency(&table, &schedule).expect("covered");
-    let measured = simulate_schedule(&soc, &app, &schedule, &noiseless_des())
+    let measured = simulate_schedule(&soc, &app, &schedule, &noiseless_des(), None)
         .expect("simulates")
+        .expect_stats()
         .time_per_task;
     let sync = soc.pu(PuClass::BigCpu).unwrap().sync_overhead_us();
     let diff = (measured.as_f64() - predicted.as_f64() - sync).abs();
@@ -76,12 +76,14 @@ fn interference_aware_predictions_correlate_on_every_pair() {
                         &soc,
                         app,
                         &c.schedule,
-                        &DesConfig {
+                        &RunConfig {
                             seed: i as u64,
-                            ..DesConfig::default()
+                            ..RunConfig::default()
                         },
+                        None,
                     )
                     .expect("simulates")
+                    .expect_stats()
                     .time_per_task
                     .as_f64()
                 })
@@ -107,10 +109,18 @@ fn baselines_pay_per_stage_sync() {
     let des = noiseless_des();
     let baseline = simulate_baseline(&soc, &app, PuClass::Gpu, &des)
         .expect("simulates")
+        .expect_stats()
         .time_per_task;
-    let chunked = simulate_schedule(&soc, &app, &Schedule::homogeneous(9, PuClass::Gpu), &des)
-        .expect("simulates")
-        .time_per_task;
+    let chunked = simulate_schedule(
+        &soc,
+        &app,
+        &Schedule::homogeneous(9, PuClass::Gpu),
+        &des,
+        None,
+    )
+    .expect("simulates")
+    .expect_stats()
+    .time_per_task;
     let sync = soc.pu(PuClass::Gpu).unwrap().sync_overhead_us();
     let expect_gap = 8.0 * sync;
     let gap = baseline.as_f64() - chunked.as_f64();
@@ -137,8 +147,9 @@ fn balanced_schedules_predict_better_than_unbalanced() {
         let p = predict::predict_latency(&table, schedule)
             .expect("covered")
             .as_f64();
-        let m = simulate_schedule(&soc, &app, schedule, &noiseless_des())
+        let m = simulate_schedule(&soc, &app, schedule, &noiseless_des(), None)
             .expect("simulates")
+            .expect_stats()
             .time_per_task
             .as_f64();
         ((p - m) / m).abs()
