@@ -69,6 +69,9 @@ struct BenchEval {
     fig2_loop: Fig2Loop,
     des: DesThroughput,
     solver: SolverCandidates,
+    /// Multi-tenant rows: co-run vs time-slicing (deterministic, gated)
+    /// and steal-path overhead (wall-clock, informational).
+    mt: bt_bench::mt::MtBench,
     /// The acceptance bar: current Fig. 2 loop ≥ 2× the pre-PR path.
     meets_2x_fig2: bool,
 }
@@ -309,6 +312,18 @@ fn main() {
         solver.speedup
     );
 
+    // --- Multi-tenant co-run rows. --------------------------------------
+    let (mt_tasks, steal_tasks) = if smoke { (50, 500) } else { (200, 5000) };
+    let mt = bt_bench::mt::run_mt_bench(mt_tasks, steal_tasks);
+    println!(
+        "Multi-tenant: co-run {:9.0} µs   sliced {:9.0} µs   speedup {:.2}x   \
+         steal path {:.2} µs/task",
+        mt.co_run_makespan_us,
+        mt.time_sliced_makespan_us,
+        mt.co_run_speedup,
+        mt.steal_overhead_us_per_task
+    );
+
     let meets = fig2.speedup >= 2.0;
     println!(
         "\nFig. 2 loop >= 2x over pre-PR path: {}",
@@ -316,6 +331,7 @@ fn main() {
     );
 
     let fig2_speedup = fig2.speedup;
+    let mt_speedup = mt.co_run_speedup;
     bt_bench::write_root_result(
         "BENCH_eval",
         &BenchEval {
@@ -325,6 +341,7 @@ fn main() {
             fig2_loop: fig2,
             des,
             solver,
+            mt,
             meets_2x_fig2: meets,
         },
     );
@@ -346,6 +363,18 @@ fn main() {
             );
             std::process::exit(1);
         }
-        println!("gate: pass ({fig2_speedup:.2}x >= {GATE_FLOOR}x)");
+        // The multi-tenant arm is virtual-time, hence deterministic: a
+        // co-run that stops beating time-slicing is a real regression in
+        // the co-scheduling model, not runner noise.
+        if mt_speedup <= 1.0 {
+            eprintln!(
+                "gate: FAIL — multi-tenant co-run speedup {mt_speedup:.2}x does not beat \
+                 time-slicing"
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "gate: pass (fig2 {fig2_speedup:.2}x >= {GATE_FLOOR}x, co-run {mt_speedup:.2}x > 1x)"
+        );
     }
 }

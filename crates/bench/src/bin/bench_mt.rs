@@ -1,0 +1,43 @@
+//! **Multi-tenant co-run harness**: co-schedules the paper's three apps
+//! on one simulated Pixel 7a and compares the aggregate makespan against
+//! naive time-slicing, plus a wall-clock measurement of the
+//! work-stealing pool's steal-path overhead per task.
+//!
+//! The virtual-time rows are deterministic (same seeds every run); the
+//! steal-path row is wall-clock and machine-dependent. `--smoke` shrinks
+//! stream lengths for CI. The same rows ride inside `BENCH_eval.json`
+//! via `bench_eval`; this binary writes the standalone
+//! `results/bench_mt.json` artefact.
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (tasks, steal_tasks) = if smoke { (50, 500) } else { (200, 5000) };
+    println!(
+        "multi-tenant co-run — Pixel 7a × (CIFAR-D + CIFAR-S + Tree){}\n",
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    let b = bt_bench::mt::run_mt_bench(tasks, steal_tasks);
+    println!(
+        "co-run makespan      {:>12.0} µs   ({} tenants, {} tasks each)",
+        b.co_run_makespan_us, b.tenants, tasks
+    );
+    println!(
+        "time-sliced makespan {:>12.0} µs   speedup {:.2}x",
+        b.time_sliced_makespan_us, b.co_run_speedup
+    );
+    println!(
+        "aggregate throughput {:>12.1} tasks/s",
+        b.aggregate_throughput_hz
+    );
+    println!(
+        "steal-path overhead  {:>12.2} µs/task   (wall-clock, no-op kernels)",
+        b.steal_overhead_us_per_task
+    );
+
+    assert!(
+        b.co_run_speedup > 1.0,
+        "interference-aware co-run must beat time-slicing"
+    );
+    bt_bench::write_result("bench_mt", &b);
+}

@@ -20,10 +20,13 @@
 //! | `dynamic_vs_static` | extension — vs a StarPU-style dynamic runtime |
 //! | `timeline` | extension — ASCII Gantt of pipelined execution |
 //! | `input_scaling` | extension — schedule sensitivity to input scale |
+//! | `bench_mt` | extension — multi-tenant co-run vs naive time-slicing |
 //! | `calibrate` | (tool) full calibration dump |
 //!
 //! Criterion benches (`cargo bench`) additionally cover kernel throughput,
 //! the SPSC queue hot path, solver scaling, and simulator throughput.
+
+pub mod mt;
 
 use std::fs;
 use std::path::PathBuf;

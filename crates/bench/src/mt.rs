@@ -1,0 +1,170 @@
+//! Multi-tenant co-run measurements shared by the `bench_mt` binary and
+//! the `bench_eval` trajectory rows.
+//!
+//! Two numbers summarize the multi-tenant runtime:
+//!
+//! 1. **Aggregate co-run speedup** — virtual-time, deterministic: the
+//!    paper's three apps co-scheduled on one simulated Pixel 7a
+//!    ([`bt_soc::simulate_multi`]) versus naive time-slicing (solo runs
+//!    back to back). This is the number the `bench_eval --gate` floor
+//!    covers: a co-run that stops beating time-slicing is a regression in
+//!    either the stealing runtime model or the interference pricing.
+//! 2. **Steal-path overhead per task** — wall-clock, informational: a
+//!    no-op tenant pushed through the work-stealing host pool
+//!    ([`bt_pipeline::run_multi_host`]), so every measured microsecond is
+//!    queue/claim/steal machinery rather than kernel work.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use bt_kernels::{Application, KernelFn, ParCtx, Stage};
+use bt_pipeline::{
+    run_multi_host, to_chunk_specs, RunConfig, Schedule, Tenant, TenantSet, WorkerBudget,
+};
+use bt_soc::{devices, simulate_multi, PuClass, TenantSpec, WorkProfile};
+use serde::Serialize;
+
+/// The multi-tenant rows of the perf trajectory.
+#[derive(Debug, Clone, Serialize)]
+pub struct MtBench {
+    /// Number of co-running tenants (the paper's three apps).
+    pub tenants: usize,
+    /// Virtual-time makespan of the interference-aware co-run, µs.
+    pub co_run_makespan_us: f64,
+    /// Virtual-time makespan of naive time-slicing (solo runs summed), µs.
+    pub time_sliced_makespan_us: f64,
+    /// `time_sliced / co_run` — deterministic, gate-able.
+    pub co_run_speedup: f64,
+    /// Aggregate completed-task throughput of the co-run, Hz.
+    pub aggregate_throughput_hz: f64,
+    /// Wall-clock work-stealing pool overhead per task, µs (no-op
+    /// kernels; queue + claim + steal machinery only). Informational —
+    /// noisy on shared runners.
+    pub steal_overhead_us_per_task: f64,
+}
+
+/// Interference-aware co-placement of the three paper apps (dense,
+/// sparse, octree — [`crate::paper_apps`] order) on the Pixel 7a: each
+/// tenant leans on a different cluster mix.
+fn co_schedules(stage_counts: &[usize]) -> Vec<Schedule> {
+    use PuClass::*;
+    vec![
+        // AlexNet dense: GPU trunk.
+        Schedule::homogeneous(stage_counts[0], Gpu),
+        // AlexNet sparse: big/medium CPU split, off the GPU.
+        Schedule::new(
+            (0..stage_counts[1])
+                .map(|i| {
+                    if i < stage_counts[1] / 2 {
+                        BigCpu
+                    } else {
+                        MediumCpu
+                    }
+                })
+                .collect(),
+        )
+        .expect("contiguous"),
+        // Octree: CPU front, GPU middle, little tail.
+        Schedule::new(vec![
+            BigCpu, BigCpu, MediumCpu, Gpu, Gpu, LittleCpu, LittleCpu,
+        ])
+        .expect("contiguous"),
+    ]
+}
+
+/// Runs both measurements. `tasks` scales the per-tenant stream length of
+/// the virtual-time arms; `steal_tasks` the wall-clock no-op stream.
+pub fn run_mt_bench(tasks: u32, steal_tasks: u32) -> MtBench {
+    let soc = devices::pixel_7a();
+    let models = crate::paper_apps();
+    let schedules = co_schedules(&models.iter().map(|m| m.stage_count()).collect::<Vec<_>>());
+    let specs: Vec<TenantSpec> = models
+        .iter()
+        .zip(&schedules)
+        .enumerate()
+        .map(|(i, (m, s))| {
+            TenantSpec::new(
+                m.name.clone(),
+                to_chunk_specs(m, s).expect("schedule fits app"),
+                RunConfig {
+                    tasks,
+                    warmup: 5,
+                    seed: 11 + i as u64,
+                    ..RunConfig::default()
+                },
+            )
+        })
+        .collect();
+
+    let time_sliced: f64 = specs
+        .iter()
+        .map(|t| {
+            simulate_multi(&soc, std::slice::from_ref(t), None)
+                .expect("solo run")
+                .makespan_us
+        })
+        .sum();
+    let co = simulate_multi(&soc, &specs, None).expect("co-run");
+
+    MtBench {
+        tenants: specs.len(),
+        co_run_makespan_us: co.makespan_us,
+        time_sliced_makespan_us: time_sliced,
+        co_run_speedup: time_sliced / co.makespan_us,
+        aggregate_throughput_hz: co.throughput_hz,
+        steal_overhead_us_per_task: steal_overhead_us(steal_tasks),
+    }
+}
+
+/// Wall-clock µs of pool machinery per task: one no-op two-chunk tenant,
+/// two workers, so each task crosses the injector/deque/claim path twice.
+fn steal_overhead_us(tasks: u32) -> f64 {
+    let noop: KernelFn<u64> = Arc::new(|_t: &mut u64, _ctx: &ParCtx| {});
+    let stages = (0..2)
+        .map(|i| {
+            Stage::new(
+                format!("s{i}"),
+                WorkProfile::new(1.0, 1.0),
+                Arc::clone(&noop),
+            )
+        })
+        .collect();
+    let app = Application::new(
+        "noop",
+        stages,
+        Arc::new(|| 0u64),
+        Arc::new(|t: &mut u64, seq| *t = seq),
+    );
+    let schedule = Schedule::new(vec![PuClass::BigCpu, PuClass::MediumCpu]).expect("contiguous");
+    let run = RunConfig {
+        tasks,
+        warmup: 1,
+        ..RunConfig::default()
+    };
+    let set =
+        TenantSet::new().with(Tenant::new("noop", &app, &schedule, run).expect("valid tenant"));
+    let budget = WorkerBudget::new(2);
+    // One warmup run for thread spawn / allocator effects, then measure.
+    run_multi_host(&set, &budget).expect("warm run");
+    let t0 = Instant::now();
+    let reports = run_multi_host(&set, &budget).expect("measured run");
+    let elapsed_us = t0.elapsed().as_secs_f64() * 1e6;
+    assert_eq!(reports[0].completed, u64::from(tasks + 1));
+    elapsed_us / f64::from(tasks + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mt_bench_rows_are_sane() {
+        let b = run_mt_bench(10, 50);
+        assert_eq!(b.tenants, 3);
+        assert!(b.co_run_makespan_us > 0.0);
+        assert!(b.time_sliced_makespan_us > b.co_run_makespan_us);
+        assert!(b.co_run_speedup > 1.0);
+        assert!(b.aggregate_throughput_hz > 0.0);
+        assert!(b.steal_overhead_us_per_task > 0.0);
+    }
+}

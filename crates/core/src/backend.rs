@@ -16,13 +16,35 @@
 
 use bt_kernels::{AppModel, Application};
 use bt_pipeline::{
-    run_host, simulate_baseline, simulate_schedule, Measurement, PuThreads, Schedule,
+    run_host, simulate_baseline, simulate_schedule, to_chunk_specs, Measurement, PuThreads,
+    Schedule,
 };
 use bt_profiler::host::{profile_host, HostClasses, HostProfilerConfig};
 use bt_profiler::{profile, ProfileMode, ProfilerConfig, ProfilingTable};
-use bt_soc::{FaultSpec, PuClass, RunConfig, SocSpec};
+use bt_soc::{simulate_multi, FaultSpec, PuClass, RunConfig, SocSpec, TenantSpec};
 
 use crate::BtError;
+
+/// One tenant of a multi-tenant measurement: an application model under
+/// a schedule, with its own run configuration. The co-run vocabulary of
+/// [`ExecutionBackend::measure_multi`] and of the admission policies in
+/// `bt-faults`.
+#[derive(Debug, Clone)]
+pub struct CoTenant {
+    /// The tenant's application model.
+    pub app: AppModel,
+    /// Placement of the tenant's stages on the device.
+    pub schedule: Schedule,
+    /// The tenant's own run configuration (tasks, warmup, seed, …).
+    pub run: RunConfig,
+}
+
+impl CoTenant {
+    /// Convenience constructor.
+    pub fn new(app: AppModel, schedule: Schedule, run: RunConfig) -> CoTenant {
+        CoTenant { app, schedule, run }
+    }
+}
 
 /// A substrate that can profile an application and measure schedules on
 /// it — everything the BetterTogether loop needs from the outside world.
@@ -95,6 +117,28 @@ pub trait ExecutionBackend: Sync {
     /// Returns [`BtError`] when the class cannot host the whole
     /// application on this substrate.
     fn measure_baseline(&self, class: PuClass) -> Result<Measurement, BtError>;
+
+    /// Co-runs `tenants` on this substrate's shared device, returning one
+    /// steady-state measurement per tenant in input order.
+    ///
+    /// Unlike [`measure`](ExecutionBackend::measure), this ignores the
+    /// backend's bound application: each [`CoTenant`] carries its own
+    /// model, schedule, and run configuration, and the substrate prices
+    /// cross-tenant interference between them.
+    ///
+    /// # Errors
+    ///
+    /// The default implementation returns
+    /// [`BtError::MultiTenantUnsupported`] — only virtual-time backends
+    /// can co-schedule tenant timelines. Supporting backends return the
+    /// usual configuration errors (stage mismatch, missing PU) or
+    /// [`BtError::RunDegraded`] when a tenant completes no tasks.
+    fn measure_multi(&self, tenants: &[CoTenant]) -> Result<Vec<Measurement>, BtError> {
+        let _ = tenants;
+        Err(BtError::MultiTenantUnsupported {
+            backend: self.name().to_string(),
+        })
+    }
 }
 
 /// The simulated backend: profiles and executes against the
@@ -241,6 +285,34 @@ impl ExecutionBackend for SimBackend {
     fn measure_baseline(&self, class: PuClass) -> Result<Measurement, BtError> {
         let report = simulate_baseline(&self.soc, &self.app, class, &self.run)?;
         Ok(Measurement::from_run(report).expect("clean baseline runs complete every task"))
+    }
+
+    fn measure_multi(&self, tenants: &[CoTenant]) -> Result<Vec<Measurement>, BtError> {
+        let specs = tenants
+            .iter()
+            .map(|t| {
+                Ok(TenantSpec::new(
+                    t.app.name.clone(),
+                    to_chunk_specs(&t.app, &t.schedule)?,
+                    t.run.clone(),
+                ))
+            })
+            .collect::<Result<Vec<_>, BtError>>()?;
+        let faults = (!self.faults.is_empty()).then_some(&self.faults);
+        let multi = simulate_multi(&self.soc, &specs, faults)?;
+        multi
+            .tenants
+            .into_iter()
+            .map(|report| {
+                let (submitted, completed, dropped) =
+                    (report.submitted, report.completed, report.dropped);
+                Measurement::from_run(report).ok_or(BtError::RunDegraded {
+                    submitted,
+                    completed,
+                    dropped,
+                })
+            })
+            .collect()
     }
 }
 

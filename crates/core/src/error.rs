@@ -37,6 +37,13 @@ pub enum BtError {
         /// The autotuning run index the fault was armed for.
         run_index: u64,
     },
+    /// The backend cannot co-run multiple tenants (only virtual-time
+    /// substrates co-schedule tenant timelines; see
+    /// [`crate::ExecutionBackend::measure_multi`]).
+    MultiTenantUnsupported {
+        /// Name of the refusing backend.
+        backend: String,
+    },
 }
 
 impl fmt::Display for BtError {
@@ -66,6 +73,9 @@ impl fmt::Display for BtError {
             ),
             BtError::InjectedFault { run_index } => {
                 write!(f, "fault injected into measurement run {run_index}")
+            }
+            BtError::MultiTenantUnsupported { backend } => {
+                write!(f, "backend '{backend}' cannot measure multi-tenant co-runs")
             }
         }
     }

@@ -49,7 +49,7 @@ mod parallel;
 pub mod predict;
 mod resilience;
 
-pub use backend::{ExecutionBackend, HostBackend, SimBackend};
+pub use backend::{CoTenant, ExecutionBackend, HostBackend, SimBackend};
 pub use baseline::{measure_baselines, BaselineEntry, Baselines};
 pub use error::BtError;
 pub use framework::{BetterTogether, BtConfig, Deployment, Plan};

@@ -15,9 +15,13 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod admission;
+
+pub use admission::{admit_greedy, AdmissionConfig, AdmissionDecision, AdmissionPolicy, Rejection};
+
 use std::time::Duration;
 
-use bt_core::{BtError, ExecutionBackend};
+use bt_core::{BtError, CoTenant, ExecutionBackend};
 use bt_pipeline::{Measurement, Schedule};
 use bt_profiler::{ProfileMode, ProfilingTable};
 use bt_soc::{FaultSpec, PuClass, PuLoss, SlowdownRamp, StageFault, StageFaultKind, Straggler};
@@ -226,6 +230,16 @@ impl<B: ExecutionBackend> ExecutionBackend for FaultyBackend<B> {
 
     fn measure_baseline(&self, class: PuClass) -> Result<Measurement, BtError> {
         self.inner.measure_baseline(class)
+    }
+
+    fn measure_multi(&self, tenants: &[CoTenant]) -> Result<Vec<Measurement>, BtError> {
+        // Co-run measurements share the measurement channel, so the
+        // armed delay applies; run-indexed failures do not (there is no
+        // run index to arm against).
+        if let Some(d) = self.delay {
+            std::thread::sleep(d);
+        }
+        self.inner.measure_multi(tenants)
     }
 }
 

@@ -19,22 +19,18 @@
 #![warn(missing_debug_implementations)]
 
 mod affinity;
-pub mod compat;
 mod executor;
 mod measure;
+mod multi;
 mod schedule;
 mod sim;
 pub mod spsc;
 mod usm;
 
 pub use affinity::{current_affinity, pin_current_thread};
-#[allow(deprecated)]
-pub use compat::{
-    run_host_resilient, simulate_schedule_faulted, HostReport, HostRunConfig, HostTimelineEvent,
-    RunOutcome,
-};
 pub use executor::{run_host, PipelineError, PuThreads, ResilienceConfig};
 pub use measure::Measurement;
+pub use multi::{run_multi_host, Tenant, TenantSet, WorkerBudget};
 pub use schedule::{ChunkAssignment, Schedule, ScheduleError};
 pub use sim::{simulate_baseline, simulate_schedule, to_chunk_specs};
 // The shared run vocabulary, re-exported so runtime consumers need not

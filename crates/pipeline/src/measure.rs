@@ -4,8 +4,6 @@
 //! autotune, compare baselines, and price energy without knowing which
 //! substrate executed the schedule.
 
-use std::time::Duration;
-
 use bt_soc::{Micros, RunReport};
 use bt_telemetry::RunTelemetry;
 
@@ -50,40 +48,6 @@ impl Measurement {
             tasks: s.tasks,
             telemetry: report.telemetry,
         })
-    }
-}
-
-fn duration_us(d: Duration) -> Micros {
-    Micros::new(d.as_secs_f64() * 1e6)
-}
-
-#[allow(deprecated)]
-impl From<bt_soc::compat::DesReport> for Measurement {
-    fn from(r: bt_soc::compat::DesReport) -> Measurement {
-        Measurement {
-            latency: r.time_per_task,
-            makespan: r.makespan,
-            mean_task_latency: r.mean_task_latency,
-            throughput_hz: r.throughput_hz,
-            chunk_utilization: r.chunk_utilization,
-            tasks: r.tasks,
-            telemetry: r.telemetry,
-        }
-    }
-}
-
-#[allow(deprecated)]
-impl From<crate::compat::HostReport> for Measurement {
-    fn from(r: crate::compat::HostReport) -> Measurement {
-        Measurement {
-            latency: duration_us(r.time_per_task),
-            makespan: duration_us(r.makespan),
-            mean_task_latency: duration_us(r.mean_task_latency),
-            throughput_hz: r.throughput_hz,
-            chunk_utilization: r.chunk_utilization,
-            tasks: r.tasks,
-            telemetry: r.telemetry,
-        }
     }
 }
 

@@ -173,6 +173,19 @@ impl Backoff {
         }
     }
 
+    /// Like [`snooze`](Backoff::snooze), but the sleep stage never sleeps
+    /// past `remaining`. This is the deadline-aware variant behind
+    /// [`Consumer::pop_deadline`]: an uncapped 50 µs sleep issued just
+    /// under the deadline would overshoot it by a full quantum, firing the
+    /// executor's watchdog late.
+    pub fn snooze_capped(&mut self, remaining: Duration) {
+        if self.step > Self::YIELD_LIMIT {
+            std::thread::sleep(Self::SLEEP.min(remaining));
+        } else {
+            self.snooze();
+        }
+    }
+
     /// Returns to the spinning stage (e.g. after a successful operation
     /// when the same `Backoff` is reused across loop iterations).
     pub fn reset(&mut self) {
@@ -298,10 +311,14 @@ impl<T> Consumer<T> {
             if !self.ring.producer_alive.load(Ordering::Acquire) {
                 return self.pop().ok_or(PopError::Disconnected);
             }
-            if Instant::now() >= deadline {
+            // Re-check the deadline immediately before waiting and cap the
+            // wait to the time remaining: an uncapped sleep here used to
+            // overshoot the deadline by up to a full 50 µs backoff round.
+            let now = Instant::now();
+            if now >= deadline {
                 return self.pop().ok_or(PopError::TimedOut);
             }
-            backoff.snooze();
+            backoff.snooze_capped(deadline - now);
         }
     }
 
@@ -523,6 +540,55 @@ mod tests {
         assert_eq!(rx.pop_blocking(), Ok(2));
         assert_eq!(rx.pop_blocking(), Err(Disconnected));
         assert!(rx.is_disconnected());
+    }
+
+    #[test]
+    fn snooze_capped_never_sleeps_past_the_cap() {
+        let mut b = Backoff::new();
+        // Escalate into the sleep regime.
+        for _ in 0..16 {
+            b.snooze();
+        }
+        assert_eq!(b.step, Backoff::YIELD_LIMIT + 1);
+        // A zero cap must return without the 50 µs quantum; allow generous
+        // scheduler noise but stay far under the uncapped sleep would be.
+        let t0 = Instant::now();
+        for _ in 0..20 {
+            b.snooze_capped(Duration::ZERO);
+        }
+        assert!(
+            t0.elapsed() < Backoff::SLEEP * 20,
+            "capped sleeps took {:?}, an uncapped round is {:?}",
+            t0.elapsed(),
+            Backoff::SLEEP * 20
+        );
+        // Below the yield limit it behaves exactly like snooze (escalates).
+        b.reset();
+        b.snooze_capped(Duration::ZERO);
+        assert_eq!(b.step, 1, "pre-sleep stages still escalate");
+    }
+
+    #[test]
+    fn pop_deadline_overshoot_is_bounded() {
+        // Regression: the deadline check used to precede an uncapped 50 µs
+        // sleep, so a pop issued just under the deadline overshot it by a
+        // full backoff round. The overshoot is now bounded by the time
+        // remaining at the final check (plus scheduler noise), not by the
+        // sleep quantum.
+        let timeout = Duration::from_millis(5);
+        let (_tx, mut rx) = channel::<u8>(1);
+        let t0 = Instant::now();
+        assert_eq!(rx.pop_deadline(timeout), Err(PopError::TimedOut));
+        let elapsed = t0.elapsed();
+        assert!(elapsed >= timeout, "returned early: {elapsed:?}");
+        // Generous CI bound: well under the old worst case of whole extra
+        // backoff rounds, strict enough to catch an uncapped sleep path
+        // being reintroduced with a larger quantum.
+        assert!(
+            elapsed < timeout + Duration::from_millis(4),
+            "overshoot {:?} exceeds bound",
+            elapsed - timeout
+        );
     }
 
     #[test]

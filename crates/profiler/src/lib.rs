@@ -22,4 +22,4 @@ mod profiler;
 mod table;
 
 pub use profiler::{profile, profile_by_throughput, profiling_cost, ProfilerConfig};
-pub use table::{ProfileMode, ProfilingTable};
+pub use table::{ProfileMode, ProfilingTable, TableError};

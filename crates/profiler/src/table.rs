@@ -29,6 +29,60 @@ impl std::fmt::Display for ProfileMode {
     }
 }
 
+/// Why a [`ProfilingTable`] could not be constructed.
+///
+/// Non-finite entries are the dangerous case: a NaN latency smuggled into
+/// the optimizer used to surface only as a panic deep inside a sort, so the
+/// table now rejects it at the boundary where the bad measurement is still
+/// attributable to a (stage, class) cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TableError {
+    /// The latency matrix has a different row count than the stage labels.
+    RowCountMismatch {
+        /// Rows in the latency matrix.
+        rows: usize,
+        /// Stage labels supplied.
+        stages: usize,
+    },
+    /// A latency row has a different column count than the class labels.
+    ColumnCountMismatch {
+        /// The offending row.
+        row: usize,
+        /// Columns in that row.
+        cols: usize,
+        /// Class labels supplied.
+        classes: usize,
+    },
+    /// A latency (or spread) entry is NaN or infinite.
+    NonFiniteEntry {
+        /// Row (stage index) of the offending cell.
+        row: usize,
+        /// Column (class index) of the offending cell.
+        col: usize,
+    },
+}
+
+impl std::fmt::Display for TableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TableError::RowCountMismatch { rows, stages } => {
+                write!(f, "row count mismatch: {rows} rows for {stages} stages")
+            }
+            TableError::ColumnCountMismatch { row, cols, classes } => {
+                write!(
+                    f,
+                    "column count mismatch: row {row} has {cols} columns for {classes} classes"
+                )
+            }
+            TableError::NonFiniteEntry { row, col } => {
+                write!(f, "non-finite latency at stage {row}, class column {col}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
 /// The 2-D profiling table of §3.2: rows are stages, columns are PU
 /// classes, entries are mean measured latencies.
 ///
@@ -62,7 +116,9 @@ impl ProfilingTable {
     ///
     /// # Panics
     ///
-    /// Panics if the matrix shape disagrees with the labels.
+    /// Panics if the matrix shape disagrees with the labels or any entry
+    /// is non-finite; use [`try_new`](ProfilingTable::try_new) for a typed
+    /// error instead.
     pub fn new(
         app: impl Into<String>,
         device: impl Into<String>,
@@ -71,12 +127,51 @@ impl ProfilingTable {
         classes: Vec<PuClass>,
         latency: Vec<Vec<Micros>>,
     ) -> ProfilingTable {
-        assert_eq!(latency.len(), stages.len(), "row count mismatch");
-        assert!(
-            latency.iter().all(|row| row.len() == classes.len()),
-            "column count mismatch"
-        );
-        ProfilingTable {
+        match ProfilingTable::try_new(app, device, mode, stages, classes, latency) {
+            Ok(t) => t,
+            Err(e @ TableError::RowCountMismatch { .. }) => panic!("row count mismatch: {e}"),
+            Err(e @ TableError::ColumnCountMismatch { .. }) => {
+                panic!("column count mismatch: {e}")
+            }
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible constructor: validates the matrix shape against the labels
+    /// and every entry for finiteness.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TableError`] naming the offending row/cell.
+    pub fn try_new(
+        app: impl Into<String>,
+        device: impl Into<String>,
+        mode: ProfileMode,
+        stages: Vec<String>,
+        classes: Vec<PuClass>,
+        latency: Vec<Vec<Micros>>,
+    ) -> Result<ProfilingTable, TableError> {
+        if latency.len() != stages.len() {
+            return Err(TableError::RowCountMismatch {
+                rows: latency.len(),
+                stages: stages.len(),
+            });
+        }
+        for (row, r) in latency.iter().enumerate() {
+            if r.len() != classes.len() {
+                return Err(TableError::ColumnCountMismatch {
+                    row,
+                    cols: r.len(),
+                    classes: classes.len(),
+                });
+            }
+            for (col, v) in r.iter().enumerate() {
+                if !v.as_f64().is_finite() {
+                    return Err(TableError::NonFiniteEntry { row, col });
+                }
+            }
+        }
+        Ok(ProfilingTable {
             app: app.into(),
             device: device.into(),
             mode,
@@ -84,7 +179,7 @@ impl ProfilingTable {
             classes,
             latency,
             spread: None,
-        }
+        })
     }
 
     /// Attaches per-cell measurement spread (standard deviation across the
@@ -343,6 +438,68 @@ mod tests {
         assert!(t.scaled_class(PuClass::LittleCpu, 2.0).is_none());
         assert!(t.scaled_class(PuClass::BigCpu, 0.0).is_none());
         assert!(t.scaled_class(PuClass::BigCpu, f64::NAN).is_none());
+    }
+
+    #[test]
+    fn non_finite_entries_rejected_with_typed_error() {
+        // NaN is already rejected by `Micros::new`, but infinities (and
+        // NaNs arriving through serde) reach the table constructor.
+        for bad in [f64::INFINITY, f64::NEG_INFINITY] {
+            let err = ProfilingTable::try_new(
+                "a",
+                "d",
+                ProfileMode::Isolated,
+                vec!["s0".into(), "s1".into()],
+                vec![PuClass::BigCpu, PuClass::Gpu],
+                vec![
+                    vec![Micros::new(1.0), Micros::new(2.0)],
+                    vec![Micros::new(3.0), Micros::new(bad)],
+                ],
+            )
+            .expect_err("non-finite entry must be rejected");
+            assert_eq!(err, TableError::NonFiniteEntry { row: 1, col: 1 });
+            assert!(err.to_string().contains("non-finite"));
+        }
+    }
+
+    #[test]
+    fn try_new_reports_shape_mismatches() {
+        let err = ProfilingTable::try_new(
+            "a",
+            "d",
+            ProfileMode::Isolated,
+            vec!["s".into()],
+            vec![PuClass::Gpu],
+            vec![],
+        )
+        .expect_err("row mismatch");
+        assert_eq!(err, TableError::RowCountMismatch { rows: 0, stages: 1 });
+        let err = ProfilingTable::try_new(
+            "a",
+            "d",
+            ProfileMode::Isolated,
+            vec!["s".into()],
+            vec![PuClass::Gpu],
+            vec![vec![]],
+        )
+        .expect_err("column mismatch");
+        assert!(matches!(
+            err,
+            TableError::ColumnCountMismatch { row: 0, .. }
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn new_panics_on_infinite_entry() {
+        let _ = ProfilingTable::new(
+            "a",
+            "d",
+            ProfileMode::Isolated,
+            vec!["s".into()],
+            vec![PuClass::Gpu],
+            vec![vec![Micros::new(f64::INFINITY)]],
+        );
     }
 
     #[test]

@@ -30,10 +30,6 @@ use crate::fault::{FaultSpec, StageFaultKind};
 use crate::run::{RunConfig, RunReport, RunStats, TimelineSpan};
 use crate::{ActiveKernel, Micros, NoiseModel, PuClass, PuSpec, SocError, SocSpec, WorkProfile};
 
-// Pre-unification names, re-exported one release under their old paths.
-#[allow(deprecated)]
-pub use crate::compat::{simulate_faulted, DesConfig, DesReport, TimelineEvent};
-
 /// One pipeline chunk: a PU class plus the stages it executes in order.
 #[derive(Debug, Clone)]
 pub struct ChunkSpec {

@@ -27,10 +27,6 @@ use crate::fault::{FaultSpec, StageFaultKind};
 use crate::run::{RunConfig, RunReport};
 use crate::{ActiveKernel, NoiseModel, PuClass, PuSpec, SocError, SocSpec, WorkProfile};
 
-// Pre-unification name, re-exported one release under its old path.
-#[allow(deprecated)]
-pub use crate::compat::simulate_dynamic_faulted;
-
 /// Placement policy of the dynamic scheduler.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DynamicPolicy {
@@ -183,11 +179,9 @@ pub fn simulate_dynamic(
                 .filter(|&i| running[i].is_none() && !loss[i].is_some_and(|t| now >= t));
             let pu_idx = match policy {
                 DynamicPolicy::Fifo => idle.next(),
-                DynamicPolicy::BestFit => idle.min_by(|&a, &b| {
-                    isolated[stage][a]
-                        .partial_cmp(&isolated[stage][b])
-                        .expect("finite estimates")
-                }),
+                DynamicPolicy::BestFit => {
+                    idle.min_by(|&a, &b| isolated[stage][a].total_cmp(&isolated[stage][b]))
+                }
             };
             let Some(pu_idx) = pu_idx else {
                 break;

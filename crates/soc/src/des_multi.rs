@@ -1,0 +1,852 @@
+//! Multi-tenant discrete-event simulation: several independent pipelined
+//! applications ("tenants") co-running on one SoC in shared virtual time.
+//!
+//! [`crate::des::simulate`] executes one chunk chain; [`simulate_multi`]
+//! executes a *forest* of them. Every tenant keeps its own task stream,
+//! buffer pool, warmup accounting, and noise stream (seeded from its own
+//! [`RunConfig::seed`]), but all chunks share one event clock and one
+//! interference busy-set: when any chunk starts a stage, its service time
+//! is priced against every PU busy at that instant — in its own pipeline
+//! *or any other tenant's*. Cross-tenant co-runners additionally have
+//! their advertised bandwidth demand scaled by
+//! [`crate::InterferenceModel::cross_tenant_penalty`], which at its
+//! default of 1.0 prices them exactly like intra-app co-runners.
+//!
+//! Determinism: the event loop is a pure argmin over per-chunk completion
+//! times with the same (time, lowest global chunk) tie-break as the
+//! single-tenant engine, and every noise draw is attributed to exactly one
+//! tenant's stream, so a tenant mix replays bit-identically per seed
+//! vector. With a single tenant the engine reduces to the uncached path of
+//! [`crate::des::simulate`] and reproduces it bit for bit.
+
+use std::collections::VecDeque;
+
+use crate::cost;
+use crate::des::{steady_stats_from_completions, ChunkSpec};
+use crate::fault::{FaultSpec, StageFaultKind};
+use crate::run::{RunConfig, RunReport, TimelineSpan};
+use crate::{ActiveKernel, NoiseModel, PuSpec, SocError, SocSpec};
+
+/// One co-running application: a name, its chunk schedule, and its own
+/// run configuration.
+///
+/// The simulator honours `tasks`, `warmup`, `buffers`, `seed`,
+/// `noise_sigma`, and `record_timeline` per tenant; telemetry collection
+/// is not supported in multi-tenant runs (the per-tenant reports carry
+/// `telemetry: None`).
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    /// Display name of the tenant (application identifier).
+    pub name: String,
+    /// The tenant's pipeline: chunks in pipeline order.
+    pub chunks: Vec<ChunkSpec>,
+    /// The tenant's run configuration.
+    pub cfg: RunConfig,
+}
+
+impl TenantSpec {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, chunks: Vec<ChunkSpec>, cfg: RunConfig) -> TenantSpec {
+        TenantSpec {
+            name: name.into(),
+            chunks,
+            cfg,
+        }
+    }
+}
+
+/// Result of one multi-tenant co-run.
+#[derive(Debug, Clone)]
+pub struct MultiRunReport {
+    /// One unified report per tenant, in input order. Each upholds the
+    /// engine invariant `completed + dropped == submitted` and windows its
+    /// stats with its own warmup (timeline chunk indices are
+    /// tenant-local).
+    pub tenants: Vec<RunReport>,
+    /// Virtual time of the last task completion across all tenants, µs
+    /// from the co-run start (0 when nothing completed).
+    pub makespan_us: f64,
+    /// Aggregate completed tasks per second over the co-run makespan
+    /// (0 when nothing completed).
+    pub throughput_hz: f64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct InFlight {
+    task: usize,
+    stage: usize,
+    /// Intra-tenant bandwidth demand advertised while this stage runs;
+    /// cross-tenant observers scale it by the model's penalty.
+    demand: f64,
+}
+
+/// Global chunk bookkeeping: which tenant owns it and where it sits in
+/// that tenant's chain.
+#[derive(Debug, Clone, Copy)]
+struct ChunkMeta {
+    tenant: usize,
+    local: usize,
+    /// Global index of the downstream chunk (`None` at the tail).
+    next: Option<usize>,
+    head: usize,
+}
+
+#[derive(Debug)]
+struct ChunkState {
+    input: VecDeque<usize>,
+    busy: Option<InFlight>,
+    busy_since: f64,
+    busy_spans: Vec<(f64, f64)>,
+}
+
+#[derive(Debug)]
+struct TenantState {
+    started: usize,
+    total: usize,
+    warmup: usize,
+    completed: usize,
+    dropped: usize,
+    faults_fired: u32,
+    entry_time: Vec<f64>,
+    completions: Vec<(f64, f64)>,
+    noise: NoiseModel,
+    /// A drop recycled an object to this tenant's head outside the normal
+    /// completion flow since its last head pump.
+    recycled: bool,
+    timeline: Vec<TimelineSpan>,
+    collect_timeline: bool,
+}
+
+/// The forest engine: the single-tenant event loop of `des.rs`
+/// generalized over a flattened global chunk list. Service times are
+/// computed uncached — the single-tenant memo key cannot express foreign
+/// tenants, and co-run busy-sets are far more varied than one pipeline's.
+struct Engine<'a> {
+    soc: &'a SocSpec,
+    chunks: Vec<&'a ChunkSpec>,
+    meta: Vec<ChunkMeta>,
+    pus: Vec<&'a PuSpec>,
+    /// `demand[chunk][stage]`, busy-set independent (see `ServiceModel`).
+    demand: Vec<Vec<f64>>,
+    /// `sync[chunk][stage]` completion-synchronization cost.
+    sync: Vec<Vec<f64>>,
+    faults: Option<&'a FaultSpec>,
+    loss: Vec<Option<f64>>,
+    states: Vec<ChunkState>,
+    doomed: Vec<bool>,
+    /// Completion time per chunk; `INFINITY` marks an idle chunk (the
+    /// fixed-slot event set of `des.rs`, argmin with strict `<`).
+    next_done: Vec<f64>,
+    tenants: Vec<TenantState>,
+    scratch: Vec<ActiveKernel>,
+    xt_penalty: f64,
+    remaining: usize,
+    last_completion: f64,
+}
+
+impl Engine<'_> {
+    fn pop_event(&mut self) -> (f64, usize) {
+        let mut best = (f64::INFINITY, usize::MAX);
+        for (chunk, &t) in self.next_done.iter().enumerate() {
+            if t < best.0 {
+                best = (t, chunk);
+            }
+        }
+        assert!(
+            best.1 != usize::MAX,
+            "tenant pipelines cannot deadlock with buffered queues"
+        );
+        self.next_done[best.1] = f64::INFINITY;
+        best
+    }
+
+    fn lost(&self, c: usize, now: f64) -> bool {
+        self.loss[c].is_some_and(|t| now >= t)
+    }
+
+    /// Drops the task just popped from a non-head chunk of tenant `t`:
+    /// its object recycles to that tenant's head pool.
+    fn drop_and_recycle(&mut self, c: usize) {
+        let t = self.meta[c].tenant;
+        let head = self.meta[c].head;
+        self.tenants[t].dropped += 1;
+        self.remaining -= 1;
+        self.states[head].input.push_back(usize::MAX);
+        self.tenants[t].recycled = true;
+    }
+
+    fn finish_span(&mut self, c: usize, now: f64) {
+        let since = self.states[c].busy_since;
+        self.states[c].busy_spans.push((since, now));
+        self.states[c].busy = None;
+    }
+
+    /// The task's fault at global chunk `c`, if a spec is active. Fault
+    /// chunk indices address the *global* (flattened) chunk list; task
+    /// indices are tenant-local sequence numbers.
+    fn stage_fault(&self, c: usize, task: usize, stage: usize) -> Option<StageFaultKind> {
+        self.faults.and_then(|f| f.stage_fault(c, task, stage))
+    }
+
+    /// Samples the service time of `(c, stage)` against the instantaneous
+    /// cross-tenant busy set and schedules its completion, clamped to the
+    /// chunk's loss instant.
+    fn start_stage(&mut self, c: usize, task: usize, stage: usize, now: f64) {
+        let tenant = self.meta[c].tenant;
+        self.scratch.clear();
+        for (i, s) in self.states.iter().enumerate() {
+            if i == c {
+                continue;
+            }
+            if let Some(inflight) = s.busy {
+                let mut d = inflight.demand;
+                if self.meta[i].tenant != tenant {
+                    d *= self.xt_penalty;
+                }
+                self.scratch.push(ActiveKernel::new(self.chunks[i].pu, d));
+            }
+        }
+        let work = &self.chunks[c].stages[stage];
+        let base = cost::latency_under(work, self.pus[c], self.soc, &self.scratch).as_f64();
+        let noisy = base * self.tenants[tenant].noise.factor() + self.sync[c][stage];
+
+        let mut dt = noisy;
+        if let Some(spec) = self.faults {
+            let straggle = spec.straggler_factor(c, task);
+            if stage == 0 && straggle != 1.0 {
+                self.tenants[tenant].faults_fired += 1;
+            }
+            dt = noisy * spec.slowdown_factor(self.chunks[c].pu, now) * straggle;
+            if let Some(StageFaultKind::Timeout { extra_us }) = spec.stage_fault(c, task, stage) {
+                dt += extra_us;
+                self.tenants[tenant].faults_fired += 1;
+            }
+        }
+        let mut end = now + dt;
+        if let Some(t_loss) = self.loss[c] {
+            if end > t_loss {
+                end = t_loss;
+                self.doomed[c] = true;
+            }
+        }
+        self.states[c].busy = Some(InFlight {
+            task,
+            stage,
+            demand: self.demand[c][stage],
+        });
+        if stage == 0 {
+            self.states[c].busy_since = now;
+        }
+        debug_assert!(self.next_done[c].is_infinite(), "one event per chunk");
+        self.next_done[c] = end;
+        if self.tenants[tenant].collect_timeline {
+            let local = self.meta[c].local;
+            self.tenants[tenant].timeline.push(TimelineSpan {
+                chunk: local,
+                stage: Some(stage),
+                task: task as u64,
+                start_us: now,
+                end_us: end,
+            });
+        }
+    }
+
+    /// Starts work on idle global chunk `c`: admits new tasks at the
+    /// tenant's head, drains fault-induced drops without advancing virtual
+    /// time, and dispatches the first unfaulted arrival.
+    fn pump(&mut self, c: usize, now: f64) {
+        let tenant = self.meta[c].tenant;
+        let is_head = self.meta[c].head == c;
+        loop {
+            if self.states[c].busy.is_some() {
+                return;
+            }
+            let task = if is_head {
+                if self.tenants[tenant].started >= self.tenants[tenant].total
+                    || self.states[c].input.is_empty()
+                {
+                    return;
+                }
+                // A lost head consumes the task stream but keeps its
+                // objects: every remaining admission drops immediately.
+                if self.lost(c, now) {
+                    let t = &mut self.tenants[tenant];
+                    let seq = t.started;
+                    t.entry_time[seq] = now;
+                    t.started += 1;
+                    t.dropped += 1;
+                    t.faults_fired += 1;
+                    self.remaining -= 1;
+                    continue;
+                }
+                self.states[c].input.pop_front();
+                let t = &mut self.tenants[tenant];
+                let seq = t.started;
+                t.started += 1;
+                t.entry_time[seq] = now;
+                seq
+            } else {
+                match self.states[c].input.pop_front() {
+                    Some(t) => t,
+                    None => return,
+                }
+            };
+            if !is_head && self.lost(c, now) {
+                self.tenants[tenant].faults_fired += 1;
+                self.drop_and_recycle(c);
+                continue;
+            }
+            if matches!(self.stage_fault(c, task, 0), Some(StageFaultKind::Error)) {
+                let head = self.meta[c].head;
+                self.tenants[tenant].faults_fired += 1;
+                self.tenants[tenant].dropped += 1;
+                self.remaining -= 1;
+                self.states[head].input.push_back(usize::MAX);
+                if !is_head {
+                    self.tenants[tenant].recycled = true;
+                }
+                continue;
+            }
+            self.start_stage(c, task, 0, now);
+            return;
+        }
+    }
+
+    /// Objects recycled by drops re-arm the tenant's head outside the
+    /// normal completion flow; give it a chance to admit with them.
+    fn flush_recycled(&mut self, tenant: usize, head: usize, now: f64) {
+        while self.tenants[tenant].recycled {
+            self.tenants[tenant].recycled = false;
+            self.pump(head, now);
+        }
+    }
+
+    fn run(&mut self) {
+        // Prime every tenant's head at t = 0, in tenant order.
+        let heads: Vec<usize> = self
+            .meta
+            .iter()
+            .enumerate()
+            .filter(|(c, m)| m.head == *c)
+            .map(|(c, _)| c)
+            .collect();
+        for &h in &heads {
+            self.pump(h, 0.0);
+        }
+        while self.remaining > 0 {
+            let (now, c) = self.pop_event();
+            let tenant = self.meta[c].tenant;
+            let head = self.meta[c].head;
+            let inflight = self.states[c].busy.expect("event implies busy chunk");
+
+            if self.doomed[c] {
+                // The PU died mid-service at `now` (its loss instant).
+                self.doomed[c] = false;
+                self.finish_span(c, now);
+                self.tenants[tenant].faults_fired += 1;
+                self.drop_and_recycle(c);
+                self.pump(c, now); // drains the queued input as drops
+                self.flush_recycled(tenant, head, now);
+                continue;
+            }
+
+            if inflight.stage + 1 < self.chunks[c].stages.len() {
+                if matches!(
+                    self.stage_fault(c, inflight.task, inflight.stage + 1),
+                    Some(StageFaultKind::Error)
+                ) {
+                    self.tenants[tenant].faults_fired += 1;
+                    self.finish_span(c, now);
+                    self.drop_and_recycle(c);
+                    self.pump(c, now);
+                    self.flush_recycled(tenant, head, now);
+                } else {
+                    // Next stage of the same chunk; re-sample interference.
+                    self.start_stage(c, inflight.task, inflight.stage + 1, now);
+                }
+                continue;
+            }
+
+            // Chunk finished its last stage for this task.
+            self.finish_span(c, now);
+            let task = inflight.task;
+            match self.meta[c].next {
+                None => {
+                    let entry = self.tenants[tenant].entry_time[task];
+                    self.tenants[tenant].completions.push((entry, now));
+                    self.tenants[tenant].completed += 1;
+                    self.remaining -= 1;
+                    self.last_completion = self.last_completion.max(now);
+                    self.states[head].input.push_back(usize::MAX);
+                    self.pump(head, now);
+                }
+                Some(next) => {
+                    self.states[next].input.push_back(task);
+                    self.pump(next, now);
+                }
+            }
+            self.pump(c, now);
+            self.flush_recycled(tenant, head, now);
+        }
+    }
+}
+
+/// Simulates `tenants` co-running on `soc` in one shared virtual
+/// timeline, optionally under the perturbations in `faults`.
+///
+/// Every tenant runs its own pipeline (own task stream, buffers, warmup
+/// window, and noise stream seeded from its `cfg.seed`), while service
+/// times are priced against the union busy-set of *all* tenants' chunks —
+/// this is the co-location interference the admission policies in
+/// `bt-faults` reason about. Fault specs address chunks by their index in
+/// the flattened global chunk list (tenant 0's chunks first, then tenant
+/// 1's, …); task indices are tenant-local.
+///
+/// Determinism: bit-replayable per (tenant set, seed vector) — two calls
+/// with identical inputs produce identical reports, and a single-tenant
+/// call is bit-identical to [`crate::des::simulate`].
+///
+/// # Errors
+///
+/// Returns [`SocError::EmptySimulation`] if `tenants` is empty or any
+/// tenant has no chunks, a stageless chunk, or `cfg.tasks == 0`;
+/// [`SocError::MissingPu`] if any chunk names a PU class the device
+/// lacks.
+pub fn simulate_multi(
+    soc: &SocSpec,
+    tenants: &[TenantSpec],
+    faults: Option<&FaultSpec>,
+) -> Result<MultiRunReport, SocError> {
+    if tenants.is_empty() {
+        return Err(SocError::EmptySimulation);
+    }
+    for t in tenants {
+        if t.chunks.is_empty() || t.cfg.tasks == 0 || t.chunks.iter().any(|c| c.stages.is_empty()) {
+            return Err(SocError::EmptySimulation);
+        }
+        for chunk in &t.chunks {
+            soc.try_pu(chunk.pu)?;
+        }
+    }
+
+    // Flatten the forest: tenant 0's chunks first, then tenant 1's, …
+    let mut chunks: Vec<&ChunkSpec> = Vec::new();
+    let mut meta: Vec<ChunkMeta> = Vec::new();
+    let mut tenant_states: Vec<TenantState> = Vec::with_capacity(tenants.len());
+    let mut states: Vec<ChunkState> = Vec::new();
+    for (ti, t) in tenants.iter().enumerate() {
+        let head = chunks.len();
+        let n = t.chunks.len();
+        let total = (t.cfg.tasks + t.cfg.warmup) as usize;
+        let buffers = if t.cfg.buffers == 0 {
+            n + 1
+        } else {
+            t.cfg.buffers as usize
+        };
+        for (li, c) in t.chunks.iter().enumerate() {
+            let g = chunks.len();
+            chunks.push(c);
+            meta.push(ChunkMeta {
+                tenant: ti,
+                local: li,
+                next: (li + 1 < n).then_some(g + 1),
+                head,
+            });
+            let mut input = VecDeque::with_capacity(buffers);
+            if li == 0 {
+                // All task objects begin recycled at the tenant's head.
+                for _ in 0..buffers {
+                    input.push_back(usize::MAX);
+                }
+            }
+            states.push(ChunkState {
+                input,
+                busy: None,
+                busy_since: 0.0,
+                busy_spans: Vec::with_capacity(total),
+            });
+        }
+        tenant_states.push(TenantState {
+            started: 0,
+            total,
+            warmup: t.cfg.warmup as usize,
+            completed: 0,
+            dropped: 0,
+            faults_fired: 0,
+            entry_time: vec![0.0f64; total],
+            completions: Vec::with_capacity(total),
+            noise: NoiseModel::new(t.cfg.noise_sigma, t.cfg.seed),
+            recycled: false,
+            timeline: Vec::new(),
+            collect_timeline: t.cfg.record_timeline,
+        });
+    }
+
+    let n_chunks = chunks.len();
+    let pus: Vec<&PuSpec> = chunks
+        .iter()
+        .map(|c| soc.pu(c.pu).expect("chunk PUs validated above"))
+        .collect();
+    let demand: Vec<Vec<f64>> = chunks
+        .iter()
+        .zip(&pus)
+        .map(|(c, pu)| c.stages.iter().map(|w| cost::bw_demand(w, pu)).collect())
+        .collect();
+    let sync: Vec<Vec<f64>> = chunks
+        .iter()
+        .zip(&pus)
+        .map(|(c, pu)| {
+            (0..c.stages.len())
+                .map(|s| {
+                    if c.sync_per_stage || s + 1 == c.stages.len() {
+                        pu.sync_overhead_us()
+                    } else {
+                        0.0
+                    }
+                })
+                .collect()
+        })
+        .collect();
+
+    let remaining = tenant_states.iter().map(|t| t.total).sum();
+    let mut eng = Engine {
+        soc,
+        meta,
+        pus,
+        demand,
+        sync,
+        faults,
+        loss: match faults {
+            Some(f) => chunks.iter().map(|c| f.loss_at(c.pu)).collect(),
+            None => vec![None; n_chunks],
+        },
+        chunks,
+        states,
+        doomed: vec![false; n_chunks],
+        next_done: vec![f64::INFINITY; n_chunks],
+        tenants: tenant_states,
+        scratch: Vec::with_capacity(n_chunks.saturating_sub(1)),
+        xt_penalty: soc.interference().cross_tenant_penalty(),
+        remaining,
+        last_completion: 0.0,
+    };
+    eng.run();
+
+    let mut reports = Vec::with_capacity(tenants.len());
+    let mut total_completed = 0u64;
+    for (ti, t) in eng.tenants.iter_mut().enumerate() {
+        debug_assert_eq!(t.completed + t.dropped, t.started);
+        let spans: Vec<&[(f64, f64)]> = eng
+            .meta
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.tenant == ti)
+            .map(|(g, _)| eng.states[g].busy_spans.as_slice())
+            .collect();
+        let stats = steady_stats_from_completions(&t.completions, t.warmup, &spans);
+        total_completed += t.completed as u64;
+        reports.push(RunReport {
+            submitted: t.started as u64,
+            completed: t.completed as u64,
+            dropped: t.dropped as u64,
+            faults_fired: t.faults_fired,
+            stats,
+            timeline: std::mem::take(&mut t.timeline),
+            telemetry: None,
+            degraded: None,
+        });
+    }
+
+    let makespan_us = if total_completed > 0 {
+        eng.last_completion
+    } else {
+        0.0
+    };
+    let throughput_hz = if makespan_us > 0.0 {
+        total_completed as f64 / (makespan_us / 1e6)
+    } else {
+        0.0
+    };
+    Ok(MultiRunReport {
+        tenants: reports,
+        makespan_us,
+        throughput_hz,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::des::simulate;
+    use crate::fault::{PuLoss, StageFault, Straggler};
+    use crate::{devices, InterferenceModel, PuClass, SocBuilder, WorkProfile};
+
+    fn stage(flops: f64) -> WorkProfile {
+        WorkProfile::new(flops, flops / 4.0)
+    }
+
+    fn cfg(seed: u64) -> RunConfig {
+        RunConfig {
+            tasks: 20,
+            warmup: 4,
+            seed,
+            ..RunConfig::default()
+        }
+    }
+
+    fn chain_a() -> Vec<ChunkSpec> {
+        vec![
+            ChunkSpec::new(PuClass::BigCpu, vec![stage(1e7), stage(5e6)]),
+            ChunkSpec::new(PuClass::Gpu, vec![stage(8e6)]),
+        ]
+    }
+
+    fn chain_b() -> Vec<ChunkSpec> {
+        vec![
+            ChunkSpec::new(PuClass::MediumCpu, vec![stage(7e6)]),
+            ChunkSpec::new(PuClass::LittleCpu, vec![stage(2e6)]),
+        ]
+    }
+
+    #[test]
+    fn empty_inputs_rejected() {
+        let soc = devices::pixel_7a();
+        assert!(matches!(
+            simulate_multi(&soc, &[], None),
+            Err(SocError::EmptySimulation)
+        ));
+        let t = TenantSpec::new("empty", vec![], cfg(1));
+        assert!(matches!(
+            simulate_multi(&soc, &[t], None),
+            Err(SocError::EmptySimulation)
+        ));
+        let t = TenantSpec::new("zero-tasks", chain_a(), RunConfig { tasks: 0, ..cfg(1) });
+        assert!(matches!(
+            simulate_multi(&soc, &[t], None),
+            Err(SocError::EmptySimulation)
+        ));
+    }
+
+    #[test]
+    fn missing_pu_rejected() {
+        let soc = devices::jetson_orin_nano();
+        let t = TenantSpec::new(
+            "little",
+            vec![ChunkSpec::new(PuClass::LittleCpu, vec![stage(1e6)])],
+            cfg(1),
+        );
+        assert!(matches!(
+            simulate_multi(&soc, &[t], None),
+            Err(SocError::MissingPu(PuClass::LittleCpu))
+        ));
+    }
+
+    #[test]
+    fn single_tenant_is_bit_identical_to_simulate() {
+        let soc = devices::pixel_7a();
+        let run = RunConfig {
+            record_timeline: true,
+            ..cfg(42)
+        };
+        let solo = simulate(&soc, &chain_a(), &run, None).unwrap();
+        let multi = simulate_multi(
+            &soc,
+            &[TenantSpec::new("solo", chain_a(), run.clone())],
+            None,
+        )
+        .unwrap();
+        assert_eq!(multi.tenants.len(), 1);
+        let m = &multi.tenants[0];
+        assert_eq!(m.submitted, solo.submitted);
+        assert_eq!(m.completed, solo.completed);
+        assert_eq!(m.dropped, solo.dropped);
+        // Float bit-identity via exact debug formatting of both reports.
+        assert_eq!(
+            format!("{:?}", m.stats),
+            format!("{:?}", solo.stats),
+            "single-tenant stats must replay the single-tenant engine"
+        );
+        assert_eq!(m.timeline, solo.timeline);
+    }
+
+    #[test]
+    fn conservation_holds_per_tenant() {
+        let soc = devices::pixel_7a();
+        let tenants = [
+            TenantSpec::new("a", chain_a(), cfg(7)),
+            TenantSpec::new(
+                "b",
+                chain_b(),
+                RunConfig {
+                    tasks: 13,
+                    warmup: 2,
+                    ..cfg(8)
+                },
+            ),
+        ];
+        let r = simulate_multi(&soc, &tenants, None).unwrap();
+        for (t, spec) in r.tenants.iter().zip(&tenants) {
+            assert_eq!(t.completed + t.dropped, t.submitted);
+            assert_eq!(t.submitted, u64::from(spec.cfg.tasks + spec.cfg.warmup));
+            assert_eq!(t.dropped, 0);
+            assert!(t.stats.is_some());
+        }
+        assert!(r.makespan_us > 0.0);
+        assert!(r.throughput_hz > 0.0);
+    }
+
+    #[test]
+    fn co_runs_replay_bit_identically_per_seed() {
+        let soc = devices::pixel_7a();
+        let tenants = [
+            TenantSpec::new("a", chain_a(), cfg(11)),
+            TenantSpec::new("b", chain_b(), cfg(12)),
+        ];
+        let x = simulate_multi(&soc, &tenants, None).unwrap();
+        let y = simulate_multi(&soc, &tenants, None).unwrap();
+        assert_eq!(format!("{x:?}"), format!("{y:?}"));
+
+        let mut reseeded = tenants.clone();
+        reseeded[1].cfg.seed = 99;
+        let z = simulate_multi(&soc, &reseeded, None).unwrap();
+        assert_ne!(
+            x.tenants[1].expect_stats().makespan.as_f64(),
+            z.tenants[1].expect_stats().makespan.as_f64()
+        );
+    }
+
+    #[test]
+    fn co_running_tenant_slows_the_other_down() {
+        let soc = devices::pixel_7a();
+        let run = RunConfig {
+            noise_sigma: 0.0,
+            ..cfg(1)
+        };
+        let solo = simulate(&soc, &chain_a(), &run, None).unwrap();
+        let co = simulate_multi(
+            &soc,
+            &[
+                TenantSpec::new("a", chain_a(), run.clone()),
+                TenantSpec::new("b", chain_b(), run.clone()),
+            ],
+            None,
+        )
+        .unwrap();
+        let solo_tpt = solo.expect_stats().time_per_task.as_f64();
+        let co_tpt = co.tenants[0].expect_stats().time_per_task.as_f64();
+        assert!(
+            co_tpt > solo_tpt,
+            "co-location must cost throughput: {co_tpt} vs solo {solo_tpt}"
+        );
+    }
+
+    #[test]
+    fn cross_tenant_penalty_amplifies_co_run_cost() {
+        // Memory-heavy stages on a low-bandwidth device so DRAM contention
+        // dominates; the penalty scales only the cross-tenant demand.
+        let model = InterferenceModel::calibrated([], 1.0);
+        let build = |m: InterferenceModel| {
+            SocBuilder::new("xt-test")
+                .pu(crate::PuSpec::new(PuClass::BigCpu, "big", 4, 2.0).with_mem_bw_gbs(8.0))
+                .pu(crate::PuSpec::new(PuClass::Gpu, "gpu", 8, 1.0).with_mem_bw_gbs(8.0))
+                .dram_bw_gbs(10.0)
+                .interference(m)
+                .build()
+                .unwrap()
+        };
+        let parity = build(model.clone());
+        let hostile = build(model.with_cross_tenant_penalty(2.0));
+        let mem_stage = || vec![WorkProfile::new(1e6, 4e6)];
+        let tenants = [
+            TenantSpec::new(
+                "a",
+                vec![ChunkSpec::new(PuClass::BigCpu, mem_stage())],
+                RunConfig {
+                    noise_sigma: 0.0,
+                    ..cfg(1)
+                },
+            ),
+            TenantSpec::new(
+                "b",
+                vec![ChunkSpec::new(PuClass::Gpu, mem_stage())],
+                RunConfig {
+                    noise_sigma: 0.0,
+                    ..cfg(2)
+                },
+            ),
+        ];
+        let base = simulate_multi(&parity, &tenants, None).unwrap();
+        let worse = simulate_multi(&hostile, &tenants, None).unwrap();
+        assert!(
+            worse.makespan_us > base.makespan_us,
+            "penalty 2.0 must stretch the co-run: {} vs {}",
+            worse.makespan_us,
+            base.makespan_us
+        );
+    }
+
+    #[test]
+    fn faults_use_global_chunk_indices() {
+        let soc = devices::pixel_7a();
+        let tenants = [
+            TenantSpec::new("a", chain_a(), cfg(3)), // global chunks 0, 1
+            TenantSpec::new("b", chain_b(), cfg(4)), // global chunks 2, 3
+        ];
+        // Straggle tenant b's first chunk (global index 2) and error one
+        // task on tenant a's second chunk (global index 1).
+        let spec = FaultSpec {
+            stragglers: vec![Straggler {
+                chunk: 2,
+                task: 5,
+                factor: 10.0,
+            }],
+            stage_faults: vec![StageFault {
+                chunk: 1,
+                task: 8,
+                stage: 0,
+                kind: StageFaultKind::Error,
+            }],
+            ..FaultSpec::default()
+        };
+        let r = simulate_multi(&soc, &tenants, Some(&spec)).unwrap();
+        assert_eq!(r.tenants[0].dropped, 1);
+        assert_eq!(r.tenants[0].faults_fired, 1);
+        assert_eq!(r.tenants[1].dropped, 0);
+        assert_eq!(r.tenants[1].faults_fired, 1);
+        for t in &r.tenants {
+            assert_eq!(t.completed + t.dropped, t.submitted);
+        }
+    }
+
+    #[test]
+    fn pu_loss_hits_every_tenant_on_that_class() {
+        let soc = devices::pixel_7a();
+        let tenants = [
+            TenantSpec::new(
+                "a",
+                vec![ChunkSpec::new(PuClass::BigCpu, vec![stage(1e7)])],
+                cfg(5),
+            ),
+            TenantSpec::new(
+                "b",
+                vec![ChunkSpec::new(PuClass::BigCpu, vec![stage(9e6)])],
+                cfg(6),
+            ),
+        ];
+        let spec = FaultSpec {
+            losses: vec![PuLoss {
+                class: PuClass::BigCpu,
+                at_us: 0.0,
+            }],
+            ..FaultSpec::default()
+        };
+        let r = simulate_multi(&soc, &tenants, Some(&spec)).unwrap();
+        for t in &r.tenants {
+            assert_eq!(t.completed, 0);
+            assert_eq!(t.dropped, t.submitted);
+            assert!(t.stats.is_none());
+        }
+        assert_eq!(r.makespan_us, 0.0);
+        assert_eq!(r.throughput_hz, 0.0);
+    }
+}

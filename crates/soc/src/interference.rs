@@ -47,6 +47,12 @@ impl ActiveKernel {
 pub struct InterferenceModel {
     dvfs: PerClass<f64>,
     contention_strength: f64,
+    /// Cross-tenant bandwidth-demand penalty, stored as the *excess* over
+    /// parity (`penalty − 1`) so that payloads predating the field
+    /// deserialize to parity via the plain zero default. See
+    /// [`InterferenceModel::cross_tenant_penalty`] for semantics.
+    #[serde(default)]
+    cross_tenant_excess: f64,
 }
 
 impl InterferenceModel {
@@ -57,6 +63,7 @@ impl InterferenceModel {
         InterferenceModel {
             dvfs: PerClass::empty(),
             contention_strength: 0.0,
+            cross_tenant_excess: 0.0,
         }
     }
 
@@ -77,7 +84,31 @@ impl InterferenceModel {
         InterferenceModel {
             dvfs: dvfs.into_iter().collect(),
             contention_strength,
+            cross_tenant_excess: 0.0,
         }
+    }
+
+    /// Sets the multiplier applied to the bandwidth demand a co-runner
+    /// advertises when it belongs to a *different tenant* (co-running
+    /// application). Independent apps share no working set, so their DRAM
+    /// traffic can thrash each other harder (> 1) — or, for devices with
+    /// effective cache partitioning, softer (< 1) — than chunks of one
+    /// pipeline. Must be finite and positive.
+    pub fn with_cross_tenant_penalty(mut self, penalty: f64) -> InterferenceModel {
+        assert!(
+            penalty.is_finite() && penalty > 0.0,
+            "cross-tenant penalty must be finite and positive"
+        );
+        self.cross_tenant_excess = penalty - 1.0;
+        self
+    }
+
+    /// The bandwidth-demand multiplier applied to co-runners from other
+    /// tenants. `1.0` (the default) prices cross-tenant contention exactly
+    /// like intra-app contention, preserving single-tenant behaviour bit
+    /// for bit.
+    pub fn cross_tenant_penalty(&self) -> f64 {
+        1.0 + self.cross_tenant_excess
     }
 
     /// The DVFS latency multiplier for `class` when at least one other PU is
@@ -168,5 +199,31 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_multiplier_panics() {
         let _ = InterferenceModel::calibrated([(PuClass::Gpu, 0.0)], 0.5);
+    }
+
+    #[test]
+    fn cross_tenant_penalty_defaults_to_parity() {
+        assert_eq!(InterferenceModel::none().cross_tenant_penalty(), 1.0);
+        assert_eq!(
+            InterferenceModel::calibrated([], 0.5).cross_tenant_penalty(),
+            1.0
+        );
+        let m = InterferenceModel::calibrated([], 0.5).with_cross_tenant_penalty(1.4);
+        assert_eq!(m.cross_tenant_penalty(), 1.4);
+        // Serde round-trip preserves it, and old payloads without the
+        // field deserialize to parity.
+        let json = serde_json::to_string(&m).unwrap();
+        let back: InterferenceModel = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, m);
+        let legacy: InterferenceModel =
+            serde_json::from_str(r#"{"dvfs":[null,null,null,null],"contention_strength":0.5}"#)
+                .unwrap();
+        assert_eq!(legacy.cross_tenant_penalty(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn zero_cross_tenant_penalty_panics() {
+        let _ = InterferenceModel::calibrated([], 0.5).with_cross_tenant_penalty(0.0);
     }
 }

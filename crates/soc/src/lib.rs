@@ -42,10 +42,10 @@
 
 mod affinity;
 mod clock;
-pub mod compat;
 pub mod cost;
 pub mod des;
 pub mod des_dynamic;
+pub mod des_multi;
 mod device;
 mod error;
 pub mod fault;
@@ -58,8 +58,7 @@ mod work;
 
 pub use affinity::AffinityMap;
 pub use clock::{seed_from_labels, Micros, NoiseModel, SimClock};
-#[allow(deprecated)]
-pub use compat::FaultedDesReport;
+pub use des_multi::{simulate_multi, MultiRunReport, TenantSpec};
 pub use device::{devices, PerClass, SocBuilder, SocSpec};
 pub use error::SocError;
 pub use fault::{FaultSpec, PuLoss, SlowdownRamp, StageFault, StageFaultKind, Straggler};

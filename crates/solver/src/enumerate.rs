@@ -127,9 +127,8 @@ pub fn enumerate_schedules(problem: &ScheduleProblem) -> Vec<ScheduleEval> {
 pub fn min_gapness_exact(problem: &ScheduleProblem) -> Option<ScheduleEval> {
     enumerate_schedules(problem).into_iter().min_by(|a, b| {
         a.gapness()
-            .partial_cmp(&b.gapness())
-            .expect("latencies are finite")
-            .then_with(|| a.t_max.partial_cmp(&b.t_max).expect("finite"))
+            .total_cmp(&b.gapness())
+            .then_with(|| a.t_max.total_cmp(&b.t_max))
     })
 }
 
@@ -139,9 +138,8 @@ pub fn latency_candidates_exact(problem: &ScheduleProblem, k: usize) -> Vec<Sche
     let mut all = enumerate_schedules(problem);
     all.sort_by(|a, b| {
         a.t_max
-            .partial_cmp(&b.t_max)
-            .expect("finite")
-            .then_with(|| a.gapness().partial_cmp(&b.gapness()).expect("finite"))
+            .total_cmp(&b.t_max)
+            .then_with(|| a.gapness().total_cmp(&b.gapness()))
             .then_with(|| a.assignment.cmp(&b.assignment))
     });
     all.truncate(k);

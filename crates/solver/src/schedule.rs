@@ -192,7 +192,7 @@ impl ScheduleProblem {
                 }
             }
         }
-        sums.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        sums.sort_by(f64::total_cmp);
         sums.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
         sums
     }
@@ -419,7 +419,7 @@ impl ScheduleProblem {
                 gaps.push(b - a);
             }
         }
-        gaps.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        gaps.sort_by(f64::total_cmp);
         gaps.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
 
         let mut lo = 0usize;

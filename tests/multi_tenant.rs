@@ -1,0 +1,270 @@
+//! End-to-end and property tests for the multi-tenant runtime: the
+//! interference-aware co-schedule of the paper's three apps beats naive
+//! time-slicing; `simulate_multi` is bit-replayable; random tenant mixes
+//! uphold per-tenant conservation on both substrates (virtual-time DES and
+//! the real work-stealing host pool) and never deadlock.
+
+use std::sync::Arc;
+
+use bettertogether::kernels::{apps, AppModel, Application, KernelFn, ParCtx, Stage};
+use bettertogether::pipeline::{
+    run_multi_host, to_chunk_specs, RunConfig, Schedule, Tenant, TenantSet, WorkerBudget,
+};
+use bettertogether::soc::{devices, simulate_multi, PuClass, SocSpec, TenantSpec, WorkProfile};
+use bt_faults::{admit_greedy, AdmissionConfig, AdmissionPolicy};
+use proptest::prelude::*;
+
+use PuClass::*;
+
+/// The paper's three workloads as cost models.
+fn paper_models() -> Vec<AppModel> {
+    vec![
+        apps::octree_app(apps::OctreeConfig::default()).model(),
+        apps::alexnet_dense_app(apps::AlexNetConfig::default()).model(),
+        apps::alexnet_sparse_app(apps::AlexNetConfig::default()).model(),
+    ]
+}
+
+fn cfg(seed: u64) -> RunConfig {
+    RunConfig {
+        tasks: 25,
+        warmup: 5,
+        seed,
+        ..RunConfig::default()
+    }
+}
+
+fn spec(app: &AppModel, schedule: &Schedule, seed: u64) -> TenantSpec {
+    TenantSpec::new(
+        app.name.clone(),
+        to_chunk_specs(app, schedule).expect("schedule fits app"),
+        cfg(seed),
+    )
+}
+
+/// An interference-aware co-placement of the three apps on the Pixel 7a:
+/// each tenant leans on a different cluster mix so busy-sets overlap
+/// across, not within, the DRAM-heavy phases.
+fn co_schedules(models: &[AppModel]) -> Vec<Schedule> {
+    vec![
+        // octree: front half on big cores, offload the heavy middle to GPU.
+        Schedule::new(vec![
+            BigCpu, BigCpu, MediumCpu, Gpu, Gpu, LittleCpu, LittleCpu,
+        ])
+        .unwrap(),
+        // alexnet dense: GPU-leaning conv trunk, CPU tail.
+        Schedule::new(vec![Gpu; models[1].stage_count()]).unwrap(),
+        // alexnet sparse: keep off the GPU entirely.
+        Schedule::new(
+            (0..models[2].stage_count())
+                .map(|i| {
+                    if i < models[2].stage_count() / 2 {
+                        BigCpu
+                    } else {
+                        MediumCpu
+                    }
+                })
+                .collect(),
+        )
+        .unwrap(),
+    ]
+}
+
+#[test]
+fn co_run_beats_naive_time_slicing_on_aggregate_makespan() {
+    let soc = devices::pixel_7a();
+    let models = paper_models();
+    let schedules = co_schedules(&models);
+    let tenants: Vec<TenantSpec> = models
+        .iter()
+        .zip(&schedules)
+        .enumerate()
+        .map(|(i, (m, s))| spec(m, s, 40 + i as u64))
+        .collect();
+
+    // Naive time-slicing: the device runs one app at a time, so the
+    // aggregate makespan is the sum of solo makespans.
+    let sliced: f64 = tenants
+        .iter()
+        .map(|t| {
+            simulate_multi(&soc, std::slice::from_ref(t), None)
+                .expect("solo run")
+                .makespan_us
+        })
+        .sum();
+
+    let co = simulate_multi(&soc, &tenants, None).expect("co-run");
+    for r in &co.tenants {
+        assert_eq!(r.completed + r.dropped, r.submitted);
+        assert_eq!(r.dropped, 0, "clean co-run drops nothing");
+    }
+    assert!(
+        co.makespan_us < sliced,
+        "interference-aware co-schedule ({:.0}µs) must beat time-slicing ({sliced:.0}µs)",
+        co.makespan_us
+    );
+}
+
+#[test]
+fn simulate_multi_is_bit_replayable() {
+    let soc = devices::pixel_7a();
+    let models = paper_models();
+    let schedules = co_schedules(&models);
+    let tenants: Vec<TenantSpec> = models
+        .iter()
+        .zip(&schedules)
+        .map(|(m, s)| spec(m, s, 7))
+        .collect();
+    let a = simulate_multi(&soc, &tenants, None).expect("run a");
+    let b = simulate_multi(&soc, &tenants, None).expect("run b");
+    assert_eq!(
+        format!("{a:?}"),
+        format!("{b:?}"),
+        "replay must be bit-identical"
+    );
+
+    let reseeded: Vec<TenantSpec> = models
+        .iter()
+        .zip(&schedules)
+        .map(|(m, s)| spec(m, s, 8))
+        .collect();
+    let c = simulate_multi(&soc, &reseeded, None).expect("run c");
+    assert_ne!(
+        format!("{a:?}"),
+        format!("{c:?}"),
+        "a different seed must perturb the co-run"
+    );
+}
+
+#[test]
+fn admission_assembles_a_fair_paper_mix() {
+    let soc = devices::pixel_7a();
+    let models = paper_models();
+    let schedules = co_schedules(&models);
+    let candidates: Vec<bettertogether::core::CoTenant> = models
+        .iter()
+        .zip(&schedules)
+        .enumerate()
+        .map(|(i, (m, s))| {
+            bettertogether::core::CoTenant::new(m.clone(), s.clone(), cfg(90 + i as u64))
+        })
+        .collect();
+    let decision = admit_greedy(
+        &soc,
+        &candidates,
+        &AdmissionConfig::new(AdmissionPolicy::FairShare { tolerance: 0.02 }),
+    )
+    .expect("admission sweep");
+    assert!(
+        !decision.admitted.is_empty(),
+        "a permissive fair-share must admit at least the first tenant"
+    );
+    assert_eq!(
+        decision.admitted.len(),
+        decision.reports.len(),
+        "one final-mix report per admitted tenant"
+    );
+}
+
+/// A random (device, mix) draw: 1–4 tenants, each a paper app under a
+/// schedule assembled from the device's own PU classes.
+fn mix_strategy() -> impl Strategy<Value = (usize, Vec<(usize, Vec<usize>, u64)>)> {
+    let tenant = (
+        0usize..3,
+        proptest::collection::vec(0usize..4, 12),
+        any::<u64>(),
+    );
+    (0usize..4, proptest::collection::vec(tenant, 1..=4))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_mixes_conserve_tasks_and_replay((dev, mix) in mix_strategy()) {
+        let soc: SocSpec = devices::all().swap_remove(dev % devices::all().len());
+        let classes: Vec<PuClass> = soc.classes();
+        let models = paper_models();
+        let tenants: Vec<TenantSpec> = mix
+            .iter()
+            .map(|(app, picks, seed)| {
+                let m = &models[app % models.len()];
+                let k = m.stage_count();
+                // Contiguous-by-construction: split the stage range into
+                // n_chunks runs of distinct classes (offset-rotated).
+                let n_chunks = 1 + picks[0] % classes.len().min(k);
+                let offset = picks[1];
+                let assignment: Vec<PuClass> = (0..k)
+                    .map(|s| classes[(offset + s * n_chunks / k) % classes.len()])
+                    .collect();
+                spec(m, &Schedule::new(assignment).unwrap(), *seed)
+            })
+            .collect();
+        let a = simulate_multi(&soc, &tenants, None).expect("mix simulates");
+        for (r, t) in a.tenants.iter().zip(&tenants) {
+            prop_assert_eq!(r.completed + r.dropped, r.submitted);
+            prop_assert_eq!(r.submitted, u64::from(t.cfg.tasks + t.cfg.warmup));
+        }
+        let b = simulate_multi(&soc, &tenants, None).expect("replay");
+        prop_assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+}
+
+/// Cheap real application for host-pool properties: every stage bumps a
+/// counter, so lost or duplicated work is visible in the total.
+fn counting_app(stages: usize, hits: Arc<std::sync::atomic::AtomicU64>) -> Application<u64> {
+    let list = (0..stages)
+        .map(|i| {
+            let hits = Arc::clone(&hits);
+            Stage::new(
+                format!("s{i}"),
+                WorkProfile::new(10.0, 10.0),
+                Arc::new(move |t: &mut u64, _ctx: &ParCtx| {
+                    *t = t.wrapping_add(1);
+                    hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }) as KernelFn<u64>,
+            )
+        })
+        .collect();
+    Application::new(
+        "counting",
+        list,
+        Arc::new(|| 0u64),
+        Arc::new(|t: &mut u64, seq| *t = seq),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn host_pool_mixes_terminate_with_conservation(
+        n_tenants in 1usize..=4,
+        workers in 1usize..=4,
+        stages in proptest::collection::vec(1usize..=4, 4),
+        tasks in proptest::collection::vec(1u32..=10, 4),
+    ) {
+        let hits = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let mut set = TenantSet::new();
+        let mut expected_hits = 0u64;
+        let all = [BigCpu, MediumCpu, LittleCpu, Gpu];
+        for i in 0..n_tenants {
+            let k = stages[i];
+            let app = counting_app(k, Arc::clone(&hits));
+            let schedule = Schedule::new((0..k).map(|s| all[(i + s) % all.len()]).collect()).unwrap();
+            let run = RunConfig { tasks: tasks[i], warmup: 1, ..RunConfig::default() };
+            expected_hits += u64::from(tasks[i] + 1) * k as u64;
+            set.push(Tenant::new(format!("t{i}"), &app, &schedule, run).unwrap());
+        }
+        // If the pool ever deadlocked, this call would hang the suite —
+        // the test harness timeout is the deadlock detector.
+        let reports = run_multi_host(&set, &WorkerBudget::new(workers)).unwrap();
+        prop_assert_eq!(reports.len(), n_tenants);
+        for (i, r) in reports.iter().enumerate() {
+            prop_assert_eq!(r.completed + r.dropped, r.submitted);
+            prop_assert_eq!(r.submitted, u64::from(tasks[i] + 1));
+            prop_assert_eq!(r.dropped, 0);
+        }
+        prop_assert_eq!(hits.load(std::sync::atomic::Ordering::Relaxed), expected_hits);
+    }
+}
