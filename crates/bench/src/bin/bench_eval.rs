@@ -21,9 +21,12 @@
 
 use std::time::Instant;
 
-use bt_core::{build_problem, BetterTogether, SimBackend};
+use bt_core::{
+    build_problem, optimize, optimize_dag, optimize_replicated, BetterTogether, OptimizerConfig,
+    SimBackend,
+};
 use bt_kernels::{apps, AppModel};
-use bt_pipeline::{simulate_baseline, simulate_schedule, Schedule};
+use bt_pipeline::{simulate_baseline, simulate_dag_schedule, simulate_schedule, Schedule};
 use bt_profiler::{profile, ProfileMode, ProfilerConfig};
 use bt_soc::{devices, PuClass, RunConfig, SocSpec};
 use bt_solver::enumerate::{enumerate_schedules, evaluate};
@@ -62,6 +65,25 @@ struct SolverCandidates {
 }
 
 #[derive(Serialize)]
+struct DagBranching {
+    /// Best DAG-aware schedule of the branching perception app, measured
+    /// per-task critical-path latency (µs, one task in flight).
+    dag_aware_us: f64,
+    /// Best schedule of the same stages forced into their linearized
+    /// chain order, same metric.
+    best_linearized_us: f64,
+    /// Linearized / DAG-aware (> 1 gated: branch overlap must pay).
+    speedup: f64,
+    /// Steady-state µs/task with the measured bottleneck stage replicated
+    /// across two exclusive classes.
+    replicated_us: f64,
+    /// Steady-state µs/task of the best non-replicated DAG schedule.
+    best_nonreplicated_us: f64,
+    /// Non-replicated / replicated (> 1 gated).
+    replication_speedup: f64,
+}
+
+#[derive(Serialize)]
 struct BenchEval {
     device: &'static str,
     app: &'static str,
@@ -72,6 +94,9 @@ struct BenchEval {
     /// Multi-tenant rows: co-run vs time-slicing (deterministic, gated)
     /// and steal-path overhead (wall-clock, informational).
     mt: bt_bench::mt::MtBench,
+    /// Fork/join rows on the branching perception app: DAG-aware vs
+    /// linearized, and bottleneck replication (deterministic, gated).
+    dag: DagBranching,
     /// The acceptance bar: current Fig. 2 loop ≥ 2× the pre-PR path.
     meets_2x_fig2: bool,
 }
@@ -166,6 +191,98 @@ fn reencode_candidates(problem: &ScheduleProblem, k: usize) -> Vec<(f64, Assignm
         }
     }
     found
+}
+
+/// The fork/join rows: on the branching perception workload, measure the
+/// DAG-aware optimum against the best linearized schedule (per-task
+/// critical-path latency, one task in flight) and bottleneck replication
+/// against the best non-replicated schedule (steady-state rate). All
+/// virtual-time, hence deterministic — both speedups are gated.
+fn dag_branching_rows(k: usize) -> DagBranching {
+    let soc = devices::pixel_7a();
+    let app = bt_bench::branching_app();
+    let graph = app.task_graph();
+    let table = profile(
+        &soc,
+        &app,
+        ProfileMode::InterferenceHeavy,
+        &ProfilerConfig::default(),
+    );
+    let cfg = OptimizerConfig {
+        candidates: k,
+        ..OptimizerConfig::with_threshold(0.0)
+    };
+    let noiseless = RunConfig {
+        noise_sigma: 0.0,
+        ..RunConfig::default()
+    };
+    // One task in flight: latency is the critical path, which is what
+    // branch overlap shortens.
+    let single = RunConfig {
+        buffers: 1,
+        ..noiseless.clone()
+    };
+    let dag_cands = optimize_dag(&soc, &table, &graph, &cfg).expect("dag candidates");
+    // (critical-path latency, steady-state rate) of one DAG schedule.
+    let measure = |s: &bt_pipeline::DagSchedule, cfg: &RunConfig| {
+        let report = simulate_dag_schedule(&soc, &app, s, cfg, None).expect("simulates");
+        let stats = report.expect_stats();
+        (
+            stats.mean_task_latency.as_f64(),
+            stats.time_per_task.as_f64(),
+        )
+    };
+    let dag_aware_us = dag_cands
+        .iter()
+        .map(|c| measure(&c.schedule, &single).0)
+        .fold(f64::INFINITY, f64::min);
+    let best_linearized_us = optimize(&soc, &table, &cfg)
+        .expect("linearized candidates")
+        .iter()
+        .map(|c| {
+            simulate_schedule(&soc, &app, &c.schedule, &single, None)
+                .expect("simulates")
+                .expect_stats()
+                .mean_task_latency
+                .as_f64()
+        })
+        .fold(f64::INFINITY, f64::min);
+
+    // Replication arm: steady-state rate of the measured-best plain
+    // schedule vs its bottleneck stage replicated.
+    let (best_plain, best_nonreplicated_us) = dag_cands
+        .iter()
+        .map(|c| (c, measure(&c.schedule, &noiseless).1))
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+        .expect("candidates");
+    let bottleneck_chunk = best_plain
+        .chunk_sums
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+        .expect("chunks")
+        .0;
+    let chunk = &best_plain.schedule.chunks()[bottleneck_chunk];
+    let bottleneck_stage = chunk
+        .stages
+        .iter()
+        .copied()
+        .max_by(|&a, &b| {
+            let lat = |s: usize| table.latency(s, chunk.pu).expect("profiled").as_f64();
+            lat(a).partial_cmp(&lat(b)).expect("finite")
+        })
+        .expect("non-empty chunk");
+    let replicated =
+        optimize_replicated(&soc, &table, &graph, bottleneck_stage).expect("replication plan");
+    let replicated_us = measure(&replicated.schedule, &noiseless).1;
+    DagBranching {
+        dag_aware_us,
+        best_linearized_us,
+        speedup: best_linearized_us / dag_aware_us,
+        replicated_us,
+        best_nonreplicated_us,
+        replication_speedup: best_nonreplicated_us / replicated_us,
+    }
 }
 
 /// Fig. 2 loop speedup recorded in the committed `BENCH_eval.json`, if
@@ -324,6 +441,14 @@ fn main() {
         mt.steal_overhead_us_per_task
     );
 
+    // --- Fork/join rows on the branching perception app. ----------------
+    let dag = dag_branching_rows(if smoke { 5 } else { 10 });
+    println!(
+        "DAG:          dag-aware {:9.0} µs   linearized {:9.0} µs   speedup {:.2}x   \
+         replication {:.2}x",
+        dag.dag_aware_us, dag.best_linearized_us, dag.speedup, dag.replication_speedup
+    );
+
     let meets = fig2.speedup >= 2.0;
     println!(
         "\nFig. 2 loop >= 2x over pre-PR path: {}",
@@ -332,6 +457,8 @@ fn main() {
 
     let fig2_speedup = fig2.speedup;
     let mt_speedup = mt.co_run_speedup;
+    let dag_speedup = dag.speedup;
+    let replication_speedup = dag.replication_speedup;
     bt_bench::write_root_result(
         "BENCH_eval",
         &BenchEval {
@@ -342,6 +469,7 @@ fn main() {
             des,
             solver,
             mt,
+            dag,
             meets_2x_fig2: meets,
         },
     );
@@ -373,8 +501,26 @@ fn main() {
             );
             std::process::exit(1);
         }
+        // Likewise deterministic: the DAG-aware schedule must beat the
+        // best linearized one, and replicating the measured bottleneck
+        // must beat the best non-replicated schedule.
+        if dag_speedup <= 1.0 {
+            eprintln!(
+                "gate: FAIL — DAG-aware schedule speedup {dag_speedup:.2}x does not beat \
+                 the best linearized schedule"
+            );
+            std::process::exit(1);
+        }
+        if replication_speedup <= 1.0 {
+            eprintln!(
+                "gate: FAIL — bottleneck replication speedup {replication_speedup:.2}x does \
+                 not beat the best non-replicated schedule"
+            );
+            std::process::exit(1);
+        }
         println!(
-            "gate: pass (fig2 {fig2_speedup:.2}x >= {GATE_FLOOR}x, co-run {mt_speedup:.2}x > 1x)"
+            "gate: pass (fig2 {fig2_speedup:.2}x >= {GATE_FLOOR}x, co-run {mt_speedup:.2}x > 1x, \
+             dag {dag_speedup:.2}x > 1x, replication {replication_speedup:.2}x > 1x)"
         );
     }
 }

@@ -50,6 +50,18 @@ pub fn paper_app_labels() -> [&'static str; 3] {
     ["CIFAR-D", "CIFAR-S", "Tree"]
 }
 
+/// The fork/join perception workload — the fourth app, kept out of
+/// [`paper_apps`] so the paper's chain-only figures keep their three-app
+/// shape. Benchmarks exercising the DAG engine pull it from here.
+pub fn branching_app() -> AppModel {
+    apps::perception_app(apps::PerceptionConfig::default()).model()
+}
+
+/// Short label for [`branching_app`], matching the paper-label style.
+pub fn branching_app_label() -> &'static str {
+    "Percep"
+}
+
 /// The paper's four evaluation platforms, in Table 2 order.
 pub fn paper_devices() -> Vec<SocSpec> {
     devices::all()
@@ -111,6 +123,13 @@ mod tests {
         assert_eq!(paper_devices().len(), 4);
         assert_eq!(paper_apps()[0].stage_count(), 9);
         assert_eq!(paper_apps()[2].stage_count(), 7);
+    }
+
+    #[test]
+    fn branching_app_really_branches() {
+        let app = branching_app();
+        assert!(!app.task_graph().is_chain());
+        assert_eq!(branching_app_label(), "Percep");
     }
 
     #[test]

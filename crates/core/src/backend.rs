@@ -16,8 +16,8 @@
 
 use bt_kernels::{AppModel, Application};
 use bt_pipeline::{
-    run_host, simulate_baseline, simulate_schedule, to_chunk_specs, Measurement, PuThreads,
-    Schedule,
+    run_host, run_host_dag, simulate_baseline, simulate_dag_schedule, simulate_schedule,
+    to_chunk_specs, DagSchedule, Measurement, PuThreads, Schedule,
 };
 use bt_profiler::host::{profile_host, HostClasses, HostProfilerConfig};
 use bt_profiler::{profile, ProfileMode, ProfilerConfig, ProfilingTable};
@@ -109,6 +109,24 @@ pub trait ExecutionBackend: Sync {
     /// Returns [`BtError`] when the substrate rejects the schedule
     /// (stage mismatch, missing PU, failed run).
     fn measure(&self, schedule: &Schedule, run_index: u64) -> Result<Measurement, BtError>;
+
+    /// Executes a fork/join `schedule` and reports its steady-state
+    /// measurement — the DAG counterpart of
+    /// [`measure`](ExecutionBackend::measure). Chain-shaped DAG schedules
+    /// must price identically to their linear form.
+    ///
+    /// # Errors
+    ///
+    /// The default implementation returns [`BtError::DagUnsupported`];
+    /// substrates with a fork/join engine override it and return the
+    /// usual configuration errors (stage/graph mismatch, missing PU,
+    /// failed run).
+    fn measure_dag(&self, schedule: &DagSchedule, run_index: u64) -> Result<Measurement, BtError> {
+        let _ = (schedule, run_index);
+        Err(BtError::DagUnsupported {
+            backend: self.name().to_string(),
+        })
+    }
 
     /// Measures the homogeneous baseline on `class`.
     ///
@@ -282,6 +300,21 @@ impl ExecutionBackend for SimBackend {
         })
     }
 
+    fn measure_dag(&self, schedule: &DagSchedule, run_index: u64) -> Result<Measurement, BtError> {
+        let cfg = RunConfig {
+            seed: self.run.seed.wrapping_add(run_index),
+            ..self.run.clone()
+        };
+        let faults = (!self.faults.is_empty()).then_some(&self.faults);
+        let report = simulate_dag_schedule(&self.soc, &self.app, schedule, &cfg, faults)?;
+        let (submitted, completed, dropped) = (report.submitted, report.completed, report.dropped);
+        Measurement::from_run(report).ok_or(BtError::RunDegraded {
+            submitted,
+            completed,
+            dropped,
+        })
+    }
+
     fn measure_baseline(&self, class: PuClass) -> Result<Measurement, BtError> {
         let report = simulate_baseline(&self.soc, &self.app, class, &self.run)?;
         Ok(Measurement::from_run(report).expect("clean baseline runs complete every task"))
@@ -438,6 +471,12 @@ impl<P: Send + 'static> ExecutionBackend for HostBackend<P> {
         Ok(Measurement::from_run(report).expect("fail-fast host runs always measure"))
     }
 
+    fn measure_dag(&self, schedule: &DagSchedule, _run_index: u64) -> Result<Measurement, BtError> {
+        // Fail-fast only: the DAG relay has no resilient mode yet.
+        let report = run_host_dag(&self.app, schedule, &self.threads, &self.run, None)?;
+        Ok(Measurement::from_run(report).expect("fail-fast host runs always measure"))
+    }
+
     fn measure_baseline(&self, class: PuClass) -> Result<Measurement, BtError> {
         // The host baseline is the whole application as one chunk on the
         // tier (the real runtime has no per-stage-sync dispatch mode; a
@@ -508,6 +547,62 @@ mod tests {
         let b = sim();
         assert!(b.parallel_measure_hint());
         assert!(!b.with_parallel(false).parallel_measure_hint());
+    }
+
+    #[test]
+    fn sim_measure_dag_matches_linear_on_chain_schedules() {
+        let b = sim();
+        let s = Schedule::new(vec![
+            PuClass::BigCpu,
+            PuClass::BigCpu,
+            PuClass::MediumCpu,
+            PuClass::Gpu,
+            PuClass::Gpu,
+            PuClass::Gpu,
+            PuClass::LittleCpu,
+        ])
+        .unwrap();
+        let dag = DagSchedule::from_schedule(&s);
+        let linear = b.measure(&s, 3).unwrap();
+        let via_dag = b.measure_dag(&dag, 3).unwrap();
+        assert_eq!(linear.latency.as_f64(), via_dag.latency.as_f64());
+        assert_eq!(linear.throughput_hz, via_dag.throughput_hz);
+    }
+
+    #[test]
+    fn sim_measure_dag_prices_branching_schedules() {
+        let app = apps::perception_app(apps::PerceptionConfig::default()).model();
+        let b = SimBackend::new(devices::pixel_7a(), app.clone());
+        let s = DagSchedule::new(
+            vec![
+                PuClass::LittleCpu,
+                PuClass::Gpu,
+                PuClass::Gpu,
+                PuClass::BigCpu,
+                PuClass::BigCpu,
+                PuClass::MediumCpu,
+                PuClass::MediumCpu,
+            ],
+            &app.task_graph(),
+        )
+        .unwrap();
+        let m0 = b.measure_dag(&s, 0).unwrap();
+        let m0_again = b.measure_dag(&s, 0).unwrap();
+        let m1 = b.measure_dag(&s, 1).unwrap();
+        assert_eq!(m0.latency.as_f64(), m0_again.latency.as_f64());
+        assert_ne!(m0.latency.as_f64(), m1.latency.as_f64());
+    }
+
+    #[test]
+    fn sim_measure_dag_rejects_wrong_graph() {
+        // Octree-bound backend, perception-graph schedule: typed error.
+        let b = sim();
+        let perception = apps::perception_app(apps::PerceptionConfig::default()).model();
+        let s = DagSchedule::new(vec![PuClass::BigCpu; 7], &perception.task_graph()).unwrap();
+        assert!(matches!(
+            b.measure_dag(&s, 0),
+            Err(BtError::Pipeline(bt_pipeline::PipelineError::GraphMismatch))
+        ));
     }
 
     #[test]

@@ -7,6 +7,11 @@ use std::fmt;
 pub enum BtError {
     /// The schedule optimizer could not be constructed.
     Problem(bt_solver::ProblemError),
+    /// The DAG schedule optimizer could not be constructed.
+    Dag(bt_solver::DagError),
+    /// A DAG-solver assignment could not be realized as an executable
+    /// pipeline schedule.
+    DagSchedule(bt_pipeline::DagScheduleError),
     /// The simulator rejected a configuration.
     Soc(bt_soc::SocError),
     /// The host pipeline rejected a configuration.
@@ -37,6 +42,12 @@ pub enum BtError {
         /// The autotuning run index the fault was armed for.
         run_index: u64,
     },
+    /// The backend cannot execute fork/join (DAG) schedules (see
+    /// [`crate::ExecutionBackend::measure_dag`]).
+    DagUnsupported {
+        /// Name of the refusing backend.
+        backend: String,
+    },
     /// The backend cannot co-run multiple tenants (only virtual-time
     /// substrates co-schedule tenant timelines; see
     /// [`crate::ExecutionBackend::measure_multi`]).
@@ -50,6 +61,8 @@ impl fmt::Display for BtError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             BtError::Problem(e) => write!(f, "schedule problem: {e}"),
+            BtError::Dag(e) => write!(f, "DAG schedule problem: {e}"),
+            BtError::DagSchedule(e) => write!(f, "DAG schedule: {e}"),
             BtError::Soc(e) => write!(f, "device model: {e}"),
             BtError::Pipeline(e) => write!(f, "pipeline: {e}"),
             BtError::NoCandidates => f.write_str("no candidate schedule satisfies the constraints"),
@@ -74,6 +87,9 @@ impl fmt::Display for BtError {
             BtError::InjectedFault { run_index } => {
                 write!(f, "fault injected into measurement run {run_index}")
             }
+            BtError::DagUnsupported { backend } => {
+                write!(f, "backend '{backend}' cannot execute fork/join schedules")
+            }
             BtError::MultiTenantUnsupported { backend } => {
                 write!(f, "backend '{backend}' cannot measure multi-tenant co-runs")
             }
@@ -85,6 +101,8 @@ impl Error for BtError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             BtError::Problem(e) => Some(e),
+            BtError::Dag(e) => Some(e),
+            BtError::DagSchedule(e) => Some(e),
             BtError::Soc(e) => Some(e),
             BtError::Pipeline(e) => Some(e),
             _ => None,
@@ -95,6 +113,18 @@ impl Error for BtError {
 impl From<bt_solver::ProblemError> for BtError {
     fn from(e: bt_solver::ProblemError) -> BtError {
         BtError::Problem(e)
+    }
+}
+
+impl From<bt_solver::DagError> for BtError {
+    fn from(e: bt_solver::DagError) -> BtError {
+        BtError::Dag(e)
+    }
+}
+
+impl From<bt_pipeline::DagScheduleError> for BtError {
+    fn from(e: bt_pipeline::DagScheduleError) -> BtError {
+        BtError::DagSchedule(e)
     }
 }
 

@@ -52,10 +52,10 @@ mod resilience;
 pub use backend::{CoTenant, ExecutionBackend, HostBackend, SimBackend};
 pub use baseline::{measure_baselines, BaselineEntry, Baselines};
 pub use error::BtError;
-pub use framework::{BetterTogether, BtConfig, Deployment, Plan};
+pub use framework::{validate_dag_schedule, BetterTogether, BtConfig, Deployment, Plan};
 pub use optimizer::{
-    autotune, build_problem, build_problem_masked, build_problem_with, min_gapness, optimize,
-    optimize_with, AutotuneOutcome, Candidate, CandidateMeasurement, Objective, OptimizerConfig,
-    SolverEngine,
+    autotune, build_dag_problem, build_problem, build_problem_masked, build_problem_with,
+    min_gapness, optimize, optimize_dag, optimize_replicated, optimize_with, AutotuneOutcome,
+    Candidate, CandidateMeasurement, DagCandidate, Objective, OptimizerConfig, SolverEngine,
 };
 pub use resilience::{DriftConfig, RescheduleEvent, ResilientRun};

@@ -13,11 +13,12 @@
 //! (fast path — the contiguous-partition space is small) and the SAT
 //! encoding (the z3-faithful path); they are property-tested to agree.
 
-use bt_pipeline::Schedule;
+use bt_kernels::TaskGraph;
+use bt_pipeline::{DagSchedule, Schedule};
 use bt_profiler::ProfilingTable;
 use bt_soc::{Micros, PuClass, SocSpec};
 use bt_solver::enumerate::{evaluate, for_each_schedule, ScheduleEval};
-use bt_solver::ScheduleProblem;
+use bt_solver::{DagProblem, ScheduleProblem, StageDag};
 
 use serde::{Deserialize, Serialize};
 
@@ -424,6 +425,183 @@ pub fn autotune<B: ExecutionBackend>(
     })
 }
 
+/// One fork/join candidate schedule with its model predictions — the DAG
+/// counterpart of [`Candidate`]. The schedule itself records whether a
+/// stage is replicated.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DagCandidate {
+    /// The validated stage → PU mapping over the task graph.
+    pub schedule: DagSchedule,
+    /// Predicted pipeline latency (`T_max`, the bottleneck chunk; replica
+    /// chunks priced at half service).
+    pub predicted: Micros,
+    /// Predicted gapness (`T_max − T_min`).
+    pub gapness: Micros,
+    /// Predicted per-chunk runtimes, in the schedule's chunk order.
+    pub chunk_sums: Vec<Micros>,
+}
+
+/// Builds the DAG solver instance for a device/table/graph triple: the
+/// latency matrix restricted to schedulable classes, plus the stage
+/// dependency structure.
+///
+/// # Errors
+///
+/// Returns [`BtError`] if the table or graph cannot form a valid problem.
+pub fn build_dag_problem(
+    soc: &SocSpec,
+    table: &ProfilingTable,
+    graph: &TaskGraph,
+) -> Result<DagProblem, BtError> {
+    let dag = StageDag::new(graph.len(), graph.deps().to_vec())?;
+    let allowed: Vec<bool> = table
+        .classes()
+        .iter()
+        .map(|&c| soc.pu(c).map(|p| p.schedulable()).unwrap_or(false))
+        .collect();
+    Ok(DagProblem::new(table.to_matrix(), dag)?.with_allowed(allowed)?)
+}
+
+fn to_dag_candidate(
+    table: &ProfilingTable,
+    graph: &TaskGraph,
+    problem: &DagProblem,
+    assignment: &[usize],
+) -> Option<DagCandidate> {
+    let eval = problem.evaluate(assignment);
+    let classes: Vec<PuClass> = assignment.iter().map(|&i| table.classes()[i]).collect();
+    // Solver validity (path-convexity + quotient acyclicity) is necessary
+    // but the executable form additionally requires single-entry/exit
+    // token routing; assignments that fail it are skipped, not fatal.
+    let schedule = DagSchedule::new(classes, graph).ok()?;
+    Some(DagCandidate {
+        schedule,
+        predicted: Micros::new(eval.t_max),
+        gapness: Micros::new(eval.gapness()),
+        chunk_sums: eval.chunk_sums.iter().map(|&s| Micros::new(s)).collect(),
+    })
+}
+
+/// Levels 1–2 over a fork/join application: produce up to
+/// `cfg.candidates` DAG schedules, objective-filtered and sorted by
+/// predicted latency — the generalization of [`optimize`] from contiguity
+/// (C2) to per-path convexity, with parallel branches free to occupy
+/// disjoint PUs.
+///
+/// Chain-shaped graphs reproduce [`optimize`]'s space exactly (the
+/// property tests pin the solver-level equivalence).
+///
+/// # Errors
+///
+/// Returns [`BtError`] if the problem cannot be built or no schedule
+/// survives the filter.
+pub fn optimize_dag(
+    soc: &SocSpec,
+    table: &ProfilingTable,
+    graph: &TaskGraph,
+    cfg: &OptimizerConfig,
+) -> Result<Vec<DagCandidate>, BtError> {
+    let mut problem = build_dag_problem(soc, table, graph)?;
+    if let Some(k) = cfg.max_chunks {
+        problem = problem.with_max_chunks(k);
+    }
+    let g_star = match cfg.objective {
+        Objective::GapnessFirst { .. } => {
+            let mut best = f64::INFINITY;
+            problem.for_each_valid(|a| {
+                let e = problem.evaluate(a);
+                best = best.min(e.gapness());
+            });
+            if best.is_infinite() {
+                return Err(BtError::NoCandidates);
+            }
+            best
+        }
+        Objective::UtilizationFilter { .. } => 0.0,
+    };
+    let candidates = match cfg.engine {
+        SolverEngine::Exact => {
+            let mut evals: Vec<bt_solver::DagEval> = Vec::new();
+            problem.for_each_valid(|a| {
+                let e = problem.evaluate(a);
+                if admits(cfg.objective, g_star, e.t_max, e.t_min) {
+                    evals.push(e);
+                }
+            });
+            evals.sort_by(|a, b| {
+                a.t_max
+                    .partial_cmp(&b.t_max)
+                    .expect("finite latencies")
+                    .then_with(|| a.gapness().partial_cmp(&b.gapness()).expect("finite"))
+                    .then_with(|| a.assignment.cmp(&b.assignment))
+            });
+            evals
+                .iter()
+                .filter_map(|e| to_dag_candidate(table, graph, &problem, &e.assignment))
+                .take(cfg.candidates)
+                .collect::<Vec<_>>()
+        }
+        SolverEngine::Sat => {
+            // CEGAR generation by ascending T_max; keep filtered survivors.
+            let budget = cfg.candidates * 12;
+            problem
+                .latency_candidates(budget)
+                .into_iter()
+                .filter_map(|(_, a)| {
+                    let e = problem.evaluate(&a);
+                    admits(cfg.objective, g_star, e.t_max, e.t_min)
+                        .then(|| to_dag_candidate(table, graph, &problem, &a))
+                        .flatten()
+                })
+                .take(cfg.candidates)
+                .collect()
+        }
+    };
+    if candidates.is_empty() {
+        return Err(BtError::NoCandidates);
+    }
+    Ok(candidates)
+}
+
+/// Searches for the best *replication* of `stage`: the stage runs on both
+/// classes of an exclusive pair (each replica serving alternate tasks at
+/// half steady-state demand) while the remaining stages are assigned
+/// optimally around it. Returns the bottleneck-minimizing plan as an
+/// executable [`DagCandidate`].
+///
+/// # Errors
+///
+/// Returns [`BtError::NoCandidates`] when no exclusive pair leaves enough
+/// classes for the remaining stages, or the best solver plan cannot be
+/// realized as an executable schedule.
+pub fn optimize_replicated(
+    soc: &SocSpec,
+    table: &ProfilingTable,
+    graph: &TaskGraph,
+    stage: usize,
+) -> Result<DagCandidate, BtError> {
+    let problem = build_dag_problem(soc, table, graph)?;
+    let plan = problem
+        .best_replication(stage)
+        .ok_or(BtError::NoCandidates)?;
+    let eval = problem.evaluate_replicated(&plan);
+    let palette = table.classes();
+    let (c1, c2) = plan.classes;
+    let classes: Vec<PuClass> = plan
+        .assignment
+        .iter()
+        .enumerate()
+        .map(|(s, &i)| if s == stage { palette[c1] } else { palette[i] })
+        .collect();
+    let schedule = DagSchedule::replicated(classes, graph, stage, (palette[c1], palette[c2]))?;
+    Ok(DagCandidate {
+        schedule,
+        predicted: Micros::new(eval.t_max),
+        gapness: Micros::new(eval.gapness()),
+        chunk_sums: eval.chunk_sums.iter().map(|&s| Micros::new(s)).collect(),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -640,5 +818,183 @@ mod tests {
         for c in &cands {
             assert!(c.gapness.as_f64() >= g.as_f64() - 1e-9);
         }
+    }
+
+    fn dag_setup() -> (SocSpec, AppModel, ProfilingTable) {
+        let soc = devices::pixel_7a();
+        let app = apps::perception_app(apps::PerceptionConfig::default()).model();
+        let table = profile(
+            &soc,
+            &app,
+            ProfileMode::InterferenceHeavy,
+            &ProfilerConfig::default(),
+        );
+        (soc, app, table)
+    }
+
+    #[test]
+    fn dag_candidates_are_sorted_valid_and_graph_bound() {
+        let (soc, app, table) = dag_setup();
+        let graph = app.task_graph();
+        let cfg = OptimizerConfig {
+            candidates: 10,
+            ..OptimizerConfig::with_threshold(0.0)
+        };
+        let cands = optimize_dag(&soc, &table, &graph, &cfg).unwrap();
+        assert!(!cands.is_empty() && cands.len() <= 10);
+        for w in cands.windows(2) {
+            assert!(w[0].predicted <= w[1].predicted, "sorted by T_max");
+            assert_ne!(w[0].schedule, w[1].schedule, "distinct");
+        }
+        for c in &cands {
+            // Every candidate validates against the application's graph.
+            assert_eq!(c.schedule.stage_count(), app.stage_count());
+            assert!(c.schedule.replicated_stage().is_none());
+            let max = c.chunk_sums.iter().copied().reduce(Micros::max).unwrap();
+            assert_eq!(max.as_f64(), c.predicted.as_f64());
+        }
+    }
+
+    #[test]
+    fn dag_exact_and_sat_engines_agree_on_optimum() {
+        let (soc, app, table) = dag_setup();
+        let graph = app.task_graph();
+        let mk = |engine| OptimizerConfig {
+            engine,
+            candidates: 5,
+            ..OptimizerConfig::with_threshold(0.0)
+        };
+        let exact = optimize_dag(&soc, &table, &graph, &mk(SolverEngine::Exact)).unwrap();
+        let sat = optimize_dag(&soc, &table, &graph, &mk(SolverEngine::Sat)).unwrap();
+        assert!(
+            (exact[0].predicted.as_f64() - sat[0].predicted.as_f64()).abs() < 1e-6,
+            "optimal T_max must agree: {} vs {}",
+            exact[0].predicted,
+            sat[0].predicted
+        );
+    }
+
+    #[test]
+    fn dag_chain_graph_matches_linear_optimizer() {
+        // On a chain-shaped graph the DAG space collapses to the
+        // contiguous-partition space: optima must coincide.
+        let (soc, app, table) = setup();
+        let graph = app.task_graph();
+        let cfg = OptimizerConfig::with_threshold(0.0);
+        let linear = optimize(&soc, &table, &cfg).unwrap();
+        let dag = optimize_dag(&soc, &table, &graph, &cfg).unwrap();
+        assert!(
+            (linear[0].predicted.as_f64() - dag[0].predicted.as_f64()).abs() < 1e-9,
+            "chain optimum: linear {} vs dag {}",
+            linear[0].predicted,
+            dag[0].predicted
+        );
+        assert!(dag[0].schedule.is_chain());
+    }
+
+    #[test]
+    fn dag_beats_linearized_on_branching_app() {
+        // The point of the generalization: on the fork/join perception
+        // app, freeing parallel branches from a forced linear order must
+        // not lose to the best linearization — and strictly beats it in
+        // the predicted model here.
+        let (soc, app, table) = dag_setup();
+        let graph = app.task_graph();
+        let cfg = OptimizerConfig::with_threshold(0.0);
+        let dag = optimize_dag(&soc, &table, &graph, &cfg).unwrap();
+        // Best schedule over a *linearization*: same stages treated as a
+        // chain in the linearized stage order.
+        let linear = optimize(&soc, &table, &cfg).unwrap();
+        assert!(
+            dag[0].predicted.as_f64() <= linear[0].predicted.as_f64() + 1e-9,
+            "DAG optimum {} must not lose to linearized optimum {}",
+            dag[0].predicted,
+            linear[0].predicted
+        );
+    }
+
+    #[test]
+    fn replication_halves_a_dominant_bottleneck() {
+        let (soc, app, table) = dag_setup();
+        let graph = app.task_graph();
+        let cfg = OptimizerConfig::with_threshold(0.0);
+        let best = optimize_dag(&soc, &table, &graph, &cfg).unwrap();
+        // Find the measured bottleneck stage of the best plain schedule:
+        // the single stage whose chunk dominates T_max.
+        let bottleneck = {
+            let s = &best[0].schedule;
+            let idx = best[0]
+                .chunk_sums
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap()
+                .0;
+            s.chunks()[idx].stages[0]
+        };
+        if let Ok(rep) = optimize_replicated(&soc, &table, &graph, bottleneck) {
+            assert_eq!(
+                rep.schedule.replicated_stage().map(|(s, _)| s),
+                Some(bottleneck)
+            );
+            // The replicated plan prices its replica chunks at half rate;
+            // its T_max must be internally consistent.
+            let max = rep.chunk_sums.iter().copied().reduce(Micros::max).unwrap();
+            assert_eq!(max.as_f64(), rep.predicted.as_f64());
+        }
+    }
+
+    #[test]
+    fn replicated_candidate_names_both_classes() {
+        // A 3-stage chain with a fat middle stage: replication must place
+        // the middle stage on an exclusive class pair.
+        let table = ProfilingTable::new(
+            "app",
+            "dev",
+            ProfileMode::InterferenceHeavy,
+            vec!["a".into(), "b".into(), "c".into()],
+            vec![
+                PuClass::BigCpu,
+                PuClass::Gpu,
+                PuClass::LittleCpu,
+                PuClass::MediumCpu,
+            ],
+            vec![
+                vec![
+                    Micros::new(10.0),
+                    Micros::new(5.0),
+                    Micros::new(4.0),
+                    Micros::new(6.0),
+                ],
+                vec![
+                    Micros::new(40.0),
+                    Micros::new(24.0),
+                    Micros::new(80.0),
+                    Micros::new(60.0),
+                ],
+                vec![
+                    Micros::new(10.0),
+                    Micros::new(5.0),
+                    Micros::new(4.0),
+                    Micros::new(7.0),
+                ],
+            ],
+        );
+        let soc = devices::pixel_7a();
+        let graph = TaskGraph::chain(3);
+        let rep = optimize_replicated(&soc, &table, &graph, 1).unwrap();
+        let (stage, (c1, c2)) = rep.schedule.replicated_stage().unwrap();
+        assert_ne!(c1, c2);
+        assert_eq!(stage, 1);
+        // Replicating the dominant middle stage must beat every
+        // non-replicated schedule of the same problem.
+        let plain =
+            optimize_dag(&soc, &table, &graph, &OptimizerConfig::with_threshold(0.0)).unwrap();
+        assert!(
+            rep.predicted.as_f64() < plain[0].predicted.as_f64(),
+            "replicated {} vs best plain {}",
+            rep.predicted,
+            plain[0].predicted
+        );
     }
 }

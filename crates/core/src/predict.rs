@@ -1,7 +1,8 @@
 //! Schedule-latency prediction from a profiling table: the paper's
-//! `T_max` — the bottleneck chunk's summed stage latencies.
+//! `T_max` — the bottleneck chunk's summed stage latencies, for both
+//! linear-chain and fork/join (DAG) schedules.
 
-use bt_pipeline::Schedule;
+use bt_pipeline::{DagSchedule, Schedule};
 use bt_profiler::ProfilingTable;
 use bt_soc::Micros;
 
@@ -37,6 +38,56 @@ pub fn predict_latency(table: &ProfilingTable, schedule: &Schedule) -> Option<Mi
 /// (objective O1; low gapness = high utilization).
 pub fn predict_gapness(table: &ProfilingTable, schedule: &Schedule) -> Option<Micros> {
     let sums = chunk_predictions(table, schedule)?;
+    let max = sums.iter().copied().reduce(Micros::max)?;
+    let min = sums.iter().copied().reduce(Micros::min)?;
+    Some(max - min)
+}
+
+/// Per-chunk predicted runtimes of a DAG `schedule` under `table`, in the
+/// schedule's chunk order. A replicated stage's two chunks are each priced
+/// at *half* the stage latency: every replica serves alternate tasks at
+/// full per-task latency, so its steady-state service demand per pipeline
+/// interval halves — the same convention the solver's
+/// `evaluate_replicated` uses.
+///
+/// Returns `None` if the table lacks a class used by the schedule or the
+/// stage counts disagree.
+pub fn dag_chunk_predictions(
+    table: &ProfilingTable,
+    schedule: &DagSchedule,
+) -> Option<Vec<Micros>> {
+    if table.stages().len() != schedule.stage_count() {
+        return None;
+    }
+    let replica = schedule.replica_pair();
+    let mut sums = Vec::new();
+    for (i, chunk) in schedule.chunks().iter().enumerate() {
+        let mut acc = Micros::ZERO;
+        for &stage in &chunk.stages {
+            acc += table.latency(stage, chunk.pu)?;
+        }
+        if replica.is_some_and(|(a, b)| i == a || i == b) {
+            acc = Micros::new(acc.as_f64() * 0.5);
+        }
+        sums.push(acc);
+    }
+    Some(sums)
+}
+
+/// Predicted pipeline latency of a DAG `schedule`: the maximum chunk
+/// runtime (`T_max`). Parallel branches pipeline against each other, so
+/// the steady-state time per task is still the bottleneck chunk — the DAG
+/// changes *which* chunk decompositions are legal (path-convexity instead
+/// of linear contiguity) and lets replication halve a bottleneck.
+pub fn predict_dag_latency(table: &ProfilingTable, schedule: &DagSchedule) -> Option<Micros> {
+    dag_chunk_predictions(table, schedule)?
+        .into_iter()
+        .reduce(Micros::max)
+}
+
+/// Predicted gapness of a DAG `schedule`: `T_max − T_min` over its chunks.
+pub fn predict_dag_gapness(table: &ProfilingTable, schedule: &DagSchedule) -> Option<Micros> {
+    let sums = dag_chunk_predictions(table, schedule)?;
     let max = sums.iter().copied().reduce(Micros::max)?;
     let min = sums.iter().copied().reduce(Micros::min)?;
     Some(max - min)
@@ -95,5 +146,64 @@ mod tests {
         let t = table();
         let s = Schedule::homogeneous(4, PuClass::BigCpu);
         assert_eq!(predict_latency(&t, &s), None);
+    }
+
+    #[test]
+    fn dag_chain_predictions_match_linear() {
+        let t = table();
+        let linear = Schedule::new(vec![PuClass::Gpu, PuClass::Gpu, PuClass::BigCpu]).unwrap();
+        let dag = DagSchedule::from_schedule(&linear);
+        assert_eq!(
+            dag_chunk_predictions(&t, &dag),
+            chunk_predictions(&t, &linear)
+        );
+        assert_eq!(predict_dag_latency(&t, &dag), predict_latency(&t, &linear));
+        assert_eq!(predict_dag_gapness(&t, &dag), predict_gapness(&t, &linear));
+    }
+
+    #[test]
+    fn replicated_bottleneck_is_half_priced() {
+        use PuClass::*;
+        let t = ProfilingTable::new(
+            "app",
+            "dev",
+            ProfileMode::InterferenceHeavy,
+            vec!["a".into(), "b".into(), "c".into()],
+            vec![BigCpu, Gpu, LittleCpu, MediumCpu],
+            vec![
+                vec![
+                    Micros::new(10.0),
+                    Micros::new(5.0),
+                    Micros::new(4.0),
+                    Micros::new(6.0),
+                ],
+                vec![
+                    Micros::new(40.0),
+                    Micros::new(24.0),
+                    Micros::new(80.0),
+                    Micros::new(60.0),
+                ],
+                vec![
+                    Micros::new(10.0),
+                    Micros::new(5.0),
+                    Micros::new(4.0),
+                    Micros::new(7.0),
+                ],
+            ],
+        );
+        let g = bt_kernels::TaskGraph::chain(3);
+        let s = DagSchedule::replicated(vec![LittleCpu, BigCpu, MediumCpu], &g, 1, (BigCpu, Gpu))
+            .unwrap();
+        // Chunks: L{0}, B{1}, G{1}, M{2}; replica chunks at half service.
+        assert_eq!(
+            dag_chunk_predictions(&t, &s).unwrap(),
+            vec![
+                Micros::new(4.0),
+                Micros::new(20.0),
+                Micros::new(12.0),
+                Micros::new(7.0),
+            ]
+        );
+        assert_eq!(predict_dag_latency(&t, &s).unwrap(), Micros::new(20.0));
     }
 }

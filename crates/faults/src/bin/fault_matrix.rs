@@ -21,12 +21,12 @@
 
 use std::path::PathBuf;
 
-use bt_core::BetterTogether;
+use bt_core::{optimize_dag, BetterTogether, OptimizerConfig};
 use bt_faults::{FaultDomain, FaultPlan};
 use bt_kernels::{apps, AppModel};
-use bt_pipeline::{simulate_schedule, Schedule};
-use bt_soc::des_dynamic::{simulate_dynamic, DynamicPolicy};
-use bt_soc::{devices, RunConfig, SocSpec};
+use bt_pipeline::{simulate_dag_schedule, simulate_schedule, DagSchedule, Schedule};
+use bt_soc::des_dynamic::{simulate_dynamic, simulate_dynamic_dag, DynamicPolicy};
+use bt_soc::{devices, RunConfig, RunReport, SocError, SocSpec};
 
 #[derive(serde::Serialize)]
 struct Failure {
@@ -53,6 +53,7 @@ fn app_by_name(name: &str) -> Option<AppModel> {
         "octree" => Some(apps::octree_app(apps::OctreeConfig::default()).model()),
         "alexnet_dense" => Some(apps::alexnet_dense_app(apps::AlexNetConfig::default()).model()),
         "alexnet_sparse" => Some(apps::alexnet_sparse_app(apps::AlexNetConfig::default()).model()),
+        "perception" => Some(apps::perception_app(apps::PerceptionConfig::default()).model()),
         _ => None,
     }
 }
@@ -63,55 +64,122 @@ fn arg_value(args: &[String], flag: &str) -> Option<String> {
         .and_then(|i| args.get(i + 1).cloned())
 }
 
+/// The static pipeline under test: a chain schedule through the chain
+/// engine, or — for branching apps — a fork/join schedule through the DAG
+/// engine.
+enum StaticPipeline {
+    Chain(Schedule),
+    Dag(DagSchedule),
+}
+
+impl StaticPipeline {
+    fn chunk_count(&self) -> usize {
+        match self {
+            StaticPipeline::Chain(s) => s.chunks().len(),
+            StaticPipeline::Dag(s) => s.chunks().len(),
+        }
+    }
+}
+
 struct Cell {
     soc: SocSpec,
     app: AppModel,
-    schedule: Schedule,
+    pipeline: StaticPipeline,
     cfg: RunConfig,
     domain: FaultDomain,
+}
+
+impl Cell {
+    fn run_static(
+        &self,
+        faults: Option<&bt_soc::FaultSpec>,
+    ) -> Result<RunReport, bt_pipeline::PipelineError> {
+        match &self.pipeline {
+            StaticPipeline::Chain(s) => {
+                simulate_schedule(&self.soc, &self.app, s, &self.cfg, faults)
+            }
+            StaticPipeline::Dag(s) => {
+                simulate_dag_schedule(&self.soc, &self.app, s, &self.cfg, faults)
+            }
+        }
+    }
+
+    fn run_dynamic(
+        &self,
+        policy: DynamicPolicy,
+        faults: Option<&bt_soc::FaultSpec>,
+    ) -> Result<RunReport, SocError> {
+        let works = self.app.works();
+        let graph = self.app.task_graph();
+        if graph.is_chain() {
+            simulate_dynamic(&self.soc, &works, &self.cfg, policy, faults)
+        } else {
+            simulate_dynamic_dag(&self.soc, &works, graph.deps(), &self.cfg, policy, faults)
+        }
+    }
 }
 
 fn build_cell(device: &str, app_name: &str) -> Result<Cell, String> {
     let soc = device_by_name(device).ok_or_else(|| format!("unknown device '{device}'"))?;
     let app = app_by_name(app_name).ok_or_else(|| format!("unknown app '{app_name}'"))?;
-    let plan = BetterTogether::new(soc.clone(), app.clone())
-        .plan()
-        .map_err(|e| format!("planning failed: {e}"))?;
-    let schedule = plan
-        .predicted_best()
-        .ok_or("empty candidate list")?
-        .schedule
-        .clone();
+    // Chain apps go through the proven chain planner; branching apps take
+    // the DAG optimizer's predicted best so the sweep exercises the
+    // fork/join engine.
+    let pipeline = if app.task_graph().is_chain() {
+        let plan = BetterTogether::new(soc.clone(), app.clone())
+            .plan()
+            .map_err(|e| format!("planning failed: {e}"))?;
+        StaticPipeline::Chain(
+            plan.predicted_best()
+                .ok_or("empty candidate list")?
+                .schedule
+                .clone(),
+        )
+    } else {
+        let table = BetterTogether::new(soc.clone(), app.clone()).profile();
+        let cands = optimize_dag(
+            &soc,
+            &table,
+            &app.task_graph(),
+            &OptimizerConfig::with_threshold(0.0),
+        )
+        .map_err(|e| format!("DAG planning failed: {e}"))?;
+        StaticPipeline::Dag(cands[0].schedule.clone())
+    };
     let cfg = RunConfig::default();
     // Size the fault domain from an unfaulted reference run so onsets land
     // inside (and shortly after) the real execution window.
-    let reference = simulate_schedule(&soc, &app, &schedule, &cfg, None)
+    let cell = Cell {
+        soc,
+        app,
+        pipeline,
+        cfg,
+        domain: FaultDomain::default(),
+    };
+    let reference = cell
+        .run_static(None)
         .map_err(|e| format!("reference run failed: {e}"))?;
     let domain = FaultDomain {
-        classes: soc.schedulable_classes(),
-        chunks: schedule.chunks().len(),
-        stages: app.stage_count(),
-        tasks: cfg.tasks + cfg.warmup,
+        classes: cell.soc.schedulable_classes(),
+        chunks: cell.pipeline.chunk_count(),
+        stages: cell.app.stage_count(),
+        tasks: cell.cfg.tasks + cell.cfg.warmup,
         horizon_us: reference.expect_stats().makespan.as_f64() * 1.5,
         ..FaultDomain::default()
     };
-    Ok(Cell {
-        soc,
-        app,
-        schedule,
-        cfg,
-        domain,
-    })
+    Ok(Cell { domain, ..cell })
 }
 
 fn check_seed(cell: &Cell, seed: u64) -> Result<(), (String, String)> {
     let plan = FaultPlan::random(seed, &cell.domain);
     let spec = plan.to_spec();
 
-    let run_static =
-        || simulate_schedule(&cell.soc, &cell.app, &cell.schedule, &cell.cfg, Some(&spec));
-    let a = run_static().map_err(|e| ("static-run".into(), e.to_string()))?;
-    let b = run_static().map_err(|e| ("static-run".into(), e.to_string()))?;
+    let a = cell
+        .run_static(Some(&spec))
+        .map_err(|e| ("static-run".into(), e.to_string()))?;
+    let b = cell
+        .run_static(Some(&spec))
+        .map_err(|e| ("static-run".into(), e.to_string()))?;
     if a.completed + a.dropped != a.submitted {
         return Err((
             "static-conservation".into(),
@@ -125,9 +193,8 @@ fn check_seed(cell: &Cell, seed: u64) -> Result<(), (String, String)> {
         return Err(("static-determinism".into(), "replay diverged".into()));
     }
 
-    let works = cell.app.works();
     for policy in [DynamicPolicy::Fifo, DynamicPolicy::BestFit] {
-        let run_dyn = || simulate_dynamic(&cell.soc, &works, &cell.cfg, policy, Some(&spec));
+        let run_dyn = || cell.run_dynamic(policy, Some(&spec));
         let a = run_dyn().map_err(|e| ("dynamic-run".into(), e.to_string()))?;
         let b = run_dyn().map_err(|e| ("dynamic-run".into(), e.to_string()))?;
         if a.completed + a.dropped != a.submitted {

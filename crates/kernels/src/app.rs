@@ -1,9 +1,15 @@
 //! Core application abstractions (§3.1 of the paper): a [`Stage`] is a unit
 //! of computation implemented by a compute kernel; an [`Application`] is a
-//! sequence of stages processing a streaming input; an [`AppModel`] is the
-//! non-executable description (names + work profiles) that the profiler,
-//! optimizer, and simulator consume; a [`TaskGraph`] linearizes acyclic
-//! stage dependencies into the sequence BetterTogether schedules.
+//! set of stages with an acyclic dependency [`TaskGraph`] processing a
+//! streaming input; an [`AppModel`] is the non-executable description
+//! (names + work profiles + graph) that the profiler, optimizer, and
+//! simulator consume.
+//!
+//! The task graph — not its linearization — is the canonical structure:
+//! every application carries one (a chain by default), stages are stored in
+//! deterministic topological order, and [`TaskGraph::linearize`] survives as
+//! the degenerate-chain fast path plus the canonical ordering used when an
+//! app is built from out-of-order stages.
 
 use std::fmt;
 use std::sync::Arc;
@@ -76,17 +82,18 @@ impl<P> fmt::Debug for Stage<P> {
     }
 }
 
-/// A streaming application: an ordered sequence of stages plus the machinery
-/// to allocate and refill task payloads.
+/// A streaming application: stages in topological order, their dependency
+/// graph, plus the machinery to allocate and refill task payloads.
 pub struct Application<P> {
     name: String,
     stages: Vec<Stage<P>>,
+    graph: TaskGraph,
     factory: FactoryFn<P>,
     source: SourceFn<P>,
 }
 
 impl<P> Application<P> {
-    /// Creates an application.
+    /// Creates a linear-chain application (stage `i` feeds stage `i + 1`).
     ///
     /// # Panics
     ///
@@ -101,9 +108,11 @@ impl<P> Application<P> {
             !stages.is_empty(),
             "an application needs at least one stage"
         );
+        let graph = TaskGraph::chain(stages.len());
         Application {
             name: name.into(),
             stages,
+            graph,
             factory,
             source,
         }
@@ -122,6 +131,13 @@ impl<P> Application<P> {
     /// Number of stages.
     pub fn stage_count(&self) -> usize {
         self.stages.len()
+    }
+
+    /// The stage-dependency graph, indexed in the stored (topological)
+    /// stage order. A chain for applications built with
+    /// [`Application::new`].
+    pub fn graph(&self) -> &TaskGraph {
+        &self.graph
     }
 
     /// Allocates a fresh task payload.
@@ -154,16 +170,18 @@ impl<P> Application<P> {
     }
 
     /// Builds an application from stages given in *arbitrary* order plus
-    /// their dependency graph, linearizing by topological sort (§3.1 of
-    /// the paper: acyclic task graphs are supported by linearization
-    /// without modifying the core abstraction).
+    /// their dependency graph. Stages are stored in the deterministic
+    /// topological order and the graph is kept (re-indexed to that order)
+    /// as the application's canonical structure, so fork/join shapes
+    /// survive into the model instead of being flattened away.
     ///
     /// `graph` indexes into `stages` as provided; the resulting
     /// application's stage order is the deterministic topological order.
     ///
     /// # Errors
     ///
-    /// Returns [`CyclicGraphError`] if the dependencies contain a cycle.
+    /// Returns [`CyclicGraphError`] (reporting the offending cycle) if the
+    /// dependencies contain a cycle.
     ///
     /// # Panics
     ///
@@ -176,17 +194,31 @@ impl<P> Application<P> {
         source: SourceFn<P>,
     ) -> Result<Application<P>, CyclicGraphError> {
         assert_eq!(graph.len(), stages.len(), "graph/stage count mismatch");
+        assert!(
+            !stages.is_empty(),
+            "an application needs at least one stage"
+        );
         let order = graph.linearize()?;
+        let relabeled = graph.relabeled(&order);
         let mut slots: Vec<Option<Stage<P>>> = stages.into_iter().map(Some).collect();
         let ordered = order
             .into_iter()
             .map(|i| slots[i].take().expect("each stage placed once"))
             .collect();
-        Ok(Application::new(name, ordered, factory, source))
+        Ok(Application {
+            name: name.into(),
+            stages: ordered,
+            graph: relabeled,
+            factory,
+            source,
+        })
     }
 
-    /// Extracts the non-executable model (names + work profiles) consumed
-    /// by the profiler, optimizer, and simulator.
+    /// Extracts the non-executable model (names + work profiles + graph)
+    /// consumed by the profiler, optimizer, and simulator.
+    ///
+    /// Chain-shaped graphs are stored as `None` so models of linear apps
+    /// serialize exactly as before the DAG generalization.
     pub fn model(&self) -> AppModel {
         AppModel {
             name: self.name.clone(),
@@ -198,6 +230,11 @@ impl<P> Application<P> {
                     work: s.work.clone(),
                 })
                 .collect(),
+            graph: if self.graph.is_chain() {
+                None
+            } else {
+                Some(self.graph.clone())
+            },
         }
     }
 }
@@ -226,8 +263,13 @@ pub struct StageModel {
 pub struct AppModel {
     /// Application name.
     pub name: String,
-    /// Per-stage models in pipeline order.
+    /// Per-stage models in (topological) pipeline order.
     pub stages: Vec<StageModel>,
+    /// The stage-dependency graph when it is not a plain chain. `None`
+    /// (the serde default) means "linear chain over the stages", which
+    /// keeps pre-DAG models deserializable and chain models byte-stable.
+    #[serde(default)]
+    pub graph: Option<TaskGraph>,
 }
 
 impl AppModel {
@@ -240,25 +282,57 @@ impl AppModel {
     pub fn works(&self) -> Vec<WorkProfile> {
         self.stages.iter().map(|s| s.work.clone()).collect()
     }
+
+    /// The stage-dependency graph (materializing the implicit chain when
+    /// none is stored).
+    pub fn task_graph(&self) -> TaskGraph {
+        match &self.graph {
+            Some(g) => g.clone(),
+            None => TaskGraph::chain(self.stages.len()),
+        }
+    }
+
+    /// Whether the app is chain-shaped (every topological neighbour pair
+    /// is dependency-ordered), i.e. schedulable by the linear-chain fast
+    /// paths.
+    pub fn is_chain(&self) -> bool {
+        match &self.graph {
+            Some(g) => g.is_chain(),
+            None => true,
+        }
+    }
 }
 
-/// Error returned when a task graph cannot be linearized.
+/// Error returned when a task graph cannot be linearized: reports one
+/// offending dependency cycle so DAG-authoring mistakes are debuggable.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct CyclicGraphError;
+pub struct CyclicGraphError {
+    /// Stage indices forming a cycle, in forward-edge order starting at
+    /// the smallest member: `cycle[i] -> cycle[i + 1]` and
+    /// `cycle.last() -> cycle[0]` are all declared dependencies.
+    pub cycle: Vec<usize>,
+}
 
 impl fmt::Display for CyclicGraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str("task graph contains a cycle")
+        write!(f, "task graph contains a cycle: ")?;
+        for s in &self.cycle {
+            write!(f, "{s} -> ")?;
+        }
+        match self.cycle.first() {
+            Some(first) => write!(f, "{first}"),
+            None => write!(f, "?"),
+        }
     }
 }
 
 impl std::error::Error for CyclicGraphError {}
 
-/// An acyclic stage-dependency graph, linearized by topological sort so
-/// applications with non-linear dependencies (e.g. the octree's final stage
-/// depending on stages 3, 4, and 6) still fit the sequential pipeline
-/// abstraction (§3.1).
-#[derive(Debug, Clone)]
+/// An acyclic stage-dependency graph — the canonical shape of an
+/// application. Chain-shaped graphs take the linearized fast path
+/// everywhere; genuine fork/join graphs are scheduled, simulated, and
+/// executed as DAGs.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TaskGraph {
     n: usize,
     deps: Vec<(usize, usize)>,
@@ -270,6 +344,14 @@ impl TaskGraph {
         TaskGraph {
             n,
             deps: Vec::new(),
+        }
+    }
+
+    /// The linear chain over `n` stages: `0 -> 1 -> … -> n - 1`.
+    pub fn chain(n: usize) -> TaskGraph {
+        TaskGraph {
+            n,
+            deps: (1..n).map(|i| (i - 1, i)).collect(),
         }
     }
 
@@ -295,12 +377,56 @@ impl TaskGraph {
         self.n == 0
     }
 
+    /// The declared dependency edges, in insertion order.
+    pub fn deps(&self) -> &[(usize, usize)] {
+        &self.deps
+    }
+
+    /// Per-stage predecessor sets (sorted, deduplicated).
+    pub fn pred_sets(&self) -> Vec<Vec<usize>> {
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); self.n];
+        for &(from, to) in &self.deps {
+            preds[to].push(from);
+        }
+        for p in &mut preds {
+            p.sort_unstable();
+            p.dedup();
+        }
+        preds
+    }
+
+    /// Per-stage successor sets (sorted, deduplicated).
+    pub fn succ_sets(&self) -> Vec<Vec<usize>> {
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); self.n];
+        for &(from, to) in &self.deps {
+            succs[from].push(to);
+        }
+        for s in &mut succs {
+            s.sort_unstable();
+            s.dedup();
+        }
+        succs
+    }
+
+    /// Stages with no predecessors, ascending.
+    pub fn sources(&self) -> Vec<usize> {
+        let preds = self.pred_sets();
+        (0..self.n).filter(|&i| preds[i].is_empty()).collect()
+    }
+
+    /// Stages with no successors, ascending.
+    pub fn sinks(&self) -> Vec<usize> {
+        let succs = self.succ_sets();
+        (0..self.n).filter(|&i| succs[i].is_empty()).collect()
+    }
+
     /// Produces a deterministic topological order (Kahn's algorithm,
     /// lowest-index-first tie-breaking).
     ///
     /// # Errors
     ///
-    /// Returns [`CyclicGraphError`] if the dependencies contain a cycle.
+    /// Returns [`CyclicGraphError`] reporting one offending cycle if the
+    /// dependencies are not acyclic.
     pub fn linearize(&self) -> Result<Vec<usize>, CyclicGraphError> {
         let mut indegree = vec![0usize; self.n];
         let mut out_edges: Vec<Vec<usize>> = vec![Vec::new(); self.n];
@@ -313,8 +439,10 @@ impl TaskGraph {
             .map(std::cmp::Reverse)
             .collect();
         let mut order = Vec::with_capacity(self.n);
+        let mut placed = vec![false; self.n];
         while let Some(std::cmp::Reverse(i)) = ready.pop() {
             order.push(i);
+            placed[i] = true;
             for &j in &out_edges[i] {
                 indegree[j] -= 1;
                 if indegree[j] == 0 {
@@ -325,8 +453,124 @@ impl TaskGraph {
         if order.len() == self.n {
             Ok(order)
         } else {
-            Err(CyclicGraphError)
+            Err(CyclicGraphError {
+                cycle: self.extract_cycle(&placed),
+            })
         }
+    }
+
+    /// Finds one cycle among the stages Kahn's algorithm could not place.
+    /// Every unplaced stage has an unplaced predecessor, so walking
+    /// smallest-predecessor-first backwards must revisit a stage; the
+    /// revisited suffix is a cycle, reported in forward-edge order rotated
+    /// to start at its smallest member.
+    fn extract_cycle(&self, placed: &[bool]) -> Vec<usize> {
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); self.n];
+        for &(from, to) in &self.deps {
+            if !placed[from] && !placed[to] {
+                preds[to].push(from);
+            }
+        }
+        for p in &mut preds {
+            p.sort_unstable();
+        }
+        let start = (0..self.n)
+            .find(|&i| !placed[i])
+            .expect("linearize failed, so an unplaced stage exists");
+        let mut visited_at = vec![usize::MAX; self.n];
+        let mut path = Vec::new();
+        let mut cur = start;
+        loop {
+            if visited_at[cur] != usize::MAX {
+                // path[k + 1] is a predecessor of path[k], and `cur`
+                // (already at position p) is a predecessor of the last
+                // element: forward order is cur, then the suffix reversed.
+                let p = visited_at[cur];
+                let mut cycle = vec![cur];
+                cycle.extend(path[p + 1..].iter().rev().copied());
+                let min_pos = cycle
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|&(_, &s)| s)
+                    .map(|(k, _)| k)
+                    .unwrap_or(0);
+                cycle.rotate_left(min_pos);
+                return cycle;
+            }
+            visited_at[cur] = path.len();
+            path.push(cur);
+            cur = preds[cur][0];
+        }
+    }
+
+    /// Re-indexes the graph so original stage `order[k]` becomes stage `k`
+    /// (used when stages are re-sorted into topological order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is not a permutation of `0..len()`.
+    pub fn relabeled(&self, order: &[usize]) -> TaskGraph {
+        assert_eq!(order.len(), self.n, "order/stage count mismatch");
+        let mut position = vec![usize::MAX; self.n];
+        for (k, &orig) in order.iter().enumerate() {
+            assert!(
+                orig < self.n && position[orig] == usize::MAX,
+                "order must be a permutation of stage indices"
+            );
+            position[orig] = k;
+        }
+        TaskGraph {
+            n: self.n,
+            deps: self
+                .deps
+                .iter()
+                .map(|&(from, to)| (position[from], position[to]))
+                .collect(),
+        }
+    }
+
+    /// Reachability closure as bitmasks: bit `j` of `masks[i]` is set iff
+    /// a directed path with at least one edge leads from `i` to `j`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CyclicGraphError`] if the graph is cyclic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has more than 64 stages (far above any
+    /// pipeline this framework schedules).
+    pub fn reachability(&self) -> Result<Vec<u64>, CyclicGraphError> {
+        assert!(self.n <= 64, "reachability supports up to 64 stages");
+        let order = self.linearize()?;
+        let succs = self.succ_sets();
+        let mut masks = vec![0u64; self.n];
+        for &i in order.iter().rev() {
+            let mut m = 0u64;
+            for &j in &succs[i] {
+                m |= (1u64 << j) | masks[j];
+            }
+            masks[i] = m;
+        }
+        Ok(masks)
+    }
+
+    /// Whether the graph is a chain up to relabeling: acyclic and every
+    /// consecutive pair of its deterministic topological order is
+    /// dependency-ordered (so the linearization loses nothing).
+    pub fn is_chain(&self) -> bool {
+        if self.n <= 1 {
+            return self.linearize().is_ok();
+        }
+        let order = match self.linearize() {
+            Ok(order) => order,
+            Err(_) => return false,
+        };
+        let masks = match self.reachability() {
+            Ok(masks) => masks,
+            Err(_) => return false,
+        };
+        order.windows(2).all(|w| masks[w[0]] >> w[1] & 1 == 1)
     }
 }
 
@@ -411,10 +655,71 @@ mod tests {
     }
 
     #[test]
-    fn cycle_detected() {
+    fn cycle_detected_and_reported() {
         let mut g = TaskGraph::new(2);
         g.add_dep(0, 1).add_dep(1, 0);
-        assert_eq!(g.linearize(), Err(CyclicGraphError));
+        let err = g.linearize().unwrap_err();
+        assert_eq!(err.cycle, vec![0, 1]);
+        assert_eq!(err.to_string(), "task graph contains a cycle: 0 -> 1 -> 0");
+    }
+
+    #[test]
+    fn cycle_reported_behind_acyclic_prefix() {
+        // 0 -> 1 feeds a 3-cycle 2 -> 3 -> 4 -> 2; the cycle must name
+        // only the cyclic stages, rotated to start at the smallest.
+        let mut g = TaskGraph::new(5);
+        g.add_dep(0, 1)
+            .add_dep(1, 2)
+            .add_dep(2, 3)
+            .add_dep(3, 4)
+            .add_dep(4, 2);
+        let err = g.linearize().unwrap_err();
+        assert_eq!(err.cycle, vec![2, 3, 4]);
+        for w in err.cycle.windows(2) {
+            assert!(g.deps().contains(&(w[0], w[1])));
+        }
+        assert!(g.deps().contains(&(4, 2)));
+    }
+
+    #[test]
+    fn chain_and_shape_queries() {
+        let chain = TaskGraph::chain(4);
+        assert!(chain.is_chain());
+        assert_eq!(chain.sources(), vec![0]);
+        assert_eq!(chain.sinks(), vec![3]);
+        assert_eq!(chain.pred_sets()[2], vec![1]);
+        assert_eq!(chain.succ_sets()[0], vec![1]);
+
+        // Diamond fork/join: not a chain.
+        let mut diamond = TaskGraph::new(4);
+        diamond
+            .add_dep(0, 1)
+            .add_dep(0, 2)
+            .add_dep(1, 3)
+            .add_dep(2, 3);
+        assert!(!diamond.is_chain());
+        assert_eq!(diamond.sources(), vec![0]);
+        assert_eq!(diamond.sinks(), vec![3]);
+        let masks = diamond.reachability().unwrap();
+        assert_eq!(masks[0], 0b1110);
+        assert_eq!(masks[1], 0b1000);
+        assert_eq!(masks[1] >> 2 & 1, 0, "siblings are not reachable");
+
+        // A chain up to relabeling is still recognized as a chain.
+        let mut shuffled = TaskGraph::new(3);
+        shuffled.add_dep(2, 0).add_dep(0, 1);
+        assert!(shuffled.is_chain());
+    }
+
+    #[test]
+    fn relabeled_maps_edges_through_topo_order() {
+        let mut g = TaskGraph::new(3);
+        g.add_dep(2, 0).add_dep(0, 1);
+        let order = g.linearize().unwrap();
+        assert_eq!(order, vec![2, 0, 1]);
+        let r = g.relabeled(&order);
+        assert_eq!(r.deps(), &[(0, 1), (1, 2)]);
+        assert!(r.is_chain());
     }
 
     #[test]
@@ -465,6 +770,48 @@ mod tests {
             Arc::new(|_: &mut u32, _| {}),
         );
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn chain_app_model_omits_graph_and_roundtrips() {
+        let app = counter_app();
+        assert!(app.graph().is_chain());
+        let model = app.model();
+        assert!(model.graph.is_none());
+        assert!(model.is_chain());
+        assert_eq!(model.task_graph(), TaskGraph::chain(3));
+        // Pre-DAG JSON (no "graph" key) still deserializes via the serde
+        // default, and chain models serialize without the key's contents.
+        let json = serde_json::to_string(&model).unwrap();
+        let back: AppModel = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, model);
+    }
+
+    #[test]
+    fn dag_app_model_carries_graph() {
+        let mut g = TaskGraph::new(4);
+        g.add_dep(0, 1).add_dep(0, 2).add_dep(1, 3).add_dep(2, 3);
+        let app = Application::from_task_graph(
+            "diamond",
+            vec![
+                trivial_stage("src"),
+                trivial_stage("a"),
+                trivial_stage("b"),
+                trivial_stage("join"),
+            ],
+            &g,
+            Arc::new(|| 0u32),
+            Arc::new(|_: &mut u32, _| {}),
+        )
+        .expect("acyclic");
+        assert!(!app.graph().is_chain());
+        let model = app.model();
+        assert!(!model.is_chain());
+        let stored = model.graph.as_ref().expect("non-chain graph stored");
+        assert_eq!(stored.len(), 4);
+        let back: AppModel = serde_json::from_str(&serde_json::to_string(&model).unwrap()).unwrap();
+        assert_eq!(back, model);
+        assert!(!back.is_chain());
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! The paper's three evaluation workloads (§4.1) as ready-made
-//! [`Application`]s: AlexNet-dense, AlexNet-sparse, and Octree.
+//! [`Application`]s — AlexNet-dense, AlexNet-sparse, and Octree — plus the
+//! branching perception workload ([`perception_app`]) that exercises
+//! DAG-aware scheduling.
 //!
 //! Each stage carries both a real CPU kernel (executed by the host runtime
 //! and by correctness tests) and a [`WorkProfile`] consumed by the device
@@ -19,6 +21,10 @@ use crate::dense::{AlexNetDense, AlexNetLayout};
 use crate::octree::{
     build_octree, count_edges, dedup_sorted, exclusive_scan, morton_encode_cloud, radix_sort_u32,
     Octree, RadixTree,
+};
+use crate::perception::{
+    detect_conv, detect_nms, detection_filters, flow_pyramid, flow_solve, fuse, preprocess,
+    synthetic_frame, track, FILTER_SIZE,
 };
 use crate::pointcloud::{CloudShape, Point3, PointCloudStream};
 use crate::sparse::AlexNetSparse;
@@ -386,6 +392,206 @@ pub fn alexnet_sparse_app(cfg: AlexNetConfig) -> Application<CnnTask> {
     )
 }
 
+/// Configuration of the branching perception workload.
+#[derive(Debug, Clone, Copy)]
+pub struct PerceptionConfig {
+    /// Frame width in pixels.
+    pub width: usize,
+    /// Frame height in pixels.
+    pub height: usize,
+    /// Number of detection filters (the conv stage applies all of them
+    /// per pixel — the workload's compute bottleneck).
+    pub filters: usize,
+    /// Pyramid levels for the flow branch.
+    pub levels: usize,
+    /// NMS score threshold.
+    pub threshold: f32,
+    /// Base RNG seed; task `seq` uses `seed + seq`.
+    pub seed: u64,
+}
+
+impl Default for PerceptionConfig {
+    fn default() -> PerceptionConfig {
+        PerceptionConfig {
+            width: 96,
+            height: 96,
+            filters: 12,
+            levels: 3,
+            threshold: 0.5,
+            seed: 0,
+        }
+    }
+}
+
+/// Task payload of the perception pipeline. The two branches write
+/// disjoint scratch buffers (detection: `detmap`/`detections`; flow:
+/// `pyramid`/`flow`), which is what lets a DAG schedule run them
+/// concurrently for the same frame.
+#[derive(Debug, Default)]
+pub struct PerceptionTask {
+    /// Input frame (stage −, written by the source).
+    pub frame: Vec<f32>,
+    /// Preprocessed luminance (stage 0 output, read by both branches).
+    pub lum: Vec<f32>,
+    /// Per-pixel best filter response (stage 1 output).
+    pub detmap: Vec<f32>,
+    /// NMS peaks as `(index, score)` (stage 2 output).
+    pub detections: Vec<(usize, f32)>,
+    /// Concatenated pyramid levels (stage 3 output).
+    pub pyramid: Vec<f32>,
+    /// Pyramid level dimensions, finest first (stage 3 output).
+    pub pyr_dims: Vec<(usize, usize)>,
+    /// Per-block `(dx, dy)` flow (stage 4 output).
+    pub flow: Vec<f32>,
+    /// Fused `(x, y, dx, dy, score)` observations (stage 5 output).
+    pub fused: Vec<f32>,
+    /// Tracker state `(cx, cy, vx, vy, mass)` (stage 6 output).
+    pub track: [f32; 5],
+}
+
+/// The fork/join dependency structure of the perception pipeline:
+/// preprocessing (0) forks into the detection branch (1 → 2) and the flow
+/// branch (3 → 4), which join at fusion (5) feeding tracking (6).
+pub fn perception_task_graph() -> TaskGraph {
+    let mut g = TaskGraph::new(7);
+    g.add_dep(0, 1) // preprocess → detect-conv
+        .add_dep(0, 3) // preprocess → flow-pyramid
+        .add_dep(1, 2) // detect-conv → detect-nms
+        .add_dep(3, 4) // flow-pyramid → flow-solve
+        .add_dep(2, 5) // detect-nms → fuse
+        .add_dep(4, 5) // flow-solve → fuse
+        .add_dep(5, 6); // fuse → track
+    g
+}
+
+fn perception_works(cfg: &PerceptionConfig) -> Vec<WorkProfile> {
+    let n = (cfg.width * cfg.height) as f64;
+    let k = cfg.filters as f64;
+    let taps = (FILTER_SIZE * FILTER_SIZE) as f64;
+    vec![
+        // 0. Preprocess: regular 3×3 blur map — cheap, bandwidth-leaning.
+        WorkProfile::new(18.0 * n, 14.0 * n).with_parallel_fraction(0.99),
+        // 1. Detect-conv: k filters × 25 taps per pixel, dense and
+        //    regular — GPU-dominant, which is what rewards mapping the
+        //    detection branch to the GPU while the flow branch holds a
+        //    CPU cluster.
+        WorkProfile::new(2.0 * k * taps * n, 10.0 * n)
+            .with_parallel_fraction(0.995)
+            .with_efficiency(PuClass::BigCpu, 0.4)
+            .with_efficiency(PuClass::MediumCpu, 0.3)
+            .with_efficiency(PuClass::LittleCpu, 0.15)
+            .with_efficiency(PuClass::Gpu, 1.0)
+            .with_backend_efficiency(GpuBackend::Vulkan, 1.2)
+            .with_backend_efficiency(GpuBackend::Cuda, 1.3),
+        // 2. Detect-NMS: branchy 3×3 scan with early exits — divergent,
+        //    poor as a portable shader.
+        WorkProfile::new(22.0 * n, 10.0 * n)
+            .with_divergence(0.4)
+            .with_irregularity(0.35)
+            .with_backend_efficiency(GpuBackend::Vulkan, 0.3),
+        // 3. Flow-pyramid: bandwidth-bound 2×2 reductions.
+        WorkProfile::new(9.0 * n, 26.0 * n)
+            .with_parallel_fraction(0.99)
+            .with_launches(3),
+        // 4. Flow-solve: per-block structure tensors + iterative 2×2
+        //    solves — moderate divergence, CPU-favoured (scalar-friendly),
+        //    and the workload's dominant interior stage. Big and medium
+        //    cores land within ~25% of each other here, which makes this
+        //    the stage worth *replicating*: splitting alternate frames
+        //    across two comparable clusters halves its steady-state
+        //    demand, unlike detect-conv whose CPU fallback is an order of
+        //    magnitude off the GPU.
+        WorkProfile::new(600.0 * n, 18.0 * n)
+            .with_divergence(0.3)
+            .with_irregularity(0.3)
+            .with_backend_efficiency(GpuBackend::Vulkan, 0.25)
+            .with_backend_efficiency(GpuBackend::Cuda, 0.8),
+        // 5. Fuse: tiny gather join of both branch outputs.
+        WorkProfile::new(4.0 * n, 7.0 * n).with_irregularity(0.2),
+        // 6. Track: sequential EMA fold, light.
+        WorkProfile::new(3.0 * n, 5.0 * n).with_irregularity(0.3),
+    ]
+}
+
+/// Builds the 7-stage fork/join perception application — the fourth paper
+/// app, and the first whose model carries a non-chain [`TaskGraph`].
+pub fn perception_app(cfg: PerceptionConfig) -> Application<PerceptionTask> {
+    let works = perception_works(&cfg);
+    let names = [
+        "preprocess",
+        "detect-conv",
+        "detect-nms",
+        "flow-pyramid",
+        "flow-solve",
+        "fuse",
+        "track",
+    ];
+    let (w, h) = (cfg.width, cfg.height);
+    let filters = Arc::new(detection_filters(cfg.filters, cfg.seed));
+    let levels = cfg.levels;
+    let threshold = cfg.threshold;
+    let kernels: Vec<crate::KernelFn<PerceptionTask>> = vec![
+        Arc::new(move |t: &mut PerceptionTask, ctx: &ParCtx| {
+            let frame = std::mem::take(&mut t.frame);
+            preprocess(ctx, &frame, w, h, &mut t.lum);
+            t.frame = frame;
+        }),
+        {
+            let filters = Arc::clone(&filters);
+            Arc::new(move |t: &mut PerceptionTask, ctx: &ParCtx| {
+                let lum = std::mem::take(&mut t.lum);
+                detect_conv(ctx, &lum, w, h, &filters, &mut t.detmap);
+                t.lum = lum;
+            })
+        },
+        Arc::new(move |t: &mut PerceptionTask, ctx: &ParCtx| {
+            let detmap = std::mem::take(&mut t.detmap);
+            detect_nms(ctx, &detmap, w, h, threshold, &mut t.detections);
+            t.detmap = detmap;
+        }),
+        Arc::new(move |t: &mut PerceptionTask, ctx: &ParCtx| {
+            let lum = std::mem::take(&mut t.lum);
+            t.pyr_dims = flow_pyramid(ctx, &lum, w, h, levels, &mut t.pyramid);
+            t.lum = lum;
+        }),
+        Arc::new(move |t: &mut PerceptionTask, ctx: &ParCtx| {
+            let pyramid = std::mem::take(&mut t.pyramid);
+            flow_solve(ctx, &pyramid, &t.pyr_dims, &mut t.flow);
+            t.pyramid = pyramid;
+        }),
+        Arc::new(move |t: &mut PerceptionTask, ctx: &ParCtx| {
+            let detections = std::mem::take(&mut t.detections);
+            fuse(ctx, &detections, &t.flow, w, &mut t.fused);
+            t.detections = detections;
+        }),
+        Arc::new(move |t: &mut PerceptionTask, ctx: &ParCtx| {
+            let fused = std::mem::take(&mut t.fused);
+            let mut state = t.track;
+            track(ctx, &fused, &mut state);
+            t.track = state;
+            t.fused = fused;
+        }),
+    ];
+    let stages = names
+        .iter()
+        .zip(works)
+        .zip(kernels)
+        .map(|((name, work), kernel)| Stage::new(*name, work, kernel))
+        .collect();
+    let seed = cfg.seed;
+    Application::from_task_graph(
+        "perception",
+        stages,
+        &perception_task_graph(),
+        Arc::new(PerceptionTask::default),
+        Arc::new(move |t: &mut PerceptionTask, seq| {
+            t.frame = synthetic_frame(w, h, seed + seq);
+            t.track = [0.0; 5];
+        }),
+    )
+    .expect("perception graph is acyclic")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -469,6 +675,51 @@ mod tests {
             octree_task_graph().linearize().unwrap(),
             vec![0, 1, 2, 3, 4, 5, 6]
         );
+    }
+
+    #[test]
+    fn perception_app_end_to_end() {
+        let app = perception_app(PerceptionConfig {
+            width: 64,
+            height: 64,
+            ..PerceptionConfig::default()
+        });
+        assert_eq!(app.stage_count(), 7);
+        assert!(!app.graph().is_chain());
+        let mut task = app.new_payload();
+        app.run_sequential(&mut task, 0, &ParCtx::new(4));
+        assert!(!task.detections.is_empty(), "blobs detected");
+        assert!(!task.flow.is_empty(), "flow solved");
+        assert!(!task.fused.is_empty(), "fusion joined both branches");
+        assert!(task.track[4] > 0.0, "tracker accumulated mass");
+        assert!(task.track.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn perception_model_carries_fork_join_graph() {
+        let app = perception_app(PerceptionConfig::default());
+        let model = app.model();
+        assert!(!model.is_chain());
+        let g = model.task_graph();
+        assert_eq!(g.sources(), vec![0]);
+        assert_eq!(g.sinks(), vec![6]);
+        // Branch siblings are mutually unreachable.
+        let masks = g.reachability().unwrap();
+        assert_eq!(masks[1] >> 3 & 1, 0);
+        assert_eq!(masks[3] >> 1 & 1, 0);
+        for s in &model.stages {
+            assert!(s.work.flops() > 0.0, "{}", s.name);
+        }
+    }
+
+    #[test]
+    fn perception_tasks_differ_across_seq() {
+        let app = perception_app(PerceptionConfig::default());
+        let mut a = app.new_payload();
+        let mut b = app.new_payload();
+        app.load_input(&mut a, 0);
+        app.load_input(&mut b, 1);
+        assert_ne!(a.frame, b.frame);
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! # bt-kernels — real compute kernels and applications
 //!
 //! The paper evaluates BetterTogether on three computer-vision edge
-//! workloads (§4.1); this crate implements all of them for real, in Rust:
+//! workloads (§4.1); this crate implements all of them for real, in Rust,
+//! plus a fourth, genuinely branching workload:
 //!
 //! - [`dense`] — AlexNet-dense for CIFAR-10: direct convolution,
 //!   max-pooling, and a fully-connected classifier, 9 pipeline stages.
@@ -10,10 +11,14 @@
 //! - [`octree`] — the 7-stage Karras octree-construction pipeline over
 //!   Morton-coded point clouds (radix sort, radix tree, edge counting,
 //!   prefix sum, octree linking).
+//! - [`perception`] — a fork/join tracking pipeline: preprocessing forks
+//!   into a detection branch (convolution + NMS) and an optical-flow
+//!   branch (pyramid + solve) that join in a fusion/tracking tail — the
+//!   workload exercising DAG-aware scheduling.
 //!
 //! Every stage is exposed both as an executable kernel (run by the host
 //! pipeline runtime and by tests) and as a [`bt_soc::WorkProfile`] consumed
-//! by the device simulator. The [`apps`] module packages the three
+//! by the device simulator. The [`apps`] module packages the four
 //! workloads as ready-made [`Application`]s.
 //!
 //! # Example
@@ -42,6 +47,7 @@ pub mod cifar;
 pub mod dense;
 pub mod octree;
 mod par;
+pub mod perception;
 pub mod pointcloud;
 pub mod sparse;
 mod tensor;

@@ -1,0 +1,646 @@
+//! DAG schedules: the fork/join generalization of [`Schedule`].
+//!
+//! A [`DagSchedule`] maps every stage of a fork/join application onto a PU
+//! class, generalizing the paper's contiguity constraint (C2) from "one
+//! contiguous index range per class" to *path-convexity*: on every
+//! dependency path, the stages mapped to one class must be consecutive.
+//! All stages of one class still form a single chunk served by one PU;
+//! stages on parallel branches may share a class (the chunk serializes
+//! them) or map to different classes (the branches run concurrently and
+//! price interference against each other).
+//!
+//! One *bottleneck* stage may additionally be declared **replicated**
+//! across two classes: both PUs serve the full stage, round-robin over the
+//! task sequence (`seq % 2`), and the downstream join restores order. The
+//! two replica classes are exclusive to that stage.
+//!
+//! Construction validates the whole structure — path-convexity, chunk-
+//! quotient acyclicity, unique entry/exit chunks, replica well-formedness
+//! — so every `DagSchedule` held by an executor or predictor is executable
+//! as-is. Chain-shaped schedules convert losslessly to [`Schedule`] via
+//! [`DagSchedule::as_linear`], which is how the executors keep the
+//! linear-chain fast path bit-identical.
+
+use std::fmt;
+
+use bt_kernels::{CyclicGraphError, TaskGraph};
+use bt_soc::PuClass;
+use serde::{Deserialize, Serialize};
+
+use crate::Schedule;
+
+/// Error constructing a [`DagSchedule`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DagScheduleError {
+    /// No stages.
+    Empty,
+    /// Assignment length disagrees with the task graph.
+    LengthMismatch {
+        /// Stages in the task graph.
+        stages: usize,
+        /// Entries in the assignment.
+        assignment: usize,
+    },
+    /// The task graph is not acyclic.
+    Cyclic(CyclicGraphError),
+    /// A class's stages are not consecutive along some dependency path
+    /// (the DAG generalization of C2).
+    NotPathConvex {
+        /// The violating class.
+        class: PuClass,
+        /// A stage of another class sitting on a path between two stages
+        /// of `class`.
+        via: usize,
+    },
+    /// The chunk quotient graph contains a cycle: two classes would each
+    /// have to wait on the other within a single task.
+    ChunkCycle,
+    /// Token routing needs exactly one entry and one exit chunk.
+    NotSinglePort {
+        /// Number of chunks with no predecessors.
+        sources: usize,
+        /// Number of chunks with no successors.
+        sinks: usize,
+    },
+    /// The replicated-stage declaration is malformed.
+    BadReplica {
+        /// Human-readable cause.
+        reason: String,
+    },
+}
+
+impl fmt::Display for DagScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DagScheduleError::Empty => f.write_str("a schedule needs at least one stage"),
+            DagScheduleError::LengthMismatch { stages, assignment } => write!(
+                f,
+                "assignment has {assignment} entries but the task graph has {stages} stages"
+            ),
+            DagScheduleError::Cyclic(e) => write!(f, "{e}"),
+            DagScheduleError::NotPathConvex { class, via } => write!(
+                f,
+                "stages on {class:?} must be consecutive along every dependency path \
+                 (stage {via} interrupts one)"
+            ),
+            DagScheduleError::ChunkCycle => {
+                f.write_str("chunk graph contains a cycle: classes wait on each other")
+            }
+            DagScheduleError::NotSinglePort { sources, sinks } => write!(
+                f,
+                "token routing needs exactly one entry and one exit chunk \
+                 (found {sources} entries, {sinks} exits)"
+            ),
+            DagScheduleError::BadReplica { reason } => write!(f, "bad replica: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for DagScheduleError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DagScheduleError::Cyclic(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// One chunk of a DAG schedule: a PU class and the stages it serves, in
+/// topological order.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DagChunk {
+    /// The serving PU class.
+    pub pu: PuClass,
+    /// The stage indices this chunk executes, in dependency order.
+    pub stages: Vec<usize>,
+}
+
+/// A validated fork/join schedule: for each stage of a task graph, the PU
+/// class it runs on, with path-convexity (the DAG form of C2), chunk-graph
+/// acyclicity, and single-entry/single-exit routing enforced at
+/// construction. At most one stage may be replicated across two otherwise
+/// unused classes.
+///
+/// ```
+/// use bt_kernels::TaskGraph;
+/// use bt_pipeline::DagSchedule;
+/// use bt_soc::PuClass::*;
+///
+/// // Diamond: 0 forks to 1 and 2, which join at 3.
+/// let mut g = TaskGraph::new(4);
+/// g.add_dep(0, 1).add_dep(0, 2).add_dep(1, 3).add_dep(2, 3);
+/// let s = DagSchedule::new(vec![LittleCpu, Gpu, BigCpu, MediumCpu], &g)?;
+/// assert_eq!(s.chunks().len(), 4);
+/// assert!(!s.is_chain());
+/// # Ok::<(), bt_pipeline::DagScheduleError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DagSchedule {
+    assignment: Vec<PuClass>,
+    graph: TaskGraph,
+    replicated: Option<(usize, (PuClass, PuClass))>,
+    chunks: Vec<DagChunk>,
+    chunk_edges: Vec<(usize, usize)>,
+    replica_chunks: Option<(usize, usize)>,
+}
+
+impl DagSchedule {
+    /// Validates and wraps a stage → class assignment over `graph`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DagScheduleError`] describing the first violated
+    /// structural constraint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has more than 64 stages (the reachability
+    /// representation's limit, far above any pipeline this framework
+    /// schedules).
+    pub fn new(
+        assignment: Vec<PuClass>,
+        graph: &TaskGraph,
+    ) -> Result<DagSchedule, DagScheduleError> {
+        DagSchedule::build(assignment, graph.clone(), None)
+    }
+
+    /// Like [`DagSchedule::new`], but stage `stage` is *replicated*: both
+    /// classes in `classes` serve the full stage, alternating over the
+    /// task sequence (`seq % 2`). The entry in `assignment[stage]` must
+    /// name one of the two replica classes; both classes are exclusive to
+    /// the replicated stage.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DagScheduleError`] as [`DagSchedule::new`] does, plus
+    /// [`DagScheduleError::BadReplica`] for malformed replication (a
+    /// source/sink stage, duplicate classes, or a replica class reused by
+    /// another stage).
+    pub fn replicated(
+        assignment: Vec<PuClass>,
+        graph: &TaskGraph,
+        stage: usize,
+        classes: (PuClass, PuClass),
+    ) -> Result<DagSchedule, DagScheduleError> {
+        DagSchedule::build(assignment, graph.clone(), Some((stage, classes)))
+    }
+
+    /// Lifts a linear-chain [`Schedule`] into the DAG model (the
+    /// degenerate case: the graph is the chain over its stages).
+    pub fn from_schedule(schedule: &Schedule) -> DagSchedule {
+        let graph = TaskGraph::chain(schedule.stage_count());
+        DagSchedule::build(schedule.assignment().to_vec(), graph, None)
+            .expect("a valid chain schedule is a valid DAG schedule")
+    }
+
+    fn build(
+        assignment: Vec<PuClass>,
+        graph: TaskGraph,
+        replicated: Option<(usize, (PuClass, PuClass))>,
+    ) -> Result<DagSchedule, DagScheduleError> {
+        let n = graph.len();
+        if n == 0 {
+            return Err(DagScheduleError::Empty);
+        }
+        if assignment.len() != n {
+            return Err(DagScheduleError::LengthMismatch {
+                stages: n,
+                assignment: assignment.len(),
+            });
+        }
+        let topo = graph.linearize().map_err(DagScheduleError::Cyclic)?;
+        let reach = graph.reachability().map_err(DagScheduleError::Cyclic)?;
+
+        let bad = |reason: String| DagScheduleError::BadReplica { reason };
+        if let Some((r, (c1, c2))) = replicated {
+            if r >= n {
+                return Err(bad(format!("replicated stage {r} is out of range")));
+            }
+            if c1 == c2 {
+                return Err(bad(format!(
+                    "replica classes must differ (both are {c1:?})"
+                )));
+            }
+            if assignment[r] != c1 && assignment[r] != c2 {
+                return Err(bad(format!(
+                    "assignment[{r}] must name one of the replica classes"
+                )));
+            }
+            let preds = graph.pred_sets();
+            let succs = graph.succ_sets();
+            if preds[r].is_empty() || succs[r].is_empty() {
+                return Err(bad(format!(
+                    "stage {r} is a graph source or sink and cannot be replicated"
+                )));
+            }
+            for (s, &c) in assignment.iter().enumerate() {
+                if s != r && (c == c1 || c == c2) {
+                    return Err(bad(format!(
+                        "replica class {c:?} is also assigned to stage {s}"
+                    )));
+                }
+            }
+        }
+        let replica_stage = replicated.map(|(r, _)| r);
+
+        // Path-convexity (the DAG generalization of C2): for every two
+        // stages of one class with a path between them, every stage on
+        // that path maps to the same class. A replicated stage belongs to
+        // no class and therefore acts as a barrier.
+        let in_class = |s: usize, c: PuClass| assignment[s] == c && replica_stage != Some(s);
+        for u in 0..n {
+            let c = assignment[u];
+            if replica_stage == Some(u) {
+                continue;
+            }
+            for v in 0..n {
+                if v == u || !in_class(v, c) || reach[u] >> v & 1 == 0 {
+                    continue;
+                }
+                for w in 0..n {
+                    if !in_class(w, c) && reach[u] >> w & 1 == 1 && reach[w] >> v & 1 == 1 {
+                        return Err(DagScheduleError::NotPathConvex { class: c, via: w });
+                    }
+                }
+            }
+        }
+
+        // Chunks, in first-topological-appearance order. All stages of a
+        // class form one chunk; a replicated stage forms two adjacent
+        // single-stage chunks, one per replica class.
+        let mut chunks: Vec<DagChunk> = Vec::new();
+        let mut replica_chunks = None;
+        let mut stage_chunks: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for &s in &topo {
+            if replica_stage == Some(s) {
+                let (_, (c1, c2)) = replicated.expect("replica_stage implies replicated");
+                let i = chunks.len();
+                chunks.push(DagChunk {
+                    pu: c1,
+                    stages: vec![s],
+                });
+                chunks.push(DagChunk {
+                    pu: c2,
+                    stages: vec![s],
+                });
+                stage_chunks[s] = vec![i, i + 1];
+                replica_chunks = Some((i, i + 1));
+            } else {
+                // Replica classes are exclusive to the replicated stage
+                // (validated above), so matching by class alone can never
+                // hit a replica chunk.
+                let c = assignment[s];
+                match chunks.iter().position(|ch| ch.pu == c) {
+                    Some(i) => {
+                        chunks[i].stages.push(s);
+                        stage_chunks[s] = vec![i];
+                    }
+                    None => {
+                        stage_chunks[s] = vec![chunks.len()];
+                        chunks.push(DagChunk {
+                            pu: c,
+                            stages: vec![s],
+                        });
+                    }
+                }
+            }
+        }
+
+        // Quotient token-flow edges between chunks.
+        let mut chunk_edges: Vec<(usize, usize)> = Vec::new();
+        for &(u, v) in graph.deps() {
+            for &cu in &stage_chunks[u] {
+                for &cv in &stage_chunks[v] {
+                    if cu != cv {
+                        chunk_edges.push((cu, cv));
+                    }
+                }
+            }
+        }
+        chunk_edges.sort_unstable();
+        chunk_edges.dedup();
+
+        // The quotient must itself be a single-entry/single-exit DAG for
+        // token routing to be well-defined.
+        let k = chunks.len();
+        let mut indeg = vec![0usize; k];
+        let mut outdeg = vec![0usize; k];
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); k];
+        for &(u, v) in &chunk_edges {
+            indeg[v] += 1;
+            outdeg[u] += 1;
+            succs[u].push(v);
+        }
+        let sources = indeg.iter().filter(|&&d| d == 0).count();
+        let sinks = outdeg.iter().filter(|&&d| d == 0).count();
+        if sources != 1 || sinks != 1 {
+            return Err(DagScheduleError::NotSinglePort { sources, sinks });
+        }
+        let mut indeg_left = indeg;
+        let mut ready: Vec<usize> = (0..k).filter(|&c| indeg_left[c] == 0).collect();
+        let mut seen = 0;
+        while let Some(c) = ready.pop() {
+            seen += 1;
+            for &s in &succs[c] {
+                indeg_left[s] -= 1;
+                if indeg_left[s] == 0 {
+                    ready.push(s);
+                }
+            }
+        }
+        if seen != k {
+            return Err(DagScheduleError::ChunkCycle);
+        }
+
+        Ok(DagSchedule {
+            assignment,
+            graph,
+            replicated,
+            chunks,
+            chunk_edges,
+            replica_chunks,
+        })
+    }
+
+    /// Number of stages.
+    pub fn stage_count(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// The stage-dependency graph this schedule was validated against.
+    pub fn graph(&self) -> &TaskGraph {
+        &self.graph
+    }
+
+    /// The full stage → class assignment. For a replicated stage the entry
+    /// names one of its two replica classes; see
+    /// [`DagSchedule::replicated_stage`].
+    pub fn assignment(&self) -> &[PuClass] {
+        &self.assignment
+    }
+
+    /// The class of stage `i` (for a replicated stage, the declared one of
+    /// its two classes).
+    pub fn pu_of(&self, stage: usize) -> PuClass {
+        self.assignment[stage]
+    }
+
+    /// The replicated stage and its class pair, if any.
+    pub fn replicated_stage(&self) -> Option<(usize, (PuClass, PuClass))> {
+        self.replicated
+    }
+
+    /// The chunks, in first-topological-appearance order. A replicated
+    /// stage appears as two adjacent single-stage chunks.
+    pub fn chunks(&self) -> &[DagChunk] {
+        &self.chunks
+    }
+
+    /// Token-flow edges between chunk indices (sorted, deduplicated).
+    pub fn chunk_edges(&self) -> &[(usize, usize)] {
+        &self.chunk_edges
+    }
+
+    /// The chunk-index pair serving the replicated stage, if any.
+    pub fn replica_pair(&self) -> Option<(usize, usize)> {
+        self.replica_chunks
+    }
+
+    /// Whether this schedule is expressible in the linear-chain model:
+    /// no replication and a chain-shaped graph. Such schedules take the
+    /// chain fast paths end to end.
+    pub fn is_chain(&self) -> bool {
+        self.replicated.is_none() && self.graph.is_chain()
+    }
+
+    /// The equivalent linear [`Schedule`] when the graph is the canonical
+    /// chain `0 → 1 → … → n-1` and nothing is replicated; `None` for
+    /// genuine DAGs. Executors use this to delegate to the (bit-identical)
+    /// chain engines.
+    pub fn as_linear(&self) -> Option<Schedule> {
+        if self.replicated.is_some() {
+            return None;
+        }
+        let n = self.graph.len();
+        let mut deps = self.graph.deps().to_vec();
+        deps.sort_unstable();
+        deps.dedup();
+        let canonical = deps.len() == n.saturating_sub(1)
+            && deps.iter().enumerate().all(|(i, &e)| e == (i, i + 1));
+        if !canonical {
+            return None;
+        }
+        Schedule::new(self.assignment.clone()).ok()
+    }
+
+    /// The distinct PU classes used, in chunk order (replica classes
+    /// included).
+    pub fn classes_used(&self) -> Vec<PuClass> {
+        self.chunks.iter().map(|c| c.pu).collect()
+    }
+}
+
+// Hand-written serde mirrors [`Schedule`]'s: only the declarative fields
+// travel (assignment, graph, replication), and deserialization re-runs the
+// full validation, re-deriving chunks and routing.
+impl Serialize for DagSchedule {
+    fn to_value(&self) -> serde::Value {
+        let replicated = match self.replicated {
+            Some((stage, (c1, c2))) => serde::Value::Array(vec![
+                serde::Value::U64(stage as u64),
+                c1.to_value(),
+                c2.to_value(),
+            ]),
+            None => serde::Value::Null,
+        };
+        serde::Value::Object(vec![
+            ("assignment".to_string(), self.assignment.to_value()),
+            ("graph".to_string(), self.graph.to_value()),
+            ("replicated".to_string(), replicated),
+        ])
+    }
+}
+
+impl Deserialize for DagSchedule {
+    fn from_value(v: &serde::Value) -> Result<DagSchedule, serde::Error> {
+        let field = |name: &str| {
+            v.get(name)
+                .ok_or_else(|| serde::Error::new(format!("DagSchedule: missing field `{name}`")))
+        };
+        let assignment: Vec<PuClass> = Deserialize::from_value(field("assignment")?)?;
+        let graph: TaskGraph = Deserialize::from_value(field("graph")?)?;
+        let replicated = match field("replicated")? {
+            serde::Value::Null => None,
+            serde::Value::Array(parts) if parts.len() == 3 => {
+                let stage: u64 = Deserialize::from_value(&parts[0])?;
+                let c1: PuClass = Deserialize::from_value(&parts[1])?;
+                let c2: PuClass = Deserialize::from_value(&parts[2])?;
+                Some((stage as usize, (c1, c2)))
+            }
+            _ => {
+                return Err(serde::Error::new(
+                    "DagSchedule: `replicated` must be null or [stage, class, class]",
+                ))
+            }
+        };
+        DagSchedule::build(assignment, graph, replicated)
+            .map_err(|e| serde::Error::new(e.to_string()))
+    }
+}
+
+impl fmt::Display for DagSchedule {
+    /// Compact form: one letter per stage (B/M/L/G), a replicated stage as
+    /// its bracketed class pair, e.g. `L[BG]M`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let letter = |c: PuClass| match c {
+            PuClass::BigCpu => 'B',
+            PuClass::MediumCpu => 'M',
+            PuClass::LittleCpu => 'L',
+            PuClass::Gpu => 'G',
+        };
+        for (s, &c) in self.assignment.iter().enumerate() {
+            match self.replicated {
+                Some((r, (c1, c2))) if r == s => {
+                    write!(f, "[{}{}]", letter(c1), letter(c2))?;
+                }
+                _ => write!(f, "{}", letter(c))?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use PuClass::*;
+
+    fn diamond() -> TaskGraph {
+        let mut g = TaskGraph::new(4);
+        g.add_dep(0, 1).add_dep(0, 2).add_dep(1, 3).add_dep(2, 3);
+        g
+    }
+
+    #[test]
+    fn diamond_chunks_and_edges() {
+        let s = DagSchedule::new(vec![LittleCpu, Gpu, BigCpu, MediumCpu], &diamond()).unwrap();
+        assert_eq!(s.chunks().len(), 4);
+        assert_eq!(s.chunks()[0].stages, vec![0]);
+        // Fork: chunk 0 feeds both branches; both feed the join.
+        let edges = s.chunk_edges();
+        assert_eq!(edges.len(), 4);
+        assert!(!s.is_chain());
+        assert!(s.as_linear().is_none());
+        assert_eq!(s.to_string(), "LGBM");
+    }
+
+    #[test]
+    fn parallel_branches_may_share_a_class() {
+        // Stages 1 and 2 are incomparable, so one BigCpu chunk may serve
+        // both (serializing the branches on one PU).
+        let s = DagSchedule::new(vec![LittleCpu, BigCpu, BigCpu, MediumCpu], &diamond()).unwrap();
+        assert_eq!(s.chunks().len(), 3);
+        let big = &s.chunks()[1];
+        assert_eq!(big.pu, BigCpu);
+        assert_eq!(big.stages, vec![1, 2]);
+    }
+
+    #[test]
+    fn path_convexity_enforced() {
+        // 0 and 3 share a class with 1 (another class) on the 0 → 1 → 3 path.
+        let r = DagSchedule::new(vec![BigCpu, Gpu, LittleCpu, BigCpu], &diamond());
+        assert!(matches!(
+            r,
+            Err(DagScheduleError::NotPathConvex { class: BigCpu, .. })
+        ));
+    }
+
+    #[test]
+    fn cyclic_graph_reports_cycle() {
+        let mut g = TaskGraph::new(3);
+        g.add_dep(0, 1).add_dep(1, 2).add_dep(2, 0);
+        let r = DagSchedule::new(vec![BigCpu, Gpu, LittleCpu], &g);
+        assert!(matches!(r, Err(DagScheduleError::Cyclic(_))));
+    }
+
+    #[test]
+    fn length_mismatch_and_empty_rejected() {
+        assert_eq!(
+            DagSchedule::new(vec![BigCpu], &diamond()),
+            Err(DagScheduleError::LengthMismatch {
+                stages: 4,
+                assignment: 1
+            })
+        );
+        assert_eq!(
+            DagSchedule::new(vec![], &TaskGraph::new(0)),
+            Err(DagScheduleError::Empty)
+        );
+    }
+
+    #[test]
+    fn chain_schedules_convert_to_linear() {
+        let s = DagSchedule::new(vec![BigCpu, BigCpu, Gpu], &TaskGraph::chain(3)).unwrap();
+        assert!(s.is_chain());
+        let linear = s.as_linear().unwrap();
+        assert_eq!(linear.to_string(), "BBG");
+        let lifted = DagSchedule::from_schedule(&linear);
+        assert_eq!(lifted.chunks().len(), 2);
+        assert_eq!(lifted.as_linear().unwrap(), linear);
+    }
+
+    #[test]
+    fn replication_builds_adjacent_chunk_pair() {
+        // Chain 0 → 1 → 2 with the middle stage split across Big + Gpu.
+        let g = TaskGraph::chain(3);
+        let s = DagSchedule::replicated(vec![LittleCpu, BigCpu, MediumCpu], &g, 1, (BigCpu, Gpu))
+            .unwrap();
+        assert_eq!(s.chunks().len(), 4);
+        let (a, b) = s.replica_pair().unwrap();
+        assert_eq!(s.chunks()[a].pu, BigCpu);
+        assert_eq!(s.chunks()[b].pu, Gpu);
+        assert_eq!(s.chunks()[a].stages, vec![1]);
+        assert_eq!(s.chunks()[b].stages, vec![1]);
+        assert!(!s.is_chain());
+        assert!(s.as_linear().is_none());
+        assert_eq!(s.to_string(), "L[BG]M");
+        // The pair diverges from the source and re-merges at the sink.
+        assert_eq!(s.chunk_edges(), &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+    }
+
+    #[test]
+    fn bad_replicas_rejected() {
+        let g = TaskGraph::chain(3);
+        let dup = DagSchedule::replicated(vec![LittleCpu, BigCpu, MediumCpu], &g, 1, (Gpu, Gpu));
+        assert!(matches!(dup, Err(DagScheduleError::BadReplica { .. })));
+        let source =
+            DagSchedule::replicated(vec![BigCpu, LittleCpu, MediumCpu], &g, 0, (BigCpu, Gpu));
+        assert!(matches!(source, Err(DagScheduleError::BadReplica { .. })));
+        let reused = DagSchedule::replicated(vec![LittleCpu, BigCpu, Gpu], &g, 1, (BigCpu, Gpu));
+        assert!(matches!(reused, Err(DagScheduleError::BadReplica { .. })));
+        let unnamed =
+            DagSchedule::replicated(vec![LittleCpu, MediumCpu, MediumCpu], &g, 1, (BigCpu, Gpu));
+        assert!(matches!(unnamed, Err(DagScheduleError::BadReplica { .. })));
+    }
+
+    #[test]
+    fn serde_round_trips_and_revalidates() {
+        let g = TaskGraph::chain(3);
+        let s = DagSchedule::replicated(vec![LittleCpu, BigCpu, MediumCpu], &g, 1, (BigCpu, Gpu))
+            .unwrap();
+        let json = serde_json::to_string(&s).unwrap();
+        assert!(
+            !json.contains("chunk"),
+            "derived state must not leak: {json}"
+        );
+        let back: DagSchedule = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.replica_pair(), s.replica_pair());
+
+        let plain = DagSchedule::new(vec![LittleCpu, Gpu, BigCpu, MediumCpu], &diamond()).unwrap();
+        let back: DagSchedule =
+            serde_json::from_str(&serde_json::to_string(&plain).unwrap()).unwrap();
+        assert_eq!(back, plain);
+    }
+}

@@ -35,7 +35,7 @@ use bt_soc::{
 use bt_telemetry::{DispatcherCounters, RunTelemetry, SpanRecorder};
 
 use crate::spsc;
-use crate::{Schedule, TaskObject};
+use crate::{DagSchedule, Schedule, TaskObject};
 
 /// Worker-thread budget per PU class for host execution.
 ///
@@ -91,6 +91,14 @@ pub enum PipelineError {
         /// Stages in the schedule.
         schedule: usize,
     },
+    /// Schedule and application disagree on the stage-dependency graph —
+    /// e.g. a cached DAG plan deserialized against a reshaped app.
+    GraphMismatch,
+    /// Resilient execution was requested for a genuinely fork/join
+    /// schedule; the host executor's retry/tombstone machinery currently
+    /// covers chain-shaped schedules only (the simulator prices DAG
+    /// faults; see `simulate_dag_schedule`).
+    ResilienceUnsupported,
     /// `tasks` was zero, or a run measured nothing.
     NoTasks,
     /// A stage kernel panicked in fail-fast mode; the pipeline was shut
@@ -109,6 +117,13 @@ impl std::fmt::Display for PipelineError {
             PipelineError::StageMismatch { app, schedule } => write!(
                 f,
                 "schedule has {schedule} stages but the application has {app}"
+            ),
+            PipelineError::GraphMismatch => {
+                f.write_str("schedule and application disagree on the stage-dependency graph")
+            }
+            PipelineError::ResilienceUnsupported => f.write_str(
+                "resilient host execution supports chain-shaped schedules only \
+                 (use fail-fast, or the DAG simulator for fault studies)",
             ),
             PipelineError::NoTasks => f.write_str("at least one task is required"),
             PipelineError::StagePanicked { chunk } => {
@@ -713,6 +728,386 @@ pub fn run_host<P: Send + 'static>(
     })
 }
 
+/// Executes a fork/join `schedule` over `app` on the host with real
+/// threads — the DAG generalization of [`run_host`].
+///
+/// Chain-shaped schedules (no replication, canonical chain graph) delegate
+/// to [`run_host`] outright, so everything expressible in the linear model
+/// behaves bit-identically, resilience included. Genuine DAGs run as a
+/// *relay*: the chunks are arranged in a topological order of the
+/// schedule's chunk quotient graph and each task object visits them in
+/// that order over the existing SPSC rings, so every stage runs exactly
+/// once per task in dependency order while different chunks pipeline
+/// different tasks concurrently. A replicated stage occupies one relay
+/// slot with two dispatcher threads: the upstream chunk splits the task
+/// stream round-robin (`seq % 2`, one ring per replica) and the
+/// downstream chunk merges by popping the rings in alternation, restoring
+/// sequence order deterministically.
+///
+/// [`RunStats::chunk_utilization`] and the timeline follow the relay
+/// (topological) chunk order, with the replica pair adjacent.
+///
+/// # Errors
+///
+/// Returns [`PipelineError::StageMismatch`] / [`PipelineError::GraphMismatch`]
+/// on schedule/application disagreement, [`PipelineError::ResilienceUnsupported`]
+/// when `res` is `Some` for a genuinely fork/join schedule (the
+/// retry/tombstone machinery covers chains only; DAG fault studies run in
+/// the simulator), and otherwise errors as [`run_host`] does.
+pub fn run_host_dag<P: Send + 'static>(
+    app: &Application<P>,
+    schedule: &DagSchedule,
+    threads: &PuThreads,
+    cfg: &RunConfig,
+    res: Option<&ResilienceConfig>,
+) -> Result<RunReport, PipelineError> {
+    if schedule.stage_count() != app.stage_count() {
+        return Err(PipelineError::StageMismatch {
+            app: app.stage_count(),
+            schedule: schedule.stage_count(),
+        });
+    }
+    if !crate::sim::same_graph(schedule.graph(), app.graph()) {
+        return Err(PipelineError::GraphMismatch);
+    }
+    if let Some(linear) = schedule.as_linear() {
+        return run_host(app, &linear, threads, cfg, res);
+    }
+    if res.is_some() {
+        return Err(PipelineError::ResilienceUnsupported);
+    }
+    if cfg.tasks == 0 {
+        return Err(PipelineError::NoTasks);
+    }
+
+    let chunks = schedule.chunks();
+    let k = chunks.len();
+
+    // Relay slots: each chunk is its own slot except the replica pair,
+    // which shares one. Slots are ordered topologically over the chunk
+    // quotient graph (smallest-index-first for determinism), so the relay
+    // respects every stage dependency.
+    let (rep_a, rep_b) = schedule
+        .replica_pair()
+        .map_or((usize::MAX, usize::MAX), |(a, b)| (a, b));
+    let mut slot_of = vec![0usize; k];
+    let mut slots: Vec<Vec<usize>> = Vec::new();
+    for c in 0..k {
+        if c == rep_b {
+            slot_of[c] = slot_of[rep_a];
+            slots[slot_of[rep_a]].push(c);
+        } else {
+            slot_of[c] = slots.len();
+            slots.push(vec![c]);
+        }
+    }
+    let m = slots.len();
+    let mut sedges: Vec<(usize, usize)> = schedule
+        .chunk_edges()
+        .iter()
+        .map(|&(u, v)| (slot_of[u], slot_of[v]))
+        .filter(|&(u, v)| u != v)
+        .collect();
+    sedges.sort_unstable();
+    sedges.dedup();
+    let mut indeg = vec![0usize; m];
+    let mut slot_succs: Vec<Vec<usize>> = vec![Vec::new(); m];
+    for &(u, v) in &sedges {
+        indeg[v] += 1;
+        slot_succs[u].push(v);
+    }
+    let mut ready: Vec<usize> = (0..m).filter(|&s| indeg[s] == 0).collect();
+    let mut relay: Vec<Vec<usize>> = Vec::with_capacity(m);
+    while !ready.is_empty() {
+        ready.sort_unstable_by(|a, b| b.cmp(a));
+        let s = ready.pop().expect("non-empty");
+        relay.push(slots[s].clone());
+        for &t in &slot_succs[s] {
+            indeg[t] -= 1;
+            if indeg[t] == 0 {
+                ready.push(t);
+            }
+        }
+    }
+    debug_assert_eq!(relay.len(), m, "schedule validation guarantees acyclicity");
+    let chunk_order: Vec<usize> = relay.iter().flatten().copied().collect();
+
+    let duration_mode = cfg.duration.is_some();
+    let total = if duration_mode {
+        u64::MAX
+    } else {
+        (cfg.tasks + cfg.warmup) as u64
+    };
+    let deadline = cfg.duration.map(|d| Instant::now() + d);
+    let buffers = if cfg.buffers == 0 {
+        k + 1
+    } else {
+        cfg.buffers as usize
+    };
+
+    // One ring per relay edge lane: consecutive slots are connected by one
+    // ring, or by two when either side is the replica pair (lane `l`
+    // carries the tasks with `seq % 2 == l`).
+    let mut in_rx: Vec<Vec<spsc::Consumer<Msg<P>>>> = (0..k).map(|_| Vec::new()).collect();
+    let mut out_tx: Vec<Vec<spsc::Producer<Msg<P>>>> = (0..k).map(|_| Vec::new()).collect();
+    for w in relay.windows(2) {
+        let (up, down) = (&w[0], &w[1]);
+        if up.len() == 1 && down.len() == 2 {
+            for &d in down {
+                let (tx, rx) = spsc::channel(buffers.max(1));
+                out_tx[up[0]].push(tx);
+                in_rx[d].push(rx);
+            }
+        } else if up.len() == 2 {
+            for &u in up {
+                let (tx, rx) = spsc::channel(buffers.max(1));
+                out_tx[u].push(tx);
+                in_rx[down[0]].push(rx);
+            }
+        } else {
+            let (tx, rx) = spsc::channel(buffers.max(1));
+            out_tx[up[0]].push(tx);
+            in_rx[down[0]].push(rx);
+        }
+    }
+    let (mut recycle_tx, recycle_rx) = spsc::channel::<Box<TaskObject<P>>>(buffers.max(1));
+    for _ in 0..buffers {
+        let obj = Box::new(TaskObject::new(app.new_payload()));
+        recycle_tx
+            .push(obj)
+            .unwrap_or_else(|_| unreachable!("capacity equals the pool size"));
+    }
+
+    let signals = DegradeSignals::new();
+    let failed_chunk = AtomicUsize::new(usize::MAX);
+    let submitted = AtomicUsize::new(0);
+    let outputs: Vec<ChunkOutput> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(k);
+        let mut recycle_rx = Some(recycle_rx);
+        let mut recycle_tx = Some(recycle_tx);
+        let mut in_rx = in_rx;
+        let mut out_tx = out_tx;
+
+        for (pos, &ci) in chunk_order.iter().enumerate() {
+            let is_head = pos == 0;
+            let is_tail = pos == k - 1;
+            let mut inputs = std::mem::take(&mut in_rx[ci]);
+            let mut output = std::mem::take(&mut out_tx[ci]);
+            let mut head_rx = if is_head { recycle_rx.take() } else { None };
+            let mut tail_tx = if is_tail { recycle_tx.take() } else { None };
+            let stage_list = chunks[ci].stages.clone();
+            let ctx = ParCtx::new(threads.threads(chunks[ci].pu));
+            let pin_cores: Vec<usize> = cfg
+                .affinity
+                .as_ref()
+                .map(|m| m.pinnable(chunks[ci].pu).to_vec())
+                .unwrap_or_default();
+
+            let signals = &signals;
+            let failed_chunk = &failed_chunk;
+            let submitted = &submitted;
+            handles.push(scope.spawn(move || {
+                crate::affinity::pin_current_thread(&pin_cores);
+
+                let mut out = ChunkOutput::default();
+                let halt = &signals.halt;
+                let count = cfg.telemetry.counters;
+                let mut counters = DispatcherCounters::new();
+                let mut busy = Duration::ZERO;
+                let mut spans: Vec<(u64, Instant, Instant)> = Vec::new();
+
+                // Fail-fast single attempt (resilient DAG execution is
+                // rejected up front): a panic records the chunk, halts the
+                // pipeline, and returns `false`.
+                let mut run_chunk = |obj: &mut TaskObject<P>, ctx: &ParCtx| -> bool {
+                    let t0 = Instant::now();
+                    let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                        for &s in &stage_list {
+                            app.stages()[s].run(&mut obj.payload, ctx);
+                        }
+                    }));
+                    let t1 = Instant::now();
+                    busy += t1 - t0;
+                    spans.push((obj.seq, t0, t1));
+                    if result.is_err() {
+                        failed_chunk
+                            .compare_exchange(usize::MAX, ci, Ordering::SeqCst, Ordering::SeqCst)
+                            .ok();
+                        halt.store(true, Ordering::SeqCst);
+                        return false;
+                    }
+                    true
+                };
+                let stop_all = |output: &mut Vec<spsc::Producer<Msg<P>>>| {
+                    for tx in output.iter_mut() {
+                        let _ = push_until(tx, Msg::Stop, halt);
+                    }
+                };
+
+                if is_head {
+                    let rx = head_rx.as_mut().expect("head owns the recycle consumer");
+                    for seq in 0..total {
+                        if let Some(d) = deadline {
+                            if Instant::now() >= d {
+                                break;
+                            }
+                        }
+                        let t0 = count.then(Instant::now);
+                        let popped = pop_watchdog(rx, halt, None);
+                        if let Some(t0) = t0 {
+                            counters.record_blocked_pop(t0.elapsed());
+                        }
+                        let mut obj = match popped {
+                            ResilientPop::Got(o) => o,
+                            _ => break,
+                        };
+                        obj.recycle(seq);
+                        app.load_input(&mut obj.payload, seq);
+                        out.entries.push(obj.entered.expect("stamped by recycle"));
+                        submitted.fetch_add(1, Ordering::Relaxed);
+                        if !run_chunk(&mut obj, &ctx) {
+                            break;
+                        }
+                        if is_tail {
+                            let entered = obj.entered.expect("stamped");
+                            let now = Instant::now();
+                            out.completions.push((seq, now - entered, now));
+                            if !push_timed(
+                                tail_tx.as_mut().expect("tail owns the recycle producer"),
+                                obj,
+                                halt,
+                                count,
+                                &mut counters,
+                            ) {
+                                break;
+                            }
+                        } else {
+                            let lane = if output.len() == 2 {
+                                (seq & 1) as usize
+                            } else {
+                                0
+                            };
+                            if !push_timed(
+                                &mut output[lane],
+                                Msg::Task(obj),
+                                halt,
+                                count,
+                                &mut counters,
+                            ) {
+                                break;
+                            }
+                        }
+                    }
+                    stop_all(&mut output);
+                } else {
+                    let lanes = inputs.len();
+                    let mut lane = 0usize;
+                    let mut stopped = vec![false; lanes];
+                    loop {
+                        if stopped[lane] {
+                            lane = (lane + 1) % lanes;
+                            if stopped[lane] {
+                                stop_all(&mut output);
+                                break;
+                            }
+                        }
+                        let t0 = count.then(Instant::now);
+                        let popped = pop_watchdog(&mut inputs[lane], halt, None);
+                        if let Some(t0) = t0 {
+                            counters.record_blocked_pop(t0.elapsed());
+                        }
+                        match popped {
+                            ResilientPop::Got(Msg::Stop) => {
+                                stopped[lane] = true;
+                                lane = (lane + 1) % lanes;
+                            }
+                            ResilientPop::Got(Msg::Task(mut obj)) => {
+                                let seq = obj.seq;
+                                lane = (lane + 1) % lanes;
+                                if halt.load(Ordering::Relaxed) {
+                                    continue; // drain to unblock upstream
+                                }
+                                if !run_chunk(&mut obj, &ctx) {
+                                    stop_all(&mut output);
+                                    continue; // keep draining
+                                }
+                                if is_tail {
+                                    let entered = obj.entered.expect("stamped by head");
+                                    let now = Instant::now();
+                                    out.completions.push((seq, now - entered, now));
+                                    if !push_timed(
+                                        tail_tx.as_mut().expect("tail recycles"),
+                                        obj,
+                                        halt,
+                                        count,
+                                        &mut counters,
+                                    ) {
+                                        break;
+                                    }
+                                } else {
+                                    let l = if output.len() == 2 {
+                                        (seq & 1) as usize
+                                    } else {
+                                        0
+                                    };
+                                    if !push_timed(
+                                        &mut output[l],
+                                        Msg::Task(obj),
+                                        halt,
+                                        count,
+                                        &mut counters,
+                                    ) {
+                                        break;
+                                    }
+                                }
+                            }
+                            _ => break,
+                        }
+                    }
+                }
+                if count {
+                    counters.tasks = spans.len() as u64;
+                    counters.busy = busy;
+                }
+                out.counters = counters;
+                out.spans = spans;
+                out
+            }));
+        }
+
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("dispatcher threads do not panic"))
+            .collect()
+    });
+
+    let panicked = failed_chunk.load(Ordering::SeqCst);
+    if panicked != usize::MAX {
+        return Err(PipelineError::StagePanicked { chunk: panicked });
+    }
+
+    let submitted = submitted.load(Ordering::SeqCst) as u64;
+    let completed = outputs[k - 1].completions.len() as u64;
+    let dropped = submitted - completed;
+    debug_assert_eq!(dropped, 0, "fail-fast run lost tasks without erroring");
+
+    let finished = outputs[k - 1].completions.len();
+    if finished.saturating_sub(cfg.warmup as usize) == 0 {
+        return Err(PipelineError::NoTasks);
+    }
+    let (stats, timeline, telemetry) = assemble(&outputs, cfg, k);
+    Ok(RunReport {
+        submitted,
+        completed,
+        dropped,
+        faults_fired: 0,
+        stats,
+        timeline,
+        telemetry,
+        degraded: signals.reason(),
+    })
+}
+
 /// Builds the steady-state measurement of a (possibly degraded) run.
 ///
 /// Task sequence numbers can be sparse — dropped tasks leave gaps — so the
@@ -1280,5 +1675,203 @@ mod tests {
             elapsed < Duration::from_secs(5),
             "watchdog unwind took {elapsed:?}"
         );
+    }
+
+    /// DAG trace app: every stage kernel asserts its dependencies already
+    /// ran on this task, so any relay-ordering bug panics the pipeline
+    /// (and surfaces as `StagePanicked`).
+    fn dag_trace_app(graph: &bt_kernels::TaskGraph, counter: Arc<AtomicU64>) -> Application<Trace> {
+        let preds = graph.pred_sets();
+        let stage_list = (0..graph.len())
+            .map(|i| {
+                let counter = Arc::clone(&counter);
+                let my_preds = preds[i].clone();
+                Stage::new(
+                    format!("s{i}"),
+                    bt_soc::WorkProfile::new(1.0, 1.0),
+                    Arc::new(move |t: &mut Trace, _ctx: &ParCtx| {
+                        for &p in &my_preds {
+                            assert!(
+                                t.visits.contains(&p),
+                                "stage {i} ran before its dependency {p}"
+                            );
+                        }
+                        t.visits.push(i);
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    }) as bt_kernels::KernelFn<Trace>,
+                )
+            })
+            .collect();
+        Application::from_task_graph(
+            "dag-trace",
+            stage_list,
+            graph,
+            Arc::new(Trace::default),
+            Arc::new(|t: &mut Trace, seq| {
+                t.seq = seq;
+                t.visits.clear();
+            }),
+        )
+        .unwrap()
+    }
+
+    fn diamond_graph() -> bt_kernels::TaskGraph {
+        let mut g = bt_kernels::TaskGraph::new(4);
+        g.add_dep(0, 1).add_dep(0, 2).add_dep(1, 3).add_dep(2, 3);
+        g
+    }
+
+    #[test]
+    fn dag_relay_runs_every_stage_once_in_dependency_order() {
+        use bt_soc::PuClass::*;
+        let counter = Arc::new(AtomicU64::new(0));
+        let g = diamond_graph();
+        let app = dag_trace_app(&g, Arc::clone(&counter));
+        let schedule = DagSchedule::new(vec![LittleCpu, Gpu, BigCpu, MediumCpu], &g).unwrap();
+        let report =
+            run_host_dag(&app, &schedule, &PuThreads::uniform(1), &cfg(20, 2), None).unwrap();
+        assert_eq!(report.completed, report.submitted);
+        assert_eq!(report.expect_stats().tasks, 20);
+        // 22 tasks × 4 stages, each stage exactly once per task.
+        assert_eq!(counter.load(Ordering::Relaxed), 22 * 4);
+    }
+
+    #[test]
+    fn replicated_stage_serves_each_task_exactly_once() {
+        use bt_soc::PuClass::*;
+        let g = bt_kernels::TaskGraph::chain(3);
+        let preds = g.pred_sets();
+        let served: Arc<std::sync::Mutex<Vec<u64>>> = Arc::new(std::sync::Mutex::new(Vec::new()));
+        let stage_list = (0..3)
+            .map(|i| {
+                let my_preds = preds[i].clone();
+                let served = Arc::clone(&served);
+                Stage::new(
+                    format!("s{i}"),
+                    bt_soc::WorkProfile::new(1.0, 1.0),
+                    Arc::new(move |t: &mut Trace, _ctx: &ParCtx| {
+                        for &p in &my_preds {
+                            assert!(t.visits.contains(&p));
+                        }
+                        t.visits.push(i);
+                        if i == 1 {
+                            served.lock().unwrap().push(t.seq);
+                        }
+                    }) as bt_kernels::KernelFn<Trace>,
+                )
+            })
+            .collect();
+        let app = Application::from_task_graph(
+            "replica-trace",
+            stage_list,
+            &g,
+            Arc::new(Trace::default),
+            Arc::new(|t: &mut Trace, seq| {
+                t.seq = seq;
+                t.visits.clear();
+            }),
+        )
+        .unwrap();
+        let schedule =
+            DagSchedule::replicated(vec![LittleCpu, BigCpu, MediumCpu], &g, 1, (BigCpu, Gpu))
+                .unwrap();
+        let report =
+            run_host_dag(&app, &schedule, &PuThreads::uniform(1), &cfg(30, 0), None).unwrap();
+        assert_eq!(report.completed, 30);
+        let mut seqs = served.lock().unwrap().clone();
+        seqs.sort_unstable();
+        // The replicated stage ran exactly once per task across both PUs.
+        assert_eq!(seqs, (0..30u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chain_dag_schedules_delegate_with_resilience() {
+        use bt_soc::PuClass::*;
+        let counter = Arc::new(AtomicU64::new(0));
+        let app = trace_app(3, Arc::clone(&counter));
+        let linear = Schedule::new(vec![BigCpu, BigCpu, Gpu]).unwrap();
+        let schedule = DagSchedule::from_schedule(&linear);
+        let report = run_host_dag(
+            &app,
+            &schedule,
+            &PuThreads::uniform(1),
+            &cfg(10, 0),
+            Some(&ResilienceConfig::default()),
+        )
+        .unwrap();
+        assert_eq!(report.completed, 10);
+        assert!(!report.is_degraded());
+    }
+
+    #[test]
+    fn dag_resilience_and_graph_mismatch_are_typed_errors() {
+        use bt_soc::PuClass::*;
+        let g = diamond_graph();
+        let app = dag_trace_app(&g, Arc::new(AtomicU64::new(0)));
+        let schedule = DagSchedule::new(vec![LittleCpu, Gpu, BigCpu, MediumCpu], &g).unwrap();
+        assert_eq!(
+            run_host_dag(
+                &app,
+                &schedule,
+                &PuThreads::uniform(1),
+                &cfg(5, 0),
+                Some(&ResilienceConfig::default()),
+            )
+            .unwrap_err(),
+            PipelineError::ResilienceUnsupported
+        );
+        // Same stage count, different dependency structure.
+        let chain_app = trace_app(4, Arc::new(AtomicU64::new(0)));
+        assert_eq!(
+            run_host_dag(
+                &chain_app,
+                &schedule,
+                &PuThreads::uniform(1),
+                &cfg(5, 0),
+                None
+            )
+            .unwrap_err(),
+            PipelineError::GraphMismatch
+        );
+    }
+
+    #[test]
+    fn dag_panic_fails_fast_without_hanging() {
+        use bt_soc::PuClass::*;
+        let g = diamond_graph();
+        let preds = g.pred_sets();
+        let stage_list = (0..4)
+            .map(|i| {
+                let my_preds = preds[i].clone();
+                Stage::new(
+                    format!("s{i}"),
+                    bt_soc::WorkProfile::new(1.0, 1.0),
+                    Arc::new(move |t: &mut Trace, _ctx: &ParCtx| {
+                        let _ = &my_preds;
+                        if i == 2 && t.seq == 3 {
+                            panic!("injected");
+                        }
+                        t.visits.push(i);
+                    }) as bt_kernels::KernelFn<Trace>,
+                )
+            })
+            .collect();
+        let app = Application::from_task_graph(
+            "panicky",
+            stage_list,
+            &g,
+            Arc::new(Trace::default),
+            Arc::new(|t: &mut Trace, seq| {
+                t.seq = seq;
+                t.visits.clear();
+            }),
+        )
+        .unwrap();
+        let schedule = DagSchedule::new(vec![LittleCpu, Gpu, BigCpu, MediumCpu], &g).unwrap();
+        let t0 = Instant::now();
+        let err =
+            run_host_dag(&app, &schedule, &PuThreads::uniform(1), &cfg(50, 0), None).unwrap_err();
+        assert!(matches!(err, PipelineError::StagePanicked { .. }));
+        assert!(t0.elapsed() < Duration::from_secs(5));
     }
 }

@@ -19,6 +19,7 @@
 #![warn(missing_debug_implementations)]
 
 mod affinity;
+mod dag;
 mod executor;
 mod measure;
 mod multi;
@@ -28,11 +29,14 @@ pub mod spsc;
 mod usm;
 
 pub use affinity::{current_affinity, pin_current_thread};
-pub use executor::{run_host, PipelineError, PuThreads, ResilienceConfig};
+pub use dag::{DagChunk, DagSchedule, DagScheduleError};
+pub use executor::{run_host, run_host_dag, PipelineError, PuThreads, ResilienceConfig};
 pub use measure::Measurement;
 pub use multi::{run_multi_host, Tenant, TenantSet, WorkerBudget};
 pub use schedule::{ChunkAssignment, Schedule, ScheduleError};
-pub use sim::{simulate_baseline, simulate_schedule, to_chunk_specs};
+pub use sim::{
+    simulate_baseline, simulate_dag_schedule, simulate_schedule, to_chunk_specs, to_dag_spec,
+};
 // The shared run vocabulary, re-exported so runtime consumers need not
 // depend on bt-soc directly.
 pub use bt_soc::{DegradeReason, RunConfig, RunReport, RunStats, TimelineSpan};

@@ -37,7 +37,7 @@ impl std::error::Error for ScheduleError {}
 
 /// One chunk of a schedule: a PU class and the contiguous stage range it
 /// executes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct ChunkAssignment {
     /// The serving PU class.
     pub pu: PuClass,
@@ -68,9 +68,13 @@ impl ChunkAssignment {
 /// assert_eq!(s.to_string(), "BBG");
 /// # Ok::<(), bt_pipeline::ScheduleError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Schedule {
     assignment: Vec<PuClass>,
+    /// Maximal chunks, precomputed at construction: `chunks()` sits on
+    /// the executors' and predictors' hot paths, where a fresh `Vec` per
+    /// call showed up in `bench_eval` profiles.
+    chunks: Vec<ChunkAssignment>,
 }
 
 impl Schedule {
@@ -98,7 +102,8 @@ impl Schedule {
                 prev = Some(c);
             }
         }
-        Ok(Schedule { assignment })
+        let chunks = Schedule::compute_chunks(&assignment);
+        Ok(Schedule { assignment, chunks })
     }
 
     /// A schedule placing every stage on one PU (the paper's homogeneous
@@ -107,7 +112,28 @@ impl Schedule {
         assert!(stages > 0, "a schedule needs at least one stage");
         Schedule {
             assignment: vec![pu; stages],
+            chunks: vec![ChunkAssignment {
+                pu,
+                first_stage: 0,
+                last_stage: stages - 1,
+            }],
         }
+    }
+
+    fn compute_chunks(assignment: &[PuClass]) -> Vec<ChunkAssignment> {
+        let mut chunks = Vec::new();
+        let mut start = 0;
+        for i in 1..=assignment.len() {
+            if i == assignment.len() || assignment[i] != assignment[start] {
+                chunks.push(ChunkAssignment {
+                    pu: assignment[start],
+                    first_stage: start,
+                    last_stage: i - 1,
+                });
+                start = i;
+            }
+        }
+        chunks
     }
 
     /// Builds a schedule from optimizer output: per-stage indices into a
@@ -139,21 +165,10 @@ impl Schedule {
         &self.assignment
     }
 
-    /// Decomposes into maximal chunks, in pipeline order.
-    pub fn chunks(&self) -> Vec<ChunkAssignment> {
-        let mut chunks = Vec::new();
-        let mut start = 0;
-        for i in 1..=self.assignment.len() {
-            if i == self.assignment.len() || self.assignment[i] != self.assignment[start] {
-                chunks.push(ChunkAssignment {
-                    pu: self.assignment[start],
-                    first_stage: start,
-                    last_stage: i - 1,
-                });
-                start = i;
-            }
-        }
-        chunks
+    /// The maximal chunks, in pipeline order (precomputed; this is a
+    /// zero-cost accessor).
+    pub fn chunks(&self) -> &[ChunkAssignment] {
+        &self.chunks
     }
 
     /// The distinct PU classes used.
@@ -164,6 +179,25 @@ impl Schedule {
     /// Whether every stage runs on the same PU.
     pub fn is_homogeneous(&self) -> bool {
         self.chunks().len() == 1
+    }
+}
+
+// Hand-written serde keeps the wire format exactly what the derive on the
+// pre-cache struct produced — `{"assignment":[...]}` — and re-validates
+// (and re-derives the chunk cache) on the way in.
+impl Serialize for Schedule {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![("assignment".to_string(), self.assignment.to_value())])
+    }
+}
+
+impl Deserialize for Schedule {
+    fn from_value(v: &serde::Value) -> Result<Schedule, serde::Error> {
+        let assignment = v
+            .get("assignment")
+            .ok_or_else(|| serde::Error::new("Schedule: missing field `assignment`"))?;
+        let assignment: Vec<PuClass> = Deserialize::from_value(assignment)?;
+        Schedule::new(assignment).map_err(|e| serde::Error::new(e.to_string()))
     }
 }
 
@@ -229,6 +263,24 @@ mod tests {
         let s = Schedule::from_class_indices(&[0, 0, 1], &classes).unwrap();
         assert_eq!(s.pu_of(2), PuClass::Gpu);
         assert_eq!(s.to_string(), "BBG");
+    }
+
+    #[test]
+    fn serde_round_trip_keeps_wire_format_and_revalidates() {
+        let s = Schedule::new(vec![PuClass::BigCpu, PuClass::BigCpu, PuClass::Gpu]).unwrap();
+        let json = serde_json::to_string(&s).unwrap();
+        assert!(
+            json.starts_with("{\"assignment\":"),
+            "wire format must stay assignment-only: {json}"
+        );
+        assert!(!json.contains("chunks"), "cache must not leak: {json}");
+        let back: Schedule = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.chunks(), s.chunks());
+        // Invalid assignments are rejected at deserialization too.
+        let bad = "{\"assignment\":[\"BigCpu\",\"Gpu\",\"BigCpu\"]}";
+        assert!(serde_json::from_str::<Schedule>(bad).is_err());
+        assert!(serde_json::from_str::<Schedule>("{\"assignment\":[]}").is_err());
     }
 
     #[test]

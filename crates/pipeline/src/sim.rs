@@ -3,9 +3,9 @@
 
 use bt_kernels::AppModel;
 use bt_soc::des::{self, ChunkSpec};
-use bt_soc::{FaultSpec, RunConfig, RunReport, SocError, SocSpec};
+use bt_soc::{simulate_dag, DagPipelineSpec, FaultSpec, RunConfig, RunReport, SocError, SocSpec};
 
-use crate::{PipelineError, Schedule};
+use crate::{DagSchedule, PipelineError, Schedule};
 
 /// Converts a schedule over `app` into the simulator's chunk list.
 ///
@@ -60,6 +60,83 @@ pub fn simulate_schedule(
 ) -> Result<RunReport, PipelineError> {
     let chunks = to_chunk_specs(app, schedule)?;
     Ok(des::simulate(soc, &chunks, cfg, faults)?)
+}
+
+pub(crate) fn same_graph(a: &bt_kernels::TaskGraph, b: &bt_kernels::TaskGraph) -> bool {
+    let normal = |g: &bt_kernels::TaskGraph| {
+        let mut deps = g.deps().to_vec();
+        deps.sort_unstable();
+        deps.dedup();
+        (g.len(), deps)
+    };
+    normal(a) == normal(b)
+}
+
+/// Converts a DAG schedule over `app` into the simulator's chunk-DAG
+/// spec: one [`ChunkSpec`] per schedule chunk (stage works in dependency
+/// order), the schedule's quotient edges, and — when a stage is
+/// replicated — a two-member replica group whose chunks each carry the
+/// full stage work (the engine serves alternating tasks per member, so
+/// per-replica throughput halves without halving per-task service).
+///
+/// # Errors
+///
+/// Returns [`PipelineError::StageMismatch`] on a stage-count disagreement
+/// and [`PipelineError::GraphMismatch`] when the schedule was validated
+/// against a different dependency graph than the application declares.
+pub fn to_dag_spec(
+    app: &AppModel,
+    schedule: &DagSchedule,
+) -> Result<DagPipelineSpec, PipelineError> {
+    if schedule.stage_count() != app.stage_count() {
+        return Err(PipelineError::StageMismatch {
+            app: app.stage_count(),
+            schedule: schedule.stage_count(),
+        });
+    }
+    if !same_graph(schedule.graph(), &app.task_graph()) {
+        return Err(PipelineError::GraphMismatch);
+    }
+    let chunks = schedule
+        .chunks()
+        .iter()
+        .map(|c| {
+            ChunkSpec::new(
+                c.pu,
+                c.stages
+                    .iter()
+                    .map(|&s| app.stages[s].work.clone())
+                    .collect(),
+            )
+        })
+        .collect();
+    let mut spec = DagPipelineSpec::new(chunks, schedule.chunk_edges().to_vec());
+    if let Some((a, b)) = schedule.replica_pair() {
+        spec = spec.with_replica_group(vec![a, b]);
+    }
+    Ok(spec)
+}
+
+/// Simulates pipelined execution of a fork/join `schedule` over `app` —
+/// the DAG counterpart of [`simulate_schedule`]. Chain-shaped schedules
+/// are priced bit-identically to the chain engine (the simulator
+/// delegates); genuine DAGs get real branch concurrency, with sibling
+/// branches charging each other interference.
+///
+/// # Errors
+///
+/// Returns [`PipelineError::StageMismatch`] /
+/// [`PipelineError::GraphMismatch`] on schedule/application disagreement,
+/// or [`PipelineError::Soc`] from the simulator.
+pub fn simulate_dag_schedule(
+    soc: &SocSpec,
+    app: &AppModel,
+    schedule: &DagSchedule,
+    cfg: &RunConfig,
+    faults: Option<&FaultSpec>,
+) -> Result<RunReport, PipelineError> {
+    let spec = to_dag_spec(app, schedule)?;
+    Ok(simulate_dag(soc, &spec, cfg, faults)?)
 }
 
 /// Simulates the paper's homogeneous baseline: every stage offloaded to a
@@ -166,6 +243,85 @@ mod tests {
             best < base,
             "some pipeline should beat homogeneous: best {best} vs base {base}"
         );
+    }
+
+    fn perception_model() -> AppModel {
+        apps::perception_app(apps::PerceptionConfig::default()).model()
+    }
+
+    fn perception_dag_schedule(app: &AppModel) -> crate::DagSchedule {
+        use PuClass::*;
+        crate::DagSchedule::new(
+            vec![LittleCpu, Gpu, Gpu, BigCpu, BigCpu, MediumCpu, MediumCpu],
+            &app.task_graph(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn dag_spec_mirrors_schedule_structure() {
+        let app = perception_model();
+        let s = perception_dag_schedule(&app);
+        let spec = to_dag_spec(&app, &s).unwrap();
+        assert_eq!(spec.chunks.len(), 4);
+        assert!(!spec.is_chain());
+        assert!(spec.replica_groups.is_empty());
+        let total: usize = spec.chunks.iter().map(|c| c.stages.len()).sum();
+        assert_eq!(total, 7);
+        // The quotient of the perception graph under this assignment is a
+        // diamond: preprocess forks to the two branch chunks, which join.
+        assert_eq!(spec.edges, vec![(0, 1), (0, 2), (1, 3), (2, 3)]);
+    }
+
+    #[test]
+    fn replicated_schedule_maps_to_replica_group() {
+        use PuClass::*;
+        let app = octree_model();
+        let g = app.task_graph();
+        let s = crate::DagSchedule::replicated(
+            vec![
+                MediumCpu, MediumCpu, MediumCpu, Gpu, LittleCpu, LittleCpu, LittleCpu,
+            ],
+            &g,
+            3,
+            (Gpu, BigCpu),
+        )
+        .unwrap();
+        let spec = to_dag_spec(&app, &s).unwrap();
+        assert_eq!(spec.chunks.len(), 4);
+        assert_eq!(spec.replica_groups, vec![vec![1, 2]]);
+        // Both replica chunks carry the full bottleneck-stage work.
+        assert_eq!(spec.chunks[1].stages, spec.chunks[2].stages);
+        let soc = devices::pixel_7a();
+        let report = simulate_dag_schedule(&soc, &app, &s, &noiseless(), None).unwrap();
+        assert!(report.expect_stats().time_per_task.as_f64() > 0.0);
+    }
+
+    #[test]
+    fn chain_dag_schedule_prices_bit_identically() {
+        use PuClass::*;
+        let app = octree_model();
+        let soc = devices::pixel_7a();
+        let linear =
+            Schedule::new(vec![BigCpu, BigCpu, MediumCpu, Gpu, Gpu, Gpu, LittleCpu]).unwrap();
+        let dag = crate::DagSchedule::from_schedule(&linear);
+        let cfg = RunConfig::default();
+        let a = simulate_schedule(&soc, &app, &linear, &cfg, None).unwrap();
+        let b = simulate_dag_schedule(&soc, &app, &dag, &cfg, None).unwrap();
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn dag_graph_mismatch_is_typed_error() {
+        let perception = perception_model();
+        let s = perception_dag_schedule(&perception);
+        // Same stage count, chain-shaped dependency structure.
+        let octree = octree_model();
+        assert_eq!(octree.stage_count(), 7);
+        assert!(matches!(
+            to_dag_spec(&octree, &s).unwrap_err(),
+            crate::PipelineError::GraphMismatch
+        ));
     }
 
     #[test]

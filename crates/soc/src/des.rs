@@ -74,20 +74,20 @@ impl ChunkSpec {
 /// `<` keeps the heap's exact (time, lowest chunk index) tie-break, so
 /// traces are bit-identical to the heap-based engine it replaced.
 #[derive(Debug)]
-struct EventSlots {
+pub(crate) struct EventSlots {
     /// Completion time per chunk; `INFINITY` marks an idle chunk.
     next_done: Vec<f64>,
 }
 
 impl EventSlots {
-    fn new(n_chunks: usize) -> EventSlots {
+    pub(crate) fn new(n_chunks: usize) -> EventSlots {
         EventSlots {
             next_done: vec![f64::INFINITY; n_chunks],
         }
     }
 
     /// Schedules chunk `chunk` to complete its in-flight stage at `time`.
-    fn push(&mut self, chunk: usize, time: f64) {
+    pub(crate) fn push(&mut self, chunk: usize, time: f64) {
         debug_assert!(self.next_done[chunk].is_infinite(), "one event per chunk");
         self.next_done[chunk] = time;
     }
@@ -98,7 +98,7 @@ impl EventSlots {
     ///
     /// Panics if no event is pending (the pipeline cannot deadlock with
     /// buffered queues, so this is unreachable from `simulate`).
-    fn pop(&mut self) -> (f64, usize) {
+    pub(crate) fn pop(&mut self) -> (f64, usize) {
         let mut best = (f64::INFINITY, usize::MAX);
         for (chunk, &t) in self.next_done.iter().enumerate() {
             if t < best.0 {
@@ -115,22 +115,22 @@ impl EventSlots {
 }
 
 #[derive(Debug, Clone, Copy)]
-struct InFlight {
-    task: usize,
-    stage: usize,
+pub(crate) struct InFlight {
+    pub(crate) task: usize,
+    pub(crate) stage: usize,
     /// (class, bw demand) advertised to co-runners while this stage runs.
-    demand: f64,
+    pub(crate) demand: f64,
 }
 
 #[derive(Debug)]
-struct ChunkState {
-    input: VecDeque<usize>,
-    busy: Option<InFlight>,
-    busy_since: f64,
+pub(crate) struct ChunkState {
+    pub(crate) input: VecDeque<usize>,
+    pub(crate) busy: Option<InFlight>,
+    pub(crate) busy_since: f64,
     /// Contiguous (start, end) busy intervals, one per completed task.
     /// Always collected: the measurement window is only known at the end,
     /// so in-window utilization needs the raw intervals.
-    busy_spans: Vec<(f64, f64)>,
+    pub(crate) busy_spans: Vec<(f64, f64)>,
 }
 
 /// Multiplicative hasher for the memo cache's packed `u64` keys.
@@ -178,7 +178,7 @@ type ServiceCache = HashMap<u64, f64, std::hash::BuildHasherDefault<KeyHasher>>;
 /// (chunk, stage). Pipelines too wide or too deep for the packing
 /// (> [`ServiceModel::MAX_CACHED_CHUNKS`] chunks, or ≥ 63 stages in one
 /// chunk) fall back to the uncached path.
-struct ServiceModel<'a> {
+pub(crate) struct ServiceModel<'a> {
     soc: &'a SocSpec,
     chunks: &'a [ChunkSpec],
     pus: Vec<&'a PuSpec>,
@@ -202,7 +202,11 @@ impl<'a> ServiceModel<'a> {
     /// busy set, leaving room for the dispatcher coordinates).
     const MAX_CACHED_CHUNKS: usize = 8;
 
-    fn new(soc: &'a SocSpec, chunks: &'a [ChunkSpec], use_cache: bool) -> ServiceModel<'a> {
+    pub(crate) fn new(
+        soc: &'a SocSpec,
+        chunks: &'a [ChunkSpec],
+        use_cache: bool,
+    ) -> ServiceModel<'a> {
         let pus: Vec<&PuSpec> = chunks
             .iter()
             .map(|c| soc.pu(c.pu).expect("chunk PUs validated by simulate"))
@@ -251,7 +255,7 @@ impl<'a> ServiceModel<'a> {
 
     /// Service time (µs, noise applied) and bandwidth demand (GB/s) for
     /// `chunk_idx` starting `stage_idx` against the instantaneous busy set.
-    fn service(
+    pub(crate) fn service(
         &mut self,
         chunk_idx: usize,
         stage_idx: usize,

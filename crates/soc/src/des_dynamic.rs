@@ -288,6 +288,294 @@ pub fn simulate_dynamic(
     })
 }
 
+/// Simulates dynamic scheduling where each task's stages form a DAG given
+/// by `deps` (edges `(from, to)` over stage indices) instead of a linear
+/// chain: a stage becomes ready once every predecessor stage of the *same
+/// task* has completed, so sibling branches of one task can occupy
+/// distinct PUs concurrently. A task completes when all of its stages
+/// have; a kernel error or PU death on any stage kills the whole task
+/// (its other in-flight stages finish but their results are discarded).
+///
+/// Chain-shaped `deps` — exactly the edges `(i, i + 1)` — delegate to
+/// [`simulate_dynamic`] and are bit-identical to it.
+///
+/// # Errors
+///
+/// Returns [`SocError::BadDag`] for out-of-range or self-loop edges and
+/// for cyclic dependencies, plus everything [`simulate_dynamic`] rejects.
+pub fn simulate_dynamic_dag(
+    soc: &SocSpec,
+    stages: &[WorkProfile],
+    deps: &[(usize, usize)],
+    cfg: &RunConfig,
+    policy: DynamicPolicy,
+    faults: Option<&FaultSpec>,
+) -> Result<RunReport, SocError> {
+    if stages.is_empty() || cfg.tasks == 0 {
+        return Err(SocError::EmptySimulation);
+    }
+    let n = stages.len();
+    let mut edges: Vec<(usize, usize)> = deps.to_vec();
+    edges.sort_unstable();
+    edges.dedup();
+    for &(from, to) in &edges {
+        if from >= n || to >= n || from == to {
+            return Err(SocError::BadDag {
+                reason: format!("edge ({from}, {to}) is invalid for {n} stages"),
+            });
+        }
+    }
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for &(from, to) in &edges {
+        preds[to].push(from);
+        succs[from].push(to);
+    }
+    {
+        // Kahn pass purely for cycle detection.
+        let mut indeg: Vec<usize> = preds.iter().map(Vec::len).collect();
+        let mut queue: Vec<usize> = (0..n).filter(|&s| indeg[s] == 0).collect();
+        let mut seen = 0usize;
+        while let Some(s) = queue.pop() {
+            seen += 1;
+            for &t in &succs[s] {
+                indeg[t] -= 1;
+                if indeg[t] == 0 {
+                    queue.push(t);
+                }
+            }
+        }
+        if seen != n {
+            return Err(SocError::BadDag {
+                reason: "stage dependencies contain a cycle".into(),
+            });
+        }
+    }
+    let chain = edges.len() == n.saturating_sub(1)
+        && edges
+            .iter()
+            .enumerate()
+            .all(|(i, &(f, t))| f == i && t == i + 1);
+    if chain {
+        // The degenerate chain runs through the original engine verbatim.
+        return simulate_dynamic(soc, stages, cfg, policy, faults);
+    }
+
+    let pus: Vec<PuClass> = soc.schedulable_classes();
+    if pus.is_empty() {
+        return Err(SocError::EmptyDevice);
+    }
+    let total = (cfg.tasks + cfg.warmup) as usize;
+    let in_flight_cap = if cfg.buffers == 0 {
+        pus.len() + 1
+    } else {
+        cfg.buffers as usize
+    };
+    let mut noise = NoiseModel::new(cfg.noise_sigma, cfg.seed);
+
+    let sources: Vec<usize> = (0..n).filter(|&s| preds[s].is_empty()).collect();
+    // Stragglers are a per-task phenomenon; charge the factor on every
+    // stage but count the fault once, at the task's first source stage.
+    let straggle_stage = sources[0];
+    let pred_count: Vec<u32> = preds.iter().map(|p| p.len() as u32).collect();
+
+    // `ready` stays sorted by (task, stage): admissions append increasing
+    // task numbers and unblocked stages insert at their lexicographic slot,
+    // so FIFO dispatch remains deterministic.
+    let mut ready: std::collections::VecDeque<(usize, usize)> = std::collections::VecDeque::new();
+    let mut running: Vec<Option<Running>> = vec![None; pus.len()];
+    let mut doomed = vec![false; pus.len()];
+    let mut busy_since = vec![0.0f64; pus.len()];
+    let mut busy_spans: Vec<Vec<(f64, f64)>> = vec![Vec::new(); pus.len()];
+    let mut entry_time = vec![0.0f64; total];
+    let mut completions: Vec<(usize, f64, f64)> = Vec::with_capacity(total);
+    // Per-task DAG bookkeeping: outstanding predecessor counts per stage,
+    // stages left until the task is done, and a tombstone for killed tasks.
+    let mut waiting: Vec<Vec<u32>> = vec![pred_count.clone(); total];
+    let mut remaining: Vec<u32> = vec![n as u32; total];
+    let mut dead = vec![false; total];
+    let mut admitted = 0usize;
+    let mut completed = 0usize;
+    let mut dropped = 0usize;
+    let mut faults_fired = 0u32;
+    let mut in_flight = 0usize;
+    let mut heap: BinaryHeap<Completion> = BinaryHeap::new();
+    let mut now = 0.0f64;
+
+    let pu_specs: Vec<&PuSpec> = pus
+        .iter()
+        .map(|&c| soc.pu(c).expect("schedulable class present"))
+        .collect();
+    let loss: Vec<Option<f64>> = match faults {
+        Some(f) => pus.iter().map(|&c| f.loss_at(c)).collect(),
+        None => vec![None; pus.len()],
+    };
+    let isolated: Vec<Vec<f64>> = stages
+        .iter()
+        .map(|w| {
+            pu_specs
+                .iter()
+                .map(|pu| cost::latency_under(w, pu, soc, &[]).as_f64())
+                .collect()
+        })
+        .collect();
+    let demands: Vec<Vec<f64>> = stages
+        .iter()
+        .map(|w| pu_specs.iter().map(|pu| cost::bw_demand(w, pu)).collect())
+        .collect();
+    let mut co: Vec<ActiveKernel> = Vec::with_capacity(pus.len());
+
+    loop {
+        while admitted < total && in_flight < in_flight_cap {
+            entry_time[admitted] = now;
+            for &s in &sources {
+                ready.push_back((admitted, s));
+            }
+            admitted += 1;
+            in_flight += 1;
+        }
+
+        while let Some(&(task, stage)) = ready.front() {
+            if dead[task] {
+                // A sibling stage already killed this task.
+                ready.pop_front();
+                continue;
+            }
+            if faults.is_some_and(|f| {
+                matches!(
+                    f.stage_fault_any_chunk(task, stage),
+                    Some(StageFaultKind::Error)
+                )
+            }) {
+                ready.pop_front();
+                faults_fired += 1;
+                dropped += 1;
+                in_flight -= 1;
+                dead[task] = true;
+                continue;
+            }
+            let mut idle = (0..pus.len())
+                .filter(|&i| running[i].is_none() && !loss[i].is_some_and(|t| now >= t));
+            let pu_idx = match policy {
+                DynamicPolicy::Fifo => idle.next(),
+                DynamicPolicy::BestFit => {
+                    idle.min_by(|&a, &b| isolated[stage][a].total_cmp(&isolated[stage][b]))
+                }
+            };
+            let Some(pu_idx) = pu_idx else {
+                break;
+            };
+            ready.pop_front();
+            let pu = pu_specs[pu_idx];
+            co.clear();
+            co.extend(
+                running
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, r)| r.map(|r| ActiveKernel::new(pus[i], r.demand))),
+            );
+            let base = cost::latency_under(&stages[stage], pu, soc, &co).as_f64() * noise.factor()
+                + pu.sync_overhead_us();
+            let mut dt = base;
+            if let Some(spec) = faults {
+                let straggle = spec.straggler_factor_any_chunk(task);
+                if stage == straggle_stage && straggle != 1.0 {
+                    faults_fired += 1;
+                }
+                dt = base * spec.slowdown_factor(pus[pu_idx], now) * straggle;
+                if let Some(StageFaultKind::Timeout { extra_us }) =
+                    spec.stage_fault_any_chunk(task, stage)
+                {
+                    dt += extra_us;
+                    faults_fired += 1;
+                }
+            }
+            let mut end = now + dt;
+            if let Some(t_loss) = loss[pu_idx] {
+                if end > t_loss {
+                    end = t_loss;
+                    doomed[pu_idx] = true;
+                }
+            }
+            let demand = demands[stage][pu_idx];
+            running[pu_idx] = Some(Running {
+                task,
+                stage,
+                demand,
+            });
+            busy_since[pu_idx] = now;
+            heap.push(Completion { time: end, pu_idx });
+        }
+
+        if completed + dropped >= total {
+            break;
+        }
+        let Some(done) = heap.pop() else {
+            // No surviving PU can serve the remaining work. Every admitted
+            // task that is neither finished nor already tombstoned strands,
+            // along with everything not yet admitted.
+            let stranded = (0..admitted)
+                .filter(|&t| !dead[t] && remaining[t] > 0)
+                .count()
+                + (total - admitted);
+            debug_assert!(faults.is_some() || stranded == 0, "clean run stranded work");
+            dropped += stranded;
+            faults_fired += stranded as u32;
+            ready.clear();
+            break;
+        };
+        now = done.time;
+        let fin = running[done.pu_idx]
+            .take()
+            .expect("completion implies running");
+        busy_spans[done.pu_idx].push((busy_since[done.pu_idx], now));
+        if doomed[done.pu_idx] {
+            doomed[done.pu_idx] = false;
+            faults_fired += 1;
+            if !dead[fin.task] {
+                dead[fin.task] = true;
+                dropped += 1;
+                in_flight -= 1;
+            }
+        } else if !dead[fin.task] {
+            remaining[fin.task] -= 1;
+            for &succ in &succs[fin.stage] {
+                waiting[fin.task][succ] -= 1;
+                if waiting[fin.task][succ] == 0 {
+                    let pos = ready
+                        .iter()
+                        .position(|&e| e > (fin.task, succ))
+                        .unwrap_or(ready.len());
+                    ready.insert(pos, (fin.task, succ));
+                }
+            }
+            if remaining[fin.task] == 0 {
+                completions.push((fin.task, entry_time[fin.task], now));
+                completed += 1;
+                in_flight -= 1;
+            }
+        }
+        // Completions of stages belonging to a tombstoned task are
+        // discarded: the busy span is real, the result is not.
+    }
+
+    debug_assert_eq!(completed + dropped, total);
+    completions.sort_unstable_by_key(|&(task, _, _)| task);
+    let ordered: Vec<(f64, f64)> = completions.iter().map(|&(_, e, x)| (e, x)).collect();
+    let spans: Vec<&[(f64, f64)]> = busy_spans.iter().map(|s| s.as_slice()).collect();
+    let stats = steady_stats_from_completions(&ordered, cfg.warmup as usize, &spans);
+    Ok(RunReport {
+        submitted: total as u64,
+        completed: completed as u64,
+        dropped: dropped as u64,
+        faults_fired,
+        stats,
+        timeline: Vec::new(),
+        telemetry: None,
+        degraded: None,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -463,5 +751,175 @@ mod tests {
             simulate_dynamic(&soc, &stages(), &cfg, DynamicPolicy::BestFit, Some(&spec)).unwrap();
         assert_eq!(format!("{a:?}"), format!("{b:?}"));
         assert_eq!(a.dropped, 1);
+    }
+
+    // ------------------------- DAG-shaped stages -------------------------
+
+    /// Diamond: 0 forks into {1, 2}, which join at 3.
+    fn diamond_deps() -> Vec<(usize, usize)> {
+        vec![(0, 1), (0, 2), (1, 3), (2, 3)]
+    }
+
+    /// Branch 1 is GPU-friendly, branch 2 GPU-hostile: on a pixel 7a their
+    /// best-PU latencies are nearly equal (~240 us on Gpu vs BigCpu), so a
+    /// fork genuinely overlaps them on different silicon.
+    fn diamond_stages() -> Vec<WorkProfile> {
+        vec![
+            WorkProfile::new(1e6, 5e5),
+            WorkProfile::new(2e7, 4e6),
+            WorkProfile::new(3e6, 2e6)
+                .with_divergence(0.9)
+                .with_irregularity(0.8),
+            WorkProfile::new(1e6, 5e5),
+        ]
+    }
+
+    #[test]
+    fn chain_deps_delegate_bit_identically() {
+        let soc = devices::pixel_7a();
+        let cfg = RunConfig {
+            noise_sigma: 0.04,
+            seed: 9,
+            ..cfg()
+        };
+        let chain: Vec<(usize, usize)> = vec![(0, 1), (1, 2)];
+        for policy in [DynamicPolicy::Fifo, DynamicPolicy::BestFit] {
+            let direct = simulate_dynamic(&soc, &stages(), &cfg, policy, None).unwrap();
+            let via_dag =
+                simulate_dynamic_dag(&soc, &stages(), &chain, &cfg, policy, None).unwrap();
+            assert_eq!(format!("{direct:?}"), format!("{via_dag:?}"));
+        }
+    }
+
+    #[test]
+    fn malformed_deps_rejected() {
+        let soc = devices::pixel_7a();
+        let work = diamond_stages();
+        for bad in [
+            vec![(0usize, 9usize)],       // out of range
+            vec![(1, 1)],                 // self-loop
+            vec![(0, 1), (1, 2), (2, 1)], // cycle
+        ] {
+            let err = simulate_dynamic_dag(&soc, &work, &bad, &cfg(), DynamicPolicy::Fifo, None)
+                .unwrap_err();
+            assert!(matches!(err, SocError::BadDag { .. }), "got {err:?}");
+        }
+    }
+
+    #[test]
+    fn diamond_completes_and_is_deterministic() {
+        let soc = devices::pixel_7a();
+        let run = |_: ()| {
+            simulate_dynamic_dag(
+                &soc,
+                &diamond_stages(),
+                &diamond_deps(),
+                &cfg(),
+                DynamicPolicy::BestFit,
+                None,
+            )
+            .unwrap()
+        };
+        let a = run(());
+        let b = run(());
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        assert_eq!(a.dropped, 0);
+        assert_eq!(a.completed, a.submitted);
+        assert_eq!(a.expect_stats().tasks, 30);
+    }
+
+    #[test]
+    fn fork_shortens_a_single_task_versus_its_linearization() {
+        // With one task in the system the chain must serialize all four
+        // stages, while the diamond runs its two branches concurrently —
+        // interference makes each branch slower than isolated, but far
+        // less than 2x, so the critical path (and thus the makespan)
+        // strictly shrinks.
+        let soc = devices::pixel_7a();
+        let cfg = RunConfig {
+            tasks: 1,
+            warmup: 0,
+            noise_sigma: 0.0,
+            ..RunConfig::default()
+        };
+        let chain: Vec<(usize, usize)> = vec![(0, 1), (1, 2), (2, 3)];
+        let lin = simulate_dynamic_dag(
+            &soc,
+            &diamond_stages(),
+            &chain,
+            &cfg,
+            DynamicPolicy::BestFit,
+            None,
+        )
+        .unwrap();
+        let dag = simulate_dynamic_dag(
+            &soc,
+            &diamond_stages(),
+            &diamond_deps(),
+            &cfg,
+            DynamicPolicy::BestFit,
+            None,
+        )
+        .unwrap();
+        let (lin_mk, dag_mk) = (
+            lin.expect_stats().makespan.as_f64(),
+            dag.expect_stats().makespan.as_f64(),
+        );
+        assert!(
+            dag_mk < lin_mk,
+            "diamond {dag_mk} must beat its linearization {lin_mk}"
+        );
+    }
+
+    #[test]
+    fn stage_error_kills_the_whole_task_with_conservation() {
+        let soc = devices::pixel_7a();
+        let spec = FaultSpec {
+            stage_faults: vec![StageFault {
+                chunk: 0,
+                task: 6,
+                stage: 2, // one branch of the fork
+                kind: StageFaultKind::Error,
+            }],
+            ..FaultSpec::default()
+        };
+        let r = simulate_dynamic_dag(
+            &soc,
+            &diamond_stages(),
+            &diamond_deps(),
+            &cfg(),
+            DynamicPolicy::Fifo,
+            Some(&spec),
+        )
+        .unwrap();
+        assert_eq!(r.dropped, 1, "exactly the faulted task dies");
+        assert_eq!(r.completed + r.dropped, r.submitted);
+        assert!(r.faults_fired >= 1);
+    }
+
+    #[test]
+    fn losing_every_pu_strands_dag_work() {
+        let soc = devices::pixel_7a();
+        let losses = soc
+            .schedulable_classes()
+            .into_iter()
+            .map(|class| PuLoss { class, at_us: 0.0 })
+            .collect();
+        let spec = FaultSpec {
+            losses,
+            ..FaultSpec::default()
+        };
+        let r = simulate_dynamic_dag(
+            &soc,
+            &diamond_stages(),
+            &diamond_deps(),
+            &cfg(),
+            DynamicPolicy::Fifo,
+            Some(&spec),
+        )
+        .unwrap();
+        assert_eq!(r.completed, 0);
+        assert_eq!(r.dropped, r.submitted);
+        assert!(r.is_degraded());
     }
 }

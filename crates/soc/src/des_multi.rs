@@ -34,6 +34,11 @@ use crate::{ActiveKernel, NoiseModel, PuSpec, SocError, SocSpec};
 /// `noise_sigma`, and `record_timeline` per tenant; telemetry collection
 /// is not supported in multi-tenant runs (the per-tenant reports carry
 /// `telemetry: None`).
+///
+/// By default the chunks form a linear pipeline in vector order. A
+/// tenant whose chunks form a fork/join DAG instead declares its edges
+/// with [`TenantSpec::with_edges`]; sibling branches then genuinely
+/// overlap in time (and in every co-runner's interference busy-set).
 #[derive(Debug, Clone)]
 pub struct TenantSpec {
     /// Display name of the tenant (application identifier).
@@ -42,15 +47,127 @@ pub struct TenantSpec {
     pub chunks: Vec<ChunkSpec>,
     /// The tenant's run configuration.
     pub cfg: RunConfig,
+    /// Dataflow edges `(from, to)` over local chunk indices. `None` (the
+    /// default) means the linear chain `0 → 1 → … → n-1`. When set, the
+    /// edges must form an acyclic graph with a unique source and a unique
+    /// sink; chain-shaped edge sets behave identically to `None`.
+    pub edges: Option<Vec<(usize, usize)>>,
 }
 
 impl TenantSpec {
-    /// Convenience constructor.
+    /// Convenience constructor for a linear-chain tenant.
     pub fn new(name: impl Into<String>, chunks: Vec<ChunkSpec>, cfg: RunConfig) -> TenantSpec {
         TenantSpec {
             name: name.into(),
             chunks,
             cfg,
+            edges: None,
+        }
+    }
+
+    /// Declares explicit dataflow edges over this tenant's chunks,
+    /// turning it into a fork/join DAG pipeline.
+    #[must_use]
+    pub fn with_edges(mut self, edges: Vec<(usize, usize)>) -> TenantSpec {
+        self.edges = Some(edges);
+        self
+    }
+}
+
+/// Per-tenant routing structure derived from its (optional) edge set.
+#[derive(Debug)]
+struct TenantShape {
+    /// True when the tenant needs DAG routing; chain-shaped tenants
+    /// (explicit or implicit) take the original linear path verbatim.
+    dag: bool,
+    /// Local successor lists per chunk.
+    nexts: Vec<Vec<usize>>,
+    /// Number of predecessors per chunk (join fan-in).
+    required: Vec<u32>,
+    /// Local index of the unique source chunk (admission point).
+    source: usize,
+}
+
+impl TenantShape {
+    fn derive(t: &TenantSpec) -> Result<TenantShape, SocError> {
+        let n = t.chunks.len();
+        let Some(raw) = &t.edges else {
+            return Ok(TenantShape::chain(n));
+        };
+        let mut edges = raw.clone();
+        edges.sort_unstable();
+        edges.dedup();
+        for &(from, to) in &edges {
+            if from >= n || to >= n || from == to {
+                return Err(SocError::BadDag {
+                    reason: format!(
+                        "tenant '{}': edge ({from}, {to}) is invalid for {n} chunks",
+                        t.name
+                    ),
+                });
+            }
+        }
+        let mut nexts: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut required: Vec<u32> = vec![0; n];
+        for &(from, to) in &edges {
+            nexts[from].push(to);
+            required[to] += 1;
+        }
+        // Kahn pass for acyclicity.
+        let mut indeg = required.clone();
+        let mut queue: Vec<usize> = (0..n).filter(|&c| indeg[c] == 0).collect();
+        let mut seen = 0usize;
+        while let Some(c) = queue.pop() {
+            seen += 1;
+            for &d in &nexts[c] {
+                indeg[d] -= 1;
+                if indeg[d] == 0 {
+                    queue.push(d);
+                }
+            }
+        }
+        if seen != n {
+            return Err(SocError::BadDag {
+                reason: format!("tenant '{}': chunk edges contain a cycle", t.name),
+            });
+        }
+        let sources: Vec<usize> = (0..n).filter(|&c| required[c] == 0).collect();
+        let sinks: Vec<usize> = (0..n).filter(|&c| nexts[c].is_empty()).collect();
+        let (&[source], &[_]) = (sources.as_slice(), sinks.as_slice()) else {
+            return Err(SocError::BadDag {
+                reason: format!(
+                    "tenant '{}': needs exactly one source and one sink chunk \
+                     (got {} and {})",
+                    t.name,
+                    sources.len(),
+                    sinks.len()
+                ),
+            });
+        };
+        let chain_shaped = edges.len() == n.saturating_sub(1)
+            && edges
+                .iter()
+                .enumerate()
+                .all(|(i, &(f, to))| f == i && to == i + 1);
+        if chain_shaped {
+            return Ok(TenantShape::chain(n));
+        }
+        Ok(TenantShape {
+            dag: true,
+            nexts,
+            required,
+            source,
+        })
+    }
+
+    fn chain(n: usize) -> TenantShape {
+        TenantShape {
+            dag: false,
+            nexts: (0..n)
+                .map(|c| if c + 1 < n { vec![c + 1] } else { Vec::new() })
+                .collect(),
+            required: (0..n).map(|c| u32::from(c > 0)).collect(),
+            source: 0,
         }
     }
 }
@@ -97,6 +214,9 @@ struct ChunkState {
     busy: Option<InFlight>,
     busy_since: f64,
     busy_spans: Vec<(f64, f64)>,
+    /// Join fan-in bookkeeping (DAG tenants only): arrivals so far per
+    /// task; a task enters `input` once every predecessor has delivered.
+    pending: std::collections::HashMap<usize, u32>,
 }
 
 #[derive(Debug)]
@@ -115,6 +235,13 @@ struct TenantState {
     recycled: bool,
     timeline: Vec<TimelineSpan>,
     collect_timeline: bool,
+    /// True when this tenant routes through the DAG paths; chain tenants
+    /// run the original linear code verbatim.
+    dag: bool,
+    /// Tombstoned tasks of a DAG tenant: killed (and counted dropped) at
+    /// their death site, but still flowing onward at zero cost so joins
+    /// never starve waiting for a dead sibling branch.
+    dead: std::collections::HashSet<usize>,
 }
 
 /// The forest engine: the single-tenant event loop of `des.rs`
@@ -134,6 +261,11 @@ struct Engine<'a> {
     loss: Vec<Option<f64>>,
     states: Vec<ChunkState>,
     doomed: Vec<bool>,
+    /// Global successor lists (DAG tenants; chain tenants route through
+    /// `ChunkMeta::next` exactly as before).
+    nexts: Vec<Vec<usize>>,
+    /// Predecessor counts per global chunk (join fan-in; DAG tenants).
+    required: Vec<u32>,
     /// Completion time per chunk; `INFINITY` marks an idle chunk (the
     /// fixed-slot event set of `des.rs`, argmin with strict `<`).
     next_done: Vec<f64>,
@@ -179,6 +311,67 @@ impl Engine<'_> {
         let since = self.states[c].busy_since;
         self.states[c].busy_spans.push((since, now));
         self.states[c].busy = None;
+    }
+
+    /// DAG tenants only: a task token (live or tombstoned) leaves chunk
+    /// `c` — deliver it to every successor, or complete/recycle at the
+    /// sink. Join successors admit the task once all predecessors have
+    /// delivered; arrivals at any chunk are monotone in task order (each
+    /// branch serves in order, and a max of monotone arrival times is
+    /// monotone), so sorted insertion keeps service deterministic.
+    fn forward_dag(&mut self, c: usize, task: usize, now: f64) {
+        let tenant = self.meta[c].tenant;
+        let head = self.meta[c].head;
+        if self.nexts[c].is_empty() {
+            // Sink. Tombstoned tasks were counted dropped at their death
+            // site; either way the object returns to the head pool.
+            if !self.tenants[tenant].dead.remove(&task) {
+                let entry = self.tenants[tenant].entry_time[task];
+                self.tenants[tenant].completions.push((entry, now));
+                self.tenants[tenant].completed += 1;
+                self.remaining -= 1;
+                self.last_completion = self.last_completion.max(now);
+            }
+            self.states[head].input.push_back(usize::MAX);
+            self.pump(head, now);
+            return;
+        }
+        for i in 0..self.nexts[c].len() {
+            let next = self.nexts[c][i];
+            let ready = if self.required[next] <= 1 {
+                true
+            } else {
+                let cnt = self.states[next].pending.entry(task).or_insert(0);
+                *cnt += 1;
+                if *cnt == self.required[next] {
+                    self.states[next].pending.remove(&task);
+                    true
+                } else {
+                    false
+                }
+            };
+            if ready {
+                let pos = self.states[next]
+                    .input
+                    .iter()
+                    .position(|&t| t > task)
+                    .unwrap_or(self.states[next].input.len());
+                self.states[next].input.insert(pos, task);
+                self.pump(next, now);
+            }
+        }
+    }
+
+    /// DAG tenants only: kill `task` at chunk `c` — count the drop once
+    /// and tombstone it so the token still flows through forks and joins
+    /// at zero cost.
+    fn kill_and_forward(&mut self, c: usize, task: usize, now: f64) {
+        let tenant = self.meta[c].tenant;
+        if self.tenants[tenant].dead.insert(task) {
+            self.tenants[tenant].dropped += 1;
+            self.remaining -= 1;
+        }
+        self.forward_dag(c, task, now);
     }
 
     /// The task's fault at global chunk `c`, if a spec is active. Fault
@@ -291,14 +484,28 @@ impl Engine<'_> {
                     None => return,
                 }
             };
+            // Tombstones of a DAG tenant flow onward at zero cost: no
+            // service, no faults, just routing.
+            if !is_head && self.tenants[tenant].dag && self.tenants[tenant].dead.contains(&task) {
+                self.forward_dag(c, task, now);
+                continue;
+            }
             if !is_head && self.lost(c, now) {
                 self.tenants[tenant].faults_fired += 1;
-                self.drop_and_recycle(c);
+                if self.tenants[tenant].dag {
+                    self.kill_and_forward(c, task, now);
+                } else {
+                    self.drop_and_recycle(c);
+                }
                 continue;
             }
             if matches!(self.stage_fault(c, task, 0), Some(StageFaultKind::Error)) {
-                let head = self.meta[c].head;
                 self.tenants[tenant].faults_fired += 1;
+                if self.tenants[tenant].dag {
+                    self.kill_and_forward(c, task, now);
+                    continue;
+                }
+                let head = self.meta[c].head;
                 self.tenants[tenant].dropped += 1;
                 self.remaining -= 1;
                 self.states[head].input.push_back(usize::MAX);
@@ -344,7 +551,11 @@ impl Engine<'_> {
                 self.doomed[c] = false;
                 self.finish_span(c, now);
                 self.tenants[tenant].faults_fired += 1;
-                self.drop_and_recycle(c);
+                if self.tenants[tenant].dag {
+                    self.kill_and_forward(c, inflight.task, now);
+                } else {
+                    self.drop_and_recycle(c);
+                }
                 self.pump(c, now); // drains the queued input as drops
                 self.flush_recycled(tenant, head, now);
                 continue;
@@ -357,7 +568,11 @@ impl Engine<'_> {
                 ) {
                     self.tenants[tenant].faults_fired += 1;
                     self.finish_span(c, now);
-                    self.drop_and_recycle(c);
+                    if self.tenants[tenant].dag {
+                        self.kill_and_forward(c, inflight.task, now);
+                    } else {
+                        self.drop_and_recycle(c);
+                    }
                     self.pump(c, now);
                     self.flush_recycled(tenant, head, now);
                 } else {
@@ -370,19 +585,23 @@ impl Engine<'_> {
             // Chunk finished its last stage for this task.
             self.finish_span(c, now);
             let task = inflight.task;
-            match self.meta[c].next {
-                None => {
-                    let entry = self.tenants[tenant].entry_time[task];
-                    self.tenants[tenant].completions.push((entry, now));
-                    self.tenants[tenant].completed += 1;
-                    self.remaining -= 1;
-                    self.last_completion = self.last_completion.max(now);
-                    self.states[head].input.push_back(usize::MAX);
-                    self.pump(head, now);
-                }
-                Some(next) => {
-                    self.states[next].input.push_back(task);
-                    self.pump(next, now);
+            if self.tenants[tenant].dag {
+                self.forward_dag(c, task, now);
+            } else {
+                match self.meta[c].next {
+                    None => {
+                        let entry = self.tenants[tenant].entry_time[task];
+                        self.tenants[tenant].completions.push((entry, now));
+                        self.tenants[tenant].completed += 1;
+                        self.remaining -= 1;
+                        self.last_completion = self.last_completion.max(now);
+                        self.states[head].input.push_back(usize::MAX);
+                        self.pump(head, now);
+                    }
+                    Some(next) => {
+                        self.states[next].input.push_back(task);
+                        self.pump(next, now);
+                    }
                 }
             }
             self.pump(c, now);
@@ -411,7 +630,8 @@ impl Engine<'_> {
 /// Returns [`SocError::EmptySimulation`] if `tenants` is empty or any
 /// tenant has no chunks, a stageless chunk, or `cfg.tasks == 0`;
 /// [`SocError::MissingPu`] if any chunk names a PU class the device
-/// lacks.
+/// lacks; [`SocError::BadDag`] if a tenant's explicit edge set is
+/// malformed (out of range, cyclic, or without a unique source/sink).
 pub fn simulate_multi(
     soc: &SocSpec,
     tenants: &[TenantSpec],
@@ -434,8 +654,14 @@ pub fn simulate_multi(
     let mut meta: Vec<ChunkMeta> = Vec::new();
     let mut tenant_states: Vec<TenantState> = Vec::with_capacity(tenants.len());
     let mut states: Vec<ChunkState> = Vec::new();
+    let mut nexts: Vec<Vec<usize>> = Vec::new();
+    let mut required: Vec<u32> = Vec::new();
     for (ti, t) in tenants.iter().enumerate() {
-        let head = chunks.len();
+        let shape = TenantShape::derive(t)?;
+        let base = chunks.len();
+        // The "head" is the admission point: local chunk 0 for chains,
+        // the unique source for DAG tenants.
+        let head = base + shape.source;
         let n = t.chunks.len();
         let total = (t.cfg.tasks + t.cfg.warmup) as usize;
         let buffers = if t.cfg.buffers == 0 {
@@ -449,11 +675,13 @@ pub fn simulate_multi(
             meta.push(ChunkMeta {
                 tenant: ti,
                 local: li,
-                next: (li + 1 < n).then_some(g + 1),
+                next: (!shape.dag && li + 1 < n).then_some(g + 1),
                 head,
             });
+            nexts.push(shape.nexts[li].iter().map(|&d| base + d).collect());
+            required.push(shape.required[li]);
             let mut input = VecDeque::with_capacity(buffers);
-            if li == 0 {
+            if g == head {
                 // All task objects begin recycled at the tenant's head.
                 for _ in 0..buffers {
                     input.push_back(usize::MAX);
@@ -464,6 +692,7 @@ pub fn simulate_multi(
                 busy: None,
                 busy_since: 0.0,
                 busy_spans: Vec::with_capacity(total),
+                pending: std::collections::HashMap::new(),
             });
         }
         tenant_states.push(TenantState {
@@ -479,6 +708,8 @@ pub fn simulate_multi(
             recycled: false,
             timeline: Vec::new(),
             collect_timeline: t.cfg.record_timeline,
+            dag: shape.dag,
+            dead: std::collections::HashSet::new(),
         });
     }
 
@@ -523,6 +754,8 @@ pub fn simulate_multi(
         chunks,
         states,
         doomed: vec![false; n_chunks],
+        nexts,
+        required,
         next_done: vec![f64::INFINITY; n_chunks],
         tenants: tenant_states,
         scratch: Vec::with_capacity(n_chunks.saturating_sub(1)),
@@ -816,6 +1049,187 @@ mod tests {
         for t in &r.tenants {
             assert_eq!(t.completed + t.dropped, t.submitted);
         }
+    }
+
+    // ------------------------- DAG tenants -------------------------
+
+    /// Diamond over four chunks: 0 forks into {1, 2}, joining at 3.
+    /// Branch 1 is GPU-friendly and branch 2 GPU-hostile so they prefer
+    /// different silicon.
+    fn diamond_chunks() -> Vec<ChunkSpec> {
+        vec![
+            ChunkSpec::new(PuClass::LittleCpu, vec![WorkProfile::new(1e6, 5e5)]),
+            ChunkSpec::new(PuClass::Gpu, vec![WorkProfile::new(2e7, 4e6)]),
+            ChunkSpec::new(
+                PuClass::BigCpu,
+                vec![WorkProfile::new(3e6, 2e6)
+                    .with_divergence(0.9)
+                    .with_irregularity(0.8)],
+            ),
+            ChunkSpec::new(PuClass::MediumCpu, vec![WorkProfile::new(1e6, 5e5)]),
+        ]
+    }
+
+    fn diamond_edges() -> Vec<(usize, usize)> {
+        vec![(0, 1), (0, 2), (1, 3), (2, 3)]
+    }
+
+    #[test]
+    fn chain_edges_behave_like_no_edges() {
+        let soc = devices::pixel_7a();
+        let run = RunConfig {
+            noise_sigma: 0.02,
+            record_timeline: true,
+            ..cfg(17)
+        };
+        let implicit =
+            simulate_multi(&soc, &[TenantSpec::new("t", chain_a(), run.clone())], None).unwrap();
+        let explicit = simulate_multi(
+            &soc,
+            &[TenantSpec::new("t", chain_a(), run.clone()).with_edges(vec![(0, 1)])],
+            None,
+        )
+        .unwrap();
+        assert_eq!(format!("{implicit:?}"), format!("{explicit:?}"));
+    }
+
+    #[test]
+    fn malformed_tenant_edges_rejected() {
+        let soc = devices::pixel_7a();
+        for bad in [
+            vec![(0usize, 9usize)],       // out of range
+            vec![(1, 1)],                 // self-loop
+            vec![(0, 1), (1, 2), (2, 0)], // cycle
+            vec![(0, 3), (1, 3), (2, 3)], // three sources
+        ] {
+            let t = TenantSpec::new("bad", diamond_chunks(), cfg(1)).with_edges(bad);
+            let err = simulate_multi(&soc, &[t], None).unwrap_err();
+            assert!(matches!(err, SocError::BadDag { .. }), "got {err:?}");
+        }
+    }
+
+    #[test]
+    fn dag_tenant_completes_and_replays_deterministically() {
+        let soc = devices::pixel_7a();
+        let t = TenantSpec::new("diamond", diamond_chunks(), cfg(23)).with_edges(diamond_edges());
+        let x = simulate_multi(&soc, std::slice::from_ref(&t), None).unwrap();
+        let y = simulate_multi(&soc, std::slice::from_ref(&t), None).unwrap();
+        assert_eq!(format!("{x:?}"), format!("{y:?}"));
+        let r = &x.tenants[0];
+        assert_eq!(r.completed, r.submitted);
+        assert_eq!(r.dropped, 0);
+        assert!(r.expect_stats().makespan.as_f64() > 0.0);
+    }
+
+    #[test]
+    fn fork_beats_its_linearization_on_critical_path() {
+        // One object in flight (buffers: 1) makes the makespan a pure
+        // critical-path measure: the chain serializes both branches,
+        // the fork overlaps them on different PUs.
+        let soc = devices::pixel_7a();
+        let run = RunConfig {
+            noise_sigma: 0.0,
+            buffers: 1,
+            ..cfg(1)
+        };
+        let lin = simulate_multi(
+            &soc,
+            &[TenantSpec::new("lin", diamond_chunks(), run.clone())],
+            None,
+        )
+        .unwrap();
+        let dag = simulate_multi(
+            &soc,
+            &[TenantSpec::new("dag", diamond_chunks(), run.clone()).with_edges(diamond_edges())],
+            None,
+        )
+        .unwrap();
+        assert!(
+            dag.makespan_us < lin.makespan_us,
+            "fork {} must beat chain {}",
+            dag.makespan_us,
+            lin.makespan_us
+        );
+    }
+
+    #[test]
+    fn dag_branches_interfere_with_co_tenants() {
+        // The forked tenant's sibling branches occupy two PUs at once, so
+        // a co-runner sees more interference than next to the chain
+        // version of the same tenant.
+        let soc = devices::pixel_7a();
+        let run = RunConfig {
+            noise_sigma: 0.0,
+            ..cfg(2)
+        };
+        let victim = || TenantSpec::new("victim", chain_b(), run.clone());
+        let next_to_chain = simulate_multi(
+            &soc,
+            &[
+                TenantSpec::new("t", diamond_chunks(), run.clone()),
+                victim(),
+            ],
+            None,
+        )
+        .unwrap();
+        let next_to_dag = simulate_multi(
+            &soc,
+            &[
+                TenantSpec::new("t", diamond_chunks(), run.clone()).with_edges(diamond_edges()),
+                victim(),
+            ],
+            None,
+        )
+        .unwrap();
+        let chain_tpt = next_to_chain.tenants[1]
+            .expect_stats()
+            .time_per_task
+            .as_f64();
+        let dag_tpt = next_to_dag.tenants[1].expect_stats().time_per_task.as_f64();
+        assert!(
+            dag_tpt > chain_tpt * 0.99,
+            "branch concurrency should not make the co-runner faster: {dag_tpt} vs {chain_tpt}"
+        );
+    }
+
+    #[test]
+    fn branch_error_tombstones_through_the_join() {
+        let soc = devices::pixel_7a();
+        // Error on the GPU branch (global chunk 1) for task 4: the task
+        // dies there, its sibling token still crosses the join, and the
+        // object recycles — conservation holds.
+        let spec = FaultSpec {
+            stage_faults: vec![StageFault {
+                chunk: 1,
+                task: 4,
+                stage: 0,
+                kind: StageFaultKind::Error,
+            }],
+            ..FaultSpec::default()
+        };
+        let t = TenantSpec::new("diamond", diamond_chunks(), cfg(9)).with_edges(diamond_edges());
+        let r = simulate_multi(&soc, &[t], Some(&spec)).unwrap();
+        let rep = &r.tenants[0];
+        assert_eq!(rep.dropped, 1);
+        assert_eq!(rep.completed + rep.dropped, rep.submitted);
+        assert!(rep.faults_fired >= 1);
+    }
+
+    #[test]
+    fn dag_branch_pu_loss_drains_with_conservation() {
+        let soc = devices::pixel_7a();
+        let spec = FaultSpec {
+            losses: vec![PuLoss {
+                class: PuClass::Gpu,
+                at_us: 500.0,
+            }],
+            ..FaultSpec::default()
+        };
+        let t = TenantSpec::new("diamond", diamond_chunks(), cfg(13)).with_edges(diamond_edges());
+        let r = simulate_multi(&soc, &[t], Some(&spec)).unwrap();
+        let rep = &r.tenants[0];
+        assert_eq!(rep.completed + rep.dropped, rep.submitted);
+        assert!(rep.dropped > 0, "losing a branch PU must drop work");
     }
 
     #[test]

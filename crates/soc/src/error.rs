@@ -20,6 +20,12 @@ pub enum SocError {
     },
     /// A simulation was configured with no chunks or no tasks.
     EmptySimulation,
+    /// A DAG pipeline specification is structurally invalid (cyclic,
+    /// disconnected join, malformed replica group, …).
+    BadDag {
+        /// Human-readable description of the structural violation.
+        reason: String,
+    },
 }
 
 impl fmt::Display for SocError {
@@ -37,6 +43,9 @@ impl fmt::Display for SocError {
             }
             SocError::EmptySimulation => {
                 write!(f, "simulation requires at least one chunk and one task")
+            }
+            SocError::BadDag { reason } => {
+                write!(f, "invalid DAG pipeline: {reason}")
             }
         }
     }

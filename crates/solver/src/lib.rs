@@ -14,6 +14,10 @@
 //! - [`enumerate`] — an exact enumerator of the contiguous-partition
 //!   schedule space, used both as BT-Optimizer's fast path and as the
 //!   oracle the SAT path is property-tested against.
+//! - [`dag`] — the fork/join generalization: contiguity becomes
+//!   path-convexity, chunk graphs must stay acyclic, windows and the
+//!   chunk cap are enforced lazily (CEGAR), and a bottleneck stage may be
+//!   replicated across an exclusive class pair at half per-replica load.
 //!
 //! # Example
 //!
@@ -35,11 +39,13 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod dag;
 pub mod enumerate;
 mod lit;
 mod schedule;
 mod solver;
 
+pub use dag::{DagChunk, DagError, DagEval, DagProblem, ReplicatedPlan, StageDag, REPLICA};
 pub use lit::{Lit, Var};
 pub use schedule::{Assignment, LatencyEnumerator, ProblemError, ScheduleProblem};
 pub use solver::{Model, SolveResult, Solver};

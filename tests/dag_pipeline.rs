@@ -1,0 +1,160 @@
+//! End-to-end tests of the fork/join schedule path: chain apps stay
+//! bit-identical through the DAG engine, and on the branching perception
+//! workload the DAG-aware schedule beats the best linearized one — with
+//! replication of the measured bottleneck beating the best non-replicated
+//! schedule.
+
+use bettertogether::core::{optimize, optimize_dag, optimize_replicated, OptimizerConfig};
+use bettertogether::kernels::{apps, AppModel};
+use bettertogether::pipeline::{simulate_dag_schedule, simulate_schedule, DagSchedule, Schedule};
+use bettertogether::profiler::{profile, ProfileMode, ProfilerConfig, ProfilingTable};
+use bettertogether::soc::{devices, RunConfig, SocSpec};
+
+fn perception() -> AppModel {
+    apps::perception_app(apps::PerceptionConfig::default()).model()
+}
+
+fn interference_table(soc: &SocSpec, app: &AppModel) -> ProfilingTable {
+    profile(
+        soc,
+        app,
+        ProfileMode::InterferenceHeavy,
+        &ProfilerConfig::default(),
+    )
+}
+
+fn noiseless() -> RunConfig {
+    RunConfig {
+        noise_sigma: 0.0,
+        ..RunConfig::default()
+    }
+}
+
+#[test]
+fn chain_apps_are_bit_identical_through_dag_engine() {
+    use bettertogether::soc::PuClass::*;
+    let app = apps::octree_app(apps::OctreeConfig::default()).model();
+    let soc = devices::pixel_7a();
+    // Noisy config with a timeline: every field of the report must agree.
+    let cfg = RunConfig {
+        noise_sigma: 0.05,
+        seed: 11,
+        record_timeline: true,
+        ..RunConfig::default()
+    };
+    let linear = Schedule::new(vec![BigCpu, BigCpu, MediumCpu, Gpu, Gpu, Gpu, LittleCpu]).unwrap();
+    let dag = DagSchedule::from_schedule(&linear);
+    let a = simulate_schedule(&soc, &app, &linear, &cfg, None).unwrap();
+    let b = simulate_dag_schedule(&soc, &app, &dag, &cfg, None).unwrap();
+    assert_eq!(format!("{a:?}"), format!("{b:?}"));
+}
+
+#[test]
+fn dag_aware_schedule_beats_best_linearized_in_des() {
+    let soc = devices::pixel_7a();
+    let app = perception();
+    let table = interference_table(&soc, &app);
+    let cfg = OptimizerConfig {
+        candidates: 10,
+        ..OptimizerConfig::with_threshold(0.0)
+    };
+    // One task in flight: per-task latency is then the critical path,
+    // which is what branch overlap shortens (deep pools are
+    // backpressure-bound, pinning latency to pool / throughput).
+    let run = RunConfig {
+        buffers: 1,
+        ..noiseless()
+    };
+
+    let graph = app.task_graph();
+    let dag_best = optimize_dag(&soc, &table, &graph, &cfg)
+        .unwrap()
+        .iter()
+        .map(|c| {
+            simulate_dag_schedule(&soc, &app, &c.schedule, &run, None)
+                .unwrap()
+                .expect_stats()
+                .mean_task_latency
+                .as_f64()
+        })
+        .fold(f64::INFINITY, f64::min);
+
+    // The linearized arm: the same stages forced into their chain order,
+    // best schedule from the contiguous-partition optimizer.
+    let linear_best = optimize(&soc, &table, &cfg)
+        .unwrap()
+        .iter()
+        .map(|c| {
+            simulate_schedule(&soc, &app, &c.schedule, &run, None)
+                .unwrap()
+                .expect_stats()
+                .mean_task_latency
+                .as_f64()
+        })
+        .fold(f64::INFINITY, f64::min);
+
+    println!("dag best {dag_best:.1} us, linearized best {linear_best:.1} us");
+    assert!(
+        dag_best < linear_best,
+        "DAG-aware schedule must beat the best linearized one: {dag_best} vs {linear_best}"
+    );
+}
+
+#[test]
+fn replicating_the_measured_bottleneck_beats_best_nonreplicated() {
+    let soc = devices::pixel_7a();
+    let app = perception();
+    let table = interference_table(&soc, &app);
+    let cfg = OptimizerConfig {
+        candidates: 10,
+        ..OptimizerConfig::with_threshold(0.0)
+    };
+    let run = noiseless();
+    let graph = app.task_graph();
+    let candidates = optimize_dag(&soc, &table, &graph, &cfg).unwrap();
+
+    // Autotune the non-replicated arm: measured-best steady-state rate.
+    let tpt = |s: &DagSchedule| {
+        simulate_dag_schedule(&soc, &app, s, &run, None)
+            .unwrap()
+            .expect_stats()
+            .time_per_task
+            .as_f64()
+    };
+    let (best_plain, plain_tpt) = candidates
+        .iter()
+        .map(|c| (c, tpt(&c.schedule)))
+        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .unwrap();
+
+    // The *measured* bottleneck of that schedule: the heaviest stage of
+    // its slowest chunk, by the chunk's own class latency.
+    let bottleneck_chunk = best_plain
+        .chunk_sums
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .unwrap()
+        .0;
+    let chunk = &best_plain.schedule.chunks()[bottleneck_chunk];
+    let bottleneck_stage = chunk
+        .stages
+        .iter()
+        .copied()
+        .max_by(|&a, &b| {
+            let lat = |s: usize| table.latency(s, chunk.pu).unwrap().as_f64();
+            lat(a).partial_cmp(&lat(b)).unwrap()
+        })
+        .unwrap();
+
+    let rep = optimize_replicated(&soc, &table, &graph, bottleneck_stage).unwrap();
+    let rep_tpt = tpt(&rep.schedule);
+    println!(
+        "replicated stage {bottleneck_stage}: {rep_tpt:.1} us/task vs best plain {plain_tpt:.1}"
+    );
+    assert!(
+        rep_tpt < plain_tpt,
+        "replicating the bottleneck must beat the best non-replicated schedule: \
+         {rep_tpt} vs {plain_tpt}"
+    );
+}
