@@ -17,11 +17,11 @@
 use bt_kernels::{AppModel, Application};
 use bt_pipeline::{
     run_host, run_host_dag, simulate_baseline, simulate_dag_schedule, simulate_schedule,
-    to_chunk_specs, DagSchedule, Measurement, PuThreads, Schedule,
+    simulate_schedule_batch, to_chunk_specs, DagSchedule, Measurement, PuThreads, Schedule,
 };
 use bt_profiler::host::{profile_host, HostClasses, HostProfilerConfig};
 use bt_profiler::{profile, ProfileMode, ProfilerConfig, ProfilingTable};
-use bt_soc::{simulate_multi, FaultSpec, PuClass, RunConfig, SocSpec, TenantSpec};
+use bt_soc::{simulate_multi, DesSeedSpec, FaultSpec, PuClass, RunConfig, SocSpec, TenantSpec};
 
 use crate::BtError;
 
@@ -109,6 +109,30 @@ pub trait ExecutionBackend: Sync {
     /// Returns [`BtError`] when the substrate rejects the schedule
     /// (stage mismatch, missing PU, failed run).
     fn measure(&self, schedule: &Schedule, run_index: u64) -> Result<Measurement, BtError>;
+
+    /// Executes `schedule` once per entry of `run_indices` and reports the
+    /// measurements in input order — the sweep-scale counterpart of
+    /// [`measure`](ExecutionBackend::measure). Each element must equal
+    /// what `measure(schedule, run_indices[i])` would return.
+    ///
+    /// The default implementation is that serial loop. Backends with a
+    /// genuinely batched substrate (the simulator's structure-of-arrays
+    /// engine) override it to price all runs in one pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BtError`] when the substrate rejects the schedule or any
+    /// run degrades; the whole batch fails as a unit.
+    fn measure_batch(
+        &self,
+        schedule: &Schedule,
+        run_indices: &[u64],
+    ) -> Result<Vec<Measurement>, BtError> {
+        run_indices
+            .iter()
+            .map(|&i| self.measure(schedule, i))
+            .collect()
+    }
 
     /// Executes a fork/join `schedule` and reports its steady-state
     /// measurement — the DAG counterpart of
@@ -298,6 +322,41 @@ impl ExecutionBackend for SimBackend {
             completed,
             dropped,
         })
+    }
+
+    fn measure_batch(
+        &self,
+        schedule: &Schedule,
+        run_indices: &[u64],
+    ) -> Result<Vec<Measurement>, BtError> {
+        if run_indices.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Same seed/fault derivation as `measure`, one lane per run index:
+        // the batched engine guarantees per-lane bit-identity to the
+        // scalar path, so this override is observationally equal to the
+        // default loop — just priced in one structure-of-arrays pass.
+        let faults = (!self.faults.is_empty()).then(|| self.faults.clone());
+        let lanes: Vec<DesSeedSpec> = run_indices
+            .iter()
+            .map(|&i| DesSeedSpec {
+                seed: self.run.seed.wrapping_add(i),
+                faults: faults.clone(),
+            })
+            .collect();
+        let reports = simulate_schedule_batch(&self.soc, &self.app, schedule, &self.run, &lanes)?;
+        reports
+            .into_iter()
+            .map(|report| {
+                let (submitted, completed, dropped) =
+                    (report.submitted, report.completed, report.dropped);
+                Measurement::from_run(report).ok_or(BtError::RunDegraded {
+                    submitted,
+                    completed,
+                    dropped,
+                })
+            })
+            .collect()
     }
 
     fn measure_dag(&self, schedule: &DagSchedule, run_index: u64) -> Result<Measurement, BtError> {
@@ -517,6 +576,45 @@ mod tests {
         let a1 = b.measure(&s, 1).unwrap();
         assert_eq!(a0.latency.as_f64(), a0_again.latency.as_f64());
         assert_ne!(a0.latency.as_f64(), a1.latency.as_f64());
+    }
+
+    #[test]
+    fn sim_measure_batch_matches_scalar_measures() {
+        let b = sim();
+        let s = Schedule::homogeneous(7, PuClass::BigCpu);
+        let indices = [0u64, 3, 7, 3];
+        let batch = b.measure_batch(&s, &indices).unwrap();
+        assert_eq!(batch.len(), indices.len());
+        for (&i, got) in indices.iter().zip(&batch) {
+            let want = b.measure(&s, i).unwrap();
+            assert_eq!(format!("{want:?}"), format!("{got:?}"));
+        }
+    }
+
+    #[test]
+    fn sim_measure_batch_carries_backend_faults() {
+        let faults = bt_soc::FaultSpec {
+            stragglers: vec![bt_soc::Straggler {
+                chunk: 0,
+                task: 2,
+                factor: 3.0,
+            }],
+            ..bt_soc::FaultSpec::default()
+        };
+        let b = sim().with_faults(faults);
+        let s = Schedule::homogeneous(7, PuClass::BigCpu);
+        let batch = b.measure_batch(&s, &[0, 5]).unwrap();
+        for (i, got) in [0u64, 5].into_iter().zip(&batch) {
+            let want = b.measure(&s, i).unwrap();
+            assert_eq!(format!("{want:?}"), format!("{got:?}"));
+        }
+    }
+
+    #[test]
+    fn sim_measure_batch_empty_is_empty() {
+        let b = sim();
+        let s = Schedule::homogeneous(7, PuClass::BigCpu);
+        assert!(b.measure_batch(&s, &[]).unwrap().is_empty());
     }
 
     #[test]

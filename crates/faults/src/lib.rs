@@ -228,6 +228,23 @@ impl<B: ExecutionBackend> ExecutionBackend for FaultyBackend<B> {
         self.inner.measure(schedule, run_index)
     }
 
+    fn measure_batch(
+        &self,
+        schedule: &Schedule,
+        run_indices: &[u64],
+    ) -> Result<Vec<Measurement>, BtError> {
+        // An armed failure anywhere in the batch fails the whole batch —
+        // the batched contract ("all measurements or a typed error"), with
+        // the lowest armed index reported.
+        if let Some(&run_index) = run_indices.iter().find(|i| self.fail_runs.contains(i)) {
+            return Err(BtError::InjectedFault { run_index });
+        }
+        if let Some(d) = self.delay {
+            std::thread::sleep(d);
+        }
+        self.inner.measure_batch(schedule, run_indices)
+    }
+
     fn measure_baseline(&self, class: PuClass) -> Result<Measurement, BtError> {
         self.inner.measure_baseline(class)
     }
@@ -293,6 +310,17 @@ mod tests {
             Err(BtError::InjectedFault { run_index: 1 })
         ));
         assert!(b.measure(&s, 2).is_ok());
+    }
+
+    #[test]
+    fn faulty_backend_batch_fails_as_a_unit() {
+        let b = FaultyBackend::new(sim()).fail_on_runs(vec![2]);
+        let s = Schedule::homogeneous(7, PuClass::BigCpu);
+        assert_eq!(b.measure_batch(&s, &[0, 1]).unwrap().len(), 2);
+        assert!(matches!(
+            b.measure_batch(&s, &[0, 2, 3]),
+            Err(BtError::InjectedFault { run_index: 2 })
+        ));
     }
 
     #[test]

@@ -1158,7 +1158,7 @@ fn assemble(
     let bottleneck_chunk = chunk_utilization
         .iter()
         .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .max_by(|a, b| a.1.total_cmp(b.1))
         .map_or(0, |(i, _)| i);
     // Timeline and telemetry spans share one epoch: the earliest recorded
     // instant across all dispatchers.

@@ -35,7 +35,8 @@ pub use measure::Measurement;
 pub use multi::{run_multi_host, Tenant, TenantSet, WorkerBudget};
 pub use schedule::{ChunkAssignment, Schedule, ScheduleError};
 pub use sim::{
-    simulate_baseline, simulate_dag_schedule, simulate_schedule, to_chunk_specs, to_dag_spec,
+    simulate_baseline, simulate_dag_schedule, simulate_schedule, simulate_schedule_batch,
+    to_chunk_specs, to_dag_spec,
 };
 // The shared run vocabulary, re-exported so runtime consumers need not
 // depend on bt-soc directly.

@@ -3,7 +3,10 @@
 
 use bt_kernels::AppModel;
 use bt_soc::des::{self, ChunkSpec};
-use bt_soc::{simulate_dag, DagPipelineSpec, FaultSpec, RunConfig, RunReport, SocError, SocSpec};
+use bt_soc::{
+    simulate_batch_parallel, simulate_dag, DagPipelineSpec, DesSeedSpec, FaultSpec, RunConfig,
+    RunReport, SocError, SocSpec,
+};
 
 use crate::{DagSchedule, PipelineError, Schedule};
 
@@ -60,6 +63,29 @@ pub fn simulate_schedule(
 ) -> Result<RunReport, PipelineError> {
     let chunks = to_chunk_specs(app, schedule)?;
     Ok(des::simulate(soc, &chunks, cfg, faults)?)
+}
+
+/// Batched counterpart of [`simulate_schedule`]: prices every lane in
+/// `lanes` (a seed plus optional fault plan each) over the same schedule
+/// in one structure-of-arrays pass, sharded across cores when more than
+/// one is available. Each returned [`RunReport`] is bit-identical to the
+/// scalar [`simulate_schedule`] run with that lane's seed and faults.
+///
+/// # Errors
+///
+/// Returns [`PipelineError::StageMismatch`] on a schedule/application
+/// stage disagreement, or [`PipelineError::Soc`] from the simulator
+/// (missing PU, empty inputs, empty batch).
+pub fn simulate_schedule_batch(
+    soc: &SocSpec,
+    app: &AppModel,
+    schedule: &Schedule,
+    cfg: &RunConfig,
+    lanes: &[DesSeedSpec],
+) -> Result<Vec<RunReport>, PipelineError> {
+    let chunks = to_chunk_specs(app, schedule)?;
+    let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    Ok(simulate_batch_parallel(soc, &chunks, cfg, lanes, threads)?)
 }
 
 pub(crate) fn same_graph(a: &bt_kernels::TaskGraph, b: &bt_kernels::TaskGraph) -> bool {
@@ -309,6 +335,61 @@ mod tests {
         let a = simulate_schedule(&soc, &app, &linear, &cfg, None).unwrap();
         let b = simulate_dag_schedule(&soc, &app, &dag, &cfg, None).unwrap();
         assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn batched_schedule_lanes_match_scalar_runs() {
+        use PuClass::*;
+        let app = octree_model();
+        let soc = devices::pixel_7a();
+        let schedule =
+            Schedule::new(vec![BigCpu, BigCpu, MediumCpu, Gpu, Gpu, Gpu, LittleCpu]).unwrap();
+        let cfg = RunConfig {
+            tasks: 40,
+            ..RunConfig::default()
+        };
+        let faults = FaultSpec {
+            stragglers: vec![bt_soc::Straggler {
+                chunk: 1,
+                task: 3,
+                factor: 2.5,
+            }],
+            ..FaultSpec::default()
+        };
+        let lanes = vec![
+            DesSeedSpec::new(7),
+            DesSeedSpec::with_faults(11, faults),
+            DesSeedSpec::new(7),
+        ];
+        let batched = simulate_schedule_batch(&soc, &app, &schedule, &cfg, &lanes).unwrap();
+        assert_eq!(batched.len(), 3);
+        for (spec, got) in lanes.iter().zip(&batched) {
+            let scalar_cfg = RunConfig {
+                seed: spec.seed,
+                ..cfg.clone()
+            };
+            let want = simulate_schedule(&soc, &app, &schedule, &scalar_cfg, spec.faults.as_ref())
+                .unwrap();
+            assert_eq!(format!("{want:?}"), format!("{got:?}"));
+        }
+    }
+
+    #[test]
+    fn batched_schedule_rejects_stage_mismatch() {
+        let app = octree_model();
+        let soc = devices::pixel_7a();
+        let schedule = Schedule::homogeneous(3, PuClass::BigCpu);
+        assert!(matches!(
+            simulate_schedule_batch(
+                &soc,
+                &app,
+                &schedule,
+                &RunConfig::default(),
+                &[DesSeedSpec::new(1)]
+            )
+            .unwrap_err(),
+            crate::PipelineError::StageMismatch { .. }
+        ));
     }
 
     #[test]

@@ -179,15 +179,15 @@ type ServiceCache = HashMap<u64, f64, std::hash::BuildHasherDefault<KeyHasher>>;
 /// (> [`ServiceModel::MAX_CACHED_CHUNKS`] chunks, or ≥ 63 stages in one
 /// chunk) fall back to the uncached path.
 pub(crate) struct ServiceModel<'a> {
-    soc: &'a SocSpec,
-    chunks: &'a [ChunkSpec],
-    pus: Vec<&'a PuSpec>,
+    pub(crate) soc: &'a SocSpec,
+    pub(crate) chunks: &'a [ChunkSpec],
+    pub(crate) pus: Vec<&'a PuSpec>,
     /// `demand[chunk][stage]`: DRAM bandwidth advertised while that stage
     /// runs (busy-set independent).
-    demand: Vec<Vec<f64>>,
+    pub(crate) demand: Vec<Vec<f64>>,
     /// `sync[chunk][stage]`: completion-synchronization cost added to the
     /// sampled service time.
-    sync: Vec<Vec<f64>>,
+    pub(crate) sync: Vec<Vec<f64>>,
     /// Reused co-runner buffer (cleared per dispatch, never reallocated
     /// once it reaches `chunks - 1` capacity).
     scratch: Vec<ActiveKernel>,
@@ -197,10 +197,10 @@ pub(crate) struct ServiceModel<'a> {
 
 impl<'a> ServiceModel<'a> {
     /// Bits per chunk in the busy-set key: stage index + 1, or 0 for idle.
-    const STAGE_BITS: u32 = 6;
+    pub(crate) const STAGE_BITS: u32 = 6;
     /// Chunk-count limit for the packed key (6 bits × 8 chunks = 48 bits of
     /// busy set, leaving room for the dispatcher coordinates).
-    const MAX_CACHED_CHUNKS: usize = 8;
+    pub(crate) const MAX_CACHED_CHUNKS: usize = 8;
 
     pub(crate) fn new(
         soc: &'a SocSpec,
@@ -302,6 +302,45 @@ impl<'a> ServiceModel<'a> {
         };
         let t = base * noise.factor() + self.sync[chunk_idx][stage_idx];
         (t, self.demand[chunk_idx][stage_idx])
+    }
+
+    /// Batch-engine counterpart of [`ServiceModel::service`], returning the
+    /// *noiseless* base latency only (the batch engine applies per-lane
+    /// noise and sync itself). The busy set arrives as an incrementally
+    /// maintained packed key (`STAGE_BITS`-wide `stage + 1` fields in
+    /// chunk order; the dispatcher's own field is masked out here, so
+    /// callers need not clear it) plus an on-miss co-runner enumerator.
+    /// Lanes share this memo: the memoized value is a pure function of
+    /// (chunk, stage, busy set), so one lane's miss prices every lane's
+    /// hit without coupling their noise streams.
+    pub(crate) fn base_keyed(
+        &mut self,
+        chunk_idx: usize,
+        stage_idx: usize,
+        busy_fields: u64,
+        co_runners: impl FnOnce(&mut Vec<ActiveKernel>),
+    ) -> f64 {
+        let key = self.cache.as_ref().map(|_| {
+            let own = ((1u64 << Self::STAGE_BITS) - 1) << (chunk_idx as u32 * Self::STAGE_BITS);
+            (busy_fields & !own)
+                | (chunk_idx as u64) << 48
+                | (stage_idx as u64) << (48 + Self::STAGE_BITS)
+        });
+        let cached = key.and_then(|k| self.cache.as_ref().and_then(|c| c.get(&k).copied()));
+        match cached {
+            Some(v) => v,
+            None => {
+                self.scratch.clear();
+                co_runners(&mut self.scratch);
+                let work = &self.chunks[chunk_idx].stages[stage_idx];
+                let v = cost::latency_under(work, self.pus[chunk_idx], self.soc, &self.scratch)
+                    .as_f64();
+                if let (Some(cache), Some(k)) = (self.cache.as_mut(), key) {
+                    cache.insert(k, v);
+                }
+                v
+            }
+        }
     }
 }
 

@@ -44,6 +44,7 @@ mod affinity;
 mod clock;
 pub mod cost;
 pub mod des;
+pub mod des_batch;
 pub mod des_dag;
 pub mod des_dynamic;
 pub mod des_multi;
@@ -59,6 +60,7 @@ mod work;
 
 pub use affinity::AffinityMap;
 pub use clock::{seed_from_labels, Micros, NoiseModel, SimClock};
+pub use des_batch::{simulate_batch, simulate_batch_parallel, DesSeedSpec};
 pub use des_dag::{simulate_dag, DagPipelineSpec};
 pub use des_multi::{simulate_multi, MultiRunReport, TenantSpec};
 pub use device::{devices, PerClass, SocBuilder, SocSpec};

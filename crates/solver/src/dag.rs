@@ -297,6 +297,13 @@ impl DagProblem {
         self
     }
 
+    /// Selects the SAT engine CEGAR window probes run on (default
+    /// [`crate::Engine::Cdcl`]).
+    pub fn with_engine(mut self, engine: crate::Engine) -> DagProblem {
+        self.base = self.base.with_engine(engine);
+        self
+    }
+
     /// The underlying chain problem (latency table + permissions).
     pub fn base(&self) -> &ScheduleProblem {
         &self.base
@@ -578,7 +585,7 @@ impl DagProblem {
     fn encode(&self, hi: f64, blocked: &[Assignment]) -> (Solver, Vec<Vec<Var>>) {
         let n = self.stages();
         let m = self.classes();
-        let mut solver = Solver::new();
+        let mut solver = Solver::with_engine(self.base.engine());
         let x: Vec<Vec<Var>> = (0..n)
             .map(|_| (0..m).map(|_| solver.new_var()).collect())
             .collect();

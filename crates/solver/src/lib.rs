@@ -4,9 +4,12 @@
 //! O1) and solves them with z3's Python API. This crate replaces z3 with a
 //! from-scratch, fully tested stack:
 //!
-//! - [`Solver`] — a complete DPLL SAT solver with two-watched-literal unit
-//!   propagation, chronological backtracking, and counter-propagated
-//!   pseudo-boolean (≤) constraints.
+//! - [`Solver`] — a complete SAT solver with two-watched-literal unit
+//!   propagation, counter-propagated pseudo-boolean (≤) constraints, and a
+//!   CDCL engine (first-UIP clause learning, non-chronological
+//!   backjumping, activity decisions, Luby restarts) as the default; the
+//!   original chronological DPLL engine remains available via
+//!   [`Engine::Dpll`] as the oracle CDCL is property-tested against.
 //! - [`ScheduleProblem`] — the BetterTogether encoding: per-stage
 //!   exactly-one (C1), chunk contiguity (C2), per-chunk runtime windows
 //!   (C3a/C3b), blocking clauses (C5), with gapness (O1) and latency
@@ -39,6 +42,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod conflict;
 pub mod dag;
 pub mod enumerate;
 mod lit;
@@ -48,4 +52,4 @@ mod solver;
 pub use dag::{DagChunk, DagError, DagEval, DagProblem, ReplicatedPlan, StageDag, REPLICA};
 pub use lit::{Lit, Var};
 pub use schedule::{Assignment, LatencyEnumerator, ProblemError, ScheduleProblem};
-pub use solver::{Model, SolveResult, Solver};
+pub use solver::{Engine, Model, SolveResult, Solver};

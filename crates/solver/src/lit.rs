@@ -62,6 +62,11 @@ impl Lit {
         self.0 as usize
     }
 
+    /// Inverse of [`Lit::code`].
+    pub(crate) fn from_code(code: usize) -> Lit {
+        Lit(code as u32)
+    }
+
     /// Truth value of this literal under an assignment of its variable.
     pub fn eval(self, var_value: bool) -> bool {
         var_value == self.is_pos()

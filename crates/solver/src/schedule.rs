@@ -12,7 +12,7 @@
 //! over the discrete set of achievable chunk sums, each probe being one SAT
 //! call — the role z3's `Optimize` plays in the paper.
 
-use crate::{Model, SolveResult, Solver, Var};
+use crate::{Engine, Model, SolveResult, Solver, Var};
 
 /// A schedule: for each stage, the index of its assigned PU class.
 pub type Assignment = Vec<usize>;
@@ -69,6 +69,8 @@ pub struct ScheduleProblem {
     /// Maximum number of chunks (dispatcher threads) a schedule may use;
     /// `None` means only the PU count limits it.
     max_chunks: Option<usize>,
+    /// Which SAT engine window probes run on.
+    engine: Engine,
 }
 
 impl ScheduleProblem {
@@ -112,7 +114,21 @@ impl ScheduleProblem {
             prefix,
             allowed,
             max_chunks: None,
+            engine: Engine::default(),
         })
+    }
+
+    /// Selects the SAT engine every window probe runs on (default
+    /// [`Engine::Cdcl`]; [`Engine::Dpll`] keeps the pre-clause-learning
+    /// decision procedure for oracle comparisons and benches).
+    pub fn with_engine(mut self, engine: Engine) -> ScheduleProblem {
+        self.engine = engine;
+        self
+    }
+
+    /// The SAT engine window probes run on.
+    pub fn engine(&self) -> Engine {
+        self.engine
     }
 
     /// Restricts which classes may host chunks (e.g. unpinnable clusters).
@@ -257,7 +273,7 @@ impl ScheduleProblem {
     fn encode(&self, lo: f64, hi: f64, blocked: &[Assignment]) -> (Solver, Vec<Vec<Var>>) {
         let n = self.stages();
         let m = self.classes();
-        let mut solver = Solver::new();
+        let mut solver = Solver::with_engine(self.engine);
         let x: Vec<Vec<Var>> = (0..n)
             .map(|_| (0..m).map(|_| solver.new_var()).collect())
             .collect();

@@ -1,11 +1,19 @@
-//! A small, complete DPLL SAT solver with two-watched-literal propagation
-//! and counter-based pseudo-boolean (≤) constraints.
+//! A small, complete SAT solver with two-watched-literal propagation,
+//! counter-based pseudo-boolean (≤) constraints, and two search engines:
+//! CDCL (first-UIP clause learning, non-chronological backjumping,
+//! EVSIDS-style decaying activity, Luby restarts — the default) and the
+//! original chronological DPLL, kept as the oracle the learning engine is
+//! property-tested against.
 //!
 //! This is the substrate that replaces the paper's use of z3 (§3.3). The
 //! BetterTogether encoding only needs CNF plus blocking clauses, but the
 //! pseudo-boolean layer makes the solver reusable for weighted extensions
-//! (and is exercised by the ablation benches).
+//! (and is exercised by the ablation benches). The CDCL upgrade exists
+//! because the `DagProblem` and co-tenant encodings produce instances far
+//! past the 9-stage chain size, where DPLL's chronological backtracking
+//! re-explores the same conflicts exponentially.
 
+use crate::conflict::{luby, ACTIVITY_DECAY, RESTART_BASE};
 use crate::{Lit, Var};
 
 /// Result of a satisfiability query.
@@ -48,6 +56,22 @@ impl Model {
     }
 }
 
+/// Which search procedure [`Solver::solve`] runs. Both are complete and
+/// agree on every verdict; they differ only in how conflicts steer the
+/// search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Conflict-driven clause learning: first-UIP learned clauses,
+    /// non-chronological backjumping, activity-ordered decisions, Luby
+    /// restarts. Learned clauses persist across [`Solver::solve`] calls,
+    /// so blocking-clause enumeration keeps its pruning.
+    #[default]
+    Cdcl,
+    /// The original chronological DPLL: first-unassigned-variable
+    /// decisions, phase false first, backtrack one level per conflict.
+    Dpll,
+}
+
 #[derive(Debug, Clone)]
 struct PbConstraint {
     terms: Vec<(Lit, u64)>,
@@ -56,10 +80,32 @@ struct PbConstraint {
     sum: u64,
 }
 
+/// Why a trail literal holds: a decision (or root-level unit), unit
+/// propagation of a clause, or pseudo-boolean forcing. PB reasons are
+/// captured eagerly at forcing time as a ready-made reason clause
+/// (implied literal at index 0, negated true terms after), because the
+/// constraint's slack at analysis time may differ.
+#[derive(Debug, Clone)]
+pub(crate) enum Reason {
+    Decision,
+    Clause(usize),
+    Pb(Box<[Lit]>),
+}
+
+/// A falsified constraint handed to conflict analysis.
+#[derive(Debug)]
+pub(crate) enum Conflict {
+    Clause(usize),
+    /// The negated true terms of an overfull PB constraint (all false
+    /// under the current assignment, i.e. a valid conflict clause).
+    Pb(Vec<Lit>),
+}
+
 const UNASSIGNED: i8 = -1;
 
-/// The DPLL solver. Clauses persist across [`Solver::solve`] calls, so
-/// blocking clauses support incremental enumeration of models.
+/// The SAT solver. Clauses persist across [`Solver::solve`] calls, so
+/// blocking clauses support incremental enumeration of models; under the
+/// default [`Engine::Cdcl`], learned clauses persist too.
 ///
 /// ```
 /// use bt_solver::{Solver, SolveResult};
@@ -78,12 +124,16 @@ const UNASSIGNED: i8 = -1;
 /// ```
 #[derive(Debug, Default)]
 pub struct Solver {
+    engine: Engine,
     num_vars: usize,
-    clauses: Vec<Vec<Lit>>,
+    /// Original clauses followed by learned ones.
+    pub(crate) clauses: Vec<Vec<Lit>>,
+    num_learned: usize,
     /// Watch lists: for each literal code, the clause indices currently
     /// watching that literal.
     watches: Vec<Vec<usize>>,
-    /// Unit clauses, enqueued at the root of every solve.
+    /// Unit clauses (original and learned), enqueued at the root of every
+    /// solve.
     units: Vec<Lit>,
     /// Pseudo-boolean ≤ constraints.
     pbs: Vec<PbConstraint>,
@@ -95,16 +145,47 @@ pub struct Solver {
 
     // Search state (reset per solve).
     assign: Vec<i8>,
-    trail: Vec<Lit>,
+    pub(crate) trail: Vec<Lit>,
     qhead: usize,
-    /// Per decision: (index into trail of the decision literal, flipped?).
+    /// DPLL engine: per decision, (trail index of the decision literal,
+    /// flipped?).
     decisions: Vec<(usize, bool)>,
+    /// CDCL engine: trail length at each decision level boundary.
+    pub(crate) trail_lim: Vec<usize>,
+    /// Antecedent of each variable's current assignment.
+    pub(crate) reason: Vec<Reason>,
+    /// Decision level of each variable's current assignment.
+    pub(crate) level: Vec<u32>,
+    /// EVSIDS activity per variable.
+    pub(crate) activity: Vec<f64>,
+    pub(crate) var_inc: f64,
+    /// Last value each variable held (phase saving); `false` initially so
+    /// the first descent matches DPLL's phase-false convention.
+    saved_phase: Vec<bool>,
+    /// Conflict-analysis mark per variable.
+    pub(crate) seen: Vec<bool>,
 }
 
 impl Solver {
-    /// Creates an empty solver.
+    /// Creates an empty solver with the default [`Engine::Cdcl`].
     pub fn new() -> Solver {
-        Solver::default()
+        Solver {
+            var_inc: 1.0,
+            ..Solver::default()
+        }
+    }
+
+    /// Creates an empty solver running the given engine.
+    pub fn with_engine(engine: Engine) -> Solver {
+        Solver {
+            engine,
+            ..Solver::new()
+        }
+    }
+
+    /// The search engine this solver runs.
+    pub fn engine(&self) -> Engine {
+        self.engine
     }
 
     /// Allocates a fresh variable.
@@ -116,6 +197,11 @@ impl Solver {
         self.pb_occ.push(Vec::new());
         self.pb_occ.push(Vec::new());
         self.assign.push(UNASSIGNED);
+        self.reason.push(Reason::Decision);
+        self.level.push(0);
+        self.activity.push(0.0);
+        self.saved_phase.push(false);
+        self.seen.push(false);
         v
     }
 
@@ -124,9 +210,14 @@ impl Solver {
         self.num_vars
     }
 
-    /// Number of clauses (excluding units).
+    /// Number of problem clauses (excluding units and learned clauses).
     pub fn num_clauses(&self) -> usize {
-        self.clauses.len()
+        self.clauses.len() - self.num_learned
+    }
+
+    /// Number of clauses learned by the CDCL engine so far.
+    pub fn num_learned(&self) -> usize {
+        self.num_learned
     }
 
     /// Adds a clause (a disjunction of literals). Duplicates are removed;
@@ -153,12 +244,22 @@ impl Solver {
             0 => self.trivially_unsat = true,
             1 => self.units.push(sorted[0]),
             _ => {
-                let idx = self.clauses.len();
-                self.watches[sorted[0].code()].push(idx);
-                self.watches[sorted[1].code()].push(idx);
-                self.clauses.push(sorted);
+                self.push_clause(sorted);
             }
         }
+    }
+
+    /// Installs a clause verbatim, watching its first two literals.
+    /// Learned clauses come through here with a deliberate order
+    /// (asserting literal first, backjump-level literal second), so no
+    /// sorting.
+    fn push_clause(&mut self, lits: Vec<Lit>) -> usize {
+        debug_assert!(lits.len() >= 2);
+        let idx = self.clauses.len();
+        self.watches[lits[0].code()].push(idx);
+        self.watches[lits[1].code()].push(idx);
+        self.clauses.push(lits);
+        idx
     }
 
     /// Adds the pseudo-boolean constraint `Σ wᵢ·litᵢ ≤ bound` (each weight
@@ -211,13 +312,17 @@ impl Solver {
         }
     }
 
-    /// Assigns `l` true; returns false on conflict with an existing value.
-    fn enqueue(&mut self, l: Lit) -> bool {
+    /// Assigns `l` true with the given antecedent; returns false on
+    /// conflict with an existing value.
+    fn enqueue(&mut self, l: Lit, reason: Reason) -> bool {
         match self.value_of(l) {
             1 => true,
             0 => false,
             _ => {
-                self.assign[l.var().index()] = i8::from(l.is_pos());
+                let v = l.var().index();
+                self.assign[v] = i8::from(l.is_pos());
+                self.reason[v] = reason;
+                self.level[v] = self.trail_lim.len() as u32;
                 self.trail.push(l);
                 for occ in 0..self.pb_occ[l.code()].len() {
                     let (pb, w) = self.pb_occ[l.code()][occ];
@@ -229,16 +334,18 @@ impl Solver {
     }
 
     fn unassign(&mut self, l: Lit) {
-        self.assign[l.var().index()] = UNASSIGNED;
+        let v = l.var().index();
+        self.saved_phase[v] = self.assign[v] == 1;
+        self.assign[v] = UNASSIGNED;
         for occ in 0..self.pb_occ[l.code()].len() {
             let (pb, w) = self.pb_occ[l.code()][occ];
             self.pbs[pb].sum -= w;
         }
     }
 
-    /// Unit propagation over clauses and PB constraints. Returns false on
-    /// conflict.
-    fn propagate(&mut self) -> bool {
+    /// Unit propagation over clauses and PB constraints. Returns the
+    /// falsified constraint on conflict.
+    fn propagate(&mut self) -> Option<Conflict> {
         while self.qhead < self.trail.len() {
             let l = self.trail[self.qhead];
             self.qhead += 1;
@@ -276,11 +383,11 @@ impl Solver {
                 let first = self.clauses[ci][0];
                 match self.value_of(first) {
                     UNASSIGNED => {
-                        let ok = self.enqueue(first);
+                        let ok = self.enqueue(first, Reason::Clause(ci));
                         debug_assert!(ok, "enqueue of unassigned literal cannot fail");
                         i += 1;
                     }
-                    0 => return false, // conflict
+                    0 => return Some(Conflict::Clause(ci)),
                     _ => unreachable!("satisfied case handled above"),
                 }
             }
@@ -288,21 +395,32 @@ impl Solver {
             // PB propagation triggered by constraints containing l.
             for occ in 0..self.pb_occ[l.code()].len() {
                 let (pb_idx, _) = self.pb_occ[l.code()][occ];
-                if !self.pb_propagate(pb_idx) {
-                    return false;
+                if let Some(confl) = self.pb_propagate(pb_idx) {
+                    return Some(confl);
                 }
             }
         }
-        true
+        None
     }
 
-    fn pb_propagate(&mut self, pb_idx: usize) -> bool {
+    /// The negated true terms of PB constraint `pb_idx` — the clause a PB
+    /// conflict or forcing resolves against.
+    fn pb_true_terms_negated(&self, pb_idx: usize) -> Vec<Lit> {
+        self.pbs[pb_idx]
+            .terms
+            .iter()
+            .filter(|(t, _)| self.value_of(*t) == 1)
+            .map(|(t, _)| !*t)
+            .collect()
+    }
+
+    fn pb_propagate(&mut self, pb_idx: usize) -> Option<Conflict> {
         let (sum, bound) = {
             let pb = &self.pbs[pb_idx];
             (pb.sum, pb.bound)
         };
         if sum > bound {
-            return false;
+            return Some(Conflict::Pb(self.pb_true_terms_negated(pb_idx)));
         }
         let slack = bound - sum;
         let forced: Vec<Lit> = self.pbs[pb_idx]
@@ -311,12 +429,23 @@ impl Solver {
             .filter(|(t, w)| *w > slack && self.value_of(*t) == UNASSIGNED)
             .map(|(t, _)| !*t)
             .collect();
+        if forced.is_empty() {
+            return None;
+        }
+        // Eager reason capture: the implied literal plus the negation of
+        // every currently-true term. Captured now because the constraint's
+        // slack (and hence the forcing condition) is not reconstructible at
+        // analysis time.
+        let antecedent = self.pb_true_terms_negated(pb_idx);
         for f in forced {
-            if !self.enqueue(f) {
-                return false;
+            let mut reason = Vec::with_capacity(antecedent.len() + 1);
+            reason.push(f);
+            reason.extend_from_slice(&antecedent);
+            if !self.enqueue(f, Reason::Pb(reason.into_boxed_slice())) {
+                return Some(Conflict::Pb(self.pb_true_terms_negated(pb_idx)));
             }
         }
-        true
+        None
     }
 
     fn backtrack_to(&mut self, trail_len: usize) {
@@ -327,6 +456,130 @@ impl Solver {
         self.qhead = trail_len;
     }
 
+    /// CDCL: undoes every assignment above decision level `lvl`.
+    fn backjump(&mut self, lvl: usize) {
+        if self.trail_lim.len() > lvl {
+            let target = self.trail_lim[lvl];
+            self.backtrack_to(target);
+            self.trail_lim.truncate(lvl);
+        }
+    }
+
+    /// Root-level setup shared by both engines: clears search state and
+    /// enqueues unit clauses and PB-forced literals. Returns false if the
+    /// root level is already contradictory.
+    fn init_root(&mut self) -> bool {
+        self.backtrack_to(0);
+        self.decisions.clear();
+        self.trail_lim.clear();
+        for i in 0..self.units.len() {
+            let u = self.units[i];
+            if !self.enqueue(u, Reason::Decision) {
+                return false;
+            }
+        }
+        for pb in 0..self.pbs.len() {
+            if self.pb_propagate(pb).is_some() {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn extract_model(&self) -> Model {
+        Model(self.assign.iter().map(|&v| v == 1).collect())
+    }
+
+    /// Decides satisfiability of the current formula.
+    ///
+    /// Clauses added between calls persist (supporting blocking-clause
+    /// enumeration), as do CDCL learned clauses; search state is reset per
+    /// call.
+    pub fn solve(&mut self) -> SolveResult {
+        if self.trivially_unsat {
+            return SolveResult::Unsat;
+        }
+        if !self.init_root() {
+            return SolveResult::Unsat;
+        }
+        match self.engine {
+            Engine::Cdcl => self.solve_cdcl(),
+            Engine::Dpll => self.solve_dpll(),
+        }
+    }
+
+    /// Highest-activity unassigned variable (lowest index on ties, so the
+    /// search is deterministic).
+    fn pick_active_var(&self) -> Option<Var> {
+        let mut best: Option<usize> = None;
+        for (i, &a) in self.assign.iter().enumerate() {
+            if a != UNASSIGNED {
+                continue;
+            }
+            match best {
+                Some(b) if self.activity[b] >= self.activity[i] => {}
+                _ => best = Some(i),
+            }
+        }
+        best.map(|i| Var::new(i as u32))
+    }
+
+    fn solve_cdcl(&mut self) -> SolveResult {
+        let mut conflicts_since_restart: u64 = 0;
+        let mut restarts: u64 = 0;
+        let mut restart_limit = RESTART_BASE * luby(restarts);
+        loop {
+            match self.propagate() {
+                Some(confl) => {
+                    if self.trail_lim.is_empty() {
+                        return SolveResult::Unsat; // conflict with the roots
+                    }
+                    conflicts_since_restart += 1;
+                    self.var_inc /= ACTIVITY_DECAY;
+                    let (learnt, backjump_lvl) = self.analyze(confl);
+                    self.backjump(backjump_lvl);
+                    if learnt.len() == 1 {
+                        // Asserting unit: now a root fact. Persisting it in
+                        // `units` keeps it across incremental solve calls.
+                        self.units.push(learnt[0]);
+                        if !self.enqueue(learnt[0], Reason::Decision) {
+                            return SolveResult::Unsat;
+                        }
+                    } else {
+                        let ci = self.push_clause(learnt);
+                        self.num_learned += 1;
+                        let assert_lit = self.clauses[ci][0];
+                        let ok = self.enqueue(assert_lit, Reason::Clause(ci));
+                        debug_assert!(ok, "learned clause asserts after backjump");
+                    }
+                }
+                None => {
+                    if conflicts_since_restart >= restart_limit {
+                        restarts += 1;
+                        conflicts_since_restart = 0;
+                        restart_limit = RESTART_BASE * luby(restarts);
+                        self.backjump(0);
+                        continue;
+                    }
+                    match self.pick_active_var() {
+                        None => return SolveResult::Sat(self.extract_model()),
+                        Some(v) => {
+                            self.trail_lim.push(self.trail.len());
+                            let lit = if self.saved_phase[v.index()] {
+                                v.pos()
+                            } else {
+                                v.neg()
+                            };
+                            let ok = self.enqueue(lit, Reason::Decision);
+                            debug_assert!(ok);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// First unassigned variable — DPLL's static decision order.
     fn pick_branch_var(&self) -> Option<Var> {
         self.assign
             .iter()
@@ -334,46 +587,15 @@ impl Solver {
             .map(|i| Var::new(i as u32))
     }
 
-    /// Decides satisfiability of the current formula.
-    ///
-    /// Clauses added between calls persist (supporting blocking-clause
-    /// enumeration); search state is reset per call.
-    pub fn solve(&mut self) -> SolveResult {
-        if self.trivially_unsat {
-            return SolveResult::Unsat;
-        }
-        // Reset search state.
-        self.backtrack_to(0);
-        self.decisions.clear();
-        for v in 0..self.num_vars {
-            debug_assert_eq!(self.assign[v], UNASSIGNED);
-        }
-
-        // Root-level units.
-        for i in 0..self.units.len() {
-            let u = self.units[i];
-            if !self.enqueue(u) {
-                return SolveResult::Unsat;
-            }
-        }
-        // Root-level PB forcing (constraints whose weights exceed bounds).
-        for pb in 0..self.pbs.len() {
-            if !self.pb_propagate(pb) {
-                return SolveResult::Unsat;
-            }
-        }
-
+    fn solve_dpll(&mut self) -> SolveResult {
         loop {
-            if self.propagate() {
+            if self.propagate().is_none() {
                 match self.pick_branch_var() {
-                    None => {
-                        let model = Model(self.assign.iter().map(|&v| v == 1).collect());
-                        return SolveResult::Sat(model);
-                    }
+                    None => return SolveResult::Sat(self.extract_model()),
                     Some(v) => {
                         // Decide: phase false first.
                         self.decisions.push((self.trail.len(), false));
-                        let ok = self.enqueue(v.neg());
+                        let ok = self.enqueue(v.neg(), Reason::Decision);
                         debug_assert!(ok);
                     }
                 }
@@ -387,7 +609,7 @@ impl Solver {
                             self.backtrack_to(trail_pos);
                             if !flipped {
                                 self.decisions.push((self.trail.len(), true));
-                                let ok = self.enqueue(!decision_lit);
+                                let ok = self.enqueue(!decision_lit, Reason::Decision);
                                 debug_assert!(ok);
                                 break;
                             }
@@ -407,28 +629,37 @@ mod tests {
         (0..n).map(|_| s.new_var()).collect()
     }
 
+    /// Runs the same test body against both engines.
+    fn both_engines(f: impl Fn(Solver)) {
+        f(Solver::with_engine(Engine::Cdcl));
+        f(Solver::with_engine(Engine::Dpll));
+    }
+
     #[test]
     fn trivial_sat_and_unsat() {
-        let mut s = Solver::new();
-        let v = vars(&mut s, 1);
-        s.add_clause(&[v[0].pos()]);
-        assert!(s.solve().is_sat());
-        s.add_clause(&[v[0].neg()]);
-        assert_eq!(s.solve(), SolveResult::Unsat);
+        both_engines(|mut s| {
+            let v = vars(&mut s, 1);
+            s.add_clause(&[v[0].pos()]);
+            assert!(s.solve().is_sat());
+            s.add_clause(&[v[0].neg()]);
+            assert_eq!(s.solve(), SolveResult::Unsat);
+        });
     }
 
     #[test]
     fn empty_clause_is_unsat() {
-        let mut s = Solver::new();
-        s.add_clause(&[]);
-        assert_eq!(s.solve(), SolveResult::Unsat);
+        both_engines(|mut s| {
+            s.add_clause(&[]);
+            assert_eq!(s.solve(), SolveResult::Unsat);
+        });
     }
 
     #[test]
     fn empty_formula_is_sat() {
-        let mut s = Solver::new();
-        vars(&mut s, 3);
-        assert!(s.solve().is_sat());
+        both_engines(|mut s| {
+            vars(&mut s, 3);
+            assert!(s.solve().is_sat());
+        });
     }
 
     #[test]
@@ -443,139 +674,205 @@ mod tests {
     #[test]
     fn chain_of_implications_propagates() {
         // a ∧ (a→b) ∧ (b→c) ∧ (c→d) forces all true.
-        let mut s = Solver::new();
-        let v = vars(&mut s, 4);
-        s.add_clause(&[v[0].pos()]);
-        for w in v.windows(2) {
-            s.add_clause(&[w[0].neg(), w[1].pos()]);
-        }
-        match s.solve() {
-            SolveResult::Sat(m) => assert!(v.iter().all(|&x| m.value(x))),
-            SolveResult::Unsat => panic!("should be sat"),
-        }
+        both_engines(|mut s| {
+            let v = vars(&mut s, 4);
+            s.add_clause(&[v[0].pos()]);
+            for w in v.windows(2) {
+                s.add_clause(&[w[0].neg(), w[1].pos()]);
+            }
+            match s.solve() {
+                SolveResult::Sat(m) => assert!(v.iter().all(|&x| m.value(x))),
+                SolveResult::Unsat => panic!("should be sat"),
+            }
+        });
     }
 
     #[test]
     fn pigeonhole_3_into_2_is_unsat() {
         // p[i][j]: pigeon i in hole j. 3 pigeons, 2 holes.
+        both_engines(|mut s| {
+            let p: Vec<Vec<Var>> = (0..3).map(|_| vars(&mut s, 2)).collect();
+            for row in &p {
+                s.add_clause(&[row[0].pos(), row[1].pos()]);
+            }
+            #[allow(clippy::needless_range_loop)]
+            for hole in 0..2 {
+                for a in 0..3 {
+                    for b in a + 1..3 {
+                        let (pa, pb) = (p[a][hole], p[b][hole]);
+                        s.add_clause(&[pa.neg(), pb.neg()]);
+                    }
+                }
+            }
+            assert_eq!(s.solve(), SolveResult::Unsat);
+        });
+    }
+
+    #[test]
+    fn pigeonhole_6_into_5_learns_clauses() {
+        // Large enough that CDCL actually exercises learning + backjumping.
         let mut s = Solver::new();
-        let p: Vec<Vec<Var>> = (0..3).map(|_| vars(&mut s, 2)).collect();
+        let holes = 5;
+        let p: Vec<Vec<Var>> = (0..holes + 1).map(|_| vars(&mut s, holes)).collect();
         for row in &p {
-            s.add_clause(&[row[0].pos(), row[1].pos()]);
+            let lits: Vec<Lit> = row.iter().map(|v| v.pos()).collect();
+            s.add_clause(&lits);
         }
-        #[allow(clippy::needless_range_loop)]
-        for hole in 0..2 {
-            for a in 0..3 {
-                for b in a + 1..3 {
-                    let (pa, pb) = (p[a][hole], p[b][hole]);
-                    s.add_clause(&[pa.neg(), pb.neg()]);
+        for hole in 0..holes {
+            for a in 0..p.len() {
+                for b in a + 1..p.len() {
+                    s.add_clause(&[p[a][hole].neg(), p[b][hole].neg()]);
                 }
             }
         }
         assert_eq!(s.solve(), SolveResult::Unsat);
+        assert!(
+            s.num_learned() > 0,
+            "pigeonhole refutation must learn clauses"
+        );
     }
 
     #[test]
     fn exactly_one_helper() {
-        let mut s = Solver::new();
-        let v = vars(&mut s, 4);
-        let lits: Vec<Lit> = v.iter().map(|x| x.pos()).collect();
-        s.add_exactly_one(&lits);
-        match s.solve() {
-            SolveResult::Sat(m) => {
-                let count = v.iter().filter(|&&x| m.value(x)).count();
-                assert_eq!(count, 1);
+        both_engines(|mut s| {
+            let v = vars(&mut s, 4);
+            let lits: Vec<Lit> = v.iter().map(|x| x.pos()).collect();
+            s.add_exactly_one(&lits);
+            match s.solve() {
+                SolveResult::Sat(m) => {
+                    let count = v.iter().filter(|&&x| m.value(x)).count();
+                    assert_eq!(count, 1);
+                }
+                SolveResult::Unsat => panic!("should be sat"),
             }
-            SolveResult::Unsat => panic!("should be sat"),
-        }
+        });
     }
 
     #[test]
     fn blocking_clauses_enumerate_all_models() {
-        // 3 free variables → 8 models.
-        let mut s = Solver::new();
-        let v = vars(&mut s, 3);
-        let mut count = 0;
-        while let SolveResult::Sat(m) = s.solve() {
-            count += 1;
-            assert!(count <= 8, "more models than possible");
-            let block: Vec<Lit> = v
-                .iter()
-                .map(|&x| if m.value(x) { x.neg() } else { x.pos() })
-                .collect();
-            s.add_clause(&block);
-        }
-        assert_eq!(count, 8);
+        // 3 free variables → 8 models; learned clauses must not block
+        // unseen models.
+        both_engines(|mut s| {
+            let v = vars(&mut s, 3);
+            let mut count = 0;
+            while let SolveResult::Sat(m) = s.solve() {
+                count += 1;
+                assert!(count <= 8, "more models than possible");
+                let block: Vec<Lit> = v
+                    .iter()
+                    .map(|&x| if m.value(x) { x.neg() } else { x.pos() })
+                    .collect();
+                s.add_clause(&block);
+            }
+            assert_eq!(count, 8);
+        });
     }
 
     #[test]
     fn pb_upper_bound_restricts_selection() {
         // w = [3, 5, 7], bound 10, v2 forced true: v0 fits (7+3=10),
         // v1 does not (7+5=12).
-        let mut s = Solver::new();
-        let v = vars(&mut s, 3);
-        s.add_pb_le(&[(v[0].pos(), 3), (v[1].pos(), 5), (v[2].pos(), 7)], 10);
-        s.add_clause(&[v[2].pos()]);
-        s.add_clause(&[v[0].pos(), v[1].pos()]); // at least one of the others
-        match s.solve() {
-            SolveResult::Sat(m) => {
-                assert!(m.value(v[2]));
-                assert!(m.value(v[0]), "only v0 fits under the bound");
-                assert!(!m.value(v[1]), "v1 would exceed the bound");
+        both_engines(|mut s| {
+            let v = vars(&mut s, 3);
+            s.add_pb_le(&[(v[0].pos(), 3), (v[1].pos(), 5), (v[2].pos(), 7)], 10);
+            s.add_clause(&[v[2].pos()]);
+            s.add_clause(&[v[0].pos(), v[1].pos()]); // at least one of the others
+            match s.solve() {
+                SolveResult::Sat(m) => {
+                    assert!(m.value(v[2]));
+                    assert!(m.value(v[0]), "only v0 fits under the bound");
+                    assert!(!m.value(v[1]), "v1 would exceed the bound");
+                }
+                SolveResult::Unsat => panic!("should be sat"),
             }
-            SolveResult::Unsat => panic!("should be sat"),
-        }
+        });
     }
 
     #[test]
     fn pb_infeasible_bound_is_unsat() {
-        let mut s = Solver::new();
-        let v = vars(&mut s, 2);
-        s.add_pb_le(&[(v[0].pos(), 5), (v[1].pos(), 5)], 4);
-        s.add_clause(&[v[0].pos()]);
-        assert_eq!(s.solve(), SolveResult::Unsat);
+        both_engines(|mut s| {
+            let v = vars(&mut s, 2);
+            s.add_pb_le(&[(v[0].pos(), 5), (v[1].pos(), 5)], 4);
+            s.add_clause(&[v[0].pos()]);
+            assert_eq!(s.solve(), SolveResult::Unsat);
+        });
     }
 
     #[test]
     fn pb_with_negative_literals() {
         // ¬a counts weight 10 with bound 5 → a must be true.
+        both_engines(|mut s| {
+            let v = vars(&mut s, 1);
+            s.add_pb_le(&[(v[0].neg(), 10)], 5);
+            match s.solve() {
+                SolveResult::Sat(m) => assert!(m.value(v[0])),
+                SolveResult::Unsat => panic!("should be sat"),
+            }
+        });
+    }
+
+    #[test]
+    fn pb_conflict_deep_in_search_is_analyzed() {
+        // A PB constraint that only bites under decisions, so the CDCL
+        // engine must analyze a PB conflict / PB reason (not just clauses).
+        // Sat regime: at most three of six, one forced per disjoint pair.
         let mut s = Solver::new();
-        let v = vars(&mut s, 1);
-        s.add_pb_le(&[(v[0].neg(), 10)], 5);
+        let v = vars(&mut s, 6);
+        let terms: Vec<(Lit, u64)> = v.iter().map(|x| (x.pos(), 2)).collect();
+        s.add_pb_le(&terms, 6);
+        s.add_clause(&[v[0].pos(), v[1].pos()]);
+        s.add_clause(&[v[2].pos(), v[3].pos()]);
+        s.add_clause(&[v[4].pos(), v[5].pos()]);
         match s.solve() {
-            SolveResult::Sat(m) => assert!(m.value(v[0])),
-            SolveResult::Unsat => panic!("should be sat"),
+            SolveResult::Sat(m) => {
+                let count = v.iter().filter(|&&x| m.value(x)).count();
+                assert!(count <= 3, "PB bound violated: {count} true");
+            }
+            SolveResult::Unsat => panic!("one per pair satisfies the bound"),
         }
+        // Unsat regime: the pairs force at least three true, but the bound
+        // only admits two — the refutation resolves against PB reasons.
+        let mut s = Solver::new();
+        let v = vars(&mut s, 6);
+        let terms: Vec<(Lit, u64)> = v.iter().map(|x| (x.pos(), 2)).collect();
+        s.add_pb_le(&terms, 5);
+        s.add_clause(&[v[0].pos(), v[1].pos()]);
+        s.add_clause(&[v[2].pos(), v[3].pos()]);
+        s.add_clause(&[v[4].pos(), v[5].pos()]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
     }
 
     #[test]
     fn solve_is_repeatable() {
-        let mut s = Solver::new();
-        let v = vars(&mut s, 2);
-        s.add_clause(&[v[0].pos(), v[1].pos()]);
-        let a = s.solve();
-        let b = s.solve();
-        assert_eq!(a, b);
+        both_engines(|mut s| {
+            let v = vars(&mut s, 2);
+            s.add_clause(&[v[0].pos(), v[1].pos()]);
+            let a = s.solve();
+            let b = s.solve();
+            assert_eq!(a, b);
+        });
     }
 
     #[test]
-    fn exhaustive_agreement_with_brute_force() {
-        // All 3-variable formulas over a fixed clause pool, cross-checked
-        // against truth-table evaluation.
+    fn engines_agree_on_random_formulas() {
+        // Random 3-ish-CNF instances: CDCL and DPLL must return the same
+        // verdict, and every SAT model must satisfy its formula.
         use rand::rngs::StdRng;
         use rand::{Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(42);
-        for _ in 0..300 {
-            let n = 4;
-            let mut s = Solver::new();
-            let v = vars(&mut s, n);
-            let num_clauses = rng.gen_range(1..10);
+        let mut rng = StdRng::seed_from_u64(7);
+        for round in 0..200 {
+            let n = 6;
+            let mut cdcl = Solver::with_engine(Engine::Cdcl);
+            let mut dpll = Solver::with_engine(Engine::Dpll);
+            let vc = vars(&mut cdcl, n);
+            vars(&mut dpll, n);
+            let num_clauses = rng.gen_range(3..18);
             let mut clause_list = Vec::new();
             for _ in 0..num_clauses {
                 let len = rng.gen_range(1..=3);
                 let clause: Vec<Lit> = (0..len)
                     .map(|_| {
-                        let var = v[rng.gen_range(0..n)];
+                        let var = vc[rng.gen_range(0..n)];
                         if rng.gen_bool(0.5) {
                             var.pos()
                         } else {
@@ -583,27 +880,74 @@ mod tests {
                         }
                     })
                     .collect();
-                s.add_clause(&clause);
+                cdcl.add_clause(&clause);
+                dpll.add_clause(&clause);
                 clause_list.push(clause);
             }
-            // Brute force.
-            let mut any = false;
-            for bits in 0..(1u32 << n) {
-                let assignment: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
-                if clause_list
-                    .iter()
-                    .all(|c| c.iter().any(|l| l.eval(assignment[l.var().index()])))
-                {
-                    any = true;
-                    break;
+            let a = cdcl.solve();
+            let b = dpll.solve();
+            assert_eq!(a.is_sat(), b.is_sat(), "round {round}: {clause_list:?}");
+            for (name, res) in [("cdcl", &a), ("dpll", &b)] {
+                if let SolveResult::Sat(m) = res {
+                    for c in &clause_list {
+                        assert!(
+                            c.iter().any(|l| m.lit_value(*l)),
+                            "{name} model violates {c:?}"
+                        );
+                    }
                 }
             }
-            let got = s.solve();
-            assert_eq!(got.is_sat(), any, "clauses: {clause_list:?}");
-            if let SolveResult::Sat(m) = got {
-                // Model must satisfy every clause.
-                for c in &clause_list {
-                    assert!(c.iter().any(|l| m.lit_value(*l)), "model violates {c:?}");
+        }
+    }
+
+    #[test]
+    fn exhaustive_agreement_with_brute_force() {
+        // All 4-variable formulas over a fixed clause pool, cross-checked
+        // against truth-table evaluation — in both engines.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        for engine in [Engine::Cdcl, Engine::Dpll] {
+            let mut rng = StdRng::seed_from_u64(42);
+            for _ in 0..300 {
+                let n = 4;
+                let mut s = Solver::with_engine(engine);
+                let v = vars(&mut s, n);
+                let num_clauses = rng.gen_range(1..10);
+                let mut clause_list = Vec::new();
+                for _ in 0..num_clauses {
+                    let len = rng.gen_range(1..=3);
+                    let clause: Vec<Lit> = (0..len)
+                        .map(|_| {
+                            let var = v[rng.gen_range(0..n)];
+                            if rng.gen_bool(0.5) {
+                                var.pos()
+                            } else {
+                                var.neg()
+                            }
+                        })
+                        .collect();
+                    s.add_clause(&clause);
+                    clause_list.push(clause);
+                }
+                // Brute force.
+                let mut any = false;
+                for bits in 0..(1u32 << n) {
+                    let assignment: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+                    if clause_list
+                        .iter()
+                        .all(|c| c.iter().any(|l| l.eval(assignment[l.var().index()])))
+                    {
+                        any = true;
+                        break;
+                    }
+                }
+                let got = s.solve();
+                assert_eq!(got.is_sat(), any, "clauses: {clause_list:?}");
+                if let SolveResult::Sat(m) = got {
+                    // Model must satisfy every clause.
+                    for c in &clause_list {
+                        assert!(c.iter().any(|l| m.lit_value(*l)), "model violates {c:?}");
+                    }
                 }
             }
         }

@@ -3,7 +3,7 @@
 //! against the chain encoding, and DAG validity against an independent
 //! reference implementation of path-convexity + chunk-graph acyclicity.
 
-use bt_solver::{DagProblem, ScheduleProblem, StageDag};
+use bt_solver::{DagProblem, Engine, ScheduleProblem, StageDag};
 use proptest::prelude::*;
 
 /// A random DAG over `n` topologically-indexed stages: every forward pair
@@ -186,6 +186,81 @@ proptest! {
         }
         for w in cands.windows(2) {
             prop_assert!(w[0].0 <= w[1].0 + 1e-9);
+        }
+    }
+}
+
+proptest! {
+    // Fewer cases here: the chronological DPLL oracle genuinely labors on
+    // the large instances (that gap is what the CDCL upgrade is for), so
+    // this block budgets its CI time separately from the cheap properties.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The clause-learning CDCL engine (the default) and the chronological
+    /// DPLL oracle agree on mid-size random DAGs — same optimum, both
+    /// witnesses valid, feasibility verdicts identical. (N is capped at 7
+    /// here only because the *DPLL* side labors beyond that — the very gap
+    /// the CDCL upgrade closes; `cdcl_matches_exact_on_large_dags` pushes
+    /// CDCL itself to N = 9 against the enumerator.)
+    #[test]
+    fn cdcl_and_dpll_agree_on_large_dags(
+        (n, deps) in random_dag(7),
+        seed_lat in latency_table(7, 3),
+    ) {
+        let lat: Vec<Vec<f64>> = seed_lat.into_iter().take(n).collect();
+        let dag = StageDag::new(n, deps).unwrap();
+        let cdcl = DagProblem::new(lat.clone(), dag.clone()).unwrap();
+        let dpll = DagProblem::new(lat, dag).unwrap().with_engine(Engine::Dpll);
+        match (cdcl.min_latency(&[]), dpll.min_latency(&[])) {
+            (Some((tc, ac)), Some((td, ad))) => {
+                prop_assert!((tc - td).abs() < 1e-9, "cdcl {tc} vs dpll {td}");
+                prop_assert!(cdcl.is_valid(&ac), "CDCL witness invalid");
+                prop_assert!(dpll.is_valid(&ad), "DPLL witness invalid");
+            }
+            (None, None) => {}
+            (c, d) => prop_assert!(false, "feasibility disagreement: cdcl {c:?} vs dpll {d:?}"),
+        }
+    }
+
+    /// CDCL alone on genuinely large instances (N = 9, where the
+    /// chronological DPLL takes seconds per solve): the learned-clause
+    /// engine must still match the exhaustive enumerator exactly.
+    #[test]
+    fn cdcl_matches_exact_on_large_dags(
+        (n, deps) in random_dag(9),
+        seed_lat in latency_table(9, 3),
+    ) {
+        let lat: Vec<Vec<f64>> = seed_lat.into_iter().take(n).collect();
+        let dag = StageDag::new(n, deps).unwrap();
+        let p = DagProblem::new(lat, dag).unwrap();
+        let exact = p.min_latency_exact();
+        match (exact, p.min_latency(&[])) {
+            (Some((te, _)), Some((ts, a))) => {
+                prop_assert!((te - ts).abs() < 1e-9, "exact {te} vs cdcl {ts}");
+                prop_assert!(p.is_valid(&a), "CDCL witness invalid");
+            }
+            (None, None) => {}
+            (e, s) => prop_assert!(false, "feasibility disagreement: exact {e:?} vs cdcl {s:?}"),
+        }
+    }
+
+    /// Both engines stream the same latency tiers through the blocking-
+    /// clause candidate loop, and every model either emits verifies.
+    #[test]
+    fn cdcl_and_dpll_candidate_tiers_agree(
+        (n, deps) in random_dag(5),
+        seed_lat in latency_table(5, 3),
+    ) {
+        let lat: Vec<Vec<f64>> = seed_lat.into_iter().take(n).collect();
+        let dag = StageDag::new(n, deps).unwrap();
+        let cdcl = DagProblem::new(lat.clone(), dag.clone()).unwrap();
+        let dpll = DagProblem::new(lat, dag).unwrap().with_engine(Engine::Dpll);
+        let cc = cdcl.latency_candidates(5);
+        let dc = dpll.latency_candidates(5);
+        prop_assert_eq!(cc.len(), dc.len(), "candidate counts differ");
+        for ((tc, ac), (td, ad)) in cc.iter().zip(&dc) {
+            prop_assert!((tc - td).abs() < 1e-9, "tier cdcl {} vs dpll {}", tc, td);
+            prop_assert!(cdcl.is_valid(ac) && dpll.is_valid(ad));
         }
     }
 }

@@ -19,8 +19,8 @@ use bt_kernels::apps;
 use bt_soc::des::{simulate, ChunkSpec};
 use bt_soc::des_dynamic::{simulate_dynamic, DynamicPolicy};
 use bt_soc::{
-    devices, FaultSpec, RunConfig, RunReport, SlowdownRamp, SocSpec, StageFault, StageFaultKind,
-    Straggler, WorkProfile,
+    devices, simulate_batch, DesSeedSpec, FaultSpec, RunConfig, RunReport, SlowdownRamp, SocSpec,
+    StageFault, StageFaultKind, Straggler, WorkProfile,
 };
 use serde::{Deserialize, Serialize};
 
@@ -242,6 +242,65 @@ fn golden_fixtures_replay_bit_identically() {
     assert!(
         mismatches.is_empty(),
         "{} golden case(s) drifted:\n{}",
+        mismatches.len(),
+        mismatches.join("\n")
+    );
+}
+
+/// The batched structure-of-arrays engine must reproduce every *static*
+/// golden fixture bit-for-bit: per (device, app), the clean and faulted
+/// cases are replayed as two lanes of one `simulate_batch` pass and
+/// compared against the pinned JSON through the same shortest-roundtrip
+/// encoding. (Dynamic-mode fixtures have no batched counterpart — the
+/// batch engine is a pipelined-chain engine.)
+#[test]
+fn golden_static_fixtures_replay_through_batch_engine() {
+    if std::env::var("BT_GOLDEN_REGEN").is_ok() {
+        return; // the scalar test regenerates; nothing to compare yet
+    }
+    let raw = std::fs::read_to_string(FIXTURE)
+        .expect("fixture missing — run with BT_GOLDEN_REGEN=1 to capture");
+    let golden: Vec<GoldenCase> = serde_json::from_str(&raw).expect("parse fixture");
+    let pinned = |device: &str, app: &str, mode: &str| {
+        golden
+            .iter()
+            .find(|c| c.device == device && c.app == app && c.mode == mode)
+            .unwrap_or_else(|| panic!("no pinned case {device}/{app}/{mode}"))
+    };
+
+    let cfg = golden_config();
+    let mut mismatches = Vec::new();
+    let mut replayed = 0usize;
+    for soc in devices::all() {
+        for (app_name, works) in paper_apps() {
+            let chunks = golden_chunks(&soc, &works);
+            let lanes = vec![
+                DesSeedSpec::new(cfg.seed),
+                DesSeedSpec::with_faults(cfg.seed, golden_faults(&soc)),
+            ];
+            let reports = simulate_batch(&soc, &chunks, &cfg, &lanes).expect("batched replay");
+            for (mode, report) in [("clean", &reports[0]), ("faulted", &reports[1])] {
+                let mut case = blank_case(soc.name(), &app_name, mode);
+                fill(&mut case, report);
+                let want = pinned(soc.name(), &app_name, mode);
+                let got_s = serde_json::to_string(&case).unwrap();
+                let want_s = serde_json::to_string(want).unwrap();
+                if got_s != want_s {
+                    mismatches.push(format!(
+                        "{}/{}/{} (batched):\n  got  {got_s}\n  want {want_s}",
+                        soc.name(),
+                        app_name,
+                        mode
+                    ));
+                }
+                replayed += 1;
+            }
+        }
+    }
+    assert_eq!(replayed, 4 * 3 * 2, "all static fixtures replayed batched");
+    assert!(
+        mismatches.is_empty(),
+        "{} batched golden case(s) drifted:\n{}",
         mismatches.len(),
         mismatches.join("\n")
     );

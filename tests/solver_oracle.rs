@@ -6,7 +6,7 @@
 use bettertogether::solver::enumerate::{
     enumerate_schedules, latency_candidates_exact, min_gapness_exact,
 };
-use bettertogether::solver::ScheduleProblem;
+use bettertogether::solver::{Engine, ScheduleProblem};
 use proptest::prelude::*;
 
 fn table_strategy() -> impl Strategy<Value = Vec<Vec<f64>>> {
@@ -89,6 +89,61 @@ proptest! {
         // Non-decreasing latency order.
         for w in found.windows(2) {
             prop_assert!(w[0].0 <= w[1].0 + 1e-9);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Cross-engine oracle: the clause-learning CDCL engine (the default)
+    /// and the chronological DPLL engine it replaced must return the same
+    /// optima — which must also equal the exact enumerator's — and every
+    /// witness either engine emits must verify against the constraints.
+    #[test]
+    fn cdcl_and_dpll_agree_with_exact_enumerator(rows in table_strategy()) {
+        let cdcl = ScheduleProblem::new(rows.clone()).expect("valid table");
+        prop_assert_eq!(cdcl.engine(), Engine::Cdcl, "CDCL is the default engine");
+        let dpll = ScheduleProblem::new(rows)
+            .expect("valid table")
+            .with_engine(Engine::Dpll);
+
+        let exact = latency_candidates_exact(&cdcl, 1)[0].t_max;
+        let (tc, sc) = cdcl.min_latency(&[]).expect("feasible");
+        let (td, sd) = dpll.min_latency(&[]).expect("feasible");
+        prop_assert!((tc - td).abs() < 1e-9, "cdcl {tc} vs dpll {td}");
+        prop_assert!((tc - exact).abs() < 1e-6, "sat {tc} vs exact {exact}");
+        prop_assert!(cdcl.is_valid(&sc), "CDCL witness violates C1/C2");
+        prop_assert!(dpll.is_valid(&sd), "DPLL witness violates C1/C2");
+
+        let (gc, _) = cdcl.min_gapness().expect("feasible");
+        let (gd, _) = dpll.min_gapness().expect("feasible");
+        prop_assert!((gc - gd).abs() < 1e-9, "gapness cdcl {gc} vs dpll {gd}");
+    }
+
+    /// Both engines return the same feasibility verdict on arbitrary
+    /// runtime windows, and any model found verifies.
+    #[test]
+    fn cdcl_and_dpll_window_verdicts_agree(
+        rows in table_strategy(),
+        lo_frac in 0.0f64..0.5,
+        hi_frac in 0.5f64..1.0,
+    ) {
+        let cdcl = ScheduleProblem::new(rows.clone()).expect("valid table");
+        let dpll = ScheduleProblem::new(rows)
+            .expect("valid table")
+            .with_engine(Engine::Dpll);
+        let sums = cdcl.chunk_sums();
+        let lo = sums[((sums.len() - 1) as f64 * lo_frac) as usize];
+        let hi = sums[((sums.len() - 1) as f64 * hi_frac) as usize];
+        let c = cdcl.solve_window(lo, hi, &[]);
+        let d = dpll.solve_window(lo, hi, &[]);
+        prop_assert_eq!(c.is_some(), d.is_some(), "window [{}, {}] verdicts differ", lo, hi);
+        for s in c.iter().chain(d.iter()) {
+            prop_assert!(cdcl.is_valid(s));
+            for sum in cdcl.chunk_sums_of(s) {
+                prop_assert!(sum >= lo - 1e-6 && sum <= hi + 1e-6);
+            }
         }
     }
 }
