@@ -76,6 +76,12 @@ struct BatchThroughput {
     committed_cache_on: Option<f64>,
     /// Batched / committed scalar cache-on baseline.
     batch_vs_committed: Option<f64>,
+    /// Worker threads the *committed* baseline was captured with, if its
+    /// batch row recorded them. Cross-machine throughput ratios are only
+    /// meaningful when both captures had cores to shard across, so the
+    /// gate suppresses the vs-committed target when this is `None` or
+    /// below 4 (e.g. the baseline was captured on a single-core box).
+    committed_threads: Option<u64>,
 }
 
 #[derive(Serialize)]
@@ -387,8 +393,12 @@ fn main() {
     let gate = std::env::args().any(|a| a == "--gate");
     let baseline_speedup = gate.then(committed_baseline_speedup).flatten();
     // Read the committed scalar cache-on rate before this run overwrites
-    // the file — the batched row's throughput yardstick.
+    // the file — the batched row's throughput yardstick — along with the
+    // thread count it was captured under (machine-awareness: a rate from
+    // a single-core box is not a valid multi-core target).
     let committed_cache_on = committed_value(&["des", "events_per_sec_cache_on"]);
+    let committed_threads =
+        committed_value(&["batch", "threads"]).map(|t| t.max(0.0).round() as u64);
     let soc = devices::pixel_7a();
     let app = apps::alexnet_sparse_app(apps::AlexNetConfig::default()).model();
     println!(
@@ -546,6 +556,7 @@ fn main() {
         batch_vs_scalar: batch_rate / scalar_rate,
         committed_cache_on,
         batch_vs_committed: committed_cache_on.map(|c| batch_rate / c),
+        committed_threads,
     };
     println!(
         "Batch DES:    {runs} lanes {batch_rate:10.0} ev/s   vs scalar {:.2}x   \
@@ -718,10 +729,11 @@ fn main() {
             std::process::exit(1);
         }
         // Batched-DES row. The 3x-vs-committed target is only expressible
-        // when the machine has cores for the batch engine to shard across;
-        // on a single-core runner the honest bound is parity with the
-        // same-run scalar engine (the batch engine must never cost
-        // throughput to exist).
+        // when BOTH captures had cores for the batch engine to shard
+        // across: this run's machine, and the machine the committed
+        // baseline was recorded on (its batch row carries `threads`).
+        // Otherwise the honest bound is parity with the same-run scalar
+        // engine (the batch engine must never cost throughput to exist).
         const BATCH_TARGET: f64 = 3.0;
         // One core sees the SoA engine's column traffic without the
         // sharding that pays for it: steady-state parity measures ~0.8x
@@ -729,7 +741,8 @@ fn main() {
         // regression (an accidentally quadratic lane loop), not a perf
         // claim — the perf claim lives in the multi-core branch above.
         const BATCH_PARITY_FLOOR: f64 = 0.7;
-        if threads >= 4 {
+        let committed_is_multicore = committed_threads.is_some_and(|t| t >= 4);
+        if threads >= 4 && committed_is_multicore {
             match batch_vs_committed {
                 Some(r) if r < BATCH_TARGET => {
                     eprintln!(
@@ -745,11 +758,23 @@ fn main() {
                 None => println!("gate: no committed cache-on rate found (first run?)"),
             }
         } else {
-            println!(
-                "gate: batched DES on {threads} thread(s) — holding parity floor \
-                 {BATCH_PARITY_FLOOR}x vs same-run scalar instead of the {BATCH_TARGET}x \
-                 multi-core target"
-            );
+            match (threads >= 4, committed_threads) {
+                (true, Some(t)) => println!(
+                    "gate: batched DES — committed baseline was captured on {t} thread(s); \
+                     cross-machine {BATCH_TARGET}x target suppressed, holding parity floor \
+                     {BATCH_PARITY_FLOOR}x vs same-run scalar"
+                ),
+                (true, None) => println!(
+                    "gate: batched DES — committed baseline predates thread stamping; \
+                     cross-machine {BATCH_TARGET}x target suppressed, holding parity floor \
+                     {BATCH_PARITY_FLOOR}x vs same-run scalar"
+                ),
+                (false, _) => println!(
+                    "gate: batched DES on {threads} thread(s) — holding parity floor \
+                     {BATCH_PARITY_FLOOR}x vs same-run scalar instead of the {BATCH_TARGET}x \
+                     multi-core target"
+                ),
+            }
             if batch_vs_scalar < BATCH_PARITY_FLOOR {
                 eprintln!(
                     "gate: FAIL — batched DES {batch_vs_scalar:.2}x vs same-run scalar is \

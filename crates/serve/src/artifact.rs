@@ -1,0 +1,158 @@
+//! Serializable served-plan artifacts, for replay and audit.
+
+use serde::{Deserialize, Serialize};
+
+use bt_core::{BtError, ExecutionBackend};
+use bt_pipeline::Schedule;
+use bt_soc::PuClass;
+
+use crate::ServeError;
+
+/// What a plan optimizes for. Each cold solve populates a cache cell per
+/// objective, so switching objectives on a warm cell never re-solves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PlanObjective {
+    /// Minimize measured steady-state per-task latency (the paper's
+    /// default ranking).
+    MinLatency,
+    /// Minimize measured energy per task under the device power model.
+    MinEnergy,
+}
+
+impl PlanObjective {
+    /// The objective's component in the [`crate::PlanKey`] derivation.
+    pub fn tag(self) -> u64 {
+        match self {
+            PlanObjective::MinLatency => 0x4c41_5445_4e43_5931, // "LATENCY1"
+            PlanObjective::MinEnergy => 0x454e_4552_4759_5f31,  // "ENERGY_1"
+        }
+    }
+
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            PlanObjective::MinLatency => "latency",
+            PlanObjective::MinEnergy => "energy",
+        }
+    }
+}
+
+/// One served plan, with enough provenance to replay it offline: which
+/// cell produced it (device, app, scale bucket, objective), the content
+/// key it was cached under, and the chosen schedule with its predicted
+/// and measured statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanArtifact {
+    /// Registered device name.
+    pub device: String,
+    /// Registered app name.
+    pub app: String,
+    /// Half-octave input-scale bucket (`round(2·log2(scale))`).
+    pub scale_bucket: i32,
+    /// The objective this plan was ranked under.
+    pub objective: PlanObjective,
+    /// High 64 bits of the content-addressed cache key.
+    pub key_hi: u64,
+    /// Low 64 bits of the content-addressed cache key.
+    pub key_lo: u64,
+    /// Signature of the profiling table the solve ran against (after any
+    /// drift rescaling).
+    pub table_sig: u64,
+    /// The chosen stage → PU-class assignment.
+    pub assignment: Vec<PuClass>,
+    /// Solver-predicted bottleneck latency (µs).
+    pub predicted_us: f64,
+    /// Mean measured per-task latency over the evaluation lanes (µs).
+    pub measured_us: f64,
+    /// Measured energy per task (mJ) under the device power model.
+    pub energy_per_task_mj: f64,
+    /// How many candidate schedules the cold solve considered.
+    pub candidates_considered: usize,
+    /// Monotonic index of the cold solve that produced this plan.
+    pub solve_index: u64,
+}
+
+impl PlanArtifact {
+    /// Materializes the executable schedule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError`] if the stored assignment is empty or
+    /// non-contiguous (possible only for hand-edited artifacts).
+    pub fn schedule(&self) -> Result<Schedule, ServeError> {
+        Schedule::new(self.assignment.clone())
+            .map_err(|e| ServeError::Registry(format!("artifact schedule invalid: {e:?}")))
+    }
+
+    /// Validates the plan against a backend, exactly like
+    /// [`bt_core::Plan::validate`]: stage counts must match and every
+    /// scheduled class must be schedulable there.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError`] on stage-count mismatch or an unavailable
+    /// class.
+    pub fn validate<B: ExecutionBackend>(&self, backend: &B) -> Result<(), ServeError> {
+        if self.assignment.len() != backend.stage_count() {
+            return Err(ServeError::Core(BtError::PlanStageMismatch {
+                plan: self.assignment.len(),
+                backend: backend.stage_count(),
+            }));
+        }
+        for &class in &self.assignment {
+            if !backend.schedulable(class) {
+                return Err(ServeError::Core(BtError::PlanClassUnavailable(class)));
+            }
+        }
+        Ok(())
+    }
+
+    /// Serializes for replay.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("artifact serializes")
+    }
+
+    /// Deserializes a replayed artifact.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError`] on malformed JSON.
+    pub fn from_json(json: &str) -> Result<PlanArtifact, ServeError> {
+        serde_json::from_str(json).map_err(|e| ServeError::Registry(format!("bad artifact: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn artifact_round_trips_through_json() {
+        let a = PlanArtifact {
+            device: "pixel_7a".into(),
+            app: "octree".into(),
+            scale_bucket: 2,
+            objective: PlanObjective::MinEnergy,
+            key_hi: 7,
+            key_lo: 9,
+            table_sig: 42,
+            assignment: vec![PuClass::BigCpu, PuClass::BigCpu, PuClass::Gpu],
+            predicted_us: 123.4,
+            measured_us: 130.1,
+            energy_per_task_mj: 0.8,
+            candidates_considered: 8,
+            solve_index: 3,
+        };
+        let back = PlanArtifact::from_json(&a.to_json()).unwrap();
+        assert_eq!(a, back);
+        assert_eq!(back.schedule().unwrap().chunks().len(), 2);
+    }
+
+    #[test]
+    fn objective_tags_differ() {
+        assert_ne!(
+            PlanObjective::MinLatency.tag(),
+            PlanObjective::MinEnergy.tag()
+        );
+    }
+}

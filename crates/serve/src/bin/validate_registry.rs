@@ -1,0 +1,52 @@
+//! CI schema gate for the device fleet: every `devices/*.json` must parse
+//! as a valid `SocSpec` and be referenced by `devices/registry.json`
+//! (exactly once, under a unique name). Exits non-zero on any violation,
+//! listing all of them.
+//!
+//! Usage: `cargo run -p bt-serve --bin validate_registry [-- --dir PATH]`
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use bt_serve::registry::validate_dir;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut dir: Option<PathBuf> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--dir" => dir = args.next().map(PathBuf::from),
+            other => {
+                eprintln!("unknown argument {other:?}; usage: validate_registry [--dir PATH]");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let dir = dir.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join("devices")
+    });
+
+    println!("validating device registry at {}", dir.display());
+    let report = match validate_dir(&dir) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("FAIL: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for (name, file, hash) in &report.checked {
+        println!("  ok  {name:<14} {file:<20} content-hash {hash:016x}");
+    }
+    if report.is_ok() {
+        println!("{} device(s) valid", report.checked.len());
+        ExitCode::SUCCESS
+    } else {
+        for err in &report.errors {
+            eprintln!("  FAIL {err}");
+        }
+        eprintln!("{} violation(s)", report.errors.len());
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,59 @@
+//! An allocation-counting global allocator, for pinning the
+//! allocation-free cache-hit guarantee.
+//!
+//! Install it in a test binary or benchmark with
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: bt_serve::CountingAlloc = bt_serve::CountingAlloc::new();
+//! ```
+//!
+//! then bracket the code under test with [`CountingAlloc::allocations`].
+//! Counting is process-global and monotonic; the counter is never reset,
+//! so concurrent allocating threads show up as a difference — run the
+//! bracketed section single-threaded.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// A [`System`]-delegating allocator that counts every allocation and
+/// reallocation (deallocations are free of interest here).
+#[derive(Debug, Default)]
+pub struct CountingAlloc;
+
+impl CountingAlloc {
+    /// Creates the allocator (const, for `static` installation).
+    pub const fn new() -> CountingAlloc {
+        CountingAlloc
+    }
+
+    /// Total allocations observed since process start.
+    pub fn allocations() -> u64 {
+        ALLOCATIONS.load(Ordering::Relaxed)
+    }
+}
+
+// SAFETY: delegates verbatim to `System`; the counter has no effect on
+// allocation behaviour.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}

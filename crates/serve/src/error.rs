@@ -1,0 +1,56 @@
+//! Serving-layer errors.
+
+use bt_core::BtError;
+
+/// Errors answering a plan request or validating the device fleet.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// The requested device is not registered with the service.
+    UnknownDevice(String),
+    /// The requested app is not registered with the service.
+    UnknownApp(String),
+    /// `input_scale` must be positive and finite.
+    BadScale(f64),
+    /// A fault-history slowdown factor must be positive and finite.
+    BadFaultFactor {
+        /// The offending factor.
+        factor: f64,
+    },
+    /// The cold path failed to produce a plan.
+    Core(BtError),
+    /// A registry or device file failed to load/validate.
+    Registry(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::UnknownDevice(name) => write!(f, "unknown device {name:?}"),
+            ServeError::UnknownApp(name) => write!(f, "unknown app {name:?}"),
+            ServeError::BadScale(s) => {
+                write!(f, "input_scale must be positive and finite, got {s}")
+            }
+            ServeError::BadFaultFactor { factor } => {
+                write!(f, "fault factor must be positive and finite, got {factor}")
+            }
+            ServeError::Core(e) => write!(f, "cold solve failed: {e}"),
+            ServeError::Registry(msg) => write!(f, "device registry: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<BtError> for ServeError {
+    fn from(e: BtError) -> ServeError {
+        ServeError::Core(e)
+    }
+}

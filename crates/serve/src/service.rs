@@ -1,0 +1,970 @@
+//! The plan-serving request loop.
+//!
+//! A [`PlanService`] owns a device fleet, a set of registered apps, and a
+//! population of *serving cells* — one per `(device, app, input-scale
+//! bucket)` — each holding a warm profiling table (plus an optional
+//! persistent incremental solver session). Requests resolve to a cell,
+//! derive a content-addressed [`crate::PlanKey`], and either hit the plan
+//! cache (allocation-free) or fall through to a batched cold solve.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, RwLock};
+
+use bt_core::{
+    build_problem_masked, optimize_with, Candidate, DriftConfig, ExecutionBackend, Objective,
+    OptimizerConfig, SimBackend, SolverEngine,
+};
+use bt_kernels::AppModel;
+use bt_profiler::{ProfileMode, ProfilerConfig, ProfilingTable};
+use bt_soc::power::{energy_of_window, PowerModel};
+use bt_soc::run::RunConfig;
+use bt_soc::{json_hash, Micros, PuClass, SocSpec};
+use bt_solver::OwnedLatencyEnumerator;
+
+use crate::artifact::{PlanArtifact, PlanObjective};
+use crate::cache::{PlanCache, PlanKey};
+use crate::registry::DeviceRegistry;
+use crate::ServeError;
+
+/// One plan request. Borrowed fields keep the hit path allocation-free.
+#[derive(Debug, Clone, Copy)]
+pub struct PlanRequest<'a> {
+    /// Registered device name.
+    pub device: &'a str,
+    /// Registered app name.
+    pub app: &'a str,
+    /// Input-size multiplier relative to the registered app (quantized to
+    /// half-octave buckets; 1.0 is the app as registered).
+    pub input_scale: f64,
+    /// Observed per-class slowdown factors from the client's recent runs
+    /// (the drift signal of the PR 4 resilience loop). Empty means "no
+    /// drift observed"; factors ≤ 1 mean "recovered".
+    pub fault_history: &'a [(PuClass, f64)],
+    /// What the plan should optimize.
+    pub objective: PlanObjective,
+}
+
+/// How a response was produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServedFrom {
+    /// Straight from the content-addressed cache (allocation-free path).
+    Cache,
+    /// A cold solve ran — possibly one shared, batched solve covering
+    /// several requests of a [`PlanService::serve_batch`] burst.
+    ColdSolve,
+}
+
+/// A served plan.
+#[derive(Debug, Clone)]
+pub struct PlanResponse {
+    /// The (shared) plan artifact.
+    pub artifact: Arc<PlanArtifact>,
+    /// Hit or cold.
+    pub from: ServedFrom,
+}
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Candidate schedules per cold solve (the serving analogue of the
+    /// paper's 𝒦; smaller than the offline default because serving ranks
+    /// by throughput).
+    pub candidates: usize,
+    /// How many top candidates get DES-evaluated per solve.
+    pub eval_candidates: usize,
+    /// Evaluation lanes (distinct seeds) per candidate, priced in one
+    /// batched structure-of-arrays DES pass.
+    pub eval_lanes: usize,
+    /// Cold-path candidate engine. [`SolverEngine::Exact`] streams the
+    /// contiguous-partition space (fastest); [`SolverEngine::Sat`] keeps a
+    /// persistent incremental CDCL session per serving cell.
+    pub engine: SolverEngine,
+    /// Drift policy — the PR 4 rescale loop reused as the cache
+    /// invalidation policy: `threshold` is how far a request's observed
+    /// factors may sit from the cell's applied factors before the cell
+    /// rescales, `max_factor` clamps the applied slowdown.
+    pub drift: DriftConfig,
+    /// Profiling configuration for warming a cell's table.
+    pub profiler: ProfilerConfig,
+    /// DES configuration for candidate evaluation.
+    pub run: RunConfig,
+    /// Fan profiling and batched group solves across threads when the
+    /// machine has them (deterministic either way).
+    pub parallel: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            candidates: 8,
+            eval_candidates: 4,
+            eval_lanes: 3,
+            engine: SolverEngine::Exact,
+            drift: DriftConfig::default(),
+            profiler: ProfilerConfig::default(),
+            run: RunConfig::default(),
+            parallel: true,
+        }
+    }
+}
+
+/// Service counters, sampled with [`PlanService::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Requests answered from cache.
+    pub hits: u64,
+    /// Requests that took the cold path.
+    pub misses: u64,
+    /// Drift-triggered cell invalidations.
+    pub invalidations: u64,
+    /// Cold solves performed (each populates every objective's cell).
+    pub solves: u64,
+    /// Live serving cells (warm tables).
+    pub cells: usize,
+    /// Plans currently cached.
+    pub plans: usize,
+}
+
+/// A registered application.
+#[derive(Debug)]
+struct AppEntry {
+    model: AppModel,
+}
+
+/// Cell index: (device, app, scale bucket).
+type CellKey = (u32, u32, i32);
+
+/// A scaled app model and its content signature, shared across cells.
+type ScaledApp = Arc<(AppModel, u64)>;
+
+/// A persistent incremental solver session (SAT engine only): the
+/// enumerator keeps its clause database, learned clauses, and blocking
+/// set alive across solves, so asking a warm cell for more candidates
+/// resumes where the last solve stopped instead of re-encoding.
+#[derive(Debug)]
+struct SatSession {
+    /// Table signature the session was built against.
+    sig: u64,
+    enumerator: OwnedLatencyEnumerator,
+    /// Candidates pulled so far, in non-decreasing predicted latency.
+    candidates: Vec<Candidate>,
+}
+
+/// One serving cell: warm profiling state for a (device, app, bucket).
+#[derive(Debug)]
+struct TableCell {
+    device_hash: u64,
+    app_sig: u64,
+    /// The factor-free profiled table for this cell.
+    base_table: ProfilingTable,
+    /// Which classes the table prices — drift on a class the device
+    /// cannot schedule is irrelevant to the plan and ignored.
+    class_mask: [bool; PuClass::COUNT],
+    /// Per-class slowdown factors currently applied (1.0 = pristine).
+    factors: [f64; PuClass::COUNT],
+    /// `base_table` with `factors` applied — what cold solves run on.
+    table: ProfilingTable,
+    /// Content signature of `table` (the cache-key component).
+    sig: u64,
+    backend: SimBackend,
+    power: PowerModel,
+    session: Option<SatSession>,
+    /// Cold solves performed in this cell (artifact provenance; per-cell
+    /// so identical content yields identical artifacts regardless of
+    /// fleet-wide request interleaving).
+    solve_count: u64,
+}
+
+/// A resolved request: indices and stack-only derived state.
+#[derive(Debug, Clone, Copy)]
+struct Resolved {
+    device: u32,
+    app: u32,
+    bucket: i32,
+    factors: [f64; PuClass::COUNT],
+    objective: PlanObjective,
+}
+
+/// The scheduling-as-a-service entry point. `&self` methods are safe to
+/// share across threads.
+#[derive(Debug)]
+pub struct PlanService {
+    cfg: ServeConfig,
+    registry: DeviceRegistry,
+    apps: Vec<AppEntry>,
+    app_by_name: HashMap<String, u32>,
+    /// Scaled app models + signatures per (app, bucket), built on demand.
+    scaled: RwLock<HashMap<(u32, i32), ScaledApp>>,
+    cells: RwLock<HashMap<CellKey, Arc<RwLock<TableCell>>>>,
+    cache: PlanCache,
+    solves: AtomicU64,
+}
+
+impl PlanService {
+    /// A service over an explicit device fleet with no apps registered.
+    pub fn new(registry: DeviceRegistry, cfg: ServeConfig) -> PlanService {
+        PlanService {
+            cfg,
+            registry,
+            apps: Vec::new(),
+            app_by_name: HashMap::new(),
+            scaled: RwLock::new(HashMap::new()),
+            cells: RwLock::new(HashMap::new()),
+            cache: PlanCache::new(),
+            solves: AtomicU64::new(0),
+        }
+    }
+
+    /// The paper fleet (four builtin devices) with the four workloads
+    /// (`octree`, `alexnet-dense`, `alexnet-sparse`, `perception`)
+    /// registered.
+    pub fn builtin(cfg: ServeConfig) -> PlanService {
+        use bt_kernels::apps;
+        let mut s = PlanService::new(DeviceRegistry::builtin(), cfg);
+        s.register_app(apps::octree_app(apps::OctreeConfig::default()).model());
+        s.register_app(apps::alexnet_dense_app(apps::AlexNetConfig::default()).model());
+        s.register_app(apps::alexnet_sparse_app(apps::AlexNetConfig::default()).model());
+        s.register_app(apps::perception_app(apps::PerceptionConfig::default()).model());
+        s
+    }
+
+    /// Registers a device under `name`.
+    pub fn register_device(&mut self, name: impl Into<String>, spec: SocSpec) -> u32 {
+        self.registry.register(name, spec)
+    }
+
+    /// Loads a `devices/` registry directory into the fleet.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Registry`] on read/parse failures.
+    pub fn load_devices(&mut self, dir: &std::path::Path) -> Result<(), ServeError> {
+        self.registry.load_dir(dir)
+    }
+
+    /// Registers an app under its model name.
+    pub fn register_app(&mut self, model: AppModel) -> u32 {
+        let idx = u32::try_from(self.apps.len()).expect("app set fits in u32");
+        self.app_by_name.insert(model.name.clone(), idx);
+        self.apps.push(AppEntry { model });
+        idx
+    }
+
+    /// The fleet registry.
+    pub fn registry(&self) -> &DeviceRegistry {
+        &self.registry
+    }
+
+    /// Registered app names, in registration order.
+    pub fn app_names(&self) -> Vec<&str> {
+        self.apps.iter().map(|a| a.model.name.as_str()).collect()
+    }
+
+    /// Samples every counter.
+    pub fn stats(&self) -> ServeStats {
+        let c = self.cache.stats();
+        ServeStats {
+            hits: c.hits,
+            misses: c.misses,
+            invalidations: c.invalidations,
+            solves: self.solves.load(Ordering::Relaxed),
+            cells: self.cells.read().expect("cells lock").len(),
+            plans: c.plans,
+        }
+    }
+
+    /// Exports every cached plan for replay.
+    pub fn export_plans(&self) -> Vec<PlanArtifact> {
+        self.cache.export().iter().map(|a| (**a).clone()).collect()
+    }
+
+    /// Drops cached plans while keeping warm tables and solver sessions —
+    /// benchmark support for re-measuring the cold path.
+    pub fn clear_plans(&self) {
+        self.cache.clear();
+    }
+
+    /// Answers one request: allocation-free cache hit, or a cold solve
+    /// that populates every objective's cell for this content.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError`] for unknown names, invalid scales/factors,
+    /// or a failed cold solve.
+    pub fn serve(&self, req: &PlanRequest<'_>) -> Result<PlanResponse, ServeError> {
+        let r = self.resolve(req)?;
+        if let Some(artifact) = self.try_hit(&r, true) {
+            return Ok(PlanResponse {
+                artifact,
+                from: ServedFrom::Cache,
+            });
+        }
+        self.cold_serve(&r)
+    }
+
+    /// Answers a burst. Hits are served first; misses are grouped by
+    /// (cell, factors) and each group is solved **once** — the batched
+    /// cold path — then every member is answered from the fresh cells.
+    /// Groups fan out across threads when configured and available.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ServeError`] encountered; the batch fails as a
+    /// unit (no partial answers).
+    pub fn serve_batch(&self, reqs: &[PlanRequest<'_>]) -> Result<Vec<PlanResponse>, ServeError> {
+        let resolved: Vec<Resolved> = reqs
+            .iter()
+            .map(|r| self.resolve(r))
+            .collect::<Result<_, _>>()?;
+
+        let mut out: Vec<Option<PlanResponse>> = vec![None; reqs.len()];
+        // Group misses by (cell, applied factors): members are satisfied
+        // by the identical solve.
+        type GroupId = (CellKey, [u64; PuClass::COUNT]);
+        let mut groups: HashMap<GroupId, Vec<usize>> = HashMap::new();
+        let mut group_order: Vec<GroupId> = Vec::new();
+        for (i, r) in resolved.iter().enumerate() {
+            if let Some(artifact) = self.try_hit(r, true) {
+                out[i] = Some(PlanResponse {
+                    artifact,
+                    from: ServedFrom::Cache,
+                });
+                continue;
+            }
+            let id: GroupId = ((r.device, r.app, r.bucket), r.factors.map(f64::to_bits));
+            let members = groups.entry(id).or_default();
+            if members.is_empty() {
+                group_order.push(id);
+            }
+            members.push(i);
+        }
+
+        // One representative request per group runs the cold solve; the
+        // solve populates the cell for *both* objectives, so the other
+        // members resolve from cache below.
+        let leaders: Vec<Resolved> = group_order
+            .iter()
+            .map(|id| resolved[groups[id][0]])
+            .collect();
+        let solved = self.fan_cold(&leaders)?;
+        for (gi, id) in group_order.iter().enumerate() {
+            let members = &groups[id];
+            for (mi, &req_idx) in members.iter().enumerate() {
+                let r = &resolved[req_idx];
+                let artifact = if mi == 0 && r.objective == leaders[gi].objective {
+                    solved[gi].artifact.clone()
+                } else {
+                    // Same cell, possibly the other objective: the solve
+                    // above cached it. `try_hit` without counters — these
+                    // requests were already counted as misses.
+                    self.try_hit(r, false)
+                        .ok_or(ServeError::Core(bt_core::BtError::NoCandidates))?
+                };
+                out[req_idx] = Some(PlanResponse {
+                    artifact,
+                    from: ServedFrom::ColdSolve,
+                });
+            }
+        }
+        Ok(out
+            .into_iter()
+            .map(|r| r.expect("every request answered"))
+            .collect())
+    }
+
+    /// Runs the group-leader cold solves, fanned across threads when the
+    /// machine has them. Results are index-ordered (deterministic).
+    fn fan_cold(&self, leaders: &[Resolved]) -> Result<Vec<PlanResponse>, ServeError> {
+        let threads = if self.cfg.parallel {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(leaders.len())
+        } else {
+            1
+        };
+        if threads <= 1 || leaders.len() <= 1 {
+            return leaders.iter().map(|r| self.cold_serve(r)).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let results: Vec<RwLock<Option<Result<PlanResponse, ServeError>>>> =
+            leaders.iter().map(|_| RwLock::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= leaders.len() {
+                        break;
+                    }
+                    *results[i].write().expect("result slot") = Some(self.cold_serve(&leaders[i]));
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot")
+                    .expect("slot filled")
+            })
+            .collect()
+    }
+
+    /// Validates and indexes a request. Stack-only on success.
+    fn resolve(&self, req: &PlanRequest<'_>) -> Result<Resolved, ServeError> {
+        let (device, _) = self
+            .registry
+            .get(req.device)
+            .ok_or_else(|| ServeError::UnknownDevice(req.device.to_string()))?;
+        let app = *self
+            .app_by_name
+            .get(req.app)
+            .ok_or_else(|| ServeError::UnknownApp(req.app.to_string()))?;
+        if !(req.input_scale > 0.0 && req.input_scale.is_finite()) {
+            return Err(ServeError::BadScale(req.input_scale));
+        }
+        let mut factors = [1.0f64; PuClass::COUNT];
+        for &(class, f) in req.fault_history {
+            if !(f > 0.0 && f.is_finite()) {
+                return Err(ServeError::BadFaultFactor { factor: f });
+            }
+            // Only slowdowns reschedule; recovery (≤ 1) restores pristine.
+            let clamped = f.clamp(1.0, self.cfg.drift.max_factor);
+            factors[class.index()] = factors[class.index()].max(clamped);
+        }
+        Ok(Resolved {
+            device,
+            app,
+            bucket: scale_bucket(req.input_scale),
+            factors,
+            objective: req.objective,
+        })
+    }
+
+    /// The allocation-free fast path: cell lookup, drift check, key
+    /// derivation, cache probe. `count` selects whether the probe moves
+    /// the hit/miss counters.
+    fn try_hit(&self, r: &Resolved, count: bool) -> Option<Arc<PlanArtifact>> {
+        let cell = {
+            let cells = self.cells.read().expect("cells lock");
+            match cells.get(&(r.device, r.app, r.bucket)) {
+                Some(cell) => Arc::clone(cell),
+                None => {
+                    if count {
+                        self.cache.note_miss();
+                    }
+                    return None;
+                }
+            }
+        };
+        let cell = cell.read().expect("cell lock");
+        for c in 0..PuClass::COUNT {
+            if cell.class_mask[c]
+                && drifted(cell.factors[c], r.factors[c], self.cfg.drift.threshold)
+            {
+                if count {
+                    self.cache.note_miss();
+                }
+                return None;
+            }
+        }
+        let key = PlanKey::derive(cell.device_hash, cell.app_sig, cell.sig, r.objective.tag());
+        if count {
+            self.cache.get(key)
+        } else {
+            self.cache.peek(key)
+        }
+    }
+
+    /// The cold path: get-or-create the cell, apply drift, solve once for
+    /// every objective, answer the requested one.
+    fn cold_serve(&self, r: &Resolved) -> Result<PlanResponse, ServeError> {
+        let cell = self.cell_for(r)?;
+        let mut cell = cell.write().expect("cell lock");
+        // Apply drift (the PR 4 rescale loop as invalidation policy).
+        if (0..PuClass::COUNT).any(|c| {
+            cell.class_mask[c] && drifted(cell.factors[c], r.factors[c], self.cfg.drift.threshold)
+        }) {
+            let old_sig = cell.sig;
+            rescale_cell(&mut cell, r.factors);
+            if cell.sig != old_sig {
+                self.cache.note_invalidation();
+            }
+        }
+        let key = PlanKey::derive(cell.device_hash, cell.app_sig, cell.sig, r.objective.tag());
+        // Another thread (or an earlier group of this batch) may have
+        // solved this content while we waited on the lock.
+        if let Some(artifact) = self.cache.peek(key) {
+            return Ok(PlanResponse {
+                artifact,
+                from: ServedFrom::ColdSolve,
+            });
+        }
+        let entry = self.registry.entry(r.device);
+        let artifact = self.solve_cell(&mut cell, &entry.name, r)?;
+        Ok(PlanResponse {
+            artifact,
+            from: ServedFrom::ColdSolve,
+        })
+    }
+
+    /// Gets or creates the serving cell for `r`, profiling its table on
+    /// first touch.
+    fn cell_for(&self, r: &Resolved) -> Result<Arc<RwLock<TableCell>>, ServeError> {
+        let key: CellKey = (r.device, r.app, r.bucket);
+        if let Some(cell) = self.cells.read().expect("cells lock").get(&key) {
+            return Ok(Arc::clone(cell));
+        }
+        // Build outside the map lock: profiling is the expensive part.
+        let scaled = self.scaled_app(r.app, r.bucket);
+        let entry = self.registry.entry(r.device);
+        let backend = SimBackend::new(entry.spec.clone(), scaled.0.clone())
+            .with_profiler(self.cfg.profiler.clone())
+            .with_run(self.cfg.run.clone())
+            .with_parallel(self.cfg.parallel);
+        let base_table = backend.profile(ProfileMode::InterferenceHeavy);
+        let sig = json_hash(&base_table);
+        let power = PowerModel::default_for(&entry.spec);
+        let mut class_mask = [false; PuClass::COUNT];
+        for &class in base_table.classes() {
+            class_mask[class.index()] = true;
+        }
+        let cell = TableCell {
+            device_hash: entry.hash,
+            app_sig: scaled.1,
+            table: base_table.clone(),
+            base_table,
+            class_mask,
+            factors: [1.0; PuClass::COUNT],
+            sig,
+            backend,
+            power,
+            session: None,
+            solve_count: 0,
+        };
+        let mut cells = self.cells.write().expect("cells lock");
+        // A racing thread may have built the cell meanwhile; keep the
+        // first (tables are deterministic, so either is correct).
+        Ok(Arc::clone(
+            cells
+                .entry(key)
+                .or_insert_with(|| Arc::new(RwLock::new(cell))),
+        ))
+    }
+
+    /// The scaled app model + signature for (app, half-octave bucket).
+    fn scaled_app(&self, app: u32, bucket: i32) -> ScaledApp {
+        if let Some(hit) = self.scaled.read().expect("scaled lock").get(&(app, bucket)) {
+            return Arc::clone(hit);
+        }
+        let base = &self.apps[app as usize].model;
+        let factor = bucket_factor(bucket);
+        let mut model = base.clone();
+        if (factor - 1.0).abs() > f64::EPSILON {
+            for stage in &mut model.stages {
+                stage.work = stage.work.scaled(factor);
+            }
+        }
+        let sig = json_hash(&model);
+        let built = Arc::new((model, sig));
+        let mut map = self.scaled.write().expect("scaled lock");
+        Arc::clone(map.entry((app, bucket)).or_insert(built))
+    }
+
+    /// One cold solve for a cell: enumerate candidates, evaluate the top
+    /// few over batched DES lanes, rank under **every** objective, cache
+    /// each ranking's winner, and return the requested one.
+    fn solve_cell(
+        &self,
+        cell: &mut TableCell,
+        device_name: &str,
+        r: &Resolved,
+    ) -> Result<Arc<PlanArtifact>, ServeError> {
+        let spec = self.registry.entry(r.device).spec.clone();
+        let schedulable = |c: PuClass| spec.pu(c).map(|p| p.schedulable()).unwrap_or(false);
+        let candidates: Vec<Candidate> = match self.cfg.engine {
+            SolverEngine::Exact => {
+                let cfg = OptimizerConfig {
+                    candidates: self.cfg.candidates,
+                    objective: Objective::UtilizationFilter { threshold: 0.45 },
+                    engine: SolverEngine::Exact,
+                    max_chunks: None,
+                };
+                optimize_with(&cell.table, &cfg, schedulable)?
+            }
+            SolverEngine::Sat => self.sat_candidates(cell, &schedulable)?,
+        };
+        let considered = candidates.len();
+        let top = &candidates[..considered.min(self.cfg.eval_candidates)];
+        let lanes: Vec<u64> = (0..self.cfg.eval_lanes.max(1) as u64).collect();
+        let powered = cell.backend.classes();
+        let mut ranked: Vec<(usize, f64, f64)> = Vec::with_capacity(top.len());
+        for (i, cand) in top.iter().enumerate() {
+            let runs = cell.backend.measure_batch(&cand.schedule, &lanes)?;
+            let mean_us = runs.iter().map(|m| m.latency.as_f64()).sum::<f64>() / runs.len() as f64;
+            let m = &runs[0];
+            let classes: Vec<PuClass> = cand.schedule.chunks().iter().map(|c| c.pu).collect();
+            let energy = energy_of_window(
+                &cell.power,
+                m.makespan,
+                &m.chunk_utilization,
+                m.tasks,
+                &classes,
+                &powered,
+            );
+            ranked.push((i, mean_us, energy.per_task_mj));
+        }
+        let solve_index = cell.solve_count;
+        cell.solve_count += 1;
+        self.solves.fetch_add(1, Ordering::Relaxed);
+
+        let mut requested: Option<Arc<PlanArtifact>> = None;
+        for objective in [PlanObjective::MinLatency, PlanObjective::MinEnergy] {
+            let best = ranked
+                .iter()
+                .min_by(|a, b| match objective {
+                    PlanObjective::MinLatency => a.1.total_cmp(&b.1),
+                    PlanObjective::MinEnergy => a.2.total_cmp(&b.2),
+                })
+                .ok_or(ServeError::Core(bt_core::BtError::NoCandidates))?;
+            let cand = &top[best.0];
+            let key = PlanKey::derive(cell.device_hash, cell.app_sig, cell.sig, objective.tag());
+            let artifact = Arc::new(PlanArtifact {
+                device: device_name.to_string(),
+                app: self.apps[r.app as usize].model.name.clone(),
+                scale_bucket: r.bucket,
+                objective,
+                key_hi: key.hi(),
+                key_lo: key.lo(),
+                table_sig: cell.sig,
+                assignment: cand.schedule.assignment().to_vec(),
+                predicted_us: cand.predicted.as_f64(),
+                measured_us: best.1,
+                energy_per_task_mj: best.2,
+                candidates_considered: considered,
+                solve_index,
+            });
+            self.cache.insert(key, Arc::clone(&artifact));
+            if objective == r.objective {
+                requested = Some(artifact);
+            }
+        }
+        requested.ok_or(ServeError::Core(bt_core::BtError::NoCandidates))
+    }
+
+    /// Candidate enumeration on the persistent per-cell CDCL session,
+    /// (re)building it only when the table content changed. A warm
+    /// session resumes its incremental enumeration — clause database,
+    /// learned clauses, and blocking set intact — so repeated solves pay
+    /// only for *new* candidates.
+    fn sat_candidates(
+        &self,
+        cell: &mut TableCell,
+        schedulable: &dyn Fn(PuClass) -> bool,
+    ) -> Result<Vec<Candidate>, ServeError> {
+        let rebuild = cell.session.as_ref().map(|s| s.sig) != Some(cell.sig);
+        if rebuild {
+            let problem = build_problem_masked(&cell.table, schedulable, None)?;
+            cell.session = Some(SatSession {
+                sig: cell.sig,
+                enumerator: problem.into_latency_enumerator(),
+                candidates: Vec::new(),
+            });
+        }
+        let session = cell.session.as_mut().expect("session just ensured");
+        let classes = cell.table.classes();
+        while session.candidates.len() < self.cfg.candidates {
+            match session.enumerator.next_candidate() {
+                Some((t_max, assignment)) => {
+                    let sums = session.enumerator.problem().chunk_sums_of(&assignment);
+                    let t_min = sums.iter().cloned().fold(f64::MAX, f64::min);
+                    let schedule = bt_pipeline::Schedule::from_class_indices(&assignment, classes)
+                        .expect("solver output satisfies contiguity");
+                    session.candidates.push(Candidate {
+                        schedule,
+                        predicted: Micros::new(t_max),
+                        gapness: Micros::new(t_max - t_min),
+                        chunk_sums: sums.iter().map(|&s| Micros::new(s)).collect(),
+                    });
+                }
+                None => break,
+            }
+        }
+        if session.candidates.is_empty() {
+            return Err(ServeError::Core(bt_core::BtError::NoCandidates));
+        }
+        Ok(session.candidates.clone())
+    }
+}
+
+/// Whether an observed factor drifted past `threshold` relative to the
+/// applied factor (the PR 4 drift predicate, ratio-formed).
+fn drifted(applied: f64, observed: f64, threshold: f64) -> bool {
+    (observed / applied - 1.0).abs() > threshold
+}
+
+/// Applies new per-class factors to a cell: rescale the base table
+/// (`scaled_class`, clamped upstream), recompute the content signature.
+/// Factors on classes outside the cell's mask are dropped — they cannot
+/// influence the plan, so recording them would make the drift check fire
+/// without ever changing the table signature.
+fn rescale_cell(cell: &mut TableCell, mut factors: [f64; PuClass::COUNT]) {
+    let mut table = cell.base_table.clone();
+    for class in PuClass::ALL {
+        if !cell.class_mask[class.index()] {
+            factors[class.index()] = 1.0;
+            continue;
+        }
+        let f = factors[class.index()];
+        if (f - 1.0).abs() > f64::EPSILON {
+            if let Some(scaled) = table.scaled_class(class, f) {
+                table = scaled;
+            }
+        }
+    }
+    cell.sig = json_hash(&table);
+    cell.table = table;
+    cell.factors = factors;
+}
+
+/// Quantizes an input scale to a half-octave bucket: `2^(bucket/2)`.
+fn scale_bucket(scale: f64) -> i32 {
+    (scale.log2() * 2.0).round() as i32
+}
+
+/// The representative scale factor of a bucket.
+fn bucket_factor(bucket: i32) -> f64 {
+    2f64.powf(f64::from(bucket) / 2.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg() -> ServeConfig {
+        ServeConfig {
+            profiler: ProfilerConfig {
+                reps: 3,
+                ..ProfilerConfig::default()
+            },
+            run: RunConfig {
+                tasks: 10,
+                warmup: 2,
+                ..RunConfig::default()
+            },
+            eval_lanes: 2,
+            ..ServeConfig::default()
+        }
+    }
+
+    fn request<'a>(objective: PlanObjective) -> PlanRequest<'a> {
+        PlanRequest {
+            device: "pixel_7a",
+            app: "octree",
+            input_scale: 1.0,
+            fault_history: &[],
+            objective,
+        }
+    }
+
+    #[test]
+    fn scale_buckets_quantize_half_octaves() {
+        assert_eq!(scale_bucket(1.0), 0);
+        assert_eq!(scale_bucket(2.0), 2);
+        assert_eq!(scale_bucket(0.5), -2);
+        assert_eq!(scale_bucket(1.41), 1);
+        // Bucket representative factors invert the quantization.
+        assert!((bucket_factor(2) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn second_request_hits_cache() {
+        let service = PlanService::builtin(quick_cfg());
+        let req = request(PlanObjective::MinLatency);
+        let cold = service.serve(&req).unwrap();
+        assert_eq!(cold.from, ServedFrom::ColdSolve);
+        let hit = service.serve(&req).unwrap();
+        assert_eq!(hit.from, ServedFrom::Cache);
+        assert!(Arc::ptr_eq(&cold.artifact, &hit.artifact));
+        let stats = service.stats();
+        assert_eq!((stats.hits, stats.misses, stats.solves), (1, 1, 1));
+        assert_eq!(stats.plans, 2, "one solve populates both objectives");
+    }
+
+    #[test]
+    fn objectives_share_one_solve() {
+        let service = PlanService::builtin(quick_cfg());
+        let a = service.serve(&request(PlanObjective::MinLatency)).unwrap();
+        let b = service.serve(&request(PlanObjective::MinEnergy)).unwrap();
+        assert_eq!(service.stats().solves, 1);
+        assert_eq!(b.from, ServedFrom::Cache);
+        assert_eq!(a.artifact.table_sig, b.artifact.table_sig);
+    }
+
+    #[test]
+    fn energy_plan_never_costs_more_energy() {
+        let service = PlanService::builtin(quick_cfg());
+        let lat = service.serve(&request(PlanObjective::MinLatency)).unwrap();
+        let en = service.serve(&request(PlanObjective::MinEnergy)).unwrap();
+        assert!(en.artifact.energy_per_task_mj <= lat.artifact.energy_per_task_mj + 1e-12);
+        assert!(lat.artifact.measured_us <= en.artifact.measured_us + 1e-12);
+    }
+
+    #[test]
+    fn drift_invalidates_then_recovery_restores() {
+        let service = PlanService::builtin(quick_cfg());
+        let pristine = service.serve(&request(PlanObjective::MinLatency)).unwrap();
+
+        // A big observed slowdown on the big cluster → re-solve.
+        let history = [(PuClass::BigCpu, 4.0)];
+        let faulted = service
+            .serve(&PlanRequest {
+                fault_history: &history,
+                ..request(PlanObjective::MinLatency)
+            })
+            .unwrap();
+        assert_eq!(faulted.from, ServedFrom::ColdSolve);
+        assert_ne!(faulted.artifact.table_sig, pristine.artifact.table_sig);
+        let stats = service.stats();
+        assert_eq!(stats.invalidations, 1);
+        assert_eq!(stats.solves, 2);
+
+        // Recovery: factors return to 1.0 → the cell rescales back to
+        // the original table signature, under which the pre-fault plan
+        // is still cached — so no third solve runs and the exact
+        // pre-fault artifact is served again.
+        let recovered = service.serve(&request(PlanObjective::MinLatency)).unwrap();
+        assert!(Arc::ptr_eq(&recovered.artifact, &pristine.artifact));
+        assert_eq!(service.stats().solves, 2);
+        assert_eq!(service.stats().invalidations, 2);
+
+        // And with the cell settled back at 1.0, the next request is a
+        // pure allocation-free hit.
+        let settled = service.serve(&request(PlanObjective::MinLatency)).unwrap();
+        assert_eq!(settled.from, ServedFrom::Cache);
+    }
+
+    #[test]
+    fn small_drift_stays_on_the_hit_path() {
+        let service = PlanService::builtin(quick_cfg());
+        service.serve(&request(PlanObjective::MinLatency)).unwrap();
+        // 10% observed slowdown < 30% threshold: same cell, same plan.
+        let history = [(PuClass::BigCpu, 1.1)];
+        let resp = service
+            .serve(&PlanRequest {
+                fault_history: &history,
+                ..request(PlanObjective::MinLatency)
+            })
+            .unwrap();
+        assert_eq!(resp.from, ServedFrom::Cache);
+        assert_eq!(service.stats().solves, 1);
+    }
+
+    #[test]
+    fn batch_groups_misses_onto_one_solve() {
+        let service = PlanService::builtin(quick_cfg());
+        let reqs: Vec<PlanRequest<'_>> = (0..24)
+            .map(|i| {
+                request(if i % 2 == 0 {
+                    PlanObjective::MinLatency
+                } else {
+                    PlanObjective::MinEnergy
+                })
+            })
+            .collect();
+        let responses = service.serve_batch(&reqs).unwrap();
+        assert_eq!(responses.len(), 24);
+        assert!(responses.iter().all(|r| r.from == ServedFrom::ColdSolve));
+        let stats = service.stats();
+        assert_eq!(stats.solves, 1, "24 cold requests, one batched solve");
+        assert_eq!(stats.misses, 24);
+        // Identical follow-up burst is all hits.
+        let again = service.serve_batch(&reqs).unwrap();
+        assert!(again.iter().all(|r| r.from == ServedFrom::Cache));
+        assert_eq!(service.stats().solves, 1);
+    }
+
+    #[test]
+    fn input_scale_changes_the_plan_cell() {
+        let service = PlanService::builtin(quick_cfg());
+        let base = service.serve(&request(PlanObjective::MinLatency)).unwrap();
+        let scaled = service
+            .serve(&PlanRequest {
+                input_scale: 4.0,
+                ..request(PlanObjective::MinLatency)
+            })
+            .unwrap();
+        assert_eq!(scaled.from, ServedFrom::ColdSolve);
+        assert_ne!(
+            (base.artifact.key_hi, base.artifact.key_lo),
+            (scaled.artifact.key_hi, scaled.artifact.key_lo)
+        );
+        assert!(
+            scaled.artifact.measured_us > base.artifact.measured_us,
+            "4× the work should measure slower"
+        );
+        assert_eq!(service.stats().cells, 2);
+    }
+
+    #[test]
+    fn sat_engine_session_is_reused_across_solves() {
+        let cfg = ServeConfig {
+            engine: SolverEngine::Sat,
+            ..quick_cfg()
+        };
+        let service = PlanService::builtin(cfg);
+        let a = service.serve(&request(PlanObjective::MinLatency)).unwrap();
+        // Force a second solve of the same cell content: clear plans only.
+        service.clear_plans();
+        let b = service.serve(&request(PlanObjective::MinLatency)).unwrap();
+        assert_eq!(b.from, ServedFrom::ColdSolve);
+        assert_eq!(a.artifact.assignment, b.artifact.assignment);
+        assert_eq!(service.stats().solves, 2);
+    }
+
+    #[test]
+    fn unknown_names_and_bad_scales_error() {
+        let service = PlanService::builtin(quick_cfg());
+        let bad_device = PlanRequest {
+            device: "vax_11",
+            ..request(PlanObjective::MinLatency)
+        };
+        assert!(matches!(
+            service.serve(&bad_device),
+            Err(ServeError::UnknownDevice(_))
+        ));
+        let bad_scale = PlanRequest {
+            input_scale: -1.0,
+            ..request(PlanObjective::MinLatency)
+        };
+        assert!(matches!(
+            service.serve(&bad_scale),
+            Err(ServeError::BadScale(_))
+        ));
+        let history = [(PuClass::Gpu, f64::NAN)];
+        let bad_factor = PlanRequest {
+            fault_history: &history,
+            ..request(PlanObjective::MinLatency)
+        };
+        assert!(matches!(
+            service.serve(&bad_factor),
+            Err(ServeError::BadFaultFactor { .. })
+        ));
+    }
+
+    #[test]
+    fn artifacts_validate_against_their_backend() {
+        let service = PlanService::builtin(quick_cfg());
+        let resp = service.serve(&request(PlanObjective::MinLatency)).unwrap();
+        let backend = SimBackend::new(
+            bt_soc::devices::pixel_7a(),
+            bt_kernels::apps::octree_app(bt_kernels::apps::OctreeConfig::default()).model(),
+        );
+        resp.artifact.validate(&backend).unwrap();
+        // And round-trips for replay.
+        let json = resp.artifact.to_json();
+        let back = PlanArtifact::from_json(&json).unwrap();
+        assert_eq!(*resp.artifact, back);
+    }
+}

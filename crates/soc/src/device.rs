@@ -98,6 +98,14 @@ impl SocSpec {
         &self.name
     }
 
+    /// Stable content hash of the full device model (clusters, bandwidth,
+    /// interference, affinity) — the device component of a content-addressed
+    /// plan-cache key. Two specs hash equal iff every parameter a solve
+    /// depends on is equal; see [`crate::hash`] for stability guarantees.
+    pub fn content_hash(&self) -> u64 {
+        crate::hash::json_hash(self)
+    }
+
     /// The cluster specification for `class`, if the device has one.
     pub fn pu(&self, class: PuClass) -> Option<&PuSpec> {
         self.pus.get(class)

@@ -1,0 +1,74 @@
+//! Content hashing for cache keys.
+//!
+//! The serving layer addresses plans by content: a plan cell is keyed by
+//! *what was solved* — the device model, the application, the profiling
+//! table — not by names, so two requests agree on a cached plan exactly
+//! when a cold solve would have produced the same answer for both.
+//!
+//! Hashes are computed over the canonical `serde_json` encoding of the
+//! value. serde_json serializes struct fields in declaration order and
+//! formats `f64`s shortest-round-trip, so the encoding — and therefore the
+//! hash — is deterministic across processes and platforms for any value
+//! that round-trips. FNV-1a is used rather than `std`'s `DefaultHasher`
+//! because the latter's algorithm is explicitly unspecified and may change
+//! between Rust releases, which would silently invalidate persisted plan
+//! artifacts.
+
+use serde::Serialize;
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+/// FNV-1a 64-bit hash of a byte string. Stable across processes,
+/// platforms, and Rust releases.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Content hash of any serializable value: FNV-1a 64 over its canonical
+/// JSON encoding.
+///
+/// # Panics
+///
+/// Panics if the value fails to serialize (only possible for types whose
+/// `Serialize` impl can error, e.g. maps with non-string keys).
+pub fn json_hash<T: Serialize>(value: &T) -> u64 {
+    let encoded = serde_json::to_string(value).expect("value must serialize to JSON");
+    fnv1a64(encoded.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn json_hash_is_deterministic_and_discriminating() {
+        let a = crate::devices::pixel_7a();
+        let b = crate::devices::pixel_7a();
+        assert_eq!(json_hash(&a), json_hash(&b));
+        assert_ne!(json_hash(&a), json_hash(&crate::devices::oneplus_11()));
+    }
+
+    #[test]
+    fn spec_content_hash_tracks_spec_changes() {
+        let soc = crate::devices::jetson_orin_nano();
+        let lp = crate::devices::jetson_orin_nano_lp();
+        assert_eq!(soc.content_hash(), soc.clone().content_hash());
+        assert_ne!(soc.content_hash(), lp.content_hash());
+    }
+}

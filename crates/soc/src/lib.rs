@@ -52,6 +52,7 @@ mod device;
 mod error;
 pub mod fault;
 pub mod gantt;
+pub mod hash;
 mod interference;
 pub mod power;
 mod pu;
@@ -66,6 +67,7 @@ pub use des_multi::{simulate_multi, MultiRunReport, TenantSpec};
 pub use device::{devices, PerClass, SocBuilder, SocSpec};
 pub use error::SocError;
 pub use fault::{FaultSpec, PuLoss, SlowdownRamp, StageFault, StageFaultKind, Straggler};
+pub use hash::{fnv1a64, json_hash};
 pub use interference::{ActiveKernel, InterferenceModel};
 pub use pu::{GpuBackend, PuClass, PuId, PuSpec};
 pub use run::{DegradeReason, RunConfig, RunReport, RunStats, TimelineSpan};

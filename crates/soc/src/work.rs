@@ -107,6 +107,26 @@ impl WorkProfile {
         self
     }
 
+    /// Returns a copy with `flops` and `bytes` scaled by `factor`,
+    /// everything else (parallelism, divergence, launch count, efficiency
+    /// calibration) unchanged — the model of the same stage run at a
+    /// different input scale. Fixed per-launch overheads in the latency
+    /// model don't scale, so per-class latency shifts non-uniformly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is non-positive or non-finite.
+    pub fn scaled(&self, factor: f64) -> WorkProfile {
+        assert!(
+            factor > 0.0 && factor.is_finite(),
+            "scale factor must be positive and finite"
+        );
+        let mut scaled = self.clone();
+        scaled.flops *= factor;
+        scaled.bytes *= factor;
+        scaled
+    }
+
     /// Arithmetic operations per task.
     pub fn flops(&self) -> f64 {
         self.flops

@@ -51,5 +51,7 @@ mod solver;
 
 pub use dag::{DagChunk, DagError, DagEval, DagProblem, ReplicatedPlan, StageDag, REPLICA};
 pub use lit::{Lit, Var};
-pub use schedule::{Assignment, LatencyEnumerator, ProblemError, ScheduleProblem};
+pub use schedule::{
+    Assignment, LatencyEnumerator, OwnedLatencyEnumerator, ProblemError, ScheduleProblem,
+};
 pub use solver::{Engine, Model, SolveResult, Solver};

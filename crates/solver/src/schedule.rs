@@ -473,12 +473,21 @@ impl ScheduleProblem {
     /// [`ScheduleProblem::latency_candidates`] drives).
     pub fn latency_enumerator(&self) -> LatencyEnumerator<'_> {
         LatencyEnumerator {
+            state: EnumState::new(self),
             problem: self,
-            sums: self.chunk_sums(),
-            tier: 0,
-            solver: None,
-            blocked: Vec::new(),
-            exhausted: false,
+        }
+    }
+
+    /// Consumes the problem into a self-contained enumeration session.
+    ///
+    /// Same incremental semantics as [`ScheduleProblem::latency_enumerator`],
+    /// but owning the problem so the session can be stored in long-lived
+    /// structures (e.g. a serving cell that keeps one solver session — with
+    /// its learned clauses and blocking set — warm across requests).
+    pub fn into_latency_enumerator(self) -> OwnedLatencyEnumerator {
+        OwnedLatencyEnumerator {
+            state: EnumState::new(&self),
+            problem: self,
         }
     }
 }
@@ -506,6 +515,48 @@ impl ScheduleProblem {
 #[derive(Debug)]
 pub struct LatencyEnumerator<'a> {
     problem: &'a ScheduleProblem,
+    state: EnumState,
+}
+
+impl LatencyEnumerator<'_> {
+    /// Returns the next-cheapest unseen schedule as `(T_max, assignment)`,
+    /// or `None` once the schedule space is exhausted.
+    pub fn next_candidate(&mut self) -> Option<(f64, Assignment)> {
+        self.state.next_candidate(self.problem)
+    }
+}
+
+/// A self-contained enumeration session: [`LatencyEnumerator`] semantics
+/// without the borrow, so one incremental solver session (persistent
+/// clause database, blocking set, learned clauses) can live inside a cache
+/// cell or service and be resumed across many requests.
+#[derive(Debug)]
+pub struct OwnedLatencyEnumerator {
+    problem: ScheduleProblem,
+    state: EnumState,
+}
+
+impl OwnedLatencyEnumerator {
+    /// Returns the next-cheapest unseen schedule as `(T_max, assignment)`,
+    /// or `None` once the schedule space is exhausted.
+    pub fn next_candidate(&mut self) -> Option<(f64, Assignment)> {
+        self.state.next_candidate(&self.problem)
+    }
+
+    /// The underlying problem this session enumerates.
+    pub fn problem(&self) -> &ScheduleProblem {
+        &self.problem
+    }
+
+    /// Number of schedules emitted (and blocked) so far in this session.
+    pub fn emitted(&self) -> usize {
+        self.state.blocked.len()
+    }
+}
+
+/// The borrow-free enumeration state both enumerator flavors share.
+#[derive(Debug)]
+struct EnumState {
     /// Sorted distinct achievable chunk sums — the latency tiers.
     sums: Vec<f64>,
     /// Lowest tier index not yet proven infeasible for the blocked set.
@@ -516,15 +567,23 @@ pub struct LatencyEnumerator<'a> {
     exhausted: bool,
 }
 
-impl LatencyEnumerator<'_> {
-    /// Returns the next-cheapest unseen schedule as `(T_max, assignment)`,
-    /// or `None` once the schedule space is exhausted.
-    pub fn next_candidate(&mut self) -> Option<(f64, Assignment)> {
+impl EnumState {
+    fn new(problem: &ScheduleProblem) -> EnumState {
+        EnumState {
+            sums: problem.chunk_sums(),
+            tier: 0,
+            solver: None,
+            blocked: Vec::new(),
+            exhausted: false,
+        }
+    }
+
+    fn next_candidate(&mut self, problem: &ScheduleProblem) -> Option<(f64, Assignment)> {
         while !self.exhausted {
             if let Some((solver, x)) = self.solver.as_mut() {
                 match solver.solve() {
                     SolveResult::Sat(model) => {
-                        let a = self.problem.decode(x, &model);
+                        let a = problem.decode(x, &model);
                         let clause: Vec<_> =
                             a.iter().enumerate().map(|(i, &c)| x[i][c].neg()).collect();
                         solver.add_clause(&clause);
@@ -543,8 +602,7 @@ impl LatencyEnumerator<'_> {
             let mut found = None;
             while lo < hi {
                 let mid = (lo + hi) / 2;
-                if self
-                    .problem
+                if problem
                     .solve_window(0.0, self.sums[mid], &self.blocked)
                     .is_some()
                 {
@@ -559,7 +617,7 @@ impl LatencyEnumerator<'_> {
                     self.tier = t;
                     // Materialize the persistent solver at the new tier;
                     // the loop's next iteration pulls a model from it.
-                    self.solver = Some(self.problem.encode(0.0, self.sums[t], &self.blocked));
+                    self.solver = Some(problem.encode(0.0, self.sums[t], &self.blocked));
                 }
                 None => self.exhausted = true,
             }
@@ -696,5 +754,21 @@ mod tests {
         let p = ScheduleProblem::new(vec![vec![1.0, 2.0], vec![1.0, 2.0]]).unwrap();
         let cands = p.latency_candidates(100);
         assert_eq!(cands.len(), 4);
+    }
+
+    #[test]
+    fn owned_enumerator_matches_borrowed() {
+        let p = small();
+        let borrowed = p.latency_candidates(20);
+        let mut session = p.clone().into_latency_enumerator();
+        let mut owned = Vec::new();
+        while let Some(ta) = session.next_candidate() {
+            owned.push(ta);
+        }
+        assert_eq!(owned, borrowed);
+        assert_eq!(session.emitted(), borrowed.len());
+        assert_eq!(session.problem().stages(), p.stages());
+        // A drained session stays drained.
+        assert!(session.next_candidate().is_none());
     }
 }

@@ -12,6 +12,9 @@
 //! - [`kernels`] — the three evaluation workloads, implemented for real.
 //! - [`soc`] — device models, cost/interference models, and the
 //!   discrete-event simulator standing in for the paper's four devices.
+//! - [`serve`] — scheduling-as-a-service: a content-addressed plan cache
+//!   over the framework loop, with drift-triggered invalidation and
+//!   batched cold solving across a device fleet.
 //! - [`telemetry`] — per-dispatcher counters and execution spans shared by
 //!   host and simulated runs, with Chrome trace / JSONL exporters.
 //!
@@ -43,6 +46,7 @@ pub use bt_core as core;
 pub use bt_kernels as kernels;
 pub use bt_pipeline as pipeline;
 pub use bt_profiler as profiler;
+pub use bt_serve as serve;
 pub use bt_soc as soc;
 pub use bt_solver as solver;
 pub use bt_telemetry as telemetry;
