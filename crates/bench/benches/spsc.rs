@@ -10,7 +10,7 @@ fn spsc_same_thread(c: &mut Criterion) {
     let mut group = c.benchmark_group("spsc");
     group.throughput(Throughput::Elements(1));
     group.bench_function("push_pop_uncontended", |b| {
-        let (mut tx, mut rx) = spsc::channel::<u64>(64);
+        let (mut tx, mut rx) = spsc::channel::<u64>(64).expect("positive capacity");
         b.iter(|| {
             tx.push(black_box(42)).expect("capacity available");
             black_box(rx.pop().expect("just pushed"))
@@ -18,7 +18,7 @@ fn spsc_same_thread(c: &mut Criterion) {
     });
 
     group.bench_function("boxed_payload_transfer", |b| {
-        let (mut tx, mut rx) = spsc::channel::<Box<[u8; 256]>>(8);
+        let (mut tx, mut rx) = spsc::channel::<Box<[u8; 256]>>(8).expect("positive capacity");
         let mut slot = Some(Box::new([0u8; 256]));
         b.iter(|| {
             let payload = slot.take().expect("recycled");
@@ -35,7 +35,7 @@ fn spsc_cross_thread(c: &mut Criterion) {
     group.throughput(Throughput::Elements(10_000));
     group.bench_function("cross_thread_10k", |b| {
         b.iter(|| {
-            let (mut tx, mut rx) = spsc::channel::<u64>(256);
+            let (mut tx, mut rx) = spsc::channel::<u64>(256).expect("positive capacity");
             let producer = std::thread::spawn(move || {
                 for i in 0..10_000u64 {
                     let mut v = i;

@@ -22,8 +22,8 @@
 use std::time::Instant;
 
 use bt_core::{
-    build_problem, optimize, optimize_dag, optimize_replicated, BetterTogether, OptimizerConfig,
-    SimBackend,
+    build_problem, optimize, optimize_dag, optimize_replicated, BetterTogether, McuBackend,
+    OptimizerConfig, SimBackend,
 };
 use bt_kernels::{apps, AppModel};
 use bt_pipeline::{
@@ -130,6 +130,24 @@ struct DagBranching {
 }
 
 #[derive(Serialize)]
+struct McuEdge {
+    device: &'static str,
+    app: &'static str,
+    /// Winning schedule's class letters (e.g. "GBLL": DMA drains the ADC,
+    /// the M7 runs the FIR, the M4 takes features + classification).
+    best_schedule: String,
+    /// Measured time/task of the winning schedule (virtual µs).
+    best_us: f64,
+    /// The naive firmware baseline: every stage on the Cortex-M7.
+    m7_baseline_us: f64,
+    /// Baseline / best (> 1 gated: pipelining across the MCU's PUs must
+    /// beat the single-core loop). Deterministic — virtual time.
+    speedup_over_m7: f64,
+    /// Distinct PU classes the winning schedule spans.
+    classes_used: usize,
+}
+
+#[derive(Serialize)]
 struct BenchEval {
     device: &'static str,
     app: &'static str,
@@ -147,6 +165,10 @@ struct BenchEval {
     /// Fork/join rows on the branching perception app: DAG-aware vs
     /// linearized, and bottleneck replication (deterministic, gated).
     dag: DagBranching,
+    /// MCU-class edge row: the Fig. 2 loop on the `mcu_m7` device and the
+    /// sensor app, via the CPU-only-baseline [`McuBackend`]
+    /// (deterministic, gated).
+    mcu: McuEdge,
     /// The acceptance bar: current Fig. 2 loop ≥ 2× the pre-PR path.
     meets_2x_fig2: bool,
 }
@@ -332,6 +354,34 @@ fn dag_branching_rows(k: usize) -> DagBranching {
         replicated_us,
         best_nonreplicated_us,
         replication_speedup: best_nonreplicated_us / replicated_us,
+    }
+}
+
+/// The MCU edge row: the same Fig. 2 loop, retargeted at the STM32H745-
+/// class device through [`McuBackend`] — whose only baseline is the
+/// all-on-the-M7 firmware loop, since the MDMA engine moves bytes but
+/// cannot host whole applications. Entirely virtual-time, hence
+/// deterministic and hard-gated.
+fn mcu_edge_row() -> McuEdge {
+    let app = apps::sensor_app(apps::SensorConfig::default()).model();
+    let d = BetterTogether::with_backend(McuBackend::new(devices::mcu_m7(), app))
+        .run()
+        .expect("Fig. 2 loop on the MCU backend");
+    let best = d.best_schedule().expect("autotuned").clone();
+    let best_us = d.best_latency().expect("measured").as_f64();
+    let m7_baseline_us = d
+        .baselines
+        .latency_of(PuClass::BigCpu)
+        .expect("M7 baseline measured")
+        .as_f64();
+    McuEdge {
+        device: "mcu_m7",
+        app: "sensor",
+        best_schedule: best.to_string(),
+        best_us,
+        m7_baseline_us,
+        speedup_over_m7: d.speedup_over_cpu().expect("both latencies measured"),
+        classes_used: best.classes_used().len(),
     }
 }
 
@@ -653,6 +703,14 @@ fn main() {
         dag.dag_aware_us, dag.best_linearized_us, dag.speedup, dag.replication_speedup
     );
 
+    // --- MCU edge row: sensor app on the mcu_m7 device. -----------------
+    let mcu = mcu_edge_row();
+    println!(
+        "MCU edge:     best {} {:9.0} µs   all-on-M7 {:9.0} µs   speedup {:.2}x   \
+         ({} classes)",
+        mcu.best_schedule, mcu.best_us, mcu.m7_baseline_us, mcu.speedup_over_m7, mcu.classes_used
+    );
+
     let meets = fig2.speedup >= 2.0;
     println!(
         "\nFig. 2 loop >= 2x over pre-PR path: {}",
@@ -667,6 +725,8 @@ fn main() {
     let batch_vs_committed = batch.batch_vs_committed;
     let engines_speedup = solver_engines.speedup;
     let engines_worst_ms = solver_engines.max_cdcl_solve_ms;
+    let mcu_speedup = mcu.speedup_over_m7;
+    let mcu_classes = mcu.classes_used;
     bt_bench::write_root_result(
         "BENCH_eval",
         &BenchEval {
@@ -680,6 +740,7 @@ fn main() {
             solver_engines,
             mt,
             dag,
+            mcu,
             meets_2x_fig2: meets,
         },
     );
@@ -790,6 +851,25 @@ fn main() {
             eprintln!("gate: FAIL — CDCL is slower than DPLL ({engines_speedup:.2}x aggregate)");
             std::process::exit(1);
         }
+        // MCU edge row, also virtual-time: on the mcu_m7 device the
+        // interference-aware pipeline must beat the naive all-on-M7
+        // firmware loop, and the winning schedule must actually be
+        // heterogeneous (otherwise the backend degenerated to the
+        // baseline it claims to beat).
+        if mcu_speedup <= 1.0 {
+            eprintln!(
+                "gate: FAIL — MCU edge speedup {mcu_speedup:.2}x does not beat the \
+                 all-on-M7 firmware baseline"
+            );
+            std::process::exit(1);
+        }
+        if mcu_classes < 2 {
+            eprintln!(
+                "gate: FAIL — MCU edge schedule uses {mcu_classes} PU class(es); the \
+                 winning schedule must span more than one"
+            );
+            std::process::exit(1);
+        }
         const CDCL_BUDGET_MS: f64 = 50.0;
         if !smoke && engines_worst_ms >= CDCL_BUDGET_MS {
             eprintln!(
@@ -802,7 +882,7 @@ fn main() {
             "gate: pass (fig2 {fig2_speedup:.2}x >= {GATE_FLOOR}x, co-run {mt_speedup:.2}x > 1x, \
              dag {dag_speedup:.2}x > 1x, replication {replication_speedup:.2}x > 1x, \
              batch {batch_vs_scalar:.2}x scalar, cdcl {engines_speedup:.2}x dpll / \
-             worst {engines_worst_ms:.1} ms)"
+             worst {engines_worst_ms:.1} ms, mcu {mcu_speedup:.2}x > 1x)"
         );
     }
 }

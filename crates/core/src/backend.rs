@@ -546,6 +546,120 @@ impl<P: Send + 'static> ExecutionBackend for HostBackend<P> {
     }
 }
 
+/// The MCU-class edge backend: the simulator bound to a
+/// microcontroller-shaped device model
+/// ([`devices::mcu_m7`](bt_soc::devices::mcu_m7)) —
+/// single-issue in-order cores, kilobytes of SRAM against slow flash/SDRAM
+/// standing in for the DRAM-contention analogue, and a DMA engine as the
+/// async accelerator class.
+///
+/// Semantically this is [`SimBackend`] with two MCU-specific policies:
+///
+/// - its report name is `"mcu"`, so deployments and bench rows are
+///   attributable to the edge substrate; and
+/// - [`baseline_classes`](ExecutionBackend::baseline_classes) is only
+///   `BigCpu` (the M7): a DMA engine cannot host whole applications, so
+///   the paper's GPU-only baseline is meaningless here and the speedup
+///   denominator is the realistic "everything on the big core" firmware.
+#[derive(Debug, Clone)]
+pub struct McuBackend {
+    inner: SimBackend,
+}
+
+impl McuBackend {
+    /// Binds the MCU simulator to a device model and an application model.
+    pub fn new(soc: SocSpec, app: AppModel) -> McuBackend {
+        McuBackend {
+            inner: SimBackend::new(soc, app),
+        }
+    }
+
+    /// Overrides the run configuration used for measurements.
+    pub fn with_run(mut self, run: RunConfig) -> McuBackend {
+        self.inner = self.inner.with_run(run);
+        self
+    }
+
+    /// Overrides the profiler configuration.
+    pub fn with_profiler(mut self, profiler: ProfilerConfig) -> McuBackend {
+        self.inner = self.inner.with_profiler(profiler);
+        self
+    }
+
+    /// Enables or disables concurrent measurement/profiling (on by
+    /// default); see [`SimBackend::with_parallel`].
+    pub fn with_parallel(mut self, parallel: bool) -> McuBackend {
+        self.inner = self.inner.with_parallel(parallel);
+        self
+    }
+
+    /// The bound device model.
+    pub fn soc(&self) -> &SocSpec {
+        self.inner.soc()
+    }
+
+    /// The bound application model.
+    pub fn app(&self) -> &AppModel {
+        self.inner.app()
+    }
+}
+
+impl ExecutionBackend for McuBackend {
+    fn name(&self) -> &str {
+        "mcu"
+    }
+
+    fn parallel_measure_hint(&self) -> bool {
+        self.inner.parallel_measure_hint()
+    }
+
+    fn stage_count(&self) -> usize {
+        self.inner.stage_count()
+    }
+
+    fn classes(&self) -> Vec<PuClass> {
+        self.inner.classes()
+    }
+
+    fn schedulable(&self, class: PuClass) -> bool {
+        self.inner.schedulable(class)
+    }
+
+    fn baseline_classes(&self) -> Vec<PuClass> {
+        // No GPU-only row: the DMA engine moves bytes, it cannot host
+        // whole applications the way a mobile GPU can.
+        vec![PuClass::BigCpu]
+    }
+
+    fn profile(&self, mode: ProfileMode) -> ProfilingTable {
+        self.inner.profile(mode)
+    }
+
+    fn measure(&self, schedule: &Schedule, run_index: u64) -> Result<Measurement, BtError> {
+        self.inner.measure(schedule, run_index)
+    }
+
+    fn measure_batch(
+        &self,
+        schedule: &Schedule,
+        run_indices: &[u64],
+    ) -> Result<Vec<Measurement>, BtError> {
+        self.inner.measure_batch(schedule, run_indices)
+    }
+
+    fn measure_dag(&self, schedule: &DagSchedule, run_index: u64) -> Result<Measurement, BtError> {
+        self.inner.measure_dag(schedule, run_index)
+    }
+
+    fn measure_baseline(&self, class: PuClass) -> Result<Measurement, BtError> {
+        self.inner.measure_baseline(class)
+    }
+
+    fn measure_multi(&self, tenants: &[CoTenant]) -> Result<Vec<Measurement>, BtError> {
+        self.inner.measure_multi(tenants)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -701,6 +815,38 @@ mod tests {
             b.measure_dag(&s, 0),
             Err(BtError::Pipeline(bt_pipeline::PipelineError::GraphMismatch))
         ));
+    }
+
+    #[test]
+    fn mcu_backend_shape_and_baselines() {
+        let app = apps::sensor_app(apps::SensorConfig::default()).model();
+        let b = McuBackend::new(devices::mcu_m7(), app);
+        assert_eq!(b.name(), "mcu");
+        assert_eq!(b.stage_count(), 4);
+        assert!(b.schedulable(PuClass::BigCpu), "M7");
+        assert!(b.schedulable(PuClass::LittleCpu), "M4");
+        assert!(b.schedulable(PuClass::Gpu), "DMA engine");
+        assert_eq!(
+            b.baseline_classes(),
+            vec![PuClass::BigCpu],
+            "no GPU-only baseline: the DMA engine cannot host whole apps"
+        );
+    }
+
+    #[test]
+    fn mcu_measure_delegates_to_simulator_and_is_deterministic() {
+        let app = apps::sensor_app(apps::SensorConfig::default()).model();
+        let b = McuBackend::new(devices::mcu_m7(), app.clone());
+        let sim = SimBackend::new(devices::mcu_m7(), app);
+        let s = Schedule::homogeneous(4, PuClass::BigCpu);
+        let mcu0 = b.measure(&s, 0).unwrap();
+        let sim0 = sim.measure(&s, 0).unwrap();
+        assert_eq!(mcu0.latency.as_f64(), sim0.latency.as_f64());
+        let batch = b.measure_batch(&s, &[0, 1]).unwrap();
+        assert_eq!(batch[0].latency.as_f64(), mcu0.latency.as_f64());
+        assert_ne!(batch[1].latency.as_f64(), mcu0.latency.as_f64());
+        let baseline = b.measure_baseline(PuClass::BigCpu).unwrap();
+        assert!(baseline.latency.as_f64() > 0.0);
     }
 
     #[test]

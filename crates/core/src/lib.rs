@@ -49,7 +49,7 @@ mod parallel;
 pub mod predict;
 mod resilience;
 
-pub use backend::{CoTenant, ExecutionBackend, HostBackend, SimBackend};
+pub use backend::{CoTenant, ExecutionBackend, HostBackend, McuBackend, SimBackend};
 pub use baseline::{measure_baselines, BaselineEntry, Baselines};
 pub use error::BtError;
 pub use framework::{validate_dag_schedule, BetterTogether, BtConfig, Deployment, Plan};

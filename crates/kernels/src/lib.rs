@@ -49,6 +49,7 @@ pub mod octree;
 mod par;
 pub mod perception;
 pub mod pointcloud;
+pub mod sensor;
 pub mod sparse;
 mod tensor;
 

@@ -427,11 +427,12 @@ pub fn run_host<P: Send + 'static>(
     let mut producers: Vec<Option<spsc::Producer<Msg<P>>>> = Vec::new();
     let mut consumers: Vec<Option<spsc::Consumer<Msg<P>>>> = Vec::new();
     for _ in 1..k {
-        let (tx, rx) = spsc::channel(buffers.max(1));
+        let (tx, rx) = spsc::channel(buffers.max(1)).expect("capacity is at least 1");
         producers.push(Some(tx));
         consumers.push(Some(rx));
     }
-    let (mut recycle_tx, recycle_rx) = spsc::channel::<Box<TaskObject<P>>>(buffers.max(1));
+    let (mut recycle_tx, recycle_rx) =
+        spsc::channel::<Box<TaskObject<P>>>(buffers.max(1)).expect("capacity is at least 1");
     for _ in 0..buffers {
         let obj = Box::new(TaskObject::new(app.new_payload()));
         recycle_tx
@@ -854,23 +855,24 @@ pub fn run_host_dag<P: Send + 'static>(
         let (up, down) = (&w[0], &w[1]);
         if up.len() == 1 && down.len() == 2 {
             for &d in down {
-                let (tx, rx) = spsc::channel(buffers.max(1));
+                let (tx, rx) = spsc::channel(buffers.max(1)).expect("capacity is at least 1");
                 out_tx[up[0]].push(tx);
                 in_rx[d].push(rx);
             }
         } else if up.len() == 2 {
             for &u in up {
-                let (tx, rx) = spsc::channel(buffers.max(1));
+                let (tx, rx) = spsc::channel(buffers.max(1)).expect("capacity is at least 1");
                 out_tx[u].push(tx);
                 in_rx[down[0]].push(rx);
             }
         } else {
-            let (tx, rx) = spsc::channel(buffers.max(1));
+            let (tx, rx) = spsc::channel(buffers.max(1)).expect("capacity is at least 1");
             out_tx[up[0]].push(tx);
             in_rx[down[0]].push(rx);
         }
     }
-    let (mut recycle_tx, recycle_rx) = spsc::channel::<Box<TaskObject<P>>>(buffers.max(1));
+    let (mut recycle_tx, recycle_rx) =
+        spsc::channel::<Box<TaskObject<P>>>(buffers.max(1)).expect("capacity is at least 1");
     for _ in 0..buffers {
         let obj = Box::new(TaskObject::new(app.new_payload()));
         recycle_tx

@@ -19,26 +19,26 @@
 #![warn(missing_debug_implementations)]
 
 mod affinity;
-mod dag;
 mod executor;
 mod measure;
 mod multi;
-mod schedule;
 mod sim;
-pub mod spsc;
-mod usm;
+
+/// The lock-free SPSC channel, re-exported from the runtime substrate
+/// (`bt-rt`) so `bt_pipeline::spsc::` paths keep working.
+pub use bt_rt::spsc;
 
 pub use affinity::{current_affinity, pin_current_thread};
-pub use dag::{DagChunk, DagSchedule, DagScheduleError};
+pub use bt_rt::{ChunkAssignment, Schedule, ScheduleError};
+pub use bt_rt::{DagChunk, DagSchedule, DagScheduleError};
 pub use executor::{run_host, run_host_dag, PipelineError, PuThreads, ResilienceConfig};
 pub use measure::Measurement;
 pub use multi::{run_multi_host, Tenant, TenantSet, WorkerBudget};
-pub use schedule::{ChunkAssignment, Schedule, ScheduleError};
 pub use sim::{
     simulate_baseline, simulate_dag_schedule, simulate_schedule, simulate_schedule_batch,
     to_chunk_specs, to_dag_spec,
 };
 // The shared run vocabulary, re-exported so runtime consumers need not
 // depend on bt-soc directly.
+pub use bt_rt::{TaskObject, UsmBuffer};
 pub use bt_soc::{DegradeReason, RunConfig, RunReport, RunStats, TimelineSpan};
-pub use usm::{TaskObject, UsmBuffer};

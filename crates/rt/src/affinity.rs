@@ -1,0 +1,103 @@
+//! Thread-affinity maps: which cores a pipeline chunk may be pinned to.
+
+use alloc::vec::Vec;
+
+use crate::perclass::PerClass;
+use crate::pu::PuClass;
+
+/// Thread-affinity map of a device: which logical core IDs belong to each
+/// CPU cluster, and which of them the OS allows user threads to pin to.
+///
+/// This is the "target system specification" input of the paper (Fig. 2,
+/// step 2): BetterTogether needs it to bind OpenMP worker threads to the
+/// cluster a chunk was scheduled on. The host execution backend consumes
+/// the same map when pinning real threads with `sched_setaffinity`.
+/// Deriving a map from a device's cluster specs lives with the device
+/// model (`bt-soc`); the substrate only carries the map itself.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "std", derive(serde::Serialize, serde::Deserialize))]
+pub struct AffinityMap {
+    cores: PerClass<Vec<usize>>,
+    pinnable: PerClass<Vec<usize>>,
+}
+
+impl AffinityMap {
+    /// Creates an empty map. Add clusters with [`AffinityMap::with_cluster`].
+    pub fn new() -> AffinityMap {
+        AffinityMap {
+            cores: PerClass::empty(),
+            pinnable: PerClass::empty(),
+        }
+    }
+
+    /// Registers the core IDs of a cluster, along with the subset the OS
+    /// permits pinning to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pinnable` is not a subset of `cores`.
+    pub fn with_cluster(
+        mut self,
+        class: PuClass,
+        cores: Vec<usize>,
+        pinnable: Vec<usize>,
+    ) -> AffinityMap {
+        assert!(
+            pinnable.iter().all(|c| cores.contains(c)),
+            "pinnable cores must be a subset of the cluster's cores"
+        );
+        self.cores.set(class, cores);
+        self.pinnable.set(class, pinnable);
+        self
+    }
+
+    /// Logical core IDs of `class`, empty for absent clusters (and GPUs).
+    pub fn cores(&self, class: PuClass) -> &[usize] {
+        self.cores.get(class).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Core IDs of `class` that can be pinned.
+    pub fn pinnable(&self, class: PuClass) -> &[usize] {
+        self.pinnable.get(class).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Total number of CPU cores in the map.
+    pub fn total_cores(&self) -> usize {
+        self.cores.iter().map(|(_, v)| v.len()).sum()
+    }
+
+    /// Total number of pinnable CPU cores (5 of 8 on the OnePlus 11).
+    pub fn total_pinnable(&self) -> usize {
+        self.pinnable.iter().map(|(_, v)| v.len()).sum()
+    }
+}
+
+impl Default for AffinityMap {
+    fn default() -> AffinityMap {
+        AffinityMap::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alloc::vec;
+
+    #[test]
+    fn cluster_registration_and_totals() {
+        let map = AffinityMap::new()
+            .with_cluster(PuClass::LittleCpu, vec![0, 1], vec![0, 1])
+            .with_cluster(PuClass::BigCpu, vec![2, 3], vec![2]);
+        assert_eq!(map.cores(PuClass::BigCpu), &[2, 3]);
+        assert_eq!(map.pinnable(PuClass::BigCpu), &[2]);
+        assert_eq!(map.total_cores(), 4);
+        assert_eq!(map.total_pinnable(), 3);
+        assert!(map.cores(PuClass::Gpu).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "subset")]
+    fn pinnable_must_be_subset() {
+        let _ = AffinityMap::new().with_cluster(PuClass::BigCpu, vec![0, 1], vec![2]);
+    }
+}

@@ -21,13 +21,18 @@
 //! [`DagSchedule::as_linear`], which is how the executors keep the
 //! linear-chain fast path bit-identical.
 
-use std::fmt;
+use core::fmt;
 
-use bt_kernels::{CyclicGraphError, TaskGraph};
-use bt_soc::PuClass;
-use serde::{Deserialize, Serialize};
+use alloc::format;
+use alloc::string::String;
+#[cfg(feature = "std")]
+use alloc::string::ToString;
+use alloc::vec;
+use alloc::vec::Vec;
 
-use crate::Schedule;
+use crate::graph::{CyclicGraphError, TaskGraph};
+use crate::pu::PuClass;
+use crate::schedule::Schedule;
 
 /// Error constructing a [`DagSchedule`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -97,8 +102,8 @@ impl fmt::Display for DagScheduleError {
     }
 }
 
-impl std::error::Error for DagScheduleError {
-    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+impl core::error::Error for DagScheduleError {
+    fn source(&self) -> Option<&(dyn core::error::Error + 'static)> {
         match self {
             DagScheduleError::Cyclic(e) => Some(e),
             _ => None,
@@ -123,9 +128,8 @@ pub struct DagChunk {
 /// unused classes.
 ///
 /// ```
-/// use bt_kernels::TaskGraph;
-/// use bt_pipeline::DagSchedule;
-/// use bt_soc::PuClass::*;
+/// use bt_rt::{DagSchedule, TaskGraph};
+/// use bt_rt::PuClass::*;
 ///
 /// // Diamond: 0 forks to 1 and 2, which join at 3.
 /// let mut g = TaskGraph::new(4);
@@ -133,7 +137,7 @@ pub struct DagChunk {
 /// let s = DagSchedule::new(vec![LittleCpu, Gpu, BigCpu, MediumCpu], &g)?;
 /// assert_eq!(s.chunks().len(), 4);
 /// assert!(!s.is_chain());
-/// # Ok::<(), bt_pipeline::DagScheduleError>(())
+/// # Ok::<(), bt_rt::DagScheduleError>(())
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DagSchedule {
@@ -444,7 +448,8 @@ impl DagSchedule {
 // Hand-written serde mirrors [`Schedule`]'s: only the declarative fields
 // travel (assignment, graph, replication), and deserialization re-runs the
 // full validation, re-deriving chunks and routing.
-impl Serialize for DagSchedule {
+#[cfg(feature = "std")]
+impl serde::Serialize for DagSchedule {
     fn to_value(&self) -> serde::Value {
         let replicated = match self.replicated {
             Some((stage, (c1, c2))) => serde::Value::Array(vec![
@@ -462,8 +467,10 @@ impl Serialize for DagSchedule {
     }
 }
 
-impl Deserialize for DagSchedule {
+#[cfg(feature = "std")]
+impl serde::Deserialize for DagSchedule {
     fn from_value(v: &serde::Value) -> Result<DagSchedule, serde::Error> {
+        use serde::Deserialize;
         let field = |name: &str| {
             v.get(name)
                 .ok_or_else(|| serde::Error::new(format!("DagSchedule: missing field `{name}`")))
@@ -624,6 +631,7 @@ mod tests {
         assert!(matches!(unnamed, Err(DagScheduleError::BadReplica { .. })));
     }
 
+    #[cfg(feature = "std")]
     #[test]
     fn serde_round_trips_and_revalidates() {
         let g = TaskGraph::chain(3);

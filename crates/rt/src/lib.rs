@@ -1,0 +1,77 @@
+//! # bt-rt — the runtime substrate, `no_std + alloc` clean
+//!
+//! The portable core of the BetterTogether runtime, carved out of
+//! `bt-pipeline`/`bt-soc` so the same substrate that drives the host
+//! executor can run on MCU-class targets (Tock-style static allocation,
+//! interrupt-driven dispatch) without the Rust standard library:
+//!
+//! - [`spsc`] — the lock-free single-producer single-consumer ring the
+//!   dispatcher threads communicate through, in two shapes: the
+//!   heap-capacity [`spsc::channel`] and the const-generic, statically
+//!   allocatable [`StaticRing`].
+//! - [`usm`] — [`UsmBuffer`] and [`TaskObject`] recycling: the fixed pool
+//!   of task containers that circulates through pipeline chunks with zero
+//!   steady-state allocation.
+//! - [`schedule`] / [`dag`] / [`graph`] — the validated stage → PU-class
+//!   mapping vocabulary ([`Schedule`], [`DagSchedule`], [`TaskGraph`])
+//!   shared by the optimizer, the simulators, and the executors.
+//! - [`run`] — the shared run model ([`RunConfig`], [`RunReport`],
+//!   [`TimelineSpan`]) every execution engine takes and returns.
+//! - [`time`] — the [`Clock`]/[`Park`] trait pair that abstracts
+//!   `std::time::Instant` and `std::thread` out of the substrate; the
+//!   blocking queue operations are generic over them, and the `std`
+//!   feature provides [`StdClock`]/[`StdPark`] impls that preserve the
+//!   host behavior exactly.
+//!
+//! # Features
+//!
+//! - `std` (default): serde impls for the schedule/run vocabulary,
+//!   telemetry in [`RunConfig`]/[`RunReport`], and the std-clock
+//!   convenience methods. Every workspace crate consumes `bt-rt` through
+//!   this gate, so the extraction is source- and wire-compatible.
+//! - `alloc`: the floor the substrate stands on (`Vec`, `Box`, `Arc`).
+//!   Building `--no-default-features --features alloc` is the CI-gated
+//!   proof that no `std::thread`/`std::time` hides in the substrate: under
+//!   `no_std` those paths do not resolve at all.
+
+#![cfg_attr(not(feature = "std"), no_std)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+#[cfg(not(feature = "alloc"))]
+compile_error!(
+    "bt-rt requires the `alloc` feature: build with `--features alloc` \
+     (or the default `std` feature, which implies it)"
+);
+
+extern crate alloc;
+
+pub mod affinity;
+pub mod dag;
+pub mod graph;
+pub mod micros;
+mod pad;
+pub mod perclass;
+pub mod pu;
+pub mod run;
+pub mod schedule;
+pub mod spsc;
+pub mod time;
+pub mod usm;
+
+pub use affinity::AffinityMap;
+pub use dag::{DagChunk, DagSchedule, DagScheduleError};
+pub use graph::{CyclicGraphError, TaskGraph};
+pub use micros::Micros;
+pub use perclass::PerClass;
+pub use pu::PuClass;
+pub use run::{DegradeReason, RunConfig, RunReport, RunStats, TimelineSpan};
+pub use schedule::{ChunkAssignment, Schedule, ScheduleError};
+pub use spsc::{
+    Backoff, CapacityError, Consumer, Disconnected, PopError, Producer, StaticConsumer,
+    StaticProducer, StaticRing,
+};
+pub use time::{Clock, Park, SpinPark};
+#[cfg(feature = "std")]
+pub use time::{StdClock, StdPark};
+pub use usm::{TaskObject, UsmBuffer};

@@ -1,0 +1,28 @@
+//! Cache-line padding for the ring's head/tail counters.
+//!
+//! A local stand-in for `crossbeam::utils::CachePadded`, so the substrate
+//! carries no dependency: 128-byte alignment covers the spatial-prefetcher
+//! pair on x86_64 and the 128-byte lines on modern aarch64 big cores —
+//! the targets the counters must not false-share on.
+
+/// Aligns `T` to 128 bytes so two adjacent values never share a cache
+/// line (or a prefetched line pair).
+#[derive(Debug, Default)]
+#[repr(align(128))]
+pub(crate) struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Wraps a value in its own cache line.
+    pub(crate) const fn new(value: T) -> CachePadded<T> {
+        CachePadded { value }
+    }
+}
+
+impl<T> core::ops::Deref for CachePadded<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}

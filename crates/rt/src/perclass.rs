@@ -1,0 +1,108 @@
+//! A tiny per-[`PuClass`] map used throughout the device and cost models.
+
+use crate::pu::PuClass;
+
+/// A small map from [`PuClass`] to `T`, with at most one entry per class.
+///
+/// Devices carry per-class data everywhere (specs, interference multipliers,
+/// profiled latencies); this container gives that pattern a name and O(1)
+/// access.
+///
+/// ```
+/// use bt_rt::{PerClass, PuClass};
+/// let mut m = PerClass::empty();
+/// m.set(PuClass::Gpu, 0.86);
+/// assert_eq!(m.get(PuClass::Gpu), Some(&0.86));
+/// assert_eq!(m.get(PuClass::BigCpu), None);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "std", derive(serde::Serialize, serde::Deserialize))]
+pub struct PerClass<T>([Option<T>; PuClass::COUNT]);
+
+impl<T> PerClass<T> {
+    /// Creates an empty map.
+    pub fn empty() -> PerClass<T> {
+        PerClass([None, None, None, None])
+    }
+
+    /// Inserts or replaces the entry for `class`, returning the old value.
+    pub fn set(&mut self, class: PuClass, value: T) -> Option<T> {
+        self.0[class.index()].replace(value)
+    }
+
+    /// Returns the entry for `class`, if present.
+    pub fn get(&self, class: PuClass) -> Option<&T> {
+        self.0[class.index()].as_ref()
+    }
+
+    /// Returns a mutable reference to the entry for `class`, if present.
+    pub fn get_mut(&mut self, class: PuClass) -> Option<&mut T> {
+        self.0[class.index()].as_mut()
+    }
+
+    /// Whether the map has an entry for `class`.
+    pub fn contains(&self, class: PuClass) -> bool {
+        self.0[class.index()].is_some()
+    }
+
+    /// Iterates over `(class, &value)` pairs in canonical class order.
+    pub fn iter(&self) -> impl Iterator<Item = (PuClass, &T)> {
+        PuClass::ALL
+            .iter()
+            .filter_map(move |&c| self.0[c.index()].as_ref().map(|v| (c, v)))
+    }
+
+    /// Number of populated entries.
+    pub fn len(&self) -> usize {
+        self.0.iter().filter(|e| e.is_some()).count()
+    }
+
+    /// Whether no entry is populated.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Default for PerClass<T> {
+    fn default() -> PerClass<T> {
+        PerClass::empty()
+    }
+}
+
+impl<T> FromIterator<(PuClass, T)> for PerClass<T> {
+    fn from_iter<I: IntoIterator<Item = (PuClass, T)>>(iter: I) -> PerClass<T> {
+        let mut map = PerClass::empty();
+        for (class, value) in iter {
+            map.set(class, value);
+        }
+        map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alloc::vec;
+    use alloc::vec::Vec;
+
+    #[test]
+    fn per_class_set_get() {
+        let mut m: PerClass<u32> = PerClass::empty();
+        assert!(m.is_empty());
+        assert_eq!(m.set(PuClass::BigCpu, 1), None);
+        assert_eq!(m.set(PuClass::BigCpu, 2), Some(1));
+        assert_eq!(m.get(PuClass::BigCpu), Some(&2));
+        assert_eq!(m.len(), 1);
+        assert!(m.contains(PuClass::BigCpu));
+        assert!(!m.contains(PuClass::Gpu));
+    }
+
+    #[test]
+    fn per_class_iter_is_canonical_order() {
+        let m: PerClass<u8> = [(PuClass::Gpu, 3), (PuClass::BigCpu, 0)]
+            .into_iter()
+            .collect();
+        let order: Vec<PuClass> = m.iter().map(|(c, _)| c).collect();
+        assert_eq!(order, vec![PuClass::BigCpu, PuClass::Gpu]);
+    }
+}

@@ -5,21 +5,30 @@
 //! that had already drifted (`DesConfig` vs `HostRunConfig`,
 //! `TimelineEvent` vs `HostTimelineEvent`, `DesReport` vs
 //! `FaultedDesReport` vs `HostReport`). Every engine — the static DES
-//! ([`crate::des::simulate`]), the dynamic-scheduling DES
-//! ([`crate::des_dynamic::simulate_dynamic`]), and the host executor
+//! (`bt_soc::des::simulate`), the dynamic-scheduling DES
+//! (`bt_soc::des_dynamic::simulate_dynamic`), and the host executor
 //! (`bt_pipeline::run_host`) — now takes a [`RunConfig`] and returns a
 //! [`RunReport`]. Fault injection and resilience ride alongside as explicit
 //! mode parameters (`Option<&FaultSpec>`, an optional host
 //! `ResilienceConfig`), so the fault-free hot path pays a single branch.
 //!
+//! Telemetry collection is host-tooling (`bt-telemetry` wraps files and
+//! JSON), so the telemetry knob and payload only exist under the `std`
+//! feature; the `no_std` substrate carries the rest of the model
+//! unchanged.
+//!
 //! Accounting invariant shared by every engine:
 //! `completed + dropped == submitted`.
 
-use std::time::Duration;
+use core::time::Duration;
 
+use alloc::vec::Vec;
+
+#[cfg(feature = "std")]
 use bt_telemetry::{RunTelemetry, TelemetryConfig};
 
-use crate::{AffinityMap, Micros};
+use crate::affinity::AffinityMap;
+use crate::micros::Micros;
 
 /// Configuration of one pipeline run, simulated or on the host.
 ///
@@ -49,7 +58,9 @@ pub struct RunConfig {
     /// ([`RunReport::timeline`]) for Gantt-style inspection.
     pub record_timeline: bool,
     /// What telemetry to collect (off by default; the disabled path costs
-    /// one branch per instrumentation point).
+    /// one branch per instrumentation point). Host tooling only, hence
+    /// `std`-gated.
+    #[cfg(feature = "std")]
     pub telemetry: TelemetryConfig,
     /// Memoize noiseless base service times per (chunk, stage, busy-set)
     /// key (simulator only; bit-identical on or off).
@@ -74,6 +85,7 @@ impl Default for RunConfig {
             seed: 0,
             noise_sigma: 0.02,
             record_timeline: false,
+            #[cfg(feature = "std")]
             telemetry: TelemetryConfig::OFF,
             service_cache: true,
             affinity: None,
@@ -83,7 +95,7 @@ impl Default for RunConfig {
 }
 
 /// One recorded execution span, shared by every engine's timeline and fed
-/// to `bt-telemetry` span recording and [`crate::gantt`] rendering.
+/// to `bt-telemetry` span recording and `bt_soc::gantt` rendering.
 ///
 /// The simulator records one span per *stage* execution (`stage` is
 /// `Some`); the host executor records one span per *chunk* execution
@@ -178,6 +190,7 @@ pub struct RunReport {
     pub timeline: Vec<TimelineSpan>,
     /// Collected telemetry (`None` unless [`RunConfig::telemetry`] enables
     /// something).
+    #[cfg(feature = "std")]
     pub telemetry: Option<RunTelemetry>,
     /// Host-executor degradation verdict (`None` for clean runs and for
     /// the simulator, whose degradations are visible as `dropped > 0`).
@@ -199,5 +212,57 @@ impl RunReport {
         self.stats
             .as_ref()
             .expect("run completed no tasks; check is_degraded() first")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alloc::vec;
+
+    fn clean_report() -> RunReport {
+        RunReport {
+            submitted: 35,
+            completed: 35,
+            dropped: 0,
+            faults_fired: 0,
+            stats: Some(RunStats {
+                makespan: Micros::new(3_000.0),
+                mean_task_latency: Micros::new(250.0),
+                time_per_task: Micros::new(100.0),
+                throughput_hz: 10_000.0,
+                chunk_utilization: vec![0.9, 0.4],
+                bottleneck_chunk: 0,
+                tasks: 30,
+            }),
+            timeline: Vec::new(),
+            #[cfg(feature = "std")]
+            telemetry: None,
+            degraded: None,
+        }
+    }
+
+    #[test]
+    fn clean_run_is_not_degraded() {
+        let r = clean_report();
+        assert!(!r.is_degraded());
+        assert_eq!(r.expect_stats().tasks, 30);
+    }
+
+    #[test]
+    fn dropped_tasks_mark_degradation() {
+        let mut r = clean_report();
+        r.completed = 33;
+        r.dropped = 2;
+        assert!(r.is_degraded());
+    }
+
+    #[test]
+    fn default_config_matches_paper_protocol() {
+        let c = RunConfig::default();
+        assert_eq!((c.tasks, c.warmup, c.buffers), (30, 5, 0));
+        assert!(c.service_cache);
+        assert!(c.affinity.is_none());
+        assert!(c.duration.is_none());
     }
 }

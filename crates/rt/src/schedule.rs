@@ -1,10 +1,14 @@
 //! Pipeline schedules: the stage → PU mapping produced by BT-Optimizer and
 //! consumed by the executors.
 
-use std::fmt;
+use core::fmt;
 
-use bt_soc::PuClass;
-use serde::{Deserialize, Serialize};
+#[cfg(feature = "std")]
+use alloc::string::ToString;
+use alloc::vec;
+use alloc::vec::Vec;
+
+use crate::pu::PuClass;
 
 /// Error constructing a [`Schedule`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -33,11 +37,12 @@ impl fmt::Display for ScheduleError {
     }
 }
 
-impl std::error::Error for ScheduleError {}
+impl core::error::Error for ScheduleError {}
 
 /// One chunk of a schedule: a PU class and the contiguous stage range it
 /// executes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "std", derive(serde::Serialize, serde::Deserialize))]
 pub struct ChunkAssignment {
     /// The serving PU class.
     pub pu: PuClass,
@@ -58,15 +63,14 @@ impl ChunkAssignment {
 /// with the contiguity constraint (C2) enforced at construction.
 ///
 /// ```
-/// use bt_pipeline::Schedule;
-/// use bt_soc::PuClass;
+/// use bt_rt::{PuClass, Schedule};
 ///
 /// let s = Schedule::new(vec![
 ///     PuClass::BigCpu, PuClass::BigCpu, PuClass::Gpu,
 /// ])?;
 /// assert_eq!(s.chunks().len(), 2);
 /// assert_eq!(s.to_string(), "BBG");
-/// # Ok::<(), bt_pipeline::ScheduleError>(())
+/// # Ok::<(), bt_rt::ScheduleError>(())
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Schedule {
@@ -185,18 +189,23 @@ impl Schedule {
 // Hand-written serde keeps the wire format exactly what the derive on the
 // pre-cache struct produced — `{"assignment":[...]}` — and re-validates
 // (and re-derives the chunk cache) on the way in.
-impl Serialize for Schedule {
+#[cfg(feature = "std")]
+impl serde::Serialize for Schedule {
     fn to_value(&self) -> serde::Value {
-        serde::Value::Object(vec![("assignment".to_string(), self.assignment.to_value())])
+        serde::Value::Object(vec![(
+            "assignment".to_string(),
+            serde::Serialize::to_value(&self.assignment),
+        )])
     }
 }
 
-impl Deserialize for Schedule {
+#[cfg(feature = "std")]
+impl serde::Deserialize for Schedule {
     fn from_value(v: &serde::Value) -> Result<Schedule, serde::Error> {
         let assignment = v
             .get("assignment")
             .ok_or_else(|| serde::Error::new("Schedule: missing field `assignment`"))?;
-        let assignment: Vec<PuClass> = Deserialize::from_value(assignment)?;
+        let assignment: Vec<PuClass> = serde::Deserialize::from_value(assignment)?;
         Schedule::new(assignment).map_err(|e| serde::Error::new(e.to_string()))
     }
 }
@@ -265,6 +274,7 @@ mod tests {
         assert_eq!(s.to_string(), "BBG");
     }
 
+    #[cfg(feature = "std")]
     #[test]
     fn serde_round_trip_keeps_wire_format_and_revalidates() {
         let s = Schedule::new(vec![PuClass::BigCpu, PuClass::BigCpu, PuClass::Gpu]).unwrap();

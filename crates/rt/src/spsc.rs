@@ -1,0 +1,1064 @@
+//! Lock-free single-producer single-consumer ring queue.
+//!
+//! The paper's dispatcher threads communicate through "lightweight,
+//! lock-free single-producer, single-consumer (SPSC) queues, which pass
+//! pointers to TaskObjects between pipeline chunks" (§3.4). This is that
+//! queue: a fixed-capacity ring with acquire/release head/tail counters.
+//! Boxes are passed, so queue traffic is pointer-sized regardless of
+//! payload.
+//!
+//! Two shapes share one protocol:
+//!
+//! - [`channel`] — heap-capacity ring behind `Arc`, the host executor's
+//!   workhorse.
+//! - [`StaticRing`] — const-generic capacity, `const`-constructible, and
+//!   borrow-split into endpoints: placeable in a `static` on an MCU where
+//!   there is no allocator at channel-set-up time.
+//!
+//! Neither allocates on the push/pop hot path — the heap ring's only
+//! allocation is the buffer itself at construction (pinned by the
+//! workspace `substrate_alloc` test).
+
+use core::cell::UnsafeCell;
+use core::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use core::time::Duration;
+
+use alloc::boxed::Box;
+use alloc::sync::Arc;
+use alloc::vec::Vec;
+
+use crate::pad::CachePadded;
+use crate::time::{Clock, Park};
+#[cfg(feature = "std")]
+use crate::time::{StdClock, StdPark};
+
+struct Ring<T> {
+    buf: Box<[UnsafeCell<Option<T>>]>,
+    /// Next slot to read (owned by the consumer; read by the producer).
+    head: CachePadded<AtomicUsize>,
+    /// Next slot to write (owned by the producer; read by the consumer).
+    tail: CachePadded<AtomicUsize>,
+    /// Cleared when the `Producer` endpoint drops. Lets a blocked consumer
+    /// distinguish "queue momentarily empty" from "no item will ever
+    /// arrive" — without it, `pop_blocking` on a dead dispatcher spins
+    /// forever.
+    producer_alive: AtomicBool,
+    /// Cleared when the `Consumer` endpoint drops (symmetric signal for
+    /// blocked producers).
+    consumer_alive: AtomicBool,
+}
+
+// SAFETY: the ring is shared between exactly one producer and one consumer
+// (enforced by the non-cloneable endpoint types). A slot is written by the
+// producer strictly before the tail increment that publishes it (release),
+// and read by the consumer strictly after observing that increment
+// (acquire); the converse holds for head. Therefore no slot is accessed
+// concurrently.
+unsafe impl<T: Send> Send for Ring<T> {}
+unsafe impl<T: Send> Sync for Ring<T> {}
+
+/// The sending endpoint of an SPSC channel. Not cloneable: single producer.
+#[derive(Debug)]
+pub struct Producer<T> {
+    ring: Arc<Ring<T>>,
+}
+
+/// The receiving endpoint of an SPSC channel. Not cloneable: single
+/// consumer.
+#[derive(Debug)]
+pub struct Consumer<T> {
+    ring: Arc<Ring<T>>,
+}
+
+impl<T> core::fmt::Debug for Ring<T> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Ring")
+            .field("capacity", &self.buf.len())
+            .finish()
+    }
+}
+
+/// A channel was requested with capacity zero, which cannot hold even one
+/// in-flight item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CapacityError;
+
+impl core::fmt::Display for CapacityError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str("SPSC channel capacity must be positive")
+    }
+}
+
+impl core::error::Error for CapacityError {}
+
+/// Creates an SPSC channel of the given capacity.
+///
+/// # Errors
+///
+/// Returns [`CapacityError`] if `capacity == 0` — a zero-slot ring could
+/// never accept a push, so the misconfiguration is reported where the
+/// executor can map it into its own error type instead of panicking a
+/// dispatcher thread.
+///
+/// ```
+/// let (mut tx, mut rx) = bt_rt::spsc::channel(2).unwrap();
+/// tx.push(1).unwrap();
+/// tx.push(2).unwrap();
+/// assert!(tx.push(3).is_err(), "full");
+/// assert_eq!(rx.pop(), Some(1));
+/// assert_eq!(rx.pop(), Some(2));
+/// assert_eq!(rx.pop(), None);
+/// assert!(bt_rt::spsc::channel::<u8>(0).is_err());
+/// ```
+pub fn channel<T>(capacity: usize) -> Result<(Producer<T>, Consumer<T>), CapacityError> {
+    if capacity == 0 {
+        return Err(CapacityError);
+    }
+    let buf: Vec<UnsafeCell<Option<T>>> = (0..capacity).map(|_| UnsafeCell::new(None)).collect();
+    let ring = Arc::new(Ring {
+        buf: buf.into_boxed_slice(),
+        head: CachePadded::new(AtomicUsize::new(0)),
+        tail: CachePadded::new(AtomicUsize::new(0)),
+        producer_alive: AtomicBool::new(true),
+        consumer_alive: AtomicBool::new(true),
+    });
+    Ok((
+        Producer {
+            ring: Arc::clone(&ring),
+        },
+        Consumer { ring },
+    ))
+}
+
+/// The peer endpoint dropped: no further item will ever arrive (consumer
+/// side) or be drained (producer side).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Disconnected;
+
+impl core::fmt::Display for Disconnected {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str("SPSC peer endpoint dropped")
+    }
+}
+
+impl core::error::Error for Disconnected {}
+
+/// Why a deadline-bounded blocking operation gave up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PopError {
+    /// The producer endpoint dropped and the queue is drained.
+    Disconnected,
+    /// The deadline elapsed with the producer still alive — what a
+    /// watchdog reports as a stuck upstream stage.
+    TimedOut,
+}
+
+impl core::fmt::Display for PopError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            PopError::Disconnected => f.write_str("SPSC producer dropped, queue drained"),
+            PopError::TimedOut => f.write_str("SPSC pop deadline elapsed"),
+        }
+    }
+}
+
+impl core::error::Error for PopError {}
+
+/// Exponential backoff for busy-wait loops around [`Producer::push`] /
+/// [`Consumer::pop`].
+///
+/// Escalates through three regimes as an operation keeps failing:
+/// first busy-spin with `hint::spin_loop` (doubling the spin count each
+/// round up to `2^SPIN_LIMIT`), then yield, and finally a short sleep.
+/// Spinning wins when the peer is running on another core and will
+/// publish within tens of nanoseconds; yielding and sleeping stop a
+/// starved dispatcher from burning a whole core — which matters on small
+/// phone SoCs where the spinner would steal cycles from the very peer it
+/// is waiting on.
+///
+/// This is the one shared backoff policy for the whole substrate: the
+/// [`SPIN_LIMIT`](Backoff::SPIN_LIMIT) / [`YIELD_LIMIT`](Backoff::YIELD_LIMIT)
+/// / [`SLEEP`](Backoff::SLEEP) constants are public so executors and tests
+/// reason about the same escalation schedule instead of duplicating the
+/// numbers. The yield and sleep stages go through a [`Park`], so the same
+/// policy runs on the host (`std::thread`) and on targets with no OS
+/// scheduler; the spin stage is pure `core::hint::spin_loop`.
+///
+/// Miri-safe: only `spin_loop`, `yield_now`, and `sleep` — no clock
+/// reads or OS parking primitives.
+#[derive(Debug, Default)]
+pub struct Backoff {
+    step: u32,
+}
+
+impl Backoff {
+    /// Last step of the busy-spin regime: step `s ≤ SPIN_LIMIT` spins
+    /// `2^s` `spin_loop` hints.
+    pub const SPIN_LIMIT: u32 = 6;
+    /// Last step of the yield regime; beyond it every round sleeps.
+    pub const YIELD_LIMIT: u32 = 10;
+    /// Sleep quantum of the final regime.
+    pub const SLEEP: Duration = Duration::from_micros(50);
+
+    /// A fresh backoff at the spinning stage.
+    pub fn new() -> Backoff {
+        Backoff::default()
+    }
+
+    /// Waits one round and escalates, standing down through `park` once
+    /// past the spin stage. Call after each failed push/pop attempt; drop
+    /// (or [`reset`](Backoff::reset)) once it succeeds.
+    pub fn snooze_with<P: Park>(&mut self, park: &P) {
+        if self.step <= Self::SPIN_LIMIT {
+            for _ in 0..1u32 << self.step {
+                core::hint::spin_loop();
+            }
+        } else if self.step <= Self::YIELD_LIMIT {
+            park.yield_now();
+        } else {
+            park.sleep(Self::SLEEP);
+        }
+        if self.step <= Self::YIELD_LIMIT {
+            self.step += 1;
+        }
+    }
+
+    /// Like [`snooze_with`](Backoff::snooze_with), but the sleep stage
+    /// never sleeps past `remaining`. This is the deadline-aware variant
+    /// behind [`Consumer::pop_deadline`]: an uncapped 50 µs sleep issued
+    /// just under the deadline would overshoot it by a full quantum,
+    /// firing the executor's watchdog late.
+    pub fn snooze_capped_with<P: Park>(&mut self, park: &P, remaining: Duration) {
+        if self.step > Self::YIELD_LIMIT {
+            park.sleep(Self::SLEEP.min(remaining));
+        } else {
+            self.snooze_with(park);
+        }
+    }
+
+    /// [`snooze_with`](Backoff::snooze_with) through the host scheduler
+    /// (`std::thread::yield_now` / `std::thread::sleep`).
+    #[cfg(feature = "std")]
+    pub fn snooze(&mut self) {
+        self.snooze_with(&StdPark);
+    }
+
+    /// [`snooze_capped_with`](Backoff::snooze_capped_with) through the
+    /// host scheduler.
+    #[cfg(feature = "std")]
+    pub fn snooze_capped(&mut self, remaining: Duration) {
+        self.snooze_capped_with(&StdPark, remaining);
+    }
+
+    /// Returns to the spinning stage (e.g. after a successful operation
+    /// when the same `Backoff` is reused across loop iterations).
+    pub fn reset(&mut self) {
+        self.step = 0;
+    }
+}
+
+impl<T> Producer<T> {
+    /// Attempts to enqueue `value`; returns it back if the queue is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(value)` when the ring is at capacity.
+    pub fn push(&mut self, value: T) -> Result<(), T> {
+        let ring = &*self.ring;
+        let tail = ring.tail.load(Ordering::Relaxed);
+        let head = ring.head.load(Ordering::Acquire);
+        if tail.wrapping_sub(head) == ring.buf.len() {
+            return Err(value);
+        }
+        let slot = &ring.buf[tail % ring.buf.len()];
+        // SAFETY: see Ring's Send/Sync justification — this slot is not
+        // visible to the consumer until the tail store below.
+        unsafe { *slot.get() = Some(value) };
+        ring.tail.store(tail.wrapping_add(1), Ordering::Release);
+        Ok(())
+    }
+
+    /// Number of items currently queued.
+    ///
+    /// The producer owns `tail`, so a relaxed self-load is exact; `head`
+    /// (the counter the consumer owns) is acquire-loaded so concurrent
+    /// pops are observed promptly and in order. Guarantee: the result is
+    /// an **upper bound** on the true occupancy — concurrent pops can
+    /// only shrink the queue under the producer — so at least
+    /// `capacity − len()` further pushes will succeed, and with no
+    /// producer-side pushes in between, successive calls never increase.
+    pub fn len(&self) -> usize {
+        let ring = &*self.ring;
+        ring.tail
+            .load(Ordering::Relaxed)
+            .wrapping_sub(ring.head.load(Ordering::Acquire))
+    }
+
+    /// Whether the queue is empty (same guarantee as [`Producer::len`]:
+    /// `true` can only become stale through this endpoint's own pushes).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether the consumer endpoint has dropped. Once `true` it stays
+    /// `true`, and nothing pushed afterwards will ever be drained.
+    pub fn is_disconnected(&self) -> bool {
+        !self.ring.consumer_alive.load(Ordering::Acquire)
+    }
+}
+
+impl<T> Drop for Producer<T> {
+    fn drop(&mut self) {
+        self.ring.producer_alive.store(false, Ordering::Release);
+    }
+}
+
+impl<T> Consumer<T> {
+    /// Attempts to dequeue; returns `None` when the queue is empty.
+    pub fn pop(&mut self) -> Option<T> {
+        let ring = &*self.ring;
+        let head = ring.head.load(Ordering::Relaxed);
+        let tail = ring.tail.load(Ordering::Acquire);
+        if head == tail {
+            return None;
+        }
+        let slot = &ring.buf[head % ring.buf.len()];
+        // SAFETY: the acquire load of tail above guarantees the producer's
+        // write to this slot is visible, and the producer will not touch it
+        // again until head advances past it.
+        let value = unsafe { (*slot.get()).take() };
+        debug_assert!(value.is_some(), "published slot must be occupied");
+        ring.head.store(head.wrapping_add(1), Ordering::Release);
+        value
+    }
+
+    /// Blocking pop: waits with exponential [`Backoff`] (spin → yield →
+    /// sleep, standing down through `park`) until an item arrives or the
+    /// producer endpoint drops.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Disconnected`] once the producer has dropped *and* the
+    /// queue is drained — items published before the drop are still
+    /// delivered.
+    pub fn pop_blocking_with<P: Park>(&mut self, park: &P) -> Result<T, Disconnected> {
+        let mut backoff = Backoff::new();
+        loop {
+            if let Some(v) = self.pop() {
+                return Ok(v);
+            }
+            // Check liveness only after an empty pop: a producer that
+            // pushed and then dropped must still have its items drained,
+            // so re-poll once after observing the death.
+            if !self.ring.producer_alive.load(Ordering::Acquire) {
+                return self.pop().ok_or(Disconnected);
+            }
+            backoff.snooze_with(park);
+        }
+    }
+
+    /// Blocking pop with a deadline: like
+    /// [`pop_blocking_with`](Consumer::pop_blocking_with), but gives up
+    /// after `timeout` measured on `clock` — the primitive under the
+    /// executor's per-chunk watchdog.
+    ///
+    /// # Errors
+    ///
+    /// [`PopError::Disconnected`] once the producer has dropped and the
+    /// queue is drained; [`PopError::TimedOut`] when `timeout` elapses
+    /// with the producer still alive.
+    pub fn pop_deadline_with<C: Clock, P: Park>(
+        &mut self,
+        clock: &C,
+        park: &P,
+        timeout: Duration,
+    ) -> Result<T, PopError> {
+        let start = clock.now();
+        let mut backoff = Backoff::new();
+        loop {
+            if let Some(v) = self.pop() {
+                return Ok(v);
+            }
+            if !self.ring.producer_alive.load(Ordering::Acquire) {
+                return self.pop().ok_or(PopError::Disconnected);
+            }
+            // Re-check the deadline immediately before waiting and cap the
+            // wait to the time remaining: an uncapped sleep here used to
+            // overshoot the deadline by up to a full 50 µs backoff round.
+            let elapsed = clock.duration_between(start, clock.now());
+            if elapsed >= timeout {
+                return self.pop().ok_or(PopError::TimedOut);
+            }
+            backoff.snooze_capped_with(park, timeout - elapsed);
+        }
+    }
+
+    /// [`pop_blocking_with`](Consumer::pop_blocking_with) through the host
+    /// scheduler.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Disconnected`] once the producer has dropped and the
+    /// queue is drained.
+    #[cfg(feature = "std")]
+    pub fn pop_blocking(&mut self) -> Result<T, Disconnected> {
+        self.pop_blocking_with(&StdPark)
+    }
+
+    /// [`pop_deadline_with`](Consumer::pop_deadline_with) on the host
+    /// clock and scheduler.
+    ///
+    /// # Errors
+    ///
+    /// [`PopError::Disconnected`] once the producer has dropped and the
+    /// queue is drained; [`PopError::TimedOut`] when `timeout` elapses
+    /// with the producer still alive.
+    #[cfg(feature = "std")]
+    pub fn pop_deadline(&mut self, timeout: Duration) -> Result<T, PopError> {
+        self.pop_deadline_with(&StdClock, &StdPark, timeout)
+    }
+
+    /// Whether the producer endpoint has dropped. Once `true` it stays
+    /// `true`; at most [`len`](Consumer::len) further pops can succeed.
+    pub fn is_disconnected(&self) -> bool {
+        !self.ring.producer_alive.load(Ordering::Acquire)
+    }
+
+    /// Number of items currently queued.
+    ///
+    /// The consumer owns `head`, so a relaxed self-load is exact; `tail`
+    /// (the counter the producer owns) is acquire-loaded, which also
+    /// publishes the slots behind it. Guarantee: the result is a **lower
+    /// bound** on the true occupancy — concurrent pushes can only grow
+    /// the queue under the consumer — so at least `len()` immediate
+    /// [`pop`](Consumer::pop)s will succeed, and with no consumer-side
+    /// pops in between, successive calls never decrease.
+    pub fn len(&self) -> usize {
+        let ring = &*self.ring;
+        ring.tail
+            .load(Ordering::Acquire)
+            .wrapping_sub(ring.head.load(Ordering::Relaxed))
+    }
+
+    /// Whether the queue is empty (same guarantee as [`Consumer::len`]:
+    /// `false` is definitive, `true` can be stale by one in-flight push).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Drop for Consumer<T> {
+    fn drop(&mut self) {
+        self.ring.consumer_alive.store(false, Ordering::Release);
+    }
+}
+
+/// A const-generic SPSC ring with inline storage: the [`channel`] protocol
+/// without the allocator.
+///
+/// Where the heap channel is built at runtime and owned through `Arc`, a
+/// `StaticRing` is `const`-constructible — it can live in a `static` on a
+/// target whose channels must exist before (or without) any heap — and
+/// the endpoints borrow it:
+///
+/// ```
+/// static RING: bt_rt::StaticRing<u32, 4> = bt_rt::StaticRing::new();
+/// let (mut tx, mut rx) = RING.split().expect("first split");
+/// tx.push(7).unwrap();
+/// assert_eq!(rx.pop(), Some(7));
+/// assert!(RING.split().is_none(), "endpoints are claimed once");
+/// ```
+///
+/// [`split`](StaticRing::split) hands out the single producer/consumer
+/// pair once per ring lifetime; the memory protocol (acquire/release
+/// head/tail, endpoint liveness flags) is identical to the heap ring's.
+/// A zero-capacity `StaticRing<T, 0>` fails to compile.
+pub struct StaticRing<T, const N: usize> {
+    buf: [UnsafeCell<Option<T>>; N],
+    head: CachePadded<AtomicUsize>,
+    tail: CachePadded<AtomicUsize>,
+    /// Set by the first (and only successful) `split`.
+    claimed: AtomicBool,
+    producer_alive: AtomicBool,
+    consumer_alive: AtomicBool,
+}
+
+// SAFETY: identical single-producer/single-consumer slot discipline as
+// `Ring` — `split` hands out at most one producer and one consumer for
+// the ring's lifetime, and slot accesses are ordered by the
+// acquire/release head/tail counters.
+unsafe impl<T: Send, const N: usize> Send for StaticRing<T, N> {}
+unsafe impl<T: Send, const N: usize> Sync for StaticRing<T, N> {}
+
+impl<T, const N: usize> StaticRing<T, N> {
+    /// Post-monomorphization guard: referencing this constant makes
+    /// `StaticRing<T, 0>` a compile error rather than a runtime panic.
+    const CAPACITY_POSITIVE: () = assert!(N > 0, "StaticRing capacity must be positive");
+
+    /// An empty, unclaimed ring. Usable in `const`/`static` position.
+    pub const fn new() -> StaticRing<T, N> {
+        #[allow(clippy::let_unit_value)]
+        let () = Self::CAPACITY_POSITIVE;
+        StaticRing {
+            buf: [const { UnsafeCell::new(None) }; N],
+            head: CachePadded::new(AtomicUsize::new(0)),
+            tail: CachePadded::new(AtomicUsize::new(0)),
+            claimed: AtomicBool::new(false),
+            producer_alive: AtomicBool::new(true),
+            consumer_alive: AtomicBool::new(true),
+        }
+    }
+
+    /// The ring's fixed capacity, `N`.
+    pub const fn capacity(&self) -> usize {
+        N
+    }
+
+    /// Claims the producer/consumer endpoint pair.
+    ///
+    /// Succeeds exactly once per ring: subsequent calls return `None`,
+    /// including after the endpoints drop — a ring whose dispatcher died
+    /// holds an indeterminate head/tail state and must not be reissued.
+    pub fn split(&self) -> Option<(StaticProducer<'_, T, N>, StaticConsumer<'_, T, N>)> {
+        if self.claimed.swap(true, Ordering::AcqRel) {
+            return None;
+        }
+        Some((StaticProducer { ring: self }, StaticConsumer { ring: self }))
+    }
+}
+
+impl<T, const N: usize> Default for StaticRing<T, N> {
+    fn default() -> StaticRing<T, N> {
+        StaticRing::new()
+    }
+}
+
+impl<T, const N: usize> core::fmt::Debug for StaticRing<T, N> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("StaticRing")
+            .field("capacity", &N)
+            .field("claimed", &self.claimed.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+/// The sending endpoint of a [`StaticRing`]. Not cloneable: single
+/// producer.
+#[derive(Debug)]
+pub struct StaticProducer<'a, T, const N: usize> {
+    ring: &'a StaticRing<T, N>,
+}
+
+/// The receiving endpoint of a [`StaticRing`]. Not cloneable: single
+/// consumer.
+#[derive(Debug)]
+pub struct StaticConsumer<'a, T, const N: usize> {
+    ring: &'a StaticRing<T, N>,
+}
+
+impl<T, const N: usize> StaticProducer<'_, T, N> {
+    /// Attempts to enqueue `value`; returns it back if the queue is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(value)` when the ring is at capacity.
+    pub fn push(&mut self, value: T) -> Result<(), T> {
+        let ring = self.ring;
+        let tail = ring.tail.load(Ordering::Relaxed);
+        let head = ring.head.load(Ordering::Acquire);
+        if tail.wrapping_sub(head) == N {
+            return Err(value);
+        }
+        let slot = &ring.buf[tail % N];
+        // SAFETY: same publication protocol as the heap ring — the slot is
+        // invisible to the consumer until the tail store below.
+        unsafe { *slot.get() = Some(value) };
+        ring.tail.store(tail.wrapping_add(1), Ordering::Release);
+        Ok(())
+    }
+
+    /// Number of items currently queued (upper bound; see
+    /// [`Producer::len`] for the exact guarantee).
+    pub fn len(&self) -> usize {
+        let ring = self.ring;
+        ring.tail
+            .load(Ordering::Relaxed)
+            .wrapping_sub(ring.head.load(Ordering::Acquire))
+    }
+
+    /// Whether the queue is empty (upper-bound semantics, as
+    /// [`Producer::is_empty`]).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether the consumer endpoint has dropped.
+    pub fn is_disconnected(&self) -> bool {
+        !self.ring.consumer_alive.load(Ordering::Acquire)
+    }
+}
+
+impl<T, const N: usize> Drop for StaticProducer<'_, T, N> {
+    fn drop(&mut self) {
+        self.ring.producer_alive.store(false, Ordering::Release);
+    }
+}
+
+impl<T, const N: usize> StaticConsumer<'_, T, N> {
+    /// Attempts to dequeue; returns `None` when the queue is empty.
+    pub fn pop(&mut self) -> Option<T> {
+        let ring = self.ring;
+        let head = ring.head.load(Ordering::Relaxed);
+        let tail = ring.tail.load(Ordering::Acquire);
+        if head == tail {
+            return None;
+        }
+        let slot = &ring.buf[head % N];
+        // SAFETY: the acquire load of tail above publishes the producer's
+        // write to this slot; the producer will not touch it again until
+        // head advances past it.
+        let value = unsafe { (*slot.get()).take() };
+        debug_assert!(value.is_some(), "published slot must be occupied");
+        ring.head.store(head.wrapping_add(1), Ordering::Release);
+        value
+    }
+
+    /// Blocking pop through `park`; same contract as
+    /// [`Consumer::pop_blocking_with`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Disconnected`] once the producer has dropped and the
+    /// queue is drained.
+    pub fn pop_blocking_with<P: Park>(&mut self, park: &P) -> Result<T, Disconnected> {
+        let mut backoff = Backoff::new();
+        loop {
+            if let Some(v) = self.pop() {
+                return Ok(v);
+            }
+            if !self.ring.producer_alive.load(Ordering::Acquire) {
+                return self.pop().ok_or(Disconnected);
+            }
+            backoff.snooze_with(park);
+        }
+    }
+
+    /// Whether the producer endpoint has dropped.
+    pub fn is_disconnected(&self) -> bool {
+        !self.ring.producer_alive.load(Ordering::Acquire)
+    }
+
+    /// Number of items currently queued (lower bound; see
+    /// [`Consumer::len`] for the exact guarantee).
+    pub fn len(&self) -> usize {
+        let ring = self.ring;
+        ring.tail
+            .load(Ordering::Acquire)
+            .wrapping_sub(ring.head.load(Ordering::Relaxed))
+    }
+
+    /// Whether the queue is empty (lower-bound semantics, as
+    /// [`Consumer::is_empty`]).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T, const N: usize> Drop for StaticConsumer<'_, T, N> {
+    fn drop(&mut self) {
+        self.ring.consumer_alive.store(false, Ordering::Release);
+    }
+}
+
+#[cfg(all(test, feature = "std"))]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    fn channel<T>(capacity: usize) -> (Producer<T>, Consumer<T>) {
+        super::channel(capacity).expect("test channels have positive capacity")
+    }
+
+    #[test]
+    fn fifo_order() {
+        let (mut tx, mut rx) = channel(8);
+        for i in 0..8 {
+            tx.push(i).unwrap();
+        }
+        for i in 0..8 {
+            assert_eq!(rx.pop(), Some(i));
+        }
+        assert_eq!(rx.pop(), None);
+    }
+
+    #[test]
+    fn full_queue_rejects() {
+        let (mut tx, mut rx) = channel(1);
+        tx.push("a").unwrap();
+        assert_eq!(tx.push("b"), Err("b"));
+        assert_eq!(rx.pop(), Some("a"));
+        tx.push("b").unwrap();
+    }
+
+    #[test]
+    fn wraparound_many_times() {
+        let (mut tx, mut rx) = channel(3);
+        for round in 0..1000u64 {
+            tx.push(round).unwrap();
+            assert_eq!(rx.pop(), Some(round));
+        }
+    }
+
+    #[test]
+    fn boxed_payloads_move_without_copy() {
+        let (mut tx, mut rx) = channel::<Box<Vec<u8>>>(2);
+        let payload = Box::new(vec![7u8; 1024]);
+        let addr = payload.as_ptr();
+        tx.push(payload).unwrap();
+        let got = rx.pop().unwrap();
+        assert_eq!(got.as_ptr(), addr, "same allocation passed through");
+    }
+
+    #[test]
+    fn concurrent_stress_no_loss_no_duplication() {
+        // Miri interprets every memory access; keep its schedule bounded.
+        const N: u64 = if cfg!(miri) { 1_000 } else { 200_000 };
+        let (mut tx, mut rx) = channel(64);
+        let producer = std::thread::spawn(move || {
+            for i in 0..N {
+                let mut v = i;
+                loop {
+                    match tx.push(v) {
+                        Ok(()) => break,
+                        Err(back) => {
+                            v = back;
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+            }
+        });
+        let consumer = std::thread::spawn(move || {
+            let mut expected = 0u64;
+            let mut sum = 0u64;
+            while expected < N {
+                if let Some(v) = rx.pop() {
+                    assert_eq!(v, expected, "strict FIFO");
+                    sum = sum.wrapping_add(v);
+                    expected += 1;
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+            sum
+        });
+        producer.join().unwrap();
+        let sum = consumer.join().unwrap();
+        assert_eq!(sum, (N - 1) * N / 2);
+    }
+
+    #[test]
+    fn len_tracks_occupancy() {
+        let (mut tx, mut rx) = channel(4);
+        assert!(tx.is_empty());
+        tx.push(1).unwrap();
+        tx.push(2).unwrap();
+        assert_eq!(tx.len(), 2);
+        assert_eq!(rx.len(), 2);
+        rx.pop();
+        assert_eq!(rx.len(), 1);
+    }
+
+    #[test]
+    fn len_bounds_hold_across_threads() {
+        const N: usize = if cfg!(miri) { 256 } else { 10_000 };
+
+        // While only the producer mutates the queue, the consumer-side
+        // len is a lower bound and never decreases, and every item it
+        // counts is immediately poppable.
+        let (mut tx, rx) = channel::<usize>(N);
+        let watcher = std::thread::spawn(move || {
+            let mut last = 0usize;
+            while last < N {
+                let cur = rx.len();
+                assert!(cur >= last, "consumer len went backwards: {last} -> {cur}");
+                last = cur;
+            }
+            rx
+        });
+        for i in 0..N {
+            tx.push(i).unwrap();
+        }
+        let mut rx = watcher.join().unwrap();
+        let counted = rx.len();
+        for _ in 0..counted {
+            assert!(rx.pop().is_some(), "counted item must be poppable");
+        }
+
+        // While only the consumer mutates the queue, the producer-side
+        // len is an upper bound and never increases.
+        let (mut tx, mut rx) = channel::<usize>(N);
+        for i in 0..N {
+            tx.push(i).unwrap();
+        }
+        let drainer = std::thread::spawn(move || while rx.pop().is_some() {});
+        let mut last = N;
+        while last > 0 {
+            let cur = tx.len();
+            assert!(
+                cur <= last,
+                "producer len grew without a push: {last} -> {cur}"
+            );
+            last = cur;
+        }
+        drainer.join().unwrap();
+        assert!(tx.is_empty());
+    }
+
+    #[test]
+    fn backoff_escalates_and_resets_without_panicking() {
+        let mut b = Backoff::new();
+        // Walk through all three regimes: spin (steps 0..=6), yield
+        // (7..=10), sleep (capped at 11). Must stay callable forever.
+        for _ in 0..16 {
+            b.snooze();
+        }
+        assert_eq!(b.step, Backoff::YIELD_LIMIT + 1, "step caps at sleep");
+        b.reset();
+        assert_eq!(b.step, 0, "reset returns to the spin stage");
+    }
+
+    #[test]
+    fn pop_blocking_waits_for_producer() {
+        let (mut tx, mut rx) = channel(1);
+        let h = std::thread::spawn(move || rx.pop_blocking());
+        std::thread::sleep(Duration::from_millis(20));
+        tx.push(42).unwrap();
+        assert_eq!(h.join().unwrap(), Ok(42));
+    }
+
+    #[test]
+    fn pop_blocking_unblocks_when_producer_dies() {
+        // The bug this guards against: a consumer blocked on a queue whose
+        // producer dispatcher died used to spin forever.
+        let (tx, mut rx) = channel::<u8>(4);
+        let h = std::thread::spawn(move || rx.pop_blocking());
+        std::thread::sleep(Duration::from_millis(10));
+        drop(tx);
+        assert_eq!(h.join().unwrap(), Err(Disconnected));
+    }
+
+    #[test]
+    fn pop_blocking_drains_items_published_before_death() {
+        let (mut tx, mut rx) = channel(4);
+        tx.push(1).unwrap();
+        tx.push(2).unwrap();
+        drop(tx);
+        assert_eq!(rx.pop_blocking(), Ok(1));
+        assert_eq!(rx.pop_blocking(), Ok(2));
+        assert_eq!(rx.pop_blocking(), Err(Disconnected));
+        assert!(rx.is_disconnected());
+    }
+
+    #[test]
+    fn snooze_capped_never_sleeps_past_the_cap() {
+        let mut b = Backoff::new();
+        // Escalate into the sleep regime.
+        for _ in 0..16 {
+            b.snooze();
+        }
+        assert_eq!(b.step, Backoff::YIELD_LIMIT + 1);
+        // A zero cap must return without the 50 µs quantum; allow generous
+        // scheduler noise but stay far under the uncapped sleep would be.
+        let t0 = Instant::now();
+        for _ in 0..20 {
+            b.snooze_capped(Duration::ZERO);
+        }
+        assert!(
+            t0.elapsed() < Backoff::SLEEP * 20,
+            "capped sleeps took {:?}, an uncapped round is {:?}",
+            t0.elapsed(),
+            Backoff::SLEEP * 20
+        );
+        // Below the yield limit it behaves exactly like snooze (escalates).
+        b.reset();
+        b.snooze_capped(Duration::ZERO);
+        assert_eq!(b.step, 1, "pre-sleep stages still escalate");
+    }
+
+    #[test]
+    fn pop_deadline_overshoot_is_bounded() {
+        // Regression: the deadline check used to precede an uncapped 50 µs
+        // sleep, so a pop issued just under the deadline overshot it by a
+        // full backoff round. The overshoot is now bounded by the time
+        // remaining at the final check (plus scheduler noise), not by the
+        // sleep quantum.
+        let timeout = Duration::from_millis(5);
+        let (_tx, mut rx) = channel::<u8>(1);
+        let t0 = Instant::now();
+        assert_eq!(rx.pop_deadline(timeout), Err(PopError::TimedOut));
+        let elapsed = t0.elapsed();
+        assert!(elapsed >= timeout, "returned early: {elapsed:?}");
+        // Generous CI bound: well under the old worst case of whole extra
+        // backoff rounds, strict enough to catch an uncapped sleep path
+        // being reintroduced with a larger quantum.
+        assert!(
+            elapsed < timeout + Duration::from_millis(4),
+            "overshoot {:?} exceeds bound",
+            elapsed - timeout
+        );
+    }
+
+    #[test]
+    fn pop_deadline_times_out_then_succeeds() {
+        let (mut tx, mut rx) = channel(1);
+        assert_eq!(
+            rx.pop_deadline(Duration::from_millis(5)),
+            Err(PopError::TimedOut)
+        );
+        tx.push(7).unwrap();
+        assert_eq!(rx.pop_deadline(Duration::from_millis(5)), Ok(7));
+        drop(tx);
+        assert_eq!(
+            rx.pop_deadline(Duration::from_millis(5)),
+            Err(PopError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn producer_observes_consumer_death() {
+        let (tx, rx) = channel::<u8>(1);
+        assert!(!tx.is_disconnected());
+        drop(rx);
+        assert!(tx.is_disconnected());
+    }
+
+    #[test]
+    fn zero_capacity_errors() {
+        let err = super::channel::<u8>(0).unwrap_err();
+        assert_eq!(err, CapacityError);
+        assert_eq!(err.to_string(), "SPSC channel capacity must be positive");
+    }
+
+    #[test]
+    fn static_ring_fifo_and_wraparound() {
+        let ring: StaticRing<u64, 3> = StaticRing::new();
+        assert_eq!(ring.capacity(), 3);
+        let (mut tx, mut rx) = ring.split().expect("first split succeeds");
+        for round in 0..100u64 {
+            tx.push(round).unwrap();
+            assert_eq!(rx.pop(), Some(round));
+        }
+        tx.push(1).unwrap();
+        tx.push(2).unwrap();
+        tx.push(3).unwrap();
+        assert_eq!(tx.push(4), Err(4), "full at N");
+        assert_eq!(tx.len(), 3);
+        assert_eq!(rx.pop(), Some(1));
+        assert_eq!(rx.len(), 2);
+    }
+
+    #[test]
+    fn static_ring_splits_exactly_once() {
+        let ring: StaticRing<u8, 2> = StaticRing::new();
+        let pair = ring.split();
+        assert!(pair.is_some());
+        assert!(ring.split().is_none(), "second split refused");
+        drop(pair);
+        assert!(
+            ring.split().is_none(),
+            "claim is per ring lifetime, not per endpoint lifetime"
+        );
+    }
+
+    #[test]
+    fn static_ring_endpoint_drop_signals_peer() {
+        let ring: StaticRing<u8, 2> = StaticRing::new();
+        let (mut tx, rx) = ring.split().unwrap();
+        assert!(!tx.is_disconnected());
+        drop(rx);
+        assert!(tx.is_disconnected());
+        tx.push(1).unwrap(); // pushes after consumer death still succeed
+
+        let ring2: StaticRing<u8, 2> = StaticRing::new();
+        let (tx2, mut rx2) = ring2.split().unwrap();
+        drop(tx2);
+        assert!(rx2.is_disconnected());
+        assert_eq!(rx2.pop(), None);
+    }
+
+    #[test]
+    fn static_ring_drains_after_producer_death() {
+        let ring: StaticRing<u8, 4> = StaticRing::new();
+        let (mut tx, mut rx) = ring.split().unwrap();
+        tx.push(1).unwrap();
+        tx.push(2).unwrap();
+        drop(tx);
+        assert_eq!(rx.pop_blocking_with(&crate::time::SpinPark), Ok(1));
+        assert_eq!(rx.pop_blocking_with(&crate::time::SpinPark), Ok(2));
+        assert_eq!(
+            rx.pop_blocking_with(&crate::time::SpinPark),
+            Err(Disconnected)
+        );
+    }
+
+    #[test]
+    fn static_ring_concurrent_stress_no_loss_no_duplication() {
+        const N: u64 = if cfg!(miri) { 1_000 } else { 200_000 };
+        let ring: StaticRing<u64, 64> = StaticRing::new();
+        let (mut tx, mut rx) = ring.split().unwrap();
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                for i in 0..N {
+                    let mut v = i;
+                    loop {
+                        match tx.push(v) {
+                            Ok(()) => break,
+                            Err(back) => {
+                                v = back;
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                }
+            });
+            s.spawn(move || {
+                let mut expected = 0u64;
+                let mut sum = 0u64;
+                while expected < N {
+                    if let Some(v) = rx.pop() {
+                        assert_eq!(v, expected, "strict FIFO");
+                        sum = sum.wrapping_add(v);
+                        expected += 1;
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+                assert_eq!(sum, (N - 1) * N / 2);
+            });
+        });
+    }
+
+    #[test]
+    fn generic_pop_deadline_honors_a_custom_clock() {
+        use core::sync::atomic::AtomicU64;
+
+        // A clock that advances 1 ms per `now()` call: the deadline path
+        // must time out purely from clock arithmetic, no host time.
+        struct TickClock(AtomicU64);
+        impl Clock for TickClock {
+            type Instant = u64;
+            fn now(&self) -> u64 {
+                self.0.fetch_add(1, Ordering::Relaxed)
+            }
+            fn duration_between(&self, earlier: u64, later: u64) -> Duration {
+                Duration::from_millis(later.saturating_sub(earlier))
+            }
+        }
+
+        let (_tx, mut rx) = channel::<u8>(1);
+        let clock = TickClock(AtomicU64::new(0));
+        let got = rx.pop_deadline_with(&clock, &crate::time::SpinPark, Duration::from_millis(5));
+        assert_eq!(got, Err(PopError::TimedOut));
+    }
+}

@@ -1,0 +1,130 @@
+//! The clock/park seam between the substrate and its platform.
+//!
+//! The blocking queue operations need exactly two services from the world:
+//! a monotonic clock (for deadlines) and a way to stand down when a
+//! busy-wait has gone on too long (yield, then sleep). On the host those
+//! are `std::time::Instant` and `std::thread`; on an MCU they are a
+//! hardware timer and `wfi`/`wfe` or a scheduler hook. [`Clock`] and
+//! [`Park`] name that seam, the generic `*_with` methods on
+//! [`crate::spsc::Consumer`] accept any implementation, and the `std`
+//! feature supplies [`StdClock`]/[`StdPark`], which reproduce the
+//! pre-extraction host behavior exactly.
+
+use core::time::Duration;
+
+/// A monotonic time source.
+///
+/// Instants are opaque and only ever compared through
+/// [`Clock::duration_between`], so implementations may use raw cycle
+/// counters, tick counts, or `std::time::Instant` alike.
+pub trait Clock {
+    /// An opaque point in time.
+    type Instant: Copy;
+
+    /// The current instant.
+    fn now(&self) -> Self::Instant;
+
+    /// Elapsed time from `earlier` to `later`; zero when `later` does not
+    /// come after `earlier` (saturating, never panics).
+    fn duration_between(&self, earlier: Self::Instant, later: Self::Instant) -> Duration;
+}
+
+/// How a starved busy-wait loop stands down.
+///
+/// [`crate::spsc::Backoff`] escalates spin → yield → sleep; the spin stage
+/// is pure `core::hint::spin_loop`, and this trait supplies the other two.
+pub trait Park {
+    /// Gives the execution context up to a peer (e.g.
+    /// `std::thread::yield_now`, or an RTOS yield).
+    fn yield_now(&self);
+
+    /// Blocks for approximately `d` (e.g. `std::thread::sleep`, or a
+    /// timer-backed wait-for-interrupt).
+    fn sleep(&self, d: Duration);
+}
+
+/// A [`Park`] that never leaves the CPU: both stages degrade to bounded
+/// `spin_loop` bursts.
+///
+/// The fallback for bare-metal contexts with no scheduler — a
+/// single-issue MCU core waiting on a DMA-fed ring has nothing to yield
+/// *to*. Prefer a platform park that can `wfe`/`wfi` when one exists;
+/// spinning burns the power budget the MCU deployment is there to save.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SpinPark;
+
+impl SpinPark {
+    /// How many `spin_loop` hints one [`Park::sleep`] call issues.
+    const SLEEP_SPINS: u32 = 1 << 10;
+}
+
+impl Park for SpinPark {
+    fn yield_now(&self) {
+        core::hint::spin_loop();
+    }
+
+    fn sleep(&self, _d: Duration) {
+        // No clock to honor `d` with; a fixed burst keeps the caller's
+        // escalation meaningful (sleep stays coarser than yield).
+        for _ in 0..Self::SLEEP_SPINS {
+            core::hint::spin_loop();
+        }
+    }
+}
+
+/// The host clock: `std::time::Instant`.
+#[cfg(feature = "std")]
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StdClock;
+
+#[cfg(feature = "std")]
+impl Clock for StdClock {
+    type Instant = std::time::Instant;
+
+    fn now(&self) -> Self::Instant {
+        std::time::Instant::now()
+    }
+
+    fn duration_between(&self, earlier: Self::Instant, later: Self::Instant) -> Duration {
+        later.saturating_duration_since(earlier)
+    }
+}
+
+/// The host park: `std::thread::yield_now` / `std::thread::sleep` —
+/// exactly what the pre-extraction `Backoff` called directly.
+#[cfg(feature = "std")]
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StdPark;
+
+#[cfg(feature = "std")]
+impl Park for StdPark {
+    fn yield_now(&self) {
+        std::thread::yield_now();
+    }
+
+    fn sleep(&self, d: Duration) {
+        std::thread::sleep(d);
+    }
+}
+
+#[cfg(all(test, feature = "std"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn std_clock_is_monotonic_and_saturating() {
+        let clock = StdClock;
+        let a = clock.now();
+        let b = clock.now();
+        // Forward elapses (possibly zero), backward saturates to zero.
+        let _ = clock.duration_between(a, b);
+        assert_eq!(clock.duration_between(b, a), Duration::ZERO);
+    }
+
+    #[test]
+    fn spin_park_returns_promptly() {
+        let park = SpinPark;
+        park.yield_now();
+        park.sleep(Duration::from_secs(3600)); // must not actually sleep
+    }
+}

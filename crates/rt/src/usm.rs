@@ -4,9 +4,13 @@
 //! and device (`cudaMallocManaged` / `VkBuffer`); on the host substrate it
 //! is a pre-allocated, recyclable typed buffer that never reallocates
 //! during steady-state execution — preserving the zero-copy,
-//! no-allocation-on-the-hot-path discipline of the paper's runtime.
+//! no-allocation-on-the-hot-path discipline of the paper's runtime. On an
+//! MCU the same discipline is structural: the pool is sized at bring-up
+//! and [`TaskObject::recycle`] is the only thing the hot loop ever does.
 
-use std::fmt;
+use core::fmt;
+
+use alloc::vec::Vec;
 
 /// A pre-allocated typed buffer with a fixed capacity and a movable length.
 ///
@@ -15,7 +19,7 @@ use std::fmt;
 /// allocation-free.
 ///
 /// ```
-/// use bt_pipeline::UsmBuffer;
+/// use bt_rt::UsmBuffer;
 /// let mut buf: UsmBuffer<u32> = UsmBuffer::with_capacity(8);
 /// buf.resize(4);
 /// buf.as_mut_slice().copy_from_slice(&[1, 2, 3, 4]);
@@ -101,7 +105,9 @@ pub struct TaskObject<P> {
     pub seq: u64,
     /// How many times the object has been recycled.
     pub generation: u32,
-    /// Timestamp of pipeline entry (set by the head dispatcher).
+    /// Timestamp of pipeline entry (set by the head dispatcher). Host-only:
+    /// off-std substrates measure entry with their own [`crate::time::Clock`].
+    #[cfg(feature = "std")]
     pub entered: Option<std::time::Instant>,
     /// Tombstone set by the resilient executor when every retry of a stage
     /// failed: the object keeps flowing (so the pool never shrinks) but
@@ -118,6 +124,7 @@ impl<P> TaskObject<P> {
         TaskObject {
             seq: 0,
             generation: 0,
+            #[cfg(feature = "std")]
             entered: None,
             dropped: false,
             payload,
@@ -125,11 +132,15 @@ impl<P> TaskObject<P> {
     }
 
     /// Prepares the object for a new task: bumps the generation, assigns
-    /// the sequence number, stamps entry time, clears the tombstone.
+    /// the sequence number, stamps entry time (host only), clears the
+    /// tombstone.
     pub fn recycle(&mut self, seq: u64) {
         self.seq = seq;
         self.generation += 1;
-        self.entered = Some(std::time::Instant::now());
+        #[cfg(feature = "std")]
+        {
+            self.entered = Some(std::time::Instant::now());
+        }
         self.dropped = false;
     }
 }
@@ -166,11 +177,12 @@ mod tests {
 
     #[test]
     fn task_object_recycling() {
-        let mut obj = TaskObject::new(vec![0u8; 4]);
+        let mut obj = TaskObject::new(alloc::vec![0u8; 4]);
         assert_eq!(obj.generation, 0);
         obj.recycle(7);
         assert_eq!(obj.seq, 7);
         assert_eq!(obj.generation, 1);
+        #[cfg(feature = "std")]
         assert!(obj.entered.is_some());
         obj.recycle(8);
         assert_eq!(obj.generation, 2);

@@ -1,99 +1,35 @@
-use serde::{Deserialize, Serialize};
+//! Deriving a device's [`AffinityMap`] from its cluster specs.
+//!
+//! The map type itself lives in the runtime substrate (`bt-rt`); what is
+//! device-model-specific — and therefore stays here — is the convention for
+//! numbering cores from a [`PerClass`] of [`PuSpec`]s.
+
+use bt_rt::AffinityMap;
 
 use crate::{PerClass, PuClass, PuSpec};
 
-/// Thread-affinity map of a device: which logical core IDs belong to each
-/// CPU cluster, and which of them the OS allows user threads to pin to.
-///
-/// This is the "target system specification" input of the paper (Fig. 2,
-/// step 2): BetterTogether needs it to bind OpenMP worker threads to the
-/// cluster a chunk was scheduled on. The host execution backend consumes
-/// the same map when pinning real threads with `sched_setaffinity`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct AffinityMap {
-    cores: PerClass<Vec<usize>>,
-    pinnable: PerClass<Vec<usize>>,
-}
-
-impl AffinityMap {
-    /// Creates an empty map. Add clusters with [`AffinityMap::with_cluster`].
-    pub fn new() -> AffinityMap {
-        AffinityMap {
-            cores: PerClass::empty(),
-            pinnable: PerClass::empty(),
+/// Derives a conventional map from cluster specs: cores numbered in
+/// little → medium → big order (the usual Android convention), with the
+/// first `pinnable_cores` of each cluster exposed for pinning.
+pub fn derive_affinity(pus: &PerClass<PuSpec>) -> AffinityMap {
+    let mut map = AffinityMap::new();
+    let mut next = 0usize;
+    // Android numbers efficiency cores first.
+    for class in [PuClass::LittleCpu, PuClass::MediumCpu, PuClass::BigCpu] {
+        if let Some(spec) = pus.get(class) {
+            let cores: Vec<usize> = (next..next + spec.cores() as usize).collect();
+            let pinnable = cores[..spec.pinnable_cores() as usize].to_vec();
+            next += spec.cores() as usize;
+            map = map.with_cluster(class, cores, pinnable);
         }
     }
-
-    /// Registers the core IDs of a cluster, along with the subset the OS
-    /// permits pinning to.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `pinnable` is not a subset of `cores`.
-    pub fn with_cluster(
-        mut self,
-        class: PuClass,
-        cores: Vec<usize>,
-        pinnable: Vec<usize>,
-    ) -> AffinityMap {
-        assert!(
-            pinnable.iter().all(|c| cores.contains(c)),
-            "pinnable cores must be a subset of the cluster's cores"
-        );
-        self.cores.set(class, cores);
-        self.pinnable.set(class, pinnable);
-        self
-    }
-
-    /// Derives a conventional map from cluster specs: cores numbered in
-    /// little → medium → big order (the usual Android convention), with the
-    /// first `pinnable_cores` of each cluster exposed for pinning.
-    pub fn derive(pus: &PerClass<PuSpec>) -> AffinityMap {
-        let mut map = AffinityMap::new();
-        let mut next = 0usize;
-        // Android numbers efficiency cores first.
-        for class in [PuClass::LittleCpu, PuClass::MediumCpu, PuClass::BigCpu] {
-            if let Some(spec) = pus.get(class) {
-                let cores: Vec<usize> = (next..next + spec.cores() as usize).collect();
-                let pinnable = cores[..spec.pinnable_cores() as usize].to_vec();
-                next += spec.cores() as usize;
-                map = map.with_cluster(class, cores, pinnable);
-            }
-        }
-        map
-    }
-
-    /// Logical core IDs of `class`, empty for absent clusters (and GPUs).
-    pub fn cores(&self, class: PuClass) -> &[usize] {
-        self.cores.get(class).map(Vec::as_slice).unwrap_or(&[])
-    }
-
-    /// Core IDs of `class` that can be pinned.
-    pub fn pinnable(&self, class: PuClass) -> &[usize] {
-        self.pinnable.get(class).map(Vec::as_slice).unwrap_or(&[])
-    }
-
-    /// Total number of CPU cores in the map.
-    pub fn total_cores(&self) -> usize {
-        self.cores.iter().map(|(_, v)| v.len()).sum()
-    }
-
-    /// Total number of pinnable CPU cores (5 of 8 on the OnePlus 11).
-    pub fn total_pinnable(&self) -> usize {
-        self.pinnable.iter().map(|(_, v)| v.len()).sum()
-    }
-}
-
-impl Default for AffinityMap {
-    fn default() -> AffinityMap {
-        AffinityMap::new()
-    }
+    map
 }
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use crate::devices;
+    use crate::PuClass;
 
     #[test]
     fn derive_numbers_little_first() {
@@ -119,11 +55,5 @@ mod tests {
     fn gpu_has_no_cores() {
         let soc = devices::pixel_7a();
         assert!(soc.affinity().cores(PuClass::Gpu).is_empty());
-    }
-
-    #[test]
-    #[should_panic(expected = "subset")]
-    fn pinnable_must_be_subset() {
-        let _ = AffinityMap::new().with_cluster(PuClass::BigCpu, vec![0, 1], vec![2]);
     }
 }

@@ -1,134 +1,8 @@
-use std::fmt;
-use std::iter::Sum;
-use std::ops::{Add, AddAssign, Div, Mul, Sub};
-
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rand_distr::{Distribution, LogNormal};
-use serde::{Deserialize, Serialize};
 
-/// A duration or point in virtual time, in microseconds.
-///
-/// The simulator works in microseconds because the paper's quantities span
-/// three orders of magnitude (tens of µs for pool stages up to 150 ms for
-/// CPU AlexNet); f64 microseconds keep every value comfortably precise.
-///
-/// ```
-/// use bt_soc::Micros;
-/// let a = Micros::from_millis(1.5);
-/// let b = Micros::new(500.0);
-/// assert_eq!((a + b).as_millis(), 2.0);
-/// assert!(a > b);
-/// ```
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
-pub struct Micros(f64);
-
-impl Micros {
-    /// Zero duration.
-    pub const ZERO: Micros = Micros(0.0);
-
-    /// Creates a duration of `us` microseconds.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `us` is NaN.
-    pub fn new(us: f64) -> Micros {
-        assert!(!us.is_nan(), "virtual time must not be NaN");
-        Micros(us)
-    }
-
-    /// Creates a duration from milliseconds.
-    pub fn from_millis(ms: f64) -> Micros {
-        Micros::new(ms * 1e3)
-    }
-
-    /// Creates a duration from seconds.
-    pub fn from_secs(s: f64) -> Micros {
-        Micros::new(s * 1e6)
-    }
-
-    /// The raw microsecond count.
-    pub fn as_f64(self) -> f64 {
-        self.0
-    }
-
-    /// This duration in milliseconds.
-    pub fn as_millis(self) -> f64 {
-        self.0 / 1e3
-    }
-
-    /// This duration in seconds.
-    pub fn as_secs(self) -> f64 {
-        self.0 / 1e6
-    }
-
-    /// Element-wise maximum.
-    pub fn max(self, other: Micros) -> Micros {
-        Micros(self.0.max(other.0))
-    }
-
-    /// Element-wise minimum.
-    pub fn min(self, other: Micros) -> Micros {
-        Micros(self.0.min(other.0))
-    }
-}
-
-impl Add for Micros {
-    type Output = Micros;
-    fn add(self, rhs: Micros) -> Micros {
-        Micros(self.0 + rhs.0)
-    }
-}
-
-impl AddAssign for Micros {
-    fn add_assign(&mut self, rhs: Micros) {
-        self.0 += rhs.0;
-    }
-}
-
-impl Sub for Micros {
-    type Output = Micros;
-    fn sub(self, rhs: Micros) -> Micros {
-        Micros(self.0 - rhs.0)
-    }
-}
-
-impl Mul<f64> for Micros {
-    type Output = Micros;
-    fn mul(self, rhs: f64) -> Micros {
-        Micros(self.0 * rhs)
-    }
-}
-
-impl Div<f64> for Micros {
-    type Output = Micros;
-    fn div(self, rhs: f64) -> Micros {
-        Micros(self.0 / rhs)
-    }
-}
-
-impl Div<Micros> for Micros {
-    type Output = f64;
-    fn div(self, rhs: Micros) -> f64 {
-        self.0 / rhs.0
-    }
-}
-
-impl Sum for Micros {
-    fn sum<I: Iterator<Item = Micros>>(iter: I) -> Micros {
-        iter.fold(Micros::ZERO, Add::add)
-    }
-}
-
-impl fmt::Display for Micros {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.0 >= 1e3 {
-            write!(f, "{:.3} ms", self.as_millis())
-        } else {
-            write!(f, "{:.1} µs", self.0)
-        }
-    }
-}
+use bt_rt::Micros;
 
 /// The virtual clock driving a discrete-event simulation.
 ///
@@ -262,30 +136,6 @@ pub fn seed_from_labels(labels: &[&str], salt: u64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn micros_arithmetic() {
-        let a = Micros::from_millis(2.0);
-        let b = Micros::new(500.0);
-        assert_eq!((a - b).as_f64(), 1500.0);
-        assert_eq!((b * 2.0).as_f64(), 1000.0);
-        assert_eq!((a / 2.0).as_f64(), 1000.0);
-        assert!((a / b - 4.0).abs() < 1e-12);
-        let total: Micros = vec![a, b, b].into_iter().sum();
-        assert_eq!(total.as_f64(), 3000.0);
-    }
-
-    #[test]
-    fn micros_display() {
-        assert_eq!(Micros::new(12.34).to_string(), "12.3 µs");
-        assert_eq!(Micros::from_millis(1.5).to_string(), "1.500 ms");
-    }
-
-    #[test]
-    #[should_panic(expected = "NaN")]
-    fn nan_rejected() {
-        let _ = Micros::new(f64::NAN);
-    }
 
     #[test]
     fn clock_is_monotonic() {

@@ -2,81 +2,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::{AffinityMap, GpuBackend, InterferenceModel, PuClass, PuSpec, SocError};
 
-/// A small map from [`PuClass`] to `T`, with at most one entry per class.
-///
-/// Devices carry per-class data everywhere (specs, interference multipliers,
-/// profiled latencies); this container gives that pattern a name and O(1)
-/// access.
-///
-/// ```
-/// use bt_soc::{PerClass, PuClass};
-/// let mut m = PerClass::empty();
-/// m.set(PuClass::Gpu, 0.86);
-/// assert_eq!(m.get(PuClass::Gpu), Some(&0.86));
-/// assert_eq!(m.get(PuClass::BigCpu), None);
-/// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct PerClass<T>([Option<T>; PuClass::COUNT]);
-
-impl<T> PerClass<T> {
-    /// Creates an empty map.
-    pub fn empty() -> PerClass<T> {
-        PerClass([None, None, None, None])
-    }
-
-    /// Inserts or replaces the entry for `class`, returning the old value.
-    pub fn set(&mut self, class: PuClass, value: T) -> Option<T> {
-        self.0[class.index()].replace(value)
-    }
-
-    /// Returns the entry for `class`, if present.
-    pub fn get(&self, class: PuClass) -> Option<&T> {
-        self.0[class.index()].as_ref()
-    }
-
-    /// Returns a mutable reference to the entry for `class`, if present.
-    pub fn get_mut(&mut self, class: PuClass) -> Option<&mut T> {
-        self.0[class.index()].as_mut()
-    }
-
-    /// Whether the map has an entry for `class`.
-    pub fn contains(&self, class: PuClass) -> bool {
-        self.0[class.index()].is_some()
-    }
-
-    /// Iterates over `(class, &value)` pairs in canonical class order.
-    pub fn iter(&self) -> impl Iterator<Item = (PuClass, &T)> {
-        PuClass::ALL
-            .iter()
-            .filter_map(move |&c| self.0[c.index()].as_ref().map(|v| (c, v)))
-    }
-
-    /// Number of populated entries.
-    pub fn len(&self) -> usize {
-        self.0.iter().filter(|e| e.is_some()).count()
-    }
-
-    /// Whether no entry is populated.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-}
-
-impl<T> Default for PerClass<T> {
-    fn default() -> PerClass<T> {
-        PerClass::empty()
-    }
-}
-
-impl<T> FromIterator<(PuClass, T)> for PerClass<T> {
-    fn from_iter<I: IntoIterator<Item = (PuClass, T)>>(iter: I) -> PerClass<T> {
-        let mut map = PerClass::empty();
-        for (class, value) in iter {
-            map.set(class, value);
-        }
-        map
-    }
-}
+pub use bt_rt::PerClass;
 
 /// Complete model of one heterogeneous SoC: its PU clusters, shared DRAM,
 /// interference behaviour, and thread-affinity constraints.
@@ -244,7 +170,7 @@ impl SocBuilder {
         }
         let affinity = match self.affinity {
             Some(map) => map,
-            None => AffinityMap::derive(&self.pus),
+            None => crate::affinity::derive_affinity(&self.pus),
         };
         Ok(SocSpec {
             name: self.name,
@@ -454,7 +380,78 @@ pub mod devices {
             .expect("jetson orin nano lp model is valid")
     }
 
-    /// All four evaluation platforms, in the paper's order.
+    /// STM32H745-class dual-core microcontroller — the MCU-class edge
+    /// platform exercising the `no_std` runtime substrate (`bt-rt`).
+    ///
+    /// Mapping of the paper's SoC taxonomy onto an MCU:
+    ///
+    /// - **big** = Cortex-M7 @ 480 MHz: single-issue-dominant in-order
+    ///   core with DSP/FPU dual-issue opportunities (`ipc` 1.6,
+    ///   two-lane SIMD via the DSP extensions), fed by tightly-coupled
+    ///   SRAM over a narrow AXI bus.
+    /// - **little** = Cortex-M4 @ 240 MHz: the companion core, scalar
+    ///   only and roughly 7× weaker — useful for light post-processing
+    ///   stages, exactly the role little clusters play on phones.
+    /// - **GPU slot** = the MDMA/GPDMA engine: an asynchronous engine
+    ///   class with real burst bandwidth but almost no arithmetic
+    ///   throughput (`arith_eff` 0.1), so only copy/acquisition-shaped
+    ///   stages land on it. It has no GPGPU backend (`gpu_backend`
+    ///   stays `None`): kernels price at their default efficiency.
+    /// - **shared DRAM** = the flash/AXI backbone: at ~1 GB/s it is the
+    ///   contended resource, playing the role DRAM bandwidth plays on
+    ///   the phone SoCs (tiny SRAM vs slow flash).
+    ///
+    /// Interference is calibrated aggressively relative to the phones:
+    /// on an MCU every bus master shares one AXI matrix, so co-running
+    /// the M4 or the DMA engine visibly dilates M7 service times.
+    pub fn mcu_m7() -> SocSpec {
+        SocBuilder::new("STM32H745-class MCU")
+            .pu(PuSpec::new(PuClass::BigCpu, "Cortex-M7", 1, 0.48)
+                .with_ipc(1.6)
+                .with_simd_lanes(2)
+                .with_arith_eff(0.50)
+                .with_divergence_penalty(0.05)
+                .with_irregular_penalty(0.30)
+                .with_mem_bw_gbs(0.64)
+                .with_dispatch_overhead_us(2.0)
+                .with_sync_overhead_us(1.0)
+                .with_l2_kib(16))
+            .pu(PuSpec::new(PuClass::LittleCpu, "Cortex-M4", 1, 0.24)
+                .with_ipc(1.0)
+                .with_simd_lanes(1)
+                .with_arith_eff(0.45)
+                .with_divergence_penalty(0.08)
+                .with_irregular_penalty(0.35)
+                .with_mem_bw_gbs(0.25)
+                .with_dispatch_overhead_us(3.0)
+                .with_sync_overhead_us(1.0)
+                .with_l2_kib(0))
+            .pu(PuSpec::new(PuClass::Gpu, "MDMA engine", 1, 0.24)
+                .with_ipc(1.0)
+                .with_simd_lanes(4)
+                .with_arith_eff(0.10)
+                .with_divergence_penalty(0.95)
+                .with_irregular_penalty(0.90)
+                .with_mem_bw_gbs(1.0)
+                .with_dispatch_overhead_us(1.0)
+                .with_sync_overhead_us(3.0)
+                .with_l2_kib(0))
+            .dram_bw_gbs(1.1)
+            .interference(InterferenceModel::calibrated(
+                [
+                    (PuClass::BigCpu, 1.18),
+                    (PuClass::LittleCpu, 1.25),
+                    (PuClass::Gpu, 1.05),
+                ],
+                0.35,
+            ))
+            .build()
+            .expect("mcu model is valid")
+    }
+
+    /// All four evaluation platforms, in the paper's order. (The MCU-class
+    /// platform [`mcu_m7`] is an extension, not one of the paper's
+    /// devices, so it is deliberately not part of this set.)
     pub fn all() -> Vec<SocSpec> {
         vec![
             pixel_7a(),
@@ -468,27 +465,6 @@ pub mod devices {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn per_class_set_get() {
-        let mut m: PerClass<u32> = PerClass::empty();
-        assert!(m.is_empty());
-        assert_eq!(m.set(PuClass::BigCpu, 1), None);
-        assert_eq!(m.set(PuClass::BigCpu, 2), Some(1));
-        assert_eq!(m.get(PuClass::BigCpu), Some(&2));
-        assert_eq!(m.len(), 1);
-        assert!(m.contains(PuClass::BigCpu));
-        assert!(!m.contains(PuClass::Gpu));
-    }
-
-    #[test]
-    fn per_class_iter_is_canonical_order() {
-        let m: PerClass<u8> = [(PuClass::Gpu, 3), (PuClass::BigCpu, 0)]
-            .into_iter()
-            .collect();
-        let order: Vec<PuClass> = m.iter().map(|(c, _)| c).collect();
-        assert_eq!(order, vec![PuClass::BigCpu, PuClass::Gpu]);
-    }
 
     #[test]
     fn builder_rejects_empty_device() {

@@ -40,7 +40,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
-mod affinity;
+pub mod affinity;
 mod clock;
 pub mod cost;
 pub mod des;
@@ -56,11 +56,15 @@ pub mod hash;
 mod interference;
 pub mod power;
 mod pu;
-pub mod run;
 mod work;
 
-pub use affinity::AffinityMap;
-pub use clock::{seed_from_labels, Micros, NoiseModel, SimClock};
+/// The shared run model, re-exported from the runtime substrate (`bt-rt`)
+/// so `bt_soc::run::` paths keep working.
+pub use bt_rt::run;
+
+pub use affinity::derive_affinity;
+pub use bt_rt::{AffinityMap, Micros};
+pub use clock::{seed_from_labels, NoiseModel, SimClock};
 pub use des_batch::{simulate_batch, simulate_batch_parallel, DesSeedSpec};
 pub use des_dag::{simulate_dag, DagPipelineSpec};
 pub use des_multi::{simulate_multi, MultiRunReport, TenantSpec};

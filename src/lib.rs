@@ -46,6 +46,7 @@ pub use bt_core as core;
 pub use bt_kernels as kernels;
 pub use bt_pipeline as pipeline;
 pub use bt_profiler as profiler;
+pub use bt_rt as rt;
 pub use bt_serve as serve;
 pub use bt_soc as soc;
 pub use bt_solver as solver;

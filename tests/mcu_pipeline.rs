@@ -1,0 +1,101 @@
+//! End-to-end coverage of the MCU-class edge backend: the full Fig. 2
+//! loop (profile → three-level optimize → autotune → baseline comparison)
+//! driven through [`McuBackend`] on the `mcu_m7` device model and the
+//! 4-stage sensor application.
+//!
+//! Pins the substrate's headline claims:
+//!
+//! - the interference-aware schedule beats the naive all-on-the-M7
+//!   firmware baseline (`speedup_over_cpu > 1.0`);
+//! - the winning schedule is genuinely heterogeneous (more than one PU
+//!   class — the DMA engine and/or the M4 earn their keep);
+//! - `devices/mcu_m7.json` is byte-for-byte the serialization of
+//!   [`devices::mcu_m7`], so the served registry and the library agree;
+//! - the whole loop is deterministic run-to-run.
+
+use bettertogether::core::{BetterTogether, ExecutionBackend, McuBackend};
+use bettertogether::kernels::apps;
+use bettertogether::soc::{devices, PuClass, SocSpec};
+
+fn mcu_bt() -> BetterTogether<McuBackend> {
+    let app = apps::sensor_app(apps::SensorConfig::default()).model();
+    BetterTogether::with_backend(McuBackend::new(devices::mcu_m7(), app))
+}
+
+#[test]
+fn mcu_schedule_beats_naive_single_core_firmware() {
+    let d = mcu_bt().run().expect("Fig. 2 loop on the MCU backend");
+    let speedup = d
+        .speedup_over_cpu()
+        .expect("M7 baseline and best schedule both measured");
+    assert!(
+        speedup > 1.0,
+        "pipelined schedule must beat all-on-M7, got {speedup:.3}x"
+    );
+    let best = d.best_schedule().expect("autotuned");
+    assert!(
+        best.classes_used().len() > 1,
+        "winning schedule {best} must use more than one PU class"
+    );
+}
+
+#[test]
+fn mcu_baselines_are_cpu_only() {
+    let bt = mcu_bt();
+    assert_eq!(bt.backend().name(), "mcu");
+    assert_eq!(
+        bt.backend().baseline_classes(),
+        vec![PuClass::BigCpu],
+        "the DMA engine cannot host whole applications"
+    );
+    let d = bt.run().expect("loop");
+    assert_eq!(d.baselines.entries().len(), 1);
+    assert_eq!(d.baselines.entries()[0].class, PuClass::BigCpu);
+    assert!(d.speedup_over_gpu().is_none(), "no GPU-only baseline row");
+}
+
+#[test]
+fn mcu_device_file_matches_library_model() {
+    let raw = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/devices/mcu_m7.json"))
+        .expect("devices/mcu_m7.json exists");
+    let from_disk: SocSpec = serde_json::from_str(&raw).expect("parses as a SocSpec");
+    let in_library = devices::mcu_m7();
+    assert_eq!(
+        format!("{from_disk:?}"),
+        format!("{in_library:?}"),
+        "devices/mcu_m7.json must stay the serialization of devices::mcu_m7()"
+    );
+    let reserialized = serde_json::to_string_pretty(&in_library).expect("serializes");
+    assert_eq!(
+        raw.trim_end(),
+        reserialized.trim_end(),
+        "regenerate devices/mcu_m7.json after editing devices::mcu_m7()"
+    );
+}
+
+#[test]
+fn mcu_loop_is_deterministic() {
+    let a = mcu_bt().run().expect("first run");
+    let b = mcu_bt().run().expect("second run");
+    assert_eq!(
+        format!("{:?}", a.best_schedule()),
+        format!("{:?}", b.best_schedule())
+    );
+    assert_eq!(
+        a.best_latency().map(|l| l.as_f64()),
+        b.best_latency().map(|l| l.as_f64())
+    );
+    assert_eq!(a.speedup_over_cpu(), b.speedup_over_cpu());
+}
+
+#[test]
+fn mcu_dma_engine_is_schedulable_but_not_a_baseline() {
+    let bt = mcu_bt();
+    assert!(bt.backend().schedulable(PuClass::Gpu), "DMA takes chunks");
+    assert!(bt.backend().schedulable(PuClass::BigCpu));
+    assert!(bt.backend().schedulable(PuClass::LittleCpu));
+    assert!(
+        !bt.backend().schedulable(PuClass::MediumCpu),
+        "absent class"
+    );
+}

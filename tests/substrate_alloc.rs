@@ -1,0 +1,65 @@
+//! Pins the runtime substrate's zero-steady-state-allocation guarantee:
+//! once a pipeline's rings and TaskObject pool exist, pushing, popping,
+//! and recycling allocate nothing — the property that makes `bt-rt`
+//! honest as an MCU-class (`no_std + alloc`) substrate, where a hidden
+//! per-task allocation would fragment a tiny heap.
+//!
+//! Uses the same process-global [`CountingAlloc`] as the serve crate's
+//! cache-hit guarantee. Counting is global and monotonic, so everything
+//! is bracketed inside ONE test function — adding more `#[test]`s to
+//! this file would race the counter under the parallel test harness.
+
+use bettertogether::rt::spsc;
+use bettertogether::rt::{StaticRing, TaskObject, UsmBuffer};
+use bettertogether::serve::CountingAlloc;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::new();
+
+static RING: StaticRing<u64, 8> = StaticRing::new();
+
+#[test]
+fn steady_state_push_pop_recycle_never_allocates() {
+    // --- Setup (allocates freely): heap ring + TaskObject pool. ---
+    let (mut tx, mut rx) =
+        spsc::channel::<Box<TaskObject<UsmBuffer<f32>>>>(4).expect("positive capacity");
+    let mut pool: Vec<Box<TaskObject<UsmBuffer<f32>>>> = (0..4)
+        .map(|_| {
+            let mut usm = UsmBuffer::with_capacity(256);
+            usm.resize(256);
+            Box::new(TaskObject::new(usm))
+        })
+        .collect();
+    let (mut stx, mut srx) = RING.split().expect("first split");
+
+    // --- Steady state: circulate the pool through the heap ring. ---
+    let before = CountingAlloc::allocations();
+    for seq in 0..10_000u64 {
+        let mut task = pool.pop().expect("pool refilled every iteration");
+        task.recycle(seq);
+        // Vary the working length within capacity, as recycled USM
+        // buffers do across tasks of different sizes.
+        task.payload.resize(64 + (seq as usize % 192));
+        task.payload.as_mut_slice()[0] = seq as f32;
+        assert!(tx.push(task).is_ok(), "ring has room");
+        pool.push(rx.pop().expect("just pushed"));
+    }
+    // --- Steady state: the const-generic static ring. ---
+    for i in 0..10_000u64 {
+        stx.push(i).expect("room");
+        assert_eq!(srx.pop(), Some(i));
+    }
+    let after = CountingAlloc::allocations();
+
+    assert_eq!(
+        after - before,
+        0,
+        "push/pop/recycle must not allocate in steady state"
+    );
+    assert_eq!(pool.len(), 4, "every TaskObject returned to the pool");
+    assert_eq!(
+        pool.iter().map(|t| t.payload.reallocations()).max(),
+        Some(0),
+        "within-capacity USM resizes never reallocate"
+    );
+}
